@@ -1,0 +1,235 @@
+package turbohom
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§7), at laptop scales. The full parameter sweeps with the paper's
+// 5-run timing protocol live in cmd/benchtables; these benches give
+// `go test -bench` visibility into the same code paths and their
+// allocation behaviour.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/baseline/bitmat"
+	"repro/internal/baseline/rdf3x"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/transform"
+)
+
+// benchScale keeps every fixture laptop-fast; cmd/benchtables sweeps real
+// scales.
+const (
+	benchLUBMScale = 1
+	benchBSBM      = 150
+	benchYAGO      = 800
+	benchBTC       = 800
+)
+
+// fixtures are shared across benchmarks and built once.
+var (
+	fixOnce sync.Once
+	fix     struct {
+		lubm *datagen.Dataset
+		bsbm *datagen.Dataset
+		yago *datagen.Dataset
+		btc  *datagen.Dataset
+
+		lubmAware  *transform.Data
+		lubmDirect *transform.Data
+
+		turbo     *engine.Engine // type-aware, optimized
+		turboDir  *engine.Engine // direct, unoptimized (TurboHOM)
+		turboBase *engine.Engine // type-aware, unoptimized
+		rdf3x     *rdf3x.Store
+		bitmat    *bitmat.Store
+	}
+)
+
+func fixtures() {
+	fixOnce.Do(func() {
+		fix.lubm = datagen.LUBMDataset(benchLUBMScale)
+		fix.bsbm = datagen.BSBMDataset(benchBSBM)
+		fix.yago = datagen.YAGODataset(benchYAGO)
+		fix.btc = datagen.BTCDataset(benchBTC)
+
+		fix.lubmAware = transform.Build(fix.lubm.Triples, transform.TypeAware)
+		fix.lubmDirect = transform.Build(fix.lubm.Triples, transform.Direct)
+
+		fix.turbo = engine.New(fix.lubmAware, core.Optimized())
+		fix.turboDir = engine.New(fix.lubmDirect, core.Baseline())
+		fix.turboBase = engine.New(fix.lubmAware, core.Baseline())
+		fix.rdf3x = rdf3x.Load(fix.lubm.Triples)
+		fix.bitmat = bitmat.Load(fix.lubm.Triples)
+	})
+}
+
+func benchCount(b *testing.B, count func(string) (int, error), query string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := count(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_TransformSizes regenerates the Table 1 statistic: the
+// cost of each transformation over the LUBM triples.
+func BenchmarkTable1_TransformSizes(b *testing.B) {
+	fixtures()
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			transform.Build(fix.lubm.Triples, transform.Direct)
+		}
+	})
+	b.Run("type-aware", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			transform.Build(fix.lubm.Triples, transform.TypeAware)
+		}
+	})
+}
+
+// BenchmarkTable2_LUBMSolutions counts every LUBM query's solutions with
+// TurboHOM++ (the Table 2 computation).
+func BenchmarkTable2_LUBMSolutions(b *testing.B) {
+	fixtures()
+	for _, q := range fix.lubm.Queries {
+		b.Run(q.ID, func(b *testing.B) { benchCount(b, fix.turbo.Count, q.Text) })
+	}
+}
+
+// BenchmarkTable3_LUBM times the LUBM workload per engine — the Table 3
+// comparison (TurboHOM++ vs the merge-join and bitmap baselines).
+func BenchmarkTable3_LUBM(b *testing.B) {
+	fixtures()
+	engines := []struct {
+		name  string
+		count func(string) (int, error)
+	}{
+		{"TurboHOMpp", fix.turbo.Count},
+		{"RDF3X", fix.rdf3x.Count},
+		{"SystemX", fix.bitmat.Count},
+	}
+	for _, e := range engines {
+		for _, q := range fix.lubm.Queries {
+			b.Run(e.name+"/"+q.ID, func(b *testing.B) { benchCount(b, e.count, q.Text) })
+		}
+	}
+}
+
+// BenchmarkTable4_YAGO times the YAGO workload (Table 4).
+func BenchmarkTable4_YAGO(b *testing.B) {
+	fixtures()
+	eng := engine.New(transform.Build(fix.yago.Triples, transform.TypeAware), core.Optimized())
+	for _, q := range fix.yago.Queries {
+		b.Run(q.ID, func(b *testing.B) { benchCount(b, eng.Count, q.Text) })
+	}
+}
+
+// BenchmarkTable5_BTC times the BTC workload (Table 5).
+func BenchmarkTable5_BTC(b *testing.B) {
+	fixtures()
+	eng := engine.New(transform.Build(fix.btc.Triples, transform.TypeAware), core.Optimized())
+	for _, q := range fix.btc.Queries {
+		b.Run(q.ID, func(b *testing.B) { benchCount(b, eng.Count, q.Text) })
+	}
+}
+
+// BenchmarkTable6_BSBM times the BSBM explore mix with its OPTIONAL /
+// FILTER / UNION features (Table 6).
+func BenchmarkTable6_BSBM(b *testing.B) {
+	fixtures()
+	eng := engine.New(transform.Build(fix.bsbm.Triples, transform.TypeAware), core.Optimized())
+	for _, q := range fix.bsbm.Queries {
+		b.Run(q.ID, func(b *testing.B) { benchCount(b, eng.Count, q.Text) })
+	}
+}
+
+// BenchmarkTable7_TypeAware contrasts direct vs type-aware transformation
+// with optimizations off (Table 7) on the queries the transformation helps
+// most (Q6, Q13, Q14 become point- or near-point-shaped).
+func BenchmarkTable7_TypeAware(b *testing.B) {
+	fixtures()
+	for _, id := range []string{"Q2", "Q6", "Q13", "Q14"} {
+		q := datagen.LUBMQuery(id)
+		b.Run("direct/"+id, func(b *testing.B) { benchCount(b, fix.turboDir.Count, q.Text) })
+		b.Run("type-aware/"+id, func(b *testing.B) { benchCount(b, fix.turboBase.Count, q.Text) })
+	}
+}
+
+// BenchmarkFig6_DirectTransform is the Figure 6 configuration: unoptimized
+// TurboHOM with the direct transformation against both baselines, on the
+// queries the paper highlights (selective Q7 vs exploration-heavy Q2/Q9).
+func BenchmarkFig6_DirectTransform(b *testing.B) {
+	fixtures()
+	engines := []struct {
+		name  string
+		count func(string) (int, error)
+	}{
+		{"TurboHOM", fix.turboDir.Count},
+		{"RDF3X", fix.rdf3x.Count},
+		{"SystemX", fix.bitmat.Count},
+	}
+	for _, e := range engines {
+		for _, id := range []string{"Q2", "Q7", "Q9"} {
+			q := datagen.LUBMQuery(id)
+			b.Run(e.name+"/"+id, func(b *testing.B) { benchCount(b, e.count, q.Text) })
+		}
+	}
+}
+
+// BenchmarkFig15_Optimizations applies each optimization alone to the
+// unoptimized type-aware engine on Q2 and Q9 (Figure 15's ablation).
+func BenchmarkFig15_Optimizations(b *testing.B) {
+	fixtures()
+	variants := []struct {
+		name string
+		opts core.Opts
+	}{
+		{"baseline", core.Baseline()},
+		{"INT", core.Opts{Intersect: true}},
+		{"NLF", core.Opts{NoNLF: true}},
+		{"DEG", core.Opts{NoDegree: true}},
+		{"REUSE", core.Opts{ReuseOrder: true}},
+	}
+	for _, v := range variants {
+		eng := engine.New(fix.lubmAware, v.opts)
+		for _, id := range []string{"Q2", "Q9"} {
+			q := datagen.LUBMQuery(id)
+			b.Run(v.name+"/"+id, func(b *testing.B) { benchCount(b, eng.Count, q.Text) })
+		}
+	}
+}
+
+// BenchmarkFig16_Parallel sweeps worker counts on Q2 and Q9 (Figure 16's
+// speed-up experiment).
+func BenchmarkFig16_Parallel(b *testing.B) {
+	fixtures()
+	for _, workers := range []int{1, 2, 4} {
+		opts := core.Optimized()
+		opts.Workers = workers
+		eng := engine.New(fix.lubmAware, opts)
+		for _, id := range []string{"Q2", "Q9"} {
+			q := datagen.LUBMQuery(id)
+			b.Run(q.ID+"/workers-"+string(rune('0'+workers)), func(b *testing.B) {
+				benchCount(b, eng.Count, q.Text)
+			})
+		}
+	}
+}
+
+// BenchmarkLoad measures end-to-end store construction (transform + index
+// build), the paper's loading phase.
+func BenchmarkLoad(b *testing.B) {
+	fixtures()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		New(fix.lubm.Triples, nil)
+	}
+}

@@ -1,0 +1,123 @@
+// Command benchtables regenerates the tables and figures of the paper's
+// evaluation section (§7) at laptop scale.
+//
+//	benchtables -all                          # everything, default scales
+//	benchtables -table 3 -lubm 1,2,4          # Table 3 at three LUBM scales
+//	benchtables -fig 15 -lubm 4               # optimization ablation
+//
+// Output is aligned text, one block per table/figure, in the layout of the
+// paper's tables (engines as rows, queries as columns, times in
+// milliseconds averaged with the 5-run drop-best/worst protocol).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "", "table number to regenerate (1-7)")
+		fig   = flag.String("fig", "", "figure number to regenerate (6, 15, 16)")
+		all   = flag.Bool("all", false, "regenerate every table and figure")
+		lubm  = flag.String("lubm", "1,4,16", "comma-separated LUBM scales")
+		bsbm  = flag.Int("bsbm", 400, "BSBM products")
+		yago  = flag.Int("yago", 2000, "YAGO people")
+		btc   = flag.Int("btc", 2000, "BTC people")
+	)
+	flag.Parse()
+
+	scales, err := parseScales(*lubm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+	s := bench.Scales{LUBM: scales, BSBM: *bsbm, YAGO: *yago, BTC: *btc}
+	top := scales[len(scales)-1]
+
+	emit := func(t *bench.Table) {
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+			os.Exit(1)
+		}
+	}
+
+	ran := false
+	want := func(kind, id string) bool {
+		if *all {
+			return true
+		}
+		switch kind {
+		case "table":
+			return *table == id
+		case "fig":
+			return *fig == id
+		}
+		return false
+	}
+
+	if want("table", "1") {
+		emit(bench.Table1(s))
+		ran = true
+	}
+	if want("table", "2") {
+		emit(bench.Table2(s.LUBM))
+		ran = true
+	}
+	if want("table", "3") {
+		for _, sc := range s.LUBM {
+			emit(bench.Table3(sc))
+		}
+		ran = true
+	}
+	if want("table", "4") {
+		emit(bench.Table4(s.YAGO))
+		ran = true
+	}
+	if want("table", "5") {
+		emit(bench.Table5(s.BTC))
+		ran = true
+	}
+	if want("table", "6") {
+		emit(bench.Table6(s.BSBM))
+		ran = true
+	}
+	if want("table", "7") {
+		emit(bench.Table7(top))
+		ran = true
+	}
+	if want("fig", "6") {
+		emit(bench.Fig6(top))
+		ran = true
+	}
+	if want("fig", "15") {
+		emit(bench.Fig15(top))
+		ran = true
+	}
+	if want("fig", "16") {
+		emit(bench.Fig16(top, nil))
+		ran = true
+	}
+
+	if !ran {
+		fmt.Fprintln(os.Stderr, "benchtables: nothing selected; use -all, -table N, or -fig N")
+		os.Exit(1)
+	}
+}
+
+func parseScales(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad LUBM scale %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

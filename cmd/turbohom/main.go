@@ -1,0 +1,196 @@
+// Command turbohom loads an RDF dataset and runs SPARQL queries against it
+// through the TurboHOM++ engine.
+//
+// Load an N-Triples file and run an inline query:
+//
+//	turbohom -data data.nt -query 'SELECT ?s WHERE { ?s ?p ?o . } LIMIT 5'
+//
+// Or generate a benchmark dataset on the fly and run one of its queries:
+//
+//	turbohom -dataset lubm -scale 2 -id Q9 -time
+//
+// Flags select the transformation (-transform direct|typeaware), disable
+// the optimization suite (-noopt), set the worker count (-workers), print
+// only the solution count (-count), and repeat the query with the paper's
+// timing protocol (-time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	turbohom "repro"
+	"repro/internal/bench"
+	"repro/internal/datagen"
+)
+
+func main() {
+	var (
+		dataFile  = flag.String("data", "", "N-Triples file to load")
+		dataset   = flag.String("dataset", "", "generate a benchmark dataset: lubm, bsbm, yago, btc")
+		scale     = flag.Int("scale", 1, "dataset scale factor (universities / products / people)")
+		queryStr  = flag.String("query", "", "SPARQL query text")
+		queryFile = flag.String("query-file", "", "file containing the SPARQL query")
+		queryID   = flag.String("id", "", "benchmark query ID (e.g. Q2) from the generated dataset")
+		transf    = flag.String("transform", "typeaware", "graph transformation: typeaware or direct")
+		noopt     = flag.Bool("noopt", false, "disable the TurboHOM++ optimization suite")
+		workers   = flag.Int("workers", 1, "parallel workers over starting vertices")
+		countOnly = flag.Bool("count", false, "print only the solution count")
+		timeIt    = flag.Bool("time", false, "apply the paper's timing protocol and report elapsed ms")
+		maxRows   = flag.Int("max-rows", 20, "cap on printed rows (0 = unlimited)")
+	)
+	flag.Parse()
+
+	if err := run(*dataFile, *dataset, *scale, *queryStr, *queryFile, *queryID,
+		*transf, *noopt, *workers, *countOnly, *timeIt, *maxRows); err != nil {
+		fmt.Fprintln(os.Stderr, "turbohom:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataFile, dataset string, scale int, queryStr, queryFile, queryID,
+	transf string, noopt bool, workers int, countOnly, timeIt bool, maxRows int) error {
+
+	opts := &turbohom.Options{Workers: workers, DisableOptimizations: noopt}
+	switch transf {
+	case "typeaware":
+		opts.Transformation = turbohom.TypeAware
+	case "direct":
+		opts.Transformation = turbohom.Direct
+	default:
+		return fmt.Errorf("unknown transformation %q", transf)
+	}
+
+	var (
+		store *turbohom.Store
+		err   error
+	)
+	switch {
+	case dataFile != "":
+		store, err = turbohom.OpenFile(dataFile, opts)
+		if err != nil {
+			return err
+		}
+	case dataset != "":
+		ds, err := generated(dataset, scale)
+		if err != nil {
+			return err
+		}
+		store = turbohom.New(ds.Triples, opts)
+	default:
+		return fmt.Errorf("one of -data or -dataset is required")
+	}
+
+	// Benchmark query IDs resolve against the named workload, whether the
+	// triples came from the generator or from a file.
+	var queries []datagen.Query
+	if queryID != "" {
+		if dataset == "" {
+			return fmt.Errorf("-id needs -dataset to name the workload")
+		}
+		queries, err = workloadQueries(dataset)
+		if err != nil {
+			return err
+		}
+	}
+
+	st := store.Stats()
+	fmt.Printf("loaded %d triples -> %d vertices, %d edges (%s transformation)\n",
+		st.Triples, st.Vertices, st.Edges, st.Transformation)
+
+	query := queryStr
+	switch {
+	case queryFile != "":
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		query = string(b)
+	case queryID != "":
+		for _, q := range queries {
+			if strings.EqualFold(q.ID, queryID) {
+				query = q.Text
+			}
+		}
+		if query == "" {
+			return fmt.Errorf("query %s not part of dataset %s", queryID, dataset)
+		}
+	}
+	if query == "" {
+		return fmt.Errorf("no query: use -query, -query-file, or -id")
+	}
+
+	if timeIt {
+		n, err := store.Count(query)
+		if err != nil {
+			return err
+		}
+		d := bench.Measure(func() {
+			if _, err := store.Count(query); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("%d solutions in %s ms (5 runs, best/worst dropped)\n", n, bench.Fmt(d))
+		return nil
+	}
+
+	if countOnly {
+		n, err := store.Count(query)
+		if err != nil {
+			return err
+		}
+		fmt.Println(n)
+		return nil
+	}
+
+	res, err := store.Query(query)
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for i, row := range res.Rows {
+		if maxRows > 0 && i == maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, t := range row {
+			cells[j] = string(t)
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+func generated(name string, scale int) (*datagen.Dataset, error) {
+	switch strings.ToLower(name) {
+	case "lubm":
+		return datagen.LUBMDataset(scale), nil
+	case "bsbm":
+		return datagen.BSBMDataset(scale * 100), nil
+	case "yago":
+		return datagen.YAGODataset(scale * 1000), nil
+	case "btc":
+		return datagen.BTCDataset(scale * 1000), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (lubm, bsbm, yago, btc)", name)
+	}
+}
+
+func workloadQueries(name string) ([]datagen.Query, error) {
+	switch strings.ToLower(name) {
+	case "lubm":
+		return datagen.LUBMQueries(), nil
+	case "bsbm":
+		return datagen.BSBMQueries(), nil
+	case "yago":
+		return datagen.YAGOQueries(), nil
+	case "btc":
+		return datagen.BTCQueries(), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}

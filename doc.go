@@ -1,0 +1,35 @@
+// Package turbohom is an in-memory RDF store and SPARQL engine built on
+// subgraph-isomorphism technology, reproducing "Taming Subgraph Isomorphism
+// for RDF Query Processing" (Kim, Shin, Han, Hong, Chafi — VLDB 2015).
+//
+// The paper's thesis is that a state-of-the-art subgraph isomorphism
+// algorithm (TurboISO), relaxed to graph homomorphism and tamed for RDF,
+// outperforms purpose-built RDF engines — often by orders of magnitude.
+// This package is the public face of that system:
+//
+//   - Store loads RDF triples (from memory or N-Triples), transforms them
+//     into a labeled graph under either the direct or the type-aware
+//     transformation (paper §3.2, §4.1), and answers SPARQL queries —
+//     basic graph patterns with FILTER, OPTIONAL, and UNION — through the
+//     TurboHOM++ matching engine with its full optimization suite (+INT,
+//     -NLF, -DEG, +REUSE; paper §4.3) and parallel execution (§5.2).
+//
+//   - Graph and Pattern expose the underlying matcher for generic labeled
+//     graphs: classic subgraph isomorphism and e-graph homomorphism
+//     (paper Definitions 1 and 2) without any RDF machinery.
+//
+// # Quick start
+//
+//	store, err := turbohom.OpenFile("data.nt", nil)
+//	if err != nil { ... }
+//	res, err := store.Query(`
+//	    PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+//	    SELECT ?x WHERE { ?x rdf:type ub:Student . }`)
+//
+// The internal packages hold the substrates: the matching engine
+// (internal/core), graph storage (internal/graph), transformations
+// (internal/transform), the SPARQL front end (internal/sparql,
+// internal/engine), two baseline RDF engines used by the paper's
+// experiments (internal/baseline/...), benchmark dataset generators
+// (internal/datagen), and the experiment harness (internal/bench).
+package turbohom

@@ -1,0 +1,98 @@
+// Inference walkthrough: the paper loads "original triples as well as
+// inferred triples" (§7.1) — without materialized inference, most LUBM
+// queries return nothing. This example builds a tiny ontology, shows the
+// before/after of each rule family, and runs queries that only succeed on
+// the materialized graph.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	turbohom "repro"
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+)
+
+const ns = "http://uni.example/"
+
+func iri(s string) turbohom.Term { return turbohom.NewIRI(ns + s) }
+
+func main() {
+	sub := func(a, b string) turbohom.Triple {
+		return turbohom.Triple{S: iri(a), P: rdf.SubClassTerm, O: iri(b)}
+	}
+	subP := func(a, b string) turbohom.Triple {
+		return turbohom.Triple{S: iri(a), P: rdf.NewIRI(rdf.RDFSSubProp), O: iri(b)}
+	}
+
+	// TBox: a miniature univ-bench.
+	ontology := []turbohom.Triple{
+		sub("FullProfessor", "Professor"),
+		sub("Professor", "Faculty"),
+		sub("Faculty", "Person"),
+		subP("headOf", "worksFor"),
+		subP("worksFor", "memberOf"),
+		{S: iri("degreeFrom"), P: rdf.NewIRI(rdf.OWLInverseOf), O: iri("hasAlumnus")},
+		{S: iri("subOrganizationOf"), P: rdf.TypeTerm, O: rdf.NewIRI(rdf.OWLTransitive)},
+	}
+
+	// ABox: one professor heading a department inside a university.
+	facts := []turbohom.Triple{
+		{S: iri("kim"), P: turbohom.TypeTerm, O: iri("FullProfessor")},
+		{S: iri("kim"), P: iri("headOf"), O: iri("cs")},
+		{S: iri("kim"), P: iri("degreeFrom"), O: iri("mit")},
+		{S: iri("cs"), P: iri("subOrganizationOf"), O: iri("engineering")},
+		{S: iri("engineering"), P: iri("subOrganizationOf"), O: iri("univ1")},
+	}
+
+	raw := append(append([]turbohom.Triple{}, ontology...), facts...)
+
+	// Extract the rules from the TBox, add the paper's class-definition
+	// rule (headOf implies Chair), and materialize.
+	rules := datagen.ExtractRules(raw)
+	rules.AddPropertyClass(iri("headOf"), iri("Chair"))
+	full := datagen.Materialize(raw, rules)
+	fmt.Printf("%d asserted triples -> %d after materialization\n\n", len(raw), len(full))
+
+	before := turbohom.New(raw, nil)
+	after := turbohom.New(full, nil)
+
+	show := func(title, q string) {
+		nb, err := before.Count(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		na, err := after.Count(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-55s  before: %d   after: %d\n", title, nb, na)
+	}
+
+	const prefix = `
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		PREFIX u: <http://uni.example/>
+	`
+	// Note the first query works even before materialization: the
+	// type-aware transformation folds rdfs:subClassOf into vertex labels
+	// transitively (paper §4.1, Definition 3), so class closure is the one
+	// rule family the engine gets for free. Everything else needs the
+	// materializer.
+	show("subclass closure: ?x rdf:type u:Person",
+		prefix+`SELECT ?x WHERE { ?x rdf:type u:Person . }`)
+	show("subproperty closure: ?x u:memberOf u:cs",
+		prefix+`SELECT ?x WHERE { ?x u:memberOf u:cs . }`)
+	show("inverse: u:mit u:hasAlumnus ?x",
+		prefix+`SELECT ?x WHERE { u:mit u:hasAlumnus ?x . }`)
+	show("transitivity: ?x u:subOrganizationOf u:univ1",
+		prefix+`SELECT ?x WHERE { ?x u:subOrganizationOf u:univ1 . }`)
+	show("class definition: ?x rdf:type u:Chair",
+		prefix+`SELECT ?x WHERE { ?x rdf:type u:Chair . }`)
+
+	fmt.Println("\nEvery 'before: 0' line is a query the paper's benchmarks rely")
+	fmt.Println("on that only the materialized graph can answer — the reason the")
+	fmt.Println("standard LUBM loading includes inferred triples. Class closure")
+	fmt.Println("alone already works: the type-aware transformation computes it")
+	fmt.Println("while folding types into labels (Definition 3).")
+}

@@ -1,0 +1,81 @@
+// Labeled-graph matching without RDF: the paper's Figure 1 run through the
+// public Graph/Pattern API, showing the difference between subgraph
+// isomorphism (Definition 1) and e-graph homomorphism (Definition 2) — the
+// single relaxation that turns a subgraph isomorphism algorithm into an RDF
+// pattern matcher.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	turbohom "repro"
+)
+
+func main() {
+	// Data graph g1 (paper Figure 1b, reconstructed from the published
+	// solution set).
+	gb := turbohom.NewGraphBuilder()
+	v0 := gb.AddVertex("B")
+	v1 := gb.AddVertex("A")
+	v2 := gb.AddVertex("B")
+	v3 := gb.AddVertex("A", "D")
+	v4 := gb.AddVertex("C")
+	v5 := gb.AddVertex("C", "E")
+	gb.AddEdge(v0, v1, "a")
+	gb.AddEdge(v0, v4, "b")
+	gb.AddEdge(v2, v1, "a")
+	gb.AddEdge(v2, v3, "a")
+	gb.AddEdge(v2, v5, "b")
+	gb.AddEdge(v3, v4, "c")
+	gb.AddEdge(v3, v5, "c")
+	g := gb.Build()
+	fmt.Printf("data graph: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	// Query graph q1 (Figure 1a): u0 unlabeled, u1{A}, u2{B}, u3{A},
+	// u4{C}; one edge label left blank.
+	p := turbohom.NewPattern()
+	u0 := p.AddVertex()
+	u1 := p.AddVertex("A")
+	u2 := p.AddVertex("B")
+	u3 := p.AddVertex("A")
+	u4 := p.AddVertex("C")
+	p.AddEdge(u0, u1, "a")
+	p.AddEdge(u0, u4, "b")
+	p.AddEdge(u2, u1, "a")
+	p.AddEdge(u2, u3, "a")
+	p.AddWildcardEdge(u3, u4)
+
+	iso, err := g.FindIsomorphisms(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subgraph isomorphisms (injective): %d\n", len(iso))
+	for _, m := range iso {
+		printMapping(m)
+	}
+
+	hom, err := g.FindHomomorphisms(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ne-graph homomorphisms (injectivity dropped): %d\n", len(hom))
+	for _, m := range hom {
+		printMapping(m)
+	}
+
+	fmt.Println("\nThe two extra homomorphisms map u0 and u2 to the same data")
+	fmt.Println("vertex — the RDF pattern-matching semantics the paper obtains")
+	fmt.Println("from TurboISO by removing one constraint (§2.2).")
+}
+
+func printMapping(m []int) {
+	fmt.Print("  {")
+	for u, v := range m {
+		if u > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("u%d->v%d", u, v)
+	}
+	fmt.Println("}")
+}

@@ -1,0 +1,82 @@
+// LUBM benchmark walkthrough: generate the paper's main dataset at a small
+// scale, load it into TurboHOM++ and the two baseline engines, and compare
+// solution counts and elapsed times over all 14 queries — a miniature of
+// the paper's Table 3 experiment.
+//
+//	go run ./examples/lubm [-scale 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	turbohom "repro"
+	"repro/internal/baseline/bitmat"
+	"repro/internal/baseline/rdf3x"
+	"repro/internal/datagen"
+)
+
+func main() {
+	scale := flag.Int("scale", 2, "LUBM scale factor (universities)")
+	flag.Parse()
+
+	fmt.Printf("generating LUBM%d (with inferred triples)...\n", *scale)
+	ds := datagen.LUBMDataset(*scale)
+	fmt.Printf("%d triples\n\n", len(ds.Triples))
+
+	turbo := turbohom.New(ds.Triples, nil)
+	merge := rdf3x.Load(ds.Triples)
+	bits := bitmat.Load(ds.Triples)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "query\tsolutions\tTurboHOM++\tRDF-3X\tbitmap\t")
+	for _, q := range ds.Queries {
+		n, err := turbo.Count(q.Text)
+		if err != nil {
+			log.Fatalf("%s: %v", q.ID, err)
+		}
+
+		tTurbo := timeOf(func() { mustCount(turbo.Count, q.Text, n) })
+		tMerge := timeOf(func() { mustCount(merge.Count, q.Text, n) })
+		tBits := timeOf(func() { mustCount(bits.Count, q.Text, n) })
+
+		kind := "constant"
+		if q.Increasing {
+			kind = "increasing"
+		}
+		fmt.Fprintf(w, "%s (%s)\t%d\t%v\t%v\t%v\t\n", q.ID, kind, n, tTurbo, tMerge, tBits)
+	}
+	w.Flush()
+
+	fmt.Println("\nThe shape to look for (paper §7.2): TurboHOM++ leads everywhere;")
+	fmt.Println("constant-solution queries stay flat as -scale grows, while the")
+	fmt.Println("baselines' scan-proportional costs keep rising.")
+}
+
+func mustCount(f func(string) (int, error), q string, want int) {
+	n, err := f(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n != want {
+		log.Fatalf("engine disagreement: %d vs %d", n, want)
+	}
+}
+
+// timeOf reports the best of three runs — cheap and stable enough for a
+// demo; the real protocol lives in internal/bench.
+func timeOf(f func()) time.Duration {
+	best := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best.Round(10 * time.Microsecond)
+}

@@ -1,0 +1,152 @@
+// Social-graph scenario: the paper motivates RDF engines with social
+// networks among its application areas. This example models a small social
+// platform and exercises the general SPARQL features of §5.1 — OPTIONAL,
+// FILTER (comparisons, regex, bound), and UNION — plus parallel matching.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	turbohom "repro"
+)
+
+const ns = "http://social.example/"
+
+func iri(s string) turbohom.Term { return turbohom.NewIRI(ns + s) }
+
+func socialTriples() []turbohom.Triple {
+	var ts []turbohom.Triple
+	add := func(s, p string, o turbohom.Term) {
+		ts = append(ts, turbohom.Triple{S: iri(s), P: iri(p), O: o})
+	}
+	typ := func(s, class string) {
+		ts = append(ts, turbohom.Triple{S: iri(s), P: turbohom.TypeTerm, O: iri(class)})
+	}
+
+	people := []struct {
+		id, name string
+		age      int64
+		city     string
+	}{
+		{"ada", "Ada", 36, "london"},
+		{"alan", "Alan", 41, "london"},
+		{"grace", "Grace", 85, "newyork"},
+		{"linus", "Linus", 55, "helsinki"},
+		{"margaret", "Margaret", 88, "boston"},
+	}
+	for _, p := range people {
+		typ(p.id, "Person")
+		add(p.id, "name", turbohom.NewLiteral(p.name))
+		add(p.id, "age", turbohom.NewIntLiteral(p.age))
+		add(p.id, "livesIn", iri(p.city))
+	}
+	for _, c := range []string{"london", "newyork", "helsinki", "boston"} {
+		typ(c, "City")
+	}
+
+	follows := [][2]string{
+		{"ada", "alan"}, {"alan", "ada"}, {"grace", "ada"},
+		{"linus", "grace"}, {"margaret", "grace"}, {"ada", "margaret"},
+	}
+	for _, f := range follows {
+		add(f[0], "follows", iri(f[1]))
+	}
+
+	posts := []struct {
+		id, author, text string
+	}{
+		{"p1", "ada", "Notes on the Analytical Engine"},
+		{"p2", "alan", "On computable numbers"},
+		{"p3", "grace", "Compilers and how to build them"},
+		{"p4", "ada", "More engine diagrams"},
+	}
+	for _, p := range posts {
+		typ(p.id, "Post")
+		add(p.id, "author", iri(p.author))
+		add(p.id, "text", turbohom.NewLiteral(p.text))
+	}
+	// Only some posts have likes — OPTIONAL territory.
+	add("p1", "likedBy", iri("alan"))
+	add("p1", "likedBy", iri("grace"))
+	add("p3", "likedBy", iri("linus"))
+	return ts
+}
+
+func run(store *turbohom.Store, title, q string) {
+	res, err := store.Query(q)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	fmt.Printf("%s (%d rows)\n", title, res.Len())
+	for _, row := range res.Rows {
+		fmt.Print("  ")
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			if cell == "" {
+				fmt.Print("-")
+			} else {
+				fmt.Print(string(cell))
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func main() {
+	// Two workers: the paper's §5.2 parallelization, dynamic chunks of
+	// starting vertices.
+	store := turbohom.New(socialTriples(), &turbohom.Options{Workers: 2})
+
+	const prefix = `
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		PREFIX s: <http://social.example/>
+	`
+
+	run(store, "mutual follows (cycle pattern)", prefix+`
+		SELECT ?a ?b WHERE {
+			?a s:follows ?b .
+			?b s:follows ?a .
+		}`)
+
+	run(store, "posts with optional likes", prefix+`
+		SELECT ?text ?fan WHERE {
+			?post rdf:type s:Post .
+			?post s:text ?text .
+			OPTIONAL { ?post s:likedBy ?fan . }
+		}`)
+
+	run(store, "authors under 60 whose posts mention engines (FILTER + regex)", prefix+`
+		SELECT ?name ?text WHERE {
+			?post s:author ?p .
+			?post s:text ?text .
+			?p s:name ?name .
+			?p s:age ?age .
+			FILTER(?age < 60)
+			FILTER regex(?text, "[Ee]ngine")
+		}`)
+
+	run(store, "Londoners or people Grace follows (UNION)", prefix+`
+		SELECT ?name WHERE {
+			{ ?p s:livesIn s:london . ?p s:name ?name . }
+			UNION
+			{ s:grace s:follows ?p . ?p s:name ?name . }
+		}`)
+
+	run(store, "people without any posts (OPTIONAL + !bound)", prefix+`
+		SELECT ?name WHERE {
+			?p rdf:type s:Person .
+			?p s:name ?name .
+			OPTIONAL { ?post s:author ?p . }
+			FILTER(!bound(?post))
+		}`)
+
+	run(store, "follower-of-follower reach (homomorphism allows ?a = ?c)", prefix+`
+		SELECT ?a ?c WHERE {
+			?a s:follows ?b .
+			?b s:follows ?c .
+		}`)
+}

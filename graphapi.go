@@ -1,0 +1,191 @@
+package turbohom
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Graph is a generic labeled multigraph for direct subgraph matching,
+// independent of RDF. Vertices carry label sets, edges carry one label.
+// Build it with NewGraphBuilder; match Patterns against it with
+// FindIsomorphisms or FindHomomorphisms (paper Definitions 1 and 2).
+type Graph struct {
+	g      *graph.Graph
+	labels map[string]uint32
+	elabel map[string]uint32
+}
+
+// GraphBuilder accumulates vertices and edges for a Graph.
+type GraphBuilder struct {
+	b      *graph.Builder
+	n      int
+	labels map[string]uint32
+	elabel map[string]uint32
+}
+
+// NewGraphBuilder returns an empty builder.
+func NewGraphBuilder() *GraphBuilder {
+	return &GraphBuilder{
+		b:      graph.NewBuilder(),
+		labels: map[string]uint32{},
+		elabel: map[string]uint32{},
+	}
+}
+
+func internLabel(m map[string]uint32, s string) uint32 {
+	if id, ok := m[s]; ok {
+		return id
+	}
+	id := uint32(len(m))
+	m[s] = id
+	return id
+}
+
+// AddVertex appends a vertex with the given labels and returns its ID.
+func (gb *GraphBuilder) AddVertex(labels ...string) int {
+	v := uint32(gb.n)
+	gb.n++
+	gb.b.EnsureVertex(v)
+	for _, l := range labels {
+		gb.b.AddVertexLabel(v, internLabel(gb.labels, l))
+	}
+	return int(v)
+}
+
+// AddEdge adds a directed labeled edge between vertices returned by
+// AddVertex.
+func (gb *GraphBuilder) AddEdge(from, to int, label string) {
+	gb.b.AddEdge(uint32(from), internLabel(gb.elabel, label), uint32(to))
+}
+
+// Build freezes the graph.
+func (gb *GraphBuilder) Build() *Graph {
+	return &Graph{g: gb.b.Build(), labels: gb.labels, elabel: gb.elabel}
+}
+
+// Pattern is a query graph over the same label vocabulary.
+type Pattern struct {
+	vertices []patternVertex
+	edges    []patternEdge
+}
+
+type patternVertex struct{ labels []string }
+
+type patternEdge struct {
+	from, to int
+	label    string
+	wildcard bool
+}
+
+// NewPattern returns an empty pattern.
+func NewPattern() *Pattern { return &Pattern{} }
+
+// AddVertex appends a pattern vertex requiring the given labels (none means
+// unconstrained, the paper's blank label set).
+func (p *Pattern) AddVertex(labels ...string) int {
+	p.vertices = append(p.vertices, patternVertex{labels: labels})
+	return len(p.vertices) - 1
+}
+
+// AddEdge adds a directed edge that must match the given label.
+func (p *Pattern) AddEdge(from, to int, label string) {
+	p.edges = append(p.edges, patternEdge{from: from, to: to, label: label})
+}
+
+// AddWildcardEdge adds a directed edge matching any label (the paper's
+// blank edge label).
+func (p *Pattern) AddWildcardEdge(from, to int) {
+	p.edges = append(p.edges, patternEdge{from: from, to: to, wildcard: true})
+}
+
+// compile lowers the pattern onto g's label vocabulary. ok is false when a
+// pattern label never occurs in the graph (no matches possible).
+func (g *Graph) compile(p *Pattern) (*core.QueryGraph, bool) {
+	qg := core.NewQueryGraph()
+	for _, v := range p.vertices {
+		var ls []uint32
+		for _, l := range v.labels {
+			id, ok := g.labels[l]
+			if !ok {
+				return nil, false
+			}
+			ls = append(ls, id)
+		}
+		qg.AddVertex(ls, core.NoID)
+	}
+	for _, e := range p.edges {
+		if e.wildcard {
+			qg.AddVarEdge(e.from, e.to, -1)
+			continue
+		}
+		id, ok := g.elabel[e.label]
+		if !ok {
+			return nil, false
+		}
+		qg.AddEdge(e.from, e.to, id)
+	}
+	return qg, true
+}
+
+// FindIsomorphisms returns every subgraph isomorphism of p in g as vertex
+// mappings: result[i][u] is the data vertex matched to pattern vertex u.
+func (g *Graph) FindIsomorphisms(p *Pattern) ([][]int, error) {
+	return g.find(p, core.Isomorphism)
+}
+
+// FindHomomorphisms returns every graph homomorphism (the RDF matching
+// semantics: injectivity dropped) of p in g.
+func (g *Graph) FindHomomorphisms(p *Pattern) ([][]int, error) {
+	return g.find(p, core.Homomorphism)
+}
+
+func (g *Graph) find(p *Pattern, sem core.Semantics) ([][]int, error) {
+	qg, ok := g.compile(p)
+	if !ok {
+		return nil, nil
+	}
+	matches, err := core.Collect(g.g, qg, sem, core.Optimized())
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, len(matches))
+	for i, m := range matches {
+		row := make([]int, len(m.Vertices))
+		for u, v := range m.Vertices {
+			row[u] = int(v)
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// NumVertices reports the data graph's vertex count.
+func (g *Graph) NumVertices() int { return g.g.NumVertices() }
+
+// NumEdges reports the data graph's edge count.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// ProfileResult reports where a match run spent its effort: candidate
+// regions explored, candidate vertices collected, and search-tree nodes
+// visited — the counters behind the paper's §3 profiling discussion.
+type ProfileResult = core.ProfileResult
+
+// ProfileIsomorphisms runs FindIsomorphisms sequentially and returns effort
+// counters instead of the matches.
+func (g *Graph) ProfileIsomorphisms(p *Pattern) (ProfileResult, error) {
+	return g.profile(p, core.Isomorphism)
+}
+
+// ProfileHomomorphisms runs FindHomomorphisms sequentially and returns
+// effort counters instead of the matches.
+func (g *Graph) ProfileHomomorphisms(p *Pattern) (ProfileResult, error) {
+	return g.profile(p, core.Homomorphism)
+}
+
+func (g *Graph) profile(p *Pattern, sem core.Semantics) (ProfileResult, error) {
+	qg, ok := g.compile(p)
+	if !ok {
+		return ProfileResult{}, nil
+	}
+	return core.Profile(g.g, qg, sem, core.Optimized())
+}

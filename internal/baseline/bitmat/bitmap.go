@@ -1,0 +1,43 @@
+// Package bitmat implements a bitmap-indexing RDF engine in the style of the
+// paper's "System-X" competitor (and of BitMat/TripleBit): per-predicate
+// bitmap indexes over subjects and objects, compressed sparse adjacency per
+// predicate, bound-variable nested-index joins with bitmap candidate
+// pruning, and relational FILTER / OPTIONAL / UNION evaluation on top.
+//
+// Its cost profile is the one the paper contrasts with graph exploration:
+// per-pattern index scans whose size grows with the dataset, joined through
+// materialized intermediates.
+package bitmat
+
+import "math/bits"
+
+// bitmap is a fixed-capacity dense bitset over uint32 IDs.
+type bitmap []uint64
+
+func newBitmap(n int) bitmap { return make(bitmap, (n+63)/64) }
+
+func (b bitmap) set(i uint32)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitmap) get(i uint32) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+
+// and intersects b with o in place. The bitmaps must have equal capacity.
+func (b bitmap) and(o bitmap) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// clone copies the bitmap.
+func (b bitmap) clone() bitmap {
+	c := make(bitmap, len(b))
+	copy(c, b)
+	return c
+}
+
+// count returns the number of set bits.
+func (b bitmap) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,399 @@
+package bitmat
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/transform"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+
+func t3(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: iri(s), P: iri(p), O: iri(o)}
+}
+
+// universityTriples is a small dataset shared across tests.
+func universityTriples() []rdf.Triple {
+	return []rdf.Triple{
+		{S: iri("alice"), P: rdf.TypeTerm, O: iri("Student")},
+		{S: iri("bob"), P: rdf.TypeTerm, O: iri("Student")},
+		{S: iri("carol"), P: rdf.TypeTerm, O: iri("Professor")},
+		t3("alice", "advisor", "carol"),
+		t3("bob", "advisor", "carol"),
+		t3("carol", "teacherOf", "course1"),
+		t3("alice", "takesCourse", "course1"),
+		t3("bob", "takesCourse", "course2"),
+		{S: iri("alice"), P: iri("name"), O: rdf.NewLiteral("Alice")},
+		{S: iri("alice"), P: iri("age"), O: rdf.NewIntLiteral(22)},
+		{S: iri("bob"), P: iri("age"), O: rdf.NewIntLiteral(27)},
+	}
+}
+
+func TestLoadDedup(t *testing.T) {
+	ts := universityTriples()
+	ts = append(ts, ts[0], ts[3]) // duplicates
+	s := Load(ts)
+	if s.NumTriples() != len(universityTriples()) {
+		t.Fatalf("NumTriples = %d, want %d", s.NumTriples(), len(universityTriples()))
+	}
+	if s.NumPredicates() != 6 {
+		t.Fatalf("NumPredicates = %d, want 6", s.NumPredicates())
+	}
+}
+
+func TestPredIndexLookups(t *testing.T) {
+	s := Load(universityTriples())
+	advisorID, ok := s.dict.Lookup(iri("advisor"))
+	if !ok {
+		t.Fatal("advisor predicate not interned")
+	}
+	pi := &s.preds[s.pred(advisorID)]
+	carol, _ := s.dict.Lookup(iri("carol"))
+	alice, _ := s.dict.Lookup(iri("alice"))
+	bob, _ := s.dict.Lookup(iri("bob"))
+
+	subs := pi.subjectsOf(carol)
+	if len(subs) != 2 {
+		t.Fatalf("subjectsOf(carol) = %v, want 2 entries", subs)
+	}
+	if !pi.has(alice, carol) || !pi.has(bob, carol) {
+		t.Fatal("has() missed existing advisor edges")
+	}
+	if pi.has(carol, alice) {
+		t.Fatal("has() invented a reversed edge")
+	}
+	if got := pi.objectsOf(alice); len(got) != 1 || got[0] != carol {
+		t.Fatalf("objectsOf(alice) = %v, want [carol]", got)
+	}
+}
+
+func TestBitmapOps(t *testing.T) {
+	b := newBitmap(200)
+	for _, i := range []uint32{0, 63, 64, 199} {
+		b.set(i)
+	}
+	if !b.get(0) || !b.get(63) || !b.get(64) || !b.get(199) {
+		t.Fatal("set bits not observed")
+	}
+	if b.get(1) || b.get(198) {
+		t.Fatal("unset bits observed")
+	}
+	if b.count() != 4 {
+		t.Fatalf("count = %d, want 4", b.count())
+	}
+	c := b.clone()
+	o := newBitmap(200)
+	o.set(63)
+	o.set(100)
+	c.and(o)
+	if c.count() != 1 || !c.get(63) {
+		t.Fatalf("and: got count %d", c.count())
+	}
+	// Original untouched by clone's and.
+	if b.count() != 4 {
+		t.Fatal("clone aliased the original")
+	}
+}
+
+func TestBGPJoin(t *testing.T) {
+	s := Load(universityTriples())
+	// Students advised by carol who take a course she teaches.
+	_, rows, err := s.Query(`
+		PREFIX ex: <http://ex.org/>
+		SELECT ?x WHERE {
+			?x ex:advisor ex:carol .
+			ex:carol ex:teacherOf ?c .
+			?x ex:takesCourse ?c .
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != iri("alice") {
+		t.Fatalf("rows = %v, want [[alice]]", rows)
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	s := Load(universityTriples())
+	_, rows, err := s.Query(`
+		PREFIX ex: <http://ex.org/>
+		SELECT ?p ?o WHERE { ex:alice ?p ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("alice has %d triples, want 5: %v", len(rows), rows)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := Load(universityTriples())
+	_, rows, err := s.Query(`
+		PREFIX ex: <http://ex.org/>
+		SELECT ?x WHERE { ?x ex:age ?a . FILTER(?a > 25) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != iri("bob") {
+		t.Fatalf("rows = %v, want [[bob]]", rows)
+	}
+}
+
+func TestOptional(t *testing.T) {
+	s := Load(universityTriples())
+	_, rows, err := s.Query(`
+		PREFIX ex: <http://ex.org/>
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		SELECT ?x ?n WHERE {
+			?x rdf:type ex:Student .
+			OPTIONAL { ?x ex:name ?n . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	byX := map[rdf.Term]rdf.Term{}
+	for _, r := range rows {
+		byX[r[0]] = r[1]
+	}
+	if byX[iri("alice")] != rdf.NewLiteral("Alice") {
+		t.Fatalf("alice name = %q", byX[iri("alice")])
+	}
+	if byX[iri("bob")] != rdf.Term("") {
+		t.Fatalf("bob name should be unbound, got %q", byX[iri("bob")])
+	}
+}
+
+func TestUnion(t *testing.T) {
+	s := Load(universityTriples())
+	_, rows, err := s.Query(`
+		PREFIX ex: <http://ex.org/>
+		SELECT ?x WHERE {
+			{ ?x ex:takesCourse ex:course1 . } UNION { ?x ex:takesCourse ex:course2 . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+}
+
+func TestUnknownConstant(t *testing.T) {
+	s := Load(universityTriples())
+	n, err := s.Count(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:advisor ex:nobody . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("count = %d, want 0", n)
+	}
+}
+
+func TestDistinctLimitOffset(t *testing.T) {
+	s := Load(universityTriples())
+	_, rows, err := s.Query(`
+		PREFIX ex: <http://ex.org/>
+		SELECT DISTINCT ?y WHERE { ?x ex:advisor ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("distinct rows = %d, want 1", len(rows))
+	}
+	_, rows, err = s.Query(`
+		PREFIX ex: <http://ex.org/>
+		SELECT ?x WHERE { ?x ex:advisor ?y . } LIMIT 1 OFFSET 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("limit/offset rows = %d, want 1", len(rows))
+	}
+}
+
+func TestRepeatedVariable(t *testing.T) {
+	ts := []rdf.Triple{
+		t3("a", "knows", "a"),
+		t3("a", "knows", "b"),
+		t3("b", "knows", "b"),
+	}
+	s := Load(ts)
+	n, err := s.Count(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:knows ?x . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("self-loop count = %d, want 2", n)
+	}
+}
+
+// TestDifferentialAgainstTurboHOM cross-checks solution counts between the
+// bitmap engine and the matcher-backed engine on random BGPs over random
+// graphs.
+func TestDifferentialAgainstTurboHOM(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	preds := []string{"p0", "p1", "p2"}
+	for trial := 0; trial < 30; trial++ {
+		nv := 8 + rng.Intn(8)
+		var ts []rdf.Triple
+		for i := 0; i < nv*3; i++ {
+			s := fmt.Sprintf("v%d", rng.Intn(nv))
+			o := fmt.Sprintf("v%d", rng.Intn(nv))
+			p := preds[rng.Intn(len(preds))]
+			ts = append(ts, t3(s, p, o))
+		}
+		bm := Load(ts)
+		data := transform.Build(ts, transform.TypeAware)
+		eng := engine.New(data, core.Optimized())
+
+		queries := []string{
+			`PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:p0 ?y . ?y ex:p1 ?z . }`,
+			`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:p0 ?y . ?x ex:p2 ?z . }`,
+			`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:p0 ?y . ?y ex:p1 ?x . }`,
+		}
+		for _, q := range queries {
+			want, err := eng.Count(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := bm.Count(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d query %q: bitmat=%d turbohom=%d", trial, q, got, want)
+			}
+		}
+	}
+}
+
+func TestDeterministicRows(t *testing.T) {
+	s := Load(universityTriples())
+	run := func() []string {
+		_, rows, err := s.Query(`PREFIX ex: <http://ex.org/> SELECT ?x ?y WHERE { ?x ex:advisor ?y . }`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []string
+		for _, r := range rows {
+			keys = append(keys, fmt.Sprint(r))
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic results: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCartesianJoin(t *testing.T) {
+	s := Load(universityTriples())
+	// Two patterns sharing no variables: cartesian product.
+	n, err := s.Count(`PREFIX ex: <http://ex.org/>
+		SELECT ?x ?y WHERE { ?x ex:teacherOf ?a . ?y ex:name ?b . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 { // 1 teacherOf x 1 name
+		t.Fatalf("count = %d, want 1", n)
+	}
+}
+
+func TestVariablePredicateJoin(t *testing.T) {
+	s := Load(universityTriples())
+	// The wildcard-predicate pattern joins through a bound variable,
+	// exercising the full-scan lookup path.
+	_, rows, err := s.Query(`PREFIX ex: <http://ex.org/>
+		SELECT ?p WHERE { ?x ex:advisor ex:carol . ?x ?p ex:course1 . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != iri("takesCourse") {
+		t.Fatalf("rows = %v, want [[takesCourse]]", rows)
+	}
+}
+
+func TestNestedOptionalUnboundJoin(t *testing.T) {
+	s := Load(universityTriples())
+	// The outer OPTIONAL may leave ?c unbound; the inner one joins on it.
+	_, rows, err := s.Query(`PREFIX ex: <http://ex.org/>
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		SELECT ?x ?c ?t WHERE {
+			?x rdf:type ex:Student .
+			OPTIONAL { ?x ex:takesCourse ?c .
+				OPTIONAL { ?teacher ex:teacherOf ?c . } }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestOrderByBitmat(t *testing.T) {
+	s := Load(universityTriples())
+	_, rows, err := s.Query(`PREFIX ex: <http://ex.org/>
+		SELECT ?x ?a WHERE { ?x ex:age ?a . } ORDER BY DESC(?a)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != iri("bob") {
+		t.Fatalf("desc order wrong: %v", rows)
+	}
+	_, rows, err = s.Query(`PREFIX ex: <http://ex.org/>
+		SELECT ?x ?a WHERE { ?x ex:age ?a . } ORDER BY ?a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != iri("alice") {
+		t.Fatalf("asc order wrong: %v", rows)
+	}
+}
+
+func TestCountWithModifiers(t *testing.T) {
+	s := Load(universityTriples())
+	n, err := s.Count(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:advisor ?y . } LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("count with LIMIT = %d, want 1", n)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := Load(universityTriples())
+	if got := s.Explain(); got == "" {
+		t.Fatal("empty explain")
+	}
+}
+
+func TestUnionJoinsWithBase(t *testing.T) {
+	s := Load(universityTriples())
+	// UNION inside a group with a base pattern: hashJoin path.
+	n, err := s.Count(`PREFIX ex: <http://ex.org/>
+		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+		SELECT ?x WHERE {
+			?x rdf:type ex:Student .
+			{ ?x ex:takesCourse ex:course1 . } UNION { ?x ex:takesCourse ex:course2 . }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+}

@@ -1,0 +1,576 @@
+package bitmat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// Query parses and evaluates a SPARQL query (basic graph patterns with
+// FILTER, OPTIONAL, and UNION) and returns the projected rows. Unbound
+// positions hold the empty term.
+func (s *Store) Query(src string) (vars []string, rows [][]rdf.Term, err error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	rel, err := s.evalGroup(q.Where)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(q.OrderBy) > 0 {
+		s.orderRelation(rel, q.OrderBy)
+	}
+	vars = q.ProjectedVars()
+	out := make([][]rdf.Term, 0, len(rel.rows))
+	for _, r := range rel.rows {
+		row := make([]rdf.Term, len(vars))
+		for i, v := range vars {
+			if ci := rel.colIndex(v); ci >= 0 && r[ci] != unbound {
+				row[i] = s.dict.Term(r[ci])
+			}
+		}
+		out = append(out, row)
+	}
+	if q.Distinct {
+		out = dedupTermRows(out)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return vars, out, nil
+}
+
+// Count evaluates the query and returns the solution count without
+// materializing terms (except when DISTINCT forces it).
+func (s *Store) Count(src string) (int, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	if q.Distinct || q.Limit >= 0 || q.Offset > 0 {
+		_, rows, err := s.Query(src)
+		return len(rows), err
+	}
+	rel, err := s.evalGroup(q.Where)
+	if err != nil {
+		return 0, err
+	}
+	return len(rel.rows), nil
+}
+
+// evalGroup evaluates a group pattern: BGP, then UNION chains joined in,
+// then OPTIONAL left joins, then FILTERs.
+func (s *Store) evalGroup(g *sparql.GroupPattern) (*relation, error) {
+	rel, err := s.evalBGP(g.Triples)
+	if err != nil {
+		return nil, err
+	}
+	for _, chain := range g.Unions {
+		alts := make([]*relation, 0, len(chain))
+		for _, alt := range chain {
+			r, err := s.evalGroup(alt)
+			if err != nil {
+				return nil, err
+			}
+			alts = append(alts, r)
+		}
+		rel = hashJoin(rel, union(alts))
+		if len(rel.rows) == 0 {
+			return rel, nil
+		}
+	}
+	for _, opt := range g.Optionals {
+		r, err := s.evalGroup(opt)
+		if err != nil {
+			return nil, err
+		}
+		rel = leftJoin(rel, r)
+	}
+	for _, f := range g.Filters {
+		rel = s.applyFilter(rel, f)
+		if len(rel.rows) == 0 {
+			return rel, nil
+		}
+	}
+	return rel, nil
+}
+
+// applyFilter keeps the rows satisfying the expression, evaluating it over
+// the dictionary terms of the row.
+func (s *Store) applyFilter(rel *relation, f sparql.Expr) *relation {
+	need := map[string]bool{}
+	f.Vars(need)
+	slots := make(map[string]int, len(need))
+	for v := range need {
+		if ci := rel.colIndex(v); ci >= 0 {
+			slots[v] = ci
+		}
+	}
+	out := &relation{cols: rel.cols}
+	b := make(sparql.Bindings, len(slots))
+	for _, r := range rel.rows {
+		clear(b)
+		for v, ci := range slots {
+			if r[ci] != unbound {
+				b[v] = s.dict.Term(r[ci])
+			}
+		}
+		if sparql.EvalFilter(f, b) {
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out
+}
+
+// pattern is a compiled triple pattern.
+type pattern struct {
+	ids  triple    // constant IDs; NoID for variables
+	vars [3]string // variable names; "" for constants
+	est  int       // estimated result size
+	dead bool      // a constant is absent from the dictionary
+}
+
+// compile resolves the pattern constants and estimates its cardinality.
+func (s *Store) compile(tp sparql.TriplePattern) pattern {
+	var p pattern
+	for i, pos := range [3]sparql.TermOrVar{tp.S, tp.P, tp.O} {
+		if pos.IsVar() {
+			p.ids[i] = rdf.NoID
+			p.vars[i] = pos.Var
+			continue
+		}
+		id, ok := s.dict.Lookup(pos.Term)
+		if !ok {
+			p.dead = true
+			return p
+		}
+		p.ids[i] = id
+	}
+	p.est = s.estimate(p)
+	return p
+}
+
+func (s *Store) estimate(p pattern) int {
+	if p.ids[1] == rdf.NoID {
+		return s.n // variable predicate: full scan
+	}
+	slot := s.pred(p.ids[1])
+	if slot < 0 {
+		return 0
+	}
+	pi := &s.preds[slot]
+	switch {
+	case p.ids[0] != rdf.NoID && p.ids[2] != rdf.NoID:
+		if pi.has(p.ids[0], p.ids[2]) {
+			return 1
+		}
+		return 0
+	case p.ids[0] != rdf.NoID:
+		return len(pi.objectsOf(p.ids[0]))
+	case p.ids[2] != rdf.NoID:
+		return len(pi.subjectsOf(p.ids[2]))
+	default:
+		return pi.n
+	}
+}
+
+// evalBGP evaluates a basic graph pattern with a greedy bound-variable
+// nested-index join, pruning scans with per-variable candidate bitmaps.
+func (s *Store) evalBGP(tps []sparql.TriplePattern) (*relation, error) {
+	if len(tps) == 0 {
+		return emptyRelation(), nil
+	}
+	pats := make([]pattern, 0, len(tps))
+	for _, tp := range tps {
+		p := s.compile(tp)
+		if p.dead || p.est == 0 {
+			return noSolutions(), nil
+		}
+		pats = append(pats, p)
+	}
+
+	cand := s.candidateBitmaps(pats)
+
+	remaining := make([]bool, len(pats))
+	for i := range remaining {
+		remaining[i] = true
+	}
+	first := 0
+	for i := range pats {
+		if pats[i].est < pats[first].est {
+			first = i
+		}
+	}
+	rel := s.scan(pats[first], cand)
+	remaining[first] = false
+	bound := map[string]bool{}
+	for _, c := range rel.cols {
+		bound[c] = true
+	}
+
+	for n := 1; n < len(pats); n++ {
+		best, bestConn := -1, false
+		for i, rem := range remaining {
+			if !rem {
+				continue
+			}
+			conn := false
+			for _, v := range pats[i].vars {
+				if v != "" && bound[v] {
+					conn = true
+					break
+				}
+			}
+			if best == -1 || (conn && !bestConn) ||
+				(conn == bestConn && pats[i].est < pats[best].est) {
+				best, bestConn = i, conn
+			}
+		}
+		remaining[best] = false
+		if bestConn {
+			rel = s.extend(rel, pats[best], cand)
+		} else {
+			rel = hashJoin(rel, s.scan(pats[best], cand))
+		}
+		if len(rel.rows) == 0 {
+			return rel, nil
+		}
+		for _, c := range rel.cols {
+			bound[c] = true
+		}
+	}
+	return rel, nil
+}
+
+// candidateBitmaps ANDs, for every variable that appears in two or more
+// constant-predicate patterns, the subject/object bitmaps of those patterns
+// — the BitMat-style pruning step.
+func (s *Store) candidateBitmaps(pats []pattern) map[string]bitmap {
+	uses := map[string]int{}
+	for _, p := range pats {
+		if p.ids[1] == rdf.NoID {
+			continue
+		}
+		if p.vars[0] != "" {
+			uses[p.vars[0]]++
+		}
+		if p.vars[2] != "" {
+			uses[p.vars[2]]++
+		}
+	}
+	cand := map[string]bitmap{}
+	for _, p := range pats {
+		if p.ids[1] == rdf.NoID {
+			continue
+		}
+		slot := s.pred(p.ids[1])
+		if slot < 0 {
+			continue
+		}
+		pi := &s.preds[slot]
+		for pos, bits := range map[int]bitmap{0: pi.subjBits, 2: pi.objBits} {
+			v := p.vars[pos]
+			if v == "" || uses[v] < 2 {
+				continue
+			}
+			if cur, ok := cand[v]; ok {
+				cur.and(bits)
+			} else {
+				cand[v] = bits.clone()
+			}
+		}
+	}
+	return cand
+}
+
+// pass reports whether value x of variable v survives its candidate bitmap.
+func pass(cand map[string]bitmap, v string, x uint32) bool {
+	if v == "" {
+		return true
+	}
+	b, ok := cand[v]
+	return !ok || b.get(x)
+}
+
+// scan materializes one pattern's bindings from the best index.
+func (s *Store) scan(p pattern, cand map[string]bitmap) *relation {
+	rel := &relation{}
+	addCols := func() (si, oi, pi int) {
+		si, oi, pi = -1, -1, -1
+		add := func(v string) int {
+			if v == "" {
+				return -1
+			}
+			if ci := rel.colIndex(v); ci >= 0 {
+				return ci
+			}
+			rel.cols = append(rel.cols, v)
+			return len(rel.cols) - 1
+		}
+		si = add(p.vars[0])
+		pi = add(p.vars[1])
+		oi = add(p.vars[2])
+		return
+	}
+
+	if p.ids[1] == rdf.NoID {
+		// Variable predicate: scan the full triple list.
+		si, oi, pi := addCols()
+		for _, t := range s.triples {
+			if p.ids[0] != rdf.NoID && t[0] != p.ids[0] {
+				continue
+			}
+			if p.ids[2] != rdf.NoID && t[2] != p.ids[2] {
+				continue
+			}
+			if !pass(cand, p.vars[0], t[0]) || !pass(cand, p.vars[2], t[2]) {
+				continue
+			}
+			row := make([]uint32, len(rel.cols))
+			if setRow(row, si, t[0], pi, t[1], oi, t[2]) {
+				rel.rows = append(rel.rows, row)
+			}
+		}
+		return rel
+	}
+
+	slot := s.pred(p.ids[1])
+	if slot < 0 {
+		return noSolutions()
+	}
+	idx := &s.preds[slot]
+	si, oi, pi := addCols()
+	emit := func(sv, ov uint32) {
+		if !pass(cand, p.vars[0], sv) || !pass(cand, p.vars[2], ov) {
+			return
+		}
+		row := make([]uint32, len(rel.cols))
+		if setRow(row, si, sv, pi, p.ids[1], oi, ov) {
+			rel.rows = append(rel.rows, row)
+		}
+	}
+	switch {
+	case p.ids[0] != rdf.NoID && p.ids[2] != rdf.NoID:
+		if idx.has(p.ids[0], p.ids[2]) {
+			emit(p.ids[0], p.ids[2])
+		}
+	case p.ids[0] != rdf.NoID:
+		for _, o := range idx.objectsOf(p.ids[0]) {
+			emit(p.ids[0], o)
+		}
+	case p.ids[2] != rdf.NoID:
+		for _, sv := range idx.subjectsOf(p.ids[2]) {
+			emit(sv, p.ids[2])
+		}
+	default:
+		for i, sv := range idx.subjIDs {
+			for _, o := range idx.objAdj[idx.subjOff[i]:idx.subjOff[i+1]] {
+				emit(sv, o)
+			}
+		}
+	}
+	return rel
+}
+
+// setRow writes the variable bindings into row, rejecting rows where one
+// variable is used in several positions with conflicting values
+// (?x ?p ?x patterns share a column index).
+func setRow(row []uint32, si int, sv uint32, pi int, pv uint32, oi int, ov uint32) bool {
+	if si >= 0 && si == oi && sv != ov {
+		return false
+	}
+	if si >= 0 && si == pi && sv != pv {
+		return false
+	}
+	if oi >= 0 && oi == pi && ov != pv {
+		return false
+	}
+	if si >= 0 {
+		row[si] = sv
+	}
+	if pi >= 0 {
+		row[pi] = pv
+	}
+	if oi >= 0 {
+		row[oi] = ov
+	}
+	return true
+}
+
+// extend nested-index joins the relation with one connected pattern: for
+// every row, bound positions become constants and the per-predicate index
+// enumerates the rest.
+func (s *Store) extend(rel *relation, p pattern, cand map[string]bitmap) *relation {
+	out := &relation{cols: append([]string(nil), rel.cols...)}
+	// New columns introduced by this pattern.
+	colOf := [3]int{-1, -1, -1}
+	isNew := [3]bool{}
+	for i, v := range p.vars {
+		if v == "" {
+			continue
+		}
+		if ci := out.colIndex(v); ci >= 0 {
+			colOf[i] = ci
+		} else {
+			out.cols = append(out.cols, v)
+			colOf[i] = len(out.cols) - 1
+			isNew[i] = true
+		}
+	}
+
+	for _, r := range rel.rows {
+		// Resolve the pattern against this row.
+		var want triple
+		for i := range want {
+			switch {
+			case p.ids[i] != rdf.NoID:
+				want[i] = p.ids[i]
+			case !isNew[i] && r[colOf[i]] != unbound:
+				want[i] = r[colOf[i]]
+			default:
+				want[i] = rdf.NoID
+			}
+		}
+		s.lookup(want, p, func(sv, pv, ov uint32) {
+			if !pass(cand, p.vars[0], sv) || !pass(cand, p.vars[2], ov) {
+				return
+			}
+			row := make([]uint32, len(out.cols))
+			copy(row, r)
+			vals := [3]uint32{sv, pv, ov}
+			for i := range vals {
+				if colOf[i] >= 0 {
+					if !isNew[i] && row[colOf[i]] != unbound && row[colOf[i]] != vals[i] {
+						return
+					}
+					row[colOf[i]] = vals[i]
+				}
+			}
+			// Repeated variable inside this pattern.
+			for i := 0; i < 3; i++ {
+				for j := i + 1; j < 3; j++ {
+					if colOf[i] >= 0 && colOf[i] == colOf[j] && vals[i] != vals[j] {
+						return
+					}
+				}
+			}
+			out.rows = append(out.rows, row)
+		})
+	}
+	return out
+}
+
+// lookup enumerates the triples matching the bound components of want
+// (NoID = wildcard) through the cheapest available index.
+func (s *Store) lookup(want triple, p pattern, emit func(sv, pv, ov uint32)) {
+	if want[1] == rdf.NoID {
+		for _, t := range s.triples {
+			if want[0] != rdf.NoID && t[0] != want[0] {
+				continue
+			}
+			if want[2] != rdf.NoID && t[2] != want[2] {
+				continue
+			}
+			emit(t[0], t[1], t[2])
+		}
+		return
+	}
+	slot := s.pred(want[1])
+	if slot < 0 {
+		return
+	}
+	idx := &s.preds[slot]
+	switch {
+	case want[0] != rdf.NoID && want[2] != rdf.NoID:
+		if idx.has(want[0], want[2]) {
+			emit(want[0], want[1], want[2])
+		}
+	case want[0] != rdf.NoID:
+		for _, o := range idx.objectsOf(want[0]) {
+			emit(want[0], want[1], o)
+		}
+	case want[2] != rdf.NoID:
+		for _, sv := range idx.subjectsOf(want[2]) {
+			emit(sv, want[1], want[2])
+		}
+	default:
+		for i, sv := range idx.subjIDs {
+			for _, o := range idx.objAdj[idx.subjOff[i]:idx.subjOff[i+1]] {
+				emit(sv, want[1], o)
+			}
+		}
+	}
+}
+
+// orderRelation sorts the relation's rows by the ORDER BY keys; unbound
+// cells (OPTIONAL) order first, as in the shared SPARQL ordering.
+func (s *Store) orderRelation(rel *relation, keys []sparql.OrderKey) {
+	type keyCol struct {
+		ci   int
+		desc bool
+	}
+	var cols []keyCol
+	for _, k := range keys {
+		if ci := rel.colIndex(k.Var); ci >= 0 {
+			cols = append(cols, keyCol{ci, k.Desc})
+		}
+	}
+	if len(cols) == 0 {
+		return
+	}
+	term := func(id uint32) rdf.Term {
+		if id == unbound {
+			return ""
+		}
+		return s.dict.Term(id)
+	}
+	sort.SliceStable(rel.rows, func(i, j int) bool {
+		for _, kc := range cols {
+			c := sparql.CompareTerms(term(rel.rows[i][kc.ci]), term(rel.rows[j][kc.ci]))
+			if c == 0 {
+				continue
+			}
+			if kc.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func dedupTermRows(rows [][]rdf.Term) [][]rdf.Term {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	var b strings.Builder
+	for _, r := range rows {
+		b.Reset()
+		for _, t := range r {
+			b.WriteString(string(t))
+			b.WriteByte('\x00')
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Explain returns a short description of the store, for debugging.
+func (s *Store) Explain() string {
+	return fmt.Sprintf("bitmat: %d triples, %d predicates, %d terms",
+		s.n, len(s.preds), s.dict.Len())
+}

@@ -1,0 +1,227 @@
+package bitmat
+
+import "repro/internal/rdf"
+
+// unbound marks an OPTIONAL variable with no binding in a row.
+const unbound = rdf.NoID
+
+// relation is a materialized intermediate result: named columns over rows of
+// dictionary IDs.
+type relation struct {
+	cols []string
+	rows [][]uint32
+}
+
+func (r *relation) colIndex(name string) int {
+	for i, c := range r.cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// emptyRelation returns a relation with no columns and a single empty row —
+// the join identity (one empty solution).
+func emptyRelation() *relation {
+	return &relation{rows: [][]uint32{{}}}
+}
+
+// noSolutions returns a relation with no rows.
+func noSolutions() *relation { return &relation{} }
+
+// hashJoin inner-joins a and b on their shared columns; with no shared
+// columns it degenerates to the cartesian product.
+func hashJoin(a, b *relation) *relation {
+	var keyA, keyB []int
+	for ia, ca := range a.cols {
+		if ib := b.colIndex(ca); ib >= 0 {
+			keyA = append(keyA, ia)
+			keyB = append(keyB, ib)
+		}
+	}
+	out := &relation{cols: append([]string(nil), a.cols...)}
+	var bExtra []int
+	for ib, cb := range b.cols {
+		if a.colIndex(cb) < 0 {
+			out.cols = append(out.cols, cb)
+			bExtra = append(bExtra, ib)
+		}
+	}
+
+	if len(keyA) == 0 {
+		for _, ra := range a.rows {
+			for _, rb := range b.rows {
+				out.rows = append(out.rows, concatRow(ra, rb, bExtra))
+			}
+		}
+		return out
+	}
+
+	// Build the hash table on the smaller side, probe with the larger.
+	build, probe := b, a
+	keyBuild, keyProbe := keyB, keyA
+	buildIsA := false
+	if len(a.rows) < len(b.rows) {
+		build, probe = a, b
+		keyBuild, keyProbe = keyA, keyB
+		buildIsA = true
+	}
+	ht := make(map[string][]int, len(build.rows))
+	for i, r := range build.rows {
+		k := rowKey(r, keyBuild)
+		ht[k] = append(ht[k], i)
+	}
+	for _, rp := range probe.rows {
+		for _, bi := range ht[rowKey(rp, keyProbe)] {
+			rb := build.rows[bi]
+			if buildIsA {
+				// rb is the a-row, rp the b-row.
+				out.rows = append(out.rows, concatRow(rb, rp, bExtra))
+			} else {
+				out.rows = append(out.rows, concatRow(rp, rb, bExtra))
+			}
+		}
+	}
+	return out
+}
+
+// leftJoin left-joins a with b on their shared columns (SPARQL OPTIONAL):
+// rows of a without a matching b row keep their values and take unbound for
+// b's extra columns. Shared columns where the a side is unbound (nested
+// OPTIONAL) match any b value and adopt it.
+func leftJoin(a, b *relation) *relation {
+	var keyA, keyB []int
+	for ia, ca := range a.cols {
+		if ib := b.colIndex(ca); ib >= 0 {
+			keyA = append(keyA, ia)
+			keyB = append(keyB, ib)
+		}
+	}
+	out := &relation{cols: append([]string(nil), a.cols...)}
+	var bExtra []int
+	for ib, cb := range b.cols {
+		if a.colIndex(cb) < 0 {
+			out.cols = append(out.cols, cb)
+			bExtra = append(bExtra, ib)
+		}
+	}
+
+	ht := make(map[string][]int, len(b.rows))
+	for i, r := range b.rows {
+		ht[rowKey(r, keyB)] = append(ht[rowKey(r, keyB)], i)
+	}
+	nullRow := make([]uint32, len(bExtra))
+	for i := range nullRow {
+		nullRow[i] = unbound
+	}
+	for _, ra := range a.rows {
+		matched := false
+		if !rowHasUnbound(ra, keyA) {
+			for _, bi := range ht[rowKey(ra, keyA)] {
+				out.rows = append(out.rows, concatRow(ra, b.rows[bi], bExtra))
+				matched = true
+			}
+		} else {
+			// Unbound join columns: fall back to a scan matching only the
+			// bound ones. Rare (nested OPTIONAL), so the linear pass is fine.
+			for _, rb := range b.rows {
+				ok := true
+				for x := range keyA {
+					if ra[keyA[x]] != unbound && ra[keyA[x]] != rb[keyB[x]] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					merged := append([]uint32(nil), ra...)
+					for x := range keyA {
+						if merged[keyA[x]] == unbound {
+							merged[keyA[x]] = rb[keyB[x]]
+						}
+					}
+					for _, ib := range bExtra {
+						merged = append(merged, rb[ib])
+					}
+					out.rows = append(out.rows, merged)
+					matched = true
+				}
+			}
+		}
+		if !matched {
+			out.rows = append(out.rows, concatRow(ra, nullRow, allIndexes(len(nullRow))))
+		}
+	}
+	return out
+}
+
+// union concatenates relations, aligning columns by name; missing columns
+// become unbound.
+func union(rels []*relation) *relation {
+	if len(rels) == 1 {
+		return rels[0]
+	}
+	// Column union in first-seen order.
+	out := &relation{}
+	seen := map[string]int{}
+	for _, r := range rels {
+		for _, c := range r.cols {
+			if _, ok := seen[c]; !ok {
+				seen[c] = len(out.cols)
+				out.cols = append(out.cols, c)
+			}
+		}
+	}
+	for _, r := range rels {
+		pos := make([]int, len(r.cols))
+		for i, c := range r.cols {
+			pos[i] = seen[c]
+		}
+		for _, row := range r.rows {
+			dst := make([]uint32, len(out.cols))
+			for i := range dst {
+				dst[i] = unbound
+			}
+			for i, v := range row {
+				dst[pos[i]] = v
+			}
+			out.rows = append(out.rows, dst)
+		}
+	}
+	return out
+}
+
+func concatRow(ra, rb []uint32, bExtra []int) []uint32 {
+	row := make([]uint32, 0, len(ra)+len(bExtra))
+	row = append(row, ra...)
+	for _, ib := range bExtra {
+		row = append(row, rb[ib])
+	}
+	return row
+}
+
+func allIndexes(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func rowKey(r []uint32, key []int) string {
+	b := make([]byte, 0, len(key)*5)
+	for _, k := range key {
+		v := r[k]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), 0)
+	}
+	return string(b)
+}
+
+func rowHasUnbound(r []uint32, key []int) bool {
+	for _, k := range key {
+		if r[k] == unbound {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+package bitmat
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// predIndex is the per-predicate index: subject and object bitmaps plus the
+// two CSR adjacency maps (subject -> sorted objects, object -> sorted
+// subjects). CSR keys are the sorted distinct subjects/objects, located by
+// binary search.
+type predIndex struct {
+	n int // triple count for this predicate
+
+	subjBits bitmap
+	objBits  bitmap
+
+	subjIDs []uint32 // sorted distinct subjects
+	subjOff []int
+	objAdj  []uint32 // objects grouped by subject, each group sorted
+
+	objIDs  []uint32 // sorted distinct objects
+	objOff  []int
+	subjAdj []uint32 // subjects grouped by object, each group sorted
+}
+
+// objectsOf returns the sorted objects reachable from subject s.
+func (pi *predIndex) objectsOf(s uint32) []uint32 {
+	i := sort.Search(len(pi.subjIDs), func(k int) bool { return pi.subjIDs[k] >= s })
+	if i == len(pi.subjIDs) || pi.subjIDs[i] != s {
+		return nil
+	}
+	return pi.objAdj[pi.subjOff[i]:pi.subjOff[i+1]]
+}
+
+// subjectsOf returns the sorted subjects reaching object o.
+func (pi *predIndex) subjectsOf(o uint32) []uint32 {
+	i := sort.Search(len(pi.objIDs), func(k int) bool { return pi.objIDs[k] >= o })
+	if i == len(pi.objIDs) || pi.objIDs[i] != o {
+		return nil
+	}
+	return pi.subjAdj[pi.objOff[i]:pi.objOff[i+1]]
+}
+
+// has reports whether the triple (s, thisPredicate, o) exists.
+func (pi *predIndex) has(s, o uint32) bool {
+	objs := pi.objectsOf(s)
+	j := sort.Search(len(objs), func(k int) bool { return objs[k] >= o })
+	return j < len(objs) && objs[j] == o
+}
+
+// edge is one dictionary-encoded (subject, object) pair of a predicate.
+type edge struct{ s, o uint32 }
+
+// Store is the immutable bitmap-indexed triple store.
+type Store struct {
+	dict     *rdf.Dictionary // every term: subjects, predicates, objects
+	predSlot map[uint32]int  // term ID of a predicate -> index into preds
+	predTerm []uint32        // slot -> term ID
+	preds    []predIndex
+	triples  []triple // all triples sorted (S,P,O) — variable-predicate scans
+	n        int
+}
+
+// triple is a dictionary-encoded statement (S, P, O).
+type triple [3]uint32
+
+// Load dictionary-encodes, deduplicates, and indexes the triples.
+func Load(ts []rdf.Triple) *Store {
+	s := &Store{
+		dict:     rdf.NewDictionary(),
+		predSlot: make(map[uint32]int),
+	}
+	all := make([]triple, 0, len(ts))
+	for _, t := range ts {
+		all = append(all, triple{
+			s.dict.Intern(t.S),
+			s.dict.Intern(t.P),
+			s.dict.Intern(t.O),
+		})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	all = dedupTriples(all)
+	s.triples = all
+	s.n = len(all)
+
+	// Group edges per predicate.
+	perPred := make(map[uint32][]edge)
+	for _, t := range all {
+		perPred[t[1]] = append(perPred[t[1]], edge{t[0], t[2]})
+	}
+	// Deterministic slot order: by predicate term ID.
+	predIDs := make([]uint32, 0, len(perPred))
+	for p := range perPred {
+		predIDs = append(predIDs, p)
+	}
+	sort.Slice(predIDs, func(i, j int) bool { return predIDs[i] < predIDs[j] })
+
+	nTerms := s.dict.Len()
+	for _, p := range predIDs {
+		s.predSlot[p] = len(s.preds)
+		s.predTerm = append(s.predTerm, p)
+		s.preds = append(s.preds, buildPredIndex(perPred[p], nTerms))
+	}
+	return s
+}
+
+func buildPredIndex(edges []edge, nTerms int) predIndex {
+	pi := predIndex{
+		n:        len(edges),
+		subjBits: newBitmap(nTerms),
+		objBits:  newBitmap(nTerms),
+	}
+	// Subject-major CSR.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].s != edges[j].s {
+			return edges[i].s < edges[j].s
+		}
+		return edges[i].o < edges[j].o
+	})
+	for _, e := range edges {
+		pi.subjBits.set(e.s)
+		pi.objBits.set(e.o)
+		if n := len(pi.subjIDs); n == 0 || pi.subjIDs[n-1] != e.s {
+			pi.subjIDs = append(pi.subjIDs, e.s)
+			pi.subjOff = append(pi.subjOff, len(pi.objAdj))
+		}
+		pi.objAdj = append(pi.objAdj, e.o)
+	}
+	pi.subjOff = append(pi.subjOff, len(pi.objAdj))
+
+	// Object-major CSR.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].o != edges[j].o {
+			return edges[i].o < edges[j].o
+		}
+		return edges[i].s < edges[j].s
+	})
+	for _, e := range edges {
+		if n := len(pi.objIDs); n == 0 || pi.objIDs[n-1] != e.o {
+			pi.objIDs = append(pi.objIDs, e.o)
+			pi.objOff = append(pi.objOff, len(pi.subjAdj))
+		}
+		pi.subjAdj = append(pi.subjAdj, e.s)
+	}
+	pi.objOff = append(pi.objOff, len(pi.subjAdj))
+	return pi
+}
+
+func dedupTriples(ts []triple) []triple {
+	if len(ts) < 2 {
+		return ts
+	}
+	w := 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[w-1] {
+			ts[w] = ts[i]
+			w++
+		}
+	}
+	return ts[:w]
+}
+
+// NumTriples reports the number of distinct triples loaded.
+func (s *Store) NumTriples() int { return s.n }
+
+// NumPredicates reports the number of distinct predicates.
+func (s *Store) NumPredicates() int { return len(s.preds) }
+
+// Dict exposes the term dictionary.
+func (s *Store) Dict() *rdf.Dictionary { return s.dict }
+
+// pred returns the index slot for a predicate term ID, or -1.
+func (s *Store) pred(termID uint32) int {
+	slot, ok := s.predSlot[termID]
+	if !ok {
+		return -1
+	}
+	return slot
+}

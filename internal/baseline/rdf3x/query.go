@@ -1,0 +1,357 @@
+package rdf3x
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// relation is a materialized intermediate result: a column list and rows of
+// dictionary IDs.
+type relation struct {
+	cols []string
+	rows [][]uint32
+}
+
+func (r *relation) colIndex(name string) int {
+	for i, c := range r.cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Query evaluates a SPARQL basic graph pattern query (no OPTIONAL, FILTER,
+// or UNION — matching the feature set of the original RDF-3X release used
+// in the paper) and returns the projected rows.
+func (s *Store) Query(src string) (vars []string, rows [][]rdf.Term, err error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(q.Where.Filters) > 0 || len(q.Where.Optionals) > 0 || len(q.Where.Unions) > 0 {
+		return nil, nil, errors.New("rdf3x: only basic graph patterns are supported")
+	}
+	rel, err := s.evalBGP(q.Where.Triples)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(q.OrderBy) > 0 {
+		s.orderRelation(rel, q.OrderBy)
+	}
+	vars = q.ProjectedVars()
+	out := make([][]rdf.Term, 0, len(rel.rows))
+	for _, r := range rel.rows {
+		row := make([]rdf.Term, len(vars))
+		for i, v := range vars {
+			if ci := rel.colIndex(v); ci >= 0 {
+				row[i] = s.dict.Term(r[ci])
+			}
+		}
+		out = append(out, row)
+	}
+	if q.Distinct {
+		out = dedupTermRows(out)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return vars, out, nil
+}
+
+// Count evaluates a BGP query and returns the solution count without
+// materializing terms.
+func (s *Store) Count(src string) (int, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	if len(q.Where.Filters) > 0 || len(q.Where.Optionals) > 0 || len(q.Where.Unions) > 0 {
+		return 0, errors.New("rdf3x: only basic graph patterns are supported")
+	}
+	if q.Distinct {
+		_, rows, err := s.Query(src)
+		return len(rows), err
+	}
+	rel, err := s.evalBGP(q.Where.Triples)
+	if err != nil {
+		return 0, err
+	}
+	return len(rel.rows), nil
+}
+
+// compiledPattern is a triple pattern with resolved constants.
+type compiledPattern struct {
+	ids  triple    // constant IDs, NoID for vars
+	vars [3]string // var names, "" for constants
+	est  int
+}
+
+// evalBGP compiles the patterns, orders them greedily by estimated scan
+// size (joining connected patterns first), and pipelines sort-merge joins.
+func (s *Store) evalBGP(patterns []sparql.TriplePattern) (*relation, error) {
+	if len(patterns) == 0 {
+		return &relation{rows: [][]uint32{{}}}, nil
+	}
+	comp := make([]compiledPattern, 0, len(patterns))
+	for _, tp := range patterns {
+		var cp compiledPattern
+		for i, pos := range []sparql.TermOrVar{tp.S, tp.P, tp.O} {
+			if pos.IsVar() {
+				cp.ids[i] = rdf.NoID
+				cp.vars[i] = pos.Var
+				continue
+			}
+			id, ok := s.dict.Lookup(pos.Term)
+			if !ok {
+				return &relation{}, nil // unknown constant: empty result
+			}
+			cp.ids[i] = id
+		}
+		cp.est = s.estimate(cp.ids)
+		if cp.est == 0 {
+			return &relation{}, nil
+		}
+		comp = append(comp, cp)
+	}
+
+	// Greedy join order: start from the most selective pattern; always
+	// prefer patterns connected to the bound variables.
+	remaining := make([]bool, len(comp))
+	for i := range remaining {
+		remaining[i] = true
+	}
+	pickFirst := 0
+	for i := range comp {
+		if comp[i].est < comp[pickFirst].est {
+			pickFirst = i
+		}
+	}
+	cur := s.scanPattern(comp[pickFirst])
+	remaining[pickFirst] = false
+	bound := map[string]bool{}
+	for _, c := range cur.cols {
+		bound[c] = true
+	}
+	for n := 1; n < len(comp); n++ {
+		best, bestConnected := -1, false
+		for i, rem := range remaining {
+			if !rem {
+				continue
+			}
+			connected := false
+			for _, v := range comp[i].vars {
+				if v != "" && bound[v] {
+					connected = true
+					break
+				}
+			}
+			if best == -1 || (connected && !bestConnected) ||
+				(connected == bestConnected && comp[i].est < comp[best].est) {
+				best, bestConnected = i, connected
+			}
+		}
+		next := s.scanPattern(comp[best])
+		remaining[best] = false
+		cur = mergeJoin(cur, next)
+		if len(cur.rows) == 0 {
+			return cur, nil
+		}
+		for _, c := range cur.cols {
+			bound[c] = true
+		}
+	}
+	return cur, nil
+}
+
+// scanPattern materializes one pattern's bindings via an index range scan.
+func (s *Store) scanPattern(cp compiledPattern) *relation {
+	rng, _ := s.scanRange(cp.ids)
+	// Column set: distinct variables in S,P,O order.
+	var cols []string
+	var colPos []int
+	seen := map[string]int{}
+	for i, v := range cp.vars {
+		if v == "" {
+			continue
+		}
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = len(cols)
+		cols = append(cols, v)
+		colPos = append(colPos, i)
+	}
+	rel := &relation{cols: cols}
+	for _, t := range rng {
+		// Repeated-variable patterns (?x ?p ?x) must bind consistently.
+		ok := true
+		for i, v := range cp.vars {
+			if v == "" {
+				continue
+			}
+			if first := seen[v]; colPos[first] != i && t[colPos[first]] != t[i] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		row := make([]uint32, len(cols))
+		for ci, pi := range colPos {
+			row[ci] = t[pi]
+		}
+		rel.rows = append(rel.rows, row)
+	}
+	return rel
+}
+
+// mergeJoin sort-merge joins two relations on their shared columns
+// (cartesian product when none are shared). Both inputs are materialized
+// and sorted — the scan-proportional cost profile of RDF-3X's plans.
+func mergeJoin(a, b *relation) *relation {
+	var keyA, keyB []int
+	for ia, ca := range a.cols {
+		if ib := b.colIndex(ca); ib >= 0 {
+			keyA = append(keyA, ia)
+			keyB = append(keyB, ib)
+		}
+	}
+	// Output columns: all of a, plus b's non-shared.
+	out := &relation{cols: append([]string(nil), a.cols...)}
+	var bExtra []int
+	for ib, cb := range b.cols {
+		if a.colIndex(cb) < 0 {
+			out.cols = append(out.cols, cb)
+			bExtra = append(bExtra, ib)
+		}
+	}
+
+	if len(keyA) == 0 {
+		for _, ra := range a.rows {
+			for _, rb := range b.rows {
+				out.rows = append(out.rows, joinRow(ra, rb, bExtra))
+			}
+		}
+		return out
+	}
+
+	sortRows(a.rows, keyA)
+	sortRows(b.rows, keyB)
+	i, j := 0, 0
+	for i < len(a.rows) && j < len(b.rows) {
+		c := cmpKeys(a.rows[i], b.rows[j], keyA, keyB)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Find the equal runs and emit their product.
+			i2 := i
+			for i2 < len(a.rows) && cmpKeys(a.rows[i2], b.rows[j], keyA, keyB) == 0 {
+				i2++
+			}
+			j2 := j
+			for j2 < len(b.rows) && cmpKeys(a.rows[i], b.rows[j2], keyA, keyB) == 0 {
+				j2++
+			}
+			for x := i; x < i2; x++ {
+				for y := j; y < j2; y++ {
+					out.rows = append(out.rows, joinRow(a.rows[x], b.rows[y], bExtra))
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out
+}
+
+func joinRow(ra, rb []uint32, bExtra []int) []uint32 {
+	row := make([]uint32, 0, len(ra)+len(bExtra))
+	row = append(row, ra...)
+	for _, ib := range bExtra {
+		row = append(row, rb[ib])
+	}
+	return row
+}
+
+func sortRows(rows [][]uint32, key []int) {
+	sort.Slice(rows, func(i, j int) bool {
+		for _, k := range key {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+}
+
+func cmpKeys(ra, rb []uint32, keyA, keyB []int) int {
+	for x := range keyA {
+		va, vb := ra[keyA[x]], rb[keyB[x]]
+		if va < vb {
+			return -1
+		}
+		if va > vb {
+			return 1
+		}
+	}
+	return 0
+}
+
+// orderRelation sorts the relation's rows by the ORDER BY keys, comparing
+// dictionary terms with the shared SPARQL ordering.
+func (s *Store) orderRelation(rel *relation, keys []sparql.OrderKey) {
+	type keyCol struct {
+		ci   int
+		desc bool
+	}
+	var cols []keyCol
+	for _, k := range keys {
+		if ci := rel.colIndex(k.Var); ci >= 0 {
+			cols = append(cols, keyCol{ci, k.Desc})
+		}
+	}
+	if len(cols) == 0 {
+		return
+	}
+	sort.SliceStable(rel.rows, func(i, j int) bool {
+		for _, kc := range cols {
+			c := sparql.CompareTerms(s.dict.Term(rel.rows[i][kc.ci]), s.dict.Term(rel.rows[j][kc.ci]))
+			if c == 0 {
+				continue
+			}
+			if kc.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func dedupTermRows(rows [][]rdf.Term) [][]rdf.Term {
+	seen := map[string]bool{}
+	out := rows[:0]
+	for _, r := range rows {
+		k := fmt.Sprint(r)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package rdf3x
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/transform"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+
+func t3(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: iri(s), P: iri(p), O: iri(o)}
+}
+
+func sample() []rdf.Triple {
+	return []rdf.Triple{
+		{S: iri("alice"), P: rdf.TypeTerm, O: iri("Student")},
+		{S: iri("bob"), P: rdf.TypeTerm, O: iri("Student")},
+		{S: iri("carol"), P: rdf.TypeTerm, O: iri("Professor")},
+		t3("alice", "advisor", "carol"),
+		t3("bob", "advisor", "carol"),
+		t3("carol", "teacherOf", "course1"),
+		t3("alice", "takesCourse", "course1"),
+		t3("bob", "takesCourse", "course2"),
+	}
+}
+
+func TestLoadDedup(t *testing.T) {
+	ts := sample()
+	ts = append(ts, ts[0], ts[0], ts[3])
+	s := Load(ts)
+	if s.NumTriples() != len(sample()) {
+		t.Fatalf("NumTriples = %d, want %d", s.NumTriples(), len(sample()))
+	}
+}
+
+func TestAllPermutationsSorted(t *testing.T) {
+	s := Load(sample())
+	for p := perm(0); p < numPerms; p++ {
+		idx := s.indexes[p]
+		ord := p.order()
+		for i := 1; i < len(idx); i++ {
+			a, b := idx[i-1], idx[i]
+			cmp := 0
+			for _, c := range ord {
+				if a[c] != b[c] {
+					if a[c] < b[c] {
+						cmp = -1
+					} else {
+						cmp = 1
+					}
+					break
+				}
+			}
+			if cmp > 0 {
+				t.Fatalf("permutation %d not sorted at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestScanRangePicksCoveringPerm(t *testing.T) {
+	s := Load(sample())
+	advisor, _ := s.dict.Lookup(iri("advisor"))
+	carol, _ := s.dict.Lookup(iri("carol"))
+
+	// P bound -> POS or PSO family; range must contain exactly the two
+	// advisor triples.
+	rng, _ := s.scanRange(triple{rdf.NoID, advisor, rdf.NoID})
+	if len(rng) != 2 {
+		t.Fatalf("advisor scan = %d triples, want 2", len(rng))
+	}
+	// P,O bound.
+	rng, _ = s.scanRange(triple{rdf.NoID, advisor, carol})
+	if len(rng) != 2 {
+		t.Fatalf("advisor->carol scan = %d, want 2", len(rng))
+	}
+	for _, tr := range rng {
+		if tr[1] != advisor || tr[2] != carol {
+			t.Fatalf("scan returned non-matching triple %v", tr)
+		}
+	}
+	// All unbound: the full store.
+	rng, _ = s.scanRange(triple{rdf.NoID, rdf.NoID, rdf.NoID})
+	if len(rng) != s.NumTriples() {
+		t.Fatalf("full scan = %d, want %d", len(rng), s.NumTriples())
+	}
+}
+
+func TestQueryJoin(t *testing.T) {
+	s := Load(sample())
+	_, rows, err := s.Query(`
+		PREFIX ex: <http://ex.org/>
+		SELECT ?x WHERE {
+			?x ex:advisor ex:carol .
+			ex:carol ex:teacherOf ?c .
+			?x ex:takesCourse ?c .
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != iri("alice") {
+		t.Fatalf("rows = %v, want [[alice]]", rows)
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	s := Load(sample())
+	n, err := s.Count(`PREFIX ex: <http://ex.org/> SELECT ?p WHERE { ex:alice ?p ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("count = %d, want 3", n)
+	}
+}
+
+func TestRepeatedVariablePattern(t *testing.T) {
+	s := Load([]rdf.Triple{
+		t3("a", "knows", "a"),
+		t3("a", "knows", "b"),
+	})
+	n, err := s.Count(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:knows ?x . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("count = %d, want 1", n)
+	}
+}
+
+func TestCartesianProduct(t *testing.T) {
+	s := Load(sample())
+	n, err := s.Count(`PREFIX ex: <http://ex.org/>
+		SELECT ?x ?y WHERE { ?x ex:teacherOf ?a . ?y ex:takesCourse ?b . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // 1 teacherOf x 2 takesCourse
+		t.Fatalf("count = %d, want 2", n)
+	}
+}
+
+func TestUnknownConstantEmpty(t *testing.T) {
+	s := Load(sample())
+	n, err := s.Count(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:advisor ex:nobody . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("count = %d, want 0", n)
+	}
+}
+
+func TestUnsupportedFeaturesRejected(t *testing.T) {
+	s := Load(sample())
+	for _, q := range []string{
+		`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:advisor ?y . FILTER(?y = ex:carol) }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { OPTIONAL { ?x ex:advisor ?y . } }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { { ?x ex:advisor ?y . } UNION { ?x ex:takesCourse ?y . } }`,
+	} {
+		if _, _, err := s.Query(q); err == nil {
+			t.Errorf("query accepted but unsupported: %s", q)
+		}
+		if _, err := s.Count(q); err == nil {
+			t.Errorf("Count accepted but unsupported: %s", q)
+		}
+	}
+}
+
+func TestDistinctAndLimit(t *testing.T) {
+	s := Load(sample())
+	_, rows, err := s.Query(`PREFIX ex: <http://ex.org/> SELECT DISTINCT ?y WHERE { ?x ex:advisor ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("distinct = %d rows, want 1", len(rows))
+	}
+	_, rows, err = s.Query(`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:advisor ?y . } LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("limit = %d rows, want 1", len(rows))
+	}
+}
+
+// TestDifferentialAgainstTurboHOM cross-checks the merge-join engine
+// against the matcher on random BGPs.
+func TestDifferentialAgainstTurboHOM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	preds := []string{"p0", "p1", "p2"}
+	queries := []string{
+		`PREFIX ex: <http://ex.org/> SELECT ?x ?z WHERE { ?x ex:p0 ?y . ?y ex:p1 ?z . }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:p0 ?y . ?x ex:p1 ?y . }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?x WHERE { ?x ex:p2 ?x . }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?x ?y ?z WHERE { ?x ex:p0 ?y . ?y ex:p1 ?z . ?z ex:p2 ?x . }`,
+	}
+	for trial := 0; trial < 25; trial++ {
+		nv := 6 + rng.Intn(10)
+		var ts []rdf.Triple
+		for i := 0; i < nv*3; i++ {
+			ts = append(ts, t3(
+				fmt.Sprintf("v%d", rng.Intn(nv)),
+				preds[rng.Intn(len(preds))],
+				fmt.Sprintf("v%d", rng.Intn(nv))))
+		}
+		store := Load(ts)
+		eng := engine.New(transform.Build(ts, transform.TypeAware), core.Optimized())
+		for _, q := range queries {
+			want, err := eng.Count(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := store.Count(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d %q: rdf3x=%d turbohom=%d", trial, q, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section (§7): the transformation size statistics (Table 1),
+// the LUBM solution counts and elapsed times (Tables 2, 3), the YAGO, BTC
+// and BSBM workloads (Tables 4-6), the type-aware transformation ablation
+// (Table 7), the direct-transformation comparison (Figure 6), the
+// per-optimization ablation (Figure 15), and the parallel speed-up
+// (Figure 16).
+//
+// The timing protocol is the paper's: each query runs five times with warm
+// indexes; the best and worst runs are dropped and the remaining three
+// averaged (§7.1). Engines are compared on solution counts first — a
+// mismatching engine is flagged in the output the way the paper flags
+// TripleBit's wrong answers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Runs is the number of repetitions of the timing protocol.
+const Runs = 5
+
+// Measure runs f Runs times and returns the mean of the middle runs after
+// dropping the best and the worst (paper §7.1).
+func Measure(f func()) time.Duration {
+	ts := make([]time.Duration, Runs)
+	for i := range ts {
+		start := time.Now()
+		f()
+		ts[i] = time.Since(start)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	mid := ts[1 : len(ts)-1]
+	var sum time.Duration
+	for _, t := range mid {
+		sum += t
+	}
+	return sum / time.Duration(len(mid))
+}
+
+// Fmt renders a duration the way the paper's tables do: milliseconds with
+// two decimals.
+func Fmt(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0)
+}
+
+// Table is a formatted result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Lookup returns the cell at (rowLabel, column header), or "". Rows are
+// addressed by their first cell. Tests use it to make assertions about
+// runner output without parsing text.
+func (t *Table) Lookup(rowLabel, col string) string {
+	ci := -1
+	for i, h := range t.Header {
+		if h == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return ""
+	}
+	for _, row := range t.Rows {
+		if len(row) > ci && row[0] == rowLabel {
+			return row[ci]
+		}
+	}
+	return ""
+}

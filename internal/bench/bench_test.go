@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+func TestMeasureProtocol(t *testing.T) {
+	calls := 0
+	d := Measure(func() {
+		calls++
+		time.Sleep(time.Millisecond)
+	})
+	if calls != Runs {
+		t.Fatalf("Measure ran f %d times, want %d", calls, Runs)
+	}
+	if d < 500*time.Microsecond {
+		t.Fatalf("implausible duration %v", d)
+	}
+}
+
+func TestFmtMilliseconds(t *testing.T) {
+	if got := Fmt(1530 * time.Microsecond); got != "1.53" {
+		t.Fatalf("Fmt = %q, want 1.53", got)
+	}
+	if got := Fmt(90 * time.Microsecond); got != "0.09" {
+		t.Fatalf("Fmt = %q, want 0.09", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bee"},
+	}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer", "2")
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "a       bee", "longer  2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	tbl := &Table{Header: []string{"engine", "Q1"}}
+	tbl.AddRow("turbo", "0.12")
+	if got := tbl.Lookup("turbo", "Q1"); got != "0.12" {
+		t.Fatalf("Lookup = %q", got)
+	}
+	if got := tbl.Lookup("missing", "Q1"); got != "" {
+		t.Fatalf("Lookup(missing) = %q", got)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tbl := Table1(Scales{LUBM: []int{1}, BSBM: 20, YAGO: 100, BTC: 100})
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	// Type-aware must remove edges (the type triples) on LUBM.
+	eDirect, err1 := strconv.Atoi(tbl.Lookup("LUBM1", "|E| direct"))
+	eTyped, err2 := strconv.Atoi(tbl.Lookup("LUBM1", "|E| type-aware"))
+	if err1 != nil || err2 != nil {
+		t.Fatalf("non-numeric cells: %v %v", err1, err2)
+	}
+	if eTyped >= eDirect {
+		t.Fatalf("type-aware |E| (%d) not smaller than direct (%d)", eTyped, eDirect)
+	}
+}
+
+func TestTable2CountsMatchEngines(t *testing.T) {
+	tbl := Table2([]int{1})
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(tbl.Rows))
+	}
+	// Spot-check against an independently built engine.
+	ds := datagen.LUBMDataset(1)
+	e := NewBitMat(ds.Triples)
+	want, err := e.Count(datagen.LUBMQuery("Q5").Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Lookup("LUBM1", "Q5"); got != strconv.Itoa(want) {
+		t.Fatalf("Table2 Q5 = %s, bitmat says %d", got, want)
+	}
+}
+
+// TestTable3EngineAgreement is the cross-engine differential test on the
+// full LUBM workload: every engine must report TurboHOM++'s counts (no "X"
+// cells) and RDF-3X must answer every LUBM query (all BGPs).
+func TestTable3EngineAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine comparison")
+	}
+	tbl := Table3(1)
+	for _, row := range tbl.Rows {
+		for i, cell := range row {
+			if cell == "X" || cell == "n/a" {
+				t.Errorf("engine %s disagrees on %s", row[0], tbl.Header[i])
+			}
+		}
+	}
+}
+
+func TestTables4Through6Run(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine tables")
+	}
+	for name, tbl := range map[string]*Table{
+		"t4": Table4(400),
+		"t5": Table5(400),
+		"t6": Table6(100),
+	} {
+		if len(tbl.Rows) < 2 {
+			t.Errorf("%s: too few rows", name)
+		}
+		for _, row := range tbl.Rows {
+			for i, cell := range row {
+				if cell == "X" {
+					t.Errorf("%s: engine %s wrong count on %s", name, row[0], tbl.Header[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTable7GainPositive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing table")
+	}
+	tbl := Table7(1)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	// Q6 and Q14 become point-shaped under the type-aware transformation;
+	// the paper's Table 7 reports its largest gains there. Timing noise on
+	// a busy host can still hide gains on sub-millisecond queries, so only
+	// sanity-check that the gain cells parse as positive numbers.
+	for _, col := range []string{"Q6", "Q14"} {
+		g, err := strconv.ParseFloat(tbl.Lookup("gain", col), 64)
+		if err != nil || g <= 0 {
+			t.Errorf("gain %s = %q, want positive number", col, tbl.Lookup("gain", col))
+		}
+	}
+}
+
+func TestFig15Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing figure")
+	}
+	tbl := Fig15(1)
+	if len(tbl.Rows) != 5 { // baseline + 4 variants
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+}
+
+func TestFig16SpeedupColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing figure")
+	}
+	tbl := Fig16(1, []int{1, 2})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tbl.Rows))
+	}
+	if got := tbl.Lookup("1", "Q2 speed-up"); got != "1.00" {
+		t.Fatalf("single-worker speed-up = %s, want 1.00", got)
+	}
+}

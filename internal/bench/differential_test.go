@@ -1,0 +1,172 @@
+package bench
+
+// Cross-engine differential tests: four independent implementations — the
+// TurboHOM++ matcher under both transformations, the six-permutation
+// merge-join engine, and the bitmap-index engine — must agree on the
+// solution count of every benchmark query. This is the repository's
+// strongest end-to-end correctness check: the engines share no evaluation
+// code (the matcher explores graphs; the baselines scan and join indexes).
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/transform"
+)
+
+// diffEngines builds the comparison set for a dataset. rdf3x only supports
+// BGPs, so withRDF3X is false for the BSBM workload (OPTIONAL/FILTER),
+// matching the paper's own exclusion.
+func diffEngines(t *testing.T, ds *datagen.Dataset, withRDF3X bool) []QueryEngine {
+	t.Helper()
+	engines := []QueryEngine{
+		TurboPlusPlus(ds.Triples),
+		NewTurbo("TurboHOM-direct", ds.Triples, transform.Direct, core.Baseline()),
+		NewBitMat(ds.Triples),
+	}
+	if withRDF3X {
+		engines = append(engines, NewRDF3X(ds.Triples))
+	}
+	return engines
+}
+
+func assertAgreement(t *testing.T, ds *datagen.Dataset, engines []QueryEngine) {
+	t.Helper()
+	for _, q := range ds.Queries {
+		want := -1
+		wantEngine := ""
+		for _, e := range engines {
+			n, err := e.Count(q.Text)
+			if err != nil {
+				t.Errorf("%s %s on %s: %v", ds.Name, e.Name(), q.ID, err)
+				continue
+			}
+			if want == -1 {
+				want, wantEngine = n, e.Name()
+				continue
+			}
+			if n != want {
+				t.Errorf("%s %s: %s says %d, %s says %d",
+					ds.Name, q.ID, wantEngine, want, e.Name(), n)
+			}
+		}
+	}
+}
+
+func TestDifferentialLUBM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine differential")
+	}
+	ds := datagen.LUBMDataset(1)
+	assertAgreement(t, ds, diffEngines(t, ds, true))
+}
+
+func TestDifferentialYAGO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine differential")
+	}
+	ds := datagen.YAGODataset(600)
+	assertAgreement(t, ds, diffEngines(t, ds, true))
+}
+
+func TestDifferentialBTC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine differential")
+	}
+	ds := datagen.BTCDataset(600)
+	assertAgreement(t, ds, diffEngines(t, ds, true))
+}
+
+func TestDifferentialBSBM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine differential")
+	}
+	ds := datagen.BSBMDataset(120)
+	assertAgreement(t, ds, diffEngines(t, ds, false))
+}
+
+// TestDifferentialParallelWorkers re-runs the LUBM workload with parallel
+// matching: worker count must never change a solution count.
+func TestDifferentialParallelWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine differential")
+	}
+	ds := datagen.LUBMDataset(1)
+	seq := TurboPlusPlus(ds.Triples)
+	parOpts := core.Optimized()
+	parOpts.Workers = 4
+	par := NewTurbo("TurboHOM++(4)", ds.Triples, transform.TypeAware, parOpts)
+	for _, q := range ds.Queries {
+		a, err := seq.Count(q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Count(q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s: sequential %d vs parallel %d", q.ID, a, b)
+		}
+	}
+}
+
+// TestDifferentialOptimizationCombos checks that every combination of the
+// four optimizations preserves LUBM solution counts (the optimizations must
+// be pure performance changes).
+func TestDifferentialOptimizationCombos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-combo sweep")
+	}
+	ds := datagen.LUBMDataset(1)
+	data := transform.Build(ds.Triples, transform.TypeAware)
+	ref := TurboPlusPlus(ds.Triples)
+
+	// Spot-check the heavy queries with every optimization mask; the full
+	// workload with the default masks is covered elsewhere.
+	heavy := []string{"Q2", "Q8", "Q9", "Q12"}
+	for mask := 0; mask < 16; mask++ {
+		opts := core.Opts{
+			Intersect:  mask&1 != 0,
+			NoNLF:      mask&2 != 0,
+			NoDegree:   mask&4 != 0,
+			ReuseOrder: mask&8 != 0,
+		}
+		e := engine.New(data, opts)
+		for _, id := range heavy {
+			q := datagen.LUBMQuery(id)
+			want, err := ref.Count(q.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Count(q.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("mask %04b %s: %d, want %d", mask, id, got, want)
+			}
+		}
+	}
+}
+
+// TestQueriesParse ensures every workload query parses (guarding the query
+// text against typos that only a specific engine would notice).
+func TestQueriesParse(t *testing.T) {
+	all := [][]datagen.Query{
+		datagen.LUBMQueries(), datagen.BSBMQueries(),
+		datagen.YAGOQueries(), datagen.BTCQueries(),
+	}
+	tiny := datagen.LUBMDataset(1)
+	e := TurboPlusPlus(tiny.Triples)
+	for _, qs := range all {
+		for _, q := range qs {
+			if _, err := e.Count(q.Text); err != nil && !strings.Contains(err.Error(), "disconnected") {
+				t.Errorf("%s: %v", q.ID, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"repro/internal/baseline/bitmat"
+	"repro/internal/baseline/rdf3x"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/transform"
+)
+
+// QueryEngine is the uniform surface the benchmark runners drive: execute a
+// SPARQL query, return its solution count. Counting (rather than
+// materializing) matches the paper's protocol of excluding dictionary
+// lookups from measured time.
+type QueryEngine interface {
+	Name() string
+	Count(query string) (int, error)
+}
+
+// turboEngine adapts engine.Engine.
+type turboEngine struct {
+	name string
+	e    *engine.Engine
+}
+
+func (t *turboEngine) Name() string { return t.name }
+
+func (t *turboEngine) Count(q string) (int, error) { return t.e.Count(q) }
+
+// NewTurbo builds a TurboHOM++-family engine: triples transformed under
+// mode, matched with opts.
+func NewTurbo(name string, triples []rdf.Triple, mode transform.Mode, opts core.Opts) QueryEngine {
+	data := transform.Build(triples, mode)
+	return &turboEngine{name: name, e: engine.New(data, opts)}
+}
+
+// TurboPlusPlus is the paper's headline configuration: type-aware
+// transformation with the full optimization suite.
+func TurboPlusPlus(triples []rdf.Triple) QueryEngine {
+	return NewTurbo("TurboHOM++", triples, transform.TypeAware, core.Optimized())
+}
+
+// TurboDirect is TurboHOM: direct transformation, no optimizations — the
+// configuration of the paper's Figure 6.
+func TurboDirect(triples []rdf.Triple) QueryEngine {
+	return NewTurbo("TurboHOM", triples, transform.Direct, core.Baseline())
+}
+
+// rdf3xEngine adapts the RDF-3X-style store.
+type rdf3xEngine struct{ s *rdf3x.Store }
+
+func (r *rdf3xEngine) Name() string { return "RDF-3X" }
+
+func (r *rdf3xEngine) Count(q string) (int, error) { return r.s.Count(q) }
+
+// NewRDF3X builds the six-permutation merge-join baseline.
+func NewRDF3X(triples []rdf.Triple) QueryEngine {
+	return &rdf3xEngine{s: rdf3x.Load(triples)}
+}
+
+// bitmatEngine adapts the bitmap-index store (the System-X stand-in).
+type bitmatEngine struct{ s *bitmat.Store }
+
+func (b *bitmatEngine) Name() string { return "System-X" }
+
+func (b *bitmatEngine) Count(q string) (int, error) { return b.s.Count(q) }
+
+// NewBitMat builds the bitmap-index baseline.
+func NewBitMat(triples []rdf.Triple) QueryEngine {
+	return &bitmatEngine{s: bitmat.Load(triples)}
+}
+
+// countCell runs the query on e and renders the paper's table conventions:
+// the elapsed time in milliseconds, "X" when the engine's solution count
+// disagrees with want (the paper's wrong-answer marker), and "n/a" when the
+// engine cannot run the query (RDF-3X on OPTIONAL/FILTER, like the paper's
+// Table 6 exclusions).
+func countCell(e QueryEngine, query string, want int) string {
+	n, err := e.Count(query)
+	if err != nil {
+		return "n/a"
+	}
+	d := Measure(func() {
+		if _, err := e.Count(query); err != nil {
+			panic(err)
+		}
+	})
+	if n != want {
+		return "X"
+	}
+	return Fmt(d)
+}

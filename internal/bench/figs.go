@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/transform"
+)
+
+// Fig6 compares the unoptimized, direct-transformation TurboHOM against the
+// two baseline engines over the LUBM workload — the paper's Figure 6, the
+// motivating experiment: graph exploration already wins the selective
+// queries but loses some exploration-heavy ones before the paper's
+// improvements are applied.
+func Fig6(scale int) *Table {
+	ds := datagen.LUBMDataset(scale)
+	engines := []QueryEngine{
+		TurboDirect(ds.Triples),
+		NewRDF3X(ds.Triples),
+		NewBitMat(ds.Triples),
+	}
+	return engineTimes(
+		fmt.Sprintf("Figure 6: TurboHOM (direct transformation) vs RDF engines (%s) [ms]", lubmScaleName(scale)),
+		engines, ds.Queries)
+}
+
+// optimizationVariants are the four toggles of Figure 15, each applied
+// alone on top of the unoptimized type-aware configuration.
+var optimizationVariants = []struct {
+	Name string
+	Opts core.Opts
+}{
+	{"+INT", core.Opts{Intersect: true}},
+	{"-NLF", core.Opts{NoNLF: true}},
+	{"-DEG", core.Opts{NoDegree: true}},
+	{"+REUSE", core.Opts{ReuseOrder: true}},
+}
+
+// Fig15 measures how much each optimization alone shaves off the
+// unoptimized elapsed time of the two exploration-heavy LUBM queries — the
+// paper's Figure 15 ("reduced elapsed time of each optimization", Q2 and
+// Q9).
+func Fig15(scale int) *Table {
+	ds := datagen.LUBMDataset(scale)
+	data := transform.Build(ds.Triples, transform.TypeAware)
+
+	queries := []datagen.Query{datagen.LUBMQuery("Q2"), datagen.LUBMQuery("Q9")}
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 15: reduced elapsed time per optimization (%s) [ms]", lubmScaleName(scale)),
+		Header: []string{"variant", "Q2 reduced", "Q9 reduced"},
+	}
+
+	base := engine.New(data, core.Baseline())
+	baseline := make([]time.Duration, len(queries))
+	for i, q := range queries {
+		baseline[i] = Measure(func() { mustCount(base, q.Text) })
+	}
+	t.AddRow("baseline (ms)", Fmt(baseline[0]), Fmt(baseline[1]))
+
+	for _, v := range optimizationVariants {
+		e := engine.New(data, v.Opts)
+		row := []string{v.Name}
+		for i, q := range queries {
+			d := Measure(func() { mustCount(e, q.Text) })
+			row = append(row, Fmt(baseline[i]-d))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig16 measures the parallel speed-up of Q2 and Q9 with growing worker
+// counts — the paper's Figure 16. The worker counts are host-adjusted;
+// speed-up is reported relative to one worker.
+func Fig16(scale int, workers []int) *Table {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	ds := datagen.LUBMDataset(scale)
+	data := transform.Build(ds.Triples, transform.TypeAware)
+	queries := []datagen.Query{datagen.LUBMQuery("Q2"), datagen.LUBMQuery("Q9")}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 16: parallel speed-up of Q2 and Q9 (%s)", lubmScaleName(scale)),
+		Header: []string{"workers", "Q2 ms", "Q2 speed-up", "Q9 ms", "Q9 speed-up"},
+	}
+	var base [2]time.Duration
+	for _, w := range workers {
+		opts := core.Optimized()
+		opts.Workers = w
+		e := engine.New(data, opts)
+		var ts [2]time.Duration
+		for i, q := range queries {
+			ts[i] = Measure(func() { mustCount(e, q.Text) })
+		}
+		if w == workers[0] {
+			base = ts
+		}
+		t.AddRow(fmt.Sprint(w),
+			Fmt(ts[0]), fmt.Sprintf("%.2f", float64(base[0])/float64(ts[0])),
+			Fmt(ts[1]), fmt.Sprintf("%.2f", float64(base[1])/float64(ts[1])))
+	}
+	return t
+}

@@ -1,0 +1,291 @@
+package bench
+
+// Randomized differential fuzzing: generate random SPARQL BGPs over the
+// LUBM vocabulary and require all engines to agree on the solution count.
+// Unlike the fixed workload tests, this explores query shapes the paper
+// never wrote down — stars, paths, triangles, constant injections — and has
+// historically been the test that finds planner corner cases.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+	"repro/internal/transform"
+)
+
+// Entity kinds of the LUBM schema, used to generate queries that compose:
+// chaining random predicates without domain/range awareness yields almost
+// only empty results.
+const (
+	kStudent = iota
+	kFaculty
+	kPerson // supertype position: student or faculty
+	kCourse
+	kDept
+	kUniv
+	kOrg // dept, univ, or research group
+	kPub
+	numKinds
+)
+
+// fuzzPredicates carry the schema: domain kind -> range kind.
+var fuzzPredicates = []struct {
+	name   string
+	domain int
+	rng    int
+}{
+	{"advisor", kStudent, kFaculty},
+	{"takesCourse", kStudent, kCourse},
+	{"teacherOf", kFaculty, kCourse},
+	{"memberOf", kPerson, kDept},
+	{"worksFor", kFaculty, kDept},
+	{"subOrganizationOf", kOrg, kOrg},
+	{"undergraduateDegreeFrom", kPerson, kUniv},
+	{"headOf", kFaculty, kDept},
+	{"publicationAuthor", kPub, kPerson},
+	{"hasAlumnus", kUniv, kPerson},
+	{"degreeFrom", kPerson, kUniv},
+}
+
+// kindCompatible reports whether a variable of kind a can stand where kind
+// b is expected (kPerson absorbs students and faculty; kOrg absorbs
+// departments and universities).
+func kindCompatible(a, b int) bool {
+	if a == b {
+		return true
+	}
+	if b == kPerson && (a == kStudent || a == kFaculty) {
+		return true
+	}
+	if a == kPerson && (b == kStudent || b == kFaculty) {
+		return true
+	}
+	if b == kOrg && (a == kDept || a == kUniv) {
+		return true
+	}
+	if a == kOrg && (b == kDept || b == kUniv) {
+		return true
+	}
+	return false
+}
+
+// randomBGP builds a connected, schema-respecting BGP with n patterns.
+// Variables carry kinds; each new pattern attaches to an existing variable
+// through a predicate whose domain or range matches its kind. Objects are
+// sometimes pinned to constants of the right kind.
+func randomBGP(rng *rand.Rand, n int, constants map[int][]rdf.Term) string {
+	type qvar struct {
+		name string
+		kind int
+	}
+	var b strings.Builder
+	b.WriteString("PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\nSELECT * WHERE {\n")
+
+	p0 := fuzzPredicates[rng.Intn(len(fuzzPredicates))]
+	vars := []qvar{{"?v0", p0.domain}}
+	next := 1
+	newVar := func(kind int) qvar {
+		v := qvar{fmt.Sprintf("?v%d", next), kind}
+		next++
+		vars = append(vars, v)
+		return v
+	}
+
+	for i := 0; i < n; i++ {
+		// Pick an anchor variable and a predicate it can join.
+		var anchor qvar
+		var pred struct {
+			name   string
+			domain int
+			rng    int
+		}
+		var anchorIsSubject bool
+		found := false
+		for attempt := 0; attempt < 20 && !found; attempt++ {
+			anchor = vars[rng.Intn(len(vars))]
+			pred = fuzzPredicates[rng.Intn(len(fuzzPredicates))]
+			if kindCompatible(anchor.kind, pred.domain) {
+				anchorIsSubject = true
+				found = true
+			} else if kindCompatible(anchor.kind, pred.rng) {
+				anchorIsSubject = false
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		otherKind := pred.rng
+		if !anchorIsSubject {
+			otherKind = pred.domain
+		}
+		// Other endpoint: new variable (60%), existing compatible variable
+		// (20%), or constant of the right kind (20%).
+		var other string
+		switch r := rng.Intn(10); {
+		case r < 2:
+			var comp []qvar
+			for _, v := range vars {
+				if kindCompatible(v.kind, otherKind) {
+					comp = append(comp, v)
+				}
+			}
+			if len(comp) > 0 {
+				other = comp[rng.Intn(len(comp))].name
+				break
+			}
+			fallthrough
+		case r < 4:
+			if cs := constants[otherKind]; len(cs) > 0 {
+				other = string(cs[rng.Intn(len(cs))])
+				break
+			}
+			fallthrough
+		default:
+			other = newVar(otherKind).name
+		}
+		if anchorIsSubject {
+			fmt.Fprintf(&b, "  %s ub:%s %s .\n", anchor.name, pred.name, other)
+		} else {
+			fmt.Fprintf(&b, "  %s ub:%s %s .\n", other, pred.name, anchor.name)
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// sampleEntities buckets data IRIs by schema kind for constant injection.
+func sampleEntities(triples []rdf.Triple) map[int][]rdf.Term {
+	out := map[int][]rdf.Term{}
+	add := func(kind int, t rdf.Term) {
+		if len(out[kind]) < 8 {
+			out[kind] = append(out[kind], t)
+		}
+	}
+	for _, t := range triples {
+		s := string(t.S)
+		switch {
+		case strings.Contains(s, "Student"):
+			add(kStudent, t.S)
+		case strings.Contains(s, "Professor") || strings.Contains(s, "Lecturer"):
+			if !strings.Contains(s, "Publication") {
+				add(kFaculty, t.S)
+			}
+		case strings.Contains(s, "Course"):
+			add(kCourse, t.S)
+		case strings.Contains(s, "/ResearchGroup"):
+			add(kOrg, t.S)
+		case strings.Contains(s, "Department") && !strings.Contains(s, "edu/"):
+			add(kDept, t.S)
+		case strings.Contains(s, "www.University"):
+			add(kUniv, t.S)
+		}
+	}
+	return out
+}
+
+func TestFuzzRandomBGPs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing sweep")
+	}
+	ds := datagen.LUBMDataset(1)
+	engines := []QueryEngine{
+		TurboPlusPlus(ds.Triples),
+		NewTurbo("TurboHOM-direct", ds.Triples, transform.Direct, core.Baseline()),
+		NewRDF3X(ds.Triples),
+		NewBitMat(ds.Triples),
+	}
+	rng := rand.New(rand.NewSource(2026))
+	constants := sampleEntities(ds.Triples)
+
+	const trials = 400
+	nonEmpty, large := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		q := randomBGP(rng, 2+rng.Intn(3), constants)
+		// Cap runaway results: a random query can explode; skip queries
+		// whose reference count is huge.
+		ref, err := engines[0].Count(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, q)
+		}
+		if ref > 2_000_000 {
+			continue
+		}
+		if ref > 0 {
+			nonEmpty++
+		}
+		if ref > 100 {
+			large++
+		}
+		for _, e := range engines[1:] {
+			n, err := e.Count(q)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v\n%s", trial, e.Name(), err, q)
+			}
+			if n != ref {
+				t.Fatalf("trial %d: %s says %d, %s says %d\n%s",
+					trial, engines[0].Name(), ref, e.Name(), n, q)
+			}
+		}
+	}
+	// The sweep must actually exercise solutions, not just empty results.
+	if nonEmpty < trials/5 || large < 5 {
+		t.Fatalf("fuzz coverage too thin: %d/%d non-empty, %d large", nonEmpty, trials, large)
+	}
+}
+
+// TestFuzzWithTypeConstraints mixes rdf:type patterns in, exercising the
+// label-folding path against engines that see type triples as data.
+func TestFuzzWithTypeConstraints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing sweep")
+	}
+	classes := []string{
+		"Student", "GraduateStudent", "UndergraduateStudent", "Professor",
+		"Faculty", "Person", "Department", "University", "Course",
+		"ResearchGroup", "Chair",
+	}
+	ds := datagen.LUBMDataset(1)
+	engines := []QueryEngine{
+		TurboPlusPlus(ds.Triples),
+		NewRDF3X(ds.Triples),
+		NewBitMat(ds.Triples),
+	}
+	rng := rand.New(rand.NewSource(777))
+	constants := sampleEntities(ds.Triples)
+
+	for trial := 0; trial < 200; trial++ {
+		base := randomBGP(rng, 1+rng.Intn(3), constants)
+		// Attach a type constraint to a random variable mentioned in the
+		// query.
+		v := fmt.Sprintf("?v%d", rng.Intn(2))
+		if !strings.Contains(base, v) {
+			v = "?v0"
+		}
+		typed := strings.Replace(base, "}",
+			fmt.Sprintf("  %s <%s> ub:%s .\n}", v, rdf.RDFType, classes[rng.Intn(len(classes))]), 1)
+
+		ref, err := engines[0].Count(typed)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, typed)
+		}
+		if ref > 2_000_000 {
+			continue
+		}
+		for _, e := range engines[1:] {
+			n, err := e.Count(typed)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v\n%s", trial, e.Name(), err, typed)
+			}
+			if n != ref {
+				t.Fatalf("trial %d: turbo says %d, %s says %d\n%s",
+					trial, ref, e.Name(), n, typed)
+			}
+		}
+	}
+}

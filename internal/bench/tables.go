@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/transform"
+)
+
+// Scales bundles the dataset sizes of one benchmark campaign. The defaults
+// are sized for a laptop; the paper's absolute scales (LUBM80-8000,
+// billion-triple crawls) need only larger numbers here, not different code.
+type Scales struct {
+	LUBM []int // university counts, ascending
+	BSBM int   // products
+	YAGO int   // people
+	BTC  int   // people
+}
+
+// DefaultScales returns the campaign used by the committed EXPERIMENTS.md.
+func DefaultScales() Scales {
+	return Scales{LUBM: []int{1, 4, 16}, BSBM: 400, YAGO: 2000, BTC: 2000}
+}
+
+// lubmScaleName renders "LUBM4".
+func lubmScaleName(scale int) string { return fmt.Sprintf("LUBM%d", scale) }
+
+// Table1 reports |V| and |E| of every dataset under the direct and the
+// type-aware transformation — the paper's Table 1, which quantifies how
+// many edges the type-aware transformation removes.
+func Table1(s Scales) *Table {
+	t := &Table{
+		Title:  "Table 1: graph size statistics (direct vs type-aware transformation)",
+		Header: []string{"dataset", "|V| direct", "|E| direct", "|V| type-aware", "|E| type-aware"},
+	}
+	add := func(name string, triples []rdf.Triple) {
+		d := transform.Build(triples, transform.Direct)
+		ta := transform.Build(triples, transform.TypeAware)
+		t.AddRow(name,
+			fmt.Sprint(d.G.NumVertices()), fmt.Sprint(d.G.NumEdges()),
+			fmt.Sprint(ta.G.NumVertices()), fmt.Sprint(ta.G.NumEdges()))
+	}
+	for _, scale := range s.LUBM {
+		add(lubmScaleName(scale), datagen.LUBMDataset(scale).Triples)
+	}
+	add("BTC", datagen.BTCDataset(s.BTC).Triples)
+	add("BSBM", datagen.BSBMDataset(s.BSBM).Triples)
+	add("YAGO", datagen.YAGODataset(s.YAGO).Triples)
+	return t
+}
+
+// Table2 reports the solution counts of the 14 LUBM queries at every scale
+// — the paper's Table 2.
+func Table2(scales []int) *Table {
+	t := &Table{
+		Title:  "Table 2: number of solutions in LUBM queries",
+		Header: []string{"dataset"},
+	}
+	queries := datagen.LUBMQueries()
+	for _, q := range queries {
+		t.Header = append(t.Header, q.ID)
+	}
+	for _, scale := range scales {
+		ds := datagen.LUBMDataset(scale)
+		e := TurboPlusPlus(ds.Triples)
+		row := []string{lubmScaleName(scale)}
+		for _, q := range queries {
+			n, err := e.Count(q.Text)
+			if err != nil {
+				row = append(row, "err")
+				continue
+			}
+			row = append(row, fmt.Sprint(n))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table3 reports elapsed times of the LUBM queries for every engine at one
+// scale — one sub-table of the paper's Table 3 (run it per scale for
+// 3a/3b/3c). TurboHOM++'s solution counts are the reference; a deviating
+// engine gets the paper's "X" marker instead of a time.
+func Table3(scale int) *Table {
+	ds := datagen.LUBMDataset(scale)
+	turbo := TurboPlusPlus(ds.Triples)
+	engines := []QueryEngine{turbo, NewRDF3X(ds.Triples), NewBitMat(ds.Triples)}
+	return engineTimes(
+		fmt.Sprintf("Table 3 (%s): elapsed time [ms]", lubmScaleName(scale)),
+		engines, ds.Queries)
+}
+
+// Table4 is the YAGO workload: solution counts and per-engine times — the
+// paper's Table 4.
+func Table4(people int) *Table {
+	ds := datagen.YAGODataset(people)
+	turbo := TurboPlusPlus(ds.Triples)
+	engines := []QueryEngine{turbo, NewRDF3X(ds.Triples), NewBitMat(ds.Triples)}
+	return engineTimesWithCounts("Table 4: YAGO — solutions and elapsed time [ms]", engines, ds.Queries)
+}
+
+// Table5 is the BTC workload — the paper's Table 5.
+func Table5(people int) *Table {
+	ds := datagen.BTCDataset(people)
+	turbo := TurboPlusPlus(ds.Triples)
+	engines := []QueryEngine{turbo, NewRDF3X(ds.Triples), NewBitMat(ds.Triples)}
+	return engineTimesWithCounts("Table 5: BTC — solutions and elapsed time [ms]", engines, ds.Queries)
+}
+
+// Table6 is the BSBM explore mix — the paper's Table 6. RDF-3X is excluded
+// exactly as in the paper: it does not support OPTIONAL and FILTER.
+func Table6(products int) *Table {
+	ds := datagen.BSBMDataset(products)
+	turbo := TurboPlusPlus(ds.Triples)
+	engines := []QueryEngine{turbo, NewBitMat(ds.Triples)}
+	return engineTimesWithCounts("Table 6: BSBM — solutions and elapsed time [ms]", engines, ds.Queries)
+}
+
+// Table7 contrasts the direct and the type-aware transformation with all
+// optimizations off — the paper's Table 7 ("effect of type-aware
+// transformation"), including the per-query performance gain row.
+func Table7(scale int) *Table {
+	ds := datagen.LUBMDataset(scale)
+	direct := engine.New(transform.Build(ds.Triples, transform.Direct), core.Baseline())
+	typed := engine.New(transform.Build(ds.Triples, transform.TypeAware), core.Baseline())
+
+	t := &Table{
+		Title:  fmt.Sprintf("Table 7: effect of type-aware transformation (%s, no optimizations)", lubmScaleName(scale)),
+		Header: []string{"metric"},
+	}
+	for _, q := range ds.Queries {
+		t.Header = append(t.Header, q.ID)
+	}
+	dRow := []string{"direct (ms)"}
+	taRow := []string{"type-aware (ms)"}
+	gainRow := []string{"gain"}
+	for _, q := range ds.Queries {
+		dT := Measure(func() { mustCount(direct, q.Text) })
+		taT := Measure(func() { mustCount(typed, q.Text) })
+		dRow = append(dRow, Fmt(dT))
+		taRow = append(taRow, Fmt(taT))
+		gain := float64(dT) / float64(taT)
+		gainRow = append(gainRow, fmt.Sprintf("%.2f", gain))
+	}
+	t.AddRow(dRow...)
+	t.AddRow(taRow...)
+	t.AddRow(gainRow...)
+	return t
+}
+
+func mustCount(e *engine.Engine, q string) {
+	if _, err := e.Count(q); err != nil {
+		panic(err)
+	}
+}
+
+// engineTimes renders queries × engines as elapsed times, using the first
+// engine's counts as ground truth.
+func engineTimes(title string, engines []QueryEngine, queries []datagen.Query) *Table {
+	t := &Table{Title: title, Header: []string{"engine"}}
+	for _, q := range queries {
+		t.Header = append(t.Header, q.ID)
+	}
+	want := make([]int, len(queries))
+	for i, q := range queries {
+		n, err := engines[0].Count(q.Text)
+		if err != nil {
+			panic(fmt.Sprintf("%s on %s: %v", engines[0].Name(), q.ID, err))
+		}
+		want[i] = n
+	}
+	for _, e := range engines {
+		row := []string{e.Name()}
+		for i, q := range queries {
+			row = append(row, countCell(e, q.Text, want[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// engineTimesWithCounts is engineTimes plus a leading "# of sol." row, the
+// layout of the paper's Tables 4-6.
+func engineTimesWithCounts(title string, engines []QueryEngine, queries []datagen.Query) *Table {
+	t := engineTimes(title, engines, queries)
+	counts := []string{"# of sol."}
+	for _, q := range queries {
+		n, err := engines[0].Count(q.Text)
+		if err != nil {
+			counts = append(counts, "err")
+			continue
+		}
+		counts = append(counts, fmt.Sprint(n))
+	}
+	t.Rows = append([][]string{counts}, t.Rows...)
+	return t
+}

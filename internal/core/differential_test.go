@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// bruteForce counts solutions by exhaustive assignment — the reference
+// implementation for differential testing. It counts (Mv, Me) pairs: for a
+// fixed vertex assignment, each combination of labels on wildcard edges is a
+// distinct solution (PredVar sharing respected).
+func bruteForce(g *graph.Graph, q *QueryGraph, sem Semantics) int {
+	n := len(q.Vertices)
+	assign := make([]uint32, n)
+
+	countEdgeCombos := func() int {
+		// Constant edges must exist; wildcard edges contribute their label
+		// choices, constrained by shared predicate variables.
+		type wildEdge struct {
+			labels  []uint32
+			predVar int
+		}
+		var wilds []wildEdge
+		for _, e := range q.Edges {
+			vf, vt := assign[e.From], assign[e.To]
+			if !e.Wildcard() {
+				if !g.HasEdge(vf, vt, e.Label) {
+					return 0
+				}
+				continue
+			}
+			labels := g.EdgeLabelsBetween(nil, vf, vt)
+			if len(labels) == 0 {
+				return 0
+			}
+			wilds = append(wilds, wildEdge{labels, e.PredVar})
+		}
+		// Enumerate wildcard label assignments with variable consistency.
+		varBind := map[int]uint32{}
+		var rec func(i int) int
+		rec = func(i int) int {
+			if i == len(wilds) {
+				return 1
+			}
+			total := 0
+			for _, l := range wilds[i].labels {
+				pv := wilds[i].predVar
+				if pv >= 0 {
+					if b, ok := varBind[pv]; ok {
+						if b != l {
+							continue
+						}
+						total += rec(i + 1)
+						continue
+					}
+					varBind[pv] = l
+					total += rec(i + 1)
+					delete(varBind, pv)
+					continue
+				}
+				total += rec(i + 1)
+			}
+			return total
+		}
+		return rec(0)
+	}
+
+	var rec func(i int) int
+	rec = func(i int) int {
+		if i == n {
+			return countEdgeCombos()
+		}
+		qv := q.Vertices[i]
+		total := 0
+		for v := uint32(0); int(v) < g.NumVertices(); v++ {
+			if qv.ID != NoID && qv.ID != v {
+				continue
+			}
+			if !g.HasAllLabels(v, qv.Labels) {
+				continue
+			}
+			if sem == Isomorphism {
+				dup := false
+				for j := 0; j < i; j++ {
+					if assign[j] == v {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+			}
+			assign[i] = v
+			total += rec(i + 1)
+		}
+		return total
+	}
+	return rec(0)
+}
+
+// randomData builds a random labeled graph.
+func randomData(r *rand.Rand, nV, nL, nEL, nE int) *graph.Graph {
+	b := graph.NewBuilder()
+	b.EnsureVertex(uint32(nV - 1))
+	for v := 0; v < nV; v++ {
+		for l := 0; l < nL; l++ {
+			if r.Intn(3) == 0 {
+				b.AddVertexLabel(uint32(v), uint32(l))
+			}
+		}
+	}
+	for i := 0; i < nE; i++ {
+		b.AddEdge(uint32(r.Intn(nV)), uint32(r.Intn(nEL)), uint32(r.Intn(nV)))
+	}
+	return b.Build()
+}
+
+// randomQuery builds a random connected query over the data's label spaces.
+func randomQuery(r *rand.Rand, nV, nL, nEL, dataV int) *QueryGraph {
+	q := NewQueryGraph()
+	for i := 0; i < nV; i++ {
+		var labels []uint32
+		for l := 0; l < nL; l++ {
+			if r.Intn(4) == 0 {
+				labels = append(labels, uint32(l))
+			}
+		}
+		id := NoID
+		if r.Intn(8) == 0 {
+			id = uint32(r.Intn(dataV))
+		}
+		q.AddVertex(labels, id)
+	}
+	addEdge := func(from, to int) {
+		switch r.Intn(5) {
+		case 0:
+			q.AddVarEdge(from, to, -1) // anonymous wildcard
+		case 1:
+			q.AddVarEdge(from, to, r.Intn(2)) // shared-able predicate var
+		default:
+			q.AddEdge(from, to, uint32(r.Intn(nEL)))
+		}
+	}
+	// Random spanning tree keeps the query connected.
+	for i := 1; i < nV; i++ {
+		p := r.Intn(i)
+		if r.Intn(2) == 0 {
+			addEdge(p, i)
+		} else {
+			addEdge(i, p)
+		}
+	}
+	extra := r.Intn(3)
+	for i := 0; i < extra; i++ {
+		a, b := r.Intn(nV), r.Intn(nV)
+		addEdge(a, b)
+	}
+	return q
+}
+
+// TestDifferentialRandom cross-checks the engine against brute force on
+// random graph/query pairs for both semantics and every optimization combo.
+func TestDifferentialRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	combos := allOptCombos()
+	for trial := 0; trial < 120; trial++ {
+		dataV := 4 + r.Intn(8)
+		g := randomData(r, dataV, 3, 3, dataV*2+r.Intn(10))
+		qV := 2 + r.Intn(3)
+		q := randomQuery(r, qV, 3, 3, dataV)
+		for _, sem := range []Semantics{Homomorphism, Isomorphism} {
+			want := bruteForce(g, q, sem)
+			// Rotate through opt combos to bound runtime while covering all.
+			opts := combos[trial%len(combos)]
+			got, err := Count(g, q, sem, opts)
+			if err != nil {
+				t.Fatalf("trial %d sem %v: %v", trial, sem, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d sem %v opts %+v: engine %d, brute force %d\nquery: %+v",
+					trial, sem, opts, got, want, q)
+			}
+			// Also check the fully optimized path every trial.
+			got2, err := Count(g, q, sem, Optimized())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got2 != want {
+				t.Fatalf("trial %d sem %v optimized: engine %d, brute force %d\nquery: %+v",
+					trial, sem, got2, want, q)
+			}
+		}
+	}
+}
+
+// TestDifferentialParallel cross-checks the parallel driver.
+func TestDifferentialParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		dataV := 8 + r.Intn(10)
+		g := randomData(r, dataV, 3, 3, dataV*3)
+		q := randomQuery(r, 2+r.Intn(3), 3, 3, dataV)
+		want := bruteForce(g, q, Homomorphism)
+		opts := Optimized()
+		opts.Workers = 4
+		got, err := Count(g, q, Homomorphism, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: parallel %d, brute force %d\nquery: %+v", trial, got, want, q)
+		}
+	}
+}
+
+// TestDifferentialDenseLabels stresses multi-label vertices (the
+// intersection paths in candidate generation).
+func TestDifferentialDenseLabels(t *testing.T) {
+	r := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 40; trial++ {
+		dataV := 6 + r.Intn(6)
+		b := graph.NewBuilder()
+		b.EnsureVertex(uint32(dataV - 1))
+		for v := 0; v < dataV; v++ {
+			for l := 0; l < 4; l++ {
+				if r.Intn(2) == 0 {
+					b.AddVertexLabel(uint32(v), uint32(l))
+				}
+			}
+		}
+		for i := 0; i < dataV*3; i++ {
+			b.AddEdge(uint32(r.Intn(dataV)), uint32(r.Intn(2)), uint32(r.Intn(dataV)))
+		}
+		g := b.Build()
+
+		q := NewQueryGraph()
+		nQ := 2 + r.Intn(2)
+		for i := 0; i < nQ; i++ {
+			var labels []uint32
+			for l := 0; l < 4; l++ {
+				if r.Intn(3) == 0 {
+					labels = append(labels, uint32(l))
+				}
+			}
+			q.AddVertex(labels, NoID)
+		}
+		for i := 1; i < nQ; i++ {
+			q.AddEdge(r.Intn(i), i, uint32(r.Intn(2)))
+		}
+		want := bruteForce(g, q, Homomorphism)
+		got, err := Count(g, q, Homomorphism, Optimized())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: engine %d, brute force %d", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/intset"
+)
+
+// Match is one solution: the vertex mapping Mv and, for every query edge,
+// the bound data edge label (Me). For constant-label edges the binding is
+// the constant itself. The slices are reused between callbacks — copy them
+// if they must outlive the call.
+type Match struct {
+	Vertices   []uint32
+	EdgeLabels []uint32
+}
+
+// Clone deep-copies the match.
+func (m Match) Clone() Match {
+	return Match{
+		Vertices:   append([]uint32(nil), m.Vertices...),
+		EdgeLabels: append([]uint32(nil), m.EdgeLabels...),
+	}
+}
+
+// Visitor receives each solution; returning false stops the search.
+type Visitor func(Match) bool
+
+// Stream enumerates all matches of q in g sequentially, invoking visit for
+// each. It returns the number of solutions visited. Workers is ignored
+// (streaming is inherently ordered); use Collect or Count for parallelism.
+func Stream(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts, visit Visitor) (int, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	opts.Workers = 1
+	m := newMatcher(g, q, sem, opts)
+	return m.run(visit)
+}
+
+// Collect enumerates all matches and returns them as deep copies. With
+// opts.Workers > 1 the starting vertices are processed in parallel.
+func Collect(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) ([]Match, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	m := newMatcher(g, q, sem, opts)
+	if opts.Workers > 1 {
+		return m.runParallelCollect()
+	}
+	var out []Match
+	_, err := m.run(func(mt Match) bool {
+		out = append(out, mt.Clone())
+		return true
+	})
+	return out, err
+}
+
+// Count returns the number of matches without materializing them. With
+// opts.Workers > 1 the starting vertices are processed in parallel.
+func Count(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) (int, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	m := newMatcher(g, q, sem, opts)
+	if opts.Workers > 1 {
+		return m.runParallelCount()
+	}
+	return m.run(func(Match) bool { return true })
+}
+
+// nlfReq is one neighborhood-label-frequency requirement of a query vertex:
+// the data vertex must have at least count neighbors in direction dir over
+// edge label el (NoID = any) carrying label vl (NoID = any).
+type nlfReq struct {
+	dir   graph.Dir
+	el    uint32
+	vl    uint32
+	count int
+}
+
+// matcher holds the query-global immutable state of one match run.
+type matcher struct {
+	g    *graph.Graph
+	q    *QueryGraph
+	sem  Semantics
+	opts Opts
+
+	adjEdges [][]int // per query vertex: incident edge indices
+
+	// Query tree (built once per run from the chosen start vertex).
+	start      int
+	parent     []int   // tree parent per query vertex (-1 for start)
+	parentEdge []int   // edge index connecting parent -> vertex (-1 for start)
+	children   [][]int // tree children per query vertex
+	bfsOrder   []int
+	nonTree    []int // non-tree edge indices
+
+	nlf     [][]nlfReq // per query vertex
+	degOut  []int      // per query vertex: required out-degree (iso) or #out types (hom)
+	degIn   []int
+	qOutDeg []int // true query out/in degree per vertex (iso filter)
+	qInDeg  []int
+}
+
+func newMatcher(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) *matcher {
+	m := &matcher{g: g, q: q, sem: sem, opts: opts, adjEdges: q.adjacentEdges()}
+	m.buildFilters()
+	return m
+}
+
+// buildFilters precomputes the NLF requirements and degree thresholds.
+func (m *matcher) buildFilters() {
+	n := len(m.q.Vertices)
+	m.nlf = make([][]nlfReq, n)
+	m.degOut = make([]int, n)
+	m.degIn = make([]int, n)
+	m.qOutDeg = make([]int, n)
+	m.qInDeg = make([]int, n)
+
+	type reqKey struct {
+		dir graph.Dir
+		el  uint32
+		vl  uint32
+	}
+	for u := 0; u < n; u++ {
+		counts := make(map[reqKey]int)
+		for _, ei := range m.adjEdges[u] {
+			e := m.q.Edges[ei]
+			endpoints := [][2]int{}
+			if e.From == u {
+				endpoints = append(endpoints, [2]int{int(graph.Out), e.To})
+			}
+			if e.To == u {
+				endpoints = append(endpoints, [2]int{int(graph.In), e.From})
+			}
+			for _, ep := range endpoints {
+				dir, nb := graph.Dir(ep[0]), ep[1]
+				nbLabels := m.q.Vertices[nb].Labels
+				if len(nbLabels) == 0 {
+					counts[reqKey{dir, e.Label, NoID}]++
+					continue
+				}
+				for _, l := range nbLabels {
+					counts[reqKey{dir, e.Label, l}]++
+				}
+			}
+		}
+		for k, c := range counts {
+			if m.sem == Homomorphism {
+				// Weakened filter: at least one neighbor per distinct type
+				// (paper §2.2, "Modifying TurboISO for e-Graph
+				// Homomorphism").
+				c = 1
+			}
+			m.nlf[u] = append(m.nlf[u], nlfReq{k.dir, k.el, k.vl, c})
+		}
+		sort.Slice(m.nlf[u], func(i, j int) bool { // determinism
+			a, b := m.nlf[u][i], m.nlf[u][j]
+			if a.dir != b.dir {
+				return a.dir < b.dir
+			}
+			if a.el != b.el {
+				return a.el < b.el
+			}
+			return a.vl < b.vl
+		})
+
+		// Degree thresholds.
+		outTypes := map[reqKey]bool{}
+		inTypes := map[reqKey]bool{}
+		for _, ei := range m.adjEdges[u] {
+			e := m.q.Edges[ei]
+			if e.From == u {
+				m.qOutDeg[u]++
+				outTypes[reqKey{graph.Out, e.Label, 0}] = true
+			}
+			if e.To == u {
+				m.qInDeg[u]++
+				inTypes[reqKey{graph.In, e.Label, 0}] = true
+			}
+		}
+		if m.sem == Isomorphism {
+			m.degOut[u] = m.qOutDeg[u]
+			m.degIn[u] = m.qInDeg[u]
+		} else {
+			// Weakened: at least as many neighbors as distinct neighbor
+			// types in each direction.
+			m.degOut[u] = len(outTypes)
+			m.degIn[u] = len(inTypes)
+		}
+	}
+}
+
+// passFilters applies the static candidate tests for query vertex u against
+// data vertex v: ID pin, label subset, pushed-down predicate, degree filter,
+// NLF filter.
+func (m *matcher) passFilters(u int, v uint32) bool {
+	qv := &m.q.Vertices[u]
+	if qv.ID != NoID && qv.ID != v {
+		return false
+	}
+	if !m.g.HasAllLabels(v, qv.Labels) {
+		return false
+	}
+	if qv.Pred != nil && !qv.Pred(v) {
+		return false
+	}
+	if !m.opts.NoDegree {
+		if m.g.Degree(v, graph.Out) < m.degOut[u] || m.g.Degree(v, graph.In) < m.degIn[u] {
+			return false
+		}
+	}
+	if !m.opts.NoNLF && !m.nlfFilter(u, v) {
+		return false
+	}
+	return true
+}
+
+func (m *matcher) nlfFilter(u int, v uint32) bool {
+	for _, r := range m.nlf[u] {
+		var have int
+		switch {
+		case r.el != NoID && r.vl != NoID:
+			have = m.g.GroupSize(v, r.dir, r.el, r.vl)
+		case r.el != NoID:
+			have = m.g.CountEdgeLabel(v, r.dir, r.el)
+		case r.vl != NoID:
+			have = m.g.CountVertexLabel(v, r.dir, r.vl)
+		default:
+			have = m.g.Degree(v, r.dir)
+		}
+		if have < r.count {
+			return false
+		}
+	}
+	return true
+}
+
+// freqEstimate approximates the number of start candidates for u — the
+// rough rank used by ChooseStartQueryVertex before top-k refinement.
+func (m *matcher) freqEstimate(u int) int {
+	qv := &m.q.Vertices[u]
+	if qv.ID != NoID {
+		return 1
+	}
+	if len(qv.Labels) > 0 {
+		est := int(^uint(0) >> 1)
+		for _, l := range qv.Labels {
+			if n := len(m.g.VerticesWithLabel(l)); n < est {
+				est = n
+			}
+		}
+		return est
+	}
+	// No label, no ID: use the predicate index over incident constant
+	// edges (paper §4.2, ChooseStartQueryVertex).
+	est := m.g.NumVertices()
+	for _, ei := range m.adjEdges[u] {
+		e := m.q.Edges[ei]
+		if e.Wildcard() {
+			continue
+		}
+		var n int
+		if e.From == u {
+			n = len(m.g.SubjectsOf(e.Label))
+		} else {
+			n = len(m.g.ObjectsOf(e.Label))
+		}
+		if n < est {
+			est = n
+		}
+	}
+	return est
+}
+
+// startCandidates picks the starting query vertex (lowest refined candidate
+// count among the top-k rank-scored vertices) and returns it with its full
+// filtered candidate list.
+//
+// Refinement is guarded twice to keep the choice O(best list), not O(data):
+// a ranked vertex whose rough frequency estimate — an upper bound on its
+// refined list — already exceeds the best refined list is skipped without
+// materialization, and ties on list length are broken by the candidates'
+// total data degree, a proxy for the region exploration the start vertex
+// will trigger (this is what makes a pinned constant beat a pinned class
+// vertex under the direct transformation).
+func (m *matcher) startCandidates() (int, []uint32) {
+	n := len(m.q.Vertices)
+	type scored struct {
+		u     int
+		est   int
+		score float64
+	}
+	ranked := make([]scored, 0, n)
+	for u := 0; u < n; u++ {
+		deg := len(m.adjEdges[u])
+		if deg == 0 {
+			deg = 1
+		}
+		est := m.freqEstimate(u)
+		ranked = append(ranked, scored{u, est, float64(est) / float64(deg)})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score < ranked[j].score
+		}
+		return ranked[i].u < ranked[j].u
+	})
+	k := m.opts.topK()
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+
+	best := -1
+	var bestList []uint32
+	bestDeg := 0
+	for i := 0; i < k; i++ {
+		if best != -1 && ranked[i].est > len(bestList) {
+			continue // cannot beat the current best list
+		}
+		u := ranked[i].u
+		list := m.materializeCandidates(u)
+		deg := m.totalDegree(list)
+		if best == -1 || len(list) < len(bestList) ||
+			(len(list) == len(bestList) && deg < bestDeg) {
+			best, bestList, bestDeg = u, list, deg
+		}
+		if len(bestList) == 0 {
+			break // no candidates at all: empty result, stop refining
+		}
+	}
+	return best, bestList
+}
+
+// totalDegree sums the data degrees of the candidates — the tie-break
+// metric of startCandidates. The scan is capped: ties only matter between
+// small lists (typically pinned vertices), and a capped sample keeps the
+// start-vertex choice from costing O(data) on large label classes.
+func (m *matcher) totalDegree(list []uint32) int {
+	const sampleCap = 64
+	if len(list) > sampleCap {
+		list = list[:sampleCap]
+	}
+	d := 0
+	for _, v := range list {
+		d += m.g.Degree(v, graph.Out) + m.g.Degree(v, graph.In)
+	}
+	return d
+}
+
+// materializeCandidates builds the filtered candidate list for query vertex
+// u from the best available index.
+func (m *matcher) materializeCandidates(u int) []uint32 {
+	qv := &m.q.Vertices[u]
+	var base []uint32
+	switch {
+	case qv.ID != NoID:
+		if int(qv.ID) < m.g.NumVertices() && m.passFilters(u, qv.ID) {
+			return []uint32{qv.ID}
+		}
+		return nil
+	case len(qv.Labels) > 0:
+		sets := make([][]uint32, len(qv.Labels))
+		for i, l := range qv.Labels {
+			sets[i] = m.g.VerticesWithLabel(l)
+		}
+		base = intset.IntersectK(nil, sets...)
+	default:
+		// Predicate index: smallest subject/object list among incident
+		// constant-label edges.
+		for _, ei := range m.adjEdges[u] {
+			e := m.q.Edges[ei]
+			if e.Wildcard() {
+				continue
+			}
+			var list []uint32
+			if e.From == u {
+				list = m.g.SubjectsOf(e.Label)
+			} else {
+				list = m.g.ObjectsOf(e.Label)
+			}
+			if base == nil || len(list) < len(base) {
+				base = list
+			}
+		}
+		if base == nil {
+			// Fully unconstrained vertex: every data vertex qualifies.
+			base = make([]uint32, m.g.NumVertices())
+			for i := range base {
+				base[i] = uint32(i)
+			}
+		}
+	}
+	out := make([]uint32, 0, len(base))
+	for _, v := range base {
+		if m.passFilters(u, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// buildQueryTree runs the BFS of WriteQueryTree from the chosen start
+// vertex, recording tree parents, tree edges, and non-tree edges.
+func (m *matcher) buildQueryTree(start int) {
+	n := len(m.q.Vertices)
+	m.start = start
+	m.parent = make([]int, n)
+	m.parentEdge = make([]int, n)
+	m.children = make([][]int, n)
+	m.bfsOrder = m.bfsOrder[:0]
+	m.nonTree = m.nonTree[:0]
+	for i := range m.parent {
+		m.parent[i] = -1
+		m.parentEdge[i] = -1
+	}
+	visited := make([]bool, n)
+	treeEdge := make([]bool, len(m.q.Edges))
+	visited[start] = true
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		m.bfsOrder = append(m.bfsOrder, u)
+		for _, ei := range m.adjEdges[u] {
+			e := m.q.Edges[ei]
+			w := e.To
+			if w == u {
+				w = e.From
+			}
+			if w == u || visited[w] {
+				continue
+			}
+			visited[w] = true
+			treeEdge[ei] = true
+			m.parent[w] = u
+			m.parentEdge[w] = ei
+			m.children[u] = append(m.children[u], w)
+			queue = append(queue, w)
+		}
+	}
+	for ei := range m.q.Edges {
+		if !treeEdge[ei] {
+			m.nonTree = append(m.nonTree, ei)
+		}
+	}
+}
+
+// treeEdgeDir returns the direction of u's parent edge as seen from the
+// parent: Out when the edge points parent -> u.
+func (m *matcher) treeEdgeDir(u int) graph.Dir {
+	e := m.q.Edges[m.parentEdge[u]]
+	if e.From == m.parent[u] {
+		return graph.Out
+	}
+	return graph.In
+}
+
+// childCandidates appends to dst the filtered candidates for tree child c
+// reachable from the data vertex v matched to c's parent.
+func (m *matcher) childCandidates(dst []uint32, c int, v uint32) []uint32 {
+	e := m.q.Edges[m.parentEdge[c]]
+	dir := m.treeEdgeDir(c)
+	qc := &m.q.Vertices[c]
+
+	// Pinned child: a direct edge-existence test beats list generation.
+	if qc.ID != NoID {
+		if int(qc.ID) >= m.g.NumVertices() {
+			return dst
+		}
+		ok := false
+		if e.Wildcard() {
+			if dir == graph.Out {
+				ok = m.g.HasEdge(v, qc.ID, graph.NoLabel)
+			} else {
+				ok = m.g.HasEdge(qc.ID, v, graph.NoLabel)
+			}
+		} else {
+			if dir == graph.Out {
+				ok = m.g.HasEdge(v, qc.ID, e.Label)
+			} else {
+				ok = m.g.HasEdge(qc.ID, v, e.Label)
+			}
+		}
+		if ok && m.passFilters(c, qc.ID) {
+			dst = append(dst, qc.ID)
+		}
+		return dst
+	}
+
+	base := m.adjacentSet(nil, v, dir, e.Label, qc.Labels)
+	for _, w := range base {
+		if m.passFilters(c, w) {
+			dst = append(dst, w)
+		}
+	}
+	return dst
+}
+
+// adjacentSet appends to dst the neighbors of v in direction dir matching
+// edge label el (NoID = any) and carrying all of labels (paper §4.2,
+// ExploreCandidateRegion's inductive case: intersect per-label groups,
+// union when information is blank).
+func (m *matcher) adjacentSet(dst []uint32, v uint32, dir graph.Dir, el uint32, labels []uint32) []uint32 {
+	switch {
+	case el != NoID && len(labels) == 1:
+		return append(dst, m.g.Adj(v, dir, el, labels[0])...)
+	case el != NoID && len(labels) > 1:
+		sets := make([][]uint32, len(labels))
+		for i, l := range labels {
+			sets[i] = m.g.Adj(v, dir, el, l)
+		}
+		return intset.IntersectK(dst, sets...)
+	case el != NoID:
+		return m.g.AdjEdgeLabel(dst, v, dir, el)
+	case len(labels) == 1:
+		return m.g.AdjVertexLabel(dst, v, dir, labels[0])
+	case len(labels) > 1:
+		var tmp []uint32
+		sets := make([][]uint32, len(labels))
+		for i, l := range labels {
+			start := len(tmp)
+			tmp = m.g.AdjVertexLabel(tmp, v, dir, l)
+			sets[i] = tmp[start:]
+		}
+		return intset.IntersectK(dst, sets...)
+	default:
+		return m.g.AdjAny(dst, v, dir)
+	}
+}

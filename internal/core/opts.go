@@ -1,0 +1,63 @@
+package core
+
+// Semantics selects the matching semantics.
+type Semantics uint8
+
+const (
+	// Homomorphism is the RDF pattern-matching semantics (paper Def. 2):
+	// no injectivity, weakened degree/NLF filters, and edge-label bindings
+	// (Me) for variable predicates.
+	Homomorphism Semantics = iota
+	// Isomorphism is classic subgraph isomorphism (paper Def. 1): the
+	// vertex mapping must be injective.
+	Isomorphism
+)
+
+func (s Semantics) String() string {
+	if s == Isomorphism {
+		return "isomorphism"
+	}
+	return "homomorphism"
+}
+
+// Opts control the optimization suite and execution of a match. The zero
+// value runs the plain TurboHOM configuration: no +INT, NLF and degree
+// filters enabled, per-region matching orders, single-threaded.
+type Opts struct {
+	// Intersect enables +INT: bulk IsJoinable tests via one k-way
+	// intersection per candidate list instead of per-candidate binary
+	// searches (paper §4.3).
+	Intersect bool
+	// NoNLF disables the neighborhood label frequency filter (-NLF).
+	NoNLF bool
+	// NoDegree disables the degree filter (-DEG).
+	NoDegree bool
+	// ReuseOrder computes the matching order for the first candidate
+	// region only and reuses it for all others (+REUSE).
+	ReuseOrder bool
+	// Workers sets the number of goroutines processing starting vertices
+	// (paper §5.2). Values < 2 mean sequential execution.
+	Workers int
+	// MaxSolutions stops the search after this many solutions; 0 means
+	// unlimited.
+	MaxSolutions int
+	// StartVertexCandidates caps how many top-ranked query vertices are
+	// refined when choosing the start vertex. 0 uses the default (3).
+	StartVertexCandidates int
+}
+
+// Optimized returns the full TurboHOM++ optimization set (+INT, -NLF,
+// -DEG, +REUSE), single-threaded.
+func Optimized() Opts {
+	return Opts{Intersect: true, NoNLF: true, NoDegree: true, ReuseOrder: true}
+}
+
+// Baseline returns the unoptimized TurboHOM configuration.
+func Baseline() Opts { return Opts{} }
+
+func (o Opts) topK() int {
+	if o.StartVertexCandidates > 0 {
+		return o.StartVertexCandidates
+	}
+	return 3
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fig2Instance rebuilds the Figure 2 matching-order instance (skewed star:
+// 10 X, 1000 Y, 5 Z under one A vertex; X-Y and X-Z edges, no Y-Z edges)
+// and the clique query over it.
+func fig2Instance() (*graph.Graph, *QueryGraph, int, int, int) {
+	const (
+		numX = 10
+		numY = 1000
+		numZ = 5
+	)
+	fX, fY, fZ, fA := uint32(0), uint32(1), uint32(2), uint32(3)
+	b := graph.NewBuilder()
+	v0 := uint32(0)
+	b.AddVertexLabel(v0, fA)
+	next := uint32(1)
+	var xs, ys, zs []uint32
+	for i := 0; i < numX; i++ {
+		b.AddVertexLabel(next, fX)
+		xs = append(xs, next)
+		next++
+	}
+	for i := 0; i < numY; i++ {
+		b.AddVertexLabel(next, fY)
+		ys = append(ys, next)
+		next++
+	}
+	for i := 0; i < numZ; i++ {
+		b.AddVertexLabel(next, fZ)
+		zs = append(zs, next)
+		next++
+	}
+	for _, x := range xs {
+		b.AddEdge(v0, 0, x)
+	}
+	for _, y := range ys {
+		b.AddEdge(v0, 0, y)
+	}
+	for _, z := range zs {
+		b.AddEdge(v0, 0, z)
+	}
+	for i, x := range xs {
+		for j, y := range ys {
+			if (i+j)%2 == 0 {
+				b.AddEdge(x, 0, y)
+			}
+		}
+		for _, z := range zs {
+			b.AddEdge(x, 0, z)
+		}
+	}
+	g := b.Build()
+
+	q := NewQueryGraph()
+	u0 := q.AddVertex([]uint32{fA}, NoID)
+	u1 := q.AddVertex([]uint32{fX}, NoID)
+	u2 := q.AddVertex([]uint32{fY}, NoID)
+	u3 := q.AddVertex([]uint32{fZ}, NoID)
+	q.AddEdge(u0, u1, 0)
+	q.AddEdge(u0, u2, 0)
+	q.AddEdge(u0, u3, 0)
+	q.AddEdge(u1, u2, 0)
+	q.AddEdge(u1, u3, 0)
+	q.AddEdge(u2, u3, 0)
+	return g, q, numX, numY, numZ
+}
+
+// TestPaperFig2ExplorationEffort quantifies the Figure 2 claim through the
+// profiler: the region-ordered search must stay near the good order's
+// 1 + 5*10 comparisons, far from the bad order's 10000*10*5.
+func TestPaperFig2ExplorationEffort(t *testing.T) {
+	g, q, numX, numY, numZ := fig2Instance()
+	pr, err := Profile(g, q, Isomorphism, Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Solutions != 0 {
+		t.Fatalf("solutions = %d, want 0", pr.Solutions)
+	}
+	if pr.StartVertex != 0 {
+		t.Fatalf("start vertex = %d, want u0 (least candidate regions)", pr.StartVertex)
+	}
+	if pr.StartCandidates != 1 {
+		t.Fatalf("start candidates = %d, want 1", pr.StartCandidates)
+	}
+	badOrder := numY * numX * numZ
+	if pr.SearchNodes*10 >= badOrder {
+		t.Fatalf("search nodes = %d, within 10x of the bad order's %d", pr.SearchNodes, badOrder)
+	}
+}
+
+// TestProfileCountsAgreeWithCount ensures Profile is a faithful Count.
+func TestProfileCountsAgreeWithCount(t *testing.T) {
+	g := fig1Data()
+	q := fig1Query()
+	for _, sem := range []Semantics{Homomorphism, Isomorphism} {
+		for _, opts := range []Opts{Baseline(), Optimized()} {
+			pr, err := Profile(g, q, sem, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Count(g, q, sem, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr.Solutions != want {
+				t.Fatalf("sem %v opts %+v: profile %d vs count %d", sem, opts, pr.Solutions, want)
+			}
+			if pr.Regions == 0 || pr.SearchNodes == 0 || pr.ExploredCandidates == 0 {
+				t.Fatalf("counters not collected: %+v", pr)
+			}
+		}
+	}
+}
+
+// TestProfilePointQuery covers the Algorithm 1 lines 1-4 path.
+func TestProfilePointQuery(t *testing.T) {
+	g := fig1Data()
+	q := NewQueryGraph()
+	q.AddVertex([]uint32{lC}, NoID)
+	pr, err := Profile(g, q, Homomorphism, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Solutions != 2 || pr.Regions != 2 {
+		t.Fatalf("point profile = %+v, want 2 solutions/regions", pr)
+	}
+}
+
+// TestProfileEmptyCandidates covers the no-candidate early return.
+func TestProfileEmptyCandidates(t *testing.T) {
+	g := fig1Data()
+	q := NewQueryGraph()
+	q.AddVertex([]uint32{lA, lB, lC}, NoID) // impossible label combination
+	pr, err := Profile(g, q, Homomorphism, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Solutions != 0 || pr.StartCandidates != 0 {
+		t.Fatalf("profile = %+v, want empty", pr)
+	}
+}

@@ -1,0 +1,137 @@
+// Package core implements the TurboHOM / TurboHOM++ matching engine: the
+// TurboISO algorithm family (start-vertex selection, query tree, candidate
+// region exploration, region-adaptive matching order, backtracking subgraph
+// search) generalized from subgraph isomorphism to the e-graph homomorphism
+// semantics of RDF pattern matching, plus the paper's optimization suite
+// (+INT, -NLF, -DEG, +REUSE) and parallel execution over starting vertices.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NoID marks a blank (unconstrained) label, edge label, or pinned vertex.
+const NoID = ^uint32(0)
+
+// VertexPred is an optional pushed-down predicate over candidate data
+// vertices (used by the engine layer to evaluate cheap FILTERs during
+// exploration). A nil predicate accepts everything.
+type VertexPred func(v uint32) bool
+
+// QueryVertex is one vertex of a query graph.
+type QueryVertex struct {
+	// Labels is the required label set; a candidate data vertex must carry
+	// every listed label (L(u) ⊆ L(M(u))). Empty means unconstrained.
+	Labels []uint32
+	// ID pins the vertex to one data vertex (the two-attribute vertex
+	// model's ID attribute). NoID means unpinned.
+	ID uint32
+	// Pred optionally rejects candidates during exploration.
+	Pred VertexPred
+}
+
+// QueryEdge is one directed edge of a query graph.
+type QueryEdge struct {
+	// From and To index QueryGraph.Vertices; the edge points From -> To.
+	From, To int
+	// Label is the required edge label, or NoID for a variable predicate.
+	Label uint32
+	// PredVar names the predicate variable of a wildcard edge. Edges
+	// sharing a PredVar >= 0 must bind the same data edge label. -1 means
+	// the edge either has a constant label or an anonymous wildcard.
+	PredVar int
+}
+
+// Wildcard reports whether the edge label is unconstrained.
+func (e QueryEdge) Wildcard() bool { return e.Label == NoID }
+
+// QueryGraph is a connected pattern to match against a data graph.
+type QueryGraph struct {
+	Vertices []QueryVertex
+	Edges    []QueryEdge
+}
+
+// NewQueryGraph returns an empty query graph.
+func NewQueryGraph() *QueryGraph { return &QueryGraph{} }
+
+// AddVertex appends a query vertex and returns its index.
+func (q *QueryGraph) AddVertex(labels []uint32, id uint32) int {
+	q.Vertices = append(q.Vertices, QueryVertex{Labels: labels, ID: id})
+	return len(q.Vertices) - 1
+}
+
+// AddEdge appends a directed edge with a constant label.
+func (q *QueryGraph) AddEdge(from, to int, label uint32) int {
+	q.Edges = append(q.Edges, QueryEdge{From: from, To: to, Label: label, PredVar: -1})
+	return len(q.Edges) - 1
+}
+
+// AddVarEdge appends a directed edge with a variable predicate. predVar < 0
+// makes the wildcard anonymous.
+func (q *QueryGraph) AddVarEdge(from, to int, predVar int) int {
+	q.Edges = append(q.Edges, QueryEdge{From: from, To: to, Label: NoID, PredVar: predVar})
+	return len(q.Edges) - 1
+}
+
+// Validate checks structural sanity: non-empty, edge endpoints in range,
+// and connectivity (the matcher explores one region per starting vertex, so
+// disconnected patterns must be decomposed by the caller).
+func (q *QueryGraph) Validate() error {
+	if len(q.Vertices) == 0 {
+		return errors.New("core: empty query graph")
+	}
+	for i, e := range q.Edges {
+		if e.From < 0 || e.From >= len(q.Vertices) || e.To < 0 || e.To >= len(q.Vertices) {
+			return fmt.Errorf("core: edge %d endpoints out of range", i)
+		}
+	}
+	if !q.connected() {
+		return errors.New("core: query graph is disconnected; split it into components")
+	}
+	return nil
+}
+
+func (q *QueryGraph) connected() bool {
+	if len(q.Vertices) == 0 {
+		return true
+	}
+	seen := make([]bool, len(q.Vertices))
+	stack := []int{0}
+	seen[0] = true
+	n := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range q.Edges {
+			var w int
+			switch u {
+			case e.From:
+				w = e.To
+			case e.To:
+				w = e.From
+			default:
+				continue
+			}
+			if !seen[w] {
+				seen[w] = true
+				n++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return n == len(q.Vertices)
+}
+
+// adjacentEdges returns, for every vertex, the indices of its incident
+// edges (self-loops listed once).
+func (q *QueryGraph) adjacentEdges() [][]int {
+	adj := make([][]int, len(q.Vertices))
+	for i, e := range q.Edges {
+		adj[e.From] = append(adj[e.From], i)
+		if e.To != e.From {
+			adj[e.To] = append(adj[e.To], i)
+		}
+	}
+	return adj
+}

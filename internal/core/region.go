@@ -1,0 +1,171 @@
+package core
+
+import "sort"
+
+// regionKey identifies a (query vertex, parent data vertex) pair inside one
+// candidate region.
+type regionKey uint64
+
+func rkey(u int, v uint32) regionKey {
+	return regionKey(u)<<32 | regionKey(v)
+}
+
+const (
+	stUnknown int8 = iota
+	stOK
+	stFail
+)
+
+// region holds one candidate region: for every query-tree vertex u and every
+// data vertex v matched to u's parent, the filtered candidate list CR(u, v)
+// (paper §2.2, ExploreCandidateRegion). Exploration is memoized per (u, v),
+// so shared subtrees are explored once.
+type region struct {
+	root   uint32
+	cand   map[regionKey][]uint32
+	state  map[regionKey]int8
+	totals []int // per query vertex: total candidates across parents
+}
+
+func newRegion(numQueryVertices int) *region {
+	return &region{
+		cand:   make(map[regionKey][]uint32),
+		state:  make(map[regionKey]int8),
+		totals: make([]int, numQueryVertices),
+	}
+}
+
+func (r *region) reset(root uint32) {
+	r.root = root
+	clear(r.cand)
+	clear(r.state)
+	for i := range r.totals {
+		r.totals[i] = 0
+	}
+}
+
+// explore grows the candidate region depth-first along the query tree from
+// (u, v). It returns false when some required subtree cannot be matched, in
+// which case v is not a viable candidate for u. Results are memoized.
+//
+// Unlike TurboISO's isomorphism-mode exploration we do not enforce path
+// injectivity here: the region is a safe over-approximation and
+// SubgraphSearch re-checks injectivity exactly. This keeps the memoization
+// path-independent, which the e-graph homomorphism mode needs anyway.
+func (m *matcher) explore(rg *region, u int, v uint32) bool {
+	k := rkey(u, v)
+	if st := rg.state[k]; st != stUnknown {
+		return st == stOK
+	}
+	children := m.children[u]
+	lists := make([][]uint32, len(children))
+	for i, c := range children {
+		base := m.childCandidates(nil, c, v)
+		surv := base[:0]
+		for _, w := range base {
+			if m.explore(rg, c, w) {
+				surv = append(surv, w)
+			}
+		}
+		if len(surv) == 0 {
+			rg.state[k] = stFail
+			return false
+		}
+		lists[i] = surv
+	}
+	for i, c := range children {
+		ck := rkey(c, v)
+		rg.cand[ck] = lists[i]
+		rg.totals[c] += len(lists[i])
+	}
+	rg.state[k] = stOK
+	return true
+}
+
+// searchPlan is the region-specific matching order plus the per-position
+// edge bookkeeping derived from it.
+type searchPlan struct {
+	order []int // matching order; order[0] == start
+	pos   []int // inverse of order
+	// constJoins[dc]: constant-label non-tree edges (excluding self-loops)
+	// whose second endpoint is matched at position dc — the IsJoinable set.
+	constJoins [][]int
+	// selfConst[dc]: constant-label self-loops on order[dc].
+	selfConst [][]int
+	// wild[dc]: wildcard edges fully resolved at position dc (the wildcard
+	// tree edge of order[dc], wildcard non-tree edges, wildcard self-loops).
+	// Their labels are enumerated and bound during search.
+	wild [][]int
+}
+
+// buildPlan implements DetermineMatchingOrder: rank the root-to-leaf query
+// paths by candidate population in this region (ascending) and merge them
+// into one matching order, then precompute the join-edge schedule.
+func (m *matcher) buildPlan(rg *region) *searchPlan {
+	var paths [][]int
+	var walk func(u int, acc []int)
+	walk = func(u int, acc []int) {
+		acc = append(acc, u)
+		if len(m.children[u]) == 0 {
+			paths = append(paths, append([]int(nil), acc...))
+			return
+		}
+		for _, c := range m.children[u] {
+			walk(c, acc)
+		}
+	}
+	walk(m.start, nil)
+
+	est := make([]int, len(paths))
+	for i, p := range paths {
+		for _, u := range p[1:] {
+			est[i] += rg.totals[u]
+		}
+	}
+	idx := make([]int, len(paths))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return est[idx[a]] < est[idx[b]] })
+
+	n := len(m.q.Vertices)
+	plan := &searchPlan{pos: make([]int, n)}
+	added := make([]bool, n)
+	for _, pi := range idx {
+		for _, u := range paths[pi] {
+			if !added[u] {
+				added[u] = true
+				plan.pos[u] = len(plan.order)
+				plan.order = append(plan.order, u)
+			}
+		}
+	}
+
+	plan.constJoins = make([][]int, n)
+	plan.selfConst = make([][]int, n)
+	plan.wild = make([][]int, n)
+	// Wildcard tree edges resolve at the child's position.
+	for u := 0; u < n; u++ {
+		if u != m.start && m.q.Edges[m.parentEdge[u]].Wildcard() {
+			dc := plan.pos[u]
+			plan.wild[dc] = append(plan.wild[dc], m.parentEdge[u])
+		}
+	}
+	// Non-tree edges resolve where their later endpoint is placed.
+	for _, ei := range m.nonTree {
+		e := m.q.Edges[ei]
+		dc := plan.pos[e.From]
+		if plan.pos[e.To] > dc {
+			dc = plan.pos[e.To]
+		}
+		switch {
+		case e.Wildcard():
+			plan.wild[dc] = append(plan.wild[dc], ei)
+		case e.From == e.To:
+			plan.selfConst[dc] = append(plan.selfConst[dc], ei)
+		default:
+			plan.constJoins[dc] = append(plan.constJoins[dc], ei)
+		}
+	}
+	return plan
+}

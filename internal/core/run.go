@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// run executes the full TurboHOM++ pipeline sequentially: choose a start
+// vertex, build the query tree, then per starting data vertex explore the
+// candidate region, determine (or reuse) the matching order, and search.
+func (m *matcher) run(visit Visitor) (int, error) {
+	start, cands := m.startCandidates()
+	if len(cands) == 0 {
+		return 0, nil
+	}
+	// Point-shaped query (Algorithm 1 lines 1-4): a single vertex with no
+	// edges needs no region machinery — every filtered candidate is a
+	// solution. This is the case the type-aware transformation creates for
+	// class-scan queries like LUBM Q6/Q14.
+	if len(m.q.Vertices) == 1 && len(m.q.Edges) == 0 {
+		st := newSearchState(m, visit, m.opts.MaxSolutions, nil)
+		for _, v := range cands {
+			st.mapping[0] = v
+			st.emit()
+			if st.stopped {
+				break
+			}
+		}
+		return st.count, nil
+	}
+	m.buildQueryTree(start)
+	st := newSearchState(m, visit, m.opts.MaxSolutions, nil)
+	rg := newRegion(len(m.q.Vertices))
+	var plan *searchPlan
+	for _, vs := range cands {
+		rg.reset(vs)
+		if !m.explore(rg, start, vs) {
+			continue
+		}
+		if plan == nil || !m.opts.ReuseOrder {
+			plan = m.buildPlan(rg)
+		}
+		st.rg, st.plan = rg, plan
+		st.search(0)
+		if st.stopped {
+			break
+		}
+	}
+	return st.count, nil
+}
+
+// runParallelCount distributes starting vertices across workers (paper
+// §5.2: dynamic small-chunk distribution) and counts solutions.
+func (m *matcher) runParallelCount() (int, error) {
+	total, _, err := m.runParallel(false)
+	if err != nil {
+		return 0, err
+	}
+	n := int(total)
+	if m.opts.MaxSolutions > 0 && n > m.opts.MaxSolutions {
+		n = m.opts.MaxSolutions
+	}
+	return n, nil
+}
+
+// runParallelCollect distributes starting vertices across workers and
+// returns the merged solutions.
+func (m *matcher) runParallelCollect() ([]Match, error) {
+	_, sols, err := m.runParallel(true)
+	if err != nil {
+		return nil, err
+	}
+	if m.opts.MaxSolutions > 0 && len(sols) > m.opts.MaxSolutions {
+		sols = sols[:m.opts.MaxSolutions]
+	}
+	return sols, nil
+}
+
+func (m *matcher) runParallel(collect bool) (int64, []Match, error) {
+	start, cands := m.startCandidates()
+	if len(cands) == 0 {
+		return 0, nil, nil
+	}
+	// Point-shaped queries have no per-region work to distribute; the
+	// sequential fast path is optimal.
+	if len(m.q.Vertices) == 1 && len(m.q.Edges) == 0 {
+		var sols []Match
+		visit := Visitor(nil)
+		if collect {
+			visit = func(mt Match) bool {
+				sols = append(sols, mt.Clone())
+				return true
+			}
+		}
+		n, err := m.run(visit)
+		return int64(n), sols, err
+	}
+	m.buildQueryTree(start)
+
+	workers := m.opts.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Dynamic distribution: small chunks claimed from a shared cursor so
+	// skewed candidate regions do not starve workers.
+	chunk := len(cands)/(workers*8) + 1
+	if chunk > 256 {
+		chunk = 256
+	}
+
+	var cursor, total atomic.Int64
+	perWorker := make([][]Match, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var visit Visitor
+			if collect {
+				visit = func(mt Match) bool {
+					perWorker[w] = append(perWorker[w], mt.Clone())
+					return true
+				}
+			}
+			st := newSearchState(m, visit, m.opts.MaxSolutions, &total)
+			rg := newRegion(len(m.q.Vertices))
+			var plan *searchPlan
+			for {
+				if st.stopped {
+					return
+				}
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= len(cands) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(cands) {
+					hi = len(cands)
+				}
+				for _, vs := range cands[lo:hi] {
+					if st.stopped {
+						return
+					}
+					rg.reset(vs)
+					if !m.explore(rg, start, vs) {
+						continue
+					}
+					if plan == nil || !m.opts.ReuseOrder {
+						plan = m.buildPlan(rg)
+					}
+					st.rg, st.plan = rg, plan
+					st.search(0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if !collect {
+		return total.Load(), nil, nil
+	}
+	var merged []Match
+	for _, sols := range perWorker {
+		merged = append(merged, sols...)
+	}
+	return total.Load(), merged, nil
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/intset"
+)
+
+// searchState is the per-worker mutable state of SubgraphSearch.
+type searchState struct {
+	m     *matcher
+	visit Visitor
+
+	rg   *region
+	plan *searchPlan
+
+	mapping  []uint32 // M: query vertex -> data vertex
+	edgeBind []uint32 // Me: query edge -> bound edge label
+	varBind  []uint32 // predicate variable -> bound edge label (NoID unbound)
+	used     []bool   // F: isomorphism-mode in-use flags (nil for hom)
+
+	count   int
+	limit   int
+	stopped bool
+
+	profile *ProfileResult // optional effort counters (Profile only)
+
+	shared *atomic.Int64 // cross-worker solution count (nil if sequential)
+
+	// Per-depth scratch buffers for the +INT intersections; indexed by the
+	// matching-order position so nested recursion never aliases.
+	candBuf  [][]uint32
+	adjBuf   [][]uint32
+	listsBuf [][][]uint32
+	rootBuf  [1]uint32
+	lblBuf   []uint32
+}
+
+func newSearchState(m *matcher, visit Visitor, limit int, shared *atomic.Int64) *searchState {
+	n := len(m.q.Vertices)
+	s := &searchState{
+		m:        m,
+		visit:    visit,
+		mapping:  make([]uint32, n),
+		edgeBind: make([]uint32, len(m.q.Edges)),
+		count:    0,
+		limit:    limit,
+		shared:   shared,
+		candBuf:  make([][]uint32, n),
+		adjBuf:   make([][]uint32, n),
+		listsBuf: make([][][]uint32, n),
+	}
+	maxVar := -1
+	for i, e := range m.q.Edges {
+		if e.Wildcard() {
+			s.edgeBind[i] = NoID
+		} else {
+			s.edgeBind[i] = e.Label
+		}
+		if e.PredVar > maxVar {
+			maxVar = e.PredVar
+		}
+	}
+	s.varBind = make([]uint32, maxVar+1)
+	for i := range s.varBind {
+		s.varBind[i] = NoID
+	}
+	if m.sem == Isomorphism {
+		s.used = make([]bool, m.g.NumVertices())
+	}
+	return s
+}
+
+func (s *searchState) emit() {
+	s.count++
+	if s.visit != nil && !s.visit(Match{Vertices: s.mapping, EdgeLabels: s.edgeBind}) {
+		s.stopped = true
+		return
+	}
+	if s.shared != nil {
+		total := s.shared.Add(1)
+		if s.limit > 0 && total >= int64(s.limit) {
+			s.stopped = true
+		}
+		return
+	}
+	if s.limit > 0 && s.count >= s.limit {
+		s.stopped = true
+	}
+}
+
+// search places the matching-order position dc (SubgraphSearch in the
+// paper, with +INT folded in when enabled).
+func (s *searchState) search(dc int) {
+	if s.stopped {
+		return
+	}
+	plan := s.plan
+	if dc == len(plan.order) {
+		s.emit()
+		return
+	}
+	u := plan.order[dc]
+
+	var cands []uint32
+	if dc == 0 {
+		s.rootBuf[0] = s.rg.root
+		cands = s.rootBuf[:]
+	} else {
+		cands = s.rg.cand[rkey(u, s.mapping[s.m.parent[u]])]
+	}
+
+	constJoins := plan.constJoins[dc]
+	if s.m.opts.Intersect && len(constJoins) > 0 {
+		// +INT: one k-way intersection replaces per-candidate membership
+		// tests (paper §4.3).
+		cands = s.intersectJoins(dc, u, cands, constJoins)
+		constJoins = nil
+	}
+
+	for _, v := range cands {
+		if s.stopped {
+			return
+		}
+		if s.profile != nil {
+			s.profile.SearchNodes++
+		}
+		if s.used != nil && s.used[v] {
+			continue // injectivity (subgraph isomorphism only)
+		}
+		if constJoins != nil && !s.checkConstJoins(u, v, constJoins) {
+			continue
+		}
+		if !s.checkSelfLoops(v, plan.selfConst[dc]) {
+			continue
+		}
+		s.bindWild(dc, u, v, plan.wild[dc], 0)
+	}
+}
+
+// intersectJoins computes cands ∩ adj-lists of the already-matched endpoints
+// of the given constant non-tree edges, using per-depth buffers.
+func (s *searchState) intersectJoins(dc, u int, cands []uint32, edges []int) []uint32 {
+	m := s.m
+	lists := append(s.listsBuf[dc][:0], cands)
+	adjScratch := s.adjBuf[dc][:0]
+	for _, ei := range edges {
+		e := m.q.Edges[ei]
+		var w int
+		var dir graph.Dir
+		if e.From == u {
+			// Candidates x with x --el--> M(To): incoming adjacency of M(To).
+			w, dir = e.To, graph.In
+		} else {
+			w, dir = e.From, graph.Out
+		}
+		vw := s.mapping[w]
+		if labels := m.q.Vertices[u].Labels; len(labels) > 0 {
+			// Candidates all carry labels[0], so the (el, labels[0]) group
+			// is a complete filter.
+			lists = append(lists, m.g.Adj(vw, dir, e.Label, labels[0]))
+		} else {
+			start := len(adjScratch)
+			adjScratch = m.g.AdjEdgeLabel(adjScratch, vw, dir, e.Label)
+			lists = append(lists, adjScratch[start:])
+		}
+	}
+	s.adjBuf[dc] = adjScratch
+	s.listsBuf[dc] = lists
+	s.candBuf[dc] = intset.IntersectK(s.candBuf[dc][:0], lists...)
+	return s.candBuf[dc]
+}
+
+// checkConstJoins is the unoptimized IsJoinable: membership tests per
+// candidate.
+func (s *searchState) checkConstJoins(u int, v uint32, edges []int) bool {
+	m := s.m
+	for _, ei := range edges {
+		e := m.q.Edges[ei]
+		var ok bool
+		if e.From == u {
+			ok = m.g.HasEdge(v, s.mapping[e.To], e.Label)
+		} else {
+			ok = m.g.HasEdge(s.mapping[e.From], v, e.Label)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *searchState) checkSelfLoops(v uint32, edges []int) bool {
+	for _, ei := range edges {
+		if !s.m.g.HasEdge(v, v, s.m.q.Edges[ei].Label) {
+			return false
+		}
+	}
+	return true
+}
+
+// bindWild enumerates label assignments for the wildcard edges resolved at
+// this position (the e-graph homomorphism's Me mapping, paper Def. 2),
+// respecting shared predicate variables, then descends.
+func (s *searchState) bindWild(dc, u int, v uint32, edges []int, idx int) {
+	if s.stopped {
+		return
+	}
+	if idx == len(edges) {
+		s.mapping[u] = v
+		if s.used != nil {
+			s.used[v] = true
+		}
+		s.search(dc + 1)
+		if s.used != nil {
+			s.used[v] = false
+		}
+		return
+	}
+	m := s.m
+	e := m.q.Edges[edges[idx]]
+	vf, vt := v, v
+	if e.From != u {
+		vf = s.mapping[e.From]
+	}
+	if e.To != u {
+		vt = s.mapping[e.To]
+	}
+	s.lblBuf = m.g.EdgeLabelsBetween(s.lblBuf[:0], vf, vt)
+	labels := s.lblBuf
+	if len(labels) == 0 {
+		return
+	}
+	bound := NoID
+	if e.PredVar >= 0 {
+		bound = s.varBind[e.PredVar]
+	}
+	// Copy: recursion below reuses lblBuf.
+	labelsCopy := append([]uint32(nil), labels...)
+	for _, lbl := range labelsCopy {
+		if bound != NoID && lbl != bound {
+			continue
+		}
+		s.edgeBind[edges[idx]] = lbl
+		if e.PredVar >= 0 && bound == NoID {
+			s.varBind[e.PredVar] = lbl
+		}
+		s.bindWild(dc, u, v, edges, idx+1)
+		if e.PredVar >= 0 && bound == NoID {
+			s.varBind[e.PredVar] = NoID
+		}
+		if s.stopped {
+			return
+		}
+	}
+	s.edgeBind[edges[idx]] = NoID
+}

@@ -1,0 +1,229 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rdf"
+)
+
+// BSBM namespaces (Berlin SPARQL Benchmark).
+const (
+	BSBMVoc  = "http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/"
+	BSBMInst = "http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/instances/"
+)
+
+func bsbm(local string) rdf.Term  { return rdf.NewIRI(BSBMVoc + local) }
+func bsbmI(local string) rdf.Term { return rdf.NewIRI(BSBMInst + local) }
+
+// BSBM vocabulary.
+var (
+	bsbmProduct     = bsbm("Product")
+	bsbmProducerCls = bsbm("Producer")
+	bsbmVendorCls   = bsbm("Vendor")
+	bsbmOfferCls    = bsbm("Offer")
+	bsbmReviewCls   = bsbm("Review")
+	bsbmPersonCls   = bsbm("Person")
+	bsbmFeatureCls  = bsbm("ProductFeature")
+
+	bsbmLabel     = bsbm("label")
+	bsbmProducer  = bsbm("producer")
+	bsbmFeature   = bsbm("productFeature")
+	bsbmNum1      = bsbm("productPropertyNumeric1")
+	bsbmNum2      = bsbm("productPropertyNumeric2")
+	bsbmNum3      = bsbm("productPropertyNumeric3")
+	bsbmText1     = bsbm("productPropertyTextual1")
+	bsbmText2     = bsbm("productPropertyTextual2")
+	bsbmText4     = bsbm("productPropertyTextual4")
+	bsbmOfferFor  = bsbm("offerFor")
+	bsbmVendor    = bsbm("vendor")
+	bsbmPrice     = bsbm("price")
+	bsbmDelivery  = bsbm("deliveryDays")
+	bsbmValidTo   = bsbm("validTo")
+	bsbmReviewFor = bsbm("reviewFor")
+	bsbmReviewer  = bsbm("reviewer")
+	bsbmTitle     = bsbm("title")
+	bsbmRating1   = bsbm("rating1")
+	bsbmRating2   = bsbm("rating2")
+	bsbmRevDate   = bsbm("reviewDate")
+	bsbmCountry   = bsbm("country")
+	bsbmName      = bsbm("name")
+)
+
+// BSBMConfig parameterizes the BSBM generator.
+type BSBMConfig struct {
+	// Products is the scale factor.
+	Products int
+	Seed     int64
+}
+
+// Generator shape constants: branches of the product-type tree, ratios of
+// dependent entities per product — the BSBM dataset's fixed proportions.
+const (
+	bsbmTypeBranches   = 4
+	bsbmTypesPerBranch = 5
+	bsbmOffersPerProd  = 4
+	bsbmReviewsPerProd = 3
+	bsbmMinFeatures    = 40
+)
+
+var bsbmAdjectives = []string{
+	"swift", "glorious", "rustic", "quiet", "magic", "bright",
+	"crimson", "gentle", "frozen", "amber",
+}
+
+var bsbmNouns = []string{
+	"widget", "gadget", "engine", "lantern", "compass", "kettle",
+	"drill", "anvil", "prism", "rotor",
+}
+
+var bsbmCountries = []string{"US", "DE", "GB", "JP", "FR", "KR"}
+
+// BSBMOntology returns the product-type TBox: leaf types under branch types
+// under bsbm:Product. The materializer propagates product types upward so
+// queries can select by branch or by the root class.
+func BSBMOntology() []rdf.Triple {
+	var out []rdf.Triple
+	for b := 0; b < bsbmTypeBranches; b++ {
+		branch := bsbmI(fmt.Sprintf("ProductTypeBranch%d", b))
+		out = append(out, rdf.Triple{S: branch, P: rdf.SubClassTerm, O: bsbmProduct})
+		for l := 0; l < bsbmTypesPerBranch; l++ {
+			leaf := bsbmI(fmt.Sprintf("ProductType%d", b*bsbmTypesPerBranch+l))
+			out = append(out, rdf.Triple{S: leaf, P: rdf.SubClassTerm, O: branch})
+		}
+	}
+	return out
+}
+
+// BSBMRules returns the inference rules for BSBM (the type hierarchy only).
+func BSBMRules() *Rules { return ExtractRules(BSBMOntology()) }
+
+// BSBM generates products, producers, vendors, offers, reviewers and
+// reviews with the benchmark's fixed proportions. Optional-ish properties
+// (textual2, textual4, rating1, rating2) are emitted for only part of the
+// population, which is what the OPTIONAL/bound() queries of the explore mix
+// observe.
+func BSBM(cfg BSBMConfig) []rdf.Triple {
+	r := newRNG(cfg.Seed*7_654_321 + 11)
+	out := BSBMOntology()
+
+	nProducts := cfg.Products
+	nFeatures := nProducts/5 + bsbmMinFeatures
+	nProducers := nProducts/25 + 1
+	nVendors := nProducts/20 + 2
+	nReviewers := nProducts/10 + 3
+
+	for f := 0; f < nFeatures; f++ {
+		feat := bsbmI(fmt.Sprintf("ProductFeature%d", f))
+		out = append(out,
+			rdf.Triple{S: feat, P: rdf.TypeTerm, O: bsbmFeatureCls},
+			rdf.Triple{S: feat, P: bsbmLabel, O: literal("feature %d", f)},
+		)
+	}
+	for p := 0; p < nProducers; p++ {
+		pr := bsbmI(fmt.Sprintf("Producer%d", p))
+		out = append(out,
+			rdf.Triple{S: pr, P: rdf.TypeTerm, O: bsbmProducerCls},
+			rdf.Triple{S: pr, P: bsbmLabel, O: literal("producer %d", p)},
+			rdf.Triple{S: pr, P: bsbmCountry, O: rdf.NewLiteral(pick(r, bsbmCountries))},
+		)
+	}
+	for v := 0; v < nVendors; v++ {
+		vd := bsbmI(fmt.Sprintf("Vendor%d", v))
+		out = append(out,
+			rdf.Triple{S: vd, P: rdf.TypeTerm, O: bsbmVendorCls},
+			rdf.Triple{S: vd, P: bsbmLabel, O: literal("vendor %d", v)},
+			rdf.Triple{S: vd, P: bsbmCountry, O: rdf.NewLiteral(pick(r, bsbmCountries))},
+		)
+	}
+	for rv := 0; rv < nReviewers; rv++ {
+		p := bsbmI(fmt.Sprintf("Reviewer%d", rv))
+		out = append(out,
+			rdf.Triple{S: p, P: rdf.TypeTerm, O: bsbmPersonCls},
+			rdf.Triple{S: p, P: bsbmName, O: literal("Reviewer %d", rv)},
+			rdf.Triple{S: p, P: bsbmCountry, O: rdf.NewLiteral(pick(r, bsbmCountries))},
+		)
+	}
+
+	// skewedFeature favors low feature indexes (quadratic skew), giving the
+	// benchmark's popular-feature queries non-empty results at every scale.
+	skewedFeature := func() rdf.Term {
+		u := r.Float64()
+		return bsbmI(fmt.Sprintf("ProductFeature%d", int(u*u*float64(nFeatures))))
+	}
+
+	nOffers, nReviews := 0, 0
+	for p := 0; p < nProducts; p++ {
+		prod := bsbmI(fmt.Sprintf("Product%d", p))
+		leaf := bsbmI(fmt.Sprintf("ProductType%d", r.Intn(bsbmTypeBranches*bsbmTypesPerBranch)))
+		label := fmt.Sprintf("%s %s %d", pick(r, bsbmAdjectives), pick(r, bsbmNouns), p)
+		out = append(out,
+			rdf.Triple{S: prod, P: rdf.TypeTerm, O: leaf},
+			rdf.Triple{S: prod, P: bsbmLabel, O: rdf.NewLiteral(label)},
+			rdf.Triple{S: prod, P: bsbmProducer, O: bsbmI(fmt.Sprintf("Producer%d", r.Intn(nProducers)))},
+			rdf.Triple{S: prod, P: bsbmNum1, O: rdf.NewIntLiteral(int64(r.between(1, 2000)))},
+			rdf.Triple{S: prod, P: bsbmNum2, O: rdf.NewIntLiteral(int64(r.between(1, 2000)))},
+			rdf.Triple{S: prod, P: bsbmNum3, O: rdf.NewIntLiteral(int64(r.between(1, 2000)))},
+			rdf.Triple{S: prod, P: bsbmText1, O: literal("text one %d", p)},
+		)
+		if r.Intn(10) < 7 {
+			out = append(out, rdf.Triple{S: prod, P: bsbmText2, O: literal("text two %d", p)})
+		}
+		if r.Intn(10) < 6 {
+			out = append(out, rdf.Triple{S: prod, P: bsbmText4, O: literal("text four %d", p)})
+		}
+		for i := 0; i < r.between(4, 8); i++ {
+			out = append(out, rdf.Triple{S: prod, P: bsbmFeature, O: skewedFeature()})
+		}
+
+		for i := 0; i < bsbmOffersPerProd; i++ {
+			off := bsbmI(fmt.Sprintf("Offer%d", nOffers))
+			nOffers++
+			price := math.Round(float64(r.between(5, 3000))*100) / 100
+			out = append(out,
+				rdf.Triple{S: off, P: rdf.TypeTerm, O: bsbmOfferCls},
+				rdf.Triple{S: off, P: bsbmOfferFor, O: prod},
+				rdf.Triple{S: off, P: bsbmVendor, O: bsbmI(fmt.Sprintf("Vendor%d", r.Intn(nVendors)))},
+				rdf.Triple{S: off, P: bsbmPrice, O: rdf.NewFloatLiteral(price)},
+				rdf.Triple{S: off, P: bsbmDelivery, O: rdf.NewIntLiteral(int64(r.between(1, 7)))},
+				rdf.Triple{S: off, P: bsbmValidTo, O: rdf.NewTypedLiteral(
+					fmt.Sprintf("2026-%02d-%02d", r.between(1, 12), r.between(1, 28)), rdf.XSDDate)},
+			)
+		}
+
+		for i := 0; i < bsbmReviewsPerProd; i++ {
+			rev := bsbmI(fmt.Sprintf("Review%d", nReviews))
+			nReviews++
+			lang := "en"
+			if r.chance(3) {
+				lang = "de"
+			}
+			out = append(out,
+				rdf.Triple{S: rev, P: rdf.TypeTerm, O: bsbmReviewCls},
+				rdf.Triple{S: rev, P: bsbmReviewFor, O: prod},
+				rdf.Triple{S: rev, P: bsbmReviewer, O: bsbmI(fmt.Sprintf("Reviewer%d", r.Intn(nReviewers)))},
+				rdf.Triple{S: rev, P: bsbmTitle, O: rdf.NewLangLiteral(fmt.Sprintf("review %d", nReviews-1), lang)},
+				rdf.Triple{S: rev, P: bsbmRevDate, O: rdf.NewTypedLiteral(
+					fmt.Sprintf("2025-%02d-%02d", r.between(1, 12), r.between(1, 28)), rdf.XSDDate)},
+			)
+			if r.Intn(10) < 8 {
+				out = append(out, rdf.Triple{S: rev, P: bsbmRating1, O: rdf.NewIntLiteral(int64(r.between(1, 10)))})
+			}
+			if r.Intn(10) < 6 {
+				out = append(out, rdf.Triple{S: rev, P: bsbmRating2, O: rdf.NewIntLiteral(int64(r.between(1, 10)))})
+			}
+		}
+	}
+	return out
+}
+
+// BSBMDataset generates BSBM at the given product count, materializes the
+// type hierarchy, and attaches the 12 explore-use-case queries.
+func BSBMDataset(products int) *Dataset {
+	triples := Materialize(BSBM(BSBMConfig{Products: products, Seed: 1}), BSBMRules())
+	return &Dataset{
+		Name:    fmt.Sprintf("BSBM%d", products),
+		Triples: triples,
+		Queries: BSBMQueries(),
+	}
+}

@@ -1,0 +1,120 @@
+package datagen
+
+// BSBMQueries returns the 12 explore-use-case queries. They follow the
+// official mix's structure: every general SPARQL feature the paper's §5.1
+// discusses appears — FILTER (cheap comparisons, join conditions, regex,
+// lang, bound-negation), OPTIONAL (including multiple and nested groups),
+// and UNION. Constant IRIs reference entities that exist at every scale
+// (Product0/1, Offer0/1, Review0, popular features, type-tree nodes).
+func BSBMQueries() []Query {
+	const prefix = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX bsbm: <http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/>
+PREFIX inst: <http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/instances/>
+`
+	q := func(id, body string) Query { return Query{ID: id, Text: prefix + body} }
+	return []Query{
+		// Q1: products of a type branch with two popular features and a
+		// numeric threshold.
+		q("Q1", `SELECT ?product ?label WHERE {
+	?product rdf:type inst:ProductTypeBranch0 .
+	?product bsbm:label ?label .
+	?product bsbm:productFeature inst:ProductFeature0 .
+	?product bsbm:productFeature inst:ProductFeature1 .
+	?product bsbm:productPropertyNumeric1 ?v .
+	FILTER(?v > 500) }`),
+
+		// Q2: details of one product, optional textual properties.
+		q("Q2", `SELECT ?label ?producerLabel ?n1 ?t1 ?t2 WHERE {
+	inst:Product0 bsbm:label ?label .
+	inst:Product0 bsbm:producer ?producer .
+	?producer bsbm:label ?producerLabel .
+	inst:Product0 bsbm:productPropertyNumeric1 ?n1 .
+	inst:Product0 bsbm:productPropertyTextual1 ?t1 .
+	OPTIONAL { inst:Product0 bsbm:productPropertyTextual2 ?t2 . } }`),
+
+		// Q3: branch + feature + threshold, keeping only products that lack
+		// textual4 (OPTIONAL + !bound negation).
+		q("Q3", `SELECT ?product WHERE {
+	?product rdf:type inst:ProductTypeBranch1 .
+	?product bsbm:productFeature inst:ProductFeature0 .
+	?product bsbm:productPropertyNumeric1 ?v .
+	FILTER(?v > 300)
+	OPTIONAL { ?product bsbm:productPropertyTextual4 ?t . }
+	FILTER(!bound(?t)) }`),
+
+		// Q4: UNION of two alternative feature/threshold combinations.
+		q("Q4", `SELECT ?product WHERE {
+	{ ?product rdf:type inst:ProductTypeBranch0 .
+	  ?product bsbm:productFeature inst:ProductFeature0 .
+	  ?product bsbm:productPropertyNumeric1 ?v1 .
+	  FILTER(?v1 > 800) }
+	UNION
+	{ ?product rdf:type inst:ProductTypeBranch1 .
+	  ?product bsbm:productFeature inst:ProductFeature1 .
+	  ?product bsbm:productPropertyNumeric2 ?v2 .
+	  FILTER(?v2 > 800) } }`),
+
+		// Q5: products with property values close to Product0's — the
+		// expensive join-condition FILTER of the paper's Table 6 discussion.
+		q("Q5", `SELECT ?product WHERE {
+	inst:Product0 bsbm:productPropertyNumeric1 ?o1 .
+	inst:Product0 bsbm:productPropertyNumeric2 ?o2 .
+	?product bsbm:productPropertyNumeric1 ?v1 .
+	?product bsbm:productPropertyNumeric2 ?v2 .
+	FILTER(?v1 > ?o1 - 120 && ?v1 < ?o1 + 120)
+	FILTER(?v2 > ?o2 - 170 && ?v2 < ?o2 + 170) }`),
+
+		// Q6: regular-expression search over every product label — the
+		// expensive regex FILTER of the paper's Table 6 discussion.
+		q("Q6", `SELECT ?product ?label WHERE {
+	?product rdf:type bsbm:Product .
+	?product bsbm:label ?label .
+	FILTER regex(?label, "magic") }`),
+
+		// Q7: one product with all offers and reviews, both optional.
+		q("Q7", `SELECT ?label ?offer ?price ?rev ?rating WHERE {
+	inst:Product1 bsbm:label ?label .
+	OPTIONAL {
+		?offer bsbm:offerFor inst:Product1 .
+		?offer bsbm:price ?price .
+	}
+	OPTIONAL {
+		?rev bsbm:reviewFor inst:Product1 .
+		OPTIONAL { ?rev bsbm:rating1 ?rating . }
+	} }`),
+
+		// Q8: English-language reviews of one product.
+		q("Q8", `SELECT ?title WHERE {
+	?rev bsbm:reviewFor inst:Product1 .
+	?rev bsbm:title ?title .
+	FILTER(lang(?title) = "en") }`),
+
+		// Q9: reviewer behind one review.
+		q("Q9", `SELECT ?name ?country WHERE {
+	inst:Review0 bsbm:reviewer ?r .
+	?r bsbm:name ?name .
+	?r bsbm:country ?country . }`),
+
+		// Q10: cheap, quickly deliverable offers for one product.
+		q("Q10", `SELECT ?offer ?price WHERE {
+	?offer bsbm:offerFor inst:Product1 .
+	?offer bsbm:deliveryDays ?d .
+	?offer bsbm:price ?price .
+	FILTER(?d <= 4)
+	FILTER(?price < 2800) }`),
+
+		// Q11: everything about one offer, unbound predicates in both
+		// directions.
+		q("Q11", `SELECT ?p ?x WHERE {
+	{ inst:Offer0 ?p ?x . } UNION { ?x ?p inst:Offer0 . } }`),
+
+		// Q12: offer export — follow the offer to product and vendor.
+		q("Q12", `SELECT ?productLabel ?vendorLabel ?price ?validTo WHERE {
+	inst:Offer1 bsbm:offerFor ?product .
+	?product bsbm:label ?productLabel .
+	inst:Offer1 bsbm:vendor ?vendor .
+	?vendor bsbm:label ?vendorLabel .
+	inst:Offer1 bsbm:price ?price .
+	inst:Offer1 bsbm:validTo ?validTo . }`),
+	}
+}

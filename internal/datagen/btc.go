@@ -1,0 +1,169 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Vocabularies of the BTC-like crawl: the mix of FOAF, Dublin Core, SIOC,
+// W3C geo, and DBpedia-style terms that dominates the real Billion Triples
+// Challenge 2012 crawl.
+const (
+	FOAF = "http://xmlns.com/foaf/0.1/"
+	DC   = "http://purl.org/dc/elements/1.1/"
+	SIOC = "http://rdfs.org/sioc/ns#"
+	GEO  = "http://www.w3.org/2003/01/geo/wgs84_pos#"
+	DBO  = "http://dbpedia.org/ontology/"
+	RDFS = "http://www.w3.org/2000/01/rdf-schema#"
+)
+
+func foaf(l string) rdf.Term { return rdf.NewIRI(FOAF + l) }
+func dc(l string) rdf.Term   { return rdf.NewIRI(DC + l) }
+func sioc(l string) rdf.Term { return rdf.NewIRI(SIOC + l) }
+func geo(l string) rdf.Term  { return rdf.NewIRI(GEO + l) }
+func dbo(l string) rdf.Term  { return rdf.NewIRI(DBO + l) }
+
+var (
+	foafPerson   = foaf("Person")
+	foafName     = foaf("name")
+	foafKnows    = foaf("knows")
+	foafMbox     = foaf("mbox")
+	foafHomepage = foaf("homepage")
+	foafMaker    = foaf("maker")
+
+	dcTitle   = dc("title")
+	dcCreator = dc("creator")
+
+	siocPost    = sioc("Post")
+	siocCreator = sioc("has_creator")
+	siocReplyOf = sioc("reply_of")
+
+	geoThing = geo("SpatialThing")
+	geoLat   = geo("lat")
+	geoLong  = geo("long")
+
+	dboPlace      = dbo("Place")
+	dboPopulation = dbo("populationTotal")
+
+	rdfsLabel = rdf.NewIRI(RDFS + "label")
+)
+
+// BTCConfig parameterizes the BTC-like generator.
+type BTCConfig struct {
+	// People is the scale factor; documents, posts, and places scale with
+	// it.
+	People int
+	Seed   int64
+}
+
+func btcPerson(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://crawl.example.org/person/%d", i))
+}
+
+func btcDoc(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://crawl.example.org/doc/%d", i))
+}
+
+func btcPost(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://crawl.example.org/post/%d", i))
+}
+
+func btcPlace(i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://crawl.example.org/place/%d", i))
+}
+
+// BTC generates a web-crawl-like graph: FOAF profiles with very uneven
+// property coverage, documents with Dublin Core metadata, SIOC posts in
+// reply chains, and geo-tagged places. Person0 is a hub (the crawl's
+// celebrity) and anchors the pinned-vertex queries, mirroring the BTC2012
+// query set where several queries fix one IRI (paper §7.2). No inference is
+// applied: the paper loads BTC2012 original triples only, because the crawl
+// violates the RDF standard in ways its inference engine rejects.
+func BTC(cfg BTCConfig) []rdf.Triple {
+	r := newRNG(cfg.Seed*97_011 + 3)
+	var out []rdf.Triple
+
+	nPeople := cfg.People
+	nDocs := nPeople / 2
+	nPosts := nPeople * 2
+	nPlaces := nPeople/10 + 5
+
+	for i := 0; i < nPlaces; i++ {
+		pl := btcPlace(i)
+		out = append(out,
+			rdf.Triple{S: pl, P: rdf.TypeTerm, O: dboPlace},
+			rdf.Triple{S: pl, P: rdfsLabel, O: literal("Place %d", i)},
+		)
+		// Place 0 anchors the pinned-vertex query Q4, so it is always
+		// geo-tagged; the rest of the crawl has patchy coverage.
+		if i == 0 || r.chance(2) {
+			out = append(out,
+				rdf.Triple{S: pl, P: rdf.TypeTerm, O: geoThing},
+				rdf.Triple{S: pl, P: geoLat, O: rdf.NewFloatLiteral(float64(r.between(-90, 90)))},
+				rdf.Triple{S: pl, P: geoLong, O: rdf.NewFloatLiteral(float64(r.between(-180, 180)))},
+			)
+		}
+		if r.chance(3) {
+			out = append(out, rdf.Triple{S: pl, P: dboPopulation, O: rdf.NewIntLiteral(int64(r.between(1000, 5_000_000)))})
+		}
+	}
+
+	for i := 0; i < nPeople; i++ {
+		p := btcPerson(i)
+		out = append(out,
+			rdf.Triple{S: p, P: rdf.TypeTerm, O: foafPerson},
+			rdf.Triple{S: p, P: foafName, O: literal("Person %d", i)},
+		)
+		if r.chance(2) {
+			out = append(out, rdf.Triple{S: p, P: foafMbox, O: rdf.NewIRI(fmt.Sprintf("mailto:p%d@example.org", i))})
+		}
+		if r.chance(3) {
+			out = append(out, rdf.Triple{S: p, P: foafHomepage, O: rdf.NewIRI(fmt.Sprintf("http://home.example.org/%d", i))})
+		}
+		// Social edges: everyone knows a few people; everyone has a small
+		// chance of knowing the hub, so Person0's neighborhood grows with
+		// the crawl.
+		for k := 0; k < r.between(1, 4); k++ {
+			out = append(out, rdf.Triple{S: p, P: foafKnows, O: btcPerson(r.Intn(nPeople))})
+		}
+		if i != 0 && r.chance(10) {
+			out = append(out, rdf.Triple{S: p, P: foafKnows, O: btcPerson(0)})
+		}
+	}
+
+	for i := 0; i < nDocs; i++ {
+		d := btcDoc(i)
+		creator := btcPerson(r.Intn(nPeople))
+		out = append(out,
+			rdf.Triple{S: d, P: dcTitle, O: literal("Document %d", i)},
+			rdf.Triple{S: d, P: dcCreator, O: creator},
+		)
+		if r.chance(2) {
+			out = append(out, rdf.Triple{S: d, P: foafMaker, O: creator})
+		}
+	}
+
+	for i := 0; i < nPosts; i++ {
+		ps := btcPost(i)
+		out = append(out,
+			rdf.Triple{S: ps, P: rdf.TypeTerm, O: siocPost},
+			rdf.Triple{S: ps, P: dcTitle, O: literal("Post %d", i)},
+			rdf.Triple{S: ps, P: siocCreator, O: btcPerson(r.Intn(nPeople))},
+		)
+		if i > 0 && r.chance(2) {
+			out = append(out, rdf.Triple{S: ps, P: siocReplyOf, O: btcPost(r.Intn(i))})
+		}
+	}
+	return out
+}
+
+// BTCDataset generates the BTC-like crawl (original triples only, as in the
+// paper) with its 8 benchmark queries.
+func BTCDataset(people int) *Dataset {
+	return &Dataset{
+		Name:    fmt.Sprintf("BTC%d", people),
+		Triples: BTC(BTCConfig{People: people, Seed: 1}),
+		Queries: BTCQueries(),
+	}
+}

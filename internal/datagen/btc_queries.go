@@ -1,0 +1,66 @@
+package datagen
+
+// BTCQueries returns the 8-query BTC workload. Like the paper's BTC2012
+// set, the shapes are simple (tree-shaped, §7.2) and several queries pin a
+// query vertex to one IRI (Q2, Q4, Q5 here, matching the paper's
+// description of its Q2/Q4/Q5).
+func BTCQueries() []Query {
+	const prefix = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX dc: <http://purl.org/dc/elements/1.1/>
+PREFIX sioc: <http://rdfs.org/sioc/ns#>
+PREFIX geo: <http://www.w3.org/2003/01/geo/wgs84_pos#>
+PREFIX dbo: <http://dbpedia.org/ontology/>
+PREFIX crawl: <http://crawl.example.org/>
+`
+	q := func(id, body string) Query { return Query{ID: id, Text: prefix + body} }
+	return []Query{
+		// Q1: fully-described FOAF profiles (name + mbox + homepage).
+		q("Q1", `SELECT ?p ?n ?m ?h WHERE {
+	?p rdf:type foaf:Person .
+	?p foaf:name ?n .
+	?p foaf:mbox ?m .
+	?p foaf:homepage ?h . }`),
+
+		// Q2: the hub's direct acquaintances (pinned vertex).
+		q("Q2", `SELECT ?f ?n WHERE {
+	<http://crawl.example.org/person/0> foaf:knows ?f .
+	?f foaf:name ?n . }`),
+
+		// Q3: documents attributed through both DC and FOAF.
+		q("Q3", `SELECT ?d ?c WHERE {
+	?d dc:creator ?c .
+	?d foaf:maker ?c .
+	?d dc:title ?t . }`),
+
+		// Q4: one place's full geo record (pinned vertex).
+		q("Q4", `SELECT ?lat ?long ?label WHERE {
+	<http://crawl.example.org/place/0> geo:lat ?lat .
+	<http://crawl.example.org/place/0> geo:long ?long .
+	<http://crawl.example.org/place/0> rdfs:label ?label . }`),
+
+		// Q5: posts by the hub (pinned vertex).
+		q("Q5", `SELECT ?post ?title WHERE {
+	?post sioc:has_creator <http://crawl.example.org/person/0> .
+	?post dc:title ?title . }`),
+
+		// Q6: geo-tagged populated places.
+		q("Q6", `SELECT ?pl ?pop ?lat WHERE {
+	?pl rdf:type dbo:Place .
+	?pl dbo:populationTotal ?pop .
+	?pl geo:lat ?lat . }`),
+
+		// Q7: reply posts whose authors know the hub.
+		q("Q7", `SELECT ?post ?author WHERE {
+	?post sioc:reply_of ?parent .
+	?post sioc:has_creator ?author .
+	?author foaf:knows <http://crawl.example.org/person/0> . }`),
+
+		// Q8: two-hop acquaintance names — the workload's largest result.
+		q("Q8", `SELECT ?a ?c WHERE {
+	?a foaf:knows ?b .
+	?b foaf:knows ?c .
+	?c foaf:name ?n . }`),
+	}
+}

@@ -1,0 +1,82 @@
+// Package datagen provides deterministic, seeded generators for the four
+// benchmark datasets of the paper's evaluation — LUBM, BSBM, YAGO-like, and
+// BTC2012-like — together with their query workloads and the RDFS/OWL-lite
+// inference materializer the paper relies on ("we load the original triples
+// as well as inferred triples", §7.1).
+//
+// The official generators and crawls produce billions of triples; these
+// generators reproduce the schema, predicate vocabulary, cardinality ratios,
+// and query-relevant structure at laptop scale. Every generator is seeded
+// per top-level entity (e.g. per university), so entity #0's neighborhood is
+// byte-identical at every scale factor — the property behind the paper's
+// constant-solution queries.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Query is one benchmark query.
+type Query struct {
+	// ID is the paper's query name, e.g. "Q1".
+	ID string
+	// Text is the SPARQL source.
+	Text string
+	// Increasing marks queries whose solution count grows with the scale
+	// factor (the paper's "increasing solution queries"); false marks
+	// constant-solution queries. Only meaningful for LUBM.
+	Increasing bool
+}
+
+// Dataset bundles generated triples with the benchmark's query workload.
+type Dataset struct {
+	Name    string
+	Triples []rdf.Triple
+	Queries []Query
+}
+
+// rng wraps math/rand with the small helpers the generators share.
+type rng struct{ *rand.Rand }
+
+func newRNG(seed int64) rng {
+	return rng{rand.New(rand.NewSource(seed))}
+}
+
+// between returns a uniform int in [lo, hi].
+func (r rng) between(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// chance reports true with probability 1/n.
+func (r rng) chance(n int) bool { return r.Intn(n) == 0 }
+
+// pick returns a uniform element of s.
+func pick[T any](r rng, s []T) T { return s[r.Intn(len(s))] }
+
+// sampleDistinct returns k distinct uniform values in [0, n); k is clamped
+// to n.
+func (r rng) sampleDistinct(k, n int) []int {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		x := r.Intn(n)
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func literal(format string, args ...any) rdf.Term {
+	return rdf.NewLiteral(fmt.Sprintf(format, args...))
+}

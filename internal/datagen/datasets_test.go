@@ -1,0 +1,142 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/transform"
+)
+
+func datasetEngine(t *testing.T, ds *Dataset) *engine.Engine {
+	t.Helper()
+	data := transform.Build(ds.Triples, transform.TypeAware)
+	return engine.New(data, core.Optimized())
+}
+
+func assertDeterministic(t *testing.T, name string, gen func() []rdf.Triple) {
+	t.Helper()
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("%s: non-deterministic sizes %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: triple %d differs", name, i)
+		}
+	}
+}
+
+func TestBSBMDeterministic(t *testing.T) {
+	assertDeterministic(t, "bsbm", func() []rdf.Triple {
+		return BSBM(BSBMConfig{Products: 50, Seed: 1})
+	})
+}
+
+func TestYAGODeterministic(t *testing.T) {
+	assertDeterministic(t, "yago", func() []rdf.Triple {
+		return YAGO(YAGOConfig{People: 100, Seed: 1})
+	})
+}
+
+func TestBTCDeterministic(t *testing.T) {
+	assertDeterministic(t, "btc", func() []rdf.Triple {
+		return BTC(BTCConfig{People: 100, Seed: 1})
+	})
+}
+
+func TestBSBMQueriesRun(t *testing.T) {
+	ds := BSBMDataset(150)
+	e := datasetEngine(t, ds)
+	for _, q := range ds.Queries {
+		n, err := e.Count(q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if n == 0 {
+			t.Errorf("%s returned no solutions", q.ID)
+		}
+	}
+}
+
+// TestBSBMProductTypeInference checks that leaf-typed products are
+// reachable through branch and root classes after materialization.
+func TestBSBMProductTypeInference(t *testing.T) {
+	ds := BSBMDataset(30)
+	e := datasetEngine(t, ds)
+	leaf, err := e.Count(`PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX bsbm: <http://www4.wiwiss.fu-berlin.de/bizer/bsbm/v01/vocabulary/>
+SELECT ?p WHERE { ?p rdf:type bsbm:Product . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf != 30 {
+		t.Fatalf("products via root class = %d, want 30", leaf)
+	}
+}
+
+func TestYAGOQueriesRun(t *testing.T) {
+	ds := YAGODataset(400)
+	e := datasetEngine(t, ds)
+	for _, q := range ds.Queries {
+		n, err := e.Count(q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if q.ID == "Q2" {
+			if n != 0 {
+				t.Errorf("Q2 must be empty by construction, got %d", n)
+			}
+			continue
+		}
+		if n == 0 {
+			t.Errorf("%s returned no solutions", q.ID)
+		}
+	}
+}
+
+func TestBTCQueriesRun(t *testing.T) {
+	ds := BTCDataset(400)
+	e := datasetEngine(t, ds)
+	for _, q := range ds.Queries {
+		n, err := e.Count(q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if n == 0 {
+			t.Errorf("%s returned no solutions", q.ID)
+		}
+	}
+}
+
+// TestQueryIDsUnique guards against copy-paste duplicates across workloads.
+func TestQueryIDsUnique(t *testing.T) {
+	for _, qs := range [][]Query{LUBMQueries(), BSBMQueries(), YAGOQueries(), BTCQueries()} {
+		seen := map[string]bool{}
+		for _, q := range qs {
+			if seen[q.ID] {
+				t.Fatalf("duplicate query ID %s", q.ID)
+			}
+			seen[q.ID] = true
+			if q.Text == "" {
+				t.Fatalf("query %s has no text", q.ID)
+			}
+		}
+	}
+}
+
+func TestWorkloadSizes(t *testing.T) {
+	if n := len(LUBMQueries()); n != 14 {
+		t.Fatalf("LUBM has %d queries, want 14", n)
+	}
+	if n := len(BSBMQueries()); n != 12 {
+		t.Fatalf("BSBM has %d queries, want 12", n)
+	}
+	if n := len(YAGOQueries()); n != 8 {
+		t.Fatalf("YAGO has %d queries, want 8", n)
+	}
+	if n := len(BTCQueries()); n != 8 {
+		t.Fatalf("BTC has %d queries, want 8", n)
+	}
+}

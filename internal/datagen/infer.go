@@ -1,0 +1,193 @@
+package datagen
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Rules is the RDFS/OWL-lite rule set the materializer applies — the same
+// fragment the paper's external inference engine produces for LUBM and BSBM
+// ("we load the original triples as well as inferred triples", §7.1):
+//
+//   - rdfs:subClassOf: type propagation through the transitive class
+//     hierarchy,
+//   - rdfs:subPropertyOf: triple propagation through the transitive
+//     property hierarchy,
+//   - owl:inverseOf: reversed triples in both directions,
+//   - owl:TransitiveProperty: transitive closure per marked predicate,
+//   - class-definition rules: (s p o) implies (s rdf:type C) for a
+//     registered (p, C) pair — LUBM's Chair is the canonical example.
+type Rules struct {
+	subClass map[rdf.Term][]rdf.Term // class -> direct superclasses
+	subProp  map[rdf.Term][]rdf.Term // predicate -> direct superproperties
+	inverse  map[rdf.Term][]rdf.Term // predicate -> inverse predicates
+	trans    map[rdf.Term]bool       // transitive predicates
+	propCls  map[rdf.Term][]rdf.Term // predicate -> implied subject classes
+}
+
+// NewRules returns an empty rule set.
+func NewRules() *Rules {
+	return &Rules{
+		subClass: map[rdf.Term][]rdf.Term{},
+		subProp:  map[rdf.Term][]rdf.Term{},
+		inverse:  map[rdf.Term][]rdf.Term{},
+		trans:    map[rdf.Term]bool{},
+		propCls:  map[rdf.Term][]rdf.Term{},
+	}
+}
+
+// ExtractRules reads the schema-level triples of a dataset —
+// rdfs:subClassOf, rdfs:subPropertyOf, owl:inverseOf, and
+// rdf:type owl:TransitiveProperty — into a rule set.
+func ExtractRules(triples []rdf.Triple) *Rules {
+	r := NewRules()
+	for _, t := range triples {
+		switch t.P.IRIValue() {
+		case rdf.RDFSSubClass:
+			r.AddSubClass(t.S, t.O)
+		case rdf.RDFSSubProp:
+			r.AddSubProperty(t.S, t.O)
+		case rdf.OWLInverseOf:
+			r.AddInverse(t.S, t.O)
+		case rdf.RDFType:
+			if t.O.IRIValue() == rdf.OWLTransitive {
+				r.AddTransitive(t.S)
+			}
+		}
+	}
+	return r
+}
+
+// AddSubClass declares sub ⊑ super.
+func (r *Rules) AddSubClass(sub, super rdf.Term) {
+	r.subClass[sub] = append(r.subClass[sub], super)
+}
+
+// AddSubProperty declares sub ⊑ super for predicates.
+func (r *Rules) AddSubProperty(sub, super rdf.Term) {
+	r.subProp[sub] = append(r.subProp[sub], super)
+}
+
+// AddInverse declares p and q mutually inverse.
+func (r *Rules) AddInverse(p, q rdf.Term) {
+	r.inverse[p] = append(r.inverse[p], q)
+	r.inverse[q] = append(r.inverse[q], p)
+}
+
+// AddTransitive marks p transitive.
+func (r *Rules) AddTransitive(p rdf.Term) { r.trans[p] = true }
+
+// AddPropertyClass declares that any subject of predicate p has class c.
+func (r *Rules) AddPropertyClass(p, c rdf.Term) {
+	r.propCls[p] = append(r.propCls[p], c)
+}
+
+// closure computes the reflexive-free transitive closure of a direct
+// hierarchy map.
+func closure(direct map[rdf.Term][]rdf.Term) map[rdf.Term][]rdf.Term {
+	out := make(map[rdf.Term][]rdf.Term, len(direct))
+	var expand func(x rdf.Term, seen map[rdf.Term]bool)
+	expand = func(x rdf.Term, seen map[rdf.Term]bool) {
+		for _, up := range direct[x] {
+			if !seen[up] {
+				seen[up] = true
+				expand(up, seen)
+			}
+		}
+	}
+	for x := range direct {
+		seen := map[rdf.Term]bool{x: true}
+		expand(x, seen)
+		delete(seen, x)
+		ups := make([]rdf.Term, 0, len(seen))
+		for u := range seen {
+			ups = append(ups, u)
+		}
+		sort.Slice(ups, func(i, j int) bool { return ups[i] < ups[j] })
+		out[x] = ups
+	}
+	return out
+}
+
+// Materialize returns the input triples plus every triple entailed by the
+// rules, deduplicated. It runs a semi-naive fixpoint: a work queue of fresh
+// triples, each expanded through all rules; derived triples that are not
+// yet present re-enter the queue. Triple identity is tracked through
+// dictionary-encoded keys, so the memory cost per triple is three uint32s,
+// not three strings.
+func Materialize(triples []rdf.Triple, r *Rules) []rdf.Triple {
+	subCls := closure(r.subClass)
+	subPrp := closure(r.subProp)
+
+	dict := rdf.NewDictionary()
+
+	type key [3]uint32
+	seen := make(map[key]bool, len(triples)*2)
+	out := make([]rdf.Triple, 0, len(triples)*2)
+	queue := make([]rdf.Triple, 0, len(triples))
+
+	add := func(t rdf.Triple) {
+		k := key{dict.Intern(t.S), dict.Intern(t.P), dict.Intern(t.O)}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		out = append(out, t)
+		queue = append(queue, t)
+	}
+
+	for _, t := range triples {
+		add(t)
+	}
+
+	// Adjacency for transitive predicates, maintained incrementally:
+	// per predicate, successor and predecessor maps.
+	succ := map[rdf.Term]map[rdf.Term][]rdf.Term{}
+	pred := map[rdf.Term]map[rdf.Term][]rdf.Term{}
+	for p := range r.trans {
+		succ[p] = map[rdf.Term][]rdf.Term{}
+		pred[p] = map[rdf.Term][]rdf.Term{}
+	}
+
+	for len(queue) > 0 {
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		isType := t.P.IRIValue() == rdf.RDFType
+
+		if isType {
+			// subClassOf: propagate to all superclasses.
+			for _, super := range subCls[t.O] {
+				add(rdf.Triple{S: t.S, P: t.P, O: super})
+			}
+			continue
+		}
+
+		// subPropertyOf: re-emit under all superproperties.
+		for _, super := range subPrp[t.P] {
+			add(rdf.Triple{S: t.S, P: super, O: t.O})
+		}
+		// inverseOf.
+		for _, inv := range r.inverse[t.P] {
+			add(rdf.Triple{S: t.O, P: inv, O: t.S})
+		}
+		// Class-definition rules.
+		for _, c := range r.propCls[t.P] {
+			add(rdf.Triple{S: t.S, P: rdf.TypeTerm, O: c})
+		}
+		// Transitivity: join the new edge with both frontiers; derived
+		// edges re-enter the queue, completing the closure.
+		if r.trans[t.P] {
+			for _, o2 := range succ[t.P][t.O] {
+				add(rdf.Triple{S: t.S, P: t.P, O: o2})
+			}
+			for _, s2 := range pred[t.P][t.S] {
+				add(rdf.Triple{S: s2, P: t.P, O: t.O})
+			}
+			succ[t.P][t.S] = append(succ[t.P][t.S], t.O)
+			pred[t.P][t.O] = append(pred[t.P][t.O], t.S)
+		}
+	}
+	return out
+}

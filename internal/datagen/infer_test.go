@@ -1,0 +1,166 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func ex(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+
+func TestSubClassClosure(t *testing.T) {
+	r := NewRules()
+	r.AddSubClass(ex("A"), ex("B"))
+	r.AddSubClass(ex("B"), ex("C"))
+	got := Materialize([]rdf.Triple{{S: ex("x"), P: rdf.TypeTerm, O: ex("A")}}, r)
+	want := map[rdf.Term]bool{ex("A"): true, ex("B"): true, ex("C"): true}
+	if len(got) != 3 {
+		t.Fatalf("got %d triples, want 3: %v", len(got), got)
+	}
+	for _, tr := range got {
+		if !want[tr.O] {
+			t.Fatalf("unexpected type %v", tr.O)
+		}
+	}
+}
+
+func TestSubClassCycleTerminates(t *testing.T) {
+	r := NewRules()
+	r.AddSubClass(ex("A"), ex("B"))
+	r.AddSubClass(ex("B"), ex("A")) // cycle
+	got := Materialize([]rdf.Triple{{S: ex("x"), P: rdf.TypeTerm, O: ex("A")}}, r)
+	if len(got) != 2 {
+		t.Fatalf("got %d triples, want 2 (A and B)", len(got))
+	}
+}
+
+func TestSubPropertyChain(t *testing.T) {
+	r := NewRules()
+	r.AddSubProperty(ex("headOf"), ex("worksFor"))
+	r.AddSubProperty(ex("worksFor"), ex("memberOf"))
+	got := Materialize([]rdf.Triple{{S: ex("p"), P: ex("headOf"), O: ex("d")}}, r)
+	preds := map[rdf.Term]bool{}
+	for _, tr := range got {
+		preds[tr.P] = true
+	}
+	for _, p := range []rdf.Term{ex("headOf"), ex("worksFor"), ex("memberOf")} {
+		if !preds[p] {
+			t.Fatalf("missing propagated predicate %v (have %v)", p, preds)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := NewRules()
+	r.AddInverse(ex("degreeFrom"), ex("hasAlumnus"))
+	got := Materialize([]rdf.Triple{{S: ex("p"), P: ex("degreeFrom"), O: ex("u")}}, r)
+	found := false
+	for _, tr := range got {
+		if tr.S == ex("u") && tr.P == ex("hasAlumnus") && tr.O == ex("p") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("inverse triple missing: %v", got)
+	}
+	// Inverse of the inverse must not invent new triples beyond the pair.
+	if len(got) != 2 {
+		t.Fatalf("got %d triples, want 2", len(got))
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := NewRules()
+	r.AddTransitive(ex("partOf"))
+	chain := []rdf.Triple{
+		{S: ex("a"), P: ex("partOf"), O: ex("b")},
+		{S: ex("b"), P: ex("partOf"), O: ex("c")},
+		{S: ex("c"), P: ex("partOf"), O: ex("d")},
+	}
+	got := Materialize(chain, r)
+	// Closure of a 4-chain: 3 + 2 + 1 = 6 edges.
+	if len(got) != 6 {
+		t.Fatalf("got %d triples, want 6: %v", len(got), got)
+	}
+}
+
+func TestTransitiveCycleTerminates(t *testing.T) {
+	r := NewRules()
+	r.AddTransitive(ex("partOf"))
+	got := Materialize([]rdf.Triple{
+		{S: ex("a"), P: ex("partOf"), O: ex("b")},
+		{S: ex("b"), P: ex("partOf"), O: ex("a")},
+	}, r)
+	// a->b, b->a, a->a, b->b.
+	if len(got) != 4 {
+		t.Fatalf("got %d triples, want 4: %v", len(got), got)
+	}
+}
+
+func TestPropertyClassRule(t *testing.T) {
+	r := NewRules()
+	r.AddPropertyClass(ex("headOf"), ex("Chair"))
+	r.AddSubClass(ex("Chair"), ex("Person"))
+	got := Materialize([]rdf.Triple{{S: ex("p"), P: ex("headOf"), O: ex("d")}}, r)
+	types := map[rdf.Term]bool{}
+	for _, tr := range got {
+		if tr.P == rdf.TypeTerm {
+			types[tr.O] = true
+		}
+	}
+	if !types[ex("Chair")] || !types[ex("Person")] {
+		t.Fatalf("class-definition rule incomplete: %v", types)
+	}
+}
+
+func TestRuleInterplay(t *testing.T) {
+	// subPropertyOf feeding inverseOf feeding nothing: the LUBM
+	// degreeFrom stack.
+	r := NewRules()
+	r.AddSubProperty(ex("ugFrom"), ex("degreeFrom"))
+	r.AddInverse(ex("degreeFrom"), ex("hasAlumnus"))
+	got := Materialize([]rdf.Triple{{S: ex("p"), P: ex("ugFrom"), O: ex("u")}}, r)
+	found := false
+	for _, tr := range got {
+		if tr.S == ex("u") && tr.P == ex("hasAlumnus") && tr.O == ex("p") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hasAlumnus not derived through subPropertyOf: %v", got)
+	}
+}
+
+func TestExtractRulesFromOntology(t *testing.T) {
+	r := ExtractRules(LUBMOntology())
+	if len(r.subClass) == 0 || len(r.subProp) == 0 {
+		t.Fatal("ontology rules not extracted")
+	}
+	if !r.trans[ubSubOrgOf] {
+		t.Fatal("subOrganizationOf not marked transitive")
+	}
+	if len(r.inverse[ubDegreeFrom]) != 1 {
+		t.Fatalf("degreeFrom inverse = %v", r.inverse[ubDegreeFrom])
+	}
+}
+
+func TestMaterializeIdempotent(t *testing.T) {
+	r := LUBMRules()
+	base := LUBM(LUBMConfig{Universities: 1, Seed: 7})
+	once := Materialize(base, r)
+	twice := Materialize(once, r)
+	if len(once) != len(twice) {
+		t.Fatalf("materialize not idempotent: %d then %d", len(once), len(twice))
+	}
+}
+
+func TestMaterializeDedups(t *testing.T) {
+	r := NewRules()
+	in := []rdf.Triple{
+		{S: ex("a"), P: ex("p"), O: ex("b")},
+		{S: ex("a"), P: ex("p"), O: ex("b")},
+	}
+	if got := Materialize(in, r); len(got) != 1 {
+		t.Fatalf("got %d triples, want 1", len(got))
+	}
+}

@@ -1,0 +1,370 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// UB is the LUBM univ-bench ontology namespace.
+const UB = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+func ub(local string) rdf.Term { return rdf.NewIRI(UB + local) }
+
+// LUBM vocabulary used by the generator and queries.
+var (
+	ubUniversity    = ub("University")
+	ubDepartment    = ub("Department")
+	ubResearchGroup = ub("ResearchGroup")
+	ubOrganization  = ub("Organization")
+
+	ubPerson      = ub("Person")
+	ubEmployee    = ub("Employee")
+	ubFaculty     = ub("Faculty")
+	ubProfessor   = ub("Professor")
+	ubFullProf    = ub("FullProfessor")
+	ubAssocProf   = ub("AssociateProfessor")
+	ubAsstProf    = ub("AssistantProfessor")
+	ubLecturer    = ub("Lecturer")
+	ubStudent     = ub("Student")
+	ubUndergrad   = ub("UndergraduateStudent")
+	ubGradStudent = ub("GraduateStudent")
+	ubChair       = ub("Chair")
+	ubTA          = ub("TeachingAssistant")
+	ubRA          = ub("ResearchAssistant")
+	ubCourse      = ub("Course")
+	ubGradCourse  = ub("GraduateCourse")
+	ubPublication = ub("Publication")
+
+	ubWorksFor      = ub("worksFor")
+	ubMemberOf      = ub("memberOf")
+	ubHeadOf        = ub("headOf")
+	ubSubOrgOf      = ub("subOrganizationOf")
+	ubUndergradFrom = ub("undergraduateDegreeFrom")
+	ubMastersFrom   = ub("mastersDegreeFrom")
+	ubDoctoralFrom  = ub("doctoralDegreeFrom")
+	ubDegreeFrom    = ub("degreeFrom")
+	ubHasAlumnus    = ub("hasAlumnus")
+	ubTeacherOf     = ub("teacherOf")
+	ubTakesCourse   = ub("takesCourse")
+	ubAdvisor       = ub("advisor")
+	ubPubAuthor     = ub("publicationAuthor")
+	ubTAOf          = ub("teachingAssistantOf")
+	ubName          = ub("name")
+	ubEmail         = ub("emailAddress")
+	ubTelephone     = ub("telephone")
+	ubResearchInt   = ub("researchInterest")
+)
+
+// LUBMConfig parameterizes the LUBM generator.
+type LUBMConfig struct {
+	// Universities is the scale factor (LUBM-N = N universities).
+	Universities int
+	// Seed drives all randomized cardinalities; each university derives its
+	// own stream from Seed so its content is scale-independent.
+	Seed int64
+	// RefPool is the number of universities the degreeFrom predicates may
+	// reference. The official generator references a fixed pool of
+	// universities beyond the generated ones, which is what makes the
+	// paper's Q2/Q13 solution counts grow with the scale factor. 0 means
+	// the default of 50.
+	RefPool int
+}
+
+func (c LUBMConfig) refPool() int {
+	if c.RefPool > 0 {
+		return c.RefPool
+	}
+	return 50
+}
+
+// Cardinalities per department, about one third of the official UBA
+// generator's to keep laptop-scale runs fast. Ratios between the classes —
+// what the benchmark queries actually observe — match the original.
+const (
+	lubmDeptMin, lubmDeptMax             = 5, 8
+	lubmFullMin, lubmFullMax             = 3, 4
+	lubmAssocMin, lubmAssocMax           = 4, 5
+	lubmAsstMin, lubmAsstMax             = 3, 4
+	lubmLectMin, lubmLectMax             = 2, 3
+	lubmUgPerFacMin, lubmUgPerFacMax     = 6, 9 // undergrads per faculty member
+	lubmGradPerFacMin, lubmGradPerFacMax = 2, 3
+	lubmRGMin, lubmRGMax                 = 3, 5
+	lubmUgCourses                        = 3 // mean courses per undergrad (2-4)
+	lubmResearchAreas                    = 30
+)
+
+// LUBMOntology returns the univ-bench TBox: the subclass hierarchy, the
+// subproperty hierarchy, the degreeFrom/hasAlumnus inversion, and the
+// transitivity of subOrganizationOf. The materializer extracts its rules
+// from these triples, and the type-aware transformation folds the class
+// hierarchy into vertex labels.
+func LUBMOntology() []rdf.Triple {
+	sub := func(a, b rdf.Term) rdf.Triple {
+		return rdf.Triple{S: a, P: rdf.SubClassTerm, O: b}
+	}
+	subP := func(a, b rdf.Term) rdf.Triple {
+		return rdf.Triple{S: a, P: rdf.NewIRI(rdf.RDFSSubProp), O: b}
+	}
+	return []rdf.Triple{
+		sub(ubUniversity, ubOrganization),
+		sub(ubDepartment, ubOrganization),
+		sub(ubResearchGroup, ubOrganization),
+
+		sub(ubEmployee, ubPerson),
+		sub(ubFaculty, ubEmployee),
+		sub(ubProfessor, ubFaculty),
+		sub(ubFullProf, ubProfessor),
+		sub(ubAssocProf, ubProfessor),
+		sub(ubAsstProf, ubProfessor),
+		sub(ubLecturer, ubFaculty),
+		sub(ubChair, ubProfessor),
+		sub(ubStudent, ubPerson),
+		sub(ubUndergrad, ubStudent),
+		sub(ubGradStudent, ubStudent),
+		sub(ubTA, ubPerson),
+		sub(ubRA, ubPerson),
+		sub(ubGradCourse, ubCourse),
+
+		subP(ubHeadOf, ubWorksFor),
+		subP(ubWorksFor, ubMemberOf),
+		subP(ubUndergradFrom, ubDegreeFrom),
+		subP(ubMastersFrom, ubDegreeFrom),
+		subP(ubDoctoralFrom, ubDegreeFrom),
+
+		{S: ubDegreeFrom, P: rdf.NewIRI(rdf.OWLInverseOf), O: ubHasAlumnus},
+		{S: ubSubOrgOf, P: rdf.TypeTerm, O: rdf.NewIRI(rdf.OWLTransitive)},
+	}
+}
+
+// LUBMRules returns the inference rules for LUBM: everything extractable
+// from the ontology plus the Chair class definition (a person who heads a
+// department is a Chair — the paper's example of a class-definition rule).
+func LUBMRules() *Rules {
+	r := ExtractRules(LUBMOntology())
+	r.AddPropertyClass(ubHeadOf, ubChair)
+	return r
+}
+
+func univIRI(u int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.University%d.edu", u))
+}
+
+func deptIRI(u, d int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.Department%d.University%d.edu", d, u))
+}
+
+func deptEntity(u, d int, kind string, i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.Department%d.University%d.edu/%s%d", d, u, kind, i))
+}
+
+func pubIRI(u, d int, kind string, i, m int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.Department%d.University%d.edu/%s%d/Publication%d", d, u, kind, i, m))
+}
+
+// LUBM generates the ABox for cfg.Universities universities plus the
+// ontology TBox. The output contains no inferred triples; pass it through
+// Materialize(LUBMRules()) to obtain the benchmark's standard loading set.
+func LUBM(cfg LUBMConfig) []rdf.Triple {
+	out := LUBMOntology()
+	for u := 0; u < cfg.Universities; u++ {
+		out = appendUniversity(out, cfg, u)
+	}
+	return out
+}
+
+// appendUniversity emits one university. All randomness is drawn from a
+// stream seeded by (Seed, university index) only.
+func appendUniversity(out []rdf.Triple, cfg LUBMConfig, u int) []rdf.Triple {
+	r := newRNG(cfg.Seed*1_000_003 + int64(u))
+	univ := univIRI(u)
+	out = append(out,
+		rdf.Triple{S: univ, P: rdf.TypeTerm, O: ubUniversity},
+		rdf.Triple{S: univ, P: ubName, O: literal("University%d", u)},
+	)
+
+	pool := cfg.refPool()
+	refUniv := func() rdf.Term { return univIRI(r.Intn(pool)) }
+
+	nDept := r.between(lubmDeptMin, lubmDeptMax)
+	for d := 0; d < nDept; d++ {
+		dept := deptIRI(u, d)
+		out = append(out,
+			rdf.Triple{S: dept, P: rdf.TypeTerm, O: ubDepartment},
+			rdf.Triple{S: dept, P: ubSubOrgOf, O: univ},
+			rdf.Triple{S: dept, P: ubName, O: literal("Department%d", d)},
+		)
+
+		// Faculty roster: (kind, class) in a fixed order so entity names
+		// are stable.
+		type facultyMember struct {
+			iri   rdf.Term
+			kind  string
+			class rdf.Term
+		}
+		var faculty []facultyMember
+		addFaculty := func(kind string, class rdf.Term, n int) {
+			for i := 0; i < n; i++ {
+				faculty = append(faculty, facultyMember{deptEntity(u, d, kind, i), kind, class})
+			}
+		}
+		addFaculty("FullProfessor", ubFullProf, r.between(lubmFullMin, lubmFullMax))
+		addFaculty("AssociateProfessor", ubAssocProf, r.between(lubmAssocMin, lubmAssocMax))
+		addFaculty("AssistantProfessor", ubAsstProf, r.between(lubmAsstMin, lubmAsstMax))
+		addFaculty("Lecturer", ubLecturer, r.between(lubmLectMin, lubmLectMax))
+
+		// Courses: each faculty member teaches 1-2 undergraduate courses and
+		// 1-2 graduate courses.
+		var courses, gradCourses []rdf.Term
+		newCourse := func(grad bool) rdf.Term {
+			if grad {
+				c := deptEntity(u, d, "GraduateCourse", len(gradCourses))
+				gradCourses = append(gradCourses, c)
+				return c
+			}
+			c := deptEntity(u, d, "Course", len(courses))
+			courses = append(courses, c)
+			return c
+		}
+
+		var professors []rdf.Term // advisor pool (Professor subclasses)
+		for fi, f := range faculty {
+			out = append(out,
+				rdf.Triple{S: f.iri, P: rdf.TypeTerm, O: f.class},
+				rdf.Triple{S: f.iri, P: ubWorksFor, O: dept},
+				rdf.Triple{S: f.iri, P: ubName, O: literal("%s%d", f.kind, fi)},
+				rdf.Triple{S: f.iri, P: ubEmail, O: literal("%s%d@Department%d.University%d.edu", f.kind, fi, d, u)},
+				rdf.Triple{S: f.iri, P: ubTelephone, O: literal("xxx-xxx-%04d", r.Intn(10000))},
+				rdf.Triple{S: f.iri, P: ubUndergradFrom, O: refUniv()},
+				rdf.Triple{S: f.iri, P: ubMastersFrom, O: refUniv()},
+				rdf.Triple{S: f.iri, P: ubDoctoralFrom, O: refUniv()},
+				rdf.Triple{S: f.iri, P: ubResearchInt, O: literal("Research%d", r.Intn(lubmResearchAreas))},
+			)
+			if f.class != ubLecturer {
+				professors = append(professors, f.iri)
+			}
+			for i := 0; i < r.between(1, 2); i++ {
+				c := newCourse(false)
+				out = append(out,
+					rdf.Triple{S: c, P: rdf.TypeTerm, O: ubCourse},
+					rdf.Triple{S: c, P: ubName, O: literal("Course%d", len(courses)-1)},
+					rdf.Triple{S: f.iri, P: ubTeacherOf, O: c},
+				)
+			}
+			for i := 0; i < r.between(1, 2); i++ {
+				c := newCourse(true)
+				out = append(out,
+					rdf.Triple{S: c, P: rdf.TypeTerm, O: ubGradCourse},
+					rdf.Triple{S: c, P: ubName, O: literal("GraduateCourse%d", len(gradCourses)-1)},
+					rdf.Triple{S: f.iri, P: ubTeacherOf, O: c},
+				)
+			}
+		}
+
+		// The first full professor heads the department. Inference turns
+		// this into rdf:type Chair and worksFor/memberOf.
+		out = append(out, rdf.Triple{S: faculty[0].iri, P: ubHeadOf, O: dept})
+
+		// Research groups.
+		nRG := r.between(lubmRGMin, lubmRGMax)
+		groups := make([]rdf.Term, nRG)
+		for g := 0; g < nRG; g++ {
+			rg := deptEntity(u, d, "ResearchGroup", g)
+			groups[g] = rg
+			out = append(out,
+				rdf.Triple{S: rg, P: rdf.TypeTerm, O: ubResearchGroup},
+				rdf.Triple{S: rg, P: ubSubOrgOf, O: dept},
+			)
+		}
+
+		// Undergraduate students.
+		nUg := len(faculty) * r.between(lubmUgPerFacMin, lubmUgPerFacMax)
+		for i := 0; i < nUg; i++ {
+			s := deptEntity(u, d, "UndergraduateStudent", i)
+			out = append(out,
+				rdf.Triple{S: s, P: rdf.TypeTerm, O: ubUndergrad},
+				rdf.Triple{S: s, P: ubMemberOf, O: dept},
+				rdf.Triple{S: s, P: ubName, O: literal("UndergraduateStudent%d", i)},
+				rdf.Triple{S: s, P: ubEmail, O: literal("UndergraduateStudent%d@Department%d.University%d.edu", i, d, u)},
+				rdf.Triple{S: s, P: ubTelephone, O: literal("xxx-xxx-%04d", r.Intn(10000))},
+			)
+			for _, ci := range r.sampleDistinct(r.between(lubmUgCourses-1, lubmUgCourses+1), len(courses)) {
+				out = append(out, rdf.Triple{S: s, P: ubTakesCourse, O: courses[ci]})
+			}
+			if r.chance(5) {
+				out = append(out, rdf.Triple{S: s, P: ubAdvisor, O: pick(r, professors)})
+			}
+		}
+
+		// Graduate students.
+		nGrad := len(faculty) * r.between(lubmGradPerFacMin, lubmGradPerFacMax)
+		grads := make([]rdf.Term, nGrad)
+		for i := 0; i < nGrad; i++ {
+			s := deptEntity(u, d, "GraduateStudent", i)
+			grads[i] = s
+			out = append(out,
+				rdf.Triple{S: s, P: rdf.TypeTerm, O: ubGradStudent},
+				rdf.Triple{S: s, P: ubMemberOf, O: dept},
+				rdf.Triple{S: s, P: ubName, O: literal("GraduateStudent%d", i)},
+				rdf.Triple{S: s, P: ubEmail, O: literal("GraduateStudent%d@Department%d.University%d.edu", i, d, u)},
+				rdf.Triple{S: s, P: ubTelephone, O: literal("xxx-xxx-%04d", r.Intn(10000))},
+				rdf.Triple{S: s, P: ubUndergradFrom, O: refUniv()},
+				rdf.Triple{S: s, P: ubAdvisor, O: pick(r, professors)},
+			)
+			for _, ci := range r.sampleDistinct(r.between(1, 3), len(gradCourses)) {
+				out = append(out, rdf.Triple{S: s, P: ubTakesCourse, O: gradCourses[ci]})
+			}
+			if r.chance(5) {
+				out = append(out,
+					rdf.Triple{S: s, P: rdf.TypeTerm, O: ubTA},
+					rdf.Triple{S: s, P: ubTAOf, O: pick(r, courses)},
+				)
+			} else if r.chance(4) {
+				out = append(out,
+					rdf.Triple{S: s, P: rdf.TypeTerm, O: ubRA},
+					rdf.Triple{S: s, P: ubWorksFor, O: pick(r, groups)},
+				)
+			}
+		}
+
+		// Publications: faculty-rank-dependent output with graduate
+		// co-authors.
+		pubQuota := map[string][2]int{
+			"FullProfessor":      {4, 6},
+			"AssociateProfessor": {3, 4},
+			"AssistantProfessor": {2, 3},
+			"Lecturer":           {0, 1},
+		}
+		perKind := map[string]int{}
+		for _, f := range faculty {
+			q := pubQuota[f.kind]
+			idx := perKind[f.kind]
+			perKind[f.kind]++
+			for m := 0; m < r.between(q[0], q[1]); m++ {
+				p := pubIRI(u, d, f.kind, idx, m)
+				out = append(out,
+					rdf.Triple{S: p, P: rdf.TypeTerm, O: ubPublication},
+					rdf.Triple{S: p, P: ubName, O: literal("Publication%d", m)},
+					rdf.Triple{S: p, P: ubPubAuthor, O: f.iri},
+				)
+				if len(grads) > 0 {
+					for i := 0; i < r.Intn(3); i++ {
+						out = append(out, rdf.Triple{S: p, P: ubPubAuthor, O: pick(r, grads)})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LUBMDataset generates LUBM at the given scale, materializes the inferred
+// triples, and attaches the 14 benchmark queries.
+func LUBMDataset(scale int) *Dataset {
+	triples := Materialize(LUBM(LUBMConfig{Universities: scale, Seed: 1}), LUBMRules())
+	return &Dataset{
+		Name:    fmt.Sprintf("LUBM%d", scale),
+		Triples: triples,
+		Queries: LUBMQueries(),
+	}
+}

@@ -1,0 +1,97 @@
+package datagen
+
+// LUBMQueries returns the 14 LUBM benchmark queries. The SPARQL text follows
+// the official benchmark; the constant IRIs point into University0 exactly
+// as in the original (Department0.University0, its AssociateProfessor0, its
+// GraduateCourse0). Queries whose Increasing flag is set are the paper's
+// increasing-solution queries (Q2, Q6, Q9, Q13, Q14); the rest have
+// scale-independent solution counts.
+func LUBMQueries() []Query {
+	const prefix = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+`
+	q := func(id, body string, increasing bool) Query {
+		return Query{ID: id, Text: prefix + body, Increasing: increasing}
+	}
+	return []Query{
+		q("Q1", `SELECT ?X WHERE {
+	?X rdf:type ub:GraduateStudent .
+	?X ub:takesCourse <http://www.Department0.University0.edu/GraduateCourse0> . }`, false),
+
+		q("Q2", `SELECT ?X ?Y ?Z WHERE {
+	?X rdf:type ub:GraduateStudent .
+	?Y rdf:type ub:University .
+	?Z rdf:type ub:Department .
+	?X ub:memberOf ?Z .
+	?Z ub:subOrganizationOf ?Y .
+	?X ub:undergraduateDegreeFrom ?Y . }`, true),
+
+		q("Q3", `SELECT ?X WHERE {
+	?X rdf:type ub:Publication .
+	?X ub:publicationAuthor <http://www.Department0.University0.edu/AssistantProfessor0> . }`, false),
+
+		q("Q4", `SELECT ?X ?Y1 ?Y2 ?Y3 WHERE {
+	?X rdf:type ub:Professor .
+	?X ub:worksFor <http://www.Department0.University0.edu> .
+	?X ub:name ?Y1 .
+	?X ub:emailAddress ?Y2 .
+	?X ub:telephone ?Y3 . }`, false),
+
+		q("Q5", `SELECT ?X WHERE {
+	?X rdf:type ub:Person .
+	?X ub:memberOf <http://www.Department0.University0.edu> . }`, false),
+
+		q("Q6", `SELECT ?X WHERE { ?X rdf:type ub:Student . }`, true),
+
+		q("Q7", `SELECT ?X ?Y WHERE {
+	?X rdf:type ub:Student .
+	?Y rdf:type ub:Course .
+	?X ub:takesCourse ?Y .
+	<http://www.Department0.University0.edu/AssociateProfessor0> ub:teacherOf ?Y . }`, false),
+
+		q("Q8", `SELECT ?X ?Y ?Z WHERE {
+	?X rdf:type ub:Student .
+	?Y rdf:type ub:Department .
+	?X ub:memberOf ?Y .
+	?Y ub:subOrganizationOf <http://www.University0.edu> .
+	?X ub:emailAddress ?Z . }`, false),
+
+		q("Q9", `SELECT ?X ?Y ?Z WHERE {
+	?X rdf:type ub:Student .
+	?Y rdf:type ub:Faculty .
+	?Z rdf:type ub:Course .
+	?X ub:advisor ?Y .
+	?Y ub:teacherOf ?Z .
+	?X ub:takesCourse ?Z . }`, true),
+
+		q("Q10", `SELECT ?X WHERE {
+	?X rdf:type ub:Student .
+	?X ub:takesCourse <http://www.Department0.University0.edu/GraduateCourse0> . }`, false),
+
+		q("Q11", `SELECT ?X WHERE {
+	?X rdf:type ub:ResearchGroup .
+	?X ub:subOrganizationOf <http://www.University0.edu> . }`, false),
+
+		q("Q12", `SELECT ?X ?Y WHERE {
+	?X rdf:type ub:Chair .
+	?Y rdf:type ub:Department .
+	?X ub:worksFor ?Y .
+	?Y ub:subOrganizationOf <http://www.University0.edu> . }`, false),
+
+		q("Q13", `SELECT ?X WHERE {
+	?X rdf:type ub:Person .
+	<http://www.University0.edu> ub:hasAlumnus ?X . }`, true),
+
+		q("Q14", `SELECT ?X WHERE { ?X rdf:type ub:UndergraduateStudent . }`, true),
+	}
+}
+
+// LUBMQuery returns one query by ID, or a zero Query.
+func LUBMQuery(id string) Query {
+	for _, q := range LUBMQueries() {
+		if q.ID == id {
+			return q
+		}
+	}
+	return Query{}
+}

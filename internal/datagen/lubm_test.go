@@ -1,0 +1,194 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/transform"
+)
+
+func lubmEngine(t *testing.T, scale int) *engine.Engine {
+	t.Helper()
+	ds := LUBMDataset(scale)
+	data := transform.Build(ds.Triples, transform.TypeAware)
+	return engine.New(data, core.Optimized())
+}
+
+func TestLUBMDeterministic(t *testing.T) {
+	a := LUBM(LUBMConfig{Universities: 2, Seed: 1})
+	b := LUBM(LUBMConfig{Universities: 2, Seed: 1})
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := LUBM(LUBMConfig{Universities: 2, Seed: 2})
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical datasets")
+		}
+	}
+}
+
+// TestLUBMScaleInvariance checks the property behind the paper's
+// constant-solution queries: University0's triples are identical at every
+// scale factor.
+func TestLUBMScaleInvariance(t *testing.T) {
+	collectU0 := func(ts []rdf.Triple) map[rdf.Triple]bool {
+		set := map[rdf.Triple]bool{}
+		for _, tr := range ts {
+			if strings.Contains(string(tr.S), "University0.edu") {
+				set[tr] = true
+			}
+		}
+		return set
+	}
+	small := collectU0(LUBM(LUBMConfig{Universities: 1, Seed: 1}))
+	large := collectU0(LUBM(LUBMConfig{Universities: 4, Seed: 1}))
+	if len(small) == 0 {
+		t.Fatal("no University0 triples generated")
+	}
+	if len(small) != len(large) {
+		t.Fatalf("University0 differs across scales: %d vs %d triples", len(small), len(large))
+	}
+	for tr := range small {
+		if !large[tr] {
+			t.Fatalf("missing at larger scale: %v", tr)
+		}
+	}
+}
+
+func TestLUBMGrowsLinearly(t *testing.T) {
+	// Per-university sizes vary (each draws its own cardinalities), so the
+	// tolerance is generous; the point is ruling out constant or quadratic
+	// growth.
+	n1 := len(LUBM(LUBMConfig{Universities: 1, Seed: 1}))
+	n4 := len(LUBM(LUBMConfig{Universities: 4, Seed: 1}))
+	ratio := float64(n4) / float64(n1)
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Fatalf("scale 1->4 grew by %.2fx, want roughly 4x (%d -> %d)", ratio, n1, n4)
+	}
+}
+
+// TestLUBMQuerySolutionShape verifies the paper's Table 2 shape: constant
+// solution queries keep their counts across scales, increasing ones grow.
+func TestLUBMQuerySolutionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two LUBM datasets")
+	}
+	e1 := lubmEngine(t, 1)
+	e3 := lubmEngine(t, 3)
+	for _, q := range LUBMQueries() {
+		n1, err := e1.Count(q.Text)
+		if err != nil {
+			t.Fatalf("%s at scale 1: %v", q.ID, err)
+		}
+		n3, err := e3.Count(q.Text)
+		if err != nil {
+			t.Fatalf("%s at scale 3: %v", q.ID, err)
+		}
+		if q.Increasing {
+			if n3 <= n1 {
+				t.Errorf("%s: increasing query did not grow (%d -> %d)", q.ID, n1, n3)
+			}
+		} else {
+			if n1 != n3 {
+				t.Errorf("%s: constant query changed (%d -> %d)", q.ID, n1, n3)
+			}
+			if n1 == 0 {
+				t.Errorf("%s: constant query has no solutions", q.ID)
+			}
+		}
+	}
+}
+
+// TestLUBMQueriesNonEmpty ensures every benchmark query has at least one
+// solution at scale 1 except Q2-like coincidence queries, which only need
+// to be non-empty at a larger scale (checked in the shape test above).
+func TestLUBMQueriesNonEmpty(t *testing.T) {
+	e := lubmEngine(t, 2)
+	for _, q := range LUBMQueries() {
+		n, err := e.Count(q.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if n == 0 && q.ID != "Q2" && q.ID != "Q9" {
+			t.Errorf("%s returned no solutions at scale 2", q.ID)
+		}
+	}
+}
+
+func TestLUBMInferredTypes(t *testing.T) {
+	ds := LUBMDataset(1)
+	// A full professor must carry the whole superclass chain after
+	// materialization.
+	var gotFaculty, gotPerson, gotChair, gotStudentFromGrad bool
+	for _, tr := range ds.Triples {
+		if tr.P != rdf.TypeTerm {
+			continue
+		}
+		s := string(tr.S)
+		if strings.Contains(s, "FullProfessor0") && !strings.Contains(s, "Publication") {
+			switch tr.O {
+			case ubFaculty:
+				gotFaculty = true
+			case ubPerson:
+				gotPerson = true
+			case ubChair:
+				gotChair = true
+			}
+		}
+		if strings.Contains(s, "GraduateStudent0") && !strings.Contains(s, "Publication") && tr.O == ubStudent {
+			gotStudentFromGrad = true
+		}
+	}
+	if !gotFaculty || !gotPerson {
+		t.Errorf("professor superclass types missing (faculty=%v person=%v)", gotFaculty, gotPerson)
+	}
+	if !gotChair {
+		t.Error("Chair not derived for a department head")
+	}
+	if !gotStudentFromGrad {
+		t.Error("GraduateStudent not promoted to Student")
+	}
+}
+
+func TestLUBMTransitiveSubOrg(t *testing.T) {
+	ds := LUBMDataset(1)
+	// Research groups must reach the university through materialized
+	// transitivity.
+	found := false
+	for _, tr := range ds.Triples {
+		if tr.P == ubSubOrgOf &&
+			strings.Contains(string(tr.S), "ResearchGroup") &&
+			strings.Contains(string(tr.O), "www.University0.edu") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no ResearchGroup subOrganizationOf University0 triple materialized")
+	}
+}
+
+func TestLUBMQueryLookupByID(t *testing.T) {
+	if q := LUBMQuery("Q9"); q.ID != "Q9" || !q.Increasing {
+		t.Fatalf("LUBMQuery(Q9) = %+v", q)
+	}
+	if q := LUBMQuery("nope"); q.ID != "" {
+		t.Fatalf("LUBMQuery(nope) = %+v", q)
+	}
+}

@@ -1,0 +1,185 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// YAGO namespace (simplified).
+const YagoNS = "http://yago-knowledge.org/resource/"
+
+func yago(local string) rdf.Term { return rdf.NewIRI(YagoNS + local) }
+
+// YAGO vocabulary: class terms follow YAGO's wordnet naming, predicates the
+// fact names the RDF-3X query set uses (the paper substitutes bornIn for
+// bornInLocation, §7.1; we use the substituted names directly).
+var (
+	yagoScientist  = yago("wordnet_scientist")
+	yagoActor      = yago("wordnet_actor")
+	yagoPolitician = yago("wordnet_politician")
+	yagoWriter     = yago("wordnet_writer")
+	yagoCity       = yago("wordnet_city")
+	yagoCountry    = yago("wordnet_country")
+	yagoUniversity = yago("wordnet_university")
+	yagoMovie      = yago("wordnet_movie")
+	yagoPrize      = yago("wordnet_prize")
+
+	yagoBornIn     = yago("bornIn")
+	yagoDiedIn     = yago("diedIn")
+	yagoLocatedIn  = yago("locatedIn")
+	yagoCitizenOf  = yago("isCitizenOf")
+	yagoMarriedTo  = yago("isMarriedTo")
+	yagoWonPrize   = yago("hasWonPrize")
+	yagoGradFrom   = yago("graduatedFrom")
+	yagoWorksAt    = yago("worksAt")
+	yagoActedIn    = yago("actedIn")
+	yagoDirected   = yago("directed")
+	yagoInfluences = yago("influences")
+	yagoGivenName  = yago("hasGivenName")
+	yagoFamilyName = yago("hasFamilyName")
+)
+
+var yagoCountryNames = []string{
+	"United_States", "Switzerland", "Germany", "France", "Japan",
+	"United_Kingdom", "Italy", "Canada", "South_Korea", "Brazil",
+}
+
+var yagoGivenNames = []string{
+	"Albert", "Marie", "Isaac", "Ada", "Alan", "Grace", "Erwin", "Emmy",
+	"Niels", "Rosalind", "Richard", "Lise",
+}
+
+var yagoFamilyNames = []string{
+	"Einstein", "Curie", "Newton", "Lovelace", "Turing", "Hopper",
+	"Schrodinger", "Noether", "Bohr", "Franklin", "Feynman", "Meitner",
+}
+
+// YAGOConfig parameterizes the YAGO-like generator.
+type YAGOConfig struct {
+	// People is the scale factor; cities, universities, movies and prizes
+	// scale along with it.
+	People int
+	Seed   int64
+}
+
+// YAGO generates a heterogeneous fact graph in YAGO's style: persons of
+// four professions with irregular property coverage (unlike LUBM, most
+// properties are present only for a fraction of the population — the
+// dataset the paper uses to check that +REUSE survives schema
+// irregularity). Married pairs are always born in different cities, so the
+// "married couple born in the same city" query has zero solutions, mirroring
+// the empty query of the paper's Table 4.
+func YAGO(cfg YAGOConfig) []rdf.Triple {
+	r := newRNG(cfg.Seed*31_337 + 5)
+	var out []rdf.Triple
+
+	nPeople := cfg.People
+	nCities := nPeople/10 + 20
+	nUnis := nPeople/25 + 8
+	nMovies := nPeople/5 + 10
+	nPrizes := 10
+
+	countries := make([]rdf.Term, len(yagoCountryNames))
+	for i, n := range yagoCountryNames {
+		countries[i] = yago(n)
+		out = append(out, rdf.Triple{S: countries[i], P: rdf.TypeTerm, O: yagoCountry})
+	}
+	cities := make([]rdf.Term, nCities)
+	cityCountry := make([]int, nCities)
+	for i := 0; i < nCities; i++ {
+		cities[i] = yago(fmt.Sprintf("City%d", i))
+		cityCountry[i] = r.Intn(len(countries))
+		out = append(out,
+			rdf.Triple{S: cities[i], P: rdf.TypeTerm, O: yagoCity},
+			rdf.Triple{S: cities[i], P: yagoLocatedIn, O: countries[cityCountry[i]]},
+		)
+	}
+	unis := make([]rdf.Term, nUnis)
+	for i := 0; i < nUnis; i++ {
+		unis[i] = yago(fmt.Sprintf("University%d", i))
+		out = append(out,
+			rdf.Triple{S: unis[i], P: rdf.TypeTerm, O: yagoUniversity},
+			rdf.Triple{S: unis[i], P: yagoLocatedIn, O: cities[r.Intn(nCities)]},
+		)
+	}
+	prizes := make([]rdf.Term, nPrizes)
+	for i := 0; i < nPrizes; i++ {
+		prizes[i] = yago(fmt.Sprintf("Prize%d", i))
+		out = append(out, rdf.Triple{S: prizes[i], P: rdf.TypeTerm, O: yagoPrize})
+	}
+	movies := make([]rdf.Term, nMovies)
+	for i := 0; i < nMovies; i++ {
+		movies[i] = yago(fmt.Sprintf("Movie%d", i))
+		out = append(out, rdf.Triple{S: movies[i], P: rdf.TypeTerm, O: yagoMovie})
+	}
+
+	professions := []rdf.Term{yagoScientist, yagoActor, yagoPolitician, yagoWriter}
+	people := make([]rdf.Term, nPeople)
+	born := make([]int, nPeople)
+	for i := 0; i < nPeople; i++ {
+		p := yago(fmt.Sprintf("Person%d", i))
+		people[i] = p
+		prof := professions[r.Intn(len(professions))]
+		born[i] = r.Intn(nCities)
+		out = append(out,
+			rdf.Triple{S: p, P: rdf.TypeTerm, O: prof},
+			rdf.Triple{S: p, P: yagoBornIn, O: cities[born[i]]},
+			rdf.Triple{S: p, P: yagoGivenName, O: rdf.NewLiteral(pick(r, yagoGivenNames))},
+			rdf.Triple{S: p, P: yagoFamilyName, O: rdf.NewLiteral(pick(r, yagoFamilyNames))},
+		)
+		if r.chance(2) {
+			out = append(out, rdf.Triple{S: p, P: yagoCitizenOf, O: countries[cityCountry[born[i]]]})
+		}
+		if r.chance(4) {
+			out = append(out, rdf.Triple{S: p, P: yagoDiedIn, O: cities[r.Intn(nCities)]})
+		}
+		if r.chance(3) {
+			out = append(out, rdf.Triple{S: p, P: yagoGradFrom, O: unis[r.Intn(nUnis)]})
+		}
+		if r.chance(5) {
+			out = append(out, rdf.Triple{S: p, P: yagoWonPrize, O: prizes[r.Intn(nPrizes)]})
+		}
+		switch prof {
+		case yagoScientist:
+			out = append(out, rdf.Triple{S: p, P: yagoWorksAt, O: unis[r.Intn(nUnis)]})
+		case yagoActor:
+			for k := 0; k < r.between(1, 3); k++ {
+				m := movies[r.Intn(nMovies)]
+				out = append(out, rdf.Triple{S: p, P: yagoActedIn, O: m})
+				// A few actors direct a movie they star in (the
+				// self-directed query).
+				if r.chance(10) {
+					out = append(out, rdf.Triple{S: p, P: yagoDirected, O: m})
+				}
+			}
+		case yagoWriter:
+			if r.chance(2) {
+				out = append(out, rdf.Triple{S: p, P: yagoInfluences, O: yago(fmt.Sprintf("Person%d", r.Intn(nPeople)))})
+			}
+		}
+	}
+
+	// Marriages: consecutive pairs with distinct birth cities, keeping the
+	// same-city marriage query empty by construction.
+	for i := 0; i+1 < nPeople; i += 7 {
+		if born[i] == born[i+1] {
+			continue
+		}
+		out = append(out,
+			rdf.Triple{S: people[i], P: yagoMarriedTo, O: people[i+1]},
+			rdf.Triple{S: people[i+1], P: yagoMarriedTo, O: people[i]},
+		)
+	}
+	return out
+}
+
+// YAGODataset generates the YAGO-like dataset (no inference — YAGO is
+// loaded as-is in the paper) with its 8 benchmark queries.
+func YAGODataset(people int) *Dataset {
+	return &Dataset{
+		Name:    fmt.Sprintf("YAGO%d", people),
+		Triples: YAGO(YAGOConfig{People: people, Seed: 1}),
+		Queries: YAGOQueries(),
+	}
+}

@@ -1,0 +1,73 @@
+package datagen
+
+// YAGOQueries returns the 8-query YAGO workload, following the structure of
+// the RDF-3X query set the paper reuses (§7.1): entity-centric joins over
+// the fact predicates, a guaranteed-empty query (Q2, like the paper's
+// Table 4), a self-join (Q3), and one large star (Q7).
+func YAGOQueries() []Query {
+	const prefix = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX y: <http://yago-knowledge.org/resource/>
+`
+	q := func(id, body string) Query { return Query{ID: id, Text: prefix + body} }
+	return []Query{
+		// Q1: scientists born in a Swiss city.
+		q("Q1", `SELECT ?p ?city WHERE {
+	?p rdf:type y:wordnet_scientist .
+	?p y:bornIn ?city .
+	?city y:locatedIn y:Switzerland . }`),
+
+		// Q2: married couples born in the same city — empty by
+		// construction, like the paper's YAGO Q2.
+		q("Q2", `SELECT ?a ?b ?city WHERE {
+	?a y:isMarriedTo ?b .
+	?a y:bornIn ?city .
+	?b y:bornIn ?city . }`),
+
+		// Q3: actors who directed a movie they acted in.
+		q("Q3", `SELECT ?p ?m WHERE {
+	?p rdf:type y:wordnet_actor .
+	?p y:actedIn ?m .
+	?p y:directed ?m . }`),
+
+		// Q4: prize-winning scientists working at a university located in a
+		// United States city.
+		q("Q4", `SELECT ?p ?u WHERE {
+	?p rdf:type y:wordnet_scientist .
+	?p y:hasWonPrize ?prize .
+	?p y:worksAt ?u .
+	?u y:locatedIn ?city .
+	?city y:locatedIn y:United_States . }`),
+
+		// Q5: writers who influence someone born in the same city as
+		// themselves.
+		q("Q5", `SELECT ?w ?x WHERE {
+	?w rdf:type y:wordnet_writer .
+	?w y:influences ?x .
+	?w y:bornIn ?city .
+	?x y:bornIn ?city . }`),
+
+		// Q6: politicians who are citizens of a country where some actor
+		// was born.
+		q("Q6", `SELECT ?pol ?country WHERE {
+	?pol rdf:type y:wordnet_politician .
+	?pol y:isCitizenOf ?country .
+	?city y:locatedIn ?country .
+	?actor y:bornIn ?city .
+	?actor rdf:type y:wordnet_actor . }`),
+
+		// Q7: the big star — names, birthplace, citizenship for everyone
+		// with full coverage.
+		q("Q7", `SELECT ?p ?gn ?fn ?city ?country WHERE {
+	?p y:hasGivenName ?gn .
+	?p y:hasFamilyName ?fn .
+	?p y:bornIn ?city .
+	?p y:isCitizenOf ?country .
+	?city y:locatedIn ?country . }`),
+
+		// Q8: people who graduated from a university in their birth city.
+		q("Q8", `SELECT ?p ?u WHERE {
+	?p y:graduatedFrom ?u .
+	?u y:locatedIn ?city .
+	?p y:bornIn ?city . }`),
+	}
+}

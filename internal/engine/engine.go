@@ -1,0 +1,359 @@
+// Package engine executes SPARQL queries against a transformed RDF dataset
+// using the core TurboHOM++ matcher. It translates basic graph patterns into
+// query graphs under either transformation (folding constant rdf:type
+// patterns into vertex labels under the type-aware transformation), pushes
+// inexpensive FILTERs into exploration, evaluates expensive FILTERs after
+// matching, and implements OPTIONAL as a SPARQL left join and UNION by
+// sub-query splitting (paper §5.1).
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/transform"
+)
+
+// Engine executes queries against one dataset.
+type Engine struct {
+	data *transform.Data
+	sem  core.Semantics
+	opts core.Opts
+}
+
+// New builds an engine over transformed data with the given matcher options.
+func New(data *transform.Data, opts core.Opts) *Engine {
+	return &Engine{data: data, sem: core.Homomorphism, opts: opts}
+}
+
+// Data exposes the underlying transformed dataset.
+func (e *Engine) Data() *transform.Data { return e.data }
+
+// SetSemantics overrides the matching semantics (the default is the RDF
+// e-graph homomorphism; Isomorphism gives classic subgraph isomorphism).
+func (e *Engine) SetSemantics(s core.Semantics) { e.sem = s }
+
+// Result is a materialized result set. Unbound positions (OPTIONAL) hold
+// the empty term.
+type Result struct {
+	Vars []string
+	Rows [][]rdf.Term
+}
+
+// Query parses and executes a SPARQL query string.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Exec(q)
+}
+
+// Count parses and executes a query, returning only the number of rows. It
+// uses a count-only fast path (no row materialization, no dictionary
+// lookups — the paper's timing protocol) whenever the query shape allows.
+func (e *Engine) Count(src string) (int, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	return e.ExecCount(q)
+}
+
+// Exec executes a parsed query.
+func (e *Engine) Exec(q *sparql.Query) (*Result, error) {
+	vars := q.ProjectedVars()
+	vi := buildVarIndex(q)
+	groups := e.expandGroups(q.Where)
+	var rows [][]rdf.Term
+	for _, g := range groups {
+		gr, err := e.execGroup(g, vi, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, gr...)
+	}
+
+	// ORDER BY runs on the unprojected solutions so keys may reference
+	// non-projected variables.
+	if len(q.OrderBy) > 0 {
+		sparql.SortSolutions(rows, q.OrderBy, vi.slot)
+	}
+
+	// Projection.
+	out := make([][]rdf.Term, 0, len(rows))
+	for _, r := range rows {
+		proj := make([]rdf.Term, len(vars))
+		for i, v := range vars {
+			if idx, ok := vi.index[v]; ok {
+				proj[i] = r[idx]
+			}
+		}
+		out = append(out, proj)
+	}
+
+	if q.Distinct {
+		out = dedupRows(out)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return &Result{Vars: vars, Rows: out}, nil
+}
+
+// ExecCount executes a parsed query counting rows only.
+func (e *Engine) ExecCount(q *sparql.Query) (int, error) {
+	if !q.Distinct && q.Limit < 0 && q.Offset == 0 {
+		groups := e.expandGroups(q.Where)
+		total := 0
+		fast := true
+		for _, g := range groups {
+			n, ok, err := e.tryFastCount(g)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				fast = false
+				break
+			}
+			total += n
+		}
+		if fast {
+			return total, nil
+		}
+	}
+	res, err := e.Exec(q)
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}
+
+// tryFastCount counts a flat group's solutions without materializing rows.
+// It applies when the group has no OPTIONALs, no post filters, and no
+// variable-type expansions, and no predicate variable spans components.
+func (e *Engine) tryFastCount(g *flatGroup) (int, bool, error) {
+	plan, err := e.buildPlan(g, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	if plan.empty {
+		return 0, true, nil
+	}
+	if len(plan.optionals) > 0 || len(plan.post) > 0 || len(plan.typeExps) > 0 || len(g.fixed) > 0 {
+		return 0, false, nil
+	}
+	if len(plan.comps) == 0 {
+		return 1, true, nil // empty group pattern: one empty solution
+	}
+	// Predicate variables shared across components force a join.
+	if plan.predVarSpansComponents() {
+		return 0, false, nil
+	}
+	total := 1
+	for _, c := range plan.comps {
+		n, err := core.Count(e.data.G, c.qg, e.sem, e.opts)
+		if err != nil {
+			return 0, false, err
+		}
+		total *= n
+		if total == 0 {
+			return 0, true, nil
+		}
+	}
+	return total, true, nil
+}
+
+func dedupRows(rows [][]rdf.Term) [][]rdf.Term {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	var b strings.Builder
+	for _, r := range rows {
+		b.Reset()
+		for _, t := range r {
+			b.WriteString(string(t))
+			b.WriteByte('\x00')
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// varIndex assigns a dense slot to every variable in the query.
+type varIndex struct {
+	index map[string]int
+	names []string
+}
+
+func buildVarIndex(q *sparql.Query) *varIndex {
+	vi := &varIndex{index: map[string]int{}}
+	set := map[string]bool{}
+	q.Where.Vars(set)
+	for _, v := range q.ProjectedVars() {
+		set[v] = true
+	}
+	// Deterministic slot order.
+	var names []string
+	for v := range set {
+		names = append(names, v)
+	}
+	sortStrings(names)
+	for _, v := range names {
+		vi.index[v] = len(vi.names)
+		vi.names = append(vi.names, v)
+	}
+	return vi
+}
+
+func (vi *varIndex) slot(name string) int {
+	i, ok := vi.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// fixedBinding pins a variable to a constant term for one alternative (used
+// by the wildcard-predicate rdf:type expansion).
+type fixedBinding struct {
+	name string
+	term rdf.Term
+}
+
+// flatGroup is a group pattern after UNION expansion: triples, filters and
+// optionals only, plus per-alternative fixed variable bindings.
+type flatGroup struct {
+	triples   []sparql.TriplePattern
+	filters   []sparql.Expr
+	optionals []*sparql.GroupPattern
+	fixed     []fixedBinding
+}
+
+// expandUnions distributes every UNION chain in g, producing the flat
+// alternatives whose solutions are concatenated (paper §5.1: split into
+// sub-queries, union the solutions).
+func expandUnions(g *sparql.GroupPattern) []*flatGroup {
+	base := &flatGroup{
+		triples:   g.Triples,
+		filters:   g.Filters,
+		optionals: g.Optionals,
+	}
+	groups := []*flatGroup{base}
+	for _, chain := range g.Unions {
+		var next []*flatGroup
+		for _, cur := range groups {
+			for _, alt := range chain {
+				for _, altFlat := range expandUnions(alt) {
+					merged := &flatGroup{
+						triples:   concat(cur.triples, altFlat.triples),
+						filters:   concat(cur.filters, altFlat.filters),
+						optionals: concat(cur.optionals, altFlat.optionals),
+						fixed:     concat(cur.fixed, altFlat.fixed),
+					}
+					next = append(next, merged)
+				}
+			}
+		}
+		groups = next
+	}
+	return groups
+}
+
+// expandGroups flattens g's UNIONs and, under the type-aware transformation,
+// expands every variable-predicate pattern into its rdf:type alternative.
+// The type-aware graph has no rdf:type edges — they were folded into vertex
+// labels — so a wildcard predicate must additionally be allowed to bind
+// rdf:type, with the object ranging over the subject's direct type set
+// Lsimple (paper §4.2, the simple entailment regime). Each such pattern
+// doubles the alternatives: one where it matches a real edge (the wildcard
+// can never bind rdf:type there, keeping the alternatives disjoint) and one
+// where it is rewritten to a constant rdf:type pattern with the predicate
+// variable pinned.
+func (e *Engine) expandGroups(g *sparql.GroupPattern) []*flatGroup {
+	flats := expandUnions(g)
+	if e.data.Mode != transform.TypeAware {
+		return flats
+	}
+	var out []*flatGroup
+	for _, f := range flats {
+		out = append(out, e.expandTypeWildcards(f)...)
+	}
+	return out
+}
+
+// maxWildcardExpansion caps the 2^k alternative blow-up of groups with many
+// variable predicates; beyond it the rdf:type alternatives are dropped
+// (matching plain graph-edge semantics).
+const maxWildcardExpansion = 4
+
+func (e *Engine) expandTypeWildcards(f *flatGroup) []*flatGroup {
+	var wild []int
+	for i, tp := range f.triples {
+		if tp.P.IsVar() {
+			wild = append(wild, i)
+		}
+	}
+	if len(wild) == 0 || len(wild) > maxWildcardExpansion {
+		return []*flatGroup{f}
+	}
+	var out []*flatGroup
+	for mask := 0; mask < 1<<len(wild); mask++ {
+		alt := &flatGroup{
+			triples:   append([]sparql.TriplePattern(nil), f.triples...),
+			filters:   f.filters,
+			optionals: f.optionals,
+			fixed:     append([]fixedBinding(nil), f.fixed...),
+		}
+		for bit, ti := range wild {
+			if mask&(1<<bit) == 0 {
+				continue
+			}
+			tp := alt.triples[ti]
+			alt.triples[ti] = sparql.TriplePattern{
+				S: tp.S,
+				P: sparql.Constant(rdf.TypeTerm),
+				O: tp.O,
+			}
+			alt.fixed = append(alt.fixed, fixedBinding{name: tp.P.Var, term: rdf.TypeTerm})
+		}
+		out = append(out, alt)
+	}
+	return out
+}
+
+func concat[T any](a, b []T) []T {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]T, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v (%d rows)", r.Vars, len(r.Rows))
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// execGroup evaluates a flat group under the query-wide variable index,
+// returning one row per solution. outer carries bindings from an enclosing
+// solution (OPTIONAL evaluation); those variables were already substituted
+// into the plan as constants and stay empty in the returned rows.
+func (e *Engine) execGroup(g *flatGroup, vi *varIndex, outer sparql.Bindings) ([][]rdf.Term, error) {
+	p, err := e.buildPlan(g, outer)
+	if err != nil {
+		return nil, err
+	}
+	if p.empty {
+		return nil, nil
+	}
+
+	// Seed the row with the alternative's fixed bindings (wildcard-predicate
+	// rdf:type expansion); conflicting fixes or an enclosing binding that
+	// disagrees make the alternative empty.
+	seed := make([]rdf.Term, len(vi.names))
+	for _, fb := range g.fixed {
+		if outer != nil {
+			if t, ok := outer[fb.name]; ok && t != "" && t != fb.term {
+				return nil, nil
+			}
+		}
+		slot := vi.slot(fb.name)
+		if slot < 0 {
+			continue
+		}
+		if seed[slot] != "" && seed[slot] != fb.term {
+			return nil, nil
+		}
+		seed[slot] = fb.term
+	}
+	rows := [][]rdf.Term{seed}
+
+	// Join the components (cross product with conflict detection: a
+	// predicate variable can span components).
+	for _, c := range p.comps {
+		sols, err := core.Collect(e.data.G, c.qg, e.sem, e.opts)
+		if err != nil {
+			return nil, err
+		}
+		if len(sols) == 0 {
+			return nil, nil
+		}
+		next := make([][]rdf.Term, 0, len(rows)*len(sols))
+		for _, row := range rows {
+			for _, sol := range sols {
+				if merged, ok := e.mergeSolution(row, c, sol, vi); ok {
+					next = append(next, merged)
+				}
+			}
+		}
+		rows = next
+		if len(rows) == 0 {
+			return nil, nil
+		}
+	}
+
+	// Variable-type expansions (`?s rdf:type ?t` under TypeAware).
+	for _, exp := range p.typeExps {
+		rows, err = e.expandTypes(rows, exp, vi, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return nil, nil
+		}
+	}
+
+	// OPTIONAL groups: SPARQL left join, one group at a time.
+	for _, opt := range p.optionals {
+		rows, err = e.execOptional(opt, vi, rows, outer)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Post filters (join conditions, regex, filters over OPTIONAL vars).
+	if len(p.post) > 0 {
+		kept := rows[:0]
+		for _, row := range rows {
+			b := e.rowBindings(row, vi, outer)
+			ok := true
+			for _, f := range p.post {
+				if !sparql.EvalFilter(f, b) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	return rows, nil
+}
+
+// mergeSolution folds one matcher solution into a row copy, rejecting
+// conflicting bindings.
+func (e *Engine) mergeSolution(row []rdf.Term, c *component, sol core.Match, vi *varIndex) ([]rdf.Term, bool) {
+	merged := append([]rdf.Term(nil), row...)
+	for i, tag := range c.vertexVar {
+		if tag == "" {
+			continue
+		}
+		slot := vi.slot(tag)
+		if slot < 0 {
+			continue
+		}
+		t := e.data.TermOfVertex(sol.Vertices[i])
+		if merged[slot] != "" && merged[slot] != t {
+			return nil, false
+		}
+		merged[slot] = t
+	}
+	for i, tag := range c.edgeVar {
+		if tag == "" {
+			continue
+		}
+		slot := vi.slot(tag)
+		if slot < 0 {
+			continue
+		}
+		t := e.data.TermOfEdgeLabel(sol.EdgeLabels[i])
+		if merged[slot] != "" && merged[slot] != t {
+			return nil, false
+		}
+		merged[slot] = t
+	}
+	return merged, true
+}
+
+// expandTypes multiplies rows by the admissible type terms of one
+// `?s rdf:type ?t` expansion: the intersection of the direct types of every
+// subject the variable covers.
+func (e *Engine) expandTypes(rows [][]rdf.Term, exp typeExpansion, vi *varIndex, outer sparql.Bindings) ([][]rdf.Term, error) {
+	slot := vi.slot(exp.typeVar)
+	var out [][]rdf.Term
+	for _, row := range rows {
+		types, ok := e.allowedTypes(exp, row, vi, outer)
+		if !ok {
+			continue
+		}
+		for _, l := range types {
+			t := e.data.TermOfLabel(l)
+			if slot >= 0 {
+				if row[slot] != "" && row[slot] != t {
+					continue
+				}
+				r2 := append([]rdf.Term(nil), row...)
+				r2[slot] = t
+				out = append(out, r2)
+			} else {
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) allowedTypes(exp typeExpansion, row []rdf.Term, vi *varIndex, outer sparql.Bindings) ([]uint32, bool) {
+	var sets [][]uint32
+	addVertexTypes := func(v uint32) {
+		sets = append(sets, e.data.SimpleTypes(v))
+	}
+	for _, v := range exp.subjConst {
+		addVertexTypes(v)
+	}
+	for _, name := range exp.subjVars {
+		var term rdf.Term
+		if slot := vi.slot(name); slot >= 0 && row[slot] != "" {
+			term = row[slot]
+		} else if outer != nil {
+			term = outer[name]
+		}
+		if term == "" {
+			return nil, false // subject not bound: no types derivable
+		}
+		v, ok := e.data.VertexOf(term)
+		if !ok {
+			return nil, false
+		}
+		addVertexTypes(v)
+	}
+	if len(sets) == 0 {
+		return nil, false
+	}
+	// Intersect (sets are sorted).
+	cur := sets[0]
+	for _, s := range sets[1:] {
+		var next []uint32
+		i, j := 0, 0
+		for i < len(cur) && j < len(s) {
+			switch {
+			case cur[i] == s[j]:
+				next = append(next, cur[i])
+				i++
+				j++
+			case cur[i] < s[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	if exp.typeVar != "" && outer != nil {
+		if t, ok := outer[exp.typeVar]; ok && t != "" {
+			l, ok := e.data.LabelOf(t)
+			if !ok {
+				return nil, false
+			}
+			var filtered []uint32
+			for _, x := range cur {
+				if x == l {
+					filtered = append(filtered, x)
+				}
+			}
+			cur = filtered
+		}
+	}
+	return cur, len(cur) > 0
+}
+
+// execOptional left-joins rows with an OPTIONAL group: rows that match
+// extend; rows that do not keep their bindings with the group's variables
+// null — emitted exactly once (the paper's qualify-and-exclude-duplicate
+// outcome via standard left-join semantics).
+func (e *Engine) execOptional(opt *sparql.GroupPattern, vi *varIndex, rows [][]rdf.Term, outer sparql.Bindings) ([][]rdf.Term, error) {
+	flats := e.expandGroups(opt)
+	var out [][]rdf.Term
+	for _, row := range rows {
+		inner := e.rowBindings(row, vi, outer)
+		var subRows [][]rdf.Term
+		for _, flat := range flats {
+			rs, err := e.execGroup(flat, vi, inner)
+			if err != nil {
+				return nil, err
+			}
+			subRows = append(subRows, rs...)
+		}
+		if len(subRows) == 0 {
+			out = append(out, row)
+			continue
+		}
+		for _, sub := range subRows {
+			merged := append([]rdf.Term(nil), row...)
+			ok := true
+			for i, t := range sub {
+				if t == "" {
+					continue
+				}
+				if merged[i] != "" && merged[i] != t {
+					ok = false
+					break
+				}
+				merged[i] = t
+			}
+			if ok {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out, nil
+}
+
+// rowBindings builds the variable bindings visible to filters and nested
+// groups: the row's values, falling back to enclosing bindings.
+func (e *Engine) rowBindings(row []rdf.Term, vi *varIndex, outer sparql.Bindings) sparql.Bindings {
+	b := make(sparql.Bindings, len(vi.names)+len(outer))
+	for k, v := range outer {
+		b[k] = v
+	}
+	for i, name := range vi.names {
+		if row[i] != "" {
+			b[name] = row[i]
+		}
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/baseline/bitmat"
+	"repro/internal/baseline/rdf3x"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func TestOrderByParsing(t *testing.T) {
+	q, err := sparql.Parse(`SELECT ?x WHERE { ?x <http://p> ?y . } ORDER BY DESC(?y) ?x LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("OrderBy = %v, want 2 keys", q.OrderBy)
+	}
+	if !q.OrderBy[0].Desc || q.OrderBy[0].Var != "y" {
+		t.Fatalf("first key = %+v, want DESC(?y)", q.OrderBy[0])
+	}
+	if q.OrderBy[1].Desc || q.OrderBy[1].Var != "x" {
+		t.Fatalf("second key = %+v, want ASC ?x", q.OrderBy[1])
+	}
+	if q.Limit != 2 {
+		t.Fatalf("Limit = %d", q.Limit)
+	}
+}
+
+func TestOrderByNumericAscDesc(t *testing.T) {
+	aware, _ := newEngines(t)
+	res, err := aware.Query(prefix + `SELECT ?x ?r WHERE { ?x :rating ?r . } ORDER BY ?r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	want := []rdf.Term{rdf.NewIntLiteral(1), rdf.NewIntLiteral(3), rdf.NewIntLiteral(5)}
+	for i, r := range res.Rows {
+		if r[1] != want[i] {
+			t.Fatalf("asc order wrong at %d: %v", i, res.Rows)
+		}
+	}
+
+	res, err = aware.Query(prefix + `SELECT ?x ?r WHERE { ?x :rating ?r . } ORDER BY DESC(?r)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1] != rdf.NewIntLiteral(5) {
+		t.Fatalf("desc order wrong: %v", res.Rows)
+	}
+}
+
+func TestOrderByNonProjectedKey(t *testing.T) {
+	aware, _ := newEngines(t)
+	res, err := aware.Query(prefix + `SELECT ?x WHERE { ?x :rating ?r . } ORDER BY DESC(?r) LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != iri("product1") {
+		t.Fatalf("top-rated = %v, want product1", res.Rows)
+	}
+}
+
+// TestOrderByAgreesAcrossEngines checks that all three engines produce the
+// same ordered projection.
+func TestOrderByAgreesAcrossEngines(t *testing.T) {
+	ts := uniTriples()
+	q := prefix + `SELECT ?x ?p WHERE { ?x :price ?p . } ORDER BY DESC(?p)`
+
+	aware, _ := newEngines(t)
+	res, err := aware.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, mergeRows, err := rdf3x.Load(ts).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bitRows, err := bitmat.Load(ts).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(mergeRows) || len(res.Rows) != len(bitRows) {
+		t.Fatalf("row counts differ: %d %d %d", len(res.Rows), len(mergeRows), len(bitRows))
+	}
+	for i := range res.Rows {
+		for j := range res.Rows[i] {
+			if res.Rows[i][j] != mergeRows[i][j] || res.Rows[i][j] != bitRows[i][j] {
+				t.Fatalf("row %d differs: turbo=%v rdf3x=%v bitmat=%v",
+					i, res.Rows[i], mergeRows[i], bitRows[i])
+			}
+		}
+	}
+	// And the ordering itself.
+	if res.Rows[0][0] != iri("product2") {
+		t.Fatalf("expected product2 (price 250) first: %v", res.Rows)
+	}
+}
+
+func TestOrderByUnboundOptionalFirst(t *testing.T) {
+	aware, _ := newEngines(t)
+	res, err := aware.Query(prefix + `SELECT ?x ?h WHERE {
+		?x a :Product .
+		OPTIONAL { ?x :homepage ?h . }
+	} ORDER BY ?h`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0][1] != "" {
+		t.Fatalf("unbound should sort first: %v", res.Rows)
+	}
+}

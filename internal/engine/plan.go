@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/transform"
+)
+
+// plan is a flat group compiled against the dataset: connected query-graph
+// components, variable-type expansions, post filters, and optionals.
+type plan struct {
+	e     *Engine
+	empty bool // statically proven empty (unknown term/label/predicate)
+
+	comps     []*component
+	typeExps  []typeExpansion
+	post      []sparql.Expr
+	optionals []*sparql.GroupPattern
+	outer     sparql.Bindings // bindings inherited from the enclosing row
+}
+
+// component is one connected component of the group's query graph.
+type component struct {
+	qg *core.QueryGraph
+	// vertexVar[i] names the variable matched by query vertex i ("" for
+	// constants).
+	vertexVar []string
+	// edgeVar[i] names the predicate variable of query edge i ("").
+	edgeVar []string
+}
+
+// typeExpansion materializes `?s rdf:type ?t` patterns under the type-aware
+// transformation: after matching, ?t ranges over the direct types shared by
+// every listed subject.
+type typeExpansion struct {
+	typeVar   string
+	subjVars  []string
+	subjConst []uint32 // pinned subject vertices
+}
+
+// vertexKey identifies a query vertex during construction: a variable name
+// or a constant term.
+type vertexKey struct {
+	name string
+	term rdf.Term
+}
+
+type vertexInfo struct {
+	idx    int
+	labels []uint32
+	id     uint32
+	varTag string
+}
+
+// buildPlan compiles a flat group against the dataset. outer pins variables
+// bound by an enclosing solution (OPTIONAL evaluation).
+func (e *Engine) buildPlan(g *flatGroup, outer sparql.Bindings) (*plan, error) {
+	p := &plan{e: e, outer: outer, optionals: g.optionals}
+	d := e.data
+
+	resolve := func(tv sparql.TermOrVar) sparql.TermOrVar {
+		if tv.IsVar() && outer != nil {
+			if t, ok := outer[tv.Var]; ok && t != "" {
+				return sparql.Constant(t)
+			}
+		}
+		return tv
+	}
+
+	verts := map[vertexKey]*vertexInfo{}
+	order := []*vertexInfo{}
+	vertex := func(tv sparql.TermOrVar) (*vertexInfo, bool) {
+		var key vertexKey
+		var pin uint32 = core.NoID
+		var tag string
+		if tv.IsVar() {
+			key = vertexKey{name: tv.Var}
+			tag = tv.Var
+		} else {
+			key = vertexKey{term: tv.Term}
+			id, ok := d.VertexOf(tv.Term)
+			if !ok {
+				return nil, false // unknown term: no solutions
+			}
+			pin = id
+		}
+		if vi, ok := verts[key]; ok {
+			return vi, true
+		}
+		vi := &vertexInfo{idx: len(order), id: pin, varTag: tag}
+		verts[key] = vi
+		order = append(order, vi)
+		return vi, true
+	}
+
+	type pendingEdge struct {
+		from, to int
+		label    uint32
+		predVar  string
+	}
+	var edges []pendingEdge
+	typeVarPatterns := map[string][]sparql.TermOrVar{} // typeVar -> subjects
+
+	for _, tp := range g.triples {
+		s, pr, o := resolve(tp.S), resolve(tp.P), resolve(tp.O)
+
+		// Constant rdf:type patterns fold into labels under TypeAware.
+		if d.Mode == transform.TypeAware && !pr.IsVar() && pr.Term.IRIValue() == rdf.RDFType {
+			if o.IsVar() {
+				typeVarPatterns[o.Var] = append(typeVarPatterns[o.Var], s)
+				// The subject still needs a vertex so that a type-only
+				// query has something to match.
+				if _, ok := vertex(s); !ok {
+					p.empty = true
+					return p, nil
+				}
+				continue
+			}
+			label, ok := d.LabelOf(o.Term)
+			if !ok {
+				p.empty = true // type never seen in the data
+				return p, nil
+			}
+			vi, ok := vertex(s)
+			if !ok {
+				p.empty = true
+				return p, nil
+			}
+			vi.labels = appendUnique(vi.labels, label)
+			continue
+		}
+		// rdfs:subClassOf patterns cannot be answered from a type-aware
+		// graph (the hierarchy is folded into labels); they match nothing.
+		if d.Mode == transform.TypeAware && !pr.IsVar() && pr.Term.IRIValue() == rdf.RDFSSubClass {
+			p.empty = true
+			return p, nil
+		}
+
+		sv, ok := vertex(s)
+		if !ok {
+			p.empty = true
+			return p, nil
+		}
+		ov, ok := vertex(o)
+		if !ok {
+			p.empty = true
+			return p, nil
+		}
+		if pr.IsVar() {
+			edges = append(edges, pendingEdge{sv.idx, ov.idx, core.NoID, pr.Var})
+			continue
+		}
+		el, ok := d.EdgeLabelOf(pr.Term)
+		if !ok {
+			p.empty = true
+			return p, nil
+		}
+		edges = append(edges, pendingEdge{sv.idx, ov.idx, el, ""})
+	}
+
+	// Type expansions: resolve subjects to vars or pinned vertices.
+	for tv, subjects := range typeVarPatterns {
+		exp := typeExpansion{typeVar: tv}
+		for _, s := range subjects {
+			if s.IsVar() {
+				exp.subjVars = append(exp.subjVars, s.Var)
+				continue
+			}
+			id, ok := d.VertexOf(s.Term)
+			if !ok {
+				p.empty = true
+				return p, nil
+			}
+			exp.subjConst = append(exp.subjConst, id)
+		}
+		p.typeExps = append(p.typeExps, exp)
+	}
+
+	// Split into connected components (union-find over vertices).
+	parent := make([]int, len(order))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, pe := range edges {
+		union(pe.from, pe.to)
+	}
+	type localSlot struct {
+		c *component
+		i int
+	}
+	compOf := map[int]*component{}
+	local := make([]localSlot, len(order))
+	predVarID := map[string]int{}
+	for gi, vi := range order {
+		root := find(gi)
+		c, ok := compOf[root]
+		if !ok {
+			c = &component{qg: core.NewQueryGraph()}
+			compOf[root] = c
+			p.comps = append(p.comps, c)
+		}
+		localIdx := c.qg.AddVertex(vi.labels, vi.id)
+		c.vertexVar = append(c.vertexVar, vi.varTag)
+		local[gi] = localSlot{c, localIdx}
+	}
+	for _, pe := range edges {
+		fromLoc, toLoc := local[pe.from], local[pe.to]
+		c := fromLoc.c
+		if pe.predVar != "" {
+			id, ok := predVarID[pe.predVar]
+			if !ok {
+				id = len(predVarID)
+				predVarID[pe.predVar] = id
+			}
+			c.qg.AddVarEdge(fromLoc.i, toLoc.i, id)
+			c.edgeVar = append(c.edgeVar, pe.predVar)
+		} else {
+			c.qg.AddEdge(fromLoc.i, toLoc.i, pe.label)
+			c.edgeVar = append(c.edgeVar, "")
+		}
+	}
+
+	// Classify filters: single-variable filters over a BGP vertex variable
+	// are pushed into exploration; everything else runs post-match.
+	for _, f := range g.filters {
+		if !e.pushdownFilter(p, f) {
+			p.post = append(p.post, f)
+		}
+	}
+	return p, nil
+}
+
+func appendUnique(s []uint32, x uint32) []uint32 {
+	for _, v := range s {
+		if v == x {
+			return s
+		}
+	}
+	return append(s, x)
+}
+
+// pushdownFilter attaches f as a vertex predicate when it references
+// exactly one variable and that variable is a vertex of some component.
+func (e *Engine) pushdownFilter(p *plan, f sparql.Expr) bool {
+	set := map[string]bool{}
+	f.Vars(set)
+	if len(set) != 1 {
+		return false
+	}
+	var name string
+	for v := range set {
+		name = v
+	}
+	// Variables consumed by type expansions or predicate slots cannot be
+	// pushed to a vertex.
+	for _, exp := range p.typeExps {
+		if exp.typeVar == name {
+			return false
+		}
+	}
+	d := e.data
+	for _, c := range p.comps {
+		for i, tag := range c.vertexVar {
+			if tag != name {
+				continue
+			}
+			qv := &c.qg.Vertices[i]
+			prev := qv.Pred
+			filter := f
+			qv.Pred = func(v uint32) bool {
+				if prev != nil && !prev(v) {
+					return false
+				}
+				return sparql.EvalFilter(filter, sparql.Bindings{name: d.TermOfVertex(v)})
+			}
+			return true
+		}
+		for _, tag := range c.edgeVar {
+			if tag == name {
+				return false // predicate variable: evaluate post-match
+			}
+		}
+	}
+	return false
+}
+
+// predVarSpansComponents reports whether some predicate variable occurs in
+// two different components (forcing a cross-component join).
+func (p *plan) predVarSpansComponents() bool {
+	seen := map[string]*component{}
+	for _, c := range p.comps {
+		for _, tag := range c.edgeVar {
+			if tag == "" {
+				continue
+			}
+			if prev, ok := seen[tag]; ok && prev != c {
+				return true
+			}
+			seen[tag] = c
+		}
+	}
+	return false
+}

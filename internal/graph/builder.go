@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/intset"
+)
+
+// edge is a builder-side (subject, edge label, object) record.
+type edge struct {
+	s, el, o uint32
+}
+
+// Builder accumulates vertices, vertex labels, and edges, then freezes them
+// into an immutable Graph. Vertex IDs must be dense (the builder grows the
+// vertex space to the largest ID seen).
+type Builder struct {
+	numVertices int
+	labels      []edge // reuse edge as (vertex, label, _) pairs: s=vertex, el=label
+	edges       []edge
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// EnsureVertex grows the vertex space to include v.
+func (b *Builder) EnsureVertex(v uint32) {
+	if int(v) >= b.numVertices {
+		b.numVertices = int(v) + 1
+	}
+}
+
+// AddVertexLabel attaches label l to vertex v.
+func (b *Builder) AddVertexLabel(v, l uint32) {
+	b.EnsureVertex(v)
+	b.labels = append(b.labels, edge{s: v, el: l})
+}
+
+// AddEdge records the edge s --el--> o. Duplicate edges collapse at Build.
+func (b *Builder) AddEdge(s, el, o uint32) {
+	b.EnsureVertex(s)
+	b.EnsureVertex(o)
+	b.edges = append(b.edges, edge{s: s, el: el, o: o})
+}
+
+// NumEdgesAdded reports how many AddEdge calls were made (before dedup).
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// Build freezes the builder into a Graph. The builder must not be used
+// afterwards.
+func (b *Builder) Build() *Graph {
+	g := &Graph{numVertices: b.numVertices}
+
+	// --- Vertex labels: sort (vertex, label), dedup, CSR. ---
+	sort.Slice(b.labels, func(i, j int) bool {
+		if b.labels[i].s != b.labels[j].s {
+			return b.labels[i].s < b.labels[j].s
+		}
+		return b.labels[i].el < b.labels[j].el
+	})
+	b.labels = dedupEdges(b.labels)
+	g.labelOff = make([]int, b.numVertices+1)
+	g.labels = make([]uint32, len(b.labels))
+	maxLabel := -1
+	for i, e := range b.labels {
+		g.labelOff[e.s+1]++
+		g.labels[i] = e.el
+		if int(e.el) > maxLabel {
+			maxLabel = int(e.el)
+		}
+	}
+	for v := 0; v < b.numVertices; v++ {
+		g.labelOff[v+1] += g.labelOff[v]
+	}
+	g.numLabels = maxLabel + 1
+
+	// --- Inverse vertex-label list. ---
+	g.invOff = make([]int, g.numLabels+1)
+	for _, e := range b.labels {
+		g.invOff[e.el+1]++
+	}
+	for l := 0; l < g.numLabels; l++ {
+		g.invOff[l+1] += g.invOff[l]
+	}
+	g.inv = make([]uint32, len(b.labels))
+	fill := make([]int, g.numLabels)
+	for _, e := range b.labels { // b.labels sorted by vertex -> inv lists sorted
+		g.inv[g.invOff[e.el]+fill[e.el]] = e.s
+		fill[e.el]++
+	}
+
+	// --- Edges: sort, dedup, count degrees and edge-label space. ---
+	sort.Slice(b.edges, func(i, j int) bool { return edgeLess(b.edges[i], b.edges[j]) })
+	b.edges = dedupTriples(b.edges)
+	g.numEdges = len(b.edges)
+	g.outDeg = make([]int32, b.numVertices)
+	g.inDeg = make([]int32, b.numVertices)
+	maxEL := -1
+	for _, e := range b.edges {
+		g.outDeg[e.s]++
+		g.inDeg[e.o]++
+		if int(e.el) > maxEL {
+			maxEL = int(e.el)
+		}
+	}
+	g.numEdgeLabels = maxEL + 1
+
+	// --- Neighbor-type grouped adjacency, both directions. ---
+	g.out = buildAdjacency(b.numVertices, b.edges, g, Out)
+	g.in = buildAdjacency(b.numVertices, b.edges, g, In)
+
+	// --- Predicate index. ---
+	g.predSubOff, g.predSub = buildPredicateIndex(g.numEdgeLabels, b.edges, true)
+	g.predObjOff, g.predObj = buildPredicateIndex(g.numEdgeLabels, b.edges, false)
+
+	return g
+}
+
+func edgeLess(a, b edge) bool {
+	if a.s != b.s {
+		return a.s < b.s
+	}
+	if a.el != b.el {
+		return a.el < b.el
+	}
+	return a.o < b.o
+}
+
+// dedupEdges removes adjacent duplicates of (s, el) pairs (labels).
+func dedupEdges(es []edge) []edge {
+	if len(es) < 2 {
+		return es
+	}
+	w := 1
+	for i := 1; i < len(es); i++ {
+		if es[i].s != es[w-1].s || es[i].el != es[w-1].el {
+			es[w] = es[i]
+			w++
+		}
+	}
+	return es[:w]
+}
+
+// dedupTriples removes adjacent duplicate (s, el, o) edges.
+func dedupTriples(es []edge) []edge {
+	if len(es) < 2 {
+		return es
+	}
+	w := 1
+	for i := 1; i < len(es); i++ {
+		if es[i] != es[w-1] {
+			es[w] = es[i]
+			w++
+		}
+	}
+	return es[:w]
+}
+
+// adjEntry is one (owner, key, neighbor) row of the grouped adjacency under
+// construction. A single edge expands to one row per neighbor label.
+type adjEntry struct {
+	owner    uint32
+	key      NeighborType
+	neighbor uint32
+}
+
+func buildAdjacency(numVertices int, edges []edge, g *Graph, d Dir) adjacency {
+	// Expand each edge into one entry per neighbor label (paper: a neighbor
+	// with labels {A,B} under edge a files into groups (a,A) and (a,B)).
+	entries := make([]adjEntry, 0, len(edges)*2)
+	for _, e := range edges {
+		owner, nb := e.s, e.o
+		if d == In {
+			owner, nb = e.o, e.s
+		}
+		ls := g.Labels(nb)
+		if len(ls) == 0 {
+			entries = append(entries, adjEntry{owner, NeighborType{e.el, NoLabel}, nb})
+			continue
+		}
+		for _, l := range ls {
+			entries = append(entries, adjEntry{owner, NeighborType{e.el, l}, nb})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.owner != b.owner {
+			return a.owner < b.owner
+		}
+		if a.key != b.key {
+			return ntLess(a.key, b.key)
+		}
+		return a.neighbor < b.neighbor
+	})
+
+	var a adjacency
+	a.vtxGroupOff = make([]int, numVertices+1)
+	a.adj = make([]uint32, len(entries))
+	for i, e := range entries {
+		a.adj[i] = e.neighbor
+		newGroup := i == 0 || entries[i-1].owner != e.owner || entries[i-1].key != e.key
+		if newGroup {
+			a.groupKeys = append(a.groupKeys, e.key)
+			a.groupEnd = append(a.groupEnd, i+1)
+			a.vtxGroupOff[e.owner+1]++
+		} else {
+			a.groupEnd[len(a.groupEnd)-1] = i + 1
+		}
+	}
+	for v := 0; v < numVertices; v++ {
+		a.vtxGroupOff[v+1] += a.vtxGroupOff[v]
+	}
+	return a
+}
+
+func buildPredicateIndex(numEdgeLabels int, edges []edge, subjects bool) ([]int, []uint32) {
+	perLabel := make([][]uint32, numEdgeLabels)
+	for _, e := range edges {
+		v := e.s
+		if !subjects {
+			v = e.o
+		}
+		perLabel[e.el] = append(perLabel[e.el], v)
+	}
+	off := make([]int, numEdgeLabels+1)
+	var flat []uint32
+	for el := 0; el < numEdgeLabels; el++ {
+		s := intset.Dedup(perLabel[el])
+		flat = append(flat, s...)
+		off[el+1] = len(flat)
+	}
+	return off, flat
+}

@@ -1,0 +1,333 @@
+// Package graph implements the in-memory labeled-graph storage used by the
+// matching engine: per-vertex adjacency segmented into neighbor-type groups
+// (pairs of edge label and neighbor vertex label, paper §4.2 Fig. 9), the
+// inverse vertex-label list, and the predicate index.
+//
+// Everything is stored in flat slices with CSR-style offset arrays. A graph
+// with millions of vertices costs a handful of allocations, which keeps Go's
+// GC out of the hot path — the main risk the paper's in-memory design faces
+// when transplanted to a managed runtime.
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/intset"
+)
+
+// NoLabel marks a blank vertex label or edge label inside neighbor-type
+// keys. It equals rdf.NoID but is re-declared here so the package stands on
+// its own.
+const NoLabel = ^uint32(0)
+
+// Dir selects the adjacency direction.
+type Dir uint8
+
+const (
+	// Out follows edges from subject to object.
+	Out Dir = iota
+	// In follows edges from object to subject.
+	In
+)
+
+// Reverse returns the opposite direction.
+func (d Dir) Reverse() Dir {
+	if d == Out {
+		return In
+	}
+	return Out
+}
+
+func (d Dir) String() string {
+	if d == Out {
+		return "out"
+	}
+	return "in"
+}
+
+// NeighborType is the adjacency group key: the label of the connecting edge
+// and one label of the neighbor (NoLabel when the neighbor has none).
+type NeighborType struct {
+	EdgeLabel   uint32
+	VertexLabel uint32
+}
+
+func ntLess(a, b NeighborType) bool {
+	if a.EdgeLabel != b.EdgeLabel {
+		return a.EdgeLabel < b.EdgeLabel
+	}
+	return a.VertexLabel < b.VertexLabel
+}
+
+// adjacency is one direction of the neighbor-type grouped adjacency list.
+// Groups of vertex v occupy groupKeys[vtxGroupOff[v]:vtxGroupOff[v+1]],
+// sorted by key; group g's members occupy adj[start:groupEnd[g]] where start
+// is the previous group's end (the paper's "end offsets" layout).
+type adjacency struct {
+	vtxGroupOff []int
+	groupKeys   []NeighborType
+	groupEnd    []int
+	adj         []uint32
+}
+
+func (a *adjacency) groupSpan(g int) (int, int) {
+	start := 0
+	if g > 0 {
+		start = a.groupEnd[g-1]
+	}
+	return start, a.groupEnd[g]
+}
+
+// group returns the member slice for group index g.
+func (a *adjacency) group(g int) []uint32 {
+	s, e := a.groupSpan(g)
+	return a.adj[s:e]
+}
+
+// find locates the group of v with the exact key, or -1.
+func (a *adjacency) find(v uint32, key NeighborType) int {
+	lo, hi := a.vtxGroupOff[v], a.vtxGroupOff[v+1]
+	g := lo + sort.Search(hi-lo, func(i int) bool { return !ntLess(a.groupKeys[lo+i], key) })
+	if g < hi && a.groupKeys[g] == key {
+		return g
+	}
+	return -1
+}
+
+// Graph is an immutable labeled multigraph over dense uint32 vertex IDs.
+// Build one with a Builder.
+type Graph struct {
+	numVertices   int
+	numEdges      int
+	numLabels     int
+	numEdgeLabels int
+
+	labelOff []int // CSR: vertex -> sorted label IDs
+	labels   []uint32
+
+	invOff []int // CSR: label -> sorted vertex IDs
+	inv    []uint32
+
+	out adjacency
+	in  adjacency
+
+	outDeg []int32 // true out-degree (edge count, not group-entry count)
+	inDeg  []int32
+
+	predSubOff []int // CSR: edge label -> sorted distinct subject IDs
+	predSub    []uint32
+	predObjOff []int
+	predObj    []uint32
+}
+
+// NumVertices reports the number of vertices.
+func (g *Graph) NumVertices() int { return g.numVertices }
+
+// NumEdges reports the number of distinct (s, label, o) edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumLabels reports the size of the vertex-label space.
+func (g *Graph) NumLabels() int { return g.numLabels }
+
+// NumEdgeLabels reports the size of the edge-label space.
+func (g *Graph) NumEdgeLabels() int { return g.numEdgeLabels }
+
+// Labels returns the sorted label set of v. Callers must not mutate it.
+func (g *Graph) Labels(v uint32) []uint32 {
+	return g.labels[g.labelOff[v]:g.labelOff[v+1]]
+}
+
+// HasLabel reports whether v carries label l.
+func (g *Graph) HasLabel(v uint32, l uint32) bool {
+	return intset.Contains(g.Labels(v), l)
+}
+
+// HasAllLabels reports whether v carries every label in ls.
+func (g *Graph) HasAllLabels(v uint32, ls []uint32) bool {
+	for _, l := range ls {
+		if !g.HasLabel(v, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// VerticesWithLabel returns the sorted vertex IDs carrying label l — the
+// inverse vertex-label list of the paper. Callers must not mutate it.
+func (g *Graph) VerticesWithLabel(l uint32) []uint32 {
+	if int(l) >= g.numLabels {
+		return nil
+	}
+	return g.inv[g.invOff[l]:g.invOff[l+1]]
+}
+
+// Degree returns the edge count of v in direction d.
+func (g *Graph) Degree(v uint32, d Dir) int {
+	if d == Out {
+		return int(g.outDeg[v])
+	}
+	return int(g.inDeg[v])
+}
+
+func (g *Graph) dir(d Dir) *adjacency {
+	if d == Out {
+		return &g.out
+	}
+	return &g.in
+}
+
+// Adj returns the sorted neighbors of v in direction d connected by edge
+// label el whose label set contains vl — one adjacency group (paper Fig. 9,
+// adj(v,(el,vl))). vl == NoLabel selects neighbors with an empty label set.
+// Callers must not mutate the result.
+func (g *Graph) Adj(v uint32, d Dir, el, vl uint32) []uint32 {
+	a := g.dir(d)
+	gi := a.find(v, NeighborType{el, vl})
+	if gi < 0 {
+		return nil
+	}
+	return a.group(gi)
+}
+
+// AdjEdgeLabel appends to dst the union of v's neighbors in direction d over
+// edge label el, for any neighbor label (el fixed, vertex label blank).
+func (g *Graph) AdjEdgeLabel(dst []uint32, v uint32, d Dir, el uint32) []uint32 {
+	a := g.dir(d)
+	lo, hi := a.vtxGroupOff[v], a.vtxGroupOff[v+1]
+	first := lo + sort.Search(hi-lo, func(i int) bool { return a.groupKeys[lo+i].EdgeLabel >= el })
+	var sets [][]uint32
+	for gi := first; gi < hi && a.groupKeys[gi].EdgeLabel == el; gi++ {
+		sets = append(sets, a.group(gi))
+	}
+	return intset.UnionK(dst, sets...)
+}
+
+// AdjAny appends to dst the union of all neighbors of v in direction d
+// (both labels blank).
+func (g *Graph) AdjAny(dst []uint32, v uint32, d Dir) []uint32 {
+	a := g.dir(d)
+	lo, hi := a.vtxGroupOff[v], a.vtxGroupOff[v+1]
+	var sets [][]uint32
+	for gi := lo; gi < hi; gi++ {
+		sets = append(sets, a.group(gi))
+	}
+	return intset.UnionK(dst, sets...)
+}
+
+// AdjVertexLabel appends to dst the union of v's neighbors in direction d
+// that carry label vl, over any edge label (edge label blank).
+func (g *Graph) AdjVertexLabel(dst []uint32, v uint32, d Dir, vl uint32) []uint32 {
+	a := g.dir(d)
+	lo, hi := a.vtxGroupOff[v], a.vtxGroupOff[v+1]
+	var sets [][]uint32
+	for gi := lo; gi < hi; gi++ {
+		if a.groupKeys[gi].VertexLabel == vl {
+			sets = append(sets, a.group(gi))
+		}
+	}
+	return intset.UnionK(dst, sets...)
+}
+
+// HasEdge reports whether the edge v --el--> w exists. el == NoLabel matches
+// any edge label.
+func (g *Graph) HasEdge(v, w uint32, el uint32) bool {
+	if el == NoLabel {
+		return len(g.EdgeLabelsBetween(nil, v, w)) > 0
+	}
+	vl := g.groupLabelOf(w)
+	return intset.Contains(g.Adj(v, Out, el, vl), w)
+}
+
+// groupLabelOf picks the group key label under which w is filed: its first
+// label, or NoLabel when it has none.
+func (g *Graph) groupLabelOf(w uint32) uint32 {
+	ls := g.Labels(w)
+	if len(ls) == 0 {
+		return NoLabel
+	}
+	return ls[0]
+}
+
+// EdgeLabelsBetween appends to dst the labels of all edges v --?--> w.
+func (g *Graph) EdgeLabelsBetween(dst []uint32, v, w uint32) []uint32 {
+	a := &g.out
+	vl := g.groupLabelOf(w)
+	lo, hi := a.vtxGroupOff[v], a.vtxGroupOff[v+1]
+	for gi := lo; gi < hi; gi++ {
+		if a.groupKeys[gi].VertexLabel != vl {
+			continue
+		}
+		if intset.Contains(a.group(gi), w) {
+			dst = append(dst, a.groupKeys[gi].EdgeLabel)
+		}
+	}
+	return dst
+}
+
+// NeighborTypes returns the group keys of v in direction d — the basis of
+// the NLF filter. Callers must not mutate the result.
+func (g *Graph) NeighborTypes(v uint32, d Dir) []NeighborType {
+	a := g.dir(d)
+	return a.groupKeys[a.vtxGroupOff[v]:a.vtxGroupOff[v+1]]
+}
+
+// GroupSize returns the number of neighbors of v in direction d filed under
+// (el, vl), without materializing the slice.
+func (g *Graph) GroupSize(v uint32, d Dir, el, vl uint32) int {
+	a := g.dir(d)
+	gi := a.find(v, NeighborType{el, vl})
+	if gi < 0 {
+		return 0
+	}
+	s, e := a.groupSpan(gi)
+	return e - s
+}
+
+// CountEdgeLabel returns the total size of v's adjacency groups in
+// direction d with edge label el. Neighbors carrying several labels are
+// counted once per label (an overcount), so the result is an upper bound on
+// the true neighbor count — which is the safe direction for filter use.
+func (g *Graph) CountEdgeLabel(v uint32, d Dir, el uint32) int {
+	a := g.dir(d)
+	lo, hi := a.vtxGroupOff[v], a.vtxGroupOff[v+1]
+	first := lo + sort.Search(hi-lo, func(i int) bool { return a.groupKeys[lo+i].EdgeLabel >= el })
+	n := 0
+	for gi := first; gi < hi && a.groupKeys[gi].EdgeLabel == el; gi++ {
+		s, e := a.groupSpan(gi)
+		n += e - s
+	}
+	return n
+}
+
+// CountVertexLabel returns the total size of v's adjacency groups in
+// direction d whose neighbor label is vl, over any edge label. Multi-edges
+// to the same neighbor count once per edge label (an upper bound).
+func (g *Graph) CountVertexLabel(v uint32, d Dir, vl uint32) int {
+	a := g.dir(d)
+	lo, hi := a.vtxGroupOff[v], a.vtxGroupOff[v+1]
+	n := 0
+	for gi := lo; gi < hi; gi++ {
+		if a.groupKeys[gi].VertexLabel == vl {
+			s, e := a.groupSpan(gi)
+			n += e - s
+		}
+	}
+	return n
+}
+
+// SubjectsOf returns the sorted distinct subjects of edges labeled el — one
+// half of the paper's predicate index. Callers must not mutate the result.
+func (g *Graph) SubjectsOf(el uint32) []uint32 {
+	if int(el) >= g.numEdgeLabels {
+		return nil
+	}
+	return g.predSub[g.predSubOff[el]:g.predSubOff[el+1]]
+}
+
+// ObjectsOf returns the sorted distinct objects of edges labeled el.
+func (g *Graph) ObjectsOf(el uint32) []uint32 {
+	if int(el) >= g.numEdgeLabels {
+		return nil
+	}
+	return g.predObj[g.predObjOff[el]:g.predObjOff[el+1]]
+}

@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/intset"
+)
+
+// paperGraph builds the type-aware transformed data graph of paper Fig. 7d:
+//
+//	v0 {A,B} --a--> v1 {C}
+//	v0       --b--> v2 {D}
+//	v0       --d--> v3 {}
+//	v0       --e--> v4 {}
+//	v2       --c--> v1
+//
+// Labels: A=0 B=1 C=2 D=3. Edge labels: a=0 b=1 c=2 d=3 e=4.
+func paperGraph() *Graph {
+	b := NewBuilder()
+	b.AddVertexLabel(0, 0)
+	b.AddVertexLabel(0, 1)
+	b.AddVertexLabel(1, 2)
+	b.AddVertexLabel(2, 3)
+	b.EnsureVertex(4)
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(0, 3, 3)
+	b.AddEdge(0, 4, 4)
+	b.AddEdge(2, 2, 1)
+	return b.Build()
+}
+
+func TestPaperFig9Layout(t *testing.T) {
+	g := paperGraph()
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", g.NumVertices())
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	// Labels.
+	if !intset.Equal(g.Labels(0), []uint32{0, 1}) {
+		t.Errorf("Labels(v0) = %v, want [0 1]", g.Labels(0))
+	}
+	if len(g.Labels(3)) != 0 || len(g.Labels(4)) != 0 {
+		t.Error("v3/v4 should be unlabeled")
+	}
+	// Inverse label list (paper Fig. 9a): A->{v0}, B->{v0}, C->{v1}, D->{v2}.
+	for l, want := range [][]uint32{{0}, {0}, {1}, {2}} {
+		if got := g.VerticesWithLabel(uint32(l)); !intset.Equal(got, want) {
+			t.Errorf("VerticesWithLabel(%d) = %v, want %v", l, got, want)
+		}
+	}
+	// Adjacency groups of v0 (paper Fig. 9b): (a,C)->{v1}, (b,D)->{v2},
+	// (d,_)->{v3}, (e,_)->{v4}.
+	if got := g.Adj(0, Out, 0, 2); !intset.Equal(got, []uint32{1}) {
+		t.Errorf("adj(v0,(a,C)) = %v, want [1]", got)
+	}
+	if got := g.Adj(0, Out, 1, 3); !intset.Equal(got, []uint32{2}) {
+		t.Errorf("adj(v0,(b,D)) = %v, want [2]", got)
+	}
+	if got := g.Adj(0, Out, 3, NoLabel); !intset.Equal(got, []uint32{3}) {
+		t.Errorf("adj(v0,(d,_)) = %v, want [3]", got)
+	}
+	if got := g.Adj(0, Out, 4, NoLabel); !intset.Equal(got, []uint32{4}) {
+		t.Errorf("adj(v0,(e,_)) = %v, want [4]", got)
+	}
+	// adj(v2): (c,C)->{v1}.
+	if got := g.Adj(2, Out, 2, 2); !intset.Equal(got, []uint32{1}) {
+		t.Errorf("adj(v2,(c,C)) = %v, want [1]", got)
+	}
+	// Incoming adjacency of v1: via a from v0 (filed under v0's labels A and
+	// B) and via c from v2.
+	if got := g.Adj(1, In, 0, 0); !intset.Equal(got, []uint32{0}) {
+		t.Errorf("in-adj(v1,(a,A)) = %v, want [0]", got)
+	}
+	if got := g.Adj(1, In, 0, 1); !intset.Equal(got, []uint32{0}) {
+		t.Errorf("in-adj(v1,(a,B)) = %v, want [0]", got)
+	}
+	if got := g.Adj(1, In, 2, 3); !intset.Equal(got, []uint32{2}) {
+		t.Errorf("in-adj(v1,(c,D)) = %v, want [2]", got)
+	}
+}
+
+func TestMultiLabelNeighborDedup(t *testing.T) {
+	g := paperGraph()
+	// v1's incoming neighbors over edge label a with blank vertex label must
+	// contain v0 exactly once even though v0 files under two labels.
+	got := g.AdjEdgeLabel(nil, 1, In, 0)
+	if !intset.Equal(got, []uint32{0}) {
+		t.Errorf("AdjEdgeLabel(v1, in, a) = %v, want [0]", got)
+	}
+	all := g.AdjAny(nil, 1, In)
+	if !intset.Equal(all, []uint32{0, 2}) {
+		t.Errorf("AdjAny(v1, in) = %v, want [0 2]", all)
+	}
+}
+
+func TestAdjVertexLabel(t *testing.T) {
+	g := paperGraph()
+	// Neighbors of v0 (out) carrying label C over any edge label: v1.
+	got := g.AdjVertexLabel(nil, 0, Out, 2)
+	if !intset.Equal(got, []uint32{1}) {
+		t.Errorf("AdjVertexLabel(v0, out, C) = %v, want [1]", got)
+	}
+	// Label D: v2.
+	got = g.AdjVertexLabel(nil, 0, Out, 3)
+	if !intset.Equal(got, []uint32{2}) {
+		t.Errorf("AdjVertexLabel(v0, out, D) = %v, want [2]", got)
+	}
+}
+
+func TestHasEdgeAndEdgeLabels(t *testing.T) {
+	g := paperGraph()
+	if !g.HasEdge(0, 1, 0) {
+		t.Error("HasEdge(v0, v1, a) = false")
+	}
+	if g.HasEdge(1, 0, 0) {
+		t.Error("HasEdge(v1, v0, a) = true (direction must matter)")
+	}
+	if g.HasEdge(0, 1, 2) {
+		t.Error("HasEdge(v0, v1, c) = true")
+	}
+	if !g.HasEdge(0, 3, NoLabel) {
+		t.Error("HasEdge(v0, v3, any) = false")
+	}
+	labels := g.EdgeLabelsBetween(nil, 0, 1)
+	if len(labels) != 1 || labels[0] != 0 {
+		t.Errorf("EdgeLabelsBetween(v0, v1) = %v, want [0]", labels)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := paperGraph()
+	if got := g.Degree(0, Out); got != 4 {
+		t.Errorf("outDeg(v0) = %d, want 4", got)
+	}
+	if got := g.Degree(1, In); got != 2 {
+		t.Errorf("inDeg(v1) = %d, want 2", got)
+	}
+	if got := g.Degree(0, In); got != 0 {
+		t.Errorf("inDeg(v0) = %d, want 0", got)
+	}
+}
+
+func TestPredicateIndex(t *testing.T) {
+	g := paperGraph()
+	if got := g.SubjectsOf(0); !intset.Equal(got, []uint32{0}) {
+		t.Errorf("SubjectsOf(a) = %v, want [0]", got)
+	}
+	if got := g.ObjectsOf(0); !intset.Equal(got, []uint32{1}) {
+		t.Errorf("ObjectsOf(a) = %v, want [1]", got)
+	}
+	if got := g.SubjectsOf(99); got != nil {
+		t.Errorf("SubjectsOf(unknown) = %v, want nil", got)
+	}
+}
+
+func TestDuplicateEdgesCollapse(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(0, 0, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(0, Out) != 1 {
+		t.Errorf("outDeg = %d, want 1", g.Degree(0, Out))
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder().Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty graph: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if got := g.VerticesWithLabel(0); got != nil {
+		t.Errorf("VerticesWithLabel on empty = %v", got)
+	}
+}
+
+func TestIsolatedVertex(t *testing.T) {
+	b := NewBuilder()
+	b.EnsureVertex(7)
+	g := b.Build()
+	if g.NumVertices() != 8 {
+		t.Fatalf("NumVertices = %d, want 8", g.NumVertices())
+	}
+	if got := g.AdjAny(nil, 7, Out); len(got) != 0 {
+		t.Errorf("AdjAny(isolated) = %v", got)
+	}
+}
+
+// refGraph is a naive reference used by the randomized consistency test.
+type refGraph struct {
+	labels map[uint32][]uint32
+	edges  map[[3]uint32]bool // s, el, o
+}
+
+func TestRandomizedAdjacencyConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		const (
+			nV  = 40
+			nL  = 5
+			nEL = 4
+			nE  = 150
+		)
+		b := NewBuilder()
+		ref := refGraph{labels: map[uint32][]uint32{}, edges: map[[3]uint32]bool{}}
+		b.EnsureVertex(nV - 1)
+		for v := uint32(0); v < nV; v++ {
+			for l := uint32(0); l < nL; l++ {
+				if r.Intn(3) == 0 {
+					b.AddVertexLabel(v, l)
+					ref.labels[v] = append(ref.labels[v], l)
+				}
+			}
+		}
+		for i := 0; i < nE; i++ {
+			s, el, o := uint32(r.Intn(nV)), uint32(r.Intn(nEL)), uint32(r.Intn(nV))
+			b.AddEdge(s, el, o)
+			ref.edges[[3]uint32{s, el, o}] = true
+		}
+		g := b.Build()
+
+		if g.NumEdges() != len(ref.edges) {
+			t.Fatalf("trial %d: NumEdges = %d, want %d", trial, g.NumEdges(), len(ref.edges))
+		}
+		for v := uint32(0); v < nV; v++ {
+			for el := uint32(0); el < nEL; el++ {
+				// Out neighbors over el must match the reference set.
+				var want []uint32
+				for key := range ref.edges {
+					if key[0] == v && key[1] == el {
+						want = append(want, key[2])
+					}
+				}
+				want = intset.Dedup(want)
+				got := g.AdjEdgeLabel(nil, v, Out, el)
+				if !intset.Equal(got, want) {
+					t.Fatalf("trial %d: AdjEdgeLabel(%d, out, %d) = %v, want %v", trial, v, el, got, want)
+				}
+				// In neighbors likewise.
+				want = want[:0]
+				for key := range ref.edges {
+					if key[2] == v && key[1] == el {
+						want = append(want, key[0])
+					}
+				}
+				want = intset.Dedup(want)
+				got = g.AdjEdgeLabel(nil, v, In, el)
+				if !intset.Equal(got, want) {
+					t.Fatalf("trial %d: AdjEdgeLabel(%d, in, %d) = %v, want %v", trial, v, el, got, want)
+				}
+			}
+			// HasEdge must agree with the reference for a sample of pairs.
+			for i := 0; i < 20; i++ {
+				w, el := uint32(r.Intn(nV)), uint32(r.Intn(nEL))
+				want := ref.edges[[3]uint32{v, el, w}]
+				if got := g.HasEdge(v, w, el); got != want {
+					t.Fatalf("trial %d: HasEdge(%d,%d,%d) = %v, want %v", trial, v, w, el, got, want)
+				}
+			}
+			// Labels sorted and matching.
+			want := intset.Dedup(append([]uint32(nil), ref.labels[v]...))
+			if !intset.Equal(g.Labels(v), want) {
+				t.Fatalf("trial %d: Labels(%d) = %v, want %v", trial, v, g.Labels(v), want)
+			}
+		}
+		// Inverse label lists must be sorted and complete.
+		for l := uint32(0); l < nL; l++ {
+			var want []uint32
+			for v, ls := range ref.labels {
+				for _, x := range ls {
+					if x == l {
+						want = append(want, v)
+					}
+				}
+			}
+			want = intset.Dedup(want)
+			got := g.VerticesWithLabel(l)
+			if !intset.Equal(got, want) {
+				t.Fatalf("trial %d: VerticesWithLabel(%d) = %v, want %v", trial, l, got, want)
+			}
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				t.Fatalf("trial %d: inverse list not sorted", trial)
+			}
+		}
+	}
+}
+
+func TestGroupSizeMatchesAdj(t *testing.T) {
+	g := paperGraph()
+	if got, want := g.GroupSize(0, Out, 0, 2), len(g.Adj(0, Out, 0, 2)); got != want {
+		t.Errorf("GroupSize = %d, want %d", got, want)
+	}
+	if got := g.GroupSize(0, Out, 9, 9); got != 0 {
+		t.Errorf("GroupSize(missing) = %d, want 0", got)
+	}
+}
+
+func TestNeighborTypes(t *testing.T) {
+	g := paperGraph()
+	nts := g.NeighborTypes(0, Out)
+	want := []NeighborType{{0, 2}, {1, 3}, {3, NoLabel}, {4, NoLabel}}
+	if len(nts) != len(want) {
+		t.Fatalf("NeighborTypes = %v, want %v", nts, want)
+	}
+	for i := range nts {
+		if nts[i] != want[i] {
+			t.Errorf("NeighborTypes[%d] = %v, want %v", i, nts[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/intset"
+)
+
+// randGraph is the quick.Generator input: a random labeled multigraph plus
+// its naive reference representation.
+type randGraph struct {
+	n      int
+	labels map[uint32][]uint32 // vertex -> sorted distinct labels
+	edges  [][3]uint32         // (from, label, to), deduped
+}
+
+// Generate implements quick.Generator.
+func (randGraph) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 2 + r.Intn(10)
+	nLabels := 1 + r.Intn(4)
+	nEdgeLabels := 1 + r.Intn(3)
+
+	g := randGraph{n: n, labels: map[uint32][]uint32{}}
+	for v := uint32(0); v < uint32(n); v++ {
+		set := map[uint32]bool{}
+		for i := 0; i < r.Intn(3); i++ {
+			set[uint32(r.Intn(nLabels))] = true
+		}
+		for l := range set {
+			g.labels[v] = append(g.labels[v], l)
+		}
+		sort.Slice(g.labels[v], func(i, j int) bool { return g.labels[v][i] < g.labels[v][j] })
+	}
+	seen := map[[3]uint32]bool{}
+	for i := 0; i < 4*n; i++ {
+		e := [3]uint32{uint32(r.Intn(n)), uint32(r.Intn(nEdgeLabels)), uint32(r.Intn(n))}
+		if !seen[e] {
+			seen[e] = true
+			g.edges = append(g.edges, e)
+		}
+	}
+	return reflect.ValueOf(g)
+}
+
+func (g randGraph) build() *Graph {
+	b := NewBuilder()
+	for v := uint32(0); v < uint32(g.n); v++ {
+		b.EnsureVertex(v)
+		for _, l := range g.labels[v] {
+			b.AddVertexLabel(v, l)
+		}
+	}
+	for _, e := range g.edges {
+		b.AddEdge(e[0], e[1], e[2])
+	}
+	return b.Build()
+}
+
+// refAdj computes the expected neighbor set naively.
+func (g randGraph) refAdj(v uint32, d Dir, el uint32, vl uint32) []uint32 {
+	set := map[uint32]bool{}
+	for _, e := range g.edges {
+		var from, to uint32
+		if d == Out {
+			from, to = e[0], e[2]
+		} else {
+			from, to = e[2], e[0]
+		}
+		if from != v {
+			continue
+		}
+		if el != NoLabel && e[1] != el {
+			continue
+		}
+		if vl != NoLabel && !containsU32(g.labels[to], vl) {
+			continue
+		}
+		set[to] = true
+	}
+	out := make([]uint32, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func containsU32(s []uint32, x uint32) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickAdjEdgeLabel: AdjEdgeLabel equals the naive neighbor set over
+// one edge label, both directions.
+func TestQuickAdjEdgeLabel(t *testing.T) {
+	f := func(rg randGraph) bool {
+		g := rg.build()
+		for v := uint32(0); v < uint32(rg.n); v++ {
+			for _, d := range []Dir{Out, In} {
+				for el := uint32(0); el < uint32(g.NumEdgeLabels()); el++ {
+					got := g.AdjEdgeLabel(nil, v, d, el)
+					if !equalU32(got, rg.refAdj(v, d, el, NoLabel)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAdjAny: AdjAny equals the naive full neighbor set.
+func TestQuickAdjAny(t *testing.T) {
+	f := func(rg randGraph) bool {
+		g := rg.build()
+		for v := uint32(0); v < uint32(rg.n); v++ {
+			for _, d := range []Dir{Out, In} {
+				got := g.AdjAny(nil, v, d)
+				if !equalU32(got, rg.refAdj(v, d, NoLabel, NoLabel)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAdjExact: the exact (edge label, vertex label) group equals the
+// naive filter.
+func TestQuickAdjExact(t *testing.T) {
+	f := func(rg randGraph) bool {
+		g := rg.build()
+		for v := uint32(0); v < uint32(rg.n); v++ {
+			for el := uint32(0); el < uint32(g.NumEdgeLabels()); el++ {
+				for vl := uint32(0); vl < uint32(g.NumLabels()); vl++ {
+					got := g.Adj(v, Out, el, vl)
+					if !equalU32(got, rg.refAdj(v, Out, el, vl)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHasEdge: HasEdge agrees with the edge list, including the
+// wildcard label.
+func TestQuickHasEdge(t *testing.T) {
+	f := func(rg randGraph) bool {
+		g := rg.build()
+		ref := map[[3]uint32]bool{}
+		refAny := map[[2]uint32]bool{}
+		for _, e := range rg.edges {
+			ref[e] = true
+			refAny[[2]uint32{e[0], e[2]}] = true
+		}
+		for v := uint32(0); v < uint32(rg.n); v++ {
+			for w := uint32(0); w < uint32(rg.n); w++ {
+				for el := uint32(0); el < uint32(g.NumEdgeLabels()); el++ {
+					if g.HasEdge(v, w, el) != ref[[3]uint32{v, el, w}] {
+						return false
+					}
+				}
+				if g.HasEdge(v, w, NoLabel) != refAny[[2]uint32{v, w}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDegreeAndInverseIndex: degrees match edge counts and the inverse
+// vertex-label list matches the label assignment.
+func TestQuickDegreeAndInverseIndex(t *testing.T) {
+	f := func(rg randGraph) bool {
+		g := rg.build()
+		outDeg := make([]int, rg.n)
+		inDeg := make([]int, rg.n)
+		for _, e := range rg.edges {
+			outDeg[e[0]]++
+			inDeg[e[2]]++
+		}
+		for v := 0; v < rg.n; v++ {
+			if g.Degree(uint32(v), Out) != outDeg[v] || g.Degree(uint32(v), In) != inDeg[v] {
+				return false
+			}
+		}
+		for l := uint32(0); l < uint32(g.NumLabels()); l++ {
+			for _, v := range g.VerticesWithLabel(l) {
+				if !containsU32(rg.labels[v], l) {
+					return false
+				}
+			}
+		}
+		// Every labeled vertex appears in its inverse lists.
+		for v, ls := range rg.labels {
+			for _, l := range ls {
+				if !intset.Contains(g.VerticesWithLabel(l), v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package intset provides algebra over sorted, duplicate-free []uint32
+// slices. These are the working currency of the matching engine: adjacency
+// groups, candidate lists, and inverse-label lists are all sorted ID slices,
+// and the +INT optimization of TurboHOM++ is built on the k-way
+// intersections implemented here.
+//
+// All functions treat nil and empty slices as the empty set. Inputs must be
+// strictly increasing; outputs are strictly increasing.
+package intset
+
+import "sort"
+
+// Contains reports whether x is a member of the sorted set s using binary
+// search (galloping is not worthwhile for single lookups).
+func Contains(s []uint32, x uint32) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// SearchFrom returns the smallest index i >= lo with s[i] >= x, using
+// galloping (exponential) search from lo. It is the building block for
+// intersecting sets of very different sizes.
+func SearchFrom(s []uint32, lo int, x uint32) int {
+	if lo >= len(s) || s[lo] >= x {
+		return lo
+	}
+	// Gallop: find a window (lo+step/2, lo+step] containing the boundary.
+	step := 1
+	hi := lo + 1
+	for hi < len(s) && s[hi] < x {
+		lo = hi
+		step <<= 1
+		hi += step
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	// Binary search within (lo, hi].
+	return lo + 1 + sort.Search(hi-lo-1, func(i int) bool { return s[lo+1+i] >= x })
+}
+
+// Intersect2 appends the intersection of a and b to dst and returns it.
+// It adaptively picks a strategy: a linear merge when the sizes are similar,
+// galloping from the smaller side otherwise. This mirrors the cost model in
+// the paper's +INT discussion (merge scan vs repeated binary search).
+func Intersect2(dst, a, b []uint32) []uint32 {
+	if len(a) == 0 || len(b) == 0 {
+		return dst
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	// Heuristic threshold: galloping wins when one side is much smaller.
+	if len(b)/(len(a)+1) >= 8 {
+		j := 0
+		for _, x := range a {
+			j = SearchFrom(b, j, x)
+			if j == len(b) {
+				break
+			}
+			if b[j] == x {
+				dst = append(dst, x)
+				j++
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ai, bj := a[i], b[j]
+		switch {
+		case ai == bj:
+			dst = append(dst, ai)
+			i++
+			j++
+		case ai < bj:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst
+}
+
+// IntersectK appends the k-way intersection of the given sets to dst and
+// returns it. The sets are processed smallest-first so intermediate results
+// shrink as fast as possible. With zero sets it returns dst unchanged; the
+// caller decides what an empty intersection of zero sets means.
+func IntersectK(dst []uint32, sets ...[]uint32) []uint32 {
+	switch len(sets) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, sets[0]...)
+	case 2:
+		// The dominant case on the matcher's hot path (+INT with one
+		// non-tree edge): delegate without any intermediate allocation.
+		return Intersect2(dst, sets[0], sets[1])
+	}
+	// Order smallest-first without mutating the caller's slice header order.
+	ordered := make([][]uint32, len(sets))
+	copy(ordered, sets)
+	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
+
+	cur := append([]uint32(nil), ordered[0]...)
+	var tmp []uint32
+	for _, s := range ordered[1:] {
+		if len(cur) == 0 {
+			return dst
+		}
+		tmp = Intersect2(tmp[:0], cur, s)
+		cur, tmp = tmp, cur
+	}
+	return append(dst, cur...)
+}
+
+// Union2 appends the union of a and b to dst and returns it.
+func Union2(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ai, bj := a[i], b[j]
+		switch {
+		case ai == bj:
+			dst = append(dst, ai)
+			i++
+			j++
+		case ai < bj:
+			dst = append(dst, ai)
+			i++
+		default:
+			dst = append(dst, bj)
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// UnionK appends the k-way union of the given sets to dst and returns it.
+func UnionK(dst []uint32, sets ...[]uint32) []uint32 {
+	switch len(sets) {
+	case 0:
+		return dst
+	case 1:
+		return append(dst, sets[0]...)
+	}
+	cur := append([]uint32(nil), sets[0]...)
+	var tmp []uint32
+	for _, s := range sets[1:] {
+		tmp = Union2(tmp[:0], cur, s)
+		cur, tmp = tmp, cur
+	}
+	return append(dst, cur...)
+}
+
+// Diff appends a \ b to dst and returns it.
+func Diff(dst, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ai, bj := a[i], b[j]
+		switch {
+		case ai == bj:
+			i++
+			j++
+		case ai < bj:
+			dst = append(dst, ai)
+			i++
+		default:
+			j++
+		}
+	}
+	return append(dst, a[i:]...)
+}
+
+// Dedup sorts s in place and removes duplicates, returning the shortened
+// slice. It is used by index builders that accumulate unsorted IDs.
+func Dedup(s []uint32) []uint32 {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// IsSorted reports whether s is strictly increasing (a valid set).
+func IsSorted(s []uint32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b contain the same elements.
+func Equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

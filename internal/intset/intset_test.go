@@ -1,0 +1,250 @@
+package intset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// mkSet turns arbitrary values into a valid sorted set.
+func mkSet(vals []uint32) []uint32 {
+	return Dedup(append([]uint32(nil), vals...))
+}
+
+// mapSet is the reference implementation used by property tests.
+func mapSet(s []uint32) map[uint32]bool {
+	m := make(map[uint32]bool, len(s))
+	for _, x := range s {
+		m[x] = true
+	}
+	return m
+}
+
+func fromMap(m map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestContains(t *testing.T) {
+	s := []uint32{1, 3, 5, 9, 100}
+	for _, x := range s {
+		if !Contains(s, x) {
+			t.Errorf("Contains(%v, %d) = false, want true", s, x)
+		}
+	}
+	for _, x := range []uint32{0, 2, 4, 6, 99, 101} {
+		if Contains(s, x) {
+			t.Errorf("Contains(%v, %d) = true, want false", s, x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Error("Contains(nil, 1) = true")
+	}
+}
+
+func TestSearchFrom(t *testing.T) {
+	s := []uint32{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	for lo := 0; lo <= len(s); lo++ {
+		for x := uint32(0); x <= 22; x++ {
+			got := SearchFrom(s, lo, x)
+			want := lo + sort.Search(len(s)-lo, func(i int) bool { return s[lo+i] >= x })
+			if got != want {
+				t.Fatalf("SearchFrom(s, %d, %d) = %d, want %d", lo, x, got, want)
+			}
+		}
+	}
+}
+
+func TestIntersect2Basic(t *testing.T) {
+	cases := []struct{ a, b, want []uint32 }{
+		{nil, nil, nil},
+		{[]uint32{1, 2, 3}, nil, nil},
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, []uint32{2, 3}},
+		{[]uint32{1, 5, 9}, []uint32{2, 6, 10}, nil},
+		{[]uint32{7}, []uint32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, []uint32{7}},
+	}
+	for _, c := range cases {
+		got := Intersect2(nil, c.a, c.b)
+		if !Equal(got, c.want) {
+			t.Errorf("Intersect2(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Symmetric.
+		got = Intersect2(nil, c.b, c.a)
+		if !Equal(got, c.want) {
+			t.Errorf("Intersect2(%v, %v) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestIntersect2Property(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, b := mkSet(av), mkSet(bv)
+		got := Intersect2(nil, a, b)
+		am, bm := mapSet(a), mapSet(b)
+		want := map[uint32]bool{}
+		for x := range am {
+			if bm[x] {
+				want[x] = true
+			}
+		}
+		return Equal(got, fromMap(want)) && IsSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersect2Galloping(t *testing.T) {
+	// Force the galloping path: one huge set, one tiny set.
+	big := make([]uint32, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		big = append(big, uint32(i*3))
+	}
+	small := []uint32{3, 299, 300, 29996, 29997}
+	got := Intersect2(nil, small, big)
+	want := []uint32{3, 300, 29997}
+	if !Equal(got, want) {
+		t.Errorf("galloping intersect = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectKProperty(t *testing.T) {
+	f := func(av, bv, cv []uint32) bool {
+		a, b, c := mkSet(av), mkSet(bv), mkSet(cv)
+		got := IntersectK(nil, a, b, c)
+		want := Intersect2(nil, Intersect2(nil, a, b), c)
+		return Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectKEdge(t *testing.T) {
+	if got := IntersectK(nil); got != nil {
+		t.Errorf("IntersectK() = %v, want nil", got)
+	}
+	one := []uint32{1, 2}
+	if got := IntersectK(nil, one); !Equal(got, one) {
+		t.Errorf("IntersectK(one) = %v, want %v", got, one)
+	}
+	if got := IntersectK(nil, one, nil); len(got) != 0 {
+		t.Errorf("IntersectK(one, empty) = %v, want empty", got)
+	}
+}
+
+func TestUnion2Property(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, b := mkSet(av), mkSet(bv)
+		got := Union2(nil, a, b)
+		m := mapSet(a)
+		for x := range mapSet(b) {
+			m[x] = true
+		}
+		return Equal(got, fromMap(m)) && IsSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionKProperty(t *testing.T) {
+	f := func(av, bv, cv []uint32) bool {
+		a, b, c := mkSet(av), mkSet(bv), mkSet(cv)
+		got := UnionK(nil, a, b, c)
+		want := Union2(nil, Union2(nil, a, b), c)
+		return Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffProperty(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, b := mkSet(av), mkSet(bv)
+		got := Diff(nil, a, b)
+		bm := mapSet(b)
+		want := map[uint32]bool{}
+		for _, x := range a {
+			if !bm[x] {
+				want[x] = true
+			}
+		}
+		return Equal(got, fromMap(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	got := Dedup([]uint32{5, 1, 5, 3, 1, 1, 9})
+	want := []uint32{1, 3, 5, 9}
+	if !Equal(got, want) {
+		t.Errorf("Dedup = %v, want %v", got, want)
+	}
+	if got := Dedup(nil); got != nil {
+		t.Errorf("Dedup(nil) = %v", got)
+	}
+	if got := Dedup([]uint32{7}); !Equal(got, []uint32{7}) {
+		t.Errorf("Dedup([7]) = %v", got)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted(nil) || !IsSorted([]uint32{1}) || !IsSorted([]uint32{1, 2, 9}) {
+		t.Error("IsSorted false negative")
+	}
+	if IsSorted([]uint32{1, 1}) || IsSorted([]uint32{2, 1}) {
+		t.Error("IsSorted false positive")
+	}
+}
+
+func TestDstReuse(t *testing.T) {
+	// Appending into a preallocated dst must not corrupt results.
+	dst := make([]uint32, 0, 64)
+	a := []uint32{1, 2, 3, 4}
+	b := []uint32{2, 4, 6}
+	dst = Intersect2(dst, a, b)
+	dst = Union2(dst, a, b) // appended after the intersection
+	want := []uint32{2, 4, 1, 2, 3, 4, 6}
+	if !Equal(dst, want) {
+		t.Errorf("chained append = %v, want %v", dst, want)
+	}
+}
+
+func BenchmarkIntersect2Merge(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomSet(r, 10000, 40000)
+	c := randomSet(r, 10000, 40000)
+	var dst []uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect2(dst[:0], a, c)
+	}
+}
+
+func BenchmarkIntersect2Gallop(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomSet(r, 50, 400000)
+	c := randomSet(r, 100000, 400000)
+	var dst []uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect2(dst[:0], a, c)
+	}
+}
+
+func randomSet(r *rand.Rand, n, max int) []uint32 {
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = uint32(r.Intn(max))
+	}
+	return Dedup(s)
+}

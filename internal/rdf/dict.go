@@ -1,0 +1,45 @@
+package rdf
+
+// NoID is the sentinel "no identifier / blank" value used across the
+// repository for vertex IDs, label IDs, and edge-label IDs.
+const NoID = ^uint32(0)
+
+// Dictionary maps terms to dense uint32 IDs and back. IDs are assigned in
+// first-seen order starting at 0. The reverse mapping is a flat slice so a
+// lookup by ID is a single index operation.
+type Dictionary struct {
+	ids   map[Term]uint32
+	terms []Term
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[Term]uint32)}
+}
+
+// Intern returns the ID for t, assigning a fresh one on first sight.
+func (d *Dictionary) Intern(t Term) uint32 {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := uint32(len(d.terms))
+	d.ids[t] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// Lookup returns the ID for t if it is already interned.
+func (d *Dictionary) Lookup(t Term) (uint32, bool) {
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// Term returns the term for an ID. It panics on out-of-range IDs, which
+// indicate a bug rather than bad input.
+func (d *Dictionary) Term(id uint32) Term { return d.terms[id] }
+
+// Len reports the number of interned terms.
+func (d *Dictionary) Len() int { return len(d.terms) }
+
+// Terms exposes the ID→term slice; callers must not mutate it.
+func (d *Dictionary) Terms() []Term { return d.terms }

@@ -1,0 +1,207 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a malformed N-Triples line.
+type ParseError struct {
+	Line int
+	Msg  string
+	Text string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s: %q", e.Line, e.Msg, e.Text)
+}
+
+// Reader streams triples from N-Triples text. Lines starting with '#' and
+// blank lines are skipped. The reader is tolerant of missing trailing dots
+// (some public dumps omit them) but rejects structurally broken terms.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r in an N-Triples reader.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{s: s}
+}
+
+// Read returns the next triple, or io.EOF when exhausted.
+func (r *Reader) Read() (Triple, error) {
+	for r.s.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.s.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			if pe, ok := err.(*ParseError); ok {
+				pe.Line = r.line
+			}
+			return Triple{}, err
+		}
+		return t, nil
+	}
+	if err := r.s.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll consumes the reader and returns all triples.
+func ReadAll(rd io.Reader) ([]Triple, error) {
+	r := NewReader(rd)
+	var out []Triple
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// ParseTripleLine parses a single N-Triples statement.
+func ParseTripleLine(line string) (Triple, error) {
+	rest := strings.TrimSpace(line)
+	rest = strings.TrimSuffix(rest, ".")
+	rest = strings.TrimSpace(rest)
+
+	s, rest, err := scanTerm(rest, line)
+	if err != nil {
+		return Triple{}, err
+	}
+	p, rest, err := scanTerm(rest, line)
+	if err != nil {
+		return Triple{}, err
+	}
+	o, rest, err := scanTerm(rest, line)
+	if err != nil {
+		return Triple{}, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Triple{}, &ParseError{Msg: "trailing tokens after object", Text: line}
+	}
+	if s.Kind() == Literal {
+		return Triple{}, &ParseError{Msg: "literal subject", Text: line}
+	}
+	if p.Kind() != IRI {
+		return Triple{}, &ParseError{Msg: "predicate must be an IRI", Text: line}
+	}
+	return Triple{S: s, P: p, O: o}, nil
+}
+
+// scanTerm extracts the next term from s, returning the term and remainder.
+func scanTerm(s, line string) (Term, string, error) {
+	s = strings.TrimLeft(s, " \t")
+	if s == "" {
+		return "", "", &ParseError{Msg: "unexpected end of statement", Text: line}
+	}
+	switch s[0] {
+	case '<':
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			return "", "", &ParseError{Msg: "unterminated IRI", Text: line}
+		}
+		return Term(s[:end+1]), s[end+1:], nil
+	case '_':
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		if !strings.HasPrefix(s, "_:") || end < 3 {
+			return "", "", &ParseError{Msg: "malformed blank node", Text: line}
+		}
+		return Term(s[:end]), s[end:], nil
+	case '"':
+		end := closingQuote(s)
+		if end < 0 {
+			return "", "", &ParseError{Msg: "unterminated literal", Text: line}
+		}
+		i := end + 1
+		switch {
+		case strings.HasPrefix(s[i:], "^^<"):
+			dtEnd := strings.IndexByte(s[i:], '>')
+			if dtEnd < 0 {
+				return "", "", &ParseError{Msg: "unterminated datatype IRI", Text: line}
+			}
+			i += dtEnd + 1
+		case strings.HasPrefix(s[i:], "@"):
+			j := i + 1
+			for j < len(s) && (isAlnum(s[j]) || s[j] == '-') {
+				j++
+			}
+			if j == i+1 {
+				return "", "", &ParseError{Msg: "empty language tag", Text: line}
+			}
+			i = j
+		}
+		return Term(s[:i]), s[i:], nil
+	default:
+		return "", "", &ParseError{Msg: "unrecognized term", Text: line}
+	}
+}
+
+// closingQuote returns the index of the unescaped closing quote of a literal
+// starting at s[0] == '"', or -1.
+func closingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+func isAlnum(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9'
+}
+
+// Writer serializes triples as N-Triples text.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps w in an N-Triples writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write emits one triple.
+func (w *Writer) Write(t Triple) error {
+	if _, err := w.w.WriteString(string(t.S)); err != nil {
+		return err
+	}
+	w.w.WriteByte(' ')
+	w.w.WriteString(string(t.P))
+	w.w.WriteByte(' ')
+	w.w.WriteString(string(t.O))
+	_, err := w.w.WriteString(" .\n")
+	return err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll writes all triples to w in N-Triples format.
+func WriteAll(w io.Writer, triples []Triple) error {
+	nw := NewWriter(w)
+	for _, t := range triples {
+		if err := nw.Write(t); err != nil {
+			return err
+		}
+	}
+	return nw.Flush()
+}

@@ -1,0 +1,342 @@
+package rdf
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermKinds(t *testing.T) {
+	cases := []struct {
+		term Term
+		kind TermKind
+	}{
+		{NewIRI("http://x/a"), IRI},
+		{NewLiteral("hello"), Literal},
+		{NewTypedLiteral("3", XSDInteger), Literal},
+		{NewLangLiteral("chat", "fr"), Literal},
+		{NewBlank("b0"), Blank},
+		{Term(""), Invalid},
+		{Term("oops"), Invalid},
+	}
+	for _, c := range cases {
+		if got := c.term.Kind(); got != c.kind {
+			t.Errorf("Kind(%q) = %v, want %v", c.term, got, c.kind)
+		}
+	}
+}
+
+func TestTermAccessors(t *testing.T) {
+	iri := NewIRI("http://x/a")
+	if got := iri.IRIValue(); got != "http://x/a" {
+		t.Errorf("IRIValue = %q", got)
+	}
+	lit := NewTypedLiteral("42", XSDInteger)
+	if got := lit.LexicalValue(); got != "42" {
+		t.Errorf("LexicalValue = %q", got)
+	}
+	if got := lit.DatatypeIRI(); got != XSDInteger {
+		t.Errorf("DatatypeIRI = %q", got)
+	}
+	if v, ok := lit.NumericValue(); !ok || v != 42 {
+		t.Errorf("NumericValue = %v, %v", v, ok)
+	}
+	lang := NewLangLiteral("bonjour", "fr")
+	if got := lang.Lang(); got != "fr" {
+		t.Errorf("Lang = %q", got)
+	}
+	if got := lang.LexicalValue(); got != "bonjour" {
+		t.Errorf("LexicalValue = %q", got)
+	}
+	if _, ok := NewLiteral("abc").NumericValue(); ok {
+		t.Error("NumericValue of non-number should fail")
+	}
+	if _, ok := iri.NumericValue(); ok {
+		t.Error("NumericValue of IRI should fail")
+	}
+}
+
+func TestLiteralEscapeRoundTrip(t *testing.T) {
+	values := []string{
+		"plain",
+		`with "quotes"`,
+		"tab\tnewline\nreturn\r",
+		`back\slash`,
+		"",
+	}
+	for _, v := range values {
+		lit := NewLiteral(v)
+		if got := lit.LexicalValue(); got != v {
+			t.Errorf("round trip %q -> %q -> %q", v, lit, got)
+		}
+	}
+}
+
+func TestLiteralEscapeProperty(t *testing.T) {
+	f := func(s string) bool {
+		return NewLiteral(s).LexicalValue() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTripleLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want Triple
+	}{
+		{
+			`<http://x/s> <http://x/p> <http://x/o> .`,
+			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewIRI("http://x/o")},
+		},
+		{
+			`<http://x/s> <http://x/p> "lit" .`,
+			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewLiteral("lit")},
+		},
+		{
+			`_:b0 <http://x/p> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+			Triple{NewBlank("b0"), NewIRI("http://x/p"), NewTypedLiteral("3", XSDInteger)},
+		},
+		{
+			`<http://x/s> <http://x/p> "hi"@en-GB .`,
+			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewLangLiteral("hi", "en-GB")},
+		},
+		{ // missing final dot tolerated
+			`<http://x/s> <http://x/p> _:b1`,
+			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewBlank("b1")},
+		},
+		{ // literal containing an escaped quote and a dot
+			`<http://x/s> <http://x/p> "a \"b\". c" .`,
+			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), Term(`"a \"b\". c"`)},
+		},
+	}
+	for _, c := range cases {
+		got, err := ParseTripleLine(c.line)
+		if err != nil {
+			t.Errorf("ParseTripleLine(%q): %v", c.line, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTripleLine(%q) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseTripleLineErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<http://x/s>`,
+		`<http://x/s> <http://x/p>`,
+		`<http://x/s <http://x/p> <http://x/o> .`,
+		`"lit" <http://x/p> <http://x/o> .`,
+		`<http://x/s> "lit" <http://x/o> .`,
+		`<http://x/s> <http://x/p> "unterminated .`,
+		`<http://x/s> <http://x/p> <http://x/o> junk .`,
+		`<http://x/s> <http://x/p> "x"@ .`,
+		`frob <http://x/p> <http://x/o> .`,
+	}
+	for _, line := range bad {
+		if _, err := ParseTripleLine(line); err == nil {
+			t.Errorf("ParseTripleLine(%q): expected error", line)
+		}
+	}
+}
+
+func TestReaderSkipsCommentsAndReportsLines(t *testing.T) {
+	src := "# header\n\n<http://x/s> <http://x/p> <http://x/o> .\nbroken line\n"
+	r := NewReader(strings.NewReader(src))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first Read: %v", err)
+	}
+	_, err := r.Read()
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("second Read err = %v, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("error line = %d, want 4", pe.Line)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	triples := []Triple{
+		{NewIRI("http://x/s"), NewIRI("http://x/p"), NewIRI("http://x/o")},
+		{NewIRI("http://x/s"), NewIRI("http://x/q"), NewLiteral(`tricky "quote" and \slash`)},
+		{NewBlank("n1"), NewIRI("http://x/p"), NewTypedLiteral("3.5", XSDDouble)},
+		{NewIRI("http://x/s"), NewIRI("http://x/r"), NewLangLiteral("hello", "en")},
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, triples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(triples) {
+		t.Fatalf("round trip count %d, want %d", len(got), len(triples))
+	}
+	for i := range got {
+		if got[i] != triples[i] {
+			t.Errorf("triple %d = %v, want %v", i, got[i], triples[i])
+		}
+	}
+}
+
+func TestReadAllEOFOnly(t *testing.T) {
+	got, err := ReadAll(strings.NewReader("# nothing here\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("ReadAll = %v, %v", got, err)
+	}
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("Read on empty = %v, want EOF", err)
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern(NewIRI("http://x/a"))
+	b := d.Intern(NewIRI("http://x/b"))
+	if a == b {
+		t.Fatal("distinct terms share an ID")
+	}
+	if got := d.Intern(NewIRI("http://x/a")); got != a {
+		t.Errorf("re-intern = %d, want %d", got, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if got := d.Term(a); got != NewIRI("http://x/a") {
+		t.Errorf("Term(%d) = %q", a, got)
+	}
+	if _, ok := d.Lookup(NewIRI("http://x/zzz")); ok {
+		t.Error("Lookup of unseen term succeeded")
+	}
+	if id, ok := d.Lookup(NewIRI("http://x/b")); !ok || id != b {
+		t.Errorf("Lookup(b) = %d, %v", id, ok)
+	}
+}
+
+func TestDictionaryDenseIDs(t *testing.T) {
+	d := NewDictionary()
+	for i := 0; i < 100; i++ {
+		id := d.Intern(NewIntLiteral(int64(i)))
+		if id != uint32(i) {
+			t.Fatalf("Intern #%d = %d, want dense assignment", i, id)
+		}
+	}
+}
+
+func TestTermKindStrings(t *testing.T) {
+	for k, want := range map[TermKind]string{
+		IRI: "IRI", Literal: "Literal", Blank: "Blank", Invalid: "Invalid",
+	} {
+		if k.String() != want {
+			t.Errorf("TermKind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := Triple{S: NewIRI("http://s"), P: NewIRI("http://p"), O: NewLiteral("o")}
+	if got := tr.String(); got != `<http://s> <http://p> "o" .` {
+		t.Fatalf("Triple.String() = %q", got)
+	}
+}
+
+func TestFloatLiteralAndNumericValue(t *testing.T) {
+	f := NewFloatLiteral(2.5)
+	v, ok := f.NumericValue()
+	if !ok || v != 2.5 {
+		t.Fatalf("NumericValue = %v %v", v, ok)
+	}
+	if f.DatatypeIRI() != XSDDouble {
+		t.Fatalf("datatype = %q", f.DatatypeIRI())
+	}
+	if _, ok := NewIRI("http://x").NumericValue(); ok {
+		t.Fatal("IRI should have no numeric value")
+	}
+	if _, ok := NewLiteral("abc").NumericValue(); ok {
+		t.Fatal("non-numeric literal accepted")
+	}
+}
+
+func TestDegenerateTermAccessors(t *testing.T) {
+	if Term("").Kind() != Invalid {
+		t.Fatal("empty term should be Invalid")
+	}
+	if Term("x").IRIValue() != "" {
+		t.Fatal("non-IRI IRIValue should be empty")
+	}
+	if Term(`<`).IRIValue() != "" {
+		t.Fatal("truncated IRI should yield empty value")
+	}
+	if Term(`"`).LexicalValue() != "" {
+		t.Fatal("truncated literal should yield empty value")
+	}
+	if NewIRI("http://x").LexicalValue() != "" {
+		t.Fatal("IRI has no lexical value")
+	}
+	if NewLiteral("x").Lang() != "" || NewLiteral("x").DatatypeIRI() != "" {
+		t.Fatal("plain literal has no lang or datatype")
+	}
+}
+
+func TestUnescapeUnicodeAndEdgeCases(t *testing.T) {
+	// \u escape round-trips through the reader.
+	tr, err := ParseTripleLine(`<http://s> <http://p> "snow☃man" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.O.LexicalValue() != "snow☃man" {
+		t.Fatalf("unicode unescape = %q", tr.O.LexicalValue())
+	}
+	// A malformed \u escape falls back to the literal character.
+	tr, err = ParseTripleLine(`<http://s> <http://p> "bad\uZZZZesc" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.O.LexicalValue(); got != "baduZZZZesc" {
+		t.Fatalf("malformed unicode = %q", got)
+	}
+	// Trailing backslash survives.
+	if got := unescapeLiteral(`tail\`); got != `tail\` {
+		t.Fatalf("trailing backslash = %q", got)
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := ParseTripleLine("garbage")
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var pe *ParseError
+	if !errorsAs(err, &pe) {
+		t.Fatalf("error type = %T", err)
+	}
+	if pe.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func errorsAs(err error, target *(*ParseError)) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestDictionaryTermsSlice(t *testing.T) {
+	d := NewDictionary()
+	d.Intern(NewIRI("http://a"))
+	d.Intern(NewIRI("http://b"))
+	ts := d.Terms()
+	if len(ts) != 2 || ts[0] != NewIRI("http://a") {
+		t.Fatalf("Terms() = %v", ts)
+	}
+}

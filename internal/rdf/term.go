@@ -1,0 +1,240 @@
+// Package rdf implements the RDF data model used by every engine in this
+// repository: terms (IRIs, literals, blank nodes), triples, a streaming
+// N-Triples reader/writer, and the term dictionary that maps terms to dense
+// uint32 IDs.
+//
+// Terms are stored in a single canonical string encoding (the N-Triples
+// surface syntax: `<iri>`, `"literal"`, `"3"^^<dt>`, `"s"@en`, `_:b0`).
+// Keeping one string per term — instead of a struct with several string
+// fields — halves the dictionary's footprint and keeps GC pressure down,
+// which matters when millions of terms are loaded.
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermKind classifies a term.
+type TermKind uint8
+
+const (
+	// IRI is an IRI reference, encoded "<...>".
+	IRI TermKind = iota
+	// Literal is an RDF literal, encoded `"..."` with optional
+	// `^^<datatype>` or `@lang` suffix.
+	Literal
+	// Blank is a blank node, encoded "_:label".
+	Blank
+	// Invalid marks an unrecognizable term encoding.
+	Invalid
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "IRI"
+	case Literal:
+		return "Literal"
+	case Blank:
+		return "Blank"
+	default:
+		return "Invalid"
+	}
+}
+
+// Term is a single RDF term in canonical N-Triples encoding.
+type Term string
+
+// Kind reports the kind of the term from its encoding.
+func (t Term) Kind() TermKind {
+	if len(t) == 0 {
+		return Invalid
+	}
+	switch t[0] {
+	case '<':
+		return IRI
+	case '"':
+		return Literal
+	case '_':
+		return Blank
+	default:
+		return Invalid
+	}
+}
+
+// NewIRI builds an IRI term from a bare IRI string.
+func NewIRI(iri string) Term { return Term("<" + iri + ">") }
+
+// NewBlank builds a blank-node term from a label.
+func NewBlank(label string) Term { return Term("_:" + label) }
+
+// NewLiteral builds a plain string literal, escaping as needed.
+func NewLiteral(value string) Term {
+	return Term(`"` + escapeLiteral(value) + `"`)
+}
+
+// NewTypedLiteral builds a literal with a datatype IRI.
+func NewTypedLiteral(value, datatypeIRI string) Term {
+	return Term(`"` + escapeLiteral(value) + `"^^<` + datatypeIRI + ">")
+}
+
+// NewLangLiteral builds a language-tagged literal.
+func NewLangLiteral(value, lang string) Term {
+	return Term(`"` + escapeLiteral(value) + `"@` + lang)
+}
+
+// NewIntLiteral builds an xsd:integer literal.
+func NewIntLiteral(v int64) Term {
+	return NewTypedLiteral(strconv.FormatInt(v, 10), XSDInteger)
+}
+
+// NewFloatLiteral builds an xsd:double literal.
+func NewFloatLiteral(v float64) Term {
+	return NewTypedLiteral(strconv.FormatFloat(v, 'g', -1, 64), XSDDouble)
+}
+
+// IRIValue returns the IRI without angle brackets, or "" if not an IRI.
+func (t Term) IRIValue() string {
+	if t.Kind() != IRI || len(t) < 2 {
+		return ""
+	}
+	return string(t[1 : len(t)-1])
+}
+
+// LexicalValue returns a literal's lexical form (unescaped), or "" if the
+// term is not a literal.
+func (t Term) LexicalValue() string {
+	if t.Kind() != Literal {
+		return ""
+	}
+	s := string(t)
+	end := strings.LastIndexByte(s, '"')
+	if end <= 0 {
+		return ""
+	}
+	return unescapeLiteral(s[1:end])
+}
+
+// DatatypeIRI returns a literal's datatype IRI, or "" when absent.
+func (t Term) DatatypeIRI() string {
+	s := string(t)
+	i := strings.LastIndex(s, `"^^<`)
+	if i < 0 || !strings.HasSuffix(s, ">") {
+		return ""
+	}
+	return s[i+4 : len(s)-1]
+}
+
+// Lang returns a literal's language tag, or "" when absent.
+func (t Term) Lang() string {
+	s := string(t)
+	i := strings.LastIndex(s, `"@`)
+	if i < 0 || i+2 >= len(s) {
+		return ""
+	}
+	return s[i+2:]
+}
+
+// NumericValue parses the literal as a number. ok is false for non-literals
+// and non-numeric lexical forms.
+func (t Term) NumericValue() (v float64, ok bool) {
+	if t.Kind() != Literal {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(t.LexicalValue(), 64)
+	return v, err == nil
+}
+
+// Triple is a single RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}
+
+// Well-known vocabulary.
+const (
+	RDFType       = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFSSubClass  = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+	RDFSSubProp   = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf"
+	OWLInverseOf  = "http://www.w3.org/2002/07/owl#inverseOf"
+	OWLTransitive = "http://www.w3.org/2002/07/owl#TransitiveProperty"
+	XSDInteger    = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDouble     = "http://www.w3.org/2001/XMLSchema#double"
+	XSDString     = "http://www.w3.org/2001/XMLSchema#string"
+	XSDDate       = "http://www.w3.org/2001/XMLSchema#date"
+)
+
+// TypeTerm is the rdf:type predicate as a Term.
+var TypeTerm = NewIRI(RDFType)
+
+// SubClassTerm is the rdfs:subClassOf predicate as a Term.
+var SubClassTerm = NewIRI(RDFSSubClass)
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unescapeLiteral(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'u':
+			if i+4 < len(s) {
+				if r, err := strconv.ParseUint(s[i+1:i+5], 16, 32); err == nil {
+					b.WriteRune(rune(r))
+					i += 4
+					continue
+				}
+			}
+			b.WriteByte('u')
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+// Package sparql implements the SPARQL subset used by the paper's
+// evaluation: SELECT queries over basic graph patterns with FILTER,
+// OPTIONAL, and UNION (paper §5.1), PREFIX declarations, typed and
+// language-tagged literals, variable predicates, DISTINCT, LIMIT and
+// OFFSET. The package provides the lexer, recursive-descent parser, AST,
+// and the FILTER expression evaluator.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// TermOrVar is a triple-pattern position: either a concrete RDF term or a
+// variable name (without the leading '?').
+type TermOrVar struct {
+	Var  string
+	Term rdf.Term
+}
+
+// IsVar reports whether the position holds a variable.
+func (t TermOrVar) IsVar() bool { return t.Var != "" }
+
+func (t TermOrVar) String() string {
+	if t.IsVar() {
+		return "?" + t.Var
+	}
+	return string(t.Term)
+}
+
+// Variable wraps a variable name.
+func Variable(name string) TermOrVar { return TermOrVar{Var: name} }
+
+// Constant wraps a concrete term.
+func Constant(t rdf.Term) TermOrVar { return TermOrVar{Term: t} }
+
+// TriplePattern is one pattern of a basic graph pattern.
+type TriplePattern struct {
+	S, P, O TermOrVar
+}
+
+func (tp TriplePattern) String() string {
+	return fmt.Sprintf("%s %s %s .", tp.S, tp.P, tp.O)
+}
+
+// GroupPattern is a group graph pattern: a BGP plus filters, OPTIONAL
+// sub-groups, and UNION alternatives. Plain nested groups are flattened
+// into their parent at parse time.
+type GroupPattern struct {
+	Triples   []TriplePattern
+	Filters   []Expr
+	Optionals []*GroupPattern
+	// Unions: each element is one UNION chain; its alternatives are
+	// matched independently and their solutions concatenated.
+	Unions [][]*GroupPattern
+}
+
+// Vars appends every variable mentioned in the group (including nested
+// patterns) to set.
+func (g *GroupPattern) Vars(set map[string]bool) {
+	for _, tp := range g.Triples {
+		for _, pos := range []TermOrVar{tp.S, tp.P, tp.O} {
+			if pos.IsVar() {
+				set[pos.Var] = true
+			}
+		}
+	}
+	for _, f := range g.Filters {
+		f.Vars(set)
+	}
+	for _, o := range g.Optionals {
+		o.Vars(set)
+	}
+	for _, u := range g.Unions {
+		for _, alt := range u {
+			alt.Vars(set)
+		}
+	}
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Query is a parsed SPARQL SELECT query.
+type Query struct {
+	Prefixes map[string]string
+	Vars     []string // projection; nil means SELECT *
+	Distinct bool
+	Where    *GroupPattern
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+	Offset   int // 0 when absent
+}
+
+// ProjectedVars returns the projection, expanding SELECT * to all variables
+// in the WHERE clause in first-mention order.
+func (q *Query) ProjectedVars() []string {
+	if q.Vars != nil {
+		return q.Vars
+	}
+	var order []string
+	seen := map[string]bool{}
+	var walk func(g *GroupPattern)
+	add := func(t TermOrVar) {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			order = append(order, t.Var)
+		}
+	}
+	walk = func(g *GroupPattern) {
+		for _, tp := range g.Triples {
+			add(tp.S)
+			add(tp.P)
+			add(tp.O)
+		}
+		for _, o := range g.Optionals {
+			walk(o)
+		}
+		for _, u := range g.Unions {
+			for _, alt := range u {
+				walk(alt)
+			}
+		}
+	}
+	walk(q.Where)
+	return order
+}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT")
+	if q.Distinct {
+		b.WriteString(" DISTINCT")
+	}
+	if q.Vars == nil {
+		b.WriteString(" *")
+	} else {
+		for _, v := range q.Vars {
+			b.WriteString(" ?" + v)
+		}
+	}
+	b.WriteString(" WHERE { ... }")
+	return b.String()
+}

@@ -1,0 +1,374 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Bindings supplies variable values to expression evaluation. A variable
+// absent from the map is unbound (OPTIONAL may leave nulls).
+type Bindings map[string]rdf.Term
+
+// ValueKind tags an expression value.
+type ValueKind uint8
+
+const (
+	// VNull is the unbound/error value; comparisons against it fail.
+	VNull ValueKind = iota
+	// VBool is a boolean.
+	VBool
+	// VNum is a numeric value.
+	VNum
+	// VStr is a plain string value.
+	VStr
+	// VTerm is an RDF term value (IRI or non-numeric literal).
+	VTerm
+)
+
+// Value is the result of evaluating an expression.
+type Value struct {
+	Kind ValueKind
+	Bool bool
+	Num  float64
+	Str  string
+	Term rdf.Term
+}
+
+// Truth interprets the value under SPARQL's effective boolean value rules
+// (simplified): booleans as-is, numbers ≠ 0, non-empty strings.
+func (v Value) Truth() bool {
+	switch v.Kind {
+	case VBool:
+		return v.Bool
+	case VNum:
+		return v.Num != 0
+	case VStr:
+		return v.Str != ""
+	case VTerm:
+		return v.Term != ""
+	default:
+		return false
+	}
+}
+
+// Expr is a FILTER expression.
+type Expr interface {
+	// Eval computes the expression under b. Unbound variables yield the
+	// null value rather than an error (SPARQL type-error semantics:
+	// enclosing filters reject the row).
+	Eval(b Bindings) Value
+	// Vars adds the variables the expression references to set.
+	Vars(set map[string]bool)
+	String() string
+}
+
+// VarExpr references a variable.
+type VarExpr struct{ Name string }
+
+// Eval resolves the variable to a typed value: numeric literals become
+// VNum, other literals VStr, everything else VTerm.
+func (e *VarExpr) Eval(b Bindings) Value { return termValue(b[e.Name]) }
+
+// Vars implements Expr.
+func (e *VarExpr) Vars(set map[string]bool) { set[e.Name] = true }
+func (e *VarExpr) String() string           { return "?" + e.Name }
+
+func termValue(t rdf.Term) Value {
+	if t == "" {
+		return Value{Kind: VNull}
+	}
+	if t.Kind() == rdf.Literal {
+		if n, ok := t.NumericValue(); ok {
+			return Value{Kind: VNum, Num: n, Term: t}
+		}
+		return Value{Kind: VStr, Str: t.LexicalValue(), Term: t}
+	}
+	return Value{Kind: VTerm, Term: t}
+}
+
+// ConstExpr is a literal constant in an expression.
+type ConstExpr struct{ Val Value }
+
+// Eval implements Expr.
+func (e *ConstExpr) Eval(Bindings) Value      { return e.Val }
+func (e *ConstExpr) Vars(set map[string]bool) {}
+func (e *ConstExpr) String() string           { return fmt.Sprintf("%v", e.Val) }
+
+// NumberConst builds a numeric constant expression.
+func NumberConst(n float64) *ConstExpr { return &ConstExpr{Val: Value{Kind: VNum, Num: n}} }
+
+// StringConst builds a string constant expression.
+func StringConst(s string) *ConstExpr { return &ConstExpr{Val: Value{Kind: VStr, Str: s}} }
+
+// TermConst builds a term constant expression.
+func TermConst(t rdf.Term) *ConstExpr { return &ConstExpr{Val: termValue(t)} }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op          string // "||" "&&" "=" "!=" "<" "<=" ">" ">=" "+" "-" "*" "/"
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (e *BinaryExpr) Eval(b Bindings) Value {
+	switch e.Op {
+	case "||":
+		l := e.Left.Eval(b)
+		if l.Kind != VNull && l.Truth() {
+			return Value{Kind: VBool, Bool: true}
+		}
+		r := e.Right.Eval(b)
+		if r.Kind != VNull && r.Truth() {
+			return Value{Kind: VBool, Bool: true}
+		}
+		if l.Kind == VNull || r.Kind == VNull {
+			return Value{Kind: VNull}
+		}
+		return Value{Kind: VBool, Bool: false}
+	case "&&":
+		l, r := e.Left.Eval(b), e.Right.Eval(b)
+		if l.Kind == VNull || r.Kind == VNull {
+			// False && null is false; anything else with null is null.
+			if (l.Kind != VNull && !l.Truth()) || (r.Kind != VNull && !r.Truth()) {
+				return Value{Kind: VBool, Bool: false}
+			}
+			return Value{Kind: VNull}
+		}
+		return Value{Kind: VBool, Bool: l.Truth() && r.Truth()}
+	}
+	l, r := e.Left.Eval(b), e.Right.Eval(b)
+	if l.Kind == VNull || r.Kind == VNull {
+		return Value{Kind: VNull}
+	}
+	switch e.Op {
+	case "+", "-", "*", "/":
+		if l.Kind != VNum || r.Kind != VNum {
+			return Value{Kind: VNull}
+		}
+		var n float64
+		switch e.Op {
+		case "+":
+			n = l.Num + r.Num
+		case "-":
+			n = l.Num - r.Num
+		case "*":
+			n = l.Num * r.Num
+		case "/":
+			if r.Num == 0 {
+				return Value{Kind: VNull}
+			}
+			n = l.Num / r.Num
+		}
+		return Value{Kind: VNum, Num: n}
+	}
+	cmp, ok := compareValues(l, r)
+	if !ok {
+		// Incomparable: only =/!= still work, on term identity.
+		switch e.Op {
+		case "=":
+			return Value{Kind: VBool, Bool: l.Term != "" && l.Term == r.Term}
+		case "!=":
+			return Value{Kind: VBool, Bool: !(l.Term != "" && l.Term == r.Term)}
+		}
+		return Value{Kind: VNull}
+	}
+	var res bool
+	switch e.Op {
+	case "=":
+		res = cmp == 0
+	case "!=":
+		res = cmp != 0
+	case "<":
+		res = cmp < 0
+	case "<=":
+		res = cmp <= 0
+	case ">":
+		res = cmp > 0
+	case ">=":
+		res = cmp >= 0
+	default:
+		return Value{Kind: VNull}
+	}
+	return Value{Kind: VBool, Bool: res}
+}
+
+// Vars implements Expr.
+func (e *BinaryExpr) Vars(set map[string]bool) {
+	e.Left.Vars(set)
+	e.Right.Vars(set)
+}
+
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+// compareValues orders two values when they are comparable: numerically
+// when both numeric, lexically when both strings, by term text when both
+// terms of the same kind.
+func compareValues(l, r Value) (int, bool) {
+	switch {
+	case l.Kind == VNum && r.Kind == VNum:
+		switch {
+		case l.Num < r.Num:
+			return -1, true
+		case l.Num > r.Num:
+			return 1, true
+		}
+		return 0, true
+	case l.Kind == VStr && r.Kind == VStr:
+		return strings.Compare(l.Str, r.Str), true
+	case l.Kind == VTerm && r.Kind == VTerm:
+		return strings.Compare(string(l.Term), string(r.Term)), true
+	case l.Kind == VBool && r.Kind == VBool:
+		lb, rb := 0, 0
+		if l.Bool {
+			lb = 1
+		}
+		if r.Bool {
+			rb = 1
+		}
+		return lb - rb, true
+	}
+	return 0, false
+}
+
+// NotExpr negates its operand.
+type NotExpr struct{ X Expr }
+
+// Eval implements Expr.
+func (e *NotExpr) Eval(b Bindings) Value {
+	v := e.X.Eval(b)
+	if v.Kind == VNull {
+		return v
+	}
+	return Value{Kind: VBool, Bool: !v.Truth()}
+}
+
+// Vars implements Expr.
+func (e *NotExpr) Vars(set map[string]bool) { e.X.Vars(set) }
+func (e *NotExpr) String() string           { return "!" + e.X.String() }
+
+// NegExpr is unary numeric minus.
+type NegExpr struct{ X Expr }
+
+// Eval implements Expr.
+func (e *NegExpr) Eval(b Bindings) Value {
+	v := e.X.Eval(b)
+	if v.Kind != VNum {
+		return Value{Kind: VNull}
+	}
+	return Value{Kind: VNum, Num: -v.Num}
+}
+
+// Vars implements Expr.
+func (e *NegExpr) Vars(set map[string]bool) { e.X.Vars(set) }
+func (e *NegExpr) String() string           { return "-" + e.X.String() }
+
+// CallExpr is a built-in function call: regex, bound, str, lang, datatype.
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+
+	compiled *regexp.Regexp // cached pattern for constant regex calls
+}
+
+// Eval implements Expr.
+func (e *CallExpr) Eval(b Bindings) Value {
+	switch e.Fn {
+	case "bound":
+		if len(e.Args) != 1 {
+			return Value{Kind: VNull}
+		}
+		v := e.Args[0].Eval(b)
+		return Value{Kind: VBool, Bool: v.Kind != VNull}
+	case "regex":
+		if len(e.Args) < 2 {
+			return Value{Kind: VNull}
+		}
+		target := e.Args[0].Eval(b)
+		if target.Kind == VNull {
+			return Value{Kind: VNull}
+		}
+		re := e.compiled
+		if re == nil {
+			pat := e.Args[1].Eval(b)
+			flags := ""
+			if len(e.Args) > 2 {
+				flags = e.Args[2].Eval(b).Str
+			}
+			p := pat.Str
+			if strings.Contains(flags, "i") {
+				p = "(?i)" + p
+			}
+			var err error
+			re, err = regexp.Compile(p)
+			if err != nil {
+				return Value{Kind: VNull}
+			}
+		}
+		return Value{Kind: VBool, Bool: re.MatchString(valueText(target))}
+	case "str":
+		if len(e.Args) != 1 {
+			return Value{Kind: VNull}
+		}
+		v := e.Args[0].Eval(b)
+		if v.Kind == VNull {
+			return v
+		}
+		return Value{Kind: VStr, Str: valueText(v)}
+	case "lang":
+		v := e.Args[0].Eval(b)
+		return Value{Kind: VStr, Str: v.Term.Lang()}
+	case "datatype":
+		v := e.Args[0].Eval(b)
+		return Value{Kind: VStr, Str: v.Term.DatatypeIRI()}
+	}
+	return Value{Kind: VNull}
+}
+
+// Vars implements Expr.
+func (e *CallExpr) Vars(set map[string]bool) {
+	for _, a := range e.Args {
+		a.Vars(set)
+	}
+}
+
+func (e *CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// valueText renders a value as the text regex/str operate on.
+func valueText(v Value) string {
+	switch v.Kind {
+	case VStr:
+		return v.Str
+	case VNum:
+		if v.Term != "" {
+			return v.Term.LexicalValue()
+		}
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case VTerm:
+		if v.Term.Kind() == rdf.IRI {
+			return v.Term.IRIValue()
+		}
+		return v.Term.LexicalValue()
+	case VBool:
+		return strconv.FormatBool(v.Bool)
+	}
+	return ""
+}
+
+// EvalFilter evaluates a filter expression as a row predicate: type errors
+// and unbound variables reject the row.
+func EvalFilter(e Expr, b Bindings) bool {
+	v := e.Eval(b)
+	return v.Kind != VNull && v.Truth()
+}

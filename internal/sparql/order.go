@@ -1,0 +1,71 @@
+package sparql
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// CompareTerms orders two terms for ORDER BY, following the SPARQL ordering
+// sketch: unbound before bound, numeric literals by value, everything else
+// by canonical text.
+func CompareTerms(a, b rdf.Term) int {
+	switch {
+	case a == "" && b == "":
+		return 0
+	case a == "":
+		return -1
+	case b == "":
+		return 1
+	}
+	av, aok := a.NumericValue()
+	bv, bok := b.NumericValue()
+	if aok && bok {
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		default:
+			return 0
+		}
+	}
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SortSolutions orders rows by the given keys. slot maps a variable name to
+// its column index (negative = absent; the key is ignored). The sort is
+// stable so row order beyond the keys is preserved.
+func SortSolutions(rows [][]rdf.Term, keys []OrderKey, slot func(string) int) {
+	cols := make([]int, 0, len(keys))
+	descs := make([]bool, 0, len(keys))
+	for _, k := range keys {
+		if ci := slot(k.Var); ci >= 0 {
+			cols = append(cols, ci)
+			descs = append(descs, k.Desc)
+		}
+	}
+	if len(cols) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for x, ci := range cols {
+			c := CompareTerms(rows[i][ci], rows[j][ci])
+			if c == 0 {
+				continue
+			}
+			if descs[x] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}

@@ -1,0 +1,203 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestCompareTerms(t *testing.T) {
+	cases := []struct {
+		a, b rdf.Term
+		want int
+	}{
+		{"", "", 0},
+		{"", rdf.NewIntLiteral(1), -1},
+		{rdf.NewIntLiteral(1), "", 1},
+		{rdf.NewIntLiteral(2), rdf.NewIntLiteral(10), -1},
+		{rdf.NewIntLiteral(10), rdf.NewIntLiteral(2), 1},
+		{rdf.NewIntLiteral(5), rdf.NewIntLiteral(5), 0},
+		{rdf.NewFloatLiteral(1.5), rdf.NewIntLiteral(2), -1},
+		{rdf.NewLiteral("apple"), rdf.NewLiteral("banana"), -1},
+		{rdf.NewIRI("http://a"), rdf.NewIRI("http://b"), -1},
+		{rdf.NewIRI("http://a"), rdf.NewIRI("http://a"), 0},
+	}
+	for _, c := range cases {
+		if got := CompareTerms(c.a, c.b); got != c.want {
+			t.Errorf("CompareTerms(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSortSolutionsMultiKey(t *testing.T) {
+	rows := [][]rdf.Term{
+		{rdf.NewLiteral("b"), rdf.NewIntLiteral(1)},
+		{rdf.NewLiteral("a"), rdf.NewIntLiteral(2)},
+		{rdf.NewLiteral("a"), rdf.NewIntLiteral(1)},
+	}
+	slot := func(v string) int {
+		switch v {
+		case "x":
+			return 0
+		case "y":
+			return 1
+		}
+		return -1
+	}
+	SortSolutions(rows, []OrderKey{{Var: "x"}, {Var: "y", Desc: true}}, slot)
+	want := [][]rdf.Term{
+		{rdf.NewLiteral("a"), rdf.NewIntLiteral(2)},
+		{rdf.NewLiteral("a"), rdf.NewIntLiteral(1)},
+		{rdf.NewLiteral("b"), rdf.NewIntLiteral(1)},
+	}
+	for i := range want {
+		if rows[i][0] != want[i][0] || rows[i][1] != want[i][1] {
+			t.Fatalf("row %d = %v, want %v", i, rows[i], want[i])
+		}
+	}
+}
+
+func TestSortSolutionsUnknownKeysNoop(t *testing.T) {
+	rows := [][]rdf.Term{
+		{rdf.NewLiteral("b")},
+		{rdf.NewLiteral("a")},
+	}
+	SortSolutions(rows, []OrderKey{{Var: "zz"}}, func(string) int { return -1 })
+	if rows[0][0] != rdf.NewLiteral("b") {
+		t.Fatal("rows reordered despite unknown key")
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?x <http://p> ?y . FILTER(!(?y > 3) && regex(str(?x), "a") || -?y < 0) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Where.Filters) != 1 {
+		t.Fatalf("filters = %d", len(q.Where.Filters))
+	}
+	// String rendering of the whole tree exercises every node's String.
+	s := q.Where.Filters[0].String()
+	for _, frag := range []string{"regex", "str", "&&", "||", "-?y"} {
+		if !containsStr(s, frag) {
+			t.Errorf("rendered filter %q missing %q", s, frag)
+		}
+	}
+	// Triple-pattern and query String forms.
+	if containsStr(q.Where.Triples[0].String(), "?x") == false {
+		t.Error("triple String missing variable")
+	}
+	if containsStr(q.String(), "SELECT") == false {
+		t.Error("query String missing SELECT")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNegExprEval(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?x <http://p> ?y . FILTER(-?y = -3) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.Where.Filters[0]
+	if !EvalFilter(f, Bindings{"y": rdf.NewIntLiteral(3)}) {
+		t.Error("-3 = -3 should hold")
+	}
+	if EvalFilter(f, Bindings{"y": rdf.NewIntLiteral(4)}) {
+		t.Error("-4 = -3 should not hold")
+	}
+	// Negating a non-number is an error (null), which filters false.
+	if EvalFilter(f, Bindings{"y": rdf.NewLiteral("nope")}) {
+		t.Error("negating a string should not satisfy the filter")
+	}
+}
+
+func TestCallLangAndDatatype(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?x <http://p> ?y . FILTER(lang(?y) = "en") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.Where.Filters[0]
+	if !EvalFilter(f, Bindings{"y": rdf.NewLangLiteral("hi", "en")}) {
+		t.Error("lang(en literal) should be en")
+	}
+	if EvalFilter(f, Bindings{"y": rdf.NewLiteral("hi")}) {
+		t.Error("plain literal has no lang")
+	}
+
+	q, err = Parse(`SELECT ?x WHERE { ?x <http://p> ?y . FILTER(datatype(?y) = "` + rdf.XSDInteger + `") }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = q.Where.Filters[0]
+	if !EvalFilter(f, Bindings{"y": rdf.NewIntLiteral(7)}) {
+		t.Error("datatype(int literal) mismatch")
+	}
+}
+
+func TestParseNumericForms(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?x <http://p> ?y . FILTER(?y > -2.5 && ?y < 1e3 && ?y != 0.25) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.Where.Filters[0]
+	if !EvalFilter(f, Bindings{"y": rdf.NewFloatLiteral(10)}) {
+		t.Error("10 should pass the numeric band")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE { ?x <http://p> "with \"quote\" and \n newline" . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := q.Where.Triples[0].O
+	if o.IsVar() {
+		t.Fatal("object should be constant")
+	}
+	if o.Term.LexicalValue() != "with \"quote\" and \n newline" {
+		t.Fatalf("lexical = %q", o.Term.LexicalValue())
+	}
+}
+
+func TestValueTruth(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Value{Kind: VBool, Bool: true}, true},
+		{Value{Kind: VBool, Bool: false}, false},
+		{Value{Kind: VNum, Num: 0}, false},
+		{Value{Kind: VNum, Num: 2}, true},
+		{Value{Kind: VStr, Str: ""}, false},
+		{Value{Kind: VStr, Str: "x"}, true},
+		{Value{Kind: VNull}, false},
+	}
+	for _, c := range cases {
+		if c.v.Truth() != c.want {
+			t.Errorf("Truth(%+v) = %v", c.v, c.v.Truth())
+		}
+	}
+}
+
+func TestMixedComparisonIncomparable(t *testing.T) {
+	// Number vs IRI: only =/!= work, on term identity.
+	q, err := Parse(`SELECT ?x WHERE { ?x <http://p> ?y . FILTER(?y != <http://other>) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.Where.Filters[0]
+	if !EvalFilter(f, Bindings{"y": rdf.NewIRI("http://mine")}) {
+		t.Error("different IRIs should be !=")
+	}
+	if EvalFilter(f, Bindings{"y": rdf.NewIRI("http://other")}) {
+		t.Error("same IRI should fail !=")
+	}
+}

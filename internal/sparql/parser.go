@@ -1,0 +1,818 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// ParseError reports a syntax error with its byte offset.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("sparql: offset %d: %s", e.Pos, e.Msg) }
+
+// tokKind enumerates lexer token kinds.
+type tokKind uint8
+
+const (
+	tEOF    tokKind = iota
+	tIRI            // <...>
+	tPName          // prefix:local or prefix:
+	tVar            // ?name or $name
+	tString         // "..." with optional ^^ / @ suffix already attached
+	tNumber
+	tKeyword // bare word: SELECT, WHERE, a, regex, ...
+	tPunct   // { } . ; , ( ) * =  != < <= > >= && || ! + - /
+	tBlank   // _:label
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '<':
+			// '<' opens an IRI only when a '>' is reachable with no
+			// intervening whitespace; otherwise it is the less-than
+			// operator (or '<=').
+			if end := iriEnd(l.src[l.pos:]); end > 0 {
+				l.emit(tIRI, l.src[l.pos:l.pos+end+1], start)
+				l.pos += end + 1
+			} else if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tPunct, "<=", start)
+				l.pos += 2
+			} else {
+				l.emit(tPunct, "<", start)
+				l.pos++
+			}
+		case c == '?' || c == '$':
+			l.pos++
+			name := l.scanName()
+			if name == "" {
+				return nil, &ParseError{start, "empty variable name"}
+			}
+			l.emit(tVar, name, start)
+		case c == '"' || c == '\'':
+			s, err := l.scanString(c)
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tString, s, start)
+		case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.emit(tNumber, l.scanNumber(), start)
+		case c == '_' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':':
+			l.pos += 2
+			l.emit(tBlank, "_:"+l.scanName(), start)
+		case isNameStart(c):
+			word := l.scanName()
+			// prefixed name?
+			if l.pos < len(l.src) && l.src[l.pos] == ':' {
+				l.pos++
+				local := l.scanName()
+				l.emit(tPName, word+":"+local, start)
+			} else {
+				l.emit(tKeyword, word, start)
+			}
+		case c == ':':
+			// Default-prefix name (":local").
+			l.pos++
+			local := l.scanName()
+			l.emit(tPName, ":"+local, start)
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			// Multi-char operators first.
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "!=", "<=", ">=", "&&", "||", "^^":
+				l.emit(tPunct, two, start)
+				l.pos += 2
+				continue
+			}
+			switch c {
+			case '{', '}', '.', ';', ',', '(', ')', '*', '=', '<', '>', '!', '+', '-', '/', '@':
+				l.emit(tPunct, string(c), start)
+				l.pos++
+			default:
+				return nil, &ParseError{start, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{k, text, pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) scanName() string {
+	start := l.pos
+	for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) scanNumber() string {
+	start := l.pos
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	// Exponent.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		p := l.pos + 1
+		if p < len(l.src) && (l.src[p] == '+' || l.src[p] == '-') {
+			p++
+		}
+		if p < len(l.src) && isDigit(l.src[p]) {
+			l.pos = p
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+	}
+	return l.src[start:l.pos]
+}
+
+// scanString returns the literal body (unescaped) of a quoted string.
+func (l *lexer) scanString(quote byte) (string, error) {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return "", &ParseError{start, "unterminated escape"}
+			}
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			default:
+				b.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+		case quote:
+			l.pos++
+			return b.String(), nil
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return "", &ParseError{start, "unterminated string literal"}
+}
+
+// iriEnd returns the index of the closing '>' of an IRI opening at s[0], or
+// -1 when whitespace intervenes (meaning '<' is a comparison operator).
+func iriEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '>':
+			return i
+		case ' ', '\t', '\n', '\r', '<':
+			return -1
+		}
+	}
+	return -1
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isNameChar(c byte) bool {
+	return isNameStart(c) || isDigit(c) || c == '-'
+}
+
+// parser consumes the token stream.
+type parser struct {
+	toks     []token
+	i        int
+	prefixes map[string]string
+}
+
+// Parse parses a SPARQL SELECT query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{p.cur().pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) keyword(words ...string) bool {
+	t := p.cur()
+	if t.kind != tKeyword {
+		return false
+	}
+	for _, w := range words {
+		if strings.EqualFold(t.text, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) punct(s string) bool {
+	t := p.cur()
+	return t.kind == tPunct && t.text == s
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.punct(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	p.i++
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Limit: -1}
+	for p.keyword("PREFIX") {
+		p.i++
+		t := p.next()
+		if t.kind != tPName && t.kind != tKeyword {
+			return nil, p.errf("expected prefix name")
+		}
+		name := strings.TrimSuffix(t.text, ":")
+		// "PREFIX foo:" lexes as a pName "foo:" (empty local); "PREFIX :"
+		// lexes as ":". Accept both, plus a bare keyword followed by ':'.
+		if t.kind == tKeyword {
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+		}
+		iriTok := p.next()
+		if iriTok.kind != tIRI {
+			return nil, p.errf("expected IRI after PREFIX")
+		}
+		p.prefixes[name] = strings.Trim(iriTok.text, "<>")
+	}
+	q.Prefixes = p.prefixes
+
+	if !p.keyword("SELECT") {
+		return nil, p.errf("expected SELECT")
+	}
+	p.i++
+	if p.keyword("DISTINCT") {
+		q.Distinct = true
+		p.i++
+	}
+	if p.punct("*") {
+		p.i++
+	} else {
+		for p.cur().kind == tVar || p.punct(",") {
+			if p.punct(",") {
+				p.i++
+				continue
+			}
+			q.Vars = append(q.Vars, p.next().text)
+		}
+		if q.Vars == nil {
+			return nil, p.errf("expected projection variables or *")
+		}
+	}
+	if p.keyword("WHERE") {
+		p.i++
+	}
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = g
+
+	for {
+		switch {
+		case p.keyword("LIMIT"):
+			p.i++
+			n, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			q.Limit = n
+		case p.keyword("OFFSET"):
+			p.i++
+			n, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			q.Offset = n
+		case p.keyword("ORDER"):
+			p.i++
+			if !p.keyword("BY") {
+				return nil, p.errf("expected BY after ORDER")
+			}
+			p.i++
+			for p.cur().kind == tVar || p.keyword("ASC", "DESC") {
+				if p.cur().kind == tKeyword {
+					desc := strings.EqualFold(p.cur().text, "DESC")
+					p.i++
+					if err := p.expectPunct("("); err != nil {
+						return nil, err
+					}
+					if p.cur().kind != tVar {
+						return nil, p.errf("expected variable in ORDER BY")
+					}
+					q.OrderBy = append(q.OrderBy, OrderKey{Var: p.next().text, Desc: desc})
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				q.OrderBy = append(q.OrderBy, OrderKey{Var: p.next().text})
+			}
+			if len(q.OrderBy) == 0 {
+				return nil, p.errf("expected sort keys after ORDER BY")
+			}
+		default:
+			if p.cur().kind != tEOF {
+				return nil, p.errf("unexpected token %q after query", p.cur().text)
+			}
+			return q, nil
+		}
+	}
+}
+
+func (p *parser) parseInt() (int, error) {
+	t := p.next()
+	if t.kind != tNumber {
+		return 0, p.errf("expected integer")
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+// parseGroup parses '{' ... '}' flattening plain nested groups and
+// collecting OPTIONALs, FILTERs, and UNION chains.
+func (p *parser) parseGroup() (*GroupPattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	g := &GroupPattern{}
+	for {
+		switch {
+		case p.punct("}"):
+			p.i++
+			return g, nil
+		case p.cur().kind == tEOF:
+			return nil, p.errf("unterminated group pattern")
+		case p.keyword("FILTER"):
+			p.i++
+			// Constraint := BrackettedExpression | BuiltInCall.
+			var e Expr
+			var err error
+			switch {
+			case p.punct("("):
+				e, err = p.parseBracketedExpr()
+			case p.cur().kind == tKeyword:
+				e, err = p.parseUnary()
+			default:
+				return nil, p.errf("FILTER requires a bracketed expression or built-in call")
+			}
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+		case p.keyword("OPTIONAL"):
+			p.i++
+			sub, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Optionals = append(g.Optionals, sub)
+		case p.punct("{"):
+			// Sub-group: either the head of a UNION chain or a plain group
+			// to flatten.
+			first, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			if p.keyword("UNION") {
+				alts := []*GroupPattern{first}
+				for p.keyword("UNION") {
+					p.i++
+					alt, err := p.parseGroup()
+					if err != nil {
+						return nil, err
+					}
+					alts = append(alts, alt)
+				}
+				g.Unions = append(g.Unions, alts)
+			} else {
+				g.Triples = append(g.Triples, first.Triples...)
+				g.Filters = append(g.Filters, first.Filters...)
+				g.Optionals = append(g.Optionals, first.Optionals...)
+				g.Unions = append(g.Unions, first.Unions...)
+			}
+		case p.punct("."):
+			p.i++
+		default:
+			if err := p.parseTriplesSameSubject(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// parseTriplesSameSubject parses subject predicateObjectList with ';' and
+// ',' abbreviations.
+func (p *parser) parseTriplesSameSubject(g *GroupPattern) error {
+	s, err := p.parseTermOrVar(false)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseVerb()
+		if err != nil {
+			return err
+		}
+		for {
+			o, err := p.parseTermOrVar(true)
+			if err != nil {
+				return err
+			}
+			g.Triples = append(g.Triples, TriplePattern{S: s, P: pred, O: o})
+			if p.punct(",") {
+				p.i++
+				continue
+			}
+			break
+		}
+		if p.punct(";") {
+			p.i++
+			if p.punct(".") || p.punct("}") { // dangling ';'
+				break
+			}
+			continue
+		}
+		break
+	}
+	return nil
+}
+
+func (p *parser) parseVerb() (TermOrVar, error) {
+	if p.keyword("a") {
+		p.i++
+		return Constant(rdf.TypeTerm), nil
+	}
+	return p.parseTermOrVar(false)
+}
+
+// parseTermOrVar parses one triple-pattern position. Literals are only
+// legal in object position.
+func (p *parser) parseTermOrVar(allowLiteral bool) (TermOrVar, error) {
+	t := p.cur()
+	switch t.kind {
+	case tVar:
+		p.i++
+		return Variable(t.text), nil
+	case tIRI:
+		p.i++
+		return Constant(rdf.Term(t.text)), nil
+	case tBlank:
+		p.i++
+		return Constant(rdf.Term(t.text)), nil
+	case tPName:
+		p.i++
+		term, err := p.expandPName(t)
+		if err != nil {
+			return TermOrVar{}, err
+		}
+		return Constant(term), nil
+	case tString:
+		if !allowLiteral {
+			return TermOrVar{}, p.errf("literal not allowed here")
+		}
+		p.i++
+		return Constant(p.finishLiteral(t.text)), nil
+	case tNumber:
+		if !allowLiteral {
+			return TermOrVar{}, p.errf("number not allowed here")
+		}
+		p.i++
+		return Constant(numberTerm(t.text)), nil
+	}
+	return TermOrVar{}, p.errf("expected term or variable, found %q", t.text)
+}
+
+// finishLiteral attaches an optional ^^<datatype> or @lang suffix to a
+// just-lexed string literal body.
+func (p *parser) finishLiteral(body string) rdf.Term {
+	if p.punct("^^") {
+		p.i++
+		t := p.cur()
+		switch t.kind {
+		case tIRI:
+			p.i++
+			return rdf.NewTypedLiteral(body, strings.Trim(t.text, "<>"))
+		case tPName:
+			p.i++
+			if term, err := p.expandPName(t); err == nil {
+				return rdf.NewTypedLiteral(body, term.IRIValue())
+			}
+		}
+		return rdf.NewLiteral(body)
+	}
+	if p.punct("@") {
+		p.i++
+		if p.cur().kind == tKeyword {
+			lang := p.next().text
+			return rdf.NewLangLiteral(body, lang)
+		}
+	}
+	return rdf.NewLiteral(body)
+}
+
+func numberTerm(text string) rdf.Term {
+	if strings.ContainsAny(text, ".eE") {
+		return rdf.NewTypedLiteral(text, rdf.XSDDouble)
+	}
+	return rdf.NewTypedLiteral(text, rdf.XSDInteger)
+}
+
+func (p *parser) expandPName(t token) (rdf.Term, error) {
+	i := strings.IndexByte(t.text, ':')
+	prefix, local := t.text[:i], t.text[i+1:]
+	base, ok := p.prefixes[prefix]
+	if !ok {
+		return "", &ParseError{t.pos, fmt.Sprintf("unknown prefix %q", prefix)}
+	}
+	return rdf.NewIRI(base + local), nil
+}
+
+// --- FILTER expressions (precedence climbing) ---
+
+func (p *parser) parseBracketedExpr() (Expr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.punct("||") {
+		p.i++
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "||", Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.punct("&&") {
+		p.i++
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "&&", Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := ""
+		if t := p.cur(); t.kind == tPunct {
+			switch t.text {
+			case "=", "!=", "<", "<=", ">", ">=":
+				op = t.text
+			}
+		}
+		if op == "" {
+			return l, nil
+		}
+		p.i++
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, Left: l, Right: r}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.punct("+") || p.punct("-") {
+		op := p.next().text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.punct("*") || p.punct("/") {
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, Left: l, Right: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.punct("!"):
+		p.i++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	case p.punct("-"):
+		p.i++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{X: x}, nil
+	case p.punct("("):
+		p.i++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	t := p.cur()
+	switch t.kind {
+	case tVar:
+		p.i++
+		return &VarExpr{Name: t.text}, nil
+	case tNumber:
+		p.i++
+		n, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return NumberConst(n), nil
+	case tString:
+		p.i++
+		term := p.finishLiteral(t.text)
+		return TermConst(term), nil
+	case tIRI:
+		p.i++
+		return TermConst(rdf.Term(t.text)), nil
+	case tPName:
+		p.i++
+		term, err := p.expandPName(t)
+		if err != nil {
+			return nil, err
+		}
+		return TermConst(term), nil
+	case tKeyword:
+		fn := strings.ToLower(t.text)
+		switch fn {
+		case "regex", "bound", "str", "lang", "datatype":
+			p.i++
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			for !p.punct(")") {
+				a, err := p.parseOr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.punct(",") {
+					p.i++
+				}
+			}
+			p.i++
+			call := &CallExpr{Fn: fn, Args: args}
+			call.precompile()
+			return call, nil
+		case "true":
+			p.i++
+			return &ConstExpr{Val: Value{Kind: VBool, Bool: true}}, nil
+		case "false":
+			p.i++
+			return &ConstExpr{Val: Value{Kind: VBool, Bool: false}}, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+// precompile caches the regex when the pattern and flags are constants.
+func (c *CallExpr) precompile() {
+	if c.Fn != "regex" || len(c.Args) < 2 {
+		return
+	}
+	pat, ok := c.Args[1].(*ConstExpr)
+	if !ok {
+		return
+	}
+	p := pat.Val.Str
+	if len(c.Args) > 2 {
+		fl, ok := c.Args[2].(*ConstExpr)
+		if !ok {
+			return
+		}
+		if strings.Contains(fl.Val.Str, "i") {
+			p = "(?i)" + p
+		}
+	}
+	if re, err := regexp.Compile(p); err == nil {
+		c.compiled = re
+	}
+}

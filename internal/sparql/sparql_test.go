@@ -1,0 +1,353 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseBasicBGP(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX ub: <http://lubm.org/>
+		SELECT ?x ?y WHERE {
+			?x ub:memberOf ?y .
+			?x a ub:Student .
+		}`)
+	if len(q.Vars) != 2 || q.Vars[0] != "x" || q.Vars[1] != "y" {
+		t.Errorf("Vars = %v", q.Vars)
+	}
+	if len(q.Where.Triples) != 2 {
+		t.Fatalf("triples = %d, want 2", len(q.Where.Triples))
+	}
+	tp := q.Where.Triples[0]
+	if !tp.S.IsVar() || tp.S.Var != "x" {
+		t.Errorf("subject = %v", tp.S)
+	}
+	if tp.P.Term != rdf.NewIRI("http://lubm.org/memberOf") {
+		t.Errorf("predicate = %v", tp.P)
+	}
+	// 'a' expands to rdf:type.
+	if q.Where.Triples[1].P.Term != rdf.TypeTerm {
+		t.Errorf("'a' expanded to %v", q.Where.Triples[1].P)
+	}
+}
+
+func TestParseSemicolonCommaShorthand(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX : <http://x/>
+		SELECT * WHERE {
+			?p :name "Alice" ;
+			   :knows ?q , ?r .
+		}`)
+	if len(q.Where.Triples) != 3 {
+		t.Fatalf("triples = %d, want 3", len(q.Where.Triples))
+	}
+	for _, tp := range q.Where.Triples {
+		if tp.S.Var != "p" {
+			t.Errorf("shared subject lost: %v", tp)
+		}
+	}
+	if q.Where.Triples[1].O.Var != "q" || q.Where.Triples[2].O.Var != "r" {
+		t.Errorf("comma objects: %v", q.Where.Triples)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := mustParse(t, `
+		PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+		SELECT * WHERE {
+			?x <http://x/age> 42 .
+			?x <http://x/height> 1.75 .
+			?x <http://x/name> "Bob"@en .
+			?x <http://x/id> "7"^^xsd:integer .
+		}`)
+	ts := q.Where.Triples
+	if ts[0].O.Term != rdf.NewTypedLiteral("42", rdf.XSDInteger) {
+		t.Errorf("int literal = %v", ts[0].O.Term)
+	}
+	if ts[1].O.Term != rdf.NewTypedLiteral("1.75", rdf.XSDDouble) {
+		t.Errorf("double literal = %v", ts[1].O.Term)
+	}
+	if ts[2].O.Term != rdf.NewLangLiteral("Bob", "en") {
+		t.Errorf("lang literal = %v", ts[2].O.Term)
+	}
+	if ts[3].O.Term != rdf.NewTypedLiteral("7", rdf.XSDInteger) {
+		t.Errorf("typed literal = %v", ts[3].O.Term)
+	}
+}
+
+func TestParseVariablePredicate(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?s ?p ?o . }`)
+	if !q.Where.Triples[0].P.IsVar() || q.Where.Triples[0].P.Var != "p" {
+		t.Errorf("predicate = %v", q.Where.Triples[0].P)
+	}
+	vars := q.ProjectedVars()
+	if len(vars) != 3 || vars[0] != "s" || vars[1] != "p" || vars[2] != "o" {
+		t.Errorf("ProjectedVars = %v", vars)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	q := mustParse(t, `
+		SELECT ?x WHERE {
+			?x <http://x/price> ?p .
+			FILTER (?p > 100 && ?p <= 500)
+		}`)
+	if len(q.Where.Filters) != 1 {
+		t.Fatalf("filters = %d", len(q.Where.Filters))
+	}
+	f := q.Where.Filters[0]
+	ok := EvalFilter(f, Bindings{"p": rdf.NewIntLiteral(300)})
+	if !ok {
+		t.Error("300 should pass")
+	}
+	if EvalFilter(f, Bindings{"p": rdf.NewIntLiteral(50)}) {
+		t.Error("50 should fail")
+	}
+	if EvalFilter(f, Bindings{"p": rdf.NewIntLiteral(501)}) {
+		t.Error("501 should fail")
+	}
+	// Unbound variable rejects the row.
+	if EvalFilter(f, Bindings{}) {
+		t.Error("unbound should fail")
+	}
+}
+
+func TestParseOptional(t *testing.T) {
+	q := mustParse(t, `
+		SELECT * WHERE {
+			?x <http://x/a> ?y .
+			OPTIONAL { ?x <http://x/b> ?z . }
+			OPTIONAL { ?x <http://x/c> ?w . FILTER (?w > 3) }
+		}`)
+	if len(q.Where.Optionals) != 2 {
+		t.Fatalf("optionals = %d", len(q.Where.Optionals))
+	}
+	if len(q.Where.Optionals[1].Filters) != 1 {
+		t.Error("filter inside OPTIONAL lost")
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := mustParse(t, `
+		SELECT ?x WHERE {
+			{ ?x <http://x/a> <http://x/1> . }
+			UNION
+			{ ?x <http://x/a> <http://x/2> . }
+			UNION
+			{ ?x <http://x/a> <http://x/3> . }
+		}`)
+	if len(q.Where.Unions) != 1 {
+		t.Fatalf("unions = %d", len(q.Where.Unions))
+	}
+	if len(q.Where.Unions[0]) != 3 {
+		t.Errorf("alternatives = %d, want 3", len(q.Where.Unions[0]))
+	}
+}
+
+func TestParsePlainNestedGroupFlattens(t *testing.T) {
+	q := mustParse(t, `
+		SELECT * WHERE {
+			{ ?x <http://x/a> ?y . }
+			?y <http://x/b> ?z .
+		}`)
+	if len(q.Where.Triples) != 2 {
+		t.Errorf("flattened triples = %d, want 2", len(q.Where.Triples))
+	}
+}
+
+func TestParseDistinctLimitOffsetOrderBy(t *testing.T) {
+	q := mustParse(t, `
+		SELECT DISTINCT ?x WHERE { ?x <http://x/a> ?y . }
+		ORDER BY ?x LIMIT 10 OFFSET 5`)
+	if !q.Distinct {
+		t.Error("DISTINCT lost")
+	}
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Errorf("limit/offset = %d/%d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT ?x`,
+		`SELECT ?x WHERE`,
+		`SELECT ?x WHERE {`,
+		`SELECT ?x WHERE { ?x }`,
+		`SELECT ?x WHERE { ?x <p> }`,
+		`SELECT ?x WHERE { "lit" <http://p> ?x . }`,
+		`SELECT ?x WHERE { ?x unknown:p ?y . }`,
+		`SELECT ?x WHERE { ?x <http://p> ?y . } TRAILING`,
+		`SELECT ?x WHERE { ?x <http://p ?y . }`,
+		`SELECT ?x WHERE { FILTER ?x } `,
+		`SELECT ?x WHERE { FILTER (?x }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestExprRegex(t *testing.T) {
+	q := mustParse(t, `
+		SELECT ?x WHERE {
+			?x <http://x/label> ?l .
+			FILTER regex(?l, "^ab.*z$", "i")
+		}`)
+	f := q.Where.Filters[0]
+	if !EvalFilter(f, Bindings{"l": rdf.NewLiteral("ABcdZ")}) {
+		t.Error("case-insensitive regex should match")
+	}
+	if EvalFilter(f, Bindings{"l": rdf.NewLiteral("xabz")}) {
+		t.Error("anchored regex should not match")
+	}
+}
+
+func TestExprBoundAndLogic(t *testing.T) {
+	q := mustParse(t, `
+		SELECT * WHERE {
+			?x <http://x/a> ?y .
+			OPTIONAL { ?x <http://x/b> ?z . }
+			FILTER (!bound(?z) || ?z < 5)
+		}`)
+	f := q.Where.Filters[0]
+	if !EvalFilter(f, Bindings{"x": rdf.NewIRI("http://x/1")}) {
+		t.Error("unbound ?z should pass via !bound")
+	}
+	if !EvalFilter(f, Bindings{"z": rdf.NewIntLiteral(3)}) {
+		t.Error("z=3 should pass")
+	}
+	if EvalFilter(f, Bindings{"z": rdf.NewIntLiteral(9)}) {
+		t.Error("z=9 should fail")
+	}
+}
+
+func TestExprArithmetic(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?x <http://x/v> ?a . FILTER (?a * 2 + 1 > 7) }`)
+	f := q.Where.Filters[0]
+	if !EvalFilter(f, Bindings{"a": rdf.NewIntLiteral(4)}) {
+		t.Error("4*2+1=9 > 7 should pass")
+	}
+	if EvalFilter(f, Bindings{"a": rdf.NewIntLiteral(3)}) {
+		t.Error("3*2+1=7 > 7 should fail")
+	}
+}
+
+func TestExprStringCompare(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?x <http://x/n> ?n . FILTER (?n = "Alice") }`)
+	f := q.Where.Filters[0]
+	if !EvalFilter(f, Bindings{"n": rdf.NewLiteral("Alice")}) {
+		t.Error("string equality should pass")
+	}
+	if EvalFilter(f, Bindings{"n": rdf.NewLiteral("Bob")}) {
+		t.Error("string inequality should fail")
+	}
+}
+
+func TestExprIRIEquality(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?x <http://x/p> ?y . FILTER (?y != <http://x/taboo>) }`)
+	f := q.Where.Filters[0]
+	if EvalFilter(f, Bindings{"y": rdf.NewIRI("http://x/taboo")}) {
+		t.Error("taboo IRI should fail")
+	}
+	if !EvalFilter(f, Bindings{"y": rdf.NewIRI("http://x/fine")}) {
+		t.Error("other IRI should pass")
+	}
+}
+
+func TestExprDivisionByZero(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?x <http://x/v> ?a . FILTER (1 / ?a > 0) }`)
+	f := q.Where.Filters[0]
+	if EvalFilter(f, Bindings{"a": rdf.NewIntLiteral(0)}) {
+		t.Error("division by zero must reject the row")
+	}
+	if !EvalFilter(f, Bindings{"a": rdf.NewIntLiteral(2)}) {
+		t.Error("1/2 > 0 should pass")
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?x <http://x/v> ?a . FILTER (?a > ?b && bound(?c)) }`)
+	set := map[string]bool{}
+	q.Where.Filters[0].Vars(set)
+	for _, v := range []string{"a", "b", "c"} {
+		if !set[v] {
+			t.Errorf("variable %s missing from Vars", v)
+		}
+	}
+}
+
+func TestGroupVars(t *testing.T) {
+	q := mustParse(t, `
+		SELECT * WHERE {
+			?x <http://x/a> ?y .
+			OPTIONAL { ?y <http://x/b> ?z . }
+			{ ?x <http://x/c> ?u . } UNION { ?x ?p ?w . }
+		}`)
+	set := map[string]bool{}
+	q.Where.Vars(set)
+	for _, v := range []string{"x", "y", "z", "u", "p", "w"} {
+		if !set[v] {
+			t.Errorf("variable %s missing", v)
+		}
+	}
+}
+
+func TestNestedOptional(t *testing.T) {
+	q := mustParse(t, `
+		SELECT * WHERE {
+			?x <http://x/a> ?y .
+			OPTIONAL {
+				?y <http://x/b> ?z .
+				OPTIONAL { ?z <http://x/c> ?w . }
+			}
+		}`)
+	if len(q.Where.Optionals) != 1 {
+		t.Fatal("outer optional missing")
+	}
+	if len(q.Where.Optionals[0].Optionals) != 1 {
+		t.Error("nested optional missing")
+	}
+}
+
+func TestCommentsInQuery(t *testing.T) {
+	q := mustParse(t, `
+		# leading comment
+		SELECT ?x WHERE {
+			?x <http://x/a> ?y . # trailing comment
+		}`)
+	if len(q.Where.Triples) != 1 {
+		t.Errorf("triples = %d", len(q.Where.Triples))
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?b <http://x/a> ?a . }`)
+	vars := q.ProjectedVars()
+	if len(vars) != 2 || vars[0] != "b" || vars[1] != "a" {
+		t.Errorf("ProjectedVars = %v (want first-mention order)", vars)
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse(`SELECT ?x WHERE { ?x <http://p> "unterminated }`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}

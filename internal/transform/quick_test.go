@@ -1,0 +1,185 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+// randTriples is the quick.Generator input for the transformation property
+// tests: a small random mix of plain, rdf:type, and rdfs:subClassOf
+// triples.
+type randTriples struct {
+	triples []rdf.Triple
+}
+
+// Generate implements quick.Generator.
+func (randTriples) Generate(r *rand.Rand, size int) reflect.Value {
+	if size > 40 {
+		size = 40
+	}
+	ent := func() rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://e/%d", r.Intn(12))) }
+	cls := func() rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://c/%d", r.Intn(6))) }
+	prd := func() rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://p/%d", r.Intn(4))) }
+
+	var ts []rdf.Triple
+	for i := 0; i < 3+r.Intn(size+1); i++ {
+		switch r.Intn(4) {
+		case 0:
+			ts = append(ts, rdf.Triple{S: ent(), P: rdf.TypeTerm, O: cls()})
+		case 1:
+			ts = append(ts, rdf.Triple{S: cls(), P: rdf.SubClassTerm, O: cls()})
+		default:
+			ts = append(ts, rdf.Triple{S: ent(), P: prd(), O: ent()})
+		}
+	}
+	return reflect.ValueOf(randTriples{ts})
+}
+
+// TestQuickTypeAwareEdgeConservation: the type-aware graph's edge count
+// equals the number of distinct non-type, non-subClassOf triples
+// (Definition 3: F_E is a bijection from T').
+func TestQuickTypeAwareEdgeConservation(t *testing.T) {
+	f := func(in randTriples) bool {
+		rest := map[rdf.Triple]bool{}
+		for _, tr := range in.triples {
+			switch tr.P.IRIValue() {
+			case rdf.RDFType, rdf.RDFSSubClass:
+			default:
+				rest[tr] = true
+			}
+		}
+		d := Build(in.triples, TypeAware)
+		return d.G.NumEdges() == len(rest)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDirectEdgeConservation: the direct graph keeps every distinct
+// triple as an edge.
+func TestQuickDirectEdgeConservation(t *testing.T) {
+	f := func(in randTriples) bool {
+		distinct := map[rdf.Triple]bool{}
+		for _, tr := range in.triples {
+			distinct[tr] = true
+		}
+		d := Build(in.triples, Direct)
+		return d.G.NumEdges() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLabelsContainDirectTypes: under the type-aware transformation,
+// every subject of an rdf:type triple carries at least its direct type
+// label, and Lsimple ⊆ L (the closure can only add labels).
+func TestQuickLabelsContainDirectTypes(t *testing.T) {
+	f := func(in randTriples) bool {
+		d := Build(in.triples, TypeAware)
+		for _, tr := range in.triples {
+			if tr.P.IRIValue() != rdf.RDFType {
+				continue
+			}
+			v, ok := d.VertexOf(tr.S)
+			if !ok {
+				return false
+			}
+			l, ok := d.LabelOf(tr.O)
+			if !ok {
+				return false
+			}
+			if !d.G.HasLabel(v, l) {
+				return false
+			}
+		}
+		// Lsimple subset of closure labels.
+		for v := uint32(0); int(v) < d.G.NumVertices(); v++ {
+			for _, l := range d.SimpleTypes(v) {
+				if !d.G.HasLabel(v, l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVertexMappingRoundTrip: term -> vertex -> term is the identity
+// for every vertex term, under both transformations.
+func TestQuickVertexMappingRoundTrip(t *testing.T) {
+	f := func(in randTriples) bool {
+		for _, mode := range []Mode{Direct, TypeAware} {
+			d := Build(in.triples, mode)
+			for v := uint32(0); int(v) < d.G.NumVertices(); v++ {
+				term := d.TermOfVertex(v)
+				back, ok := d.VertexOf(term)
+				if !ok || back != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubClassClosureSound: if the data says A ⊑ B (directly or
+// transitively) and x has type A, then x carries B's label after the
+// type-aware transformation.
+func TestQuickSubClassClosureSound(t *testing.T) {
+	f := func(in randTriples) bool {
+		// Collect the subclass closure naively.
+		up := map[rdf.Term][]rdf.Term{}
+		for _, tr := range in.triples {
+			if tr.P.IRIValue() == rdf.RDFSSubClass {
+				up[tr.S] = append(up[tr.S], tr.O)
+			}
+		}
+		var reach func(c rdf.Term, seen map[rdf.Term]bool)
+		reach = func(c rdf.Term, seen map[rdf.Term]bool) {
+			for _, s := range up[c] {
+				if !seen[s] {
+					seen[s] = true
+					reach(s, seen)
+				}
+			}
+		}
+		d := Build(in.triples, TypeAware)
+		for _, tr := range in.triples {
+			if tr.P.IRIValue() != rdf.RDFType {
+				continue
+			}
+			v, ok := d.VertexOf(tr.S)
+			if !ok {
+				return false
+			}
+			seen := map[rdf.Term]bool{}
+			reach(tr.O, seen)
+			for super := range seen {
+				l, ok := d.LabelOf(super)
+				if !ok {
+					return false
+				}
+				if !d.G.HasLabel(v, l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package transform converts RDF triple sets into the labeled graphs the
+// matching engine consumes, implementing both transformations studied in the
+// paper:
+//
+//   - Direct transformation (§3.2): every subject/object becomes a vertex,
+//     every triple becomes an edge — including rdf:type and rdfs:subClassOf
+//     triples. The paper sets L(v) = {v}; because the subset test
+//     L(u) ⊆ L(M(u)) then degenerates to an identity test, we represent it
+//     as ID pinning and leave label sets empty.
+//
+//   - Type-aware transformation (§4.1, Definition 3): rdf:type and
+//     rdfs:subClassOf triples are folded into vertex label sets. An entity's
+//     labels are its direct types plus all transitive superclasses; the
+//     type/subClassOf triples disappear from the edge set, shrinking both
+//     data and query graphs.
+//
+// The result bundles the graph with the mapping tables (term ↔ vertex ID,
+// type ↔ vertex label, predicate ↔ edge label) needed to translate SPARQL
+// queries and to materialize solutions, plus Lsimple — the non-transitive
+// direct-type sets used for the simple entailment regime (§4.2).
+package transform
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rdf"
+)
+
+// Mode selects the transformation.
+type Mode uint8
+
+const (
+	// Direct keeps the RDF graph's topology verbatim.
+	Direct Mode = iota
+	// TypeAware folds type information into vertex label sets.
+	TypeAware
+)
+
+func (m Mode) String() string {
+	if m == Direct {
+		return "direct"
+	}
+	return "type-aware"
+}
+
+// Data is a transformed RDF dataset: the labeled graph plus the mapping
+// tables of the transformation that produced it.
+type Data struct {
+	G    *graph.Graph
+	Mode Mode
+
+	verts  *rdf.Dictionary // term <-> vertex ID
+	labels *rdf.Dictionary // type term <-> vertex label (TypeAware only)
+	preds  *rdf.Dictionary // predicate term <-> edge label
+
+	// Lsimple: direct (non-transitive) type labels per vertex, CSR.
+	simpleOff []int
+	simple    []uint32
+}
+
+// Build transforms triples under the given mode.
+func Build(triples []rdf.Triple, mode Mode) *Data {
+	if mode == Direct {
+		return buildDirect(triples)
+	}
+	return buildTypeAware(triples)
+}
+
+// VertexOf resolves a term to its vertex ID.
+func (d *Data) VertexOf(t rdf.Term) (uint32, bool) { return d.verts.Lookup(t) }
+
+// TermOfVertex resolves a vertex ID back to its term.
+func (d *Data) TermOfVertex(v uint32) rdf.Term { return d.verts.Term(v) }
+
+// LabelOf resolves a type term to its vertex label. Under Direct mode there
+// are no labels and the lookup always fails.
+func (d *Data) LabelOf(t rdf.Term) (uint32, bool) {
+	if d.labels == nil {
+		return 0, false
+	}
+	return d.labels.Lookup(t)
+}
+
+// TermOfLabel resolves a vertex label back to the type term.
+func (d *Data) TermOfLabel(l uint32) rdf.Term { return d.labels.Term(l) }
+
+// EdgeLabelOf resolves a predicate term to its edge label.
+func (d *Data) EdgeLabelOf(t rdf.Term) (uint32, bool) { return d.preds.Lookup(t) }
+
+// TermOfEdgeLabel resolves an edge label back to the predicate term.
+func (d *Data) TermOfEdgeLabel(el uint32) rdf.Term { return d.preds.Term(el) }
+
+// NumTerms reports the number of distinct vertex terms.
+func (d *Data) NumTerms() int { return d.verts.Len() }
+
+// SimpleTypes returns the direct (non-transitive) type labels of v —
+// Lsimple(v) in the paper. Only populated under TypeAware.
+func (d *Data) SimpleTypes(v uint32) []uint32 {
+	if d.simpleOff == nil {
+		return nil
+	}
+	return d.simple[d.simpleOff[v]:d.simpleOff[v+1]]
+}
+
+// ClosureTypes returns the full label set L(v) (direct types plus transitive
+// superclasses). Only populated under TypeAware.
+func (d *Data) ClosureTypes(v uint32) []uint32 { return d.G.Labels(v) }
+
+func buildDirect(triples []rdf.Triple) *Data {
+	d := &Data{
+		Mode:  Direct,
+		verts: rdf.NewDictionary(),
+		preds: rdf.NewDictionary(),
+	}
+	b := graph.NewBuilder()
+	for _, t := range triples {
+		s := d.verts.Intern(t.S)
+		o := d.verts.Intern(t.O)
+		p := d.preds.Intern(t.P)
+		b.AddEdge(s, p, o)
+	}
+	d.G = b.Build()
+	return d
+}
+
+func buildTypeAware(triples []rdf.Triple) *Data {
+	d := &Data{
+		Mode:   TypeAware,
+		verts:  rdf.NewDictionary(),
+		labels: rdf.NewDictionary(),
+		preds:  rdf.NewDictionary(),
+	}
+
+	// Pass 1: partition triples, intern the label vocabulary, and record the
+	// subClassOf hierarchy among labels.
+	type typeEdge struct {
+		subj  rdf.Term
+		label uint32
+	}
+	var typeEdges []typeEdge              // T't: entity -> direct type label
+	superOf := make(map[uint32][]uint32)  // label -> direct superclass labels
+	classLabel := make(map[rdf.Term]bool) // terms that are class names
+	var rest []rdf.Triple                 // T'
+
+	for _, t := range triples {
+		switch t.P.IRIValue() {
+		case rdf.RDFType:
+			l := d.labels.Intern(t.O)
+			classLabel[t.O] = true
+			typeEdges = append(typeEdges, typeEdge{t.S, l})
+		case rdf.RDFSSubClass:
+			sub := d.labels.Intern(t.S)
+			sup := d.labels.Intern(t.O)
+			classLabel[t.S] = true
+			classLabel[t.O] = true
+			superOf[sub] = append(superOf[sub], sup)
+		default:
+			rest = append(rest, t)
+		}
+	}
+
+	// Transitive superclass closure per label (memoized DFS).
+	closure := make(map[uint32][]uint32, len(superOf))
+	var close func(l uint32, seen map[uint32]bool)
+	var expand func(l uint32) []uint32
+	close = func(l uint32, seen map[uint32]bool) {
+		for _, sup := range superOf[l] {
+			if !seen[sup] {
+				seen[sup] = true
+				close(sup, seen)
+			}
+		}
+	}
+	expand = func(l uint32) []uint32 {
+		if c, ok := closure[l]; ok {
+			return c
+		}
+		seen := map[uint32]bool{l: true}
+		close(l, seen)
+		out := make([]uint32, 0, len(seen))
+		for x := range seen {
+			out = append(out, x)
+		}
+		closure[l] = out
+		return out
+	}
+
+	// Pass 2: vertices are subjects/objects of T' plus subjects of T't
+	// (Definition 3's F_V domain). Class-only terms never become vertices.
+	b := graph.NewBuilder()
+	for _, t := range rest {
+		s := d.verts.Intern(t.S)
+		o := d.verts.Intern(t.O)
+		p := d.preds.Intern(t.P)
+		b.AddEdge(s, p, o)
+	}
+
+	// Direct types per vertex (Lsimple) and closure labels.
+	simpleSets := make(map[uint32][]uint32)
+	for _, te := range typeEdges {
+		v := d.verts.Intern(te.subj)
+		b.EnsureVertex(v)
+		simpleSets[v] = append(simpleSets[v], te.label)
+		for _, l := range expand(te.label) {
+			b.AddVertexLabel(v, l)
+		}
+	}
+
+	// A vertex that is itself a class with superclasses receives its
+	// superclasses' labels (Definition 3: any subClassOf path from the
+	// vertex's term). This only matters when class terms appear in T'.
+	for term := range classLabel {
+		v, ok := d.verts.Lookup(term)
+		if !ok {
+			continue
+		}
+		l, _ := d.labels.Lookup(term)
+		for _, sup := range superOf[l] {
+			for _, x := range expand(sup) {
+				b.AddVertexLabel(v, x)
+			}
+		}
+	}
+
+	d.G = b.Build()
+
+	// Freeze Lsimple as CSR (sorted, deduped per vertex).
+	d.simpleOff = make([]int, d.G.NumVertices()+1)
+	for v, ls := range simpleSets {
+		simpleSets[v] = dedup(ls)
+		d.simpleOff[v+1] = len(simpleSets[v])
+	}
+	for v := 0; v < d.G.NumVertices(); v++ {
+		d.simpleOff[v+1] += d.simpleOff[v]
+	}
+	d.simple = make([]uint32, d.simpleOff[d.G.NumVertices()])
+	for v, ls := range simpleSets {
+		copy(d.simple[d.simpleOff[v]:], ls)
+	}
+	return d
+}
+
+func dedup(s []uint32) []uint32 {
+	if len(s) < 2 {
+		return s
+	}
+	// Small sets: insertion sort + compact.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}

@@ -1,0 +1,285 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://example.org/" + s) }
+
+// paperTriples is the RDF graph of paper Figure 3.
+func paperTriples() []rdf.Triple {
+	tp := rdf.TypeTerm
+	sc := rdf.SubClassTerm
+	return []rdf.Triple{
+		{S: iri("student1"), P: tp, O: iri("GraduateStudent")},
+		{S: iri("GraduateStudent"), P: sc, O: iri("Student")},
+		{S: iri("student1"), P: iri("undergraduateDegreeFrom"), O: iri("univ1")},
+		{S: iri("univ1"), P: tp, O: iri("University")},
+		{S: iri("student1"), P: iri("memberOf"), O: iri("dept1.univ1")},
+		{S: iri("dept1.univ1"), P: tp, O: iri("Department")},
+		{S: iri("dept1.univ1"), P: iri("subOrganizationOf"), O: iri("univ1")},
+		{S: iri("student1"), P: iri("telephone"), O: rdf.NewLiteral("012-345-6789")},
+		{S: iri("student1"), P: iri("emailAddress"), O: rdf.NewLiteral("john@dept1.univ1.edu")},
+	}
+}
+
+// TestDirectTransformPaperFig4 checks the direct transformation against the
+// paper's Figure 4: 9 vertices, 9 edges, topology preserved, no labels.
+func TestDirectTransformPaperFig4(t *testing.T) {
+	d := Build(paperTriples(), Direct)
+	if got := d.G.NumVertices(); got != 9 {
+		t.Errorf("NumVertices = %d, want 9", got)
+	}
+	if got := d.G.NumEdges(); got != 9 {
+		t.Errorf("NumEdges = %d, want 9", got)
+	}
+	if d.Mode != Direct {
+		t.Errorf("Mode = %v", d.Mode)
+	}
+	// rdf:type triples are ordinary edges in direct mode.
+	s1, ok := d.VertexOf(iri("student1"))
+	if !ok {
+		t.Fatal("student1 not a vertex")
+	}
+	grad, ok := d.VertexOf(iri("GraduateStudent"))
+	if !ok {
+		t.Fatal("GraduateStudent not a vertex in direct mode")
+	}
+	tp, ok := d.EdgeLabelOf(rdf.TypeTerm)
+	if !ok {
+		t.Fatal("rdf:type not an edge label in direct mode")
+	}
+	if !d.G.HasEdge(s1, grad, tp) {
+		t.Error("missing student1 --rdf:type--> GraduateStudent edge")
+	}
+	// No vertex labels in direct mode.
+	if d.G.NumLabels() != 0 {
+		t.Errorf("NumLabels = %d, want 0", d.G.NumLabels())
+	}
+	if _, ok := d.LabelOf(iri("Student")); ok {
+		t.Error("LabelOf should fail in direct mode")
+	}
+	// Round trip.
+	if got := d.TermOfVertex(s1); got != iri("student1") {
+		t.Errorf("TermOfVertex = %q", got)
+	}
+}
+
+// TestTypeAwareTransformPaperFig7 checks the type-aware transformation
+// against the paper's Figure 7: 5 vertices, 5 edges, student1 labeled
+// {GraduateStudent, Student} via the subClassOf closure, and class terms no
+// longer vertices.
+func TestTypeAwareTransformPaperFig7(t *testing.T) {
+	d := Build(paperTriples(), TypeAware)
+	if got := d.G.NumVertices(); got != 5 {
+		t.Errorf("NumVertices = %d, want 5", got)
+	}
+	if got := d.G.NumEdges(); got != 5 {
+		t.Errorf("NumEdges = %d, want 5", got)
+	}
+
+	if _, ok := d.VertexOf(iri("GraduateStudent")); ok {
+		t.Error("class term became a vertex under type-aware transform")
+	}
+	if _, ok := d.VertexOf(iri("Student")); ok {
+		t.Error("class term became a vertex under type-aware transform")
+	}
+
+	s1, ok := d.VertexOf(iri("student1"))
+	if !ok {
+		t.Fatal("student1 not a vertex")
+	}
+	grad, ok1 := d.LabelOf(iri("GraduateStudent"))
+	stud, ok2 := d.LabelOf(iri("Student"))
+	if !ok1 || !ok2 {
+		t.Fatal("type labels missing")
+	}
+	if !d.G.HasLabel(s1, grad) || !d.G.HasLabel(s1, stud) {
+		t.Errorf("Labels(student1) = %v, want both GraduateStudent and Student (closure)",
+			d.G.Labels(s1))
+	}
+	// Lsimple holds only the direct type.
+	simple := d.SimpleTypes(s1)
+	if len(simple) != 1 || simple[0] != grad {
+		t.Errorf("SimpleTypes(student1) = %v, want [%d] (GraduateStudent only)", simple, grad)
+	}
+
+	univ, _ := d.VertexOf(iri("univ1"))
+	uLab, _ := d.LabelOf(iri("University"))
+	if !d.G.HasLabel(univ, uLab) {
+		t.Error("univ1 missing University label")
+	}
+
+	// rdf:type must not be an edge label.
+	if _, ok := d.EdgeLabelOf(rdf.TypeTerm); ok {
+		t.Error("rdf:type survived as an edge label")
+	}
+	// The remaining 5 predicates must be edge labels with the edges intact.
+	dept, _ := d.VertexOf(iri("dept1.univ1"))
+	for _, c := range []struct {
+		p    rdf.Term
+		s, o uint32
+	}{
+		{iri("undergraduateDegreeFrom"), s1, univ},
+		{iri("memberOf"), s1, dept},
+		{iri("subOrganizationOf"), dept, univ},
+	} {
+		el, ok := d.EdgeLabelOf(c.p)
+		if !ok {
+			t.Errorf("predicate %q missing", c.p)
+			continue
+		}
+		if !d.G.HasEdge(c.s, c.o, el) {
+			t.Errorf("missing edge %q", c.p)
+		}
+	}
+}
+
+// TestTypeAwareReductionMatchesFormula checks |V'| = |V| - |Vtype| (paper
+// §4.1): type-aware loses exactly the class vertices.
+func TestTypeAwareReductionMatchesFormula(t *testing.T) {
+	direct := Build(paperTriples(), Direct)
+	aware := Build(paperTriples(), TypeAware)
+	// Otype = {GraduateStudent, Student, University, Department}.
+	const numClassTerms = 4
+	if got, want := aware.G.NumVertices(), direct.G.NumVertices()-numClassTerms; got != want {
+		t.Errorf("|V| type-aware = %d, want %d", got, want)
+	}
+	// Edges removed: 4 (3 rdf:type + 1 subClassOf).
+	if got, want := aware.G.NumEdges(), direct.G.NumEdges()-4; got != want {
+		t.Errorf("|E| type-aware = %d, want %d", got, want)
+	}
+}
+
+func TestDeepSubclassClosure(t *testing.T) {
+	tp := rdf.TypeTerm
+	sc := rdf.SubClassTerm
+	triples := []rdf.Triple{
+		{S: iri("x"), P: tp, O: iri("A")},
+		{S: iri("A"), P: sc, O: iri("B")},
+		{S: iri("B"), P: sc, O: iri("C")},
+		{S: iri("C"), P: sc, O: iri("D")},
+		// Diamond: A also under B2 -> C.
+		{S: iri("A"), P: sc, O: iri("B2")},
+		{S: iri("B2"), P: sc, O: iri("C")},
+		{S: iri("x"), P: iri("p"), O: iri("y")},
+	}
+	d := Build(triples, TypeAware)
+	x, _ := d.VertexOf(iri("x"))
+	for _, cls := range []string{"A", "B", "B2", "C", "D"} {
+		l, ok := d.LabelOf(iri(cls))
+		if !ok {
+			t.Fatalf("label %s missing", cls)
+		}
+		if !d.G.HasLabel(x, l) {
+			t.Errorf("x missing closure label %s; labels = %v", cls, d.G.Labels(x))
+		}
+	}
+	if got := len(d.SimpleTypes(x)); got != 1 {
+		t.Errorf("SimpleTypes(x) size = %d, want 1", got)
+	}
+}
+
+func TestSubclassCycleTerminates(t *testing.T) {
+	tp := rdf.TypeTerm
+	sc := rdf.SubClassTerm
+	triples := []rdf.Triple{
+		{S: iri("x"), P: tp, O: iri("A")},
+		{S: iri("A"), P: sc, O: iri("B")},
+		{S: iri("B"), P: sc, O: iri("A")}, // cycle
+		{S: iri("x"), P: iri("p"), O: iri("y")},
+	}
+	d := Build(triples, TypeAware)
+	x, _ := d.VertexOf(iri("x"))
+	if len(d.G.Labels(x)) != 2 {
+		t.Errorf("Labels(x) = %v, want 2 labels", d.G.Labels(x))
+	}
+}
+
+func TestClassTermAppearingInData(t *testing.T) {
+	// A class used as a data object (e.g. someone "teaches" a class term).
+	tp := rdf.TypeTerm
+	sc := rdf.SubClassTerm
+	triples := []rdf.Triple{
+		{S: iri("x"), P: tp, O: iri("A")},
+		{S: iri("A"), P: sc, O: iri("B")},
+		{S: iri("y"), P: iri("about"), O: iri("A")},
+	}
+	d := Build(triples, TypeAware)
+	a, ok := d.VertexOf(iri("A"))
+	if !ok {
+		t.Fatal("class term appearing in T' must be a vertex")
+	}
+	// Definition 3: labels of the class vertex follow subClassOf paths of
+	// length >= 1, so A gets label B but not label A.
+	bLab, _ := d.LabelOf(iri("B"))
+	aLab, _ := d.LabelOf(iri("A"))
+	if !d.G.HasLabel(a, bLab) {
+		t.Errorf("class vertex A missing superclass label B; labels = %v", d.G.Labels(a))
+	}
+	if d.G.HasLabel(a, aLab) {
+		t.Errorf("class vertex A must not carry its own label; labels = %v", d.G.Labels(a))
+	}
+}
+
+func TestVertexWithOnlyTypeTriple(t *testing.T) {
+	// An entity mentioned only in a type triple must still become a vertex
+	// (S't is in the domain of F_V).
+	triples := []rdf.Triple{
+		{S: iri("lonely"), P: rdf.TypeTerm, O: iri("A")},
+	}
+	d := Build(triples, TypeAware)
+	v, ok := d.VertexOf(iri("lonely"))
+	if !ok {
+		t.Fatal("type-only subject lost")
+	}
+	l, _ := d.LabelOf(iri("A"))
+	if !d.G.HasLabel(v, l) {
+		t.Error("type-only subject missing its label")
+	}
+	if d.G.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d, want 0", d.G.NumEdges())
+	}
+}
+
+func TestLiteralVertices(t *testing.T) {
+	triples := []rdf.Triple{
+		{S: iri("x"), P: iri("name"), O: rdf.NewLiteral("Alice")},
+		{S: iri("y"), P: iri("name"), O: rdf.NewLiteral("Alice")},
+	}
+	for _, mode := range []Mode{Direct, TypeAware} {
+		d := Build(triples, mode)
+		lit, ok := d.VertexOf(rdf.NewLiteral("Alice"))
+		if !ok {
+			t.Fatalf("%v: literal not a vertex", mode)
+		}
+		// Both x and y point at the same literal vertex.
+		el, _ := d.EdgeLabelOf(iri("name"))
+		x, _ := d.VertexOf(iri("x"))
+		y, _ := d.VertexOf(iri("y"))
+		if !d.G.HasEdge(x, lit, el) || !d.G.HasEdge(y, lit, el) {
+			t.Errorf("%v: literal edges missing", mode)
+		}
+		if d.G.Degree(lit, graph.In) != 2 {
+			t.Errorf("%v: literal inDeg = %d, want 2", mode, d.G.Degree(lit, graph.In))
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	for _, mode := range []Mode{Direct, TypeAware} {
+		d := Build(nil, mode)
+		if d.G.NumVertices() != 0 || d.G.NumEdges() != 0 {
+			t.Errorf("%v: non-empty graph from empty input", mode)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Direct.String() != "direct" || TypeAware.String() != "type-aware" {
+		t.Error("Mode.String mismatch")
+	}
+}

@@ -1,0 +1,93 @@
+package turbohom
+
+import (
+	"repro/internal/core"
+	"repro/internal/transform"
+)
+
+// Transformation selects how RDF triples become the labeled graph the
+// matcher runs on (paper §3.2 vs §4.1).
+type Transformation int
+
+const (
+	// TypeAware folds rdf:type / rdfs:subClassOf information into vertex
+	// label sets, shrinking both data and query graphs — the paper's
+	// recommended transformation and the default.
+	TypeAware Transformation = iota
+	// Direct keeps the RDF graph's topology verbatim: every triple is an
+	// edge, including type triples.
+	Direct
+)
+
+func (t Transformation) String() string {
+	if t == Direct {
+		return "direct"
+	}
+	return "type-aware"
+}
+
+// Options configure a Store. The zero value (and nil) mean: type-aware
+// transformation, the full TurboHOM++ optimization suite, sequential
+// execution.
+type Options struct {
+	// Transformation selects the graph transformation.
+	Transformation Transformation
+
+	// Workers sets the number of goroutines that process starting vertices
+	// in parallel (paper §5.2). Values below 2 mean sequential execution.
+	Workers int
+
+	// DisableOptimizations reverts the matcher to the plain TurboHOM
+	// configuration: no +INT, NLF and degree filters active, per-region
+	// matching orders. Useful for reproducing the paper's ablations.
+	DisableOptimizations bool
+
+	// Matcher, when non-nil, overrides the optimization toggles entirely
+	// with an explicit core configuration (+INT, -NLF, -DEG, +REUSE
+	// individually; see core.Opts). Workers above is still applied.
+	Matcher *MatcherOpts
+}
+
+// MatcherOpts mirrors the paper's four optimization toggles (§4.3).
+type MatcherOpts struct {
+	// Intersect enables +INT: bulk IsJoinable via k-way intersection.
+	Intersect bool
+	// NoNLF disables the neighborhood label frequency filter (-NLF).
+	NoNLF bool
+	// NoDegree disables the degree filter (-DEG).
+	NoDegree bool
+	// ReuseOrder reuses the first candidate region's matching order
+	// (+REUSE).
+	ReuseOrder bool
+}
+
+// coreOpts resolves the configuration into matcher options.
+func (o *Options) coreOpts() core.Opts {
+	var opts core.Opts
+	switch {
+	case o == nil:
+		opts = core.Optimized()
+	case o.Matcher != nil:
+		opts = core.Opts{
+			Intersect:  o.Matcher.Intersect,
+			NoNLF:      o.Matcher.NoNLF,
+			NoDegree:   o.Matcher.NoDegree,
+			ReuseOrder: o.Matcher.ReuseOrder,
+		}
+	case o.DisableOptimizations:
+		opts = core.Baseline()
+	default:
+		opts = core.Optimized()
+	}
+	if o != nil {
+		opts.Workers = o.Workers
+	}
+	return opts
+}
+
+func (o *Options) mode() transform.Mode {
+	if o != nil && o.Transformation == Direct {
+		return transform.Direct
+	}
+	return transform.TypeAware
+}

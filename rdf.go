@@ -1,0 +1,34 @@
+package turbohom
+
+import "repro/internal/rdf"
+
+// Term is an RDF term in canonical N-Triples encoding: "<iri>", `"literal"`
+// (optionally with "^^<datatype>" or "@lang"), or "_:blank".
+type Term = rdf.Term
+
+// Triple is a single RDF statement.
+type Triple = rdf.Triple
+
+// Term constructors, re-exported from the RDF substrate.
+var (
+	// NewIRI builds an IRI term from a bare IRI string.
+	NewIRI = rdf.NewIRI
+	// NewBlank builds a blank-node term from a label.
+	NewBlank = rdf.NewBlank
+	// NewLiteral builds a plain string literal.
+	NewLiteral = rdf.NewLiteral
+	// NewTypedLiteral builds a literal with a datatype IRI.
+	NewTypedLiteral = rdf.NewTypedLiteral
+	// NewLangLiteral builds a language-tagged literal.
+	NewLangLiteral = rdf.NewLangLiteral
+	// NewIntLiteral builds an xsd:integer literal.
+	NewIntLiteral = rdf.NewIntLiteral
+	// NewFloatLiteral builds an xsd:double literal.
+	NewFloatLiteral = rdf.NewFloatLiteral
+)
+
+// RDFType is the rdf:type predicate IRI.
+const RDFType = rdf.RDFType
+
+// TypeTerm is the rdf:type predicate as a Term.
+var TypeTerm = rdf.TypeTerm
