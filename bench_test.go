@@ -9,6 +9,7 @@ package turbohom
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -46,6 +47,8 @@ var (
 		turboBase *engine.Engine // type-aware, unoptimized
 		rdf3x     *rdf3x.Store
 		bitmat    *bitmat.Store
+
+		store *Store // public API over the LUBM triples
 	}
 )
 
@@ -64,6 +67,8 @@ func fixtures() {
 		fix.turboBase = engine.New(fix.lubmAware, core.Baseline())
 		fix.rdf3x = rdf3x.Load(fix.lubm.Triples)
 		fix.bitmat = bitmat.Load(fix.lubm.Triples)
+
+		fix.store = New(fix.lubm.Triples, nil)
 	})
 }
 
@@ -232,4 +237,92 @@ func BenchmarkLoad(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		New(fix.lubm.Triples, nil)
 	}
+}
+
+// BenchmarkPrepareVsQuery contrasts the per-call cost of the one-shot
+// Query path (re-parse and re-plan on every execution) with a Prepared
+// executed many times: the amortization argument behind the prepared-query
+// API. Q1 is selective, so the front end dominates and the gap is the
+// parse+plan cost itself.
+func BenchmarkPrepareVsQuery(b *testing.B) {
+	fixtures()
+	q := datagen.LUBMQuery("Q1").Text
+	ctx := context.Background()
+
+	b.Run("QueryPerCall", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fix.store.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PrepareOnce", func(b *testing.B) {
+		p, err := fix.store.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Exec(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PrepareOnceCount", func(b *testing.B) {
+		p, err := fix.store.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Count(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStreamFirstK contrasts pulling the first k rows off a streaming
+// cursor — Close abandons the remaining candidate regions — with full
+// materialization of the same query. Q14 is the paper's big class scan, so
+// the full result set is large and the early-termination win is the point
+// of the cursor API.
+func BenchmarkStreamFirstK(b *testing.B) {
+	fixtures()
+	q := datagen.LUBMQuery("Q14").Text
+	ctx := context.Background()
+	p, err := fix.store.Prepare(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("FullMaterialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := p.Exec(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Len() == 0 {
+				b.Fatal("empty result")
+			}
+		}
+	})
+	b.Run("StreamFirst5", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows := p.Select(ctx)
+			for j := 0; j < 5; j++ {
+				if !rows.Next() {
+					b.Fatal("missing row")
+				}
+			}
+			if err := rows.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

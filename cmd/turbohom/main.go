@@ -13,13 +13,21 @@
 // the optimization suite (-noopt), set the worker count (-workers), print
 // only the solution count (-count), and repeat the query with the paper's
 // timing protocol (-time).
+//
+// Queries are prepared once and results stream through a cursor: rows print
+// as the matcher finds them, and both Ctrl-C and the -max-rows cap abandon
+// the remaining search instead of completing it.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	turbohom "repro"
 	"repro/internal/bench"
@@ -39,18 +47,24 @@ func main() {
 		workers   = flag.Int("workers", 1, "parallel workers over starting vertices")
 		countOnly = flag.Bool("count", false, "print only the solution count")
 		timeIt    = flag.Bool("time", false, "apply the paper's timing protocol and report elapsed ms")
-		maxRows   = flag.Int("max-rows", 20, "cap on printed rows (0 = unlimited)")
+		maxRows   = flag.Int("max-rows", 20, "stop after printing this many rows (0 = unlimited)")
 	)
 	flag.Parse()
 
-	if err := run(*dataFile, *dataset, *scale, *queryStr, *queryFile, *queryID,
+	// Ctrl-C / SIGTERM cancel the in-flight query: the cursor's context
+	// propagates into the matcher, which abandons its remaining candidate
+	// regions.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *dataFile, *dataset, *scale, *queryStr, *queryFile, *queryID,
 		*transf, *noopt, *workers, *countOnly, *timeIt, *maxRows); err != nil {
 		fmt.Fprintln(os.Stderr, "turbohom:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataFile, dataset string, scale int, queryStr, queryFile, queryID,
+func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, queryFile, queryID,
 	transf string, noopt bool, workers int, countOnly, timeIt bool, maxRows int) error {
 
 	opts := &turbohom.Options{Workers: workers, DisableOptimizations: noopt}
@@ -122,22 +136,36 @@ func run(dataFile, dataset string, scale int, queryStr, queryFile, queryID,
 		return fmt.Errorf("no query: use -query, -query-file, or -id")
 	}
 
+	// Parse and plan once; every execution below reuses the prepared query.
+	prepared, err := store.Prepare(query)
+	if err != nil {
+		return err
+	}
+
 	if timeIt {
-		n, err := store.Count(query)
+		n, err := prepared.Count(ctx)
 		if err != nil {
 			return err
 		}
+		var measureErr error
 		d := bench.Measure(func() {
-			if _, err := store.Count(query); err != nil {
-				panic(err)
+			if _, err := prepared.Count(ctx); err != nil && measureErr == nil {
+				measureErr = err
 			}
 		})
+		if measureErr != nil {
+			if errors.Is(measureErr, context.Canceled) {
+				fmt.Println("(timing interrupted)")
+				return nil
+			}
+			return measureErr
+		}
 		fmt.Printf("%d solutions in %s ms (5 runs, best/worst dropped)\n", n, bench.Fmt(d))
 		return nil
 	}
 
 	if countOnly {
-		n, err := store.Count(query)
+		n, err := prepared.Count(ctx)
 		if err != nil {
 			return err
 		}
@@ -145,23 +173,54 @@ func run(dataFile, dataset string, scale int, queryStr, queryFile, queryID,
 		return nil
 	}
 
-	res, err := store.Query(query)
-	if err != nil {
-		return err
-	}
-	fmt.Println(strings.Join(res.Vars, "\t"))
-	for i, row := range res.Rows {
-		if maxRows > 0 && i == maxRows {
-			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
-			break
+	// An uncapped drain on a parallel store wants throughput, not first-row
+	// latency: materialize with parallel matching instead of streaming.
+	if workers > 1 && maxRows <= 0 {
+		res, err := prepared.Exec(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Println("(interrupted)")
+				return nil
+			}
+			return err
 		}
+		fmt.Println(strings.Join(res.Vars, "\t"))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for j, t := range row {
+				cells[j] = string(t)
+			}
+			fmt.Println(strings.Join(cells, "\t"))
+		}
+		fmt.Printf("(%d rows)\n", res.Len())
+		return nil
+	}
+
+	rows := prepared.Select(ctx)
+	defer rows.Close()
+	fmt.Println(strings.Join(rows.Vars(), "\t"))
+	printed := 0
+	for rows.Next() {
+		row := rows.Row()
 		cells := make([]string, len(row))
 		for j, t := range row {
 			cells[j] = string(t)
 		}
 		fmt.Println(strings.Join(cells, "\t"))
+		printed++
+		if maxRows > 0 && printed == maxRows {
+			fmt.Printf("... (output capped at %d rows; remaining search abandoned)\n", maxRows)
+			return nil
+		}
 	}
-	fmt.Printf("(%d rows)\n", len(res.Rows))
+	if err := rows.Err(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Printf("(%d rows, interrupted)\n", printed)
+			return nil
+		}
+		return err
+	}
+	fmt.Printf("(%d rows)\n", printed)
 	return nil
 }
 

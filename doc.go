@@ -14,17 +14,61 @@
 //     TurboHOM++ matching engine with its full optimization suite (+INT,
 //     -NLF, -DEG, +REUSE; paper §4.3) and parallel execution (§5.2).
 //
+//   - Prepared amortizes the SPARQL front end: Store.Prepare parses and
+//     plans once, and the resulting Prepared is immutable and safe for
+//     concurrent execution from many goroutines.
+//
+//   - Rows streams solutions as the matcher finds them. The engine's
+//     early-termination machinery is wired straight into the cursor:
+//     closing a Rows (or cancelling its context) after k rows abandons the
+//     remaining candidate regions instead of scanning them, which is the
+//     paper's MaxSolutions idea surfaced as an API contract.
+//
 //   - Graph and Pattern expose the underlying matcher for generic labeled
 //     graphs: classic subgraph isomorphism and e-graph homomorphism
-//     (paper Definitions 1 and 2) without any RDF machinery.
+//     (paper Definitions 1 and 2) without any RDF machinery, both
+//     materialized (FindIsomorphisms) and streamed (Isomorphisms).
 //
 // # Quick start
 //
 //	store, err := turbohom.OpenFile("data.nt", nil)
 //	if err != nil { ... }
-//	res, err := store.Query(`
+//
+//	// Parse and plan once; execute many times, concurrently if you like.
+//	students, err := store.Prepare(`
+//	    PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
 //	    PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
 //	    SELECT ?x WHERE { ?x rdf:type ub:Student . }`)
+//	if err != nil { ... }
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//
+//	rows := students.Select(ctx)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var x turbohom.Term
+//	    if err := rows.Scan(&x); err != nil { ... }
+//	    fmt.Println(x)
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Or range directly with the iterator form:
+//
+//	for row, err := range students.All(ctx) {
+//	    if err != nil { ... }
+//	    fmt.Println(row[0])
+//	}
+//
+// # Streaming vs buffering
+//
+// Basic graph patterns, FILTER, OPTIONAL, UNION, LIMIT/OFFSET and DISTINCT
+// all stream: each row flows from the matcher's visitor callback to the
+// cursor without materializing the result set (DISTINCT keeps a seen-set
+// but emits incrementally). ORDER BY is the one buffering shape — every
+// solution must exist before the first row can be sorted out — but it keeps
+// the same cursor surface. Store.Query and Store.Count remain as one-shot
+// convenience wrappers over the prepared path.
 //
 // The internal packages hold the substrates: the matching engine
 // (internal/core), graph storage (internal/graph), transformations

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,14 +56,18 @@ func main() {
 		printMapping(m)
 	}
 
-	hom, err := g.FindHomomorphisms(p)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\ne-graph homomorphisms (injectivity dropped): %d\n", len(hom))
-	for _, m := range hom {
+	// The streaming form yields each mapping as the matcher finds it;
+	// breaking out of the loop would abandon the remaining search.
+	fmt.Println("\ne-graph homomorphisms (injectivity dropped):")
+	nHom := 0
+	for m, err := range g.Homomorphisms(context.Background(), p) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		printMapping(m)
+		nHom++
 	}
+	fmt.Printf("  (%d total)\n", nHom)
 
 	fmt.Println("\nThe two extra homomorphisms map u0 and u2 to the same data")
 	fmt.Println("vertex — the RDF pattern-matching semantics the paper obtains")

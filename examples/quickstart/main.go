@@ -1,10 +1,13 @@
 // Quickstart: build a tiny RDF dataset in memory, load it into a Store,
-// and run SPARQL queries — the five-minute tour of the public API.
+// and run SPARQL queries through the prepared/streaming API — the
+// five-minute tour of the public surface.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	turbohom "repro"
 )
@@ -33,10 +36,17 @@ func main() {
 	fmt.Printf("loaded %d triples -> %d vertices, %d edges (%s)\n\n",
 		st.Triples, st.Vertices, st.Edges, st.Transformation)
 
+	// Deadlines and cancellation propagate into the matcher: a query that
+	// exceeds the budget abandons its remaining candidate regions.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+
 	// The paper's Figure 5 query: students with an undergraduate degree
 	// from the university their department belongs to. Under the
 	// type-aware transformation this becomes a simple triangle (Figure 8).
-	const q = `
+	// Prepare parses and plans once; the Prepared is reusable and safe for
+	// concurrent execution.
+	triangle, err := store.Prepare(`
 		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
 		PREFIX ex: <http://example.org/>
 		SELECT ?X ?Y ?Z WHERE {
@@ -46,31 +56,53 @@ func main() {
 			?X ex:undergraduateDegreeFrom ?Y .
 			?X ex:memberOf ?Z .
 			?Z ex:subOrganizationOf ?Y .
-		}`
-	res, err := store.Query(q)
+		}`)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Streaming cursor: rows arrive as the matcher finds them, and Close
+	// (or a cancelled context) stops the search early.
 	fmt.Println("triangle query (paper Fig. 5):")
-	for _, row := range res.Rows {
-		fmt.Printf("  X=%s  Y=%s  Z=%s\n", row[0], row[1], row[2])
+	rows := triangle.Select(ctx)
+	for rows.Next() {
+		var x, y, z turbohom.Term
+		if err := rows.Scan(&x, &y, &z); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  X=%s  Y=%s  Z=%s\n", x, y, z)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
+
+	// The same Prepared can also be drained with the iterator form, or
+	// materialized, or counted — each execution reuses the cached plan.
+	if n, err := triangle.Count(ctx); err == nil {
+		fmt.Printf("  (count-only re-execution: %d solutions)\n", n)
 	}
 
-	// Variables work in any position, including the predicate.
-	res, err = store.Query(`
+	// Variables work in any position, including the predicate. All returns
+	// a range-over-func iterator; breaking out terminates the search.
+	facts, err := store.Prepare(`
 		PREFIX ex: <http://example.org/>
 		SELECT ?p ?o WHERE { ex:student1 ?p ?o . }`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\neverything about student1 (%d facts):\n", res.Len())
-	for _, row := range res.Rows {
+	fmt.Println("\neverything about student1:")
+	for row, err := range facts.All(ctx) {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %s -> %s\n", row[0], row[1])
 	}
 
 	// OPTIONAL and FILTER, evaluated the paper's way (§5.1): cheap filters
-	// during exploration, the rest after matching.
-	res, err = store.Query(`
+	// during exploration, the rest after matching. One-shot queries can
+	// skip Prepare with Store.Select (or the materializing Store.Query).
+	optRows, err := store.Select(ctx, `
 		PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
 		PREFIX ex: <http://example.org/>
 		SELECT ?X ?tel WHERE {
@@ -80,12 +112,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer optRows.Close()
 	fmt.Println("\nstudents with optional telephone:")
-	for _, row := range res.Rows {
+	for optRows.Next() {
+		row := optRows.Row()
 		tel := string(row[1])
 		if tel == "" {
 			tel = "(none)"
 		}
 		fmt.Printf("  %s  %s\n", row[0], tel)
+	}
+	if err := optRows.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

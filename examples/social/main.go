@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -74,12 +75,18 @@ func socialTriples() []turbohom.Triple {
 }
 
 func run(store *turbohom.Store, title, q string) {
-	res, err := store.Query(q)
+	// Stream the rows: they print as the matcher finds them, and an error
+	// (or a cancelled context) surfaces at the end of the range.
+	p, err := store.Prepare(q)
 	if err != nil {
 		log.Fatalf("%s: %v", title, err)
 	}
-	fmt.Printf("%s (%d rows)\n", title, res.Len())
-	for _, row := range res.Rows {
+	fmt.Println(title)
+	n := 0
+	for row, err := range p.All(context.Background()) {
+		if err != nil {
+			log.Fatalf("%s: %v", title, err)
+		}
 		fmt.Print("  ")
 		for i, cell := range row {
 			if i > 0 {
@@ -92,8 +99,9 @@ func run(store *turbohom.Store, title, q string) {
 			}
 		}
 		fmt.Println()
+		n++
 	}
-	fmt.Println()
+	fmt.Printf("(%d rows)\n\n", n)
 }
 
 func main() {

@@ -1,6 +1,9 @@
 package turbohom
 
 import (
+	"context"
+	"iter"
+
 	"repro/internal/core"
 	"repro/internal/graph"
 )
@@ -139,12 +142,46 @@ func (g *Graph) FindHomomorphisms(p *Pattern) ([][]int, error) {
 	return g.find(p, core.Homomorphism)
 }
 
+// Isomorphisms streams every subgraph isomorphism of p in g as it is found,
+// without materializing the result set. Breaking out of the range loop
+// terminates the search early (the matcher abandons its remaining candidate
+// regions), as does cancelling ctx — the context error is then yielded with
+// a nil mapping as the final pair.
+func (g *Graph) Isomorphisms(ctx context.Context, p *Pattern) iter.Seq2[[]int, error] {
+	return g.stream(ctx, p, core.Isomorphism)
+}
+
+// Homomorphisms streams every graph homomorphism of p in g; see
+// Isomorphisms for the iteration contract.
+func (g *Graph) Homomorphisms(ctx context.Context, p *Pattern) iter.Seq2[[]int, error] {
+	return g.stream(ctx, p, core.Homomorphism)
+}
+
+func (g *Graph) stream(ctx context.Context, p *Pattern, sem core.Semantics) iter.Seq2[[]int, error] {
+	return func(yield func([]int, error) bool) {
+		qg, ok := g.compile(p)
+		if !ok {
+			return
+		}
+		_, err := core.Stream(ctx, g.g, qg, sem, core.Optimized(), func(m core.Match) bool {
+			row := make([]int, len(m.Vertices))
+			for u, v := range m.Vertices {
+				row[u] = int(v)
+			}
+			return yield(row, nil)
+		})
+		if err != nil {
+			yield(nil, err)
+		}
+	}
+}
+
 func (g *Graph) find(p *Pattern, sem core.Semantics) ([][]int, error) {
 	qg, ok := g.compile(p)
 	if !ok {
 		return nil, nil
 	}
-	matches, err := core.Collect(g.g, qg, sem, core.Optimized())
+	matches, err := core.Collect(context.Background(), g.g, qg, sem, core.Optimized())
 	if err != nil {
 		return nil, err
 	}
@@ -187,5 +224,5 @@ func (g *Graph) profile(p *Pattern, sem core.Semantics) (ProfileResult, error) {
 	if !ok {
 		return ProfileResult{}, nil
 	}
-	return core.Profile(g.g, qg, sem, core.Optimized())
+	return core.Profile(context.Background(), g.g, qg, sem, core.Optimized())
 }

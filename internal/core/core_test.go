@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestPaperFig1Homomorphism(t *testing.T) {
 	g := fig1Data()
 	q := fig1Query()
 	for _, opts := range allOptCombos() {
-		sols, err := Collect(g, q, Homomorphism, opts)
+		sols, err := Collect(context.Background(), g, q, Homomorphism, opts)
 		if err != nil {
 			t.Fatalf("opts %+v: %v", opts, err)
 		}
@@ -123,7 +124,7 @@ func TestPaperFig1Isomorphism(t *testing.T) {
 	g := fig1Data()
 	q := fig1Query()
 	for _, opts := range allOptCombos() {
-		sols, err := Collect(g, q, Isomorphism, opts)
+		sols, err := Collect(context.Background(), g, q, Isomorphism, opts)
 		if err != nil {
 			t.Fatalf("opts %+v: %v", opts, err)
 		}
@@ -206,7 +207,7 @@ func TestPaperFig2MatchingOrder(t *testing.T) {
 
 	for _, sem := range []Semantics{Homomorphism, Isomorphism} {
 		for _, opts := range []Opts{Baseline(), Optimized()} {
-			n, err := Count(g, q, sem, opts)
+			n, err := Count(context.Background(), g, q, sem, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -221,7 +222,7 @@ func TestSingleVertexQuery(t *testing.T) {
 	g := fig1Data()
 	q := NewQueryGraph()
 	q.AddVertex([]uint32{lA}, NoID)
-	n, err := Count(g, q, Homomorphism, Optimized())
+	n, err := Count(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,13 +232,13 @@ func TestSingleVertexQuery(t *testing.T) {
 	// Pinned single vertex.
 	q2 := NewQueryGraph()
 	q2.AddVertex([]uint32{lA}, 3)
-	if n, _ := Count(g, q2, Homomorphism, Optimized()); n != 1 {
+	if n, _ := Count(context.Background(), g, q2, Homomorphism, Optimized()); n != 1 {
 		t.Errorf("pinned count = %d, want 1", n)
 	}
 	// Pin with mismatched label.
 	q3 := NewQueryGraph()
 	q3.AddVertex([]uint32{lC}, 3)
-	if n, _ := Count(g, q3, Homomorphism, Optimized()); n != 0 {
+	if n, _ := Count(context.Background(), g, q3, Homomorphism, Optimized()); n != 0 {
 		t.Errorf("mismatched pin count = %d, want 0", n)
 	}
 }
@@ -249,7 +250,7 @@ func TestPinnedVertexQuery(t *testing.T) {
 	u0 := q.AddVertex(nil, 2)
 	u1 := q.AddVertex([]uint32{lA}, NoID)
 	q.AddEdge(u0, u1, ea)
-	sols, err := Collect(g, q, Homomorphism, Optimized())
+	sols, err := Collect(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestSelfLoop(t *testing.T) {
 	q := NewQueryGraph()
 	u0 := q.AddVertex([]uint32{lA}, NoID)
 	q.AddEdge(u0, u0, ea)
-	n, err := Count(g, q, Homomorphism, Optimized())
+	n, err := Count(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestSelfLoop(t *testing.T) {
 	q2 := NewQueryGraph()
 	u := q2.AddVertex(nil, NoID)
 	q2.AddVarEdge(u, u, -1)
-	if n, _ := Count(g, q2, Homomorphism, Optimized()); n != 1 {
+	if n, _ := Count(context.Background(), g, q2, Homomorphism, Optimized()); n != 1 {
 		t.Errorf("wildcard self-loop count = %d, want 1", n)
 	}
 }
@@ -309,7 +310,7 @@ func TestPredVarConsistency(t *testing.T) {
 	z := q.AddVertex(nil, NoID)
 	q.AddVarEdge(x, y, 0)
 	q.AddVarEdge(y, z, 0)
-	n, err := Count(g, q, Homomorphism, Optimized())
+	n, err := Count(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestPredVarConsistency(t *testing.T) {
 	z = q2.AddVertex(nil, NoID)
 	q2.AddVarEdge(x, y, 0)
 	q2.AddVarEdge(y, z, 1)
-	if n, _ := Count(g, q2, Homomorphism, Optimized()); n != 4 {
+	if n, _ := Count(context.Background(), g, q2, Homomorphism, Optimized()); n != 4 {
 		t.Errorf("distinct predvar count = %d, want 4", n)
 	}
 }
@@ -340,7 +341,7 @@ func TestMultiEdgeWildcardBindings(t *testing.T) {
 	x := q.AddVertex(nil, NoID)
 	y := q.AddVertex(nil, NoID)
 	q.AddVarEdge(x, y, -1)
-	sols, err := Collect(g, q, Homomorphism, Optimized())
+	sols, err := Collect(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,14 +362,14 @@ func TestMaxSolutions(t *testing.T) {
 	q := fig1Query()
 	opts := Optimized()
 	opts.MaxSolutions = 2
-	n, err := Count(g, q, Homomorphism, opts)
+	n, err := Count(context.Background(), g, q, Homomorphism, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 2 {
 		t.Errorf("capped count = %d, want 2", n)
 	}
-	sols, _ := Collect(g, q, Homomorphism, opts)
+	sols, _ := Collect(context.Background(), g, q, Homomorphism, opts)
 	if len(sols) != 2 {
 		t.Errorf("capped collect = %d, want 2", len(sols))
 	}
@@ -378,7 +379,7 @@ func TestStreamStop(t *testing.T) {
 	g := fig1Data()
 	q := fig1Query()
 	calls := 0
-	n, err := Stream(g, q, Homomorphism, Optimized(), func(Match) bool {
+	n, err := Stream(context.Background(), g, q, Homomorphism, Optimized(), func(Match) bool {
 		calls++
 		return false // stop immediately
 	})
@@ -393,21 +394,21 @@ func TestStreamStop(t *testing.T) {
 func TestValidationErrors(t *testing.T) {
 	g := fig1Data()
 	// Empty query.
-	if _, err := Count(g, NewQueryGraph(), Homomorphism, Optimized()); err == nil {
+	if _, err := Count(context.Background(), g, NewQueryGraph(), Homomorphism, Optimized()); err == nil {
 		t.Error("empty query accepted")
 	}
 	// Disconnected query.
 	q := NewQueryGraph()
 	q.AddVertex([]uint32{lA}, NoID)
 	q.AddVertex([]uint32{lB}, NoID)
-	if _, err := Count(g, q, Homomorphism, Optimized()); err == nil {
+	if _, err := Count(context.Background(), g, q, Homomorphism, Optimized()); err == nil {
 		t.Error("disconnected query accepted")
 	}
 	// Out-of-range edge endpoints.
 	q2 := NewQueryGraph()
 	q2.AddVertex(nil, NoID)
 	q2.Edges = append(q2.Edges, QueryEdge{From: 0, To: 5, Label: 0, PredVar: -1})
-	if _, err := Count(g, q2, Homomorphism, Optimized()); err == nil {
+	if _, err := Count(context.Background(), g, q2, Homomorphism, Optimized()); err == nil {
 		t.Error("out-of-range edge accepted")
 	}
 }
@@ -415,13 +416,13 @@ func TestValidationErrors(t *testing.T) {
 func TestParallelMatchesSequential(t *testing.T) {
 	g := fig1Data()
 	q := fig1Query()
-	seq, err := Collect(g, q, Homomorphism, Optimized())
+	seq, err := Collect(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := Optimized()
 	opts.Workers = 4
-	par, err := Collect(g, q, Homomorphism, opts)
+	par, err := Collect(context.Background(), g, q, Homomorphism, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,7 +455,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 func TestEmptyDataGraph(t *testing.T) {
 	g := graph.NewBuilder().Build()
 	q := fig1Query()
-	n, err := Count(g, q, Homomorphism, Optimized())
+	n, err := Count(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -467,8 +468,8 @@ func TestOptimizedAndBaselineAgreeOnFig1(t *testing.T) {
 	g := fig1Data()
 	q := fig1Query()
 	for _, sem := range []Semantics{Homomorphism, Isomorphism} {
-		a, _ := Count(g, q, sem, Baseline())
-		b, _ := Count(g, q, sem, Optimized())
+		a, _ := Count(context.Background(), g, q, sem, Baseline())
+		b, _ := Count(context.Background(), g, q, sem, Optimized())
 		if a != b {
 			t.Errorf("sem %v: baseline %d != optimized %d", sem, a, b)
 		}
@@ -484,14 +485,14 @@ func TestPointQueryFastPath(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		opts := Optimized()
 		opts.Workers = workers
-		n, err := Count(g, q, Homomorphism, opts)
+		n, err := Count(context.Background(), g, q, Homomorphism, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if n != 2 { // v0 and v2 carry B
 			t.Fatalf("workers=%d: count = %d, want 2", workers, n)
 		}
-		sols, err := Collect(g, q, Homomorphism, opts)
+		sols, err := Collect(context.Background(), g, q, Homomorphism, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -508,7 +509,7 @@ func TestPointQueryRespectsLimit(t *testing.T) {
 	q.AddVertex(nil, NoID) // every vertex matches
 	opts := Optimized()
 	opts.MaxSolutions = 3
-	n, err := Count(g, q, Homomorphism, opts)
+	n, err := Count(context.Background(), g, q, Homomorphism, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -541,7 +542,7 @@ func TestStartVertexPrefersPinnedEntity(t *testing.T) {
 	h := q.AddVertex(nil, hub)
 	q.AddEdge(h, x, ea)
 
-	m := newMatcher(g, q, Homomorphism, Optimized())
+	m := newMatcher(context.Background(), g, q, Homomorphism, Optimized())
 	start, cands := m.startCandidates()
 	if start != h {
 		t.Fatalf("start vertex = %d, want pinned %d", start, h)
@@ -550,7 +551,7 @@ func TestStartVertexPrefersPinnedEntity(t *testing.T) {
 		t.Fatalf("candidates = %v, want [hub]", cands)
 	}
 
-	n, err := Count(g, q, Homomorphism, Optimized())
+	n, err := Count(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}

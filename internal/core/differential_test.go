@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -175,7 +176,7 @@ func TestDifferentialRandom(t *testing.T) {
 			want := bruteForce(g, q, sem)
 			// Rotate through opt combos to bound runtime while covering all.
 			opts := combos[trial%len(combos)]
-			got, err := Count(g, q, sem, opts)
+			got, err := Count(context.Background(), g, q, sem, opts)
 			if err != nil {
 				t.Fatalf("trial %d sem %v: %v", trial, sem, err)
 			}
@@ -184,7 +185,7 @@ func TestDifferentialRandom(t *testing.T) {
 					trial, sem, opts, got, want, q)
 			}
 			// Also check the fully optimized path every trial.
-			got2, err := Count(g, q, sem, Optimized())
+			got2, err := Count(context.Background(), g, q, sem, Optimized())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -206,7 +207,7 @@ func TestDifferentialParallel(t *testing.T) {
 		want := bruteForce(g, q, Homomorphism)
 		opts := Optimized()
 		opts.Workers = 4
-		got, err := Count(g, q, Homomorphism, opts)
+		got, err := Count(context.Background(), g, q, Homomorphism, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +252,7 @@ func TestDifferentialDenseLabels(t *testing.T) {
 			q.AddEdge(r.Intn(i), i, uint32(r.Intn(2)))
 		}
 		want := bruteForce(g, q, Homomorphism)
-		got, err := Count(g, q, Homomorphism, Optimized())
+		got, err := Count(context.Background(), g, q, Homomorphism, Optimized())
 		if err != nil {
 			t.Fatal(err)
 		}

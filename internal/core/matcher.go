@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
@@ -30,22 +31,25 @@ type Visitor func(Match) bool
 // Stream enumerates all matches of q in g sequentially, invoking visit for
 // each. It returns the number of solutions visited. Workers is ignored
 // (streaming is inherently ordered); use Collect or Count for parallelism.
-func Stream(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts, visit Visitor) (int, error) {
+// Cancelling ctx abandons the remaining candidate regions and returns
+// ctx.Err(); a visitor returning false stops cleanly with a nil error.
+func Stream(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts, visit Visitor) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
 	opts.Workers = 1
-	m := newMatcher(g, q, sem, opts)
+	m := newMatcher(ctx, g, q, sem, opts)
 	return m.run(visit)
 }
 
 // Collect enumerates all matches and returns them as deep copies. With
 // opts.Workers > 1 the starting vertices are processed in parallel.
-func Collect(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) ([]Match, error) {
+// Cancelling ctx abandons the remaining work and returns ctx.Err().
+func Collect(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) ([]Match, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	m := newMatcher(g, q, sem, opts)
+	m := newMatcher(ctx, g, q, sem, opts)
 	if opts.Workers > 1 {
 		return m.runParallelCollect()
 	}
@@ -59,11 +63,12 @@ func Collect(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) ([]Match, 
 
 // Count returns the number of matches without materializing them. With
 // opts.Workers > 1 the starting vertices are processed in parallel.
-func Count(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) (int, error) {
+// Cancelling ctx abandons the remaining work and returns ctx.Err().
+func Count(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
-	m := newMatcher(g, q, sem, opts)
+	m := newMatcher(ctx, g, q, sem, opts)
 	if opts.Workers > 1 {
 		return m.runParallelCount()
 	}
@@ -82,6 +87,7 @@ type nlfReq struct {
 
 // matcher holds the query-global immutable state of one match run.
 type matcher struct {
+	ctx  context.Context
 	g    *graph.Graph
 	q    *QueryGraph
 	sem  Semantics
@@ -104,8 +110,11 @@ type matcher struct {
 	qInDeg  []int
 }
 
-func newMatcher(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) *matcher {
-	m := &matcher{g: g, q: q, sem: sem, opts: opts, adjEdges: q.adjacentEdges()}
+func newMatcher(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) *matcher {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := &matcher{ctx: ctx, g: g, q: q, sem: sem, opts: opts, adjEdges: q.adjacentEdges()}
 	m.buildFilters()
 	return m
 }

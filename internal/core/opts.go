@@ -44,6 +44,12 @@ type Opts struct {
 	// StartVertexCandidates caps how many top-ranked query vertices are
 	// refined when choosing the start vertex. 0 uses the default (3).
 	StartVertexCandidates int
+	// Profile, when non-nil, accumulates effort counters (candidate regions
+	// explored, search-tree nodes visited) into the pointed-to result during
+	// the run. Only sequential execution (Workers < 2) updates it; parallel
+	// runs leave it untouched. Solutions is not filled in — it is the run's
+	// return value.
+	Profile *ProfileResult
 }
 
 // Optimized returns the full TurboHOM++ optimization set (+INT, -NLF,

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/graph"
+import (
+	"context"
+
+	"repro/internal/graph"
+)
 
 // ProfileResult reports where a sequential match run spent its effort — the
 // counters behind the paper's §3 profiling discussion (candidate region
@@ -11,7 +15,9 @@ type ProfileResult struct {
 	// StartCandidates is the number of starting data vertices (candidate
 	// regions attempted).
 	StartCandidates int
-	// Regions is the number of non-empty candidate regions.
+	// Regions is the number of non-empty candidate regions visited. An
+	// early-terminated run (MaxSolutions, a visitor returning false, or
+	// context cancellation) reports only the regions actually reached.
 	Regions int
 	// ExploredCandidates is the total number of candidate vertices stored
 	// across all regions — the paper's Σ|CR(u)| measure of exploration
@@ -26,55 +32,17 @@ type ProfileResult struct {
 
 // Profile runs the match sequentially and returns its effort counters along
 // with the solution count. It is a diagnostic tool: the run pays for
-// counting but is otherwise identical to Count.
-func Profile(g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) (ProfileResult, error) {
+// counting but is otherwise identical to Count. It shares the counting
+// machinery with Opts.Profile, which any sequential run can use directly.
+func Profile(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) (ProfileResult, error) {
 	var pr ProfileResult
 	if err := q.Validate(); err != nil {
 		return pr, err
 	}
 	opts.Workers = 1
-	m := newMatcher(g, q, sem, opts)
-
-	start, cands := m.startCandidates()
-	pr.StartVertex = start
-	pr.StartCandidates = len(cands)
-	if len(cands) == 0 {
-		return pr, nil
-	}
-
-	if len(m.q.Vertices) == 1 && len(m.q.Edges) == 0 {
-		pr.Regions = len(cands)
-		pr.SearchNodes = len(cands)
-		pr.Solutions = len(cands)
-		if opts.MaxSolutions > 0 && pr.Solutions > opts.MaxSolutions {
-			pr.Solutions = opts.MaxSolutions
-		}
-		return pr, nil
-	}
-
-	m.buildQueryTree(start)
-	st := newSearchState(m, nil, opts.MaxSolutions, nil)
-	st.profile = &pr
-	rg := newRegion(len(m.q.Vertices))
-	var plan *searchPlan
-	for _, vs := range cands {
-		rg.reset(vs)
-		if !m.explore(rg, start, vs) {
-			continue
-		}
-		pr.Regions++
-		for _, total := range rg.totals {
-			pr.ExploredCandidates += total
-		}
-		if plan == nil || !opts.ReuseOrder {
-			plan = m.buildPlan(rg)
-		}
-		st.rg, st.plan = rg, plan
-		st.search(0)
-		if st.stopped {
-			break
-		}
-	}
-	pr.Solutions = st.count
-	return pr, nil
+	opts.Profile = &pr
+	m := newMatcher(ctx, g, q, sem, opts)
+	n, err := m.run(nil)
+	pr.Solutions = n
+	return pr, err
 }

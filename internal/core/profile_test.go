@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -76,7 +77,7 @@ func fig2Instance() (*graph.Graph, *QueryGraph, int, int, int) {
 // 1 + 5*10 comparisons, far from the bad order's 10000*10*5.
 func TestPaperFig2ExplorationEffort(t *testing.T) {
 	g, q, numX, numY, numZ := fig2Instance()
-	pr, err := Profile(g, q, Isomorphism, Baseline())
+	pr, err := Profile(context.Background(), g, q, Isomorphism, Baseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +102,11 @@ func TestProfileCountsAgreeWithCount(t *testing.T) {
 	q := fig1Query()
 	for _, sem := range []Semantics{Homomorphism, Isomorphism} {
 		for _, opts := range []Opts{Baseline(), Optimized()} {
-			pr, err := Profile(g, q, sem, opts)
+			pr, err := Profile(context.Background(), g, q, sem, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := Count(g, q, sem, opts)
+			want, err := Count(context.Background(), g, q, sem, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +125,7 @@ func TestProfilePointQuery(t *testing.T) {
 	g := fig1Data()
 	q := NewQueryGraph()
 	q.AddVertex([]uint32{lC}, NoID)
-	pr, err := Profile(g, q, Homomorphism, Optimized())
+	pr, err := Profile(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestProfileEmptyCandidates(t *testing.T) {
 	g := fig1Data()
 	q := NewQueryGraph()
 	q.AddVertex([]uint32{lA, lB, lC}, NoID) // impossible label combination
-	pr, err := Profile(g, q, Homomorphism, Optimized())
+	pr, err := Profile(context.Background(), g, q, Homomorphism, Optimized())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,8 +8,16 @@ import (
 // run executes the full TurboHOM++ pipeline sequentially: choose a start
 // vertex, build the query tree, then per starting data vertex explore the
 // candidate region, determine (or reuse) the matching order, and search.
+// The matcher's context is checked between candidate regions (and inside
+// the search loop, see searchState), so cancellation abandons the regions
+// not yet explored.
 func (m *matcher) run(visit Visitor) (int, error) {
 	start, cands := m.startCandidates()
+	pr := m.opts.Profile
+	if pr != nil {
+		pr.StartVertex = start
+		pr.StartCandidates = len(cands)
+	}
 	if len(cands) == 0 {
 		return 0, nil
 	}
@@ -19,23 +27,42 @@ func (m *matcher) run(visit Visitor) (int, error) {
 	// class-scan queries like LUBM Q6/Q14.
 	if len(m.q.Vertices) == 1 && len(m.q.Edges) == 0 {
 		st := newSearchState(m, visit, m.opts.MaxSolutions, nil)
-		for _, v := range cands {
+		for i, v := range cands {
+			if i&1023 == 0 {
+				if err := m.ctx.Err(); err != nil {
+					return st.count, err
+				}
+			}
+			if pr != nil {
+				pr.Regions++
+				pr.SearchNodes++
+			}
 			st.mapping[0] = v
 			st.emit()
 			if st.stopped {
 				break
 			}
 		}
-		return st.count, nil
+		return st.count, st.err
 	}
 	m.buildQueryTree(start)
 	st := newSearchState(m, visit, m.opts.MaxSolutions, nil)
+	st.profile = pr
 	rg := newRegion(len(m.q.Vertices))
 	var plan *searchPlan
 	for _, vs := range cands {
+		if err := m.ctx.Err(); err != nil {
+			return st.count, err
+		}
 		rg.reset(vs)
 		if !m.explore(rg, start, vs) {
 			continue
+		}
+		if pr != nil {
+			pr.Regions++
+			for _, total := range rg.totals {
+				pr.ExploredCandidates += total
+			}
 		}
 		if plan == nil || !m.opts.ReuseOrder {
 			plan = m.buildPlan(rg)
@@ -46,7 +73,7 @@ func (m *matcher) run(visit Visitor) (int, error) {
 			break
 		}
 	}
-	return st.count, nil
+	return st.count, st.err
 }
 
 // runParallelCount distributes starting vertices across workers (paper
@@ -129,7 +156,7 @@ func (m *matcher) runParallel(collect bool) (int64, []Match, error) {
 			rg := newRegion(len(m.q.Vertices))
 			var plan *searchPlan
 			for {
-				if st.stopped {
+				if st.stopped || m.ctx.Err() != nil {
 					return
 				}
 				lo := int(cursor.Add(int64(chunk))) - chunk
@@ -140,6 +167,9 @@ func (m *matcher) runParallel(collect bool) (int64, []Match, error) {
 				if hi > len(cands) {
 					hi = len(cands)
 				}
+				// Cancellation is checked once per claimed chunk (above) and
+				// amortized inside the search loop; a per-candidate ctx.Err()
+				// here would put the context mutex on every worker's hot path.
 				for _, vs := range cands[lo:hi] {
 					if st.stopped {
 						return
@@ -159,6 +189,9 @@ func (m *matcher) runParallel(collect bool) (int64, []Match, error) {
 	}
 	wg.Wait()
 
+	if err := m.ctx.Err(); err != nil {
+		return total.Load(), nil, err
+	}
 	if !collect {
 		return total.Load(), nil, nil
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -10,6 +11,7 @@ import (
 // searchState is the per-worker mutable state of SubgraphSearch.
 type searchState struct {
 	m     *matcher
+	ctx   context.Context
 	visit Visitor
 
 	rg   *region
@@ -22,7 +24,9 @@ type searchState struct {
 
 	count   int
 	limit   int
+	steps   int // search-loop iterations since the last context check
 	stopped bool
+	err     error // context error that stopped the search (nil otherwise)
 
 	profile *ProfileResult // optional effort counters (Profile only)
 
@@ -41,6 +45,7 @@ func newSearchState(m *matcher, visit Visitor, limit int, shared *atomic.Int64) 
 	n := len(m.q.Vertices)
 	s := &searchState{
 		m:        m,
+		ctx:      m.ctx,
 		visit:    visit,
 		mapping:  make([]uint32, n),
 		edgeBind: make([]uint32, len(m.q.Edges)),
@@ -121,6 +126,15 @@ func (s *searchState) search(dc int) {
 
 	for _, v := range cands {
 		if s.stopped {
+			return
+		}
+		// Periodic cancellation check: cheap enough for the hot loop, and
+		// frequent enough that deadlines and Close() take effect promptly
+		// even inside one enormous candidate region.
+		s.steps++
+		if s.steps&2047 == 0 && s.ctx.Err() != nil {
+			s.err = s.ctx.Err()
+			s.stopped = true
 			return
 		}
 		if s.profile != nil {

@@ -5,9 +5,16 @@
 // inexpensive FILTERs into exploration, evaluates expensive FILTERs after
 // matching, and implements OPTIONAL as a SPARQL left join and UNION by
 // sub-query splitting (paper §5.1).
+//
+// Execution is organized around prepared queries: Prepare parses and plans
+// once, and the resulting PreparedQuery can be executed many times,
+// concurrently, either materialized (Exec) or streamed row by row through a
+// Rows cursor (Select). String-based Query/Count are thin wrappers that
+// prepare and execute in one step.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,6 +41,10 @@ func (e *Engine) Data() *transform.Data { return e.data }
 
 // SetSemantics overrides the matching semantics (the default is the RDF
 // e-graph homomorphism; Isomorphism gives classic subgraph isomorphism).
+// Prepared queries read the engine configuration at execution time, so
+// configure the engine fully before running queries: SetSemantics must not
+// be called concurrently with any execution, including executions of
+// previously prepared queries.
 func (e *Engine) SetSemantics(s core.Semantics) { e.sem = s }
 
 // Result is a materialized result set. Unbound positions (OPTIONAL) hold
@@ -43,82 +54,77 @@ type Result struct {
 	Rows [][]rdf.Term
 }
 
-// Query parses and executes a SPARQL query string.
-func (e *Engine) Query(src string) (*Result, error) {
+// PreparedQuery is a parsed and planned query. Preparation pays the SPARQL
+// front-end cost (parsing, UNION/type-wildcard expansion, plan compilation
+// against the dataset's dictionaries) exactly once; the prepared query is
+// immutable afterwards and safe for concurrent execution.
+type PreparedQuery struct {
+	e      *Engine
+	q      *sparql.Query
+	vars   []string
+	vi     *varIndex
+	groups []*flatGroup
+	plans  []*plan
+}
+
+// Prepare parses src and compiles its execution plan.
+func (e *Engine) Prepare(src string) (*PreparedQuery, error) {
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Exec(q)
+	return e.PrepareParsed(q)
 }
 
-// Count parses and executes a query, returning only the number of rows. It
-// uses a count-only fast path (no row materialization, no dictionary
-// lookups — the paper's timing protocol) whenever the query shape allows.
-func (e *Engine) Count(src string) (int, error) {
-	q, err := sparql.Parse(src)
-	if err != nil {
-		return 0, err
+// PrepareParsed compiles an already-parsed query. The query must not be
+// mutated afterwards.
+func (e *Engine) PrepareParsed(q *sparql.Query) (*PreparedQuery, error) {
+	pq := &PreparedQuery{
+		e:      e,
+		q:      q,
+		vars:   q.ProjectedVars(),
+		vi:     buildVarIndex(q),
+		groups: e.expandGroups(q.Where),
 	}
-	return e.ExecCount(q)
-}
-
-// Exec executes a parsed query.
-func (e *Engine) Exec(q *sparql.Query) (*Result, error) {
-	vars := q.ProjectedVars()
-	vi := buildVarIndex(q)
-	groups := e.expandGroups(q.Where)
-	var rows [][]rdf.Term
-	for _, g := range groups {
-		gr, err := e.execGroup(g, vi, nil)
+	for _, g := range pq.groups {
+		p, err := e.buildPlan(g, nil)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, gr...)
+		pq.plans = append(pq.plans, p)
 	}
-
-	// ORDER BY runs on the unprojected solutions so keys may reference
-	// non-projected variables.
-	if len(q.OrderBy) > 0 {
-		sparql.SortSolutions(rows, q.OrderBy, vi.slot)
-	}
-
-	// Projection.
-	out := make([][]rdf.Term, 0, len(rows))
-	for _, r := range rows {
-		proj := make([]rdf.Term, len(vars))
-		for i, v := range vars {
-			if idx, ok := vi.index[v]; ok {
-				proj[i] = r[idx]
-			}
-		}
-		out = append(out, proj)
-	}
-
-	if q.Distinct {
-		out = dedupRows(out)
-	}
-	if q.Offset > 0 {
-		if q.Offset >= len(out) {
-			out = nil
-		} else {
-			out = out[q.Offset:]
-		}
-	}
-	if q.Limit >= 0 && len(out) > q.Limit {
-		out = out[:q.Limit]
-	}
-	return &Result{Vars: vars, Rows: out}, nil
+	return pq, nil
 }
 
-// ExecCount executes a parsed query counting rows only.
-func (e *Engine) ExecCount(q *sparql.Query) (int, error) {
+// Vars returns the projection, in SELECT order. The slice is shared; do not
+// modify it.
+func (pq *PreparedQuery) Vars() []string { return pq.vars }
+
+// Exec runs the prepared query and materializes every row. Unlike Select
+// it lets Workers > 1 parallelize the matching: a consumer draining
+// everything wants throughput, not first-row latency.
+func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, error) {
+	var rows [][]rdf.Term
+	err := pq.stream(ctx, nil, false, func(row []rdf.Term) bool {
+		rows = append(rows, row)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Vars: pq.vars, Rows: rows}, nil
+}
+
+// Count runs the prepared query returning only the number of rows. It uses
+// a count-only fast path (no row materialization, no dictionary lookups —
+// the paper's timing protocol) whenever the query shape allows.
+func (pq *PreparedQuery) Count(ctx context.Context) (int, error) {
+	q := pq.q
 	if !q.Distinct && q.Limit < 0 && q.Offset == 0 {
-		groups := e.expandGroups(q.Where)
 		total := 0
 		fast := true
-		for _, g := range groups {
-			n, ok, err := e.tryFastCount(g)
+		for i, g := range pq.groups {
+			n, ok, err := pq.e.tryFastCount(ctx, pq.plans[i], g)
 			if err != nil {
 				return 0, err
 			}
@@ -132,21 +138,73 @@ func (e *Engine) ExecCount(q *sparql.Query) (int, error) {
 			return total, nil
 		}
 	}
-	res, err := e.Exec(q)
+	n := 0
+	err := pq.stream(ctx, nil, false, func([]rdf.Term) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// Query parses and executes a SPARQL query string.
+func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext parses and executes a SPARQL query string under ctx.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
+	pq, err := e.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Exec(ctx)
+}
+
+// Count parses and executes a query, returning only the number of rows.
+func (e *Engine) Count(src string) (int, error) {
+	return e.CountContext(context.Background(), src)
+}
+
+// CountContext parses and counts a query's rows under ctx.
+func (e *Engine) CountContext(ctx context.Context, src string) (int, error) {
+	pq, err := e.Prepare(src)
 	if err != nil {
 		return 0, err
 	}
-	return len(res.Rows), nil
+	return pq.Count(ctx)
+}
+
+// Select parses src and returns a streaming cursor over its rows.
+func (e *Engine) Select(ctx context.Context, src string) (*Rows, error) {
+	pq, err := e.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Select(ctx), nil
+}
+
+// Exec executes a parsed query (compatibility wrapper over PrepareParsed).
+func (e *Engine) Exec(q *sparql.Query) (*Result, error) {
+	pq, err := e.PrepareParsed(q)
+	if err != nil {
+		return nil, err
+	}
+	return pq.Exec(context.Background())
+}
+
+// ExecCount executes a parsed query counting rows only.
+func (e *Engine) ExecCount(q *sparql.Query) (int, error) {
+	pq, err := e.PrepareParsed(q)
+	if err != nil {
+		return 0, err
+	}
+	return pq.Count(context.Background())
 }
 
 // tryFastCount counts a flat group's solutions without materializing rows.
 // It applies when the group has no OPTIONALs, no post filters, and no
 // variable-type expansions, and no predicate variable spans components.
-func (e *Engine) tryFastCount(g *flatGroup) (int, bool, error) {
-	plan, err := e.buildPlan(g, nil)
-	if err != nil {
-		return 0, false, err
-	}
+func (e *Engine) tryFastCount(ctx context.Context, plan *plan, g *flatGroup) (int, bool, error) {
 	if plan.empty {
 		return 0, true, nil
 	}
@@ -162,7 +220,7 @@ func (e *Engine) tryFastCount(g *flatGroup) (int, bool, error) {
 	}
 	total := 1
 	for _, c := range plan.comps {
-		n, err := core.Count(e.data.G, c.qg, e.sem, e.opts)
+		n, err := core.Count(ctx, e.data.G, c.qg, e.sem, e.opts)
 		if err != nil {
 			return 0, false, err
 		}
@@ -172,25 +230,6 @@ func (e *Engine) tryFastCount(g *flatGroup) (int, bool, error) {
 		}
 	}
 	return total, true, nil
-}
-
-func dedupRows(rows [][]rdf.Term) [][]rdf.Term {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	var b strings.Builder
-	for _, r := range rows {
-		b.Reset()
-		for _, t := range r {
-			b.WriteString(string(t))
-			b.WriteByte('\x00')
-		}
-		k := b.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
-		}
-	}
-	return out
 }
 
 // varIndex assigns a dense slot to every variable in the query.

@@ -1,16 +1,21 @@
 package engine
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
 // execGroup evaluates a flat group under the query-wide variable index,
-// returning one row per solution. outer carries bindings from an enclosing
-// solution (OPTIONAL evaluation); those variables were already substituted
-// into the plan as constants and stay empty in the returned rows.
-func (e *Engine) execGroup(g *flatGroup, vi *varIndex, outer sparql.Bindings) ([][]rdf.Term, error) {
+// returning one row per solution. It is the materializing path used for
+// OPTIONAL sub-groups, whose plans depend on the enclosing row's bindings;
+// top-level groups stream through streamGroup instead. outer carries
+// bindings from an enclosing solution; those variables were already
+// substituted into the plan as constants and stay empty in the returned
+// rows.
+func (e *Engine) execGroup(ctx context.Context, g *flatGroup, vi *varIndex, outer sparql.Bindings) ([][]rdf.Term, error) {
 	p, err := e.buildPlan(g, outer)
 	if err != nil {
 		return nil, err
@@ -43,7 +48,7 @@ func (e *Engine) execGroup(g *flatGroup, vi *varIndex, outer sparql.Bindings) ([
 	// Join the components (cross product with conflict detection: a
 	// predicate variable can span components).
 	for _, c := range p.comps {
-		sols, err := core.Collect(e.data.G, c.qg, e.sem, e.opts)
+		sols, err := core.Collect(ctx, e.data.G, c.qg, e.sem, e.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -76,8 +81,8 @@ func (e *Engine) execGroup(g *flatGroup, vi *varIndex, outer sparql.Bindings) ([
 	}
 
 	// OPTIONAL groups: SPARQL left join, one group at a time.
-	for _, opt := range p.optionals {
-		rows, err = e.execOptional(opt, vi, rows, outer)
+	for _, flats := range p.optFlats {
+		rows, err = e.execOptional(ctx, flats, vi, rows, outer)
 		if err != nil {
 			return nil, err
 		}
@@ -234,18 +239,18 @@ func (e *Engine) allowedTypes(exp typeExpansion, row []rdf.Term, vi *varIndex, o
 	return cur, len(cur) > 0
 }
 
-// execOptional left-joins rows with an OPTIONAL group: rows that match
-// extend; rows that do not keep their bindings with the group's variables
-// null — emitted exactly once (the paper's qualify-and-exclude-duplicate
-// outcome via standard left-join semantics).
-func (e *Engine) execOptional(opt *sparql.GroupPattern, vi *varIndex, rows [][]rdf.Term, outer sparql.Bindings) ([][]rdf.Term, error) {
-	flats := e.expandGroups(opt)
+// execOptional left-joins rows with an OPTIONAL group (pre-expanded into
+// its flat alternatives): rows that match extend; rows that do not keep
+// their bindings with the group's variables null — emitted exactly once
+// (the paper's qualify-and-exclude-duplicate outcome via standard left-join
+// semantics).
+func (e *Engine) execOptional(ctx context.Context, flats []*flatGroup, vi *varIndex, rows [][]rdf.Term, outer sparql.Bindings) ([][]rdf.Term, error) {
 	var out [][]rdf.Term
 	for _, row := range rows {
 		inner := e.rowBindings(row, vi, outer)
 		var subRows [][]rdf.Term
 		for _, flat := range flats {
-			rs, err := e.execGroup(flat, vi, inner)
+			rs, err := e.execGroup(ctx, flat, vi, inner)
 			if err != nil {
 				return nil, err
 			}

@@ -17,7 +17,10 @@ type plan struct {
 	typeExps  []typeExpansion
 	post      []sparql.Expr
 	optionals []*sparql.GroupPattern
-	outer     sparql.Bindings // bindings inherited from the enclosing row
+	// optFlats caches each OPTIONAL's UNION/type-wildcard expansion, which
+	// does not depend on row bindings, so per-row left joins skip it.
+	optFlats [][]*flatGroup
+	outer    sparql.Bindings // bindings inherited from the enclosing row
 }
 
 // component is one connected component of the group's query graph.
@@ -57,6 +60,9 @@ type vertexInfo struct {
 // bound by an enclosing solution (OPTIONAL evaluation).
 func (e *Engine) buildPlan(g *flatGroup, outer sparql.Bindings) (*plan, error) {
 	p := &plan{e: e, outer: outer, optionals: g.optionals}
+	for _, opt := range g.optionals {
+		p.optFlats = append(p.optFlats, e.expandGroups(opt))
+	}
 	d := e.data
 
 	resolve := func(tv sparql.TermOrVar) sparql.TermOrVar {

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+)
+
+// Rows is a streaming cursor over a query's solutions, in the style of
+// database/sql: call Next until it returns false, read the current row with
+// Row or Scan, then check Err. Close releases the executing query early —
+// the matcher abandons its remaining candidate regions instead of scanning
+// them — and is safe to call at any point (always Close a cursor you do not
+// drain). A Rows must not be used from multiple goroutines concurrently;
+// run Select once per goroutine instead (PreparedQuery is concurrency-safe).
+type Rows struct {
+	vars   []string
+	ch     chan []rdf.Term
+	cancel context.CancelFunc
+
+	cur    []rdf.Term
+	err    error // written by the producer before it closes ch
+	done   bool  // consumer observed the channel close
+	closed bool  // Close was called
+
+	closeOnce sync.Once
+}
+
+// Select starts executing the prepared query and returns a cursor over its
+// rows. Execution runs in a background goroutine in lockstep with the
+// consumer: the matcher only advances while the consumer pulls, so closing
+// the cursor after k rows does on the order of k rows' search work.
+// Cancelling ctx (or its deadline expiring) aborts the query; Err then
+// returns the context error.
+func (pq *PreparedQuery) Select(ctx context.Context) *Rows {
+	return pq.SelectProfiled(ctx, nil)
+}
+
+// SelectProfiled is Select with matcher effort counters: prof, when
+// non-nil, accumulates the counters of the streamed matcher run (sequential
+// execution only). Read prof only after the cursor is exhausted or closed.
+func (pq *PreparedQuery) SelectProfiled(ctx context.Context, prof *core.ProfileResult) *Rows {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	r := &Rows{
+		vars:   pq.vars,
+		ch:     make(chan []rdf.Term),
+		cancel: cancel,
+	}
+	go func() {
+		truncated := false // emit aborted by cancellation (vs clean completion)
+		err := pq.stream(cctx, prof, true, func(row []rdf.Term) bool {
+			select {
+			case r.ch <- row:
+				return true
+			case <-cctx.Done():
+				truncated = true
+				return false
+			}
+		})
+		if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			err = nil // cancellation came from Close, not from the caller
+		}
+		if err == nil && truncated {
+			// Promote the caller's context error only when the stream was
+			// actually cut short: a result set that completed just before a
+			// deadline expired is a success, not a failure.
+			err = ctx.Err()
+		}
+		r.err = err
+		close(r.ch)
+	}()
+	return r
+}
+
+// All executes the prepared query as a range-over-func iterator, yielding
+// each projected row as the matcher finds it. Unlike Select there is no
+// producer goroutine: the pipeline is driven synchronously from the yield
+// callback, so per-row overhead is a function call, not a channel handoff.
+// Breaking out of the loop terminates the search; a context cancellation or
+// execution failure is yielded as the final pair with a nil row.
+func (pq *PreparedQuery) All(ctx context.Context) iter.Seq2[[]rdf.Term, error] {
+	return func(yield func([]rdf.Term, error) bool) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		stopped := false
+		err := pq.stream(ctx, nil, true, func(row []rdf.Term) bool {
+			if !yield(row, nil) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}
+
+// Vars returns the projection, in SELECT order. The slice is shared; do not
+// modify it.
+func (r *Rows) Vars() []string { return r.vars }
+
+// Next advances to the next row, blocking until one is available. It
+// returns false when the rows are exhausted, the cursor is closed, the
+// context is cancelled, or execution fails — check Err to tell the cases
+// apart.
+func (r *Rows) Next() bool {
+	if r.done || r.closed {
+		return false
+	}
+	row, ok := <-r.ch
+	if !ok {
+		r.done = true
+		return false
+	}
+	r.cur = row
+	return true
+}
+
+// Row returns the current row: one term per projected variable, in Vars
+// order, with unbound OPTIONAL positions holding the empty term. The slice
+// is owned by the caller and remains valid after the next call to Next.
+func (r *Rows) Row() []rdf.Term { return r.cur }
+
+// Scan copies the current row into dest, one pointer per projected
+// variable.
+func (r *Rows) Scan(dest ...*rdf.Term) error {
+	if r.cur == nil {
+		return errors.New("engine: Scan called before a successful Next")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("engine: Scan wants %d destinations for %d columns", len(dest), len(r.cur))
+	}
+	for i := range dest {
+		*dest[i] = r.cur[i]
+	}
+	return nil
+}
+
+// Err returns the error, if any, that terminated iteration: a context
+// cancellation or deadline, or an execution failure. It returns nil while
+// rows are still pending, after a clean exhaustion, and after a Close that
+// cut short a healthy iteration; an execution failure persists through
+// Close.
+func (r *Rows) Err() error {
+	if !r.done {
+		return nil
+	}
+	return r.err
+}
+
+// Close stops execution and releases the producing goroutine. It is
+// idempotent. Close returns Err so `defer rows.Close()` and error-checked
+// teardown compose.
+func (r *Rows) Close() error {
+	r.closeOnce.Do(func() {
+		r.closed = true
+		r.cancel()
+		for range r.ch { // release the producer, wait for its exit
+		}
+		r.done = true
+	})
+	return r.Err()
+}

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// RowVisitor consumes one projected solution row. Returning false stops
+// execution; the matcher abandons its remaining candidate regions.
+type RowVisitor func(row []rdf.Term) bool
+
+// stream runs the prepared query, pushing projected rows — after DISTINCT
+// deduplication, OFFSET skipping, and LIMIT truncation — to emit in pipeline
+// order. Plain pattern/FILTER/OPTIONAL/UNION queries stream: each row flows
+// from the matcher's visitor callback to emit without accumulating a result
+// set (DISTINCT keeps a seen-set but still emits incrementally). ORDER BY is
+// the one buffering shape: every solution must exist before the first row
+// can be emitted. prof, when non-nil, accumulates matcher effort counters
+// (sequential execution only). streamFirst forces the first component of
+// each group through the sequential streaming matcher even when Workers > 1
+// — cursor consumers want first-row latency and early termination, while
+// materializing consumers (Exec, Count) prefer parallel throughput.
+func (pq *PreparedQuery) stream(ctx context.Context, prof *core.ProfileResult, streamFirst bool, emit RowVisitor) error {
+	pj := &projector{pq: pq, emit: emit, offset: pq.q.Offset, limit: pq.q.Limit}
+	if pq.q.Distinct {
+		pj.seen = map[string]bool{}
+	}
+
+	if len(pq.q.OrderBy) > 0 {
+		// Buffering path. ORDER BY runs on the unprojected solutions so
+		// keys may reference non-projected variables.
+		var all [][]rdf.Term
+		for i, g := range pq.groups {
+			err := pq.e.streamGroup(ctx, pq.plans[i], g, pq.vi, prof, streamFirst, func(row []rdf.Term) bool {
+				all = append(all, row)
+				return true
+			})
+			if err != nil {
+				return err
+			}
+		}
+		sparql.SortSolutions(all, pq.q.OrderBy, pq.vi.slot)
+		for _, row := range all {
+			if !pj.push(row) {
+				break
+			}
+		}
+		return nil
+	}
+
+	for i, g := range pq.groups {
+		stopped := false
+		err := pq.e.streamGroup(ctx, pq.plans[i], g, pq.vi, prof, streamFirst, func(row []rdf.Term) bool {
+			if !pj.push(row) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stopped {
+			break
+		}
+	}
+	return nil
+}
+
+// projector applies the solution-modifier tail of the pipeline: projection
+// to the SELECT variables, DISTINCT, OFFSET, LIMIT. push reports whether the
+// caller should keep producing rows.
+type projector struct {
+	pq      *PreparedQuery
+	seen    map[string]bool // non-nil iff DISTINCT
+	offset  int
+	limit   int // -1 = unlimited
+	emitted int
+	emit    RowVisitor
+}
+
+func (pj *projector) push(row []rdf.Term) bool {
+	vars, vi := pj.pq.vars, pj.pq.vi
+	proj := make([]rdf.Term, len(vars))
+	for i, v := range vars {
+		if idx, ok := vi.index[v]; ok {
+			proj[i] = row[idx]
+		}
+	}
+	if pj.seen != nil {
+		k := rowKey(proj)
+		if pj.seen[k] {
+			return true
+		}
+		pj.seen[k] = true
+	}
+	if pj.offset > 0 {
+		pj.offset--
+		return true
+	}
+	if pj.limit >= 0 && pj.emitted >= pj.limit {
+		return false
+	}
+	if !pj.emit(proj) {
+		return false
+	}
+	pj.emitted++
+	return pj.limit < 0 || pj.emitted < pj.limit
+}
+
+func rowKey(row []rdf.Term) string {
+	var b strings.Builder
+	for _, t := range row {
+		b.WriteString(string(t))
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// streamGroup evaluates one flat group against its prebuilt plan, pushing
+// unprojected solution rows to emit. The first query-graph component
+// streams straight from the matcher's visitor; the remaining components are
+// materialized once and cross-joined per streamed solution. When
+// streamFirst is false and Workers > 1, the first component is materialized
+// in parallel instead (parallel matching is unordered, so a consumer that
+// drains everything anyway gains throughput and loses nothing).
+func (e *Engine) streamGroup(ctx context.Context, p *plan, g *flatGroup, vi *varIndex, prof *core.ProfileResult, streamFirst bool, emit RowVisitor) error {
+	if p.empty {
+		return nil
+	}
+
+	// Seed the row with the alternative's fixed bindings (wildcard-predicate
+	// rdf:type expansion); conflicting fixes make the alternative empty.
+	seed := make([]rdf.Term, len(vi.names))
+	for _, fb := range g.fixed {
+		slot := vi.slot(fb.name)
+		if slot < 0 {
+			continue
+		}
+		if seed[slot] != "" && seed[slot] != fb.term {
+			return nil
+		}
+		seed[slot] = fb.term
+	}
+
+	// tail finishes one fully-joined row: variable-type expansions, OPTIONAL
+	// left joins, post filters, then emit. It reports whether to continue.
+	tail := func(row []rdf.Term) (bool, error) {
+		rows := [][]rdf.Term{row}
+		var err error
+		for _, exp := range p.typeExps {
+			rows, err = e.expandTypes(rows, exp, vi, nil)
+			if err != nil {
+				return false, err
+			}
+			if len(rows) == 0 {
+				return true, nil
+			}
+		}
+		for _, flats := range p.optFlats {
+			rows, err = e.execOptional(ctx, flats, vi, rows, nil)
+			if err != nil {
+				return false, err
+			}
+		}
+		for _, r := range rows {
+			if len(p.post) > 0 {
+				b := e.rowBindings(r, vi, nil)
+				keep := true
+				for _, f := range p.post {
+					if !sparql.EvalFilter(f, b) {
+						keep = false
+						break
+					}
+				}
+				if !keep {
+					continue
+				}
+			}
+			if !emit(r) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	if len(p.comps) == 0 {
+		_, err := tail(seed)
+		return err
+	}
+
+	streamed := 1
+	if !streamFirst && e.opts.Workers > 1 {
+		streamed = 0
+	}
+
+	rest := make([][]core.Match, len(p.comps)-streamed)
+	for i, c := range p.comps[streamed:] {
+		sols, err := core.Collect(ctx, e.data.G, c.qg, e.sem, e.opts)
+		if err != nil {
+			return err
+		}
+		if len(sols) == 0 {
+			return nil // inner join: any empty component empties the group
+		}
+		rest[i] = sols
+	}
+
+	if streamed == 0 {
+		_, err := e.joinRest(p.comps, rest, 0, seed, vi, tail)
+		return err
+	}
+
+	opts := e.opts
+	if prof != nil {
+		opts.Profile = prof
+	}
+	var tailErr error
+	_, err := core.Stream(ctx, e.data.G, p.comps[0].qg, e.sem, opts, func(mt core.Match) bool {
+		row, ok := e.mergeSolution(seed, p.comps[0], mt, vi)
+		if !ok {
+			return true
+		}
+		cont, err := e.joinRest(p.comps[1:], rest, 0, row, vi, tail)
+		if err != nil {
+			tailErr = err
+			return false
+		}
+		return cont
+	})
+	if tailErr != nil {
+		return tailErr
+	}
+	return err
+}
+
+// joinRest cross-joins row against the materialized solutions of the given
+// components (conflict detection handles predicate variables spanning
+// components), invoking tail on every full row. It reports whether to
+// continue producing.
+func (e *Engine) joinRest(comps []*component, rest [][]core.Match, i int, row []rdf.Term, vi *varIndex, tail func([]rdf.Term) (bool, error)) (bool, error) {
+	if i == len(rest) {
+		return tail(row)
+	}
+	for _, sol := range rest[i] {
+		merged, ok := e.mergeSolution(row, comps[i], sol, vi)
+		if !ok {
+			continue
+		}
+		cont, err := e.joinRest(comps, rest, i+1, merged, vi, tail)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}

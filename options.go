@@ -46,6 +46,15 @@ type Options struct {
 	// with an explicit core configuration (+INT, -NLF, -DEG, +REUSE
 	// individually; see core.Opts). Workers above is still applied.
 	Matcher *MatcherOpts
+
+	// Limit caps how many solutions the matcher enumerates per basic graph
+	// pattern (the paper's MaxSolutions early-termination knob): once the
+	// cap is reached the search abandons its remaining candidate regions.
+	// It bounds matcher work, not the exact result size — joins, OPTIONAL
+	// and post-match FILTERs run downstream of the cap — so use a SPARQL
+	// LIMIT clause for precise row counts and Limit to put a hard ceiling
+	// on per-query effort. 0 means unlimited.
+	Limit int
 }
 
 // MatcherOpts mirrors the paper's four optimization toggles (§4.3).
@@ -81,6 +90,7 @@ func (o *Options) coreOpts() core.Opts {
 	}
 	if o != nil {
 		opts.Workers = o.Workers
+		opts.MaxSolutions = o.Limit
 	}
 	return opts
 }

@@ -1,8 +1,10 @@
 package turbohom
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"iter"
 	"os"
 
 	"repro/internal/engine"
@@ -48,6 +50,123 @@ func OpenFile(path string, opts *Options) (*Store, error) {
 	return Open(f, opts)
 }
 
+// Prepared is a SPARQL query parsed and planned once against a Store.
+// Preparation pays the front-end cost (parsing, UNION expansion, plan
+// compilation against the store's dictionaries) a single time; the prepared
+// query is immutable and safe for concurrent use, so one Prepared can serve
+// many goroutines executing Select/All/Count simultaneously.
+type Prepared struct {
+	s  *Store
+	pq *engine.PreparedQuery
+}
+
+// Prepare parses and plans a SPARQL SELECT query for repeated execution:
+// basic graph patterns with FILTER, OPTIONAL, UNION, DISTINCT, ORDER BY,
+// LIMIT and OFFSET, and variables in any triple position including the
+// predicate.
+func (s *Store) Prepare(query string) (*Prepared, error) {
+	pq, err := s.eng.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{s: s, pq: pq}, nil
+}
+
+// Vars returns the projection, in SELECT order. The slice is shared; do not
+// modify it.
+func (p *Prepared) Vars() []string { return p.pq.Vars() }
+
+// Select starts executing the prepared query and returns a streaming
+// cursor. Rows flow from the matcher as the consumer pulls them; closing
+// the cursor (or cancelling ctx) after k rows abandons the remaining search
+// instead of completing it. ORDER BY queries buffer and sort all solutions
+// before the first row is returned but keep the same cursor surface;
+// everything else — including DISTINCT, which deduplicates incrementally —
+// streams.
+func (p *Prepared) Select(ctx context.Context) *Rows {
+	return &Rows{r: p.pq.Select(ctx)}
+}
+
+// All executes the prepared query and returns a range-over-func iterator of
+// its rows: a non-nil error (context cancellation or execution failure) is
+// yielded as the final pair with a nil row. Breaking out of the loop
+// terminates the search early. The pipeline runs synchronously in the
+// consumer's goroutine — no cursor goroutine, no channel handoff — so this
+// is the cheapest way to drain a query.
+//
+//	for row, err := range p.All(ctx) {
+//	    if err != nil { ... }
+//	    use(row)
+//	}
+func (p *Prepared) All(ctx context.Context) iter.Seq2[[]Term, error] {
+	return p.pq.All(ctx)
+}
+
+// Exec executes the prepared query and materializes the full result set.
+func (p *Prepared) Exec(ctx context.Context) (*Results, error) {
+	res, err := p.pq.Exec(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{Vars: res.Vars, Rows: res.Rows}, nil
+}
+
+// Count executes the prepared query and returns only its solution count,
+// skipping row materialization entirely when the query shape allows — the
+// measurement mode of the paper's experiments.
+func (p *Prepared) Count(ctx context.Context) (int, error) {
+	return p.pq.Count(ctx)
+}
+
+// Rows is a streaming result cursor in the style of database/sql: call Next
+// until it returns false, read the current row with Row or Scan, then check
+// Err. Always Close a cursor you do not drain — Close releases the
+// executing query and is idempotent. A Rows must not be shared between
+// goroutines; run Select once per goroutine instead.
+type Rows struct {
+	r *engine.Rows
+}
+
+// Vars returns the projection, in SELECT order. The slice is shared; do not
+// modify it.
+func (r *Rows) Vars() []string { return r.r.Vars() }
+
+// Next advances to the next row, blocking until one is available. It
+// returns false when the rows are exhausted, the cursor is closed, the
+// context is cancelled, or execution fails — check Err to tell the cases
+// apart.
+func (r *Rows) Next() bool { return r.r.Next() }
+
+// Row returns the current row: one term per projected variable, in Vars
+// order. Unbound positions (OPTIONAL variables without a match) hold the
+// empty Term. The slice is owned by the caller and remains valid after the
+// next call to Next.
+func (r *Rows) Row() []Term { return r.r.Row() }
+
+// Scan copies the current row into dest, one pointer per projected
+// variable.
+func (r *Rows) Scan(dest ...*Term) error { return r.r.Scan(dest...) }
+
+// Err returns the error that terminated iteration: a context cancellation
+// or deadline, or an execution failure. It returns nil while rows are still
+// pending, after a clean exhaustion, and after a Close that cut short a
+// healthy iteration; an execution failure persists through Close.
+func (r *Rows) Err() error { return r.r.Err() }
+
+// Close stops execution early — the matcher abandons its remaining
+// candidate regions — and releases the cursor. It returns Err.
+func (r *Rows) Close() error { return r.r.Close() }
+
+// Select is Prepare followed by Prepared.Select, for one-shot streaming
+// queries.
+func (s *Store) Select(ctx context.Context, query string) (*Rows, error) {
+	p, err := s.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return p.Select(ctx), nil
+}
+
 // Results is a materialized SPARQL result set. Unbound positions (OPTIONAL
 // variables without a match) hold the empty Term.
 type Results struct {
@@ -60,22 +179,25 @@ type Results struct {
 // Len reports the number of solutions.
 func (r *Results) Len() int { return len(r.Rows) }
 
-// Query runs a SPARQL SELECT query: basic graph patterns with FILTER,
-// OPTIONAL, UNION, DISTINCT, ORDER BY, LIMIT and OFFSET, and variables in
-// any triple position including the predicate.
+// Query runs a SPARQL SELECT query and materializes every row. It is a
+// compatibility wrapper over Prepare + Exec; prefer Prepare for repeated
+// execution and Select for streaming consumption.
 func (s *Store) Query(query string) (*Results, error) {
-	res, err := s.eng.Query(query)
+	p, err := s.Prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return &Results{Vars: res.Vars, Rows: res.Rows}, nil
+	return p.Exec(context.Background())
 }
 
-// Count runs a query and returns only its solution count. For plain
-// pattern-matching queries this skips row materialization entirely — the
-// measurement mode of the paper's experiments.
+// Count runs a query and returns only its solution count. It is a
+// compatibility wrapper over Prepare + Prepared.Count.
 func (s *Store) Count(query string) (int, error) {
-	return s.eng.Count(query)
+	p, err := s.Prepare(query)
+	if err != nil {
+		return 0, err
+	}
+	return p.Count(context.Background())
 }
 
 // Stats summarizes the transformed dataset.
