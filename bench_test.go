@@ -10,6 +10,7 @@ package turbohom
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -325,4 +326,101 @@ func BenchmarkStreamFirstK(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkNECStar is the NEC reduction's acceptance benchmark: a
+// star-shaped query with repeated unlabeled neighbors (the LUBM Q4/Q7
+// shape — one subject, one predicate, several object variables) counted
+// with the reduction on and off. NEC-on enumerates one search path per hub
+// and totals the fanout^k expansions combinatorially; NEC-off pays the full
+// per-permutation search.
+func BenchmarkNECStar(b *testing.B) {
+	const (
+		hubs   = 64
+		fanout = 12
+	)
+	e := func(s string) Term { return NewIRI("http://ex.org/" + s) }
+	var ts []Triple
+	for h := 0; h < hubs; h++ {
+		hub := e(fmt.Sprintf("hub%d", h))
+		ts = append(ts, Triple{S: hub, P: TypeTerm, O: e("Hub")})
+		for f := 0; f < fanout; f++ {
+			ts = append(ts, Triple{S: hub, P: e("knows"), O: e(fmt.Sprintf("friend%d_%d", h, f))})
+		}
+	}
+	const q = `PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX ex: <http://ex.org/>
+SELECT ?h ?a ?b ?c WHERE { ?h rdf:type ex:Hub . ?h ex:knows ?a . ?h ex:knows ?b . ?h ex:knows ?c . }`
+
+	for _, v := range []struct {
+		name string
+		opts *Options
+	}{
+		{"NEC-on", &Options{Workers: 1}},
+		{"NEC-off", &Options{Workers: 1, NEC: NECOff}},
+	} {
+		store := New(ts, v.opts)
+		p, err := store.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := hubs * fanout * fanout * fanout
+		if n, err := p.Count(context.Background()); err != nil || n != want {
+			b.Fatalf("count = %d (%v), want %d", n, err, want)
+		}
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Count(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNECStarEnumerate measures the expansion path with a visitor (full
+// row materialization), where NEC still wins by sharing candidate
+// computation and join checks across class members.
+func BenchmarkNECStarEnumerate(b *testing.B) {
+	const (
+		hubs   = 32
+		fanout = 8
+	)
+	e := func(s string) Term { return NewIRI("http://ex.org/" + s) }
+	var ts []Triple
+	for h := 0; h < hubs; h++ {
+		hub := e(fmt.Sprintf("hub%d", h))
+		for f := 0; f < fanout; f++ {
+			ts = append(ts, Triple{S: hub, P: e("knows"), O: e(fmt.Sprintf("friend%d_%d", h, f))})
+		}
+	}
+	const q = `PREFIX ex: <http://ex.org/>
+SELECT ?h ?a ?b ?c WHERE { ?h ex:knows ?a . ?h ex:knows ?b . ?h ex:knows ?c . }`
+
+	for _, v := range []struct {
+		name string
+		opts *Options
+	}{
+		{"NEC-on", &Options{Workers: 1}},
+		{"NEC-off", &Options{Workers: 1, NEC: NECOff}},
+	} {
+		store := New(ts, v.opts)
+		p, err := store.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := p.Exec(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Len() != hubs*fanout*fanout*fanout {
+					b.Fatalf("rows = %d", res.Len())
+				}
+			}
+		})
+	}
 }

@@ -12,7 +12,10 @@
 //     transformation (paper §3.2, §4.1), and answers SPARQL queries —
 //     basic graph patterns with FILTER, OPTIONAL, and UNION — through the
 //     TurboHOM++ matching engine with its full optimization suite (+INT,
-//     -NLF, -DEG, +REUSE; paper §4.3) and parallel execution (§5.2).
+//     -NLF, -DEG, +REUSE; paper §4.3), the NEC query reduction (§2.2),
+//     and parallel execution (§5.2). Matching runs on all CPUs by default
+//     (Options.Workers = 0 means runtime.GOMAXPROCS); parallel results
+//     keep the sequential enumeration order.
 //
 //   - Prepared amortizes the SPARQL front end: Store.Prepare parses and
 //     plans once, and the resulting Prepared is immutable and safe for
@@ -69,6 +72,21 @@
 // solution must exist before the first row can be sorted out — but it keeps
 // the same cursor surface. Store.Query and Store.Count remain as one-shot
 // convenience wrappers over the prepared path.
+//
+// # NEC query reduction
+//
+// Star-shaped patterns that repeat a predicate over interchangeable
+// variables —
+//
+//	SELECT ?h ?a ?b ?c WHERE { ?h :knows ?a . ?h :knows ?b . ?h :knows ?c . }
+//
+// compile to equivalent query vertices that the matcher merges into one
+// Neighborhood Equivalence Class (paper §2.2) and expands by combination:
+// candidate lists and joins are computed once per class, not once per
+// member, and Count totals the expansions without enumerating them. The
+// reduction is on by default and result sets are identical either way; set
+// Options.NEC = NECOff to disable it (ablations, differential testing).
+// DESIGN.md describes the mechanism and its soundness argument.
 //
 // The internal packages hold the substrates: the matching engine
 // (internal/core), graph storage (internal/graph), transformations

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"sort"
 	"testing"
 
 	"repro/internal/graph"
@@ -65,15 +64,17 @@ func fig1Query() *QueryGraph {
 	return q
 }
 
-// allOptCombos enumerates every combination of the four optimizations.
+// allOptCombos enumerates every combination of the four optimizations,
+// each with the NEC reduction on and off.
 func allOptCombos() []Opts {
 	var out []Opts
-	for mask := 0; mask < 16; mask++ {
+	for mask := 0; mask < 32; mask++ {
 		out = append(out, Opts{
 			Intersect:  mask&1 != 0,
 			NoNLF:      mask&2 != 0,
 			NoDegree:   mask&4 != 0,
 			ReuseOrder: mask&8 != 0,
+			NoNEC:      mask&16 != 0,
 		})
 	}
 	return out
@@ -429,6 +430,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if len(par) != len(seq) {
 		t.Fatalf("parallel = %d solutions, sequential = %d", len(par), len(seq))
 	}
+	// A full parallel Collect gathers solutions per chunk and merges them in
+	// chunk order, so it must reproduce the sequential enumeration exactly —
+	// not merely as a set.
 	key := func(m Match) string {
 		s := ""
 		for _, v := range m.Vertices {
@@ -436,18 +440,29 @@ func TestParallelMatchesSequential(t *testing.T) {
 		}
 		return s
 	}
-	a, b := make([]string, 0), make([]string, 0)
-	for _, m := range seq {
-		a = append(a, key(m))
+	for i := range seq {
+		if key(par[i]) != key(seq[i]) {
+			t.Fatalf("solution order differs at %d: parallel %v vs sequential %v",
+				i, par[i].Vertices, seq[i].Vertices)
+		}
 	}
-	for _, m := range par {
-		b = append(b, key(m))
+
+	// Same check at a scale where workers actually race over many chunks.
+	gb, qb := bipartiteInstance(64)
+	seqB, err := Collect(context.Background(), gb, qb, Homomorphism, Optimized())
+	if err != nil {
+		t.Fatal(err)
 	}
-	sort.Strings(a)
-	sort.Strings(b)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("solution sets differ: %v vs %v", a, b)
+	parB, err := Collect(context.Background(), gb, qb, Homomorphism, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parB) != len(seqB) {
+		t.Fatalf("bipartite: parallel %d, sequential %d", len(parB), len(seqB))
+	}
+	for i := range seqB {
+		if parB[i].Vertices[0] != seqB[i].Vertices[0] || parB[i].Vertices[1] != seqB[i].Vertices[1] {
+			t.Fatalf("bipartite order differs at %d: %v vs %v", i, parB[i].Vertices, seqB[i].Vertices)
 		}
 	}
 }

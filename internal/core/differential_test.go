@@ -184,16 +184,118 @@ func TestDifferentialRandom(t *testing.T) {
 				t.Fatalf("trial %d sem %v opts %+v: engine %d, brute force %d\nquery: %+v",
 					trial, sem, opts, got, want, q)
 			}
-			// Also check the fully optimized path every trial.
-			got2, err := Count(context.Background(), g, q, sem, Optimized())
+			// Also check the fully optimized path every trial, with the NEC
+			// reduction both on (the default) and off.
+			for _, noNEC := range []bool{false, true} {
+				o := Optimized()
+				o.NoNEC = noNEC
+				got2, err := Count(context.Background(), g, q, sem, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got2 != want {
+					t.Fatalf("trial %d sem %v optimized (NoNEC=%v): engine %d, brute force %d\nquery: %+v",
+						trial, sem, noNEC, got2, want, q)
+				}
+			}
+		}
+	}
+}
+
+// randomStarQuery builds a hub with nLeaves leaves drawn from a tiny pool of
+// leaf templates, so equivalent leaves (and hence NEC classes) occur on most
+// trials — the shape TestDifferentialRandom's spanning trees rarely hit.
+func randomStarQuery(r *rand.Rand, nLeaves, nL, nEL, dataV int) *QueryGraph {
+	q := NewQueryGraph()
+	var hubLabels []uint32
+	if r.Intn(2) == 0 {
+		hubLabels = []uint32{uint32(r.Intn(nL))}
+	}
+	hub := q.AddVertex(hubLabels, NoID)
+	type tmpl struct {
+		labels []uint32
+		el     uint32
+		out    bool
+		back   bool
+	}
+	tmpls := make([]tmpl, 2)
+	for i := range tmpls {
+		var labels []uint32
+		for l := 0; l < nL; l++ {
+			if r.Intn(3) == 0 {
+				labels = append(labels, uint32(l))
+			}
+		}
+		tmpls[i] = tmpl{labels, uint32(r.Intn(nEL)), r.Intn(2) == 0, r.Intn(4) == 0}
+	}
+	for i := 0; i < nLeaves; i++ {
+		tm := tmpls[r.Intn(len(tmpls))]
+		leaf := q.AddVertex(tm.labels, NoID)
+		if tm.out {
+			q.AddEdge(hub, leaf, tm.el)
+		} else {
+			q.AddEdge(leaf, hub, tm.el)
+		}
+		if tm.back {
+			q.AddEdge(leaf, hub, uint32((int(tm.el)+1)%nEL))
+		}
+	}
+	return q
+}
+
+// TestDifferentialNEC cross-checks the NEC reduction on star-heavy random
+// queries: counts against brute force and full solution sets against the
+// unreduced matcher, under both semantics.
+func TestDifferentialNEC(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	reduced := 0
+	for trial := 0; trial < 80; trial++ {
+		dataV := 5 + r.Intn(8)
+		g := randomData(r, dataV, 3, 3, dataV*2+r.Intn(12))
+		q := randomStarQuery(r, 2+r.Intn(3), 3, 3, dataV)
+		if reduceNEC(q) != nil {
+			reduced++
+		}
+		for _, sem := range []Semantics{Homomorphism, Isomorphism} {
+			want := bruteForce(g, q, sem)
+			on := Optimized()
+			off := Optimized()
+			off.NoNEC = true
+			gotOn, err := Count(context.Background(), g, q, sem, on)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			gotOff, err := Count(context.Background(), g, q, sem, off)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if gotOn != want || gotOff != want {
+				t.Fatalf("trial %d sem %v: NEC on %d, off %d, brute force %d\nquery: %+v",
+					trial, sem, gotOn, gotOff, want, q)
+			}
+			solsOn, err := Collect(context.Background(), g, q, sem, on)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got2 != want {
-				t.Fatalf("trial %d sem %v optimized: engine %d, brute force %d\nquery: %+v",
-					trial, sem, got2, want, q)
+			solsOff, err := Collect(context.Background(), g, q, sem, off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := matchKeys(solsOn), matchKeys(solsOff)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d sem %v: solution sets sized %d vs %d", trial, sem, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("trial %d sem %v: solution sets differ at %d: %q vs %q\nquery: %+v",
+						trial, sem, i, a[i], b[i], q)
+				}
 			}
 		}
+	}
+	// The generator exists to exercise the reduction; make sure it does.
+	if reduced < 20 {
+		t.Fatalf("only %d/80 star trials produced an NEC reduction", reduced)
 	}
 }
 

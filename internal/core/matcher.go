@@ -62,8 +62,10 @@ func Collect(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, 
 }
 
 // Count returns the number of matches without materializing them. With
-// opts.Workers > 1 the starting vertices are processed in parallel.
-// Cancelling ctx abandons the remaining work and returns ctx.Err().
+// opts.Workers > 1 the starting vertices are processed in parallel. Counting
+// runs with no visitor, which lets the NEC reduction total equivalence-class
+// expansions combinatorially instead of enumerating them. Cancelling ctx
+// abandons the remaining work and returns ctx.Err().
 func Count(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
@@ -72,7 +74,7 @@ func Count(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, op
 	if opts.Workers > 1 {
 		return m.runParallelCount()
 	}
-	return m.run(func(Match) bool { return true })
+	return m.run(nil)
 }
 
 // nlfReq is one neighborhood-label-frequency requirement of a query vertex:
@@ -89,9 +91,15 @@ type nlfReq struct {
 type matcher struct {
 	ctx  context.Context
 	g    *graph.Graph
-	q    *QueryGraph
+	q    *QueryGraph // the graph being searched (NEC-reduced when red != nil)
 	sem  Semantics
 	opts Opts
+
+	// red is the NEC reduction in effect, or nil. When non-nil, q is the
+	// reduced graph; candidate regions, matching orders, and the search all
+	// operate on it, and solutions are expanded back into the original
+	// query's vertex space at emit time.
+	red *necReduction
 
 	adjEdges [][]int // per query vertex: incident edge indices
 
@@ -114,19 +122,37 @@ func newMatcher(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantic
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	m := &matcher{ctx: ctx, g: g, q: q, sem: sem, opts: opts, adjEdges: q.adjacentEdges()}
+	m := &matcher{ctx: ctx, g: g, q: q, sem: sem, opts: opts}
+	if !opts.NoNEC {
+		if red := reduceNEC(q); red != nil {
+			m.red = red
+			m.q = red.reduced
+		}
+	}
+	m.adjEdges = m.q.adjacentEdges()
 	m.buildFilters()
 	return m
 }
 
 // buildFilters precomputes the NLF requirements and degree thresholds.
+//
+// Under an NEC reduction the thresholds are computed from the ORIGINAL query
+// graph and projected onto the reduced vertices: a class neighbor (hub) keeps
+// the full strength of its k member edges (under isomorphism it must have k
+// distinct neighbors of the member type, not one), and a representative's
+// constraints equal any member's, since members are indistinguishable.
 func (m *matcher) buildFilters() {
-	n := len(m.q.Vertices)
-	m.nlf = make([][]nlfReq, n)
-	m.degOut = make([]int, n)
-	m.degIn = make([]int, n)
-	m.qOutDeg = make([]int, n)
-	m.qInDeg = make([]int, n)
+	src, srcAdj := m.q, m.adjEdges
+	if m.red != nil {
+		src = m.red.orig
+		srcAdj = src.adjacentEdges()
+	}
+	n := len(src.Vertices)
+	nlf := make([][]nlfReq, n)
+	degOut := make([]int, n)
+	degIn := make([]int, n)
+	qOutDeg := make([]int, n)
+	qInDeg := make([]int, n)
 
 	type reqKey struct {
 		dir graph.Dir
@@ -135,8 +161,8 @@ func (m *matcher) buildFilters() {
 	}
 	for u := 0; u < n; u++ {
 		counts := make(map[reqKey]int)
-		for _, ei := range m.adjEdges[u] {
-			e := m.q.Edges[ei]
+		for _, ei := range srcAdj[u] {
+			e := src.Edges[ei]
 			endpoints := [][2]int{}
 			if e.From == u {
 				endpoints = append(endpoints, [2]int{int(graph.Out), e.To})
@@ -146,7 +172,7 @@ func (m *matcher) buildFilters() {
 			}
 			for _, ep := range endpoints {
 				dir, nb := graph.Dir(ep[0]), ep[1]
-				nbLabels := m.q.Vertices[nb].Labels
+				nbLabels := src.Vertices[nb].Labels
 				if len(nbLabels) == 0 {
 					counts[reqKey{dir, e.Label, NoID}]++
 					continue
@@ -163,10 +189,10 @@ func (m *matcher) buildFilters() {
 				// Homomorphism").
 				c = 1
 			}
-			m.nlf[u] = append(m.nlf[u], nlfReq{k.dir, k.el, k.vl, c})
+			nlf[u] = append(nlf[u], nlfReq{k.dir, k.el, k.vl, c})
 		}
-		sort.Slice(m.nlf[u], func(i, j int) bool { // determinism
-			a, b := m.nlf[u][i], m.nlf[u][j]
+		sort.Slice(nlf[u], func(i, j int) bool { // determinism
+			a, b := nlf[u][i], nlf[u][j]
 			if a.dir != b.dir {
 				return a.dir < b.dir
 			}
@@ -179,26 +205,45 @@ func (m *matcher) buildFilters() {
 		// Degree thresholds.
 		outTypes := map[reqKey]bool{}
 		inTypes := map[reqKey]bool{}
-		for _, ei := range m.adjEdges[u] {
-			e := m.q.Edges[ei]
+		for _, ei := range srcAdj[u] {
+			e := src.Edges[ei]
 			if e.From == u {
-				m.qOutDeg[u]++
+				qOutDeg[u]++
 				outTypes[reqKey{graph.Out, e.Label, 0}] = true
 			}
 			if e.To == u {
-				m.qInDeg[u]++
+				qInDeg[u]++
 				inTypes[reqKey{graph.In, e.Label, 0}] = true
 			}
 		}
 		if m.sem == Isomorphism {
-			m.degOut[u] = m.qOutDeg[u]
-			m.degIn[u] = m.qInDeg[u]
+			degOut[u] = qOutDeg[u]
+			degIn[u] = qInDeg[u]
 		} else {
 			// Weakened: at least as many neighbors as distinct neighbor
 			// types in each direction.
-			m.degOut[u] = len(outTypes)
-			m.degIn[u] = len(inTypes)
+			degOut[u] = len(outTypes)
+			degIn[u] = len(inTypes)
 		}
+	}
+
+	if m.red == nil {
+		m.nlf, m.degOut, m.degIn, m.qOutDeg, m.qInDeg = nlf, degOut, degIn, qOutDeg, qInDeg
+		return
+	}
+	rn := len(m.q.Vertices)
+	m.nlf = make([][]nlfReq, rn)
+	m.degOut = make([]int, rn)
+	m.degIn = make([]int, rn)
+	m.qOutDeg = make([]int, rn)
+	m.qInDeg = make([]int, rn)
+	for rv := 0; rv < rn; rv++ {
+		ov := m.red.repOrig[rv]
+		m.nlf[rv] = nlf[ov]
+		m.degOut[rv] = degOut[ov]
+		m.degIn[rv] = degIn[ov]
+		m.qOutDeg[rv] = qOutDeg[ov]
+		m.qInDeg[rv] = qInDeg[ov]
 	}
 }
 
@@ -304,6 +349,13 @@ func (m *matcher) startCandidates() (int, []uint32) {
 	}
 	ranked := make([]scored, 0, n)
 	for u := 0; u < n; u++ {
+		// A deferred NEC representative is never bound by the search, so it
+		// cannot root the exploration. Its class neighbor is always
+		// unmerged (a vertex with two or more class members as neighbors
+		// fails the single-neighbor signature), so candidates remain.
+		if m.red != nil && m.red.classOf[u] >= 0 {
+			continue
+		}
 		deg := len(m.adjEdges[u])
 		if deg == 0 {
 			deg = 1

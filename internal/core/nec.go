@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the NEC (Neighborhood Equivalence Class) query
+// reduction TurboHOM++ inherits from TurboISO (paper §2.2, "Modifying
+// TurboISO for e-Graph Homomorphism"): query vertices that are
+// indistinguishable — same label set, no pin, no pushed-down predicate, and
+// an identical multiset of constant-label edges to one shared neighbor —
+// are merged into a single representative vertex. The matcher then searches
+// the reduced graph and expands each reduced solution by combination:
+// independent Cartesian binding under homomorphism (class members bind
+// freely, paper §2.2 notes the reduction is *more* powerful there) and
+// injective k-permutations under isomorphism. A star pattern with k
+// equivalent leaves costs one search path per region instead of |C|^k.
+//
+// Mergeability is deliberately restricted to single-neighbor classes: every
+// constraint on a class member is then resolved no later than the
+// representative's position in the matching order (its lone neighbor is its
+// query-tree parent, and parallel edges to the parent are non-tree edges
+// resolved at the child), so the class candidate set snapshotted there is
+// exact and deferred expansion at emit time is sound. Classes spanning
+// multiple neighbors would need cross-position re-validation and are left
+// unmerged.
+
+// necClass is one nontrivial equivalence class. members lists the original
+// query vertex indices in ascending order; members[0] is the representative
+// that survives into the reduced graph.
+type necClass struct {
+	members []int
+}
+
+// necReduction maps between an original query graph and its NEC-reduced
+// form.
+type necReduction struct {
+	orig    *QueryGraph
+	reduced *QueryGraph
+	classes []necClass
+
+	vertexMap []int // original vertex -> reduced vertex (members map to their rep)
+	edgeMap   []int // original edge -> reduced edge, -1 for dropped member edges
+	repOrig   []int // reduced vertex -> the original vertex it was built from
+	classOf   []int // reduced vertex -> class index, -1 when unmerged
+	classSize []int // reduced vertex -> member count (1 when unmerged)
+}
+
+// necSignature returns the equivalence-class key of query vertex u, or ""
+// when u is not mergeable. Two vertices merge iff they produce the same
+// non-empty signature: same sorted label set and the same multiset of
+// (direction, edge label) constant edges, all incident to one shared
+// neighbor.
+func necSignature(q *QueryGraph, adj [][]int, u int) string {
+	qv := &q.Vertices[u]
+	if qv.ID != NoID || qv.Pred != nil || len(adj[u]) == 0 {
+		return ""
+	}
+	neighbor := -1
+	parts := make([]string, 0, len(adj[u]))
+	for _, ei := range adj[u] {
+		e := q.Edges[ei]
+		// Wildcard edges bind their own Me label (and may share predicate
+		// variables); self-loops constrain the vertex against itself. Both
+		// break the "identical constraints" premise of deferred expansion.
+		if e.Wildcard() || e.PredVar >= 0 || e.From == e.To {
+			return ""
+		}
+		w, dir := e.To, byte('>')
+		if e.To == u {
+			w, dir = e.From, '<'
+		}
+		if neighbor == -1 {
+			neighbor = w
+		} else if neighbor != w {
+			return ""
+		}
+		parts = append(parts, fmt.Sprintf("%c%d", dir, e.Label))
+	}
+	sort.Strings(parts)
+	labels := append([]uint32(nil), qv.Labels...)
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d L%v E%v", neighbor, labels, parts)
+	return b.String()
+}
+
+// reduceNEC partitions q's vertices into neighborhood equivalence classes
+// and builds the reduced query graph. It returns nil when no class has two
+// or more members (the reduction would be the identity).
+func reduceNEC(q *QueryGraph) *necReduction {
+	n := len(q.Vertices)
+	if n < 3 {
+		// A two-vertex class would have to be mutually adjacent (the query
+		// is connected), which necSignature rejects.
+		return nil
+	}
+	adj := q.adjacentEdges()
+	groups := map[string][]int{}
+	for u := 0; u < n; u++ {
+		if sig := necSignature(q, adj, u); sig != "" {
+			groups[sig] = append(groups[sig], u)
+		}
+	}
+
+	var classes []necClass
+	drop := make([]bool, n)
+	classIdxOf := make([]int, n)
+	for i := range classIdxOf {
+		classIdxOf[i] = -1
+	}
+	// Deterministic class order: by smallest member index. Members are
+	// already ascending (the vertex loop above runs in order).
+	var sigs []string
+	for sig, mem := range groups {
+		if len(mem) >= 2 {
+			sigs = append(sigs, sig)
+		}
+	}
+	sort.Slice(sigs, func(i, j int) bool { return groups[sigs[i]][0] < groups[sigs[j]][0] })
+	for _, sig := range sigs {
+		mem := groups[sig]
+		ci := len(classes)
+		classes = append(classes, necClass{members: mem})
+		for _, u := range mem {
+			classIdxOf[u] = ci
+		}
+		for _, u := range mem[1:] {
+			drop[u] = true
+		}
+	}
+	if len(classes) == 0 {
+		return nil
+	}
+
+	red := &necReduction{
+		orig:      q,
+		reduced:   NewQueryGraph(),
+		classes:   classes,
+		vertexMap: make([]int, n),
+		edgeMap:   make([]int, len(q.Edges)),
+	}
+	for u := 0; u < n; u++ {
+		if drop[u] {
+			continue
+		}
+		rv := len(red.reduced.Vertices)
+		red.reduced.Vertices = append(red.reduced.Vertices, q.Vertices[u])
+		red.vertexMap[u] = rv
+		red.repOrig = append(red.repOrig, u)
+		if ci := classIdxOf[u]; ci >= 0 {
+			red.classOf = append(red.classOf, ci)
+			red.classSize = append(red.classSize, len(classes[ci].members))
+		} else {
+			red.classOf = append(red.classOf, -1)
+			red.classSize = append(red.classSize, 1)
+		}
+	}
+	for _, cls := range classes {
+		rep := red.vertexMap[cls.members[0]]
+		for _, u := range cls.members[1:] {
+			red.vertexMap[u] = rep
+		}
+	}
+	for i, e := range q.Edges {
+		if drop[e.From] || drop[e.To] {
+			// A dropped member's edges are re-created per expansion; they
+			// are constant-label by construction, so their Me binding is
+			// the constant itself.
+			red.edgeMap[i] = -1
+			continue
+		}
+		red.edgeMap[i] = len(red.reduced.Edges)
+		red.reduced.Edges = append(red.reduced.Edges, QueryEdge{
+			From:    red.vertexMap[e.From],
+			To:      red.vertexMap[e.To],
+			Label:   e.Label,
+			PredVar: e.PredVar,
+		})
+	}
+	return red
+}
+
+// mergedVertices reports how many query vertices the reduction eliminated.
+func (r *necReduction) mergedVertices() int {
+	n := 0
+	for _, c := range r.classes {
+		n += len(c.members) - 1
+	}
+	return n
+}

@@ -35,8 +35,18 @@ type Opts struct {
 	// ReuseOrder computes the matching order for the first candidate
 	// region only and reuses it for all others (+REUSE).
 	ReuseOrder bool
+	// NoNEC disables the NEC query reduction (merging equivalent query
+	// vertices and enumerating their solutions by combination, paper §2.2).
+	// The reduction is on by default because it only ever shrinks the
+	// search; disable it to reproduce the unreduced search or to
+	// differential-test the expansion.
+	NoNEC bool
 	// Workers sets the number of goroutines processing starting vertices
-	// (paper §5.2). Values < 2 mean sequential execution.
+	// (paper §5.2). Values < 2 mean sequential execution. Only Collect and
+	// Count honor it: Stream is contractually sequential (its visitor sees
+	// solutions in deterministic region order and may stop the search), so
+	// Stream ignores Workers entirely rather than silently racing. A full
+	// parallel Collect returns the same solution order as a sequential one.
 	Workers int
 	// MaxSolutions stops the search after this many solutions; 0 means
 	// unlimited.

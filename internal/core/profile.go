@@ -28,6 +28,19 @@ type ProfileResult struct {
 	SearchNodes int
 	// Solutions is the number of matches found.
 	Solutions int
+
+	// NECClasses is the number of neighborhood equivalence classes (two or
+	// more members) the query reduction merged; zero when the reduction is
+	// disabled or found nothing to merge.
+	NECClasses int
+	// NECMergedVertices is the number of query vertices the reduction
+	// removed from the search (sum over classes of size-1).
+	NECMergedVertices int
+	// NECExpansionsSkipped counts solutions obtained by combination
+	// expansion instead of subgraph search: every reduced solution expanded
+	// into f full solutions adds f-1 (the search paths the reduction
+	// avoided exploring).
+	NECExpansionsSkipped int
 }
 
 // Profile runs the match sequentially and returns its effort counters along

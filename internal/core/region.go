@@ -67,7 +67,13 @@ func (m *matcher) explore(rg *region, u int, v uint32) bool {
 				surv = append(surv, w)
 			}
 		}
-		if len(surv) == 0 {
+		// A deferred NEC class needs one candidate per member under
+		// isomorphism (members bind injectively); fewer can never complete.
+		need := 1
+		if m.sem == Isomorphism && m.red != nil && m.red.classOf[c] >= 0 {
+			need = m.red.classSize[c]
+		}
+		if len(surv) < need {
 			rg.state[k] = stFail
 			return false
 		}

@@ -17,6 +17,10 @@ func (m *matcher) run(visit Visitor) (int, error) {
 	if pr != nil {
 		pr.StartVertex = start
 		pr.StartCandidates = len(cands)
+		if m.red != nil {
+			pr.NECClasses = len(m.red.classes)
+			pr.NECMergedVertices = m.red.mergedVertices()
+		}
 	}
 	if len(cands) == 0 {
 		return 0, nil
@@ -73,7 +77,12 @@ func (m *matcher) run(visit Visitor) (int, error) {
 			break
 		}
 	}
-	return st.count, st.err
+	n := st.count
+	// The NEC bulk count can overshoot the cap by one expansion batch.
+	if m.opts.MaxSolutions > 0 && n > m.opts.MaxSolutions {
+		n = m.opts.MaxSolutions
+	}
+	return n, st.err
 }
 
 // runParallelCount distributes starting vertices across workers (paper
@@ -137,18 +146,27 @@ func (m *matcher) runParallel(collect bool) (int64, []Match, error) {
 	if chunk > 256 {
 		chunk = 256
 	}
+	numChunks := (len(cands) + chunk - 1) / chunk
 
 	var cursor, total atomic.Int64
-	perWorker := make([][]Match, workers)
+	// Solutions are gathered per chunk and merged in chunk order, so a full
+	// parallel Collect returns exactly the sequential enumeration order
+	// regardless of how workers raced over the chunks. (Under MaxSolutions
+	// early termination the surviving subset is unspecified, as before.)
+	var perChunk [][]Match
+	if collect {
+		perChunk = make([][]Match, numChunks)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
+			var cur *[]Match
 			var visit Visitor
 			if collect {
 				visit = func(mt Match) bool {
-					perWorker[w] = append(perWorker[w], mt.Clone())
+					*cur = append(*cur, mt.Clone())
 					return true
 				}
 			}
@@ -159,20 +177,23 @@ func (m *matcher) runParallel(collect bool) (int64, []Match, error) {
 				if st.stopped || m.ctx.Err() != nil {
 					return
 				}
-				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= len(cands) {
+				ci := int(cursor.Add(1)) - 1
+				if ci >= numChunks {
 					return
 				}
+				lo := ci * chunk
 				hi := lo + chunk
 				if hi > len(cands) {
 					hi = len(cands)
 				}
+				var sols []Match
+				cur = &sols
 				// Cancellation is checked once per claimed chunk (above) and
 				// amortized inside the search loop; a per-candidate ctx.Err()
 				// here would put the context mutex on every worker's hot path.
 				for _, vs := range cands[lo:hi] {
 					if st.stopped {
-						return
+						break
 					}
 					rg.reset(vs)
 					if !m.explore(rg, start, vs) {
@@ -184,8 +205,11 @@ func (m *matcher) runParallel(collect bool) (int64, []Match, error) {
 					st.rg, st.plan = rg, plan
 					st.search(0)
 				}
+				if collect {
+					perChunk[ci] = sols
+				}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 
@@ -196,7 +220,7 @@ func (m *matcher) runParallel(collect bool) (int64, []Match, error) {
 		return total.Load(), nil, nil
 	}
 	var merged []Match
-	for _, sols := range perWorker {
+	for _, sols := range perChunk {
 		merged = append(merged, sols...)
 	}
 	return total.Load(), merged, nil

@@ -32,6 +32,14 @@ type searchState struct {
 
 	shared *atomic.Int64 // cross-worker solution count (nil if sequential)
 
+	// NEC expansion state (nil without a reduction). classCands[ci] is the
+	// snapshot of class ci's admissible candidate set, taken when the search
+	// passes the representative's position; fullMap/fullEdges are the
+	// original-query-space Match buffers filled by expansion at emit time.
+	classCands [][]uint32
+	fullMap    []uint32
+	fullEdges  []uint32
+
 	// Per-depth scratch buffers for the +INT intersections; indexed by the
 	// matching-order position so nested recursion never aliases.
 	candBuf  [][]uint32
@@ -74,17 +82,61 @@ func newSearchState(m *matcher, visit Visitor, limit int, shared *atomic.Int64) 
 	if m.sem == Isomorphism {
 		s.used = make([]bool, m.g.NumVertices())
 	}
+	if m.red != nil {
+		s.classCands = make([][]uint32, len(m.red.classes))
+		s.fullMap = make([]uint32, len(m.red.orig.Vertices))
+		s.fullEdges = make([]uint32, len(m.red.orig.Edges))
+		for i, e := range m.red.orig.Edges {
+			if m.red.edgeMap[i] < 0 {
+				// Dropped member edges are constant-label by construction.
+				s.fullEdges[i] = e.Label
+			}
+		}
+	}
 	return s
 }
 
 func (s *searchState) emit() {
+	if s.m.red != nil {
+		s.emitNEC()
+		return
+	}
+	s.emitMatch(s.mapping, s.edgeBind)
+}
+
+// emitMatch delivers one concrete solution and updates the count/limit
+// bookkeeping.
+func (s *searchState) emitMatch(mv, me []uint32) {
 	s.count++
-	if s.visit != nil && !s.visit(Match{Vertices: s.mapping, EdgeLabels: s.edgeBind}) {
+	if s.visit != nil && !s.visit(Match{Vertices: mv, EdgeLabels: me}) {
 		s.stopped = true
 		return
 	}
 	if s.shared != nil {
 		total := s.shared.Add(1)
+		if s.limit > 0 && total >= int64(s.limit) {
+			s.stopped = true
+		}
+		return
+	}
+	if s.limit > 0 && s.count >= s.limit {
+		s.stopped = true
+	}
+}
+
+// bulkCount accounts for n solutions at once without materializing them —
+// the combinatorial fast path of the NEC expansion. The accumulator
+// saturates instead of wrapping: expansion factors themselves saturate in
+// emitNEC, so repeated regions could otherwise push the sum negative.
+func (s *searchState) bulkCount(n int) {
+	const maxInt = int(^uint(0) >> 1)
+	if n > maxInt-s.count {
+		s.count = maxInt
+	} else {
+		s.count += n
+	}
+	if s.shared != nil {
+		total := s.shared.Add(int64(n))
 		if s.limit > 0 && total >= int64(s.limit) {
 			s.stopped = true
 		}
@@ -124,6 +176,13 @@ func (s *searchState) search(dc int) {
 		constJoins = nil
 	}
 
+	if s.m.red != nil {
+		if ci := s.m.red.classOf[u]; ci >= 0 {
+			s.searchNEC(dc, u, ci, cands, constJoins)
+			return
+		}
+	}
+
 	for _, v := range cands {
 		if s.stopped {
 			return
@@ -151,6 +210,137 @@ func (s *searchState) search(dc int) {
 		}
 		s.bindWild(dc, u, v, plan.wild[dc], 0)
 	}
+}
+
+// searchNEC handles the position of a deferred NEC representative. All of
+// the class's constraints resolve at or before this position (its single
+// neighbor is its query-tree parent; parallel edges to the parent are
+// non-tree edges scheduled here; wildcard edges and self-loops are excluded
+// by construction), so instead of binding the representative and recursing
+// once per candidate, the surviving candidate set is snapshotted and the
+// search descends exactly once. emit later expands every class by
+// combination — the NEC reduction's whole point: a class of k members costs
+// one search subtree instead of |C|^k.
+func (s *searchState) searchNEC(dc, u, ci int, cands []uint32, constJoins []int) {
+	buf := s.candBuf[dc][:0]
+	for _, v := range cands {
+		s.steps++
+		if s.steps&2047 == 0 && s.ctx.Err() != nil {
+			s.err = s.ctx.Err()
+			s.stopped = true
+			return
+		}
+		if s.profile != nil {
+			s.profile.SearchNodes++
+		}
+		// A data vertex bound by an ancestor stays bound through every emit
+		// under this subtree, so it can never be assigned to a member
+		// (isomorphism); filtering here tightens the |S| >= k prune.
+		if s.used != nil && s.used[v] {
+			continue
+		}
+		if constJoins != nil && !s.checkConstJoins(u, v, constJoins) {
+			continue
+		}
+		buf = append(buf, v)
+	}
+	s.candBuf[dc] = buf
+	k := s.m.red.classSize[u]
+	if len(buf) == 0 || (s.used != nil && len(buf) < k) {
+		return
+	}
+	s.classCands[ci] = buf
+	s.search(dc + 1)
+}
+
+// emitNEC expands one reduced solution into full original-query solutions.
+// Under homomorphism class members bind independently over the class
+// candidate set (Cartesian power); under isomorphism they bind injectively,
+// avoiding every data vertex the rest of the mapping uses. With no visitor
+// the homomorphism expansion is a pure product and is counted without
+// enumeration.
+func (s *searchState) emitNEC() {
+	red := s.m.red
+
+	if s.visit == nil && s.used == nil {
+		// Count-only homomorphism: the expansion factor is the product of
+		// |S_c|^k_c over all classes.
+		total := 1
+		for ci, cls := range red.classes {
+			n := len(s.classCands[ci])
+			for range cls.members {
+				if n != 0 && total > int(^uint(0)>>1)/n {
+					total = int(^uint(0) >> 1) // saturate instead of overflowing
+					break
+				}
+				total *= n
+			}
+		}
+		if s.profile != nil {
+			s.profile.NECExpansionsSkipped += total - 1
+		}
+		s.bulkCount(total)
+		return
+	}
+
+	// Materialize the reduced bindings into original-query space; class
+	// members are filled in by expandClass below.
+	for ov := range red.orig.Vertices {
+		rv := red.vertexMap[ov]
+		if red.classSize[rv] == 1 {
+			s.fullMap[ov] = s.mapping[rv]
+		}
+	}
+	for oe, re := range red.edgeMap {
+		if re >= 0 {
+			s.fullEdges[oe] = s.edgeBind[re]
+		}
+	}
+	before := s.count
+	s.expandClass(0)
+	if s.profile != nil && s.count > before {
+		s.profile.NECExpansionsSkipped += s.count - before - 1
+	}
+}
+
+// expandClass assigns data vertices to the members of class ci and recurses
+// into the next class; once every class is assigned, the full match is
+// emitted.
+func (s *searchState) expandClass(ci int) {
+	if s.stopped {
+		return
+	}
+	red := s.m.red
+	if ci == len(red.classes) {
+		s.emitMatch(s.fullMap, s.fullEdges)
+		return
+	}
+	members := red.classes[ci].members
+	cands := s.classCands[ci]
+	var assign func(mi int)
+	assign = func(mi int) {
+		if mi == len(members) {
+			s.expandClass(ci + 1)
+			return
+		}
+		for _, v := range cands {
+			if s.used != nil {
+				if s.used[v] {
+					continue
+				}
+				s.used[v] = true
+			}
+			s.fullMap[members[mi]] = v
+			assign(mi + 1)
+			if s.used != nil {
+				s.used[v] = false
+			}
+			if s.stopped {
+				return
+			}
+		}
+	}
+	assign(0)
 }
 
 // intersectJoins computes cands ∩ adj-lists of the already-matched endpoints

@@ -16,6 +16,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -32,7 +33,24 @@ type Engine struct {
 }
 
 // New builds an engine over transformed data with the given matcher options.
+// Workers == 0 defaults to runtime.GOMAXPROCS(0), so the materializing paths
+// (Exec, Count) run parallel matching out of the box; pass Workers = 1 for
+// strictly sequential execution. The streaming cursor (Select) always runs
+// its first component sequentially regardless — core.Stream ignores Workers
+// by contract — and a full parallel Collect returns the sequential solution
+// order, so the default costs no determinism. The one shape where parallel
+// early termination does surrender determinism is a MaxSolutions cap (the
+// surviving subset depends on worker timing), so a capped engine keeps the
+// sequential default; set Workers explicitly to trade determinism for
+// throughput there.
 func New(data *transform.Data, opts core.Opts) *Engine {
+	if opts.Workers == 0 {
+		if opts.MaxSolutions > 0 {
+			opts.Workers = 1
+		} else {
+			opts.Workers = runtime.GOMAXPROCS(0)
+		}
+	}
 	return &Engine{data: data, sem: core.Homomorphism, opts: opts}
 }
 

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -552,5 +554,123 @@ func TestWildcardPredicateSubjectScan(t *testing.T) {
 	}
 	if a != d {
 		t.Fatalf("type-aware %d != direct %d", a, d)
+	}
+}
+
+// starEngine builds a dataset of hubs with repeated-predicate fanout — the
+// NEC shape — and returns engines with the reduction on and off.
+func starEngine(t *testing.T, nec core.Opts) *Engine {
+	t.Helper()
+	var ts []rdf.Triple
+	for h := 0; h < 6; h++ {
+		hub := iri(fmt.Sprintf("hub%d", h))
+		ts = append(ts, rdf.Triple{S: hub, P: rdf.TypeTerm, O: iri("Hub")})
+		for f := 0; f <= h; f++ {
+			ts = append(ts, rdf.Triple{S: hub, P: iri("knows"), O: iri(fmt.Sprintf("friend%d_%d", h, f))})
+		}
+	}
+	return New(transform.Build(ts, transform.TypeAware), nec)
+}
+
+// TestNECSPARQLStar proves the SPARQL layer projects NEC expansions into
+// identical bindings with the reduction on and off: repeated-predicate star
+// patterns compile to equivalent query vertices that core merges, and the
+// expanded matches must restore every projected variable.
+func TestNECSPARQLStar(t *testing.T) {
+	on := core.Optimized()
+	off := core.Optimized()
+	off.NoNEC = true
+	eOn, eOff := starEngine(t, on), starEngine(t, off)
+
+	queries := []string{
+		`SELECT ?h ?a ?b WHERE { ?h a :Hub . ?h :knows ?a . ?h :knows ?b . }`,
+		`SELECT ?h ?a ?b ?c WHERE { ?h :knows ?a . ?h :knows ?b . ?h :knows ?c . }`,
+		`SELECT ?h ?a WHERE { ?h :knows ?a . ?h :knows ?b . FILTER(?a != ?b) }`,
+		`SELECT DISTINCT ?a WHERE { :hub3 :knows ?a . :hub3 :knows ?b . }`,
+	}
+	for _, q := range queries {
+		assertSameResults(t, prefix+q, eOn, eOff)
+		nOn, err := eOn.Count(prefix + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nOff, err := eOff.Count(prefix + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nOn != nOff {
+			t.Fatalf("count differs for %s: NEC on %d, off %d", q, nOn, nOff)
+		}
+	}
+}
+
+// TestNECSPARQLStarProfiled asserts the reduction is actually active on the
+// SPARQL path — the streamed matcher reports merged classes and skipped
+// expansions for a star query.
+func TestNECSPARQLStarProfiled(t *testing.T) {
+	eng := starEngine(t, core.Optimized())
+	pq, err := eng.Prepare(prefix + `SELECT ?h ?a ?b ?c WHERE { ?h :knows ?a . ?h :knows ?b . ?h :knows ?c . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prof core.ProfileResult
+	rows := pq.SelectProfiled(context.Background(), &prof)
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if n == 0 {
+		t.Fatal("no rows")
+	}
+	if prof.NECClasses != 1 || prof.NECMergedVertices != 2 {
+		t.Fatalf("NEC counters = %+v, want 1 class / 2 merged", prof)
+	}
+	if prof.NECExpansionsSkipped == 0 {
+		t.Fatalf("expansions skipped = 0: %+v", prof)
+	}
+}
+
+// TestDefaultWorkersParallel pins the out-of-the-box parallelism contract:
+// an engine built with Workers == 0 resolves to runtime.GOMAXPROCS and its
+// materialized execution equals sequential execution row for row.
+func TestDefaultWorkersParallel(t *testing.T) {
+	ts := uniTriples()
+	auto := New(transform.Build(ts, transform.TypeAware), core.Optimized())
+	if runtime.GOMAXPROCS(0) > 1 && auto.opts.Workers < 2 {
+		t.Fatalf("Workers = %d, want GOMAXPROCS default", auto.opts.Workers)
+	}
+	// A MaxSolutions cap keeps the sequential default: parallel early
+	// termination would make the surviving row subset nondeterministic.
+	capped := core.Optimized()
+	capped.MaxSolutions = 5
+	if w := New(transform.Build(ts, transform.TypeAware), capped).opts.Workers; w != 1 {
+		t.Fatalf("capped engine Workers = %d, want 1", w)
+	}
+	seqOpts := core.Optimized()
+	seqOpts.Workers = 1
+	seq := New(transform.Build(ts, transform.TypeAware), seqOpts)
+
+	q := prefix + `SELECT ?x ?y WHERE { ?x :memberOf ?y . }`
+	ra, err := auto.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := seq.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.Rows) != len(rs.Rows) {
+		t.Fatalf("rows: auto %d, sequential %d", len(ra.Rows), len(rs.Rows))
+	}
+	for i := range ra.Rows {
+		for j := range ra.Rows[i] {
+			if ra.Rows[i][j] != rs.Rows[i][j] {
+				t.Fatalf("row %d differs: %v vs %v", i, ra.Rows[i], rs.Rows[i])
+			}
+		}
 	}
 }

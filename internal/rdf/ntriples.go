@@ -19,8 +19,10 @@ func (e *ParseError) Error() string {
 }
 
 // Reader streams triples from N-Triples text. Lines starting with '#' and
-// blank lines are skipped. The reader is tolerant of missing trailing dots
-// (some public dumps omit them) but rejects structurally broken terms.
+// blank lines are skipped. Every statement must end with the grammar's '.'
+// terminator; a line without one is rejected with a *ParseError rather than
+// silently accepted, since a missing dot usually means a truncated or
+// corrupted dump.
 type Reader struct {
 	s    *bufio.Scanner
 	line int
@@ -72,11 +74,14 @@ func ReadAll(rd io.Reader) ([]Triple, error) {
 	}
 }
 
-// ParseTripleLine parses a single N-Triples statement.
+// ParseTripleLine parses a single N-Triples statement. The statement must
+// carry its terminating '.'.
 func ParseTripleLine(line string) (Triple, error) {
 	rest := strings.TrimSpace(line)
-	rest = strings.TrimSuffix(rest, ".")
-	rest = strings.TrimSpace(rest)
+	if !strings.HasSuffix(rest, ".") {
+		return Triple{}, &ParseError{Msg: "missing statement terminator '.'", Text: line}
+	}
+	rest = strings.TrimSpace(strings.TrimSuffix(rest, "."))
 
 	s, rest, err := scanTerm(rest, line)
 	if err != nil {

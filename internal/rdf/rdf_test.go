@@ -104,8 +104,8 @@ func TestParseTripleLine(t *testing.T) {
 			`<http://x/s> <http://x/p> "hi"@en-GB .`,
 			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewLangLiteral("hi", "en-GB")},
 		},
-		{ // missing final dot tolerated
-			`<http://x/s> <http://x/p> _:b1`,
+		{ // no space before the terminator
+			`<http://x/s> <http://x/p> _:b1.`,
 			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewBlank("b1")},
 		},
 		{ // literal containing an escaped quote and a dot
@@ -137,11 +137,40 @@ func TestParseTripleLineErrors(t *testing.T) {
 		`<http://x/s> <http://x/p> <http://x/o> junk .`,
 		`<http://x/s> <http://x/p> "x"@ .`,
 		`frob <http://x/p> <http://x/o> .`,
+		`<http://x/s> <http://x/p> <http://x/o>`, // missing terminator
+		`<http://x/s> <http://x/p> _:b1`,         // missing terminator
+		`<http://x/s> <http://x/p> "lit"`,        // missing terminator
 	}
 	for _, line := range bad {
-		if _, err := ParseTripleLine(line); err == nil {
+		_, err := ParseTripleLine(line)
+		if err == nil {
 			t.Errorf("ParseTripleLine(%q): expected error", line)
+			continue
 		}
+		if _, ok := err.(*ParseError); !ok {
+			t.Errorf("ParseTripleLine(%q): error type %T, want *ParseError", line, err)
+		}
+	}
+}
+
+// TestMissingTerminatorReported pins the satellite contract: a dot-less
+// statement is a *ParseError naming the terminator, carrying the reader's
+// line number.
+func TestMissingTerminatorReported(t *testing.T) {
+	r := NewReader(strings.NewReader("<http://x/s> <http://x/p> <http://x/o> .\n<http://x/s> <http://x/p> <http://x/o>\n"))
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("first Read: %v", err)
+	}
+	_, err := r.Read()
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *ParseError", err, err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Msg, "terminator") {
+		t.Errorf("error message %q does not name the terminator", pe.Msg)
 	}
 }
 

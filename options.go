@@ -26,16 +26,52 @@ func (t Transformation) String() string {
 	return "type-aware"
 }
 
+// NECMode toggles the NEC (Neighborhood Equivalence Class) query reduction,
+// TurboISO's device for taming repeated query structure (paper §2.2): query
+// variables with identical labels and identical constant-predicate edges to
+// one shared subject/object are merged, and their bindings are enumerated by
+// combination instead of by redundant search. The zero value enables it.
+type NECMode int
+
+const (
+	// NECOn (the default) merges equivalent query vertices. Star-shaped
+	// patterns with repeated predicates — `?h :knows ?a . ?h :knows ?b .` —
+	// are matched once per class instead of once per member.
+	NECOn NECMode = iota
+	// NECOff disables the reduction; every query vertex is searched
+	// individually. Result sets are identical either way — NECOff exists
+	// for ablation and differential testing.
+	NECOff
+)
+
+func (m NECMode) String() string {
+	if m == NECOff {
+		return "nec-off"
+	}
+	return "nec-on"
+}
+
 // Options configure a Store. The zero value (and nil) mean: type-aware
-// transformation, the full TurboHOM++ optimization suite, sequential
-// execution.
+// transformation, the full TurboHOM++ optimization suite, the NEC query
+// reduction, and automatic parallelism (Workers resolves to
+// runtime.GOMAXPROCS; uncapped parallel results keep the sequential row
+// order).
 type Options struct {
 	// Transformation selects the graph transformation.
 	Transformation Transformation
 
 	// Workers sets the number of goroutines that process starting vertices
-	// in parallel (paper §5.2). Values below 2 mean sequential execution.
+	// in parallel (paper §5.2). Zero means automatic (runtime.GOMAXPROCS),
+	// so materialized execution is parallel out of the box; 1 forces
+	// sequential execution. Streaming cursors (Select) always stream their
+	// first pattern component sequentially so that row order stays
+	// deterministic and early termination keeps working.
 	Workers int
+
+	// NEC toggles the neighborhood-equivalence-class query reduction.
+	// The zero value (NECOn) enables it; set NECOff to search every query
+	// vertex individually.
+	NEC NECMode
 
 	// DisableOptimizations reverts the matcher to the plain TurboHOM
 	// configuration: no +INT, NLF and degree filters active, per-region
@@ -57,7 +93,8 @@ type Options struct {
 	Limit int
 }
 
-// MatcherOpts mirrors the paper's four optimization toggles (§4.3).
+// MatcherOpts mirrors the paper's four optimization toggles (§4.3) plus the
+// NEC reduction switch.
 type MatcherOpts struct {
 	// Intersect enables +INT: bulk IsJoinable via k-way intersection.
 	Intersect bool
@@ -68,6 +105,8 @@ type MatcherOpts struct {
 	// ReuseOrder reuses the first candidate region's matching order
 	// (+REUSE).
 	ReuseOrder bool
+	// NoNEC disables the NEC query reduction.
+	NoNEC bool
 }
 
 // coreOpts resolves the configuration into matcher options.
@@ -82,6 +121,7 @@ func (o *Options) coreOpts() core.Opts {
 			NoNLF:      o.Matcher.NoNLF,
 			NoDegree:   o.Matcher.NoDegree,
 			ReuseOrder: o.Matcher.ReuseOrder,
+			NoNEC:      o.Matcher.NoNEC,
 		}
 	case o.DisableOptimizations:
 		opts = core.Baseline()
@@ -91,6 +131,9 @@ func (o *Options) coreOpts() core.Opts {
 	if o != nil {
 		opts.Workers = o.Workers
 		opts.MaxSolutions = o.Limit
+		if o.NEC == NECOff {
+			opts.NoNEC = true
+		}
 	}
 	return opts
 }

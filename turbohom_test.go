@@ -53,7 +53,8 @@ func TestStoreOptions(t *testing.T) {
 		{Transformation: Direct},
 		{DisableOptimizations: true},
 		{Workers: 2},
-		{Matcher: &MatcherOpts{Intersect: true, ReuseOrder: true}},
+		{NEC: NECOff},
+		{Matcher: &MatcherOpts{Intersect: true, ReuseOrder: true, NoNEC: true}},
 	} {
 		s := New(apiTriples(), opts)
 		n, err := s.Count(apiPrefix + `SELECT ?x WHERE { ?x ex:advisor ?y . }`)
@@ -245,5 +246,41 @@ func TestGraphAPIProfile(t *testing.T) {
 	}
 	if iso.Solutions != 2 {
 		t.Fatalf("iso profile solutions = %d, want 2", iso.Solutions)
+	}
+}
+
+// TestStoreNECStar runs a repeated-predicate star query through the public
+// API with the NEC reduction on and off: same count, and the reduction is
+// the default.
+func TestStoreNECStar(t *testing.T) {
+	e := func(s string) Term { return NewIRI("http://ex.org/" + s) }
+	var ts []Triple
+	for h := 0; h < 4; h++ {
+		hub := e("hub" + string(rune('0'+h)))
+		for f := 0; f <= h+1; f++ {
+			ts = append(ts, Triple{S: hub, P: e("knows"), O: e("f" + string(rune('0'+h)) + string(rune('a'+f)))})
+		}
+	}
+	q := apiPrefix + `SELECT ?h ?a ?b ?c WHERE { ?h ex:knows ?a . ?h ex:knows ?b . ?h ex:knows ?c . }`
+
+	on, err := New(ts, nil).Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := New(ts, &Options{NEC: NECOff}).Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on != off {
+		t.Fatalf("NEC on %d != off %d", on, off)
+	}
+	// Homomorphism semantics: each hub contributes fanout^3 rows.
+	want := 0
+	for h := 0; h < 4; h++ {
+		f := h + 2
+		want += f * f * f
+	}
+	if on != want {
+		t.Fatalf("count = %d, want %d", on, want)
 	}
 }
