@@ -379,6 +379,72 @@ SELECT ?h ?a ?b ?c WHERE { ?h rdf:type ex:Hub . ?h ex:knows ?a . ?h ex:knows ?b 
 	}
 }
 
+// BenchmarkDeltaOverlay is the update tentpole's acceptance benchmark: the
+// same LUBM query counted (a) over a store whose last ~5% of triples sit in
+// the delta overlay, (b) over the same store after Compact folded them into
+// the CSR base, and (c) during updates (an insert/delete pair between
+// counts). The acceptance bar is query-over-delta within 2× of compacted
+// and Compact restoring parity.
+func BenchmarkDeltaOverlay(b *testing.B) {
+	fixtures()
+	triples := fix.lubm.Triples
+	cut := len(triples) - len(triples)/20
+	q := datagen.LUBMQuery("Q2").Text
+	ctx := context.Background()
+
+	mkStore := func() (*Store, *Prepared) {
+		s := New(triples[:cut], &Options{Workers: 1})
+		s.Insert(triples[cut:])
+		p, err := s.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s, p
+	}
+
+	sDelta, pDelta := mkStore()
+	want, err := pDelta.Count(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sCompact, pCompact := mkStore()
+	sCompact.Compact()
+	if n, err := pCompact.Count(ctx); err != nil || n != want {
+		b.Fatalf("compacted count = %d (%v), want %d", n, err, want)
+	}
+
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n, err := pDelta.Count(ctx); err != nil || n != want {
+				b.Fatalf("count = %d (%v), want %d", n, err, want)
+			}
+		}
+	})
+	b.Run("compacted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n, err := pCompact.Count(ctx); err != nil || n != want {
+				b.Fatalf("count = %d (%v), want %d", n, err, want)
+			}
+		}
+	})
+	b.Run("query-during-updates", func(b *testing.B) {
+		s, p := mkStore()
+		extra := Triple{S: NewIRI("http://ex.org/upd-s"), P: NewIRI("http://ex.org/upd-p"), O: NewIRI("http://ex.org/upd-o")}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Insert([]Triple{extra})
+			s.Delete([]Triple{extra})
+			if _, err := p.Count(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = sDelta
+}
+
 // BenchmarkNECStarEnumerate measures the expansion path with a visitor (full
 // row materialization), where NEC still wins by sharing candidate
 // computation and join checks across class members.

@@ -14,6 +14,12 @@
 // only the solution count (-count), and repeat the query with the paper's
 // timing protocol (-time).
 //
+// -update file.nt streams additional triples into the store WHILE the query
+// executes, demonstrating the mutable store's snapshot isolation: the
+// query's cursor pins the snapshot current when it starts and is undisturbed
+// by the concurrent inserts; a count taken after loading reflects them. Use
+// -compact to fold the accumulated delta back into the base afterwards.
+//
 // Queries are prepared once and results stream through a cursor: rows print
 // as the matcher finds them, and both Ctrl-C and the -max-rows cap abandon
 // the remaining search instead of completing it.
@@ -24,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -32,6 +39,7 @@ import (
 	turbohom "repro"
 	"repro/internal/bench"
 	"repro/internal/datagen"
+	"repro/internal/rdf"
 )
 
 func main() {
@@ -46,6 +54,8 @@ func main() {
 		noopt     = flag.Bool("noopt", false, "disable the TurboHOM++ optimization suite")
 		workers   = flag.Int("workers", 1, "parallel workers over starting vertices")
 		countOnly = flag.Bool("count", false, "print only the solution count")
+		updateF   = flag.String("update", "", "N-Triples file to insert concurrently while the query runs")
+		compact   = flag.Bool("compact", false, "compact the delta overlay after -update finishes")
 		timeIt    = flag.Bool("time", false, "apply the paper's timing protocol and report elapsed ms")
 		maxRows   = flag.Int("max-rows", 20, "stop after printing this many rows (0 = unlimited)")
 	)
@@ -58,14 +68,14 @@ func main() {
 	defer stop()
 
 	if err := run(ctx, *dataFile, *dataset, *scale, *queryStr, *queryFile, *queryID,
-		*transf, *noopt, *workers, *countOnly, *timeIt, *maxRows); err != nil {
+		*transf, *noopt, *workers, *countOnly, *timeIt, *maxRows, *updateF, *compact); err != nil {
 		fmt.Fprintln(os.Stderr, "turbohom:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, queryFile, queryID,
-	transf string, noopt bool, workers int, countOnly, timeIt bool, maxRows int) error {
+	transf string, noopt bool, workers int, countOnly, timeIt bool, maxRows int, updateFile string, compact bool) (retErr error) {
 
 	opts := &turbohom.Options{Workers: workers, DisableOptimizations: noopt}
 	switch transf {
@@ -140,6 +150,40 @@ func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, que
 	prepared, err := store.Prepare(query)
 	if err != nil {
 		return err
+	}
+
+	// Query-while-loading: stream the update file into the store in the
+	// background. Executions that started before a batch landed keep their
+	// snapshot; the post-load count below sees everything. If the query
+	// itself fails, the loader is cancelled and no post-load stats print.
+	if updateFile != "" {
+		lctx, lcancel := context.WithCancel(ctx)
+		loadDone := make(chan error, 1)
+		go func() { loadDone <- streamInserts(lctx, store, updateFile) }()
+		defer func() {
+			if retErr != nil {
+				lcancel()
+				<-loadDone
+				return
+			}
+			defer lcancel()
+			if err := <-loadDone; err != nil {
+				fmt.Fprintln(os.Stderr, "turbohom: update load:", err)
+				return
+			}
+			n, err := prepared.Count(context.Background())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "turbohom: post-load count:", err)
+				return
+			}
+			st := store.Stats()
+			fmt.Printf("after -update: %d triples -> %d vertices, %d edges; query now has %d solutions\n",
+				st.Triples, st.Vertices, st.Edges, n)
+			if compact {
+				store.Compact()
+				fmt.Println("delta compacted into base")
+			}
+		}()
 	}
 
 	if timeIt {
@@ -221,6 +265,43 @@ func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, que
 		return err
 	}
 	fmt.Printf("(%d rows)\n", printed)
+	return nil
+}
+
+// streamInserts reads file as N-Triples and inserts it into the store in
+// batches, so queries interleave with many small atomic updates.
+func streamInserts(ctx context.Context, store *turbohom.Store, file string) error {
+	f, err := os.Open(file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := rdf.NewReader(f)
+	const batchSize = 512
+	batch := make([]turbohom.Triple, 0, batchSize)
+	inserted := 0
+	flush := func() {
+		inserted += store.Insert(batch)
+		batch = batch[:0]
+	}
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		t, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		batch = append(batch, t)
+		if len(batch) == batchSize {
+			flush()
+		}
+	}
+	flush()
+	fmt.Printf("inserted %d new triples from %s (concurrently with the query)\n", inserted, file)
 	return nil
 }
 

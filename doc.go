@@ -17,6 +17,11 @@
 //     (Options.Workers = 0 means runtime.GOMAXPROCS); parallel results
 //     keep the sequential enumeration order.
 //
+//   - Insert, Delete, and Compact mutate the store while it serves
+//     queries. Updates land in a delta overlay merged on the fly with the
+//     compacted base (the differential-index design of RDF-3X), and
+//     Compact folds the delta back in.
+//
 //   - Prepared amortizes the SPARQL front end: Store.Prepare parses and
 //     plans once, and the resulting Prepared is immutable and safe for
 //     concurrent execution from many goroutines.
@@ -62,6 +67,21 @@
 //	    if err != nil { ... }
 //	    fmt.Println(row[0])
 //	}
+//
+// # Updates and snapshot isolation
+//
+// Insert and Delete apply batches of triples atomically; Compact folds the
+// accumulated delta back into the base representation. Every query
+// execution pins the immutable snapshot current at its start: a Rows cursor
+// opened before an update enumerates exactly the pre-update solutions even
+// when drained afterwards — including across a mid-stream Compact — while
+// executions started after the update see all of it. Writers are
+// serialized; readers never block and never observe a partial batch.
+// Duplicate inserts and absent deletes are ignored (the store is a triple
+// set), and literal terms are canonicalized — "café" spelled with a \u
+// escape and spelled raw intern as the same term. Under the type-aware
+// transformation an rdfs:subClassOf change rewrites the label closure and
+// triggers an implicit compaction.
 //
 // # Streaming vs buffering
 //

@@ -33,7 +33,7 @@ type Visitor func(Match) bool
 // (streaming is inherently ordered); use Collect or Count for parallelism.
 // Cancelling ctx abandons the remaining candidate regions and returns
 // ctx.Err(); a visitor returning false stops cleanly with a nil error.
-func Stream(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts, visit Visitor) (int, error) {
+func Stream(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts, visit Visitor) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
@@ -45,7 +45,7 @@ func Stream(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, o
 // Collect enumerates all matches and returns them as deep copies. With
 // opts.Workers > 1 the starting vertices are processed in parallel.
 // Cancelling ctx abandons the remaining work and returns ctx.Err().
-func Collect(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) ([]Match, error) {
+func Collect(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts) ([]Match, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,7 +66,7 @@ func Collect(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, 
 // runs with no visitor, which lets the NEC reduction total equivalence-class
 // expansions combinatorially instead of enumerating them. Cancelling ctx
 // abandons the remaining work and returns ctx.Err().
-func Count(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) (int, error) {
+func Count(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
@@ -90,7 +90,7 @@ type nlfReq struct {
 // matcher holds the query-global immutable state of one match run.
 type matcher struct {
 	ctx  context.Context
-	g    *graph.Graph
+	g    graph.View
 	q    *QueryGraph // the graph being searched (NEC-reduced when red != nil)
 	sem  Semantics
 	opts Opts
@@ -118,7 +118,7 @@ type matcher struct {
 	qInDeg  []int
 }
 
-func newMatcher(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) *matcher {
+func newMatcher(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts) *matcher {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -47,7 +47,7 @@ type ProfileResult struct {
 // with the solution count. It is a diagnostic tool: the run pays for
 // counting but is otherwise identical to Count. It shares the counting
 // machinery with Opts.Profile, which any sequential run can use directly.
-func Profile(ctx context.Context, g *graph.Graph, q *QueryGraph, sem Semantics, opts Opts) (ProfileResult, error) {
+func Profile(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts) (ProfileResult, error) {
 	var pr ProfileResult
 	if err := q.Validate(); err != nil {
 		return pr, err

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/rdf"
@@ -25,9 +26,14 @@ import (
 	"repro/internal/transform"
 )
 
-// Engine executes queries against one dataset.
+// Engine executes queries against one dataset. The dataset is held as an
+// atomically swappable snapshot: a mutable store publishes a fresh
+// transform.Data after every update batch via SetData, and every execution
+// pins the snapshot current at its start — in-flight cursors and concurrent
+// executions never observe a later snapshot mid-run.
 type Engine struct {
-	data *transform.Data
+	mode transform.Mode
+	cur  atomic.Pointer[transform.Data]
 	sem  core.Semantics
 	opts core.Opts
 }
@@ -51,11 +57,20 @@ func New(data *transform.Data, opts core.Opts) *Engine {
 			opts.Workers = runtime.GOMAXPROCS(0)
 		}
 	}
-	return &Engine{data: data, sem: core.Homomorphism, opts: opts}
+	e := &Engine{mode: data.Mode, sem: core.Homomorphism, opts: opts}
+	e.cur.Store(data)
+	return e
 }
 
-// Data exposes the underlying transformed dataset.
-func (e *Engine) Data() *transform.Data { return e.data }
+// Data returns the current dataset snapshot.
+func (e *Engine) Data() *transform.Data { return e.cur.Load() }
+
+// SetData publishes a new dataset snapshot. The snapshot must come from the
+// same store lineage as the previous one — same transformation mode and the
+// same append-only dictionaries — so that prepared queries' pinned term IDs
+// stay meaningful. Executions already running keep their pinned snapshot;
+// executions starting afterwards observe the new one.
+func (e *Engine) SetData(d *transform.Data) { e.cur.Store(d) }
 
 // SetSemantics overrides the matching semantics (the default is the RDF
 // e-graph homomorphism; Isomorphism gives classic subgraph isomorphism).
@@ -76,13 +91,46 @@ type Result struct {
 // front-end cost (parsing, UNION/type-wildcard expansion, plan compilation
 // against the dataset's dictionaries) exactly once; the prepared query is
 // immutable afterwards and safe for concurrent execution.
+//
+// Plans are compiled per dataset snapshot: each execution pins the engine's
+// current snapshot and reuses the cached compilation when it matches,
+// recompiling (once) after the store has been updated. Term↔ID mappings are
+// append-only, so recompilation only ever changes what the snapshot can
+// change: candidate statistics, label views, and empty-by-unknown-term
+// decisions.
 type PreparedQuery struct {
 	e      *Engine
 	q      *sparql.Query
 	vars   []string
 	vi     *varIndex
 	groups []*flatGroup
-	plans  []*plan
+	cached atomic.Pointer[compiledPlans]
+}
+
+// compiledPlans is one snapshot's compilation of a prepared query.
+type compiledPlans struct {
+	data  *transform.Data
+	plans []*plan
+}
+
+// plansFor returns the plans compiled against snapshot d, reusing the cache
+// when the snapshot matches. Concurrent recompilation is benign: every
+// compilation against d is equivalent, and the cache keeps whichever landed
+// last.
+func (pq *PreparedQuery) plansFor(d *transform.Data) ([]*plan, error) {
+	if c := pq.cached.Load(); c != nil && c.data == d {
+		return c.plans, nil
+	}
+	plans := make([]*plan, 0, len(pq.groups))
+	for _, g := range pq.groups {
+		p, err := pq.e.buildPlan(d, g, nil)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	pq.cached.Store(&compiledPlans{data: d, plans: plans})
+	return plans, nil
 }
 
 // Prepare parses src and compiles its execution plan.
@@ -104,12 +152,10 @@ func (e *Engine) PrepareParsed(q *sparql.Query) (*PreparedQuery, error) {
 		vi:     buildVarIndex(q),
 		groups: e.expandGroups(q.Where),
 	}
-	for _, g := range pq.groups {
-		p, err := e.buildPlan(g, nil)
-		if err != nil {
-			return nil, err
-		}
-		pq.plans = append(pq.plans, p)
+	// Compile eagerly against the current snapshot so preparation reports
+	// errors up front; later snapshots recompile lazily through plansFor.
+	if _, err := pq.plansFor(e.Data()); err != nil {
+		return nil, err
 	}
 	return pq, nil
 }
@@ -123,7 +169,7 @@ func (pq *PreparedQuery) Vars() []string { return pq.vars }
 // everything wants throughput, not first-row latency.
 func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, error) {
 	var rows [][]rdf.Term
-	err := pq.stream(ctx, nil, false, func(row []rdf.Term) bool {
+	err := pq.stream(ctx, pq.e.Data(), nil, false, func(row []rdf.Term) bool {
 		rows = append(rows, row)
 		return true
 	})
@@ -138,11 +184,16 @@ func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, error) {
 // the paper's timing protocol) whenever the query shape allows.
 func (pq *PreparedQuery) Count(ctx context.Context) (int, error) {
 	q := pq.q
+	d := pq.e.Data()
 	if !q.Distinct && q.Limit < 0 && q.Offset == 0 {
+		plans, err := pq.plansFor(d)
+		if err != nil {
+			return 0, err
+		}
 		total := 0
 		fast := true
 		for i, g := range pq.groups {
-			n, ok, err := pq.e.tryFastCount(ctx, pq.plans[i], g)
+			n, ok, err := pq.e.tryFastCount(ctx, plans[i], g)
 			if err != nil {
 				return 0, err
 			}
@@ -157,7 +208,7 @@ func (pq *PreparedQuery) Count(ctx context.Context) (int, error) {
 		}
 	}
 	n := 0
-	err := pq.stream(ctx, nil, false, func([]rdf.Term) bool {
+	err := pq.stream(ctx, d, nil, false, func([]rdf.Term) bool {
 		n++
 		return true
 	})
@@ -238,7 +289,7 @@ func (e *Engine) tryFastCount(ctx context.Context, plan *plan, g *flatGroup) (in
 	}
 	total := 1
 	for _, c := range plan.comps {
-		n, err := core.Count(ctx, e.data.G, c.qg, e.sem, e.opts)
+		n, err := core.Count(ctx, plan.data.G, c.qg, e.sem, e.opts)
 		if err != nil {
 			return 0, false, err
 		}
@@ -350,7 +401,7 @@ func expandUnions(g *sparql.GroupPattern) []*flatGroup {
 // variable pinned.
 func (e *Engine) expandGroups(g *sparql.GroupPattern) []*flatGroup {
 	flats := expandUnions(g)
-	if e.data.Mode != transform.TypeAware {
+	if e.mode != transform.TypeAware {
 		return flats
 	}
 	var out []*flatGroup

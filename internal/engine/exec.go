@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/transform"
 )
 
 // execGroup evaluates a flat group under the query-wide variable index,
@@ -15,8 +16,8 @@ import (
 // bindings from an enclosing solution; those variables were already
 // substituted into the plan as constants and stay empty in the returned
 // rows.
-func (e *Engine) execGroup(ctx context.Context, g *flatGroup, vi *varIndex, outer sparql.Bindings) ([][]rdf.Term, error) {
-	p, err := e.buildPlan(g, outer)
+func (e *Engine) execGroup(ctx context.Context, d *transform.Data, g *flatGroup, vi *varIndex, outer sparql.Bindings) ([][]rdf.Term, error) {
+	p, err := e.buildPlan(d, g, outer)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +49,7 @@ func (e *Engine) execGroup(ctx context.Context, g *flatGroup, vi *varIndex, oute
 	// Join the components (cross product with conflict detection: a
 	// predicate variable can span components).
 	for _, c := range p.comps {
-		sols, err := core.Collect(ctx, e.data.G, c.qg, e.sem, e.opts)
+		sols, err := core.Collect(ctx, d.G, c.qg, e.sem, e.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +59,7 @@ func (e *Engine) execGroup(ctx context.Context, g *flatGroup, vi *varIndex, oute
 		next := make([][]rdf.Term, 0, len(rows)*len(sols))
 		for _, row := range rows {
 			for _, sol := range sols {
-				if merged, ok := e.mergeSolution(row, c, sol, vi); ok {
+				if merged, ok := e.mergeSolution(d, row, c, sol, vi); ok {
 					next = append(next, merged)
 				}
 			}
@@ -71,7 +72,7 @@ func (e *Engine) execGroup(ctx context.Context, g *flatGroup, vi *varIndex, oute
 
 	// Variable-type expansions (`?s rdf:type ?t` under TypeAware).
 	for _, exp := range p.typeExps {
-		rows, err = e.expandTypes(rows, exp, vi, outer)
+		rows, err = e.expandTypes(d, rows, exp, vi, outer)
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +83,7 @@ func (e *Engine) execGroup(ctx context.Context, g *flatGroup, vi *varIndex, oute
 
 	// OPTIONAL groups: SPARQL left join, one group at a time.
 	for _, flats := range p.optFlats {
-		rows, err = e.execOptional(ctx, flats, vi, rows, outer)
+		rows, err = e.execOptional(ctx, d, flats, vi, rows, outer)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +112,7 @@ func (e *Engine) execGroup(ctx context.Context, g *flatGroup, vi *varIndex, oute
 
 // mergeSolution folds one matcher solution into a row copy, rejecting
 // conflicting bindings.
-func (e *Engine) mergeSolution(row []rdf.Term, c *component, sol core.Match, vi *varIndex) ([]rdf.Term, bool) {
+func (e *Engine) mergeSolution(d *transform.Data, row []rdf.Term, c *component, sol core.Match, vi *varIndex) ([]rdf.Term, bool) {
 	merged := append([]rdf.Term(nil), row...)
 	for i, tag := range c.vertexVar {
 		if tag == "" {
@@ -121,7 +122,7 @@ func (e *Engine) mergeSolution(row []rdf.Term, c *component, sol core.Match, vi 
 		if slot < 0 {
 			continue
 		}
-		t := e.data.TermOfVertex(sol.Vertices[i])
+		t := d.TermOfVertex(sol.Vertices[i])
 		if merged[slot] != "" && merged[slot] != t {
 			return nil, false
 		}
@@ -135,7 +136,7 @@ func (e *Engine) mergeSolution(row []rdf.Term, c *component, sol core.Match, vi 
 		if slot < 0 {
 			continue
 		}
-		t := e.data.TermOfEdgeLabel(sol.EdgeLabels[i])
+		t := d.TermOfEdgeLabel(sol.EdgeLabels[i])
 		if merged[slot] != "" && merged[slot] != t {
 			return nil, false
 		}
@@ -147,16 +148,16 @@ func (e *Engine) mergeSolution(row []rdf.Term, c *component, sol core.Match, vi 
 // expandTypes multiplies rows by the admissible type terms of one
 // `?s rdf:type ?t` expansion: the intersection of the direct types of every
 // subject the variable covers.
-func (e *Engine) expandTypes(rows [][]rdf.Term, exp typeExpansion, vi *varIndex, outer sparql.Bindings) ([][]rdf.Term, error) {
+func (e *Engine) expandTypes(d *transform.Data, rows [][]rdf.Term, exp typeExpansion, vi *varIndex, outer sparql.Bindings) ([][]rdf.Term, error) {
 	slot := vi.slot(exp.typeVar)
 	var out [][]rdf.Term
 	for _, row := range rows {
-		types, ok := e.allowedTypes(exp, row, vi, outer)
+		types, ok := allowedTypes(d, exp, row, vi, outer)
 		if !ok {
 			continue
 		}
 		for _, l := range types {
-			t := e.data.TermOfLabel(l)
+			t := d.TermOfLabel(l)
 			if slot >= 0 {
 				if row[slot] != "" && row[slot] != t {
 					continue
@@ -172,10 +173,10 @@ func (e *Engine) expandTypes(rows [][]rdf.Term, exp typeExpansion, vi *varIndex,
 	return out, nil
 }
 
-func (e *Engine) allowedTypes(exp typeExpansion, row []rdf.Term, vi *varIndex, outer sparql.Bindings) ([]uint32, bool) {
+func allowedTypes(d *transform.Data, exp typeExpansion, row []rdf.Term, vi *varIndex, outer sparql.Bindings) ([]uint32, bool) {
 	var sets [][]uint32
 	addVertexTypes := func(v uint32) {
-		sets = append(sets, e.data.SimpleTypes(v))
+		sets = append(sets, d.SimpleTypes(v))
 	}
 	for _, v := range exp.subjConst {
 		addVertexTypes(v)
@@ -190,7 +191,7 @@ func (e *Engine) allowedTypes(exp typeExpansion, row []rdf.Term, vi *varIndex, o
 		if term == "" {
 			return nil, false // subject not bound: no types derivable
 		}
-		v, ok := e.data.VertexOf(term)
+		v, ok := d.VertexOf(term)
 		if !ok {
 			return nil, false
 		}
@@ -223,7 +224,7 @@ func (e *Engine) allowedTypes(exp typeExpansion, row []rdf.Term, vi *varIndex, o
 	}
 	if exp.typeVar != "" && outer != nil {
 		if t, ok := outer[exp.typeVar]; ok && t != "" {
-			l, ok := e.data.LabelOf(t)
+			l, ok := d.LabelOf(t)
 			if !ok {
 				return nil, false
 			}
@@ -244,13 +245,13 @@ func (e *Engine) allowedTypes(exp typeExpansion, row []rdf.Term, vi *varIndex, o
 // their bindings with the group's variables null — emitted exactly once
 // (the paper's qualify-and-exclude-duplicate outcome via standard left-join
 // semantics).
-func (e *Engine) execOptional(ctx context.Context, flats []*flatGroup, vi *varIndex, rows [][]rdf.Term, outer sparql.Bindings) ([][]rdf.Term, error) {
+func (e *Engine) execOptional(ctx context.Context, d *transform.Data, flats []*flatGroup, vi *varIndex, rows [][]rdf.Term, outer sparql.Bindings) ([][]rdf.Term, error) {
 	var out [][]rdf.Term
 	for _, row := range rows {
 		inner := e.rowBindings(row, vi, outer)
 		var subRows [][]rdf.Term
 		for _, flat := range flats {
-			rs, err := e.execGroup(ctx, flat, vi, inner)
+			rs, err := e.execGroup(ctx, d, flat, vi, inner)
 			if err != nil {
 				return nil, err
 			}

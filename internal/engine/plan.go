@@ -7,10 +7,13 @@ import (
 	"repro/internal/transform"
 )
 
-// plan is a flat group compiled against the dataset: connected query-graph
-// components, variable-type expansions, post filters, and optionals.
+// plan is a flat group compiled against one dataset snapshot: connected
+// query-graph components, variable-type expansions, post filters, and
+// optionals. The snapshot is pinned in data; every graph access during an
+// execution of this plan resolves against it, so a plan keeps producing
+// consistent results while the store moves on.
 type plan struct {
-	e     *Engine
+	data  *transform.Data
 	empty bool // statically proven empty (unknown term/label/predicate)
 
 	comps     []*component
@@ -56,14 +59,13 @@ type vertexInfo struct {
 	varTag string
 }
 
-// buildPlan compiles a flat group against the dataset. outer pins variables
-// bound by an enclosing solution (OPTIONAL evaluation).
-func (e *Engine) buildPlan(g *flatGroup, outer sparql.Bindings) (*plan, error) {
-	p := &plan{e: e, outer: outer, optionals: g.optionals}
+// buildPlan compiles a flat group against the snapshot d. outer pins
+// variables bound by an enclosing solution (OPTIONAL evaluation).
+func (e *Engine) buildPlan(d *transform.Data, g *flatGroup, outer sparql.Bindings) (*plan, error) {
+	p := &plan{data: d, outer: outer, optionals: g.optionals}
 	for _, opt := range g.optionals {
 		p.optFlats = append(p.optFlats, e.expandGroups(opt))
 	}
-	d := e.data
 
 	resolve := func(tv sparql.TermOrVar) sparql.TermOrVar {
 		if tv.IsVar() && outer != nil {
@@ -239,7 +241,7 @@ func (e *Engine) buildPlan(g *flatGroup, outer sparql.Bindings) (*plan, error) {
 	// Classify filters: single-variable filters over a BGP vertex variable
 	// are pushed into exploration; everything else runs post-match.
 	for _, f := range g.filters {
-		if !e.pushdownFilter(p, f) {
+		if !pushdownFilter(d, p, f) {
 			p.post = append(p.post, f)
 		}
 	}
@@ -256,8 +258,10 @@ func appendUnique(s []uint32, x uint32) []uint32 {
 }
 
 // pushdownFilter attaches f as a vertex predicate when it references
-// exactly one variable and that variable is a vertex of some component.
-func (e *Engine) pushdownFilter(p *plan, f sparql.Expr) bool {
+// exactly one variable and that variable is a vertex of some component. The
+// predicate closure captures the snapshot's dictionary, which is append-only,
+// so the term resolution stays correct for the plan's lifetime.
+func pushdownFilter(d *transform.Data, p *plan, f sparql.Expr) bool {
 	set := map[string]bool{}
 	f.Vars(set)
 	if len(set) != 1 {
@@ -274,7 +278,6 @@ func (e *Engine) pushdownFilter(p *plan, f sparql.Expr) bool {
 			return false
 		}
 	}
-	d := e.data
 	for _, c := range p.comps {
 		for i, tag := range c.vertexVar {
 			if tag != name {

@@ -44,10 +44,16 @@ func (pq *PreparedQuery) Select(ctx context.Context) *Rows {
 // SelectProfiled is Select with matcher effort counters: prof, when
 // non-nil, accumulates the counters of the streamed matcher run (sequential
 // execution only). Read prof only after the cursor is exhausted or closed.
+//
+// The dataset snapshot is pinned synchronously, before SelectProfiled
+// returns: a cursor opened before a store update enumerates exactly the
+// pre-update solutions, however late it is drained and whatever updates or
+// compactions land in the meantime.
 func (pq *PreparedQuery) SelectProfiled(ctx context.Context, prof *core.ProfileResult) *Rows {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	d := pq.e.Data()
 	cctx, cancel := context.WithCancel(ctx)
 	r := &Rows{
 		vars:   pq.vars,
@@ -56,7 +62,7 @@ func (pq *PreparedQuery) SelectProfiled(ctx context.Context, prof *core.ProfileR
 	}
 	go func() {
 		truncated := false // emit aborted by cancellation (vs clean completion)
-		err := pq.stream(cctx, prof, true, func(row []rdf.Term) bool {
+		err := pq.stream(cctx, d, prof, true, func(row []rdf.Term) bool {
 			select {
 			case r.ch <- row:
 				return true
@@ -87,12 +93,13 @@ func (pq *PreparedQuery) SelectProfiled(ctx context.Context, prof *core.ProfileR
 // Breaking out of the loop terminates the search; a context cancellation or
 // execution failure is yielded as the final pair with a nil row.
 func (pq *PreparedQuery) All(ctx context.Context) iter.Seq2[[]rdf.Term, error] {
+	d := pq.e.Data()
 	return func(yield func([]rdf.Term, error) bool) {
 		if ctx == nil {
 			ctx = context.Background()
 		}
 		stopped := false
-		err := pq.stream(ctx, nil, true, func(row []rdf.Term) bool {
+		err := pq.stream(ctx, d, nil, true, func(row []rdf.Term) bool {
 			if !yield(row, nil) {
 				stopped = true
 				return false

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
+	"repro/internal/transform"
 )
 
 // RowVisitor consumes one projected solution row. Returning false stops
@@ -24,7 +25,11 @@ type RowVisitor func(row []rdf.Term) bool
 // each group through the sequential streaming matcher even when Workers > 1
 // — cursor consumers want first-row latency and early termination, while
 // materializing consumers (Exec, Count) prefer parallel throughput.
-func (pq *PreparedQuery) stream(ctx context.Context, prof *core.ProfileResult, streamFirst bool, emit RowVisitor) error {
+func (pq *PreparedQuery) stream(ctx context.Context, d *transform.Data, prof *core.ProfileResult, streamFirst bool, emit RowVisitor) error {
+	plans, err := pq.plansFor(d)
+	if err != nil {
+		return err
+	}
 	pj := &projector{pq: pq, emit: emit, offset: pq.q.Offset, limit: pq.q.Limit}
 	if pq.q.Distinct {
 		pj.seen = map[string]bool{}
@@ -35,7 +40,7 @@ func (pq *PreparedQuery) stream(ctx context.Context, prof *core.ProfileResult, s
 		// keys may reference non-projected variables.
 		var all [][]rdf.Term
 		for i, g := range pq.groups {
-			err := pq.e.streamGroup(ctx, pq.plans[i], g, pq.vi, prof, streamFirst, func(row []rdf.Term) bool {
+			err := pq.e.streamGroup(ctx, plans[i], g, pq.vi, prof, streamFirst, func(row []rdf.Term) bool {
 				all = append(all, row)
 				return true
 			})
@@ -54,7 +59,7 @@ func (pq *PreparedQuery) stream(ctx context.Context, prof *core.ProfileResult, s
 
 	for i, g := range pq.groups {
 		stopped := false
-		err := pq.e.streamGroup(ctx, pq.plans[i], g, pq.vi, prof, streamFirst, func(row []rdf.Term) bool {
+		err := pq.e.streamGroup(ctx, plans[i], g, pq.vi, prof, streamFirst, func(row []rdf.Term) bool {
 			if !pj.push(row) {
 				stopped = true
 				return false
@@ -132,6 +137,7 @@ func (e *Engine) streamGroup(ctx context.Context, p *plan, g *flatGroup, vi *var
 	if p.empty {
 		return nil
 	}
+	d := p.data
 
 	// Seed the row with the alternative's fixed bindings (wildcard-predicate
 	// rdf:type expansion); conflicting fixes make the alternative empty.
@@ -153,7 +159,7 @@ func (e *Engine) streamGroup(ctx context.Context, p *plan, g *flatGroup, vi *var
 		rows := [][]rdf.Term{row}
 		var err error
 		for _, exp := range p.typeExps {
-			rows, err = e.expandTypes(rows, exp, vi, nil)
+			rows, err = e.expandTypes(d, rows, exp, vi, nil)
 			if err != nil {
 				return false, err
 			}
@@ -162,7 +168,7 @@ func (e *Engine) streamGroup(ctx context.Context, p *plan, g *flatGroup, vi *var
 			}
 		}
 		for _, flats := range p.optFlats {
-			rows, err = e.execOptional(ctx, flats, vi, rows, nil)
+			rows, err = e.execOptional(ctx, d, flats, vi, rows, nil)
 			if err != nil {
 				return false, err
 			}
@@ -200,7 +206,7 @@ func (e *Engine) streamGroup(ctx context.Context, p *plan, g *flatGroup, vi *var
 
 	rest := make([][]core.Match, len(p.comps)-streamed)
 	for i, c := range p.comps[streamed:] {
-		sols, err := core.Collect(ctx, e.data.G, c.qg, e.sem, e.opts)
+		sols, err := core.Collect(ctx, d.G, c.qg, e.sem, e.opts)
 		if err != nil {
 			return err
 		}
@@ -211,7 +217,7 @@ func (e *Engine) streamGroup(ctx context.Context, p *plan, g *flatGroup, vi *var
 	}
 
 	if streamed == 0 {
-		_, err := e.joinRest(p.comps, rest, 0, seed, vi, tail)
+		_, err := e.joinRest(d, p.comps, rest, 0, seed, vi, tail)
 		return err
 	}
 
@@ -220,12 +226,12 @@ func (e *Engine) streamGroup(ctx context.Context, p *plan, g *flatGroup, vi *var
 		opts.Profile = prof
 	}
 	var tailErr error
-	_, err := core.Stream(ctx, e.data.G, p.comps[0].qg, e.sem, opts, func(mt core.Match) bool {
-		row, ok := e.mergeSolution(seed, p.comps[0], mt, vi)
+	_, err := core.Stream(ctx, d.G, p.comps[0].qg, e.sem, opts, func(mt core.Match) bool {
+		row, ok := e.mergeSolution(d, seed, p.comps[0], mt, vi)
 		if !ok {
 			return true
 		}
-		cont, err := e.joinRest(p.comps[1:], rest, 0, row, vi, tail)
+		cont, err := e.joinRest(d, p.comps[1:], rest, 0, row, vi, tail)
 		if err != nil {
 			tailErr = err
 			return false
@@ -242,16 +248,16 @@ func (e *Engine) streamGroup(ctx context.Context, p *plan, g *flatGroup, vi *var
 // components (conflict detection handles predicate variables spanning
 // components), invoking tail on every full row. It reports whether to
 // continue producing.
-func (e *Engine) joinRest(comps []*component, rest [][]core.Match, i int, row []rdf.Term, vi *varIndex, tail func([]rdf.Term) (bool, error)) (bool, error) {
+func (e *Engine) joinRest(d *transform.Data, comps []*component, rest [][]core.Match, i int, row []rdf.Term, vi *varIndex, tail func([]rdf.Term) (bool, error)) (bool, error) {
 	if i == len(rest) {
 		return tail(row)
 	}
 	for _, sol := range rest[i] {
-		merged, ok := e.mergeSolution(row, comps[i], sol, vi)
+		merged, ok := e.mergeSolution(d, row, comps[i], sol, vi)
 		if !ok {
 			continue
 		}
-		cont, err := e.joinRest(comps, rest, i+1, merged, vi, tail)
+		cont, err := e.joinRest(d, comps, rest, i+1, merged, vi, tail)
 		if err != nil || !cont {
 			return cont, err
 		}

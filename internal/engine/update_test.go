@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/transform"
+)
+
+// updateQueries cover the shapes the delta overlay must keep honest: label
+// scans, joins over the delta, variable predicates, type variables, stars
+// (NEC-reducible), OPTIONAL and FILTER.
+var updateQueries = []string{
+	`SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://u/C0> . }`,
+	`SELECT ?x ?y WHERE { ?x <http://u/p> ?y . }`,
+	`SELECT ?x ?y ?z WHERE { ?x <http://u/p> ?y . ?y <http://u/q> ?z . }`,
+	`SELECT ?x ?p ?y WHERE { ?x ?p ?y . }`,
+	`SELECT ?x ?t WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?t . }`,
+	`SELECT ?a ?b WHERE { ?x <http://u/p> ?a . ?x <http://u/p> ?b . }`,
+	`SELECT ?x ?y WHERE { ?x <http://u/q> ?y . OPTIONAL { ?y <http://u/p> ?z . } }`,
+	`SELECT ?x WHERE { ?x <http://u/p> ?y . FILTER(?y != <http://u/e0>) }`,
+	`SELECT DISTINCT ?y WHERE { ?x <http://u/p> ?y . }`,
+}
+
+// updateTriverse is the triple universe for the engine-level differential:
+// entities, two predicates, a class hierarchy and typed entities.
+func updateTriverse() []rdf.Triple {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://u/" + s) }
+	var ts []rdf.Triple
+	ents := make([]rdf.Term, 5)
+	for i := range ents {
+		ents[i] = iri(fmt.Sprintf("e%d", i))
+	}
+	for _, s := range ents {
+		for _, o := range ents {
+			ts = append(ts, rdf.Triple{S: s, P: iri("p"), O: o})
+			ts = append(ts, rdf.Triple{S: s, P: iri("q"), O: o})
+		}
+		for c := 0; c < 3; c++ {
+			ts = append(ts, rdf.Triple{S: s, P: rdf.TypeTerm, O: iri(fmt.Sprintf("C%d", c))})
+		}
+	}
+	ts = append(ts,
+		rdf.Triple{S: iri("C0"), P: rdf.SubClassTerm, O: iri("C1")},
+		rdf.Triple{S: iri("C1"), P: rdf.SubClassTerm, O: iri("C2")},
+	)
+	return ts
+}
+
+// resultKey flattens a result set into an order-independent multiset key.
+func resultKey(res *Result) string {
+	rows := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		var b strings.Builder
+		for _, t := range row {
+			b.WriteString(string(t))
+			b.WriteByte('\x1f')
+		}
+		rows[i] = b.String()
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\x1e")
+}
+
+// TestDifferentialUpdates drives random insert/delete interleavings through
+// a Mutable-backed engine and checks, after every batch, that each query
+// returns exactly what a fresh engine over the net triple set returns —
+// under both transformations, both matching semantics, and with the NEC
+// reduction on and off. Prepared queries are prepared ONCE against the
+// initial snapshot and reused across every update, exercising the
+// per-snapshot plan re-resolution.
+func TestDifferentialUpdates(t *testing.T) {
+	universe := updateTriverse()
+	for _, mode := range []transform.Mode{transform.Direct, transform.TypeAware} {
+		for _, sem := range []core.Semantics{core.Homomorphism, core.Isomorphism} {
+			for _, noNEC := range []bool{false, true} {
+				name := fmt.Sprintf("%v/%v/nec=%v", mode, sem, !noNEC)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(42))
+					opts := core.Optimized()
+					opts.NoNEC = noNEC
+					opts.Workers = 1
+
+					var init []rdf.Triple
+					net := map[rdf.Triple]struct{}{}
+					for _, tr := range universe {
+						if rng.Intn(2) == 0 {
+							init = append(init, tr)
+							net[tr] = struct{}{}
+						}
+					}
+					mut := transform.NewMutable(init, mode)
+					live := New(mut.Current(), opts)
+					live.SetSemantics(sem)
+
+					prepared := make([]*PreparedQuery, len(updateQueries))
+					for i, q := range updateQueries {
+						pq, err := live.Prepare(q)
+						if err != nil {
+							t.Fatalf("prepare %q: %v", q, err)
+						}
+						prepared[i] = pq
+					}
+
+					check := func(step int) {
+						list := make([]rdf.Triple, 0, len(net))
+						for tr := range net {
+							list = append(list, tr)
+						}
+						fresh := New(transform.Build(list, mode), opts)
+						fresh.SetSemantics(sem)
+						for i, q := range updateQueries {
+							liveRes, err := prepared[i].Exec(t.Context())
+							if err != nil {
+								t.Fatalf("step %d: live %q: %v", step, q, err)
+							}
+							freshRes, err := fresh.Query(q)
+							if err != nil {
+								t.Fatalf("step %d: fresh %q: %v", step, q, err)
+							}
+							if lk, fk := resultKey(liveRes), resultKey(freshRes); lk != fk {
+								t.Fatalf("step %d: %q diverged:\nlive  (%d rows) %q\nfresh (%d rows) %q",
+									step, q, len(liveRes.Rows), lk, len(freshRes.Rows), fk)
+							}
+							// The count path must agree with materialization.
+							n, err := prepared[i].Count(t.Context())
+							if err != nil {
+								t.Fatalf("step %d: count %q: %v", step, q, err)
+							}
+							if n != len(liveRes.Rows) {
+								t.Fatalf("step %d: %q Count=%d, Exec=%d rows", step, q, n, len(liveRes.Rows))
+							}
+						}
+					}
+					check(-1)
+
+					for step := 0; step < 12; step++ {
+						var ins, del []rdf.Triple
+						for i := 0; i < 1+rng.Intn(5); i++ {
+							tr := universe[rng.Intn(len(universe))]
+							if rng.Intn(2) == 0 {
+								ins = append(ins, tr)
+								net[tr] = struct{}{}
+							} else {
+								del = append(del, tr)
+								delete(net, tr)
+							}
+						}
+						snap, _ := mut.Apply(ins, del)
+						live.SetData(snap)
+						check(step)
+						if step == 7 {
+							live.SetData(mut.Compact())
+							check(step)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotPinnedAcrossUpdate checks engine-level snapshot isolation:
+// an execution pins the snapshot current at its start and never observes a
+// concurrent SetData.
+func TestSnapshotPinnedAcrossUpdate(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://u/" + s) }
+	tr := func(s, p, o string) rdf.Triple { return rdf.Triple{S: iri(s), P: iri(p), O: iri(o)} }
+
+	mut := transform.NewMutable([]rdf.Triple{tr("a", "p", "b"), tr("b", "p", "c")}, transform.TypeAware)
+	e := New(mut.Current(), core.Optimized())
+	pq, err := e.Prepare(`SELECT ?x ?y WHERE { ?x <http://u/p> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := pq.Select(t.Context())
+	defer rows.Close()
+
+	// Update and compact while the cursor is open but undrained.
+	snap, n := mut.Apply([]rdf.Triple{tr("c", "p", "d")}, []rdf.Triple{tr("a", "p", "b")})
+	if n != 2 {
+		t.Fatalf("applied %d, want 2", n)
+	}
+	e.SetData(snap)
+	e.SetData(mut.Compact())
+
+	got := 0
+	seen := map[string]bool{}
+	for rows.Next() {
+		got++
+		seen[string(rows.Row()[0])+"|"+string(rows.Row()[1])] = true
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 || !seen["<http://u/a>|<http://u/b>"] || !seen["<http://u/b>|<http://u/c>"] {
+		t.Fatalf("pre-update cursor saw %v", seen)
+	}
+
+	// A fresh execution sees the post-update state.
+	res, err := pq.Exec(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("post-update rows = %d, want 2", len(res.Rows))
+	}
+	post := map[string]bool{}
+	for _, r := range res.Rows {
+		post[string(r[0])+"|"+string(r[1])] = true
+	}
+	if !post["<http://u/b>|<http://u/c>"] || !post["<http://u/c>|<http://u/d>"] {
+		t.Fatalf("post-update rows = %v", post)
+	}
+}

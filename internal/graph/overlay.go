@@ -1,0 +1,799 @@
+// Delta overlay: incremental updates over an immutable CSR Graph.
+//
+// The design follows the differential-index shape of RDF-3X (and of the
+// in-repo rdf3x baseline): mutations land in small added/removed sets keyed
+// against an immutable base, and readers see a merged view. A Delta is the
+// mutable accumulator — owned by a single writer under the store's mutation
+// lock — and Snapshot freezes it into an immutable Overlay that implements
+// the full View interface. Snapshots share the base CSR arrays; only the
+// vertices the delta touches ("dirty" vertices) carry materialized merged
+// adjacency, so a snapshot costs O(delta · degree), not O(graph).
+//
+// Dirtiness propagates one hop from label changes: the grouped adjacency
+// keys neighbors by *their* label sets (paper Fig. 9), so giving vertex w a
+// new label regroups w inside every neighbor's adjacency — those neighbors
+// are materialized too. Compaction (rebuilding the base CSR from base+delta)
+// is the upstream store's job; Delta only promises that a snapshot equals
+// the graph a fresh Builder would produce from the merged edge/label sets.
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/intset"
+)
+
+// edgeKey identifies one (subject, edge label, object) edge in delta sets.
+type edgeKey struct{ s, el, o uint32 }
+
+// labelKey identifies one (vertex, label) attachment in delta sets.
+type labelKey struct{ v, l uint32 }
+
+// Delta accumulates edge and vertex-label additions and removals against a
+// base Graph. It is not safe for concurrent use; the owning store serializes
+// writers and publishes immutable Snapshots to readers. The sets are kept
+// disjoint from the base (an added edge is never a base edge, a removed edge
+// always is), so add/delete pairs cancel exactly.
+type Delta struct {
+	base        *Graph
+	numVertices int
+	addEdge     map[edgeKey]struct{}
+	delEdge     map[edgeKey]struct{}
+	// Label changes are indexed per vertex so writer-side bookkeeping
+	// (EffectiveLabels during type deletes) stays O(labels of v), not
+	// O(delta). nAddLabel/nDelLabel track the totals.
+	addLabel             map[uint32]map[uint32]struct{}
+	delLabel             map[uint32]map[uint32]struct{}
+	nAddLabel, nDelLabel int
+}
+
+// NewDelta returns an empty delta over base.
+func NewDelta(base *Graph) *Delta {
+	return &Delta{
+		base:        base,
+		numVertices: base.NumVertices(),
+		addEdge:     make(map[edgeKey]struct{}),
+		delEdge:     make(map[edgeKey]struct{}),
+		addLabel:    make(map[uint32]map[uint32]struct{}),
+		delLabel:    make(map[uint32]map[uint32]struct{}),
+	}
+}
+
+// Empty reports whether the delta holds no edge or label changes. A vertex
+// space grown past the base without content (an interned term whose edges
+// cancelled out) does not count: vertices without edges, labels or types are
+// unreachable by every query pattern, so a base-only view is equivalent.
+func (d *Delta) Empty() bool {
+	return len(d.addEdge) == 0 && len(d.delEdge) == 0 &&
+		d.nAddLabel == 0 && d.nDelLabel == 0
+}
+
+// Size reports the number of pending changes (edges plus labels).
+func (d *Delta) Size() int {
+	return len(d.addEdge) + len(d.delEdge) + d.nAddLabel + d.nDelLabel
+}
+
+// EnsureVertex grows the vertex space to include v.
+func (d *Delta) EnsureVertex(v uint32) {
+	if int(v) >= d.numVertices {
+		d.numVertices = int(v) + 1
+	}
+}
+
+// baseHasEdge reports whether the base graph holds the exact edge.
+func (d *Delta) baseHasEdge(k edgeKey) bool {
+	n := d.base.NumVertices()
+	return int(k.s) < n && int(k.o) < n && d.base.HasEdge(k.s, k.o, k.el)
+}
+
+// baseHasLabel reports whether the base graph attaches l to v.
+func (d *Delta) baseHasLabel(k labelKey) bool {
+	return int(k.v) < d.base.NumVertices() && d.base.HasLabel(k.v, k.l)
+}
+
+// AddEdge records the edge s --el--> o, reporting whether the effective
+// graph changed (false when the edge already exists).
+func (d *Delta) AddEdge(s, el, o uint32) bool {
+	d.EnsureVertex(s)
+	d.EnsureVertex(o)
+	k := edgeKey{s, el, o}
+	if _, ok := d.delEdge[k]; ok {
+		delete(d.delEdge, k)
+		return true
+	}
+	if d.baseHasEdge(k) {
+		return false
+	}
+	if _, ok := d.addEdge[k]; ok {
+		return false
+	}
+	d.addEdge[k] = struct{}{}
+	return true
+}
+
+// DeleteEdge removes the edge s --el--> o, reporting whether the effective
+// graph changed (false when the edge does not exist).
+func (d *Delta) DeleteEdge(s, el, o uint32) bool {
+	k := edgeKey{s, el, o}
+	if _, ok := d.addEdge[k]; ok {
+		delete(d.addEdge, k)
+		return true
+	}
+	if !d.baseHasEdge(k) {
+		return false
+	}
+	if _, ok := d.delEdge[k]; ok {
+		return false
+	}
+	d.delEdge[k] = struct{}{}
+	return true
+}
+
+func setKeys(m map[uint32]struct{}) []uint32 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// AddLabel attaches label l to vertex v, reporting whether the effective
+// graph changed.
+func (d *Delta) AddLabel(v, l uint32) bool {
+	d.EnsureVertex(v)
+	if dl, ok := d.delLabel[v]; ok {
+		if _, ok := dl[l]; ok {
+			delete(dl, l)
+			d.nDelLabel--
+			if len(dl) == 0 {
+				delete(d.delLabel, v)
+			}
+			return true
+		}
+	}
+	if d.baseHasLabel(labelKey{v, l}) {
+		return false
+	}
+	al, ok := d.addLabel[v]
+	if !ok {
+		al = map[uint32]struct{}{}
+		d.addLabel[v] = al
+	}
+	if _, ok := al[l]; ok {
+		return false
+	}
+	al[l] = struct{}{}
+	d.nAddLabel++
+	return true
+}
+
+// DeleteLabel detaches label l from vertex v, reporting whether the
+// effective graph changed.
+func (d *Delta) DeleteLabel(v, l uint32) bool {
+	if al, ok := d.addLabel[v]; ok {
+		if _, ok := al[l]; ok {
+			delete(al, l)
+			d.nAddLabel--
+			if len(al) == 0 {
+				delete(d.addLabel, v)
+			}
+			return true
+		}
+	}
+	if !d.baseHasLabel(labelKey{v, l}) {
+		return false
+	}
+	dl, ok := d.delLabel[v]
+	if !ok {
+		dl = map[uint32]struct{}{}
+		d.delLabel[v] = dl
+	}
+	if _, ok := dl[l]; ok {
+		return false
+	}
+	dl[l] = struct{}{}
+	d.nDelLabel++
+	return true
+}
+
+// HasLabel reports whether the effective (base ± delta) graph attaches l
+// to v.
+func (d *Delta) HasLabel(v, l uint32) bool {
+	if al, ok := d.addLabel[v]; ok {
+		if _, ok := al[l]; ok {
+			return true
+		}
+	}
+	if dl, ok := d.delLabel[v]; ok {
+		if _, ok := dl[l]; ok {
+			return false
+		}
+	}
+	return d.baseHasLabel(labelKey{v, l})
+}
+
+// EffectiveLabels returns the merged sorted label set of v under the
+// current delta.
+func (d *Delta) EffectiveLabels(v uint32) []uint32 {
+	adds := setKeys(d.addLabel[v])
+	dels := setKeys(d.delLabel[v])
+	var base []uint32
+	if int(v) < d.base.NumVertices() {
+		base = d.base.Labels(v)
+	}
+	return mergeSets(base, adds, dels)
+}
+
+// mergeSets returns (base ∪ adds) − dels as a fresh sorted set. adds and
+// dels may be unsorted and are sorted in place.
+func mergeSets(base, adds, dels []uint32) []uint32 {
+	sort.Slice(adds, func(i, j int) bool { return adds[i] < adds[j] })
+	sort.Slice(dels, func(i, j int) bool { return dels[i] < dels[j] })
+	merged := intset.Union2(nil, base, intset.Dedup(adds))
+	if len(dels) == 0 {
+		return merged
+	}
+	return intset.Diff(nil, merged, intset.Dedup(dels))
+}
+
+// grouped is a single vertex's neighbor-type grouped adjacency in one
+// direction: the per-vertex slice of the CSR layout in graph.go.
+type grouped struct {
+	keys []NeighborType
+	end  []int // cumulative end offsets into adj
+	adj  []uint32
+}
+
+func (g *grouped) span(i int) (int, int) {
+	start := 0
+	if i > 0 {
+		start = g.end[i-1]
+	}
+	return start, g.end[i]
+}
+
+func (g *grouped) group(i int) []uint32 {
+	s, e := g.span(i)
+	return g.adj[s:e]
+}
+
+func (g *grouped) find(key NeighborType) int {
+	i := sort.Search(len(g.keys), func(i int) bool { return !ntLess(g.keys[i], key) })
+	if i < len(g.keys) && g.keys[i] == key {
+		return i
+	}
+	return -1
+}
+
+// vertexView is the fully merged state of one dirty vertex.
+type vertexView struct {
+	out, in       grouped
+	outDeg, inDeg int
+}
+
+// Overlay is an immutable merged view of a base Graph plus one Delta
+// snapshot. Reads on vertices, labels and predicates the delta never touched
+// delegate straight to the base; dirty entries resolve against materialized
+// merged structures. An Overlay is safe for concurrent readers and stays
+// valid forever — later deltas and compactions produce new values and never
+// mutate published overlays.
+type Overlay struct {
+	base          *Graph
+	numVertices   int
+	numEdges      int
+	numLabels     int
+	numEdgeLabels int
+
+	labels  map[uint32][]uint32    // vertices whose label set changed (or is new)
+	verts   map[uint32]*vertexView // dirty vertices' merged adjacency
+	inv     map[uint32][]uint32    // labels whose inverse list changed
+	predSub map[uint32][]uint32    // edge labels whose subject list changed
+	predObj map[uint32][]uint32    // edge labels whose object list changed
+}
+
+// Snapshot freezes the delta into an immutable Overlay. The overlay observes
+// exactly the edges and labels of (base + additions − removals); differential
+// tests pin this against a fresh Builder over the merged sets.
+func (d *Delta) Snapshot() *Overlay {
+	base := d.base
+	bn := base.NumVertices()
+	o := &Overlay{
+		base:          base,
+		numVertices:   d.numVertices,
+		numEdges:      base.NumEdges() + len(d.addEdge) - len(d.delEdge),
+		numLabels:     base.NumLabels(),
+		numEdgeLabels: base.NumEdgeLabels(),
+		labels:        make(map[uint32][]uint32),
+		verts:         make(map[uint32]*vertexView),
+		inv:           make(map[uint32][]uint32),
+		predSub:       make(map[uint32][]uint32),
+		predObj:       make(map[uint32][]uint32),
+	}
+	if o.numVertices < bn {
+		o.numVertices = bn
+	}
+
+	// Group the edge delta by endpoint and the label delta by vertex and by
+	// label, and widen the label/edge-label spaces for fresh IDs.
+	outAdd := map[uint32][]rawEdge{}
+	inAdd := map[uint32][]rawEdge{}
+	outDel := map[uint32]map[rawEdge]struct{}{}
+	inDel := map[uint32]map[rawEdge]struct{}{}
+	dirty := map[uint32]struct{}{}
+	markDel := func(m map[uint32]map[rawEdge]struct{}, v uint32, e rawEdge) {
+		s, ok := m[v]
+		if !ok {
+			s = map[rawEdge]struct{}{}
+			m[v] = s
+		}
+		s[e] = struct{}{}
+	}
+	for k := range d.addEdge {
+		outAdd[k.s] = append(outAdd[k.s], rawEdge{k.el, k.o})
+		inAdd[k.o] = append(inAdd[k.o], rawEdge{k.el, k.s})
+		dirty[k.s] = struct{}{}
+		dirty[k.o] = struct{}{}
+		if int(k.el)+1 > o.numEdgeLabels {
+			o.numEdgeLabels = int(k.el) + 1
+		}
+	}
+	for k := range d.delEdge {
+		markDel(outDel, k.s, rawEdge{k.el, k.o})
+		markDel(inDel, k.o, rawEdge{k.el, k.s})
+		dirty[k.s] = struct{}{}
+		dirty[k.o] = struct{}{}
+	}
+
+	labAdd := map[uint32][]uint32{}
+	labDel := map[uint32][]uint32{}
+	invAdd := map[uint32][]uint32{}
+	invDel := map[uint32][]uint32{}
+	for v, ls := range d.addLabel {
+		for l := range ls {
+			labAdd[v] = append(labAdd[v], l)
+			invAdd[l] = append(invAdd[l], v)
+			if int(l)+1 > o.numLabels {
+				o.numLabels = int(l) + 1
+			}
+		}
+	}
+	for v, ls := range d.delLabel {
+		for l := range ls {
+			labDel[v] = append(labDel[v], l)
+			invDel[l] = append(invDel[l], v)
+		}
+	}
+
+	// Merged label sets for relabeled vertices, and one-hop dirtiness: a
+	// relabeled vertex regroups inside all of its base neighbors' adjacency.
+	// (Delta-edge neighbors of a relabeled vertex are already dirty.)
+	var scratch []rawEdge
+	relabeled := map[uint32]struct{}{}
+	for v := range labAdd {
+		relabeled[v] = struct{}{}
+	}
+	for v := range labDel {
+		relabeled[v] = struct{}{}
+	}
+	for v := range relabeled {
+		var bl []uint32
+		if int(v) < bn {
+			bl = base.Labels(v)
+		}
+		o.labels[v] = mergeSets(bl, labAdd[v], labDel[v])
+		dirty[v] = struct{}{}
+		scratch = base.rawEdges(scratch[:0], v, Out)
+		for _, e := range scratch {
+			dirty[e.nb] = struct{}{}
+		}
+		scratch = base.rawEdges(scratch[:0], v, In)
+		for _, e := range scratch {
+			dirty[e.nb] = struct{}{}
+		}
+	}
+
+	labelsOf := func(v uint32) []uint32 {
+		if ls, ok := o.labels[v]; ok {
+			return ls
+		}
+		if int(v) < bn {
+			return base.Labels(v)
+		}
+		return nil
+	}
+
+	// Materialize the merged adjacency of every dirty vertex.
+	for v := range dirty {
+		vv := &vertexView{}
+		out := mergeRaw(base.rawEdges(nil, v, Out), outAdd[v], outDel[v])
+		in := mergeRaw(base.rawEdges(nil, v, In), inAdd[v], inDel[v])
+		vv.outDeg, vv.inDeg = len(out), len(in)
+		vv.out = groupRaw(out, labelsOf)
+		vv.in = groupRaw(in, labelsOf)
+		o.verts[v] = vv
+	}
+
+	// Merged inverse vertex-label lists for dirty labels.
+	for l := range mergedLabelKeys(invAdd, invDel) {
+		o.inv[l] = mergeSets(base.VerticesWithLabel(l), invAdd[l], invDel[l])
+	}
+
+	// Merged predicate index entries for dirty edge labels, grouped in one
+	// pass over the edge delta. A removed edge only removes its subject
+	// (object) from the index when the vertex has no remaining edge under
+	// that label — checked against the materialized merged adjacency, which
+	// covers every removal endpoint by construction.
+	type predDelta struct {
+		subAdd, subDel, objAdd, objDel []uint32
+	}
+	preds := map[uint32]*predDelta{}
+	predOf := func(el uint32) *predDelta {
+		pd, ok := preds[el]
+		if !ok {
+			pd = &predDelta{}
+			preds[el] = pd
+		}
+		return pd
+	}
+	for k := range d.addEdge {
+		pd := predOf(k.el)
+		pd.subAdd = append(pd.subAdd, k.s)
+		pd.objAdd = append(pd.objAdd, k.o)
+	}
+	for k := range d.delEdge {
+		pd := predOf(k.el)
+		if !o.verts[k.s].out.hasEdgeLabel(k.el) {
+			pd.subDel = append(pd.subDel, k.s)
+		}
+		if !o.verts[k.o].in.hasEdgeLabel(k.el) {
+			pd.objDel = append(pd.objDel, k.o)
+		}
+	}
+	for el, pd := range preds {
+		o.predSub[el] = mergeSets(base.SubjectsOf(el), pd.subAdd, pd.subDel)
+		o.predObj[el] = mergeSets(base.ObjectsOf(el), pd.objAdd, pd.objDel)
+	}
+	return o
+}
+
+// hasEdgeLabel reports whether any group of g carries edge label el.
+func (g *grouped) hasEdgeLabel(el uint32) bool {
+	i := sort.Search(len(g.keys), func(i int) bool { return g.keys[i].EdgeLabel >= el })
+	return i < len(g.keys) && g.keys[i].EdgeLabel == el
+}
+
+func mergedLabelKeys(a, b map[uint32][]uint32) map[uint32]struct{} {
+	out := make(map[uint32]struct{}, len(a)+len(b))
+	for k := range a {
+		out[k] = struct{}{}
+	}
+	for k := range b {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// mergeRaw returns (base ∪ adds) − dels over raw (el, nb) incidences. base
+// is sorted and deduplicated; adds is disjoint from base, dels ⊆ base.
+func mergeRaw(base []rawEdge, adds []rawEdge, dels map[rawEdge]struct{}) []rawEdge {
+	out := make([]rawEdge, 0, len(base)+len(adds))
+	for _, e := range base {
+		if _, gone := dels[e]; !gone {
+			out = append(out, e)
+		}
+	}
+	out = append(out, adds...)
+	sort.Slice(out, func(i, j int) bool { return rawLess(out[i], out[j]) })
+	return out
+}
+
+// groupRaw builds the neighbor-type grouped adjacency of one vertex from its
+// merged raw edges, filing each neighbor once per label (NoLabel when it has
+// none) exactly as Builder.Build does.
+func groupRaw(raw []rawEdge, labelsOf func(uint32) []uint32) grouped {
+	type entry struct {
+		key NeighborType
+		nb  uint32
+	}
+	entries := make([]entry, 0, len(raw))
+	for _, e := range raw {
+		ls := labelsOf(e.nb)
+		if len(ls) == 0 {
+			entries = append(entries, entry{NeighborType{e.el, NoLabel}, e.nb})
+			continue
+		}
+		for _, l := range ls {
+			entries = append(entries, entry{NeighborType{e.el, l}, e.nb})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.key != b.key {
+			return ntLess(a.key, b.key)
+		}
+		return a.nb < b.nb
+	})
+	var g grouped
+	g.adj = make([]uint32, len(entries))
+	for i, e := range entries {
+		g.adj[i] = e.nb
+		if i == 0 || entries[i-1].key != e.key {
+			g.keys = append(g.keys, e.key)
+			g.end = append(g.end, i+1)
+		} else {
+			g.end[len(g.end)-1] = i + 1
+		}
+	}
+	return g
+}
+
+// --- View implementation ---
+
+// NumVertices reports the number of vertices.
+func (o *Overlay) NumVertices() int { return o.numVertices }
+
+// NumEdges reports the number of distinct (s, label, o) edges.
+func (o *Overlay) NumEdges() int { return o.numEdges }
+
+// NumLabels reports the size of the vertex-label space.
+func (o *Overlay) NumLabels() int { return o.numLabels }
+
+// NumEdgeLabels reports the size of the edge-label space.
+func (o *Overlay) NumEdgeLabels() int { return o.numEdgeLabels }
+
+// Labels returns the sorted label set of v.
+func (o *Overlay) Labels(v uint32) []uint32 {
+	if ls, ok := o.labels[v]; ok {
+		return ls
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.Labels(v)
+	}
+	return nil
+}
+
+// HasLabel reports whether v carries label l.
+func (o *Overlay) HasLabel(v uint32, l uint32) bool {
+	return intset.Contains(o.Labels(v), l)
+}
+
+// HasAllLabels reports whether v carries every label in ls.
+func (o *Overlay) HasAllLabels(v uint32, ls []uint32) bool {
+	for _, l := range ls {
+		if !o.HasLabel(v, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// VerticesWithLabel returns the sorted vertex IDs carrying label l.
+func (o *Overlay) VerticesWithLabel(l uint32) []uint32 {
+	if vs, ok := o.inv[l]; ok {
+		return vs
+	}
+	return o.base.VerticesWithLabel(l)
+}
+
+func (v *vertexView) dir(d Dir) *grouped {
+	if d == Out {
+		return &v.out
+	}
+	return &v.in
+}
+
+// Degree returns the edge count of v in direction d.
+func (o *Overlay) Degree(v uint32, d Dir) int {
+	if vv, ok := o.verts[v]; ok {
+		if d == Out {
+			return vv.outDeg
+		}
+		return vv.inDeg
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.Degree(v, d)
+	}
+	return 0
+}
+
+// Adj returns the adjacency group adj(v, (el, vl)).
+func (o *Overlay) Adj(v uint32, d Dir, el, vl uint32) []uint32 {
+	if vv, ok := o.verts[v]; ok {
+		g := vv.dir(d)
+		gi := g.find(NeighborType{el, vl})
+		if gi < 0 {
+			return nil
+		}
+		return g.group(gi)
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.Adj(v, d, el, vl)
+	}
+	return nil
+}
+
+// AdjEdgeLabel appends the union of v's neighbors over edge label el.
+func (o *Overlay) AdjEdgeLabel(dst []uint32, v uint32, d Dir, el uint32) []uint32 {
+	if vv, ok := o.verts[v]; ok {
+		g := vv.dir(d)
+		first := sort.Search(len(g.keys), func(i int) bool { return g.keys[i].EdgeLabel >= el })
+		var sets [][]uint32
+		for gi := first; gi < len(g.keys) && g.keys[gi].EdgeLabel == el; gi++ {
+			sets = append(sets, g.group(gi))
+		}
+		return intset.UnionK(dst, sets...)
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.AdjEdgeLabel(dst, v, d, el)
+	}
+	return dst
+}
+
+// AdjAny appends the union of all neighbors of v in direction d.
+func (o *Overlay) AdjAny(dst []uint32, v uint32, d Dir) []uint32 {
+	if vv, ok := o.verts[v]; ok {
+		g := vv.dir(d)
+		var sets [][]uint32
+		for gi := range g.keys {
+			sets = append(sets, g.group(gi))
+		}
+		return intset.UnionK(dst, sets...)
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.AdjAny(dst, v, d)
+	}
+	return dst
+}
+
+// AdjVertexLabel appends the union of v's neighbors carrying label vl.
+func (o *Overlay) AdjVertexLabel(dst []uint32, v uint32, d Dir, vl uint32) []uint32 {
+	if vv, ok := o.verts[v]; ok {
+		g := vv.dir(d)
+		var sets [][]uint32
+		for gi := range g.keys {
+			if g.keys[gi].VertexLabel == vl {
+				sets = append(sets, g.group(gi))
+			}
+		}
+		return intset.UnionK(dst, sets...)
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.AdjVertexLabel(dst, v, d, vl)
+	}
+	return dst
+}
+
+// groupLabelOf picks the group key label under which w is filed: its first
+// merged label, or NoLabel when it has none.
+func (o *Overlay) groupLabelOf(w uint32) uint32 {
+	ls := o.Labels(w)
+	if len(ls) == 0 {
+		return NoLabel
+	}
+	return ls[0]
+}
+
+// HasEdge reports whether v --el--> w exists. el == NoLabel matches any
+// edge label.
+func (o *Overlay) HasEdge(v, w uint32, el uint32) bool {
+	if el == NoLabel {
+		return len(o.EdgeLabelsBetween(nil, v, w)) > 0
+	}
+	if _, ok := o.verts[v]; ok {
+		return intset.Contains(o.Adj(v, Out, el, o.groupLabelOf(w)), w)
+	}
+	// v untouched: none of its edges changed and none of its neighbors were
+	// relabeled (that would have dirtied v), so the base answer stands. A w
+	// outside the base can only connect through delta edges, which dirty v.
+	bn := o.base.NumVertices()
+	if int(v) >= bn || int(w) >= bn {
+		return false
+	}
+	return o.base.HasEdge(v, w, el)
+}
+
+// EdgeLabelsBetween appends the labels of all edges v --?--> w.
+func (o *Overlay) EdgeLabelsBetween(dst []uint32, v, w uint32) []uint32 {
+	if vv, ok := o.verts[v]; ok {
+		vl := o.groupLabelOf(w)
+		g := &vv.out
+		for gi := range g.keys {
+			if g.keys[gi].VertexLabel != vl {
+				continue
+			}
+			if intset.Contains(g.group(gi), w) {
+				dst = append(dst, g.keys[gi].EdgeLabel)
+			}
+		}
+		return dst
+	}
+	bn := o.base.NumVertices()
+	if int(v) >= bn || int(w) >= bn {
+		return dst
+	}
+	return o.base.EdgeLabelsBetween(dst, v, w)
+}
+
+// NeighborTypes returns the adjacency group keys of v in direction d.
+func (o *Overlay) NeighborTypes(v uint32, d Dir) []NeighborType {
+	if vv, ok := o.verts[v]; ok {
+		return vv.dir(d).keys
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.NeighborTypes(v, d)
+	}
+	return nil
+}
+
+// GroupSize returns len(Adj(v, d, el, vl)) without materializing it.
+func (o *Overlay) GroupSize(v uint32, d Dir, el, vl uint32) int {
+	if vv, ok := o.verts[v]; ok {
+		g := vv.dir(d)
+		gi := g.find(NeighborType{el, vl})
+		if gi < 0 {
+			return 0
+		}
+		s, e := g.span(gi)
+		return e - s
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.GroupSize(v, d, el, vl)
+	}
+	return 0
+}
+
+// CountEdgeLabel totals v's group sizes with edge label el.
+func (o *Overlay) CountEdgeLabel(v uint32, d Dir, el uint32) int {
+	if vv, ok := o.verts[v]; ok {
+		g := vv.dir(d)
+		first := sort.Search(len(g.keys), func(i int) bool { return g.keys[i].EdgeLabel >= el })
+		n := 0
+		for gi := first; gi < len(g.keys) && g.keys[gi].EdgeLabel == el; gi++ {
+			s, e := g.span(gi)
+			n += e - s
+		}
+		return n
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.CountEdgeLabel(v, d, el)
+	}
+	return 0
+}
+
+// CountVertexLabel totals v's group sizes with neighbor label vl.
+func (o *Overlay) CountVertexLabel(v uint32, d Dir, vl uint32) int {
+	if vv, ok := o.verts[v]; ok {
+		g := vv.dir(d)
+		n := 0
+		for gi := range g.keys {
+			if g.keys[gi].VertexLabel == vl {
+				s, e := g.span(gi)
+				n += e - s
+			}
+		}
+		return n
+	}
+	if int(v) < o.base.NumVertices() {
+		return o.base.CountVertexLabel(v, d, vl)
+	}
+	return 0
+}
+
+// SubjectsOf returns the sorted distinct subjects of edges labeled el.
+func (o *Overlay) SubjectsOf(el uint32) []uint32 {
+	if vs, ok := o.predSub[el]; ok {
+		return vs
+	}
+	return o.base.SubjectsOf(el)
+}
+
+// ObjectsOf returns the sorted distinct objects of edges labeled el.
+func (o *Overlay) ObjectsOf(el uint32) []uint32 {
+	if vs, ok := o.predObj[el]; ok {
+		return vs
+	}
+	return o.base.ObjectsOf(el)
+}

@@ -1,0 +1,293 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/intset"
+)
+
+// modelGraph is the reference state a Delta run should converge to: plain
+// edge and label sets.
+type modelGraph struct {
+	numVertices int
+	edges       map[edgeKey]struct{}
+	labels      map[labelKey]struct{}
+}
+
+func (m *modelGraph) build() *Graph {
+	b := NewBuilder()
+	if m.numVertices > 0 {
+		b.EnsureVertex(uint32(m.numVertices - 1))
+	}
+	for k := range m.labels {
+		b.AddVertexLabel(k.v, k.l)
+	}
+	for k := range m.edges {
+		b.AddEdge(k.s, k.el, k.o)
+	}
+	return b.Build()
+}
+
+// compareViews checks every View method agreement between got and want over
+// the full (small) ID space.
+func compareViews(t *testing.T, got, want View, maxV, maxL, maxEL int) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("NumVertices = %d, want %d", got.NumVertices(), want.NumVertices())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+	for l := 0; l < maxL; l++ {
+		if !intset.Equal(got.VerticesWithLabel(uint32(l)), want.VerticesWithLabel(uint32(l))) {
+			t.Fatalf("VerticesWithLabel(%d) = %v, want %v", l, got.VerticesWithLabel(uint32(l)), want.VerticesWithLabel(uint32(l)))
+		}
+	}
+	for el := 0; el < maxEL; el++ {
+		if !intset.Equal(got.SubjectsOf(uint32(el)), want.SubjectsOf(uint32(el))) {
+			t.Fatalf("SubjectsOf(%d) = %v, want %v", el, got.SubjectsOf(uint32(el)), want.SubjectsOf(uint32(el)))
+		}
+		if !intset.Equal(got.ObjectsOf(uint32(el)), want.ObjectsOf(uint32(el))) {
+			t.Fatalf("ObjectsOf(%d) = %v, want %v", el, got.ObjectsOf(uint32(el)), want.ObjectsOf(uint32(el)))
+		}
+	}
+	for vi := 0; vi < maxV; vi++ {
+		v := uint32(vi)
+		inRange := vi < want.NumVertices()
+		var wantLabels []uint32
+		if inRange {
+			wantLabels = want.Labels(v)
+		}
+		if !intset.Equal(got.Labels(v), wantLabels) {
+			t.Fatalf("Labels(%d) = %v, want %v", v, got.Labels(v), wantLabels)
+		}
+		for _, d := range []Dir{Out, In} {
+			wantDeg := 0
+			var wantNT []NeighborType
+			if inRange {
+				wantDeg = want.Degree(v, d)
+				wantNT = want.NeighborTypes(v, d)
+			}
+			if got.Degree(v, d) != wantDeg {
+				t.Fatalf("Degree(%d, %v) = %d, want %d", v, d, got.Degree(v, d), wantDeg)
+			}
+			gotNT := got.NeighborTypes(v, d)
+			if len(gotNT) != len(wantNT) {
+				t.Fatalf("NeighborTypes(%d, %v) = %v, want %v", v, d, gotNT, wantNT)
+			}
+			for i := range gotNT {
+				if gotNT[i] != wantNT[i] {
+					t.Fatalf("NeighborTypes(%d, %v) = %v, want %v", v, d, gotNT, wantNT)
+				}
+			}
+			for el := 0; el < maxEL; el++ {
+				var wantAEL []uint32
+				wantCEL := 0
+				if inRange {
+					wantAEL = want.AdjEdgeLabel(nil, v, d, uint32(el))
+					wantCEL = want.CountEdgeLabel(v, d, uint32(el))
+				}
+				if !intset.Equal(got.AdjEdgeLabel(nil, v, d, uint32(el)), wantAEL) {
+					t.Fatalf("AdjEdgeLabel(%d, %v, %d) mismatch", v, d, el)
+				}
+				if got.CountEdgeLabel(v, d, uint32(el)) != wantCEL {
+					t.Fatalf("CountEdgeLabel(%d, %v, %d) = %d, want %d", v, d, el, got.CountEdgeLabel(v, d, uint32(el)), wantCEL)
+				}
+				for vl := -1; vl < maxL; vl++ {
+					key := uint32(vl)
+					if vl < 0 {
+						key = NoLabel
+					}
+					var wantAdj []uint32
+					wantGS := 0
+					if inRange {
+						wantAdj = want.Adj(v, d, uint32(el), key)
+						wantGS = want.GroupSize(v, d, uint32(el), key)
+					}
+					if !intset.Equal(got.Adj(v, d, uint32(el), key), wantAdj) {
+						t.Fatalf("Adj(%d, %v, %d, %d) = %v, want %v", v, d, el, int32(key), got.Adj(v, d, uint32(el), key), wantAdj)
+					}
+					if got.GroupSize(v, d, uint32(el), key) != wantGS {
+						t.Fatalf("GroupSize(%d, %v, %d, %d) mismatch", v, d, el, int32(key))
+					}
+				}
+			}
+			for vl := -1; vl < maxL; vl++ {
+				key := uint32(vl)
+				if vl < 0 {
+					key = NoLabel
+				}
+				var wantAVL []uint32
+				wantCVL := 0
+				if inRange {
+					wantAVL = want.AdjVertexLabel(nil, v, d, key)
+					wantCVL = want.CountVertexLabel(v, d, key)
+				}
+				if !intset.Equal(got.AdjVertexLabel(nil, v, d, key), wantAVL) {
+					t.Fatalf("AdjVertexLabel(%d, %v, %d) mismatch", v, d, int32(key))
+				}
+				if got.CountVertexLabel(v, d, key) != wantCVL {
+					t.Fatalf("CountVertexLabel(%d, %v, %d) mismatch", v, d, int32(key))
+				}
+			}
+			var wantAny []uint32
+			if inRange {
+				wantAny = want.AdjAny(nil, v, d)
+			}
+			if !intset.Equal(got.AdjAny(nil, v, d), wantAny) {
+				t.Fatalf("AdjAny(%d, %v) mismatch", v, d)
+			}
+		}
+		for wi := 0; wi < maxV; wi++ {
+			w := uint32(wi)
+			bothIn := inRange && wi < want.NumVertices()
+			var wantELB []uint32
+			if bothIn {
+				wantELB = want.EdgeLabelsBetween(nil, v, w)
+			}
+			gotELB := got.EdgeLabelsBetween(nil, v, w)
+			if !intset.Equal(gotELB, wantELB) {
+				t.Fatalf("EdgeLabelsBetween(%d, %d) = %v, want %v", v, w, gotELB, wantELB)
+			}
+			for el := -1; el < maxEL; el++ {
+				key := uint32(el)
+				if el < 0 {
+					key = NoLabel
+				}
+				wantHE := false
+				if bothIn {
+					wantHE = want.HasEdge(v, w, key)
+				}
+				if got.HasEdge(v, w, key) != wantHE {
+					t.Fatalf("HasEdge(%d, %d, %d) = %v, want %v", v, w, int32(key), got.HasEdge(v, w, key), wantHE)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlayDifferential drives random add/delete interleavings through a
+// Delta and pins every Snapshot against a Graph rebuilt from scratch from
+// the net edge/label sets — the graph-level core of the update contract.
+func TestOverlayDifferential(t *testing.T) {
+	const (
+		maxV  = 9 // leaves headroom above the base's vertex space
+		maxL  = 4
+		maxEL = 3
+	)
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			model := &modelGraph{
+				edges:  map[edgeKey]struct{}{},
+				labels: map[labelKey]struct{}{},
+			}
+			// Random base over a subset of the vertex space.
+			baseV := 4 + rng.Intn(3)
+			model.numVertices = baseV
+			for i := 0; i < 12; i++ {
+				k := edgeKey{uint32(rng.Intn(baseV)), uint32(rng.Intn(maxEL)), uint32(rng.Intn(baseV))}
+				model.edges[k] = struct{}{}
+			}
+			for i := 0; i < 6; i++ {
+				k := labelKey{uint32(rng.Intn(baseV)), uint32(rng.Intn(maxL))}
+				model.labels[k] = struct{}{}
+			}
+			base := model.build()
+			delta := NewDelta(base)
+
+			for step := 0; step < 60; step++ {
+				switch rng.Intn(4) {
+				case 0: // add edge (possibly to a new vertex)
+					k := edgeKey{uint32(rng.Intn(maxV)), uint32(rng.Intn(maxEL)), uint32(rng.Intn(maxV))}
+					delta.AddEdge(k.s, k.el, k.o)
+					model.edges[k] = struct{}{}
+					model.bump(k.s)
+					model.bump(k.o)
+				case 1: // delete edge (random, often absent)
+					k := edgeKey{uint32(rng.Intn(maxV)), uint32(rng.Intn(maxEL)), uint32(rng.Intn(maxV))}
+					changed := delta.DeleteEdge(k.s, k.el, k.o)
+					_, present := model.edges[k]
+					if changed != present {
+						t.Fatalf("DeleteEdge(%v) changed=%v, model present=%v", k, changed, present)
+					}
+					delete(model.edges, k)
+				case 2: // add label
+					k := labelKey{uint32(rng.Intn(maxV)), uint32(rng.Intn(maxL))}
+					delta.AddLabel(k.v, k.l)
+					model.labels[k] = struct{}{}
+					model.bump(k.v)
+				case 3: // delete label
+					k := labelKey{uint32(rng.Intn(maxV)), uint32(rng.Intn(maxL))}
+					changed := delta.DeleteLabel(k.v, k.l)
+					_, present := model.labels[k]
+					if changed != present {
+						t.Fatalf("DeleteLabel(%v) changed=%v, model present=%v", k, changed, present)
+					}
+					delete(model.labels, k)
+				}
+				if step%10 == 9 || step == 59 {
+					fresh := model.build()
+					compareViews(t, delta.Snapshot(), fresh, maxV+1, maxL+1, maxEL+1)
+				}
+			}
+		})
+	}
+}
+
+// bump grows the model's vertex space like Delta.EnsureVertex.
+func (m *modelGraph) bump(v uint32) {
+	if int(v) >= m.numVertices {
+		m.numVertices = int(v) + 1
+	}
+}
+
+// TestOverlayEmptyDeltaDelegates checks that an empty delta's snapshot is a
+// pure pass-through of the base.
+func TestOverlayEmptyDeltaDelegates(t *testing.T) {
+	b := NewBuilder()
+	b.AddVertexLabel(0, 1)
+	b.AddEdge(0, 0, 1)
+	base := b.Build()
+	d := NewDelta(base)
+	if !d.Empty() {
+		t.Fatal("fresh delta not empty")
+	}
+	o := d.Snapshot()
+	compareViews(t, o, base, base.NumVertices()+1, base.NumLabels()+1, base.NumEdgeLabels()+1)
+}
+
+// TestDeltaCancellation checks that add/delete pairs cancel exactly and the
+// delta returns to empty.
+func TestDeltaCancellation(t *testing.T) {
+	b := NewBuilder()
+	b.AddEdge(0, 0, 1)
+	b.AddVertexLabel(0, 0)
+	base := b.Build()
+	d := NewDelta(base)
+
+	if !d.AddEdge(0, 0, 2) || !d.DeleteEdge(0, 0, 2) {
+		t.Fatal("add/delete of a fresh edge should both report change")
+	}
+	if !d.DeleteEdge(0, 0, 1) || !d.AddEdge(0, 0, 1) {
+		t.Fatal("delete/re-add of a base edge should both report change")
+	}
+	if !d.AddLabel(1, 3) || !d.DeleteLabel(1, 3) {
+		t.Fatal("label add/delete pair should both report change")
+	}
+	if !d.DeleteLabel(0, 0) || !d.AddLabel(0, 0) {
+		t.Fatal("base label delete/re-add should both report change")
+	}
+	if d.AddEdge(0, 0, 1) {
+		t.Fatal("re-adding an existing base edge should be a no-op")
+	}
+	if d.DeleteEdge(0, 1, 1) {
+		t.Fatal("deleting an absent edge should be a no-op")
+	}
+	if !d.Empty() {
+		t.Fatalf("delta should have cancelled to empty, size %d", d.Size())
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import "sort"
+
+// View is the read-only interface over a labeled data graph that the
+// matching engine consumes. Two implementations exist: the immutable CSR
+// *Graph built by a Builder, and the *Overlay a Delta produces, which merges
+// a CSR base with a small set of edge/label additions and removals. Every
+// method keeps the CSR contracts: returned slices are sorted, duplicate-free
+// and must not be mutated by callers.
+type View interface {
+	// NumVertices reports the number of vertices.
+	NumVertices() int
+	// NumEdges reports the number of distinct (s, label, o) edges.
+	NumEdges() int
+	// NumLabels reports the size of the vertex-label space.
+	NumLabels() int
+	// NumEdgeLabels reports the size of the edge-label space.
+	NumEdgeLabels() int
+
+	// Labels returns the sorted label set of v.
+	Labels(v uint32) []uint32
+	// HasLabel reports whether v carries label l.
+	HasLabel(v uint32, l uint32) bool
+	// HasAllLabels reports whether v carries every label in ls.
+	HasAllLabels(v uint32, ls []uint32) bool
+	// VerticesWithLabel returns the sorted vertex IDs carrying label l.
+	VerticesWithLabel(l uint32) []uint32
+
+	// Degree returns the edge count of v in direction d.
+	Degree(v uint32, d Dir) int
+	// Adj returns the adjacency group adj(v, (el, vl)).
+	Adj(v uint32, d Dir, el, vl uint32) []uint32
+	// AdjEdgeLabel appends the union of v's neighbors over edge label el.
+	AdjEdgeLabel(dst []uint32, v uint32, d Dir, el uint32) []uint32
+	// AdjAny appends the union of all neighbors of v in direction d.
+	AdjAny(dst []uint32, v uint32, d Dir) []uint32
+	// AdjVertexLabel appends the union of v's neighbors carrying label vl.
+	AdjVertexLabel(dst []uint32, v uint32, d Dir, vl uint32) []uint32
+	// HasEdge reports whether v --el--> w exists (el == NoLabel: any label).
+	HasEdge(v, w uint32, el uint32) bool
+	// EdgeLabelsBetween appends the labels of all edges v --?--> w.
+	EdgeLabelsBetween(dst []uint32, v, w uint32) []uint32
+	// NeighborTypes returns the adjacency group keys of v in direction d.
+	NeighborTypes(v uint32, d Dir) []NeighborType
+	// GroupSize returns len(Adj(v, d, el, vl)) without materializing it.
+	GroupSize(v uint32, d Dir, el, vl uint32) int
+	// CountEdgeLabel totals v's group sizes with edge label el.
+	CountEdgeLabel(v uint32, d Dir, el uint32) int
+	// CountVertexLabel totals v's group sizes with neighbor label vl.
+	CountVertexLabel(v uint32, d Dir, vl uint32) int
+
+	// SubjectsOf returns the sorted distinct subjects of edges labeled el.
+	SubjectsOf(el uint32) []uint32
+	// ObjectsOf returns the sorted distinct objects of edges labeled el.
+	ObjectsOf(el uint32) []uint32
+}
+
+var (
+	_ View = (*Graph)(nil)
+	_ View = (*Overlay)(nil)
+)
+
+// rawEdge is one (edge label, neighbor) incidence of a vertex, the raw-edge
+// currency the delta machinery merges before regrouping by neighbor label.
+type rawEdge struct{ el, nb uint32 }
+
+func rawLess(a, b rawEdge) bool {
+	if a.el != b.el {
+		return a.el < b.el
+	}
+	return a.nb < b.nb
+}
+
+// rawEdges appends the distinct (edge label, neighbor) pairs of v in
+// direction d. The grouped adjacency files a neighbor once per neighbor
+// label, so the group contents are collected, sorted and deduplicated.
+func (g *Graph) rawEdges(dst []rawEdge, v uint32, d Dir) []rawEdge {
+	if int(v) >= g.numVertices {
+		return dst
+	}
+	a := g.dir(d)
+	start := len(dst)
+	lo, hi := a.vtxGroupOff[v], a.vtxGroupOff[v+1]
+	for gi := lo; gi < hi; gi++ {
+		el := a.groupKeys[gi].EdgeLabel
+		for _, nb := range a.group(gi) {
+			dst = append(dst, rawEdge{el, nb})
+		}
+	}
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return rawLess(tail[i], tail[j]) })
+	w := start
+	for i := start; i < len(dst); i++ {
+		if i == start || dst[i] != dst[w-1] {
+			dst[w] = dst[i]
+			w++
+		}
+	}
+	return dst[:w]
+}

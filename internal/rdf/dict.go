@@ -1,13 +1,27 @@
 package rdf
 
+import "sync"
+
 // NoID is the sentinel "no identifier / blank" value used across the
 // repository for vertex IDs, label IDs, and edge-label IDs.
 const NoID = ^uint32(0)
 
 // Dictionary maps terms to dense uint32 IDs and back. IDs are assigned in
-// first-seen order starting at 0. The reverse mapping is a flat slice so a
-// lookup by ID is a single index operation.
+// first-seen order starting at 0 and are never reassigned: the dictionary is
+// append-only, which is what lets query plans and store snapshots pin IDs
+// that stay valid across later insertions.
+//
+// Capacity is 2³²−1 terms (IDs 0 through 2³²−2): the all-ones value is NoID,
+// the repository-wide blank/sentinel marker, and handing it out as a real ID
+// would silently corrupt every structure that tests against it. Intern
+// panics with a clear message when the cap is reached instead.
+//
+// A Dictionary is safe for concurrent use: Intern takes the mutation lock,
+// readers (Lookup, Term, Len, Terms) take a shared lock. The append-only
+// contract means a reader holding an ID or a Terms slice from before a
+// mutation still observes valid data afterwards.
 type Dictionary struct {
+	mu    sync.RWMutex
 	ids   map[Term]uint32
 	terms []Term
 }
@@ -17,12 +31,24 @@ func NewDictionary() *Dictionary {
 	return &Dictionary{ids: make(map[Term]uint32)}
 }
 
-// Intern returns the ID for t, assigning a fresh one on first sight.
+// nextID is the capacity guard for ID assignment: the ID after 2³²−2 would
+// be NoID, the sentinel, so assignment refuses it loudly.
+func nextID(n int) uint32 {
+	if uint32(n) == NoID {
+		panic("rdf: dictionary full: 2^32-1 terms reached; the next ID would collide with the NoID sentinel")
+	}
+	return uint32(n)
+}
+
+// Intern returns the ID for t, assigning a fresh one on first sight. It
+// panics when the dictionary is full (see the type comment for the cap).
 func (d *Dictionary) Intern(t Term) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.ids[t]; ok {
 		return id
 	}
-	id := uint32(len(d.terms))
+	id := nextID(len(d.terms))
 	d.ids[t] = id
 	d.terms = append(d.terms, t)
 	return id
@@ -30,16 +56,35 @@ func (d *Dictionary) Intern(t Term) uint32 {
 
 // Lookup returns the ID for t if it is already interned.
 func (d *Dictionary) Lookup(t Term) (uint32, bool) {
+	d.mu.RLock()
 	id, ok := d.ids[t]
+	d.mu.RUnlock()
 	return id, ok
 }
 
 // Term returns the term for an ID. It panics on out-of-range IDs, which
 // indicate a bug rather than bad input.
-func (d *Dictionary) Term(id uint32) Term { return d.terms[id] }
+func (d *Dictionary) Term(id uint32) Term {
+	d.mu.RLock()
+	t := d.terms[id]
+	d.mu.RUnlock()
+	return t
+}
 
 // Len reports the number of interned terms.
-func (d *Dictionary) Len() int { return len(d.terms) }
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	n := len(d.terms)
+	d.mu.RUnlock()
+	return n
+}
 
-// Terms exposes the ID→term slice; callers must not mutate it.
-func (d *Dictionary) Terms() []Term { return d.terms }
+// Terms exposes the ID→term slice; callers must not mutate it. The returned
+// slice is a stable snapshot: later Interns may grow a new backing array but
+// never rewrite existing entries.
+func (d *Dictionary) Terms() []Term {
+	d.mu.RLock()
+	ts := d.terms
+	d.mu.RUnlock()
+	return ts
+}

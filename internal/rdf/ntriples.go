@@ -75,13 +75,14 @@ func ReadAll(rd io.Reader) ([]Triple, error) {
 }
 
 // ParseTripleLine parses a single N-Triples statement. The statement must
-// carry its terminating '.'.
+// carry its terminating '.'. The terminator is scanned as a token of its own
+// rather than stripped up front, so terms that may abut it without
+// whitespace — `<s> <p> _:b.` — parse per the grammar: a blank-node label
+// may contain but never end with '.'. Literal objects are canonicalized on
+// the way in (escape sequences decoded and minimally re-escaped), so
+// `"café"` and `"café"` produce the identical Term.
 func ParseTripleLine(line string) (Triple, error) {
 	rest := strings.TrimSpace(line)
-	if !strings.HasSuffix(rest, ".") {
-		return Triple{}, &ParseError{Msg: "missing statement terminator '.'", Text: line}
-	}
-	rest = strings.TrimSpace(strings.TrimSuffix(rest, "."))
 
 	s, rest, err := scanTerm(rest, line)
 	if err != nil {
@@ -95,8 +96,12 @@ func ParseTripleLine(line string) (Triple, error) {
 	if err != nil {
 		return Triple{}, err
 	}
-	if strings.TrimSpace(rest) != "" {
-		return Triple{}, &ParseError{Msg: "trailing tokens after object", Text: line}
+	rest = strings.TrimLeft(rest, " \t")
+	if rest == "" || rest[0] != '.' {
+		return Triple{}, &ParseError{Msg: "missing statement terminator '.'", Text: line}
+	}
+	if strings.TrimSpace(rest[1:]) != "" {
+		return Triple{}, &ParseError{Msg: "trailing tokens after statement terminator '.'", Text: line}
 	}
 	if s.Kind() == Literal {
 		return Triple{}, &ParseError{Msg: "literal subject", Text: line}
@@ -121,11 +126,20 @@ func scanTerm(s, line string) (Term, string, error) {
 		}
 		return Term(s[:end+1]), s[end+1:], nil
 	case '_':
-		end := strings.IndexAny(s, " \t")
-		if end < 0 {
-			end = len(s)
+		if !strings.HasPrefix(s, "_:") {
+			return "", "", &ParseError{Msg: "malformed blank node", Text: line}
 		}
-		if !strings.HasPrefix(s, "_:") || end < 3 {
+		// BLANK_NODE_LABEL: '.' is a legal interior character but the label
+		// neither starts nor ends with it — trailing dots belong to the
+		// statement terminator, not the label (`<s> <p> _:b.`).
+		end := 2
+		for end < len(s) && isBlankLabelByte(s[end]) {
+			end++
+		}
+		for end > 2 && s[end-1] == '.' {
+			end--
+		}
+		if end == 2 {
 			return "", "", &ParseError{Msg: "malformed blank node", Text: line}
 		}
 		return Term(s[:end]), s[end:], nil
@@ -152,10 +166,17 @@ func scanTerm(s, line string) (Term, string, error) {
 			}
 			i = j
 		}
-		return Term(s[:i]), s[i:], nil
+		return Term(s[:i]).Canonical(), s[i:], nil
 	default:
 		return "", "", &ParseError{Msg: "unrecognized term", Text: line}
 	}
+}
+
+// isBlankLabelByte approximates the PN_CHARS production for blank-node
+// labels: ASCII letters, digits, '_', '-', '.' (interior only; the caller
+// trims trailing dots) and any non-ASCII byte (labels may carry Unicode).
+func isBlankLabelByte(b byte) bool {
+	return isAlnum(b) || b == '_' || b == '-' || b == '.' || b >= 0x80
 }
 
 // closingQuote returns the index of the unescaped closing quote of a literal
@@ -184,15 +205,17 @@ type Writer struct {
 // NewWriter wraps w in an N-Triples writer.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
 
-// Write emits one triple.
+// Write emits one triple. Literal terms are re-escaped into the canonical
+// encoding on the way out, so a Write/Read round trip preserves term
+// identity even for terms constructed with non-canonical escapes.
 func (w *Writer) Write(t Triple) error {
-	if _, err := w.w.WriteString(string(t.S)); err != nil {
+	if _, err := w.w.WriteString(string(t.S.Canonical())); err != nil {
 		return err
 	}
 	w.w.WriteByte(' ')
 	w.w.WriteString(string(t.P))
 	w.w.WriteByte(' ')
-	w.w.WriteString(string(t.O))
+	w.w.WriteString(string(t.O.Canonical()))
 	_, err := w.w.WriteString(" .\n")
 	return err
 }

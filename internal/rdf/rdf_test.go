@@ -360,6 +360,214 @@ func errorsAs(err error, target *(*ParseError)) bool {
 	return ok
 }
 
+// TestBlankNodeTerminator pins the satellite contract: a blank-node label
+// may contain but never end with '.', so the statement terminator can abut
+// the label without whitespace and round-trips cleanly.
+func TestBlankNodeTerminator(t *testing.T) {
+	cases := []struct {
+		line string
+		want Triple
+	}{
+		{ // terminator folded straight onto the label
+			`<http://x/s> <http://x/p> _:b.`,
+			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewBlank("b")},
+		},
+		{ // interior dots belong to the label, the trailing one does not
+			`<http://x/s> <http://x/p> _:b.c.d.`,
+			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewBlank("b.c.d")},
+		},
+		{ // blank subject abutting the predicate's '<'
+			`_:b<http://x/p> <http://x/o> .`,
+			Triple{NewBlank("b"), NewIRI("http://x/p"), NewIRI("http://x/o")},
+		},
+		{ // unicode label bytes
+			`<http://x/s> <http://x/p> _:héllo .`,
+			Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), NewBlank("héllo")},
+		},
+	}
+	for _, c := range cases {
+		got, err := ParseTripleLine(c.line)
+		if err != nil {
+			t.Errorf("ParseTripleLine(%q): %v", c.line, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseTripleLine(%q) = %v, want %v", c.line, got, c.want)
+		}
+		// Round trip: write and re-read the parsed triple.
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, []Triple{got}); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadAll(&buf)
+		if err != nil || len(back) != 1 || back[0] != got {
+			t.Errorf("round trip of %q = %v, %v", c.line, back, err)
+		}
+	}
+	// A lone "_:" label (or a label swallowed entirely by dots) is malformed.
+	for _, bad := range []string{
+		`<http://x/s> <http://x/p> _: .`,
+		`<http://x/s> <http://x/p> _:. .`,
+		`<http://x/s> <http://x/p> _:b extra.`,
+	} {
+		if _, err := ParseTripleLine(bad); err == nil {
+			t.Errorf("ParseTripleLine(%q): expected error", bad)
+		}
+	}
+}
+
+// TestLiteralCanonicalization pins the satellite contract: escaped and raw
+// spellings of the same literal value parse to the identical Term, so they
+// intern as one dictionary entry.
+func TestLiteralCanonicalization(t *testing.T) {
+	lines := []string{
+		`<http://x/s> <http://x/p> "café" .`,
+		`<http://x/s> <http://x/p> "caf\u00E9" .`,
+		`<http://x/s> <http://x/p> "caf\U000000E9" .`,
+		`<http://x/s> <http://x/p> "caf\u00e9" .`,
+	}
+	want := NewLiteral("café")
+	for _, line := range lines {
+		tr, err := ParseTripleLine(line)
+		if err != nil {
+			t.Fatalf("ParseTripleLine(%q): %v", line, err)
+		}
+		if tr.O != want {
+			t.Errorf("ParseTripleLine(%q).O = %q, want %q", line, tr.O, want)
+		}
+	}
+	// Suffixed literals canonicalize the body and keep the suffix.
+	tr, err := ParseTripleLine(`<http://x/s> <http://x/p> "café"@fr .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.O != NewLangLiteral("café", "fr") {
+		t.Errorf("lang literal = %q", tr.O)
+	}
+	// Control-character escapes decode and re-escape canonically.
+	tr, err = ParseTripleLine(`<http://x/s> <http://x/p> "a\tb\nc\"d\\e" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.O.LexicalValue(); got != "a\tb\nc\"d\\e" {
+		t.Errorf("LexicalValue = %q", got)
+	}
+	if tr.O != NewLiteral("a\tb\nc\"d\\e") {
+		t.Errorf("canonical form = %q", tr.O)
+	}
+}
+
+// TestTermCanonical exercises Term.Canonical directly, including the
+// no-allocation fast path and Writer re-escaping.
+func TestTermCanonical(t *testing.T) {
+	if got := Term(`"caf\u00E9"^^<http://dt>`).Canonical(); got != NewTypedLiteral("café", "http://dt") {
+		t.Errorf("typed canonical = %q", got)
+	}
+	already := NewLiteral("plain")
+	if got := already.Canonical(); got != already {
+		t.Errorf("canonical of canonical = %q", got)
+	}
+	if got := NewIRI("http://x").Canonical(); got != NewIRI("http://x") {
+		t.Errorf("IRI canonical = %q", got)
+	}
+	// \b and \f decode to raw control bytes, which round-trip.
+	bf := Term(`"a\bb\fc"`).Canonical()
+	if bf.LexicalValue() != "a\bb\fc" {
+		t.Errorf("\\b/\\f decode = %q", bf.LexicalValue())
+	}
+
+	// Writer re-escapes non-canonical terms on the way out.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Triple{NewIRI("http://x/s"), NewIRI("http://x/p"), Term(`"caf\u00E9"`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), `<http://x/s> <http://x/p> "café" .`+"\n"; got != want {
+		t.Errorf("Writer output = %q, want %q", got, want)
+	}
+}
+
+// TestMixedEscapeDatasetRoundTrip writes a dataset with every escape flavor
+// and checks the read-back interns to the same term set.
+func TestMixedEscapeDatasetRoundTrip(t *testing.T) {
+	src := strings.Join([]string{
+		`<http://x/a> <http://x/p> "tab\there" .`,
+		`<http://x/b> <http://x/p> "newline\nhere" .`,
+		`<http://x/c> <http://x/p> "quote\"here" .`,
+		`<http://x/d> <http://x/p> "slash\\here" .`,
+		`<http://x/e> <http://x/p> "uni☃ and \U0001F600" .`,
+		`<http://x/f> <http://x/p> "uni☃ and 😀" .`,
+	}, "\n")
+	triples, err := ReadAll(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last two lines denote the same object term.
+	if triples[4].O != triples[5].O {
+		t.Errorf("escaped %q != raw %q", triples[4].O, triples[5].O)
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, triples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range triples {
+		if back[i] != triples[i] {
+			t.Errorf("round trip %d: %v != %v", i, back[i], triples[i])
+		}
+	}
+}
+
+// TestDictionaryCap pins the satellite contract: the ID after 2³²−2 would
+// be NoID, so assignment panics with a clear message instead of handing out
+// the sentinel.
+func TestDictionaryCap(t *testing.T) {
+	if got := nextID(0); got != 0 {
+		t.Fatalf("nextID(0) = %d", got)
+	}
+	if got := nextID(int(NoID) - 1); got != NoID-1 {
+		t.Fatalf("nextID(NoID-1) = %d", got)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("nextID(NoID) did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "dictionary full") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	nextID(int(NoID))
+}
+
+// TestDictionaryConcurrentReaders checks the mutation-lock contract: Intern
+// racing with Lookup/Term/Len is safe (run under -race).
+func TestDictionaryConcurrentReaders(t *testing.T) {
+	d := NewDictionary()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			d.Intern(NewIntLiteral(int64(i)))
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		if id, ok := d.Lookup(NewIntLiteral(int64(i % 50))); ok {
+			if d.Term(id) != NewIntLiteral(int64(i%50)) {
+				t.Fatal("Term/Lookup disagree")
+			}
+		}
+		_ = d.Len()
+	}
+	<-done
+}
+
 func TestDictionaryTermsSlice(t *testing.T) {
 	d := NewDictionary()
 	d.Intern(NewIRI("http://a"))

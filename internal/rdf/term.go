@@ -147,9 +147,45 @@ func (t Term) NumericValue() (v float64, ok bool) {
 	return v, err == nil
 }
 
+// Canonical returns the term with its literal escape sequences normalized:
+// \uXXXX / \UXXXXXXXX and the single-character escapes are decoded, then the
+// lexical form is re-escaped minimally (only ", \, newline, carriage return
+// and tab). Two literals denoting the same value — `"café"` and
+// `"café"` — therefore canonicalize to the identical Term string, which
+// is what makes dictionary interning, joins and DISTINCT treat them as one
+// term. Non-literals are returned unchanged; the common already-canonical
+// case costs one scan and no allocation.
+func (t Term) Canonical() Term {
+	if t.Kind() != Literal {
+		return t
+	}
+	s := string(t)
+	end := strings.LastIndexByte(s, '"')
+	if end <= 0 {
+		return t
+	}
+	body := s[1:end]
+	canon := escapeLiteral(unescapeLiteral(body))
+	if canon == body {
+		return t
+	}
+	return Term(`"` + canon + `"` + s[end+1:])
+}
+
+// Unescape decodes the N-Triples escape sequences of s: the single-character
+// escapes (\t \b \n \r \f \" \' \\) and the numeric escapes \uXXXX and
+// \UXXXXXXXX. Malformed escapes degrade to the escaped character itself.
+func Unescape(s string) string { return unescapeLiteral(s) }
+
 // Triple is a single RDF statement.
 type Triple struct {
 	S, P, O Term
+}
+
+// Canonical returns the triple with every term canonicalized (literal escape
+// normalization; see Term.Canonical).
+func (t Triple) Canonical() Triple {
+	return Triple{S: t.S.Canonical(), P: t.P.Canonical(), O: t.O.Canonical()}
 }
 
 func (t Triple) String() string {
@@ -219,8 +255,14 @@ func unescapeLiteral(s string) string {
 			b.WriteByte('\r')
 		case 't':
 			b.WriteByte('\t')
+		case 'b':
+			b.WriteByte('\b')
+		case 'f':
+			b.WriteByte('\f')
 		case '"':
 			b.WriteByte('"')
+		case '\'':
+			b.WriteByte('\'')
 		case '\\':
 			b.WriteByte('\\')
 		case 'u':
@@ -232,6 +274,15 @@ func unescapeLiteral(s string) string {
 				}
 			}
 			b.WriteByte('u')
+		case 'U':
+			if i+8 < len(s) {
+				if r, err := strconv.ParseUint(s[i+1:i+9], 16, 32); err == nil && r <= 0x10FFFF {
+					b.WriteRune(rune(r))
+					i += 8
+					continue
+				}
+			}
+			b.WriteByte('U')
 		default:
 			b.WriteByte(s[i])
 		}

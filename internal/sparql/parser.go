@@ -173,35 +173,26 @@ func (l *lexer) scanNumber() string {
 	return l.src[start:l.pos]
 }
 
-// scanString returns the literal body (unescaped) of a quoted string.
+// scanString returns the literal body (unescaped) of a quoted string. The
+// full N-Triples escape repertoire is decoded — including \uXXXX and
+// \UXXXXXXXX — through the same decoder the RDF reader uses, so a query
+// literal written with escapes matches the store's canonicalized terms.
 func (l *lexer) scanString(quote byte) (string, error) {
 	start := l.pos
 	l.pos++
-	var b strings.Builder
+	bodyStart := l.pos
 	for l.pos < len(l.src) {
-		c := l.src[l.pos]
-		switch c {
+		switch l.src[l.pos] {
 		case '\\':
 			if l.pos+1 >= len(l.src) {
 				return "", &ParseError{start, "unterminated escape"}
 			}
-			l.pos++
-			switch l.src[l.pos] {
-			case 'n':
-				b.WriteByte('\n')
-			case 't':
-				b.WriteByte('\t')
-			case 'r':
-				b.WriteByte('\r')
-			default:
-				b.WriteByte(l.src[l.pos])
-			}
-			l.pos++
+			l.pos += 2
 		case quote:
+			body := l.src[bodyStart:l.pos]
 			l.pos++
-			return b.String(), nil
+			return rdf.Unescape(body), nil
 		default:
-			b.WriteByte(c)
 			l.pos++
 		}
 	}

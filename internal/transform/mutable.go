@@ -1,0 +1,333 @@
+package transform
+
+import (
+	"maps"
+
+	"repro/internal/graph"
+	"repro/internal/intset"
+	"repro/internal/rdf"
+)
+
+// Mutable is a transformed RDF dataset that accepts incremental triple
+// insertions and deletions. It keeps the RDF-3X-style differential shape:
+// a compacted immutable base (CSR graph + Lsimple CSR) plus a small delta
+// (added/removed edges and labels, appended vertices, overridden direct-type
+// sets). Every Apply publishes a fresh immutable *Data snapshot merging
+// base+delta; Compact folds the delta back into a new base.
+//
+// Concurrency contract: all Mutable methods must be serialized by the owning
+// store (one writer at a time, no reader calls). Readers only ever touch the
+// published *Data snapshots, which are immutable, and the shared
+// dictionaries, which are append-only and internally locked.
+//
+// Invariants tying the live view to a fresh rebuild of the net triple set:
+//
+//   - Dictionary IDs are never reassigned; rebuilds reuse the dictionaries,
+//     so IDs pinned by prepared plans stay valid across compactions.
+//   - A term whose triples are all deleted leaves an orphan vertex behind:
+//     no edges, no labels, no direct types. Orphans are unreachable by any
+//     query pattern (every pattern constrains by edge, label or type), so
+//     query results match a rebuild that never interned the term.
+//   - rdfs:subClassOf changes under the type-aware transformation rewrite
+//     the label closure of arbitrarily many vertices; they trigger an
+//     internal full rebuild (an implicit Compact) instead of a delta step.
+type Mutable struct {
+	mode    Mode
+	verts   *rdf.Dictionary
+	labels  *rdf.Dictionary
+	preds   *rdf.Dictionary
+	triples map[rdf.Triple]struct{}
+
+	h        *hierarchy // TypeAware only
+	base     *graph.Graph
+	baseOff  []int    // Lsimple CSR of the base
+	baseSet  []uint32 // Lsimple CSR of the base
+	simpleOv map[uint32][]uint32
+	vertRef  map[uint32]int // TypeAware: vertex-making triple counts
+	delta    *graph.Delta
+
+	epoch uint64
+	cur   *Data
+}
+
+// NewMutable builds a mutable dataset from the initial triples. Duplicate
+// triples collapse (the dataset is a set); literals are canonicalized.
+func NewMutable(triples []rdf.Triple, mode Mode) *Mutable {
+	m := &Mutable{
+		mode:    mode,
+		verts:   rdf.NewDictionary(),
+		preds:   rdf.NewDictionary(),
+		triples: make(map[rdf.Triple]struct{}, len(triples)),
+	}
+	if mode == TypeAware {
+		m.labels = rdf.NewDictionary()
+		m.h = newHierarchy()
+	}
+	// Record the net set and keep the first occurrence of each triple, in
+	// input order: assembly must see the deduplicated set (reference counts
+	// are per net triple, not per input line) and interning order stays
+	// deterministic.
+	canon := canonicalTriples(triples)
+	list := make([]rdf.Triple, 0, len(canon))
+	for _, t := range canon {
+		if _, ok := m.triples[t]; ok {
+			continue
+		}
+		m.triples[t] = struct{}{}
+		list = append(list, t)
+	}
+	m.rebuildFrom(list)
+	m.cur = m.snapshot()
+	return m
+}
+
+// Current returns the latest published snapshot.
+func (m *Mutable) Current() *Data { return m.cur }
+
+// Len reports the net (distinct) triple count.
+func (m *Mutable) Len() int { return len(m.triples) }
+
+// Mode reports the transformation in effect.
+func (m *Mutable) Mode() Mode { return m.mode }
+
+// Apply inserts then deletes the given triple batches and publishes a new
+// snapshot. It returns the snapshot and the number of triples that actually
+// changed the dataset (inserts not already present plus deletes that were).
+// When nothing changes, the current snapshot is returned unchanged.
+func (m *Mutable) Apply(ins, del []rdf.Triple) (*Data, int) {
+	applied := 0
+	rebuild := false
+	for _, t := range ins {
+		t = t.Canonical()
+		if _, ok := m.triples[t]; ok {
+			continue
+		}
+		m.triples[t] = struct{}{}
+		applied++
+		if m.schemaTriple(t) {
+			rebuild = true
+		}
+		if !rebuild {
+			m.insertOne(t)
+		}
+	}
+	for _, t := range del {
+		t = t.Canonical()
+		if _, ok := m.triples[t]; !ok {
+			continue
+		}
+		delete(m.triples, t)
+		applied++
+		if m.schemaTriple(t) {
+			rebuild = true
+		}
+		if !rebuild {
+			m.deleteOne(t)
+		}
+	}
+	if applied == 0 {
+		return m.cur, 0
+	}
+	if rebuild {
+		m.rebuild()
+	}
+	m.cur = m.snapshot()
+	return m.cur, applied
+}
+
+// Compact folds the delta back into the base: the net triple set is
+// re-assembled into a fresh CSR graph (reusing the dictionaries, so all
+// interned IDs survive) and a new snapshot over the plain base is published.
+func (m *Mutable) Compact() *Data {
+	m.rebuild()
+	m.cur = m.snapshot()
+	return m.cur
+}
+
+// DeltaSize reports the number of pending graph-level changes since the
+// last compaction (0 right after Compact or a schema rebuild).
+func (m *Mutable) DeltaSize() int { return m.delta.Size() }
+
+// schemaTriple reports whether t rewires the label closure machinery —
+// rdfs:subClassOf under the type-aware transformation — forcing a rebuild.
+func (m *Mutable) schemaTriple(t rdf.Triple) bool {
+	return m.mode == TypeAware && t.P.IRIValue() == rdf.RDFSSubClass
+}
+
+// rebuild re-assembles base structures from the net triple set.
+func (m *Mutable) rebuild() {
+	list := make([]rdf.Triple, 0, len(m.triples))
+	for t := range m.triples {
+		list = append(list, t)
+	}
+	m.rebuildFrom(list)
+}
+
+func (m *Mutable) rebuildFrom(list []rdf.Triple) {
+	if m.mode == Direct {
+		m.base = assembleDirect(list, m.verts, m.preds)
+	} else {
+		m.base, m.baseOff, m.baseSet, m.vertRef = assembleTypeAware(list, m.verts, m.labels, m.preds, m.h)
+	}
+	m.delta = graph.NewDelta(m.base)
+	m.simpleOv = map[uint32][]uint32{}
+}
+
+// snapshot publishes the current state as an immutable Data.
+func (m *Mutable) snapshot() *Data {
+	m.epoch++
+	d := &Data{
+		Mode:      m.mode,
+		Epoch:     m.epoch,
+		Triples:   len(m.triples),
+		verts:     m.verts,
+		labels:    m.labels,
+		preds:     m.preds,
+		simpleOff: m.baseOff,
+		simple:    m.baseSet,
+	}
+	if m.delta.Empty() {
+		d.G = m.base
+	} else {
+		d.G = m.delta.Snapshot()
+	}
+	if len(m.simpleOv) > 0 {
+		d.simpleOv = maps.Clone(m.simpleOv)
+	}
+	return d
+}
+
+// refVertex interns a term as a vertex, counts the reference, and — on the
+// 0→1 transition under TypeAware — applies the class-vertex rule (a class
+// term appearing as a vertex carries its superclasses' closure labels).
+func (m *Mutable) refVertex(term rdf.Term) uint32 {
+	v := m.verts.Intern(term)
+	m.delta.EnsureVertex(v)
+	if m.mode != TypeAware {
+		return v
+	}
+	m.vertRef[v]++
+	if m.vertRef[v] == 1 {
+		if l, ok := m.labels.Lookup(term); ok {
+			for _, sup := range m.h.superOf[l] {
+				for _, x := range m.h.expand(sup) {
+					m.delta.AddLabel(v, x)
+				}
+			}
+		}
+	}
+	return v
+}
+
+// unrefVertex drops one vertex-making reference; at zero the vertex
+// disappears from a fresh rebuild, so its remaining labels are stripped to
+// keep the live view query-equivalent (the orphan becomes inert).
+func (m *Mutable) unrefVertex(v uint32) {
+	if m.mode != TypeAware {
+		return
+	}
+	m.vertRef[v]--
+	if m.vertRef[v] > 0 {
+		return
+	}
+	delete(m.vertRef, v)
+	for _, l := range m.delta.EffectiveLabels(v) {
+		m.delta.DeleteLabel(v, l)
+	}
+}
+
+// directTypes returns the live direct-type set of v (override or base CSR).
+func (m *Mutable) directTypes(v uint32) []uint32 {
+	if s, ok := m.simpleOv[v]; ok {
+		return s
+	}
+	if m.baseOff == nil || int(v) >= len(m.baseOff)-1 {
+		return nil
+	}
+	return m.baseSet[m.baseOff[v]:m.baseOff[v+1]]
+}
+
+// insertOne applies one effective (not previously present) triple to the
+// delta. Schema triples never reach here.
+func (m *Mutable) insertOne(t rdf.Triple) {
+	if m.mode == TypeAware && t.P.IRIValue() == rdf.RDFType {
+		l := m.labels.Intern(t.O)
+		m.h.classTerm[t.O] = true
+		v := m.refVertex(t.S)
+		cur := m.directTypes(v)
+		if !intset.Contains(cur, l) {
+			next := make([]uint32, 0, len(cur)+1)
+			next = append(next, cur...)
+			next = insertSorted(next, l)
+			m.simpleOv[v] = next
+		}
+		for _, x := range m.h.expand(l) {
+			m.delta.AddLabel(v, x)
+		}
+		return
+	}
+	s := m.refVertex(t.S)
+	o := m.refVertex(t.O)
+	p := m.preds.Intern(t.P)
+	m.delta.AddEdge(s, p, o)
+}
+
+// deleteOne applies one effective (previously present) triple removal to the
+// delta. Schema triples never reach here. Lookups cannot miss: the triple
+// was in the net set, so its terms were interned when it was added.
+func (m *Mutable) deleteOne(t rdf.Triple) {
+	if m.mode == TypeAware && t.P.IRIValue() == rdf.RDFType {
+		l, _ := m.labels.Lookup(t.O)
+		v, _ := m.verts.Lookup(t.S)
+		cur := m.directTypes(v)
+		next := make([]uint32, 0, len(cur))
+		for _, x := range cur {
+			if x != l {
+				next = append(next, x)
+			}
+		}
+		m.simpleOv[v] = next
+
+		// Recompute the closure labels the vertex should keep: the closure
+		// of its remaining direct types plus the class-vertex rule for its
+		// own term. Everything else is removed.
+		want := map[uint32]bool{}
+		for _, dt := range next {
+			for _, x := range m.h.expand(dt) {
+				want[x] = true
+			}
+		}
+		if lv, ok := m.labels.Lookup(t.S); ok {
+			for _, sup := range m.h.superOf[lv] {
+				for _, x := range m.h.expand(sup) {
+					want[x] = true
+				}
+			}
+		}
+		for _, have := range m.delta.EffectiveLabels(v) {
+			if !want[have] {
+				m.delta.DeleteLabel(v, have)
+			}
+		}
+		m.unrefVertex(v)
+		return
+	}
+	s, _ := m.verts.Lookup(t.S)
+	o, _ := m.verts.Lookup(t.O)
+	p, _ := m.preds.Lookup(t.P)
+	m.delta.DeleteEdge(s, p, o)
+	m.unrefVertex(s)
+	m.unrefVertex(o)
+}
+
+// insertSorted inserts x into the sorted set s (which must not contain x).
+func insertSorted(s []uint32, x uint32) []uint32 {
+	i := 0
+	for i < len(s) && s[i] < x {
+		i++
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}

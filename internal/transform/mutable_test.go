@@ -1,0 +1,335 @@
+package transform
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// updateUniverse is a small triple universe exercising every structural
+// case: plain edges, rdf:type triples (labels + Lsimple), a subClassOf
+// hierarchy (closure labels, schema rebuilds), class terms used as objects
+// of plain triples (the class-vertex rule), and escaped literals.
+type updateUniverse struct {
+	triples []rdf.Triple
+}
+
+func newUpdateUniverse() *updateUniverse {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://u/" + s) }
+	var ts []rdf.Triple
+	ents := []rdf.Term{iri("a"), iri("b"), iri("c"), iri("d")}
+	preds := []rdf.Term{iri("p"), iri("q")}
+	classes := []rdf.Term{iri("C0"), iri("C1"), iri("C2")}
+	lits := []rdf.Term{rdf.NewLiteral("café"), rdf.Term(`"caf\u00e9"`), rdf.NewLiteral("x")}
+	for _, s := range ents {
+		for _, p := range preds {
+			for _, o := range ents {
+				ts = append(ts, rdf.Triple{S: s, P: p, O: o})
+			}
+			for _, o := range lits {
+				ts = append(ts, rdf.Triple{S: s, P: p, O: o})
+			}
+			// Class terms as plain objects: exercises the class-vertex rule.
+			for _, o := range classes {
+				ts = append(ts, rdf.Triple{S: s, P: p, O: o})
+			}
+		}
+		for _, c := range classes {
+			ts = append(ts, rdf.Triple{S: s, P: rdf.TypeTerm, O: c})
+		}
+	}
+	ts = append(ts,
+		rdf.Triple{S: classes[0], P: rdf.SubClassTerm, O: classes[1]},
+		rdf.Triple{S: classes[1], P: rdf.SubClassTerm, O: classes[2]},
+		rdf.Triple{S: classes[0], P: rdf.SubClassTerm, O: classes[2]},
+	)
+	return &updateUniverse{triples: ts}
+}
+
+// checkEquivalent pins the live snapshot against a fresh Build of the net
+// triple set at the term level: edge presence, label closures, Lsimple, and
+// inverse-label cardinalities must agree for every term the universe knows.
+func checkEquivalent(t *testing.T, u *updateUniverse, live *Data, net map[rdf.Triple]struct{}, mode Mode) {
+	t.Helper()
+	list := make([]rdf.Triple, 0, len(net))
+	for tr := range net {
+		list = append(list, tr)
+	}
+	fresh := Build(list, mode)
+
+	terms := map[rdf.Term]struct{}{}
+	for _, tr := range u.triples {
+		terms[tr.S] = struct{}{}
+		terms[tr.O] = struct{}{}
+	}
+
+	vertexOf := func(d *Data, term rdf.Term) (uint32, bool) {
+		v, ok := d.VertexOf(term)
+		if !ok || int(v) >= d.G.NumVertices() {
+			return 0, false
+		}
+		return v, true
+	}
+
+	for term := range terms {
+		lv, lok := vertexOf(live, term)
+		fv, fok := vertexOf(fresh, term)
+
+		// Labels (closure types) and Lsimple per term, translated to terms.
+		liveLabels := map[rdf.Term]bool{}
+		liveSimple := map[rdf.Term]bool{}
+		if lok {
+			for _, l := range live.ClosureTypes(lv) {
+				liveLabels[live.TermOfLabel(l)] = true
+			}
+			for _, l := range live.SimpleTypes(lv) {
+				liveSimple[live.TermOfLabel(l)] = true
+			}
+		}
+		freshLabels := map[rdf.Term]bool{}
+		freshSimple := map[rdf.Term]bool{}
+		if fok {
+			for _, l := range fresh.ClosureTypes(fv) {
+				freshLabels[fresh.TermOfLabel(l)] = true
+			}
+			for _, l := range fresh.SimpleTypes(fv) {
+				freshSimple[fresh.TermOfLabel(l)] = true
+			}
+		}
+		if !sameTermSet(liveLabels, freshLabels) {
+			t.Fatalf("labels of %s: live %v, fresh %v", term, liveLabels, freshLabels)
+		}
+		if !sameTermSet(liveSimple, freshSimple) {
+			t.Fatalf("Lsimple of %s: live %v, fresh %v", term, liveSimple, freshSimple)
+		}
+	}
+
+	// Edge presence per (s, p, o) over the whole universe. Probe terms are
+	// canonicalized, as the SPARQL front end does before dictionary lookups.
+	for _, tr := range u.triples {
+		tr := tr.Canonical()
+		want := false
+		if mode == Direct {
+			_, want = net[tr.Canonical()]
+		} else {
+			switch tr.P.IRIValue() {
+			case rdf.RDFType, rdf.RDFSSubClass:
+				continue // folded into labels
+			default:
+				_, want = net[tr.Canonical()]
+			}
+		}
+		got := false
+		if s, ok := vertexOf(live, tr.S); ok {
+			if o, ok2 := vertexOf(live, tr.O); ok2 {
+				if el, ok3 := live.EdgeLabelOf(tr.P); ok3 {
+					got = live.G.HasEdge(s, o, el)
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("edge %v: live %v, want %v", tr, got, want)
+		}
+	}
+
+	// Inverse label lists agree in size per class term (IDs differ between
+	// live and fresh stores, so compare cardinalities).
+	if mode == TypeAware {
+		for term := range terms {
+			var liveN, freshN int
+			if l, ok := live.LabelOf(term); ok {
+				liveN = len(live.G.VerticesWithLabel(l))
+			}
+			if l, ok := fresh.LabelOf(term); ok {
+				freshN = len(fresh.G.VerticesWithLabel(l))
+			}
+			if liveN != freshN {
+				t.Fatalf("|VerticesWithLabel(%s)|: live %d, fresh %d", term, liveN, freshN)
+			}
+		}
+	}
+
+	// Overall counts.
+	if live.G.NumEdges() != fresh.G.NumEdges() {
+		t.Fatalf("NumEdges: live %d, fresh %d", live.G.NumEdges(), fresh.G.NumEdges())
+	}
+	if live.Triples != len(net) {
+		t.Fatalf("Triples: live %d, want %d", live.Triples, len(net))
+	}
+}
+
+func sameTermSet(a, b map[rdf.Term]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMutableDifferential drives random insert/delete interleavings through
+// a Mutable under both transformations and pins every published snapshot
+// against a fresh Build of the net triple set.
+func TestMutableDifferential(t *testing.T) {
+	u := newUpdateUniverse()
+	for _, mode := range []Mode{Direct, TypeAware} {
+		for seed := int64(0); seed < 4; seed++ {
+			mode, seed := mode, seed
+			t.Run(fmt.Sprintf("%v/seed%d", mode, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				// Random initial subset.
+				var init []rdf.Triple
+				net := map[rdf.Triple]struct{}{}
+				for _, tr := range u.triples {
+					if rng.Intn(2) == 0 {
+						init = append(init, tr)
+						net[tr.Canonical()] = struct{}{}
+					}
+				}
+				m := NewMutable(init, mode)
+				checkEquivalent(t, u, m.Current(), net, mode)
+
+				lastEpoch := m.Current().Epoch
+				for step := 0; step < 25; step++ {
+					var ins, del []rdf.Triple
+					for i := 0; i < 1+rng.Intn(4); i++ {
+						tr := u.triples[rng.Intn(len(u.triples))]
+						if rng.Intn(2) == 0 {
+							ins = append(ins, tr)
+						} else {
+							del = append(del, tr)
+						}
+					}
+					snap, applied := m.Apply(ins, del)
+					wantApplied := 0
+					for _, tr := range ins {
+						c := tr.Canonical()
+						if _, ok := net[c]; !ok {
+							net[c] = struct{}{}
+							wantApplied++
+						}
+					}
+					for _, tr := range del {
+						c := tr.Canonical()
+						if _, ok := net[c]; ok {
+							delete(net, c)
+							wantApplied++
+						}
+					}
+					if applied != wantApplied {
+						t.Fatalf("step %d: applied %d, want %d", step, applied, wantApplied)
+					}
+					if applied > 0 && snap.Epoch <= lastEpoch {
+						t.Fatalf("step %d: epoch did not advance (%d -> %d)", step, lastEpoch, snap.Epoch)
+					}
+					lastEpoch = snap.Epoch
+					checkEquivalent(t, u, snap, net, mode)
+
+					if step%7 == 6 {
+						checkEquivalent(t, u, m.Compact(), net, mode)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMutableDuplicateInitialTriples is the regression test for reference
+// counting under duplicated input: a triple listed twice in the initial load
+// is one net triple, so one Delete must fully orphan a vertex whose only
+// reference it was — including stripping class-vertex-rule labels.
+func TestMutableDuplicateInitialTriples(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://u/" + s) }
+	edge := rdf.Triple{S: iri("a"), P: iri("p"), O: iri("C")}
+	m := NewMutable([]rdf.Triple{
+		{S: iri("C"), P: rdf.SubClassTerm, O: iri("D")},
+		edge,
+		edge, // duplicate input line
+	}, TypeAware)
+	if m.Len() != 2 {
+		t.Fatalf("net triples = %d, want 2", m.Len())
+	}
+
+	// C is a class vertex, so it carries its superclass label D.
+	d := m.Current()
+	c, _ := d.VertexOf(iri("C"))
+	dl, _ := d.LabelOf(iri("D"))
+	if !d.G.HasLabel(c, dl) {
+		t.Fatal("class vertex C missing superclass label D")
+	}
+
+	// Deleting the single net triple must orphan C: no labels left, so a
+	// rebuild from the net set and the live view agree that nothing carries
+	// label D.
+	snap, n := m.Apply(nil, []rdf.Triple{edge})
+	if n != 1 {
+		t.Fatalf("applied %d, want 1", n)
+	}
+	if got := snap.G.VerticesWithLabel(dl); len(got) != 0 {
+		t.Fatalf("label D still carried by %v after deleting the only reference", got)
+	}
+}
+
+// TestMutableCanonicalizesLiterals pins the escape-canonicalization
+// satellite at the store level: inserting the escaped and the raw spelling
+// of the same literal interns one term and deleting through either spelling
+// removes the triple.
+func TestMutableCanonicalizesLiterals(t *testing.T) {
+	s := rdf.NewIRI("http://u/s")
+	p := rdf.NewIRI("http://u/p")
+	raw := rdf.NewLiteral("café")
+	escaped := rdf.Term(`"caf\u00e9"`)
+
+	m := NewMutable([]rdf.Triple{{S: s, P: p, O: raw}}, TypeAware)
+	if _, n := m.Apply([]rdf.Triple{{S: s, P: p, O: escaped}}, nil); n != 0 {
+		t.Fatalf("escaped duplicate applied %d times, want 0", n)
+	}
+	if _, n := m.Apply(nil, []rdf.Triple{{S: s, P: p, O: escaped}}); n != 1 {
+		t.Fatalf("delete through escaped spelling applied %d, want 1", n)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("net triples = %d, want 0", m.Len())
+	}
+}
+
+// TestMutableSnapshotImmutable checks that an old snapshot keeps answering
+// from its own state after later updates and compactions.
+func TestMutableSnapshotImmutable(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://u/" + s) }
+	tr := func(s, p, o string) rdf.Triple { return rdf.Triple{S: iri(s), P: iri(p), O: iri(o)} }
+
+	m := NewMutable([]rdf.Triple{tr("a", "p", "b")}, TypeAware)
+	old := m.Current()
+	a, _ := old.VertexOf(iri("a"))
+	b, _ := old.VertexOf(iri("b"))
+	p, _ := old.EdgeLabelOf(iri("p"))
+	if !old.G.HasEdge(a, b, p) {
+		t.Fatal("seed edge missing")
+	}
+
+	m.Apply([]rdf.Triple{tr("a", "p", "c"), {S: iri("a"), P: rdf.TypeTerm, O: iri("T")}}, []rdf.Triple{tr("a", "p", "b")})
+	m.Compact()
+
+	if !old.G.HasEdge(a, b, p) {
+		t.Fatal("old snapshot lost its edge after update+compact")
+	}
+	if len(old.SimpleTypes(a)) != 0 {
+		t.Fatal("old snapshot sees a type added later")
+	}
+	cur := m.Current()
+	if cur.G.HasEdge(a, b, p) {
+		t.Fatal("current snapshot still sees the deleted edge")
+	}
+	c, _ := cur.VertexOf(iri("c"))
+	if !cur.G.HasEdge(a, c, p) {
+		t.Fatal("current snapshot missing the inserted edge")
+	}
+	if len(cur.SimpleTypes(a)) != 1 {
+		t.Fatalf("current snapshot SimpleTypes = %v", cur.SimpleTypes(a))
+	}
+}

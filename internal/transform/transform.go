@@ -18,6 +18,12 @@
 // type ↔ vertex label, predicate ↔ edge label) needed to translate SPARQL
 // queries and to materialize solutions, plus Lsimple — the non-transitive
 // direct-type sets used for the simple entailment regime (§4.2).
+//
+// Two construction paths exist. Build produces a one-shot immutable Data.
+// Mutable (mutable.go) additionally supports incremental Insert/Delete
+// against a delta overlay with snapshot isolation: every Apply publishes a
+// fresh immutable Data whose epoch identifies it, while previously published
+// snapshots stay valid for in-flight readers.
 package transform
 
 import (
@@ -42,30 +48,83 @@ func (m Mode) String() string {
 	return "type-aware"
 }
 
-// Data is a transformed RDF dataset: the labeled graph plus the mapping
-// tables of the transformation that produced it.
+// Data is one immutable snapshot of a transformed RDF dataset: the labeled
+// graph view plus the mapping tables of the transformation that produced it.
+// The dictionaries are shared with the producing store and are append-only,
+// so term↔ID translations done against an old snapshot remain valid after
+// later updates; the graph view and the Lsimple tables are frozen at
+// snapshot time.
 type Data struct {
-	G    *graph.Graph
+	G    graph.View
 	Mode Mode
+
+	// Epoch identifies the snapshot: a store's epochs increase with every
+	// applied update batch and every compaction. Plans and cursors pin one
+	// epoch's Data and never observe a later one mid-flight.
+	Epoch uint64
+	// Triples is the dataset's net (distinct) triple count at this epoch.
+	Triples int
 
 	verts  *rdf.Dictionary // term <-> vertex ID
 	labels *rdf.Dictionary // type term <-> vertex label (TypeAware only)
 	preds  *rdf.Dictionary // predicate term <-> edge label
 
-	// Lsimple: direct (non-transitive) type labels per vertex, CSR.
+	// Lsimple: direct (non-transitive) type labels per vertex. The CSR holds
+	// the compacted base; simpleOv overrides individual vertices whose
+	// direct-type sets changed in the delta since the last compaction.
 	simpleOff []int
 	simple    []uint32
+	simpleOv  map[uint32][]uint32
 }
 
-// Build transforms triples under the given mode.
+// Build transforms triples under the given mode into a one-shot snapshot.
+// Literal terms are canonicalized (escape normalization) before interning.
 func Build(triples []rdf.Triple, mode Mode) *Data {
+	triples = canonicalTriples(triples)
 	if mode == Direct {
-		return buildDirect(triples)
+		d := &Data{
+			Mode:    Direct,
+			Triples: len(triples),
+			verts:   rdf.NewDictionary(),
+			preds:   rdf.NewDictionary(),
+		}
+		d.G = assembleDirect(triples, d.verts, d.preds)
+		return d
 	}
-	return buildTypeAware(triples)
+	d := &Data{
+		Mode:    TypeAware,
+		Triples: len(triples),
+		verts:   rdf.NewDictionary(),
+		labels:  rdf.NewDictionary(),
+		preds:   rdf.NewDictionary(),
+	}
+	g, simpleOff, simple, _ := assembleTypeAware(triples, d.verts, d.labels, d.preds, newHierarchy())
+	d.G, d.simpleOff, d.simple = g, simpleOff, simple
+	return d
 }
 
-// VertexOf resolves a term to its vertex ID.
+// canonicalTriples canonicalizes literal escapes in every triple, copying
+// the slice only when something actually changes.
+func canonicalTriples(triples []rdf.Triple) []rdf.Triple {
+	out := triples
+	copied := false
+	for i, t := range triples {
+		c := t.Canonical()
+		if c == t {
+			continue
+		}
+		if !copied {
+			out = append([]rdf.Triple(nil), triples...)
+			copied = true
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// VertexOf resolves a term to its vertex ID. The dictionary is shared and
+// append-only: a term inserted after this snapshot resolves to an ID outside
+// the snapshot's graph, which every graph-side consumer bounds-checks.
 func (d *Data) VertexOf(t rdf.Term) (uint32, bool) { return d.verts.Lookup(t) }
 
 // TermOfVertex resolves a vertex ID back to its term.
@@ -93,9 +152,15 @@ func (d *Data) TermOfEdgeLabel(el uint32) rdf.Term { return d.preds.Term(el) }
 func (d *Data) NumTerms() int { return d.verts.Len() }
 
 // SimpleTypes returns the direct (non-transitive) type labels of v —
-// Lsimple(v) in the paper. Only populated under TypeAware.
+// Lsimple(v) in the paper. Only populated under TypeAware. IDs outside the
+// snapshot (terms interned after it) have no types.
 func (d *Data) SimpleTypes(v uint32) []uint32 {
-	if d.simpleOff == nil {
+	if d.simpleOv != nil {
+		if s, ok := d.simpleOv[v]; ok {
+			return s
+		}
+	}
+	if d.simpleOff == nil || int(v) >= len(d.simpleOff)-1 {
 		return nil
 	}
 	return d.simple[d.simpleOff[v]:d.simpleOff[v+1]]
@@ -103,32 +168,77 @@ func (d *Data) SimpleTypes(v uint32) []uint32 {
 
 // ClosureTypes returns the full label set L(v) (direct types plus transitive
 // superclasses). Only populated under TypeAware.
-func (d *Data) ClosureTypes(v uint32) []uint32 { return d.G.Labels(v) }
-
-func buildDirect(triples []rdf.Triple) *Data {
-	d := &Data{
-		Mode:  Direct,
-		verts: rdf.NewDictionary(),
-		preds: rdf.NewDictionary(),
+func (d *Data) ClosureTypes(v uint32) []uint32 {
+	if int(v) >= d.G.NumVertices() {
+		return nil
 	}
-	b := graph.NewBuilder()
-	for _, t := range triples {
-		s := d.verts.Intern(t.S)
-		o := d.verts.Intern(t.O)
-		p := d.preds.Intern(t.P)
-		b.AddEdge(s, p, o)
-	}
-	d.G = b.Build()
-	return d
+	return d.G.Labels(v)
 }
 
-func buildTypeAware(triples []rdf.Triple) *Data {
-	d := &Data{
-		Mode:   TypeAware,
-		verts:  rdf.NewDictionary(),
-		labels: rdf.NewDictionary(),
-		preds:  rdf.NewDictionary(),
+// hierarchy carries the rdfs:subClassOf state of a type-aware
+// transformation: the direct-superclass DAG over label IDs, the set of terms
+// known to name classes, and the memoized transitive closure.
+type hierarchy struct {
+	superOf   map[uint32][]uint32
+	classTerm map[rdf.Term]bool
+	closure   map[uint32][]uint32
+}
+
+func newHierarchy() *hierarchy {
+	return &hierarchy{
+		superOf:   map[uint32][]uint32{},
+		classTerm: map[rdf.Term]bool{},
+		closure:   map[uint32][]uint32{},
 	}
+}
+
+// expand returns l plus its transitive superclasses (memoized DFS). The
+// returned slice is owned by the hierarchy; callers must not mutate it.
+func (h *hierarchy) expand(l uint32) []uint32 {
+	if c, ok := h.closure[l]; ok {
+		return c
+	}
+	seen := map[uint32]bool{l: true}
+	var close func(x uint32)
+	close = func(x uint32) {
+		for _, sup := range h.superOf[x] {
+			if !seen[sup] {
+				seen[sup] = true
+				close(sup)
+			}
+		}
+	}
+	close(l)
+	out := make([]uint32, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	h.closure[l] = out
+	return out
+}
+
+// assembleDirect builds the direct-transformation graph, interning into the
+// given (possibly pre-populated) dictionaries.
+func assembleDirect(triples []rdf.Triple, verts, preds *rdf.Dictionary) *graph.Graph {
+	b := graph.NewBuilder()
+	for _, t := range triples {
+		s := verts.Intern(t.S)
+		o := verts.Intern(t.O)
+		p := preds.Intern(t.P)
+		b.AddEdge(s, p, o)
+	}
+	return b.Build()
+}
+
+// assembleTypeAware builds the type-aware graph plus the Lsimple CSR and the
+// per-vertex reference counts (how many triples make each vertex a vertex:
+// subject/object occurrences in non-type triples plus subject occurrences in
+// type triples — the incremental layer uses them to know when a vertex
+// disappears from a fresh rebuild). h is reset and repopulated.
+func assembleTypeAware(triples []rdf.Triple, verts, labels, preds *rdf.Dictionary, h *hierarchy) (*graph.Graph, []int, []uint32, map[uint32]int) {
+	h.superOf = map[uint32][]uint32{}
+	h.classTerm = map[rdf.Term]bool{}
+	h.closure = map[uint32][]uint32{}
 
 	// Pass 1: partition triples, intern the label vocabulary, and record the
 	// subClassOf hierarchy among labels.
@@ -136,71 +246,47 @@ func buildTypeAware(triples []rdf.Triple) *Data {
 		subj  rdf.Term
 		label uint32
 	}
-	var typeEdges []typeEdge              // T't: entity -> direct type label
-	superOf := make(map[uint32][]uint32)  // label -> direct superclass labels
-	classLabel := make(map[rdf.Term]bool) // terms that are class names
-	var rest []rdf.Triple                 // T'
+	var typeEdges []typeEdge // T't: entity -> direct type label
+	var rest []rdf.Triple    // T'
 
 	for _, t := range triples {
 		switch t.P.IRIValue() {
 		case rdf.RDFType:
-			l := d.labels.Intern(t.O)
-			classLabel[t.O] = true
+			l := labels.Intern(t.O)
+			h.classTerm[t.O] = true
 			typeEdges = append(typeEdges, typeEdge{t.S, l})
 		case rdf.RDFSSubClass:
-			sub := d.labels.Intern(t.S)
-			sup := d.labels.Intern(t.O)
-			classLabel[t.S] = true
-			classLabel[t.O] = true
-			superOf[sub] = append(superOf[sub], sup)
+			sub := labels.Intern(t.S)
+			sup := labels.Intern(t.O)
+			h.classTerm[t.S] = true
+			h.classTerm[t.O] = true
+			h.superOf[sub] = append(h.superOf[sub], sup)
 		default:
 			rest = append(rest, t)
 		}
 	}
 
-	// Transitive superclass closure per label (memoized DFS).
-	closure := make(map[uint32][]uint32, len(superOf))
-	var close func(l uint32, seen map[uint32]bool)
-	var expand func(l uint32) []uint32
-	close = func(l uint32, seen map[uint32]bool) {
-		for _, sup := range superOf[l] {
-			if !seen[sup] {
-				seen[sup] = true
-				close(sup, seen)
-			}
-		}
-	}
-	expand = func(l uint32) []uint32 {
-		if c, ok := closure[l]; ok {
-			return c
-		}
-		seen := map[uint32]bool{l: true}
-		close(l, seen)
-		out := make([]uint32, 0, len(seen))
-		for x := range seen {
-			out = append(out, x)
-		}
-		closure[l] = out
-		return out
-	}
-
 	// Pass 2: vertices are subjects/objects of T' plus subjects of T't
 	// (Definition 3's F_V domain). Class-only terms never become vertices.
 	b := graph.NewBuilder()
+	refs := map[uint32]int{}
 	for _, t := range rest {
-		s := d.verts.Intern(t.S)
-		o := d.verts.Intern(t.O)
-		p := d.preds.Intern(t.P)
+		s := verts.Intern(t.S)
+		o := verts.Intern(t.O)
+		p := preds.Intern(t.P)
+		refs[s]++
+		refs[o]++
 		b.AddEdge(s, p, o)
 	}
 
 	// Direct types per vertex (Lsimple) and closure labels.
 	simpleSets := make(map[uint32][]uint32)
 	for _, te := range typeEdges {
-		v := d.verts.Intern(te.subj)
+		v := verts.Intern(te.subj)
+		refs[v]++
 		b.EnsureVertex(v)
 		simpleSets[v] = append(simpleSets[v], te.label)
-		for _, l := range expand(te.label) {
+		for _, l := range h.expand(te.label) {
 			b.AddVertexLabel(v, l)
 		}
 	}
@@ -208,35 +294,35 @@ func buildTypeAware(triples []rdf.Triple) *Data {
 	// A vertex that is itself a class with superclasses receives its
 	// superclasses' labels (Definition 3: any subClassOf path from the
 	// vertex's term). This only matters when class terms appear in T'.
-	for term := range classLabel {
-		v, ok := d.verts.Lookup(term)
-		if !ok {
+	for term := range h.classTerm {
+		v, ok := verts.Lookup(term)
+		if !ok || refs[v] == 0 {
 			continue
 		}
-		l, _ := d.labels.Lookup(term)
-		for _, sup := range superOf[l] {
-			for _, x := range expand(sup) {
+		l, _ := labels.Lookup(term)
+		for _, sup := range h.superOf[l] {
+			for _, x := range h.expand(sup) {
 				b.AddVertexLabel(v, x)
 			}
 		}
 	}
 
-	d.G = b.Build()
+	g := b.Build()
 
 	// Freeze Lsimple as CSR (sorted, deduped per vertex).
-	d.simpleOff = make([]int, d.G.NumVertices()+1)
+	simpleOff := make([]int, g.NumVertices()+1)
 	for v, ls := range simpleSets {
 		simpleSets[v] = dedup(ls)
-		d.simpleOff[v+1] = len(simpleSets[v])
+		simpleOff[v+1] = len(simpleSets[v])
 	}
-	for v := 0; v < d.G.NumVertices(); v++ {
-		d.simpleOff[v+1] += d.simpleOff[v]
+	for v := 0; v < g.NumVertices(); v++ {
+		simpleOff[v+1] += simpleOff[v]
 	}
-	d.simple = make([]uint32, d.simpleOff[d.G.NumVertices()])
+	simple := make([]uint32, simpleOff[g.NumVertices()])
 	for v, ls := range simpleSets {
-		copy(d.simple[d.simpleOff[v]:], ls)
+		copy(simple[simpleOff[v]:], ls)
 	}
-	return d
+	return g, simpleOff, simple, refs
 }
 
 func dedup(s []uint32) []uint32 {

@@ -6,29 +6,90 @@ import (
 	"io"
 	"iter"
 	"os"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/rdf"
 	"repro/internal/transform"
 )
 
-// Store is an immutable in-memory RDF store queryable with SPARQL. Build
-// one with New, Open, or OpenFile; a Store is safe for concurrent readers.
+// Store is an in-memory RDF store queryable with SPARQL. Build one with
+// New, Open, or OpenFile; mutate it with Insert, Delete, and Compact.
+//
+// A Store is safe for concurrent use. Readers never block: every query
+// execution — a Prepare, a Select cursor, an Exec, a Count — pins the
+// immutable dataset snapshot current at its start and computes entirely
+// against it, so an in-flight Rows cursor enumerates exactly the solutions
+// of the store as it stood when the cursor was opened, no matter how many
+// updates, deletes or compactions land while it drains (snapshot isolation).
+// Writers are serialized against each other and publish a fresh snapshot
+// per call.
+//
+// Updates follow a differential-index design: Insert and Delete land in a
+// small delta overlay (added/removed edges and labels plus appended
+// vertices) merged on the fly with the compacted base, and Compact folds the
+// delta back into a fresh base. Queries over a small delta run within a
+// constant factor of compacted speed; compact when the delta has grown large
+// or a natural maintenance window arrives. Under the type-aware
+// transformation, rdfs:subClassOf changes rewrite the label closure and
+// trigger an implicit compaction.
 type Store struct {
-	data *transform.Data
-	eng  *engine.Engine
-	n    int
+	mu  sync.Mutex // serializes writers
+	mut *transform.Mutable
+	eng *engine.Engine
 }
 
 // New builds a store from triples already in memory. opts may be nil for
-// the defaults (type-aware transformation, all optimizations).
+// the defaults (type-aware transformation, all optimizations). Duplicate
+// triples collapse; literal terms are canonicalized (escape sequences
+// normalized) so equal literals intern as one term.
 func New(triples []Triple, opts *Options) *Store {
-	data := transform.Build(triples, opts.mode())
+	mut := transform.NewMutable(triples, opts.mode())
 	return &Store{
-		data: data,
-		eng:  engine.New(data, opts.coreOpts()),
-		n:    len(triples),
+		mut: mut,
+		eng: engine.New(mut.Current(), opts.coreOpts()),
 	}
+}
+
+// Insert adds triples to the store and returns how many of them were new
+// (already-present triples are ignored). The update lands in the store's
+// delta overlay and becomes visible atomically: executions started before
+// Insert returns keep their snapshot, executions started afterwards see
+// every inserted triple. Literal terms are canonicalized exactly as New and
+// the N-Triples reader do.
+func (s *Store) Insert(triples []Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, n := s.mut.Apply(triples, nil)
+	if n > 0 {
+		s.eng.SetData(data)
+	}
+	return n
+}
+
+// Delete removes triples from the store and returns how many were actually
+// present. Like Insert it is atomic with respect to queries: in-flight
+// executions keep observing the deleted triples through their pinned
+// snapshot; new executions do not.
+func (s *Store) Delete(triples []Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, n := s.mut.Apply(nil, triples)
+	if n > 0 {
+		s.eng.SetData(data)
+	}
+	return n
+}
+
+// Compact folds the accumulated delta back into the compacted base
+// representation (the CSR layout of paper §4.2), restoring full query speed
+// after a long run of updates. Results are unaffected: compaction publishes
+// a new snapshot with identical content, and in-flight executions keep
+// their pre-compaction snapshot.
+func (s *Store) Compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.SetData(s.mut.Compact())
 }
 
 // Open reads N-Triples from r and builds a store.
@@ -202,7 +263,7 @@ func (s *Store) Count(query string) (int, error) {
 
 // Stats summarizes the transformed dataset.
 type Stats struct {
-	// Triples is the number of triples loaded (before deduplication).
+	// Triples is the net number of distinct triples currently stored.
 	Triples int
 	// Vertices and Edges describe the transformed labeled graph; under the
 	// type-aware transformation, type triples are folded into labels and do
@@ -212,12 +273,13 @@ type Stats struct {
 	Transformation string
 }
 
-// Stats reports the store's size statistics.
+// Stats reports the store's size statistics, as of the current snapshot.
 func (s *Store) Stats() Stats {
+	d := s.eng.Data()
 	return Stats{
-		Triples:        s.n,
-		Vertices:       s.data.G.NumVertices(),
-		Edges:          s.data.G.NumEdges(),
-		Transformation: s.data.Mode.String(),
+		Triples:        d.Triples,
+		Vertices:       d.G.NumVertices(),
+		Edges:          d.G.NumEdges(),
+		Transformation: d.Mode.String(),
 	}
 }

@@ -1,0 +1,319 @@
+package turbohom
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func updTriple(s, p, o string) Triple {
+	e := func(x string) Term { return NewIRI("http://ex.org/" + x) }
+	return Triple{S: e(s), P: e(p), O: e(o)}
+}
+
+func typeTriple(s, c string) Triple {
+	e := func(x string) Term { return NewIRI("http://ex.org/" + x) }
+	return Triple{S: e(s), P: TypeTerm, O: e(c)}
+}
+
+func sortedRows(res *Results) []string {
+	out := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, t := range row {
+			cells[j] = string(t)
+		}
+		out[i] = strings.Join(cells, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestInsertDeleteVisible checks the basic mutation contract: inserts and
+// deletes change what subsequent queries see, idempotently, and Stats tracks
+// the net triple count.
+func TestInsertDeleteVisible(t *testing.T) {
+	s := New([]Triple{updTriple("a", "knows", "b")}, nil)
+	const q = `SELECT ?x ?y WHERE { ?x <http://ex.org/knows> ?y . }`
+
+	if n, _ := s.Count(q); n != 1 {
+		t.Fatalf("seed count = %d", n)
+	}
+	if got := s.Insert([]Triple{updTriple("b", "knows", "c"), updTriple("a", "knows", "b")}); got != 1 {
+		t.Fatalf("Insert applied %d, want 1 (duplicate ignored)", got)
+	}
+	if n, _ := s.Count(q); n != 2 {
+		t.Fatalf("post-insert count = %d", n)
+	}
+	if got := s.Delete([]Triple{updTriple("a", "knows", "b"), updTriple("nope", "knows", "x")}); got != 1 {
+		t.Fatalf("Delete applied %d, want 1 (absent ignored)", got)
+	}
+	if n, _ := s.Count(q); n != 1 {
+		t.Fatalf("post-delete count = %d", n)
+	}
+	if st := s.Stats(); st.Triples != 1 {
+		t.Fatalf("Stats.Triples = %d, want 1", st.Triples)
+	}
+	s.Compact()
+	if n, _ := s.Count(q); n != 1 {
+		t.Fatalf("post-compact count = %d", n)
+	}
+}
+
+// TestSnapshotIsolationCursor pins the satellite contract: a Rows cursor
+// opened before Insert/Delete enumerates exactly the pre-update solutions
+// even when drained afterwards, including across a mid-stream Compact; a
+// cursor opened after the update sees the new state.
+func TestSnapshotIsolationCursor(t *testing.T) {
+	s := New([]Triple{
+		updTriple("a", "knows", "b"),
+		updTriple("b", "knows", "c"),
+		typeTriple("a", "Person"),
+	}, nil)
+	p, err := s.Prepare(`SELECT ?x ?y WHERE { ?x <http://ex.org/knows> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := p.Select(context.Background())
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("no first row")
+	}
+	first := append([]Term(nil), rows.Row()...)
+
+	// Mutate heavily while the cursor is mid-stream.
+	s.Insert([]Triple{updTriple("c", "knows", "d"), updTriple("d", "knows", "a")})
+	s.Delete([]Triple{updTriple("a", "knows", "b")})
+	s.Compact()
+	s.Insert([]Triple{typeTriple("b", "Person")})
+
+	got := map[string]bool{string(first[0]) + "|" + string(first[1]): true}
+	for rows.Next() {
+		r := rows.Row()
+		got[string(r[0])+"|"+string(r[1])] = true
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"<http://ex.org/a>|<http://ex.org/b>": true,
+		"<http://ex.org/b>|<http://ex.org/c>": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pre-update cursor rows = %v, want %v", got, want)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("pre-update cursor rows = %v, want %v", got, want)
+		}
+	}
+
+	// A cursor opened now reflects every update above.
+	res, err := p.Exec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []string{
+		"<http://ex.org/b>|<http://ex.org/c>",
+		"<http://ex.org/c>|<http://ex.org/d>",
+		"<http://ex.org/d>|<http://ex.org/a>",
+	}
+	if gotRows := sortedRows(res); strings.Join(gotRows, " ") != strings.Join(wantRows, " ") {
+		t.Fatalf("post-update rows = %v, want %v", gotRows, wantRows)
+	}
+}
+
+// TestUpdateTypeLabels checks that incremental rdf:type inserts and deletes
+// keep label-scan queries (the type-aware transformation's core shape)
+// correct, including transitive superclass labels.
+func TestUpdateTypeLabels(t *testing.T) {
+	sub := func(s, o string) Triple {
+		e := func(x string) Term { return NewIRI("http://ex.org/" + x) }
+		return Triple{S: e(s), P: NewIRI("http://www.w3.org/2000/01/rdf-schema#subClassOf"), O: e(o)}
+	}
+	s := New([]Triple{
+		sub("Student", "Person"),
+		typeTriple("alice", "Student"),
+		updTriple("alice", "knows", "bob"),
+	}, nil)
+	const qPerson = `SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Person> . }`
+
+	if n, _ := s.Count(qPerson); n != 1 {
+		t.Fatalf("seed Person count = %d", n)
+	}
+	s.Insert([]Triple{typeTriple("bob", "Student")})
+	if n, _ := s.Count(qPerson); n != 2 {
+		t.Fatalf("post-insert Person count = %d", n)
+	}
+	s.Delete([]Triple{typeTriple("alice", "Student")})
+	if n, _ := s.Count(qPerson); n != 1 {
+		t.Fatalf("post-delete Person count = %d", n)
+	}
+	// Schema change: new superclass edge triggers the implicit rebuild.
+	s.Insert([]Triple{sub("Person", "Agent"), typeTriple("alice", "Person")})
+	const qAgent = `SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Agent> . }`
+	if n, _ := s.Count(qAgent); n != 2 {
+		t.Fatalf("post-schema Agent count = %d", n)
+	}
+}
+
+// TestConcurrentUpdateDifferential runs concurrent readers (prepared
+// executions and streaming cursors) against a store under a continuous
+// stream of Insert/Delete/Compact, checking under -race that every observed
+// result is internally consistent: each query execution must see some
+// snapshot's worth of rows (counts equal materializations per execution) and
+// never crash or tear.
+func TestConcurrentUpdateDifferential(t *testing.T) {
+	base := []Triple{typeTriple("hub", "Hub")}
+	var pool []Triple
+	for i := 0; i < 40; i++ {
+		pool = append(pool, updTriple(fmt.Sprintf("n%d", i), "knows", fmt.Sprintf("n%d", (i+1)%40)))
+		if i%4 == 0 {
+			pool = append(pool, typeTriple(fmt.Sprintf("n%d", i), "Hub"))
+		}
+	}
+	s := New(base, nil)
+	p, err := s.Prepare(`SELECT ?x ?y WHERE { ?x <http://ex.org/knows> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := s.Prepare(`SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Hub> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+
+	// Writer: random inserts/deletes with periodic compaction.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			batch := []Triple{pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]}
+			if rng.Intn(2) == 0 {
+				s.Insert(batch)
+			} else {
+				s.Delete(batch)
+			}
+			if i%25 == 24 {
+				s.Compact()
+			}
+		}
+		cancel()
+	}()
+
+	// Readers: materialize, count, and stream concurrently with the writer.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				res, err := p.Exec(context.Background())
+				if err != nil {
+					t.Errorf("reader %d: Exec: %v", r, err)
+					return
+				}
+				n, err := p.Count(context.Background())
+				if err != nil {
+					t.Errorf("reader %d: Count: %v", r, err)
+					return
+				}
+				// Count and Exec pin snapshots independently; both must be
+				// plausible row counts for SOME snapshot (0..len(pool)).
+				if len(res.Rows) > len(pool) || n > len(pool) {
+					t.Errorf("reader %d: impossible result sizes %d / %d", r, len(res.Rows), n)
+					return
+				}
+				rows := pt.Select(context.Background())
+				k := 0
+				for rows.Next() {
+					k++
+				}
+				if err := rows.Close(); err != nil {
+					t.Errorf("reader %d: cursor: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// TestDifferentialPublicAPI is the public-API differential: after a random
+// interleaving of Insert/Delete/Compact, every query over the live store
+// returns exactly what a store built fresh from the net triples returns.
+func TestDifferentialPublicAPI(t *testing.T) {
+	var universe []Triple
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			universe = append(universe, updTriple(fmt.Sprintf("n%d", i), "p", fmt.Sprintf("n%d", j)))
+			universe = append(universe, updTriple(fmt.Sprintf("n%d", i), "q", fmt.Sprintf("n%d", j)))
+		}
+		universe = append(universe, typeTriple(fmt.Sprintf("n%d", i), fmt.Sprintf("C%d", i%2)))
+	}
+	queries := []string{
+		`SELECT ?x ?y WHERE { ?x <http://ex.org/p> ?y . }`,
+		`SELECT ?x WHERE { ?x <http://ex.org/p> ?y . ?y <http://ex.org/q> ?x . }`,
+		`SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/C0> . }`,
+		`SELECT ?a ?b WHERE { ?x <http://ex.org/p> ?a . ?x <http://ex.org/p> ?b . }`,
+	}
+	for _, transf := range []Transformation{TypeAware, Direct} {
+		for _, nec := range []NECMode{NECOn, NECOff} {
+			opts := &Options{Transformation: transf, NEC: nec, Workers: 1}
+			t.Run(fmt.Sprintf("%v/%v", transf, nec), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(11))
+				net := map[Triple]struct{}{}
+				var init []Triple
+				for _, tr := range universe {
+					if rng.Intn(2) == 0 {
+						init = append(init, tr)
+						net[tr] = struct{}{}
+					}
+				}
+				live := New(init, opts)
+				for step := 0; step < 10; step++ {
+					for i := 0; i < 1+rng.Intn(4); i++ {
+						tr := universe[rng.Intn(len(universe))]
+						if rng.Intn(2) == 0 {
+							live.Insert([]Triple{tr})
+							net[tr] = struct{}{}
+						} else {
+							live.Delete([]Triple{tr})
+							delete(net, tr)
+						}
+					}
+					if step == 5 {
+						live.Compact()
+					}
+					var list []Triple
+					for tr := range net {
+						list = append(list, tr)
+					}
+					fresh := New(list, opts)
+					for _, q := range queries {
+						lr, err := live.Query(q)
+						if err != nil {
+							t.Fatalf("live %q: %v", q, err)
+						}
+						fr, err := fresh.Query(q)
+						if err != nil {
+							t.Fatalf("fresh %q: %v", q, err)
+						}
+						lk, fk := sortedRows(lr), sortedRows(fr)
+						if strings.Join(lk, " ") != strings.Join(fk, " ") {
+							t.Fatalf("step %d %q: live %v, fresh %v", step, q, lk, fk)
+						}
+					}
+				}
+			})
+		}
+	}
+}
