@@ -11,6 +11,7 @@ package turbohom
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -443,6 +444,58 @@ func BenchmarkDeltaOverlay(b *testing.B) {
 		}
 	})
 	_ = sDelta
+}
+
+// BenchmarkParallelSelect is the ordered-region-pipeline acceptance
+// benchmark: draining a streaming cursor over an exploration-heavy LUBM
+// query with sequential matching vs the parallel pipeline. Row order is
+// identical in both configurations (differential-tested), so the comparison
+// is pure throughput. On a multi-core box the parallel drain should be ≥2x;
+// the CI bench-gate holds whatever this records against regressions.
+func BenchmarkParallelSelect(b *testing.B) {
+	fixtures()
+	q := datagen.LUBMQuery("Q9").Text
+	ctx := context.Background()
+
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		parallel = 2 // still exercises the pipeline machinery on 1-core boxes
+	}
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", parallel},
+	} {
+		store := New(fix.lubm.Triples, &Options{Workers: v.workers})
+		p, err := store.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var want int
+		rows := p.Select(ctx)
+		for rows.Next() {
+			want++
+		}
+		if err := rows.Close(); err != nil || want == 0 {
+			b.Fatalf("fixture drain: %d rows, %v", want, err)
+		}
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				rows := p.Select(ctx)
+				for rows.Next() {
+					n++
+				}
+				if err := rows.Close(); err != nil || n != want {
+					b.Fatalf("drained %d rows (%v), want %d", n, err, want)
+				}
+			}
+			b.ReportMetric(float64(want)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
 }
 
 // BenchmarkNECStarEnumerate measures the expansion path with a visitor (full

@@ -1,0 +1,291 @@
+// Command benchgate records and gates benchmark results, the comparator
+// behind the CI bench-gate job.
+//
+// It reads `go test -bench` output on stdin — either plain text or the
+// test2json stream produced by `go test -json` — collects every benchmark
+// result line, reduces the -count repetitions of each benchmark to their
+// median ns/op, and then either writes a baseline file or checks the run
+// against one:
+//
+//	go test -run=NONE -bench 'X|Y' -count=6 -json ./... | benchgate -write BENCH_pr4.json
+//	go test -run=NONE -bench 'X|Y' -count=6 -json ./... | benchgate -check BENCH_pr4.json
+//
+// -check exits non-zero when any baseline benchmark regressed by more than
+// -threshold (default 1.25, i.e. >25% slower), or when a baseline benchmark
+// is missing from the run entirely (a silently deleted benchmark must not
+// pass the gate). New benchmarks absent from the baseline are reported but
+// do not fail; refresh the baseline with -write to start tracking them.
+//
+// Absolute ns/op comparisons drift with CI hardware, so the gate also
+// supports machine-independent ratio assertions taken WITHIN one run:
+//
+//	-speedup 'slowBench:fastBench>=2.0[@minCPUs]'
+//
+// fails unless slowBench's ns/op is at least the given multiple of
+// fastBench's (':' separates the pair because benchmark names contain
+// '/'). With @minCPUs the assertion is skipped (reported only) on machines
+// with fewer CPUs — a parallel-vs-sequential speedup cannot materialize on
+// a 1-core runner. Repeatable.
+//
+// The baseline file is committed at the repository root, one file per perf
+// PR (BENCH_pr4.json, ...), forming the project's recorded perf trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark record.
+type Baseline struct {
+	// Go is the toolchain that produced the record (informational).
+	Go string `json:"go"`
+	// MaxProcs is GOMAXPROCS at record time (informational; parallel
+	// benchmarks scale with it, so cross-machine comparisons need care).
+	MaxProcs int `json:"maxprocs"`
+	// Benchmarks holds one entry per benchmark, sorted by name.
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's reduced result.
+type Entry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Runs    int     `json:"runs"`
+}
+
+// testEvent is the subset of the test2json schema benchgate consumes.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// resultLine matches a complete benchmark result line as plain `go test
+// -bench` prints it: name (with the -GOMAXPROCS suffix Go appends, stripped
+// so baselines stay portable across core counts), iteration count, ns/op.
+// Extra metrics after ns/op are ignored.
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// test2json splits a result across two output events — the name (trailing
+// tab) and then the measurements — so the stream parser stitches them.
+var (
+	nameOnly   = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s*$`)
+	timingOnly = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
+)
+
+func main() {
+	write := flag.String("write", "", "write the run as a baseline to this file")
+	check := flag.String("check", "", "check the run against the baseline in this file")
+	threshold := flag.Float64("threshold", 1.25, "max allowed current/baseline ns-per-op ratio")
+	var speedups speedupFlags
+	flag.Var(&speedups, "speedup", "within-run ratio assertion 'slow:fast>=N[@minCPUs]' (repeatable)")
+	flag.Parse()
+	if (*write == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -write or -check is required")
+		os.Exit(2)
+	}
+
+	results, err := collect(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		os.Exit(2)
+	}
+
+	if *write != "" {
+		if err := writeBaseline(*write, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(results), *write)
+		return
+	}
+	ok := checkBaseline(*check, results, *threshold)
+	for _, sp := range speedups {
+		if !sp.check(results) {
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// speedupSpec is one parsed -speedup assertion.
+type speedupSpec struct {
+	slow, fast string
+	min        float64
+	minCPUs    int
+}
+
+type speedupFlags []speedupSpec
+
+func (f *speedupFlags) String() string { return fmt.Sprintf("%d assertions", len(*f)) }
+
+func (f *speedupFlags) Set(s string) error {
+	spec := s
+	minCPUs := 0
+	if at := strings.LastIndex(spec, "@"); at >= 0 {
+		n, err := strconv.Atoi(spec[at+1:])
+		if err != nil {
+			return fmt.Errorf("bad @minCPUs in %q", s)
+		}
+		minCPUs = n
+		spec = spec[:at]
+	}
+	names, minStr, found := strings.Cut(spec, ">=")
+	if !found {
+		return fmt.Errorf("bad -speedup %q, want 'slow:fast>=N[@minCPUs]'", s)
+	}
+	slow, fast, found := strings.Cut(names, ":")
+	if !found || slow == "" || fast == "" {
+		return fmt.Errorf("bad benchmark pair in %q", s)
+	}
+	min, err := strconv.ParseFloat(minStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad ratio in %q", s)
+	}
+	*f = append(*f, speedupSpec{slow: slow, fast: fast, min: min, minCPUs: minCPUs})
+	return nil
+}
+
+func (sp speedupSpec) check(results map[string][]float64) bool {
+	slow, okS := results[sp.slow]
+	fast, okF := results[sp.fast]
+	if !okS || !okF {
+		fmt.Fprintf(os.Stderr, "benchgate: speedup %s/%s: benchmark missing from run\n", sp.slow, sp.fast)
+		return false
+	}
+	ratio := median(slow) / median(fast)
+	if sp.minCPUs > 0 && runtime.NumCPU() < sp.minCPUs {
+		fmt.Printf("speedup %s / %s = %.2fx (want >= %.2fx; not enforced, %d CPUs < %d)\n",
+			sp.slow, sp.fast, ratio, sp.min, runtime.NumCPU(), sp.minCPUs)
+		return true
+	}
+	if ratio < sp.min {
+		fmt.Fprintf(os.Stderr, "benchgate: FAILED — speedup %s / %s = %.2fx, want >= %.2fx\n",
+			sp.slow, sp.fast, ratio, sp.min)
+		return false
+	}
+	fmt.Printf("speedup %s / %s = %.2fx (>= %.2fx)  ok\n", sp.slow, sp.fast, ratio, sp.min)
+	return true
+}
+
+// collect parses stdin into per-benchmark ns/op samples and reduces each to
+// its median.
+func collect(r io.Reader) (map[string][]float64, error) {
+	samples := map[string][]float64{}
+	add := func(name, ns string) {
+		if v, err := strconv.ParseFloat(ns, 64); err == nil {
+			samples[name] = append(samples[name], v)
+		}
+	}
+	pending := "" // benchmark name awaiting its measurement line
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) > 0 && line[0] == '{' {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action != "output" {
+					continue
+				}
+				line = strings.TrimSuffix(ev.Output, "\n")
+			}
+		}
+		switch {
+		case resultLine.MatchString(line):
+			m := resultLine.FindStringSubmatch(line)
+			add(m[1], m[2])
+			pending = ""
+		case nameOnly.MatchString(line):
+			pending = nameOnly.FindStringSubmatch(line)[1]
+		case pending != "" && timingOnly.MatchString(line):
+			add(pending, timingOnly.FindStringSubmatch(line)[1])
+			pending = ""
+		}
+	}
+	return samples, sc.Err()
+}
+
+// median reduces one benchmark's -count samples; the middle value resists
+// the occasional scheduling hiccup better than the mean.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+func writeBaseline(path string, results map[string][]float64) error {
+	b := Baseline{Go: runtime.Version(), MaxProcs: runtime.GOMAXPROCS(0)}
+	for name, xs := range results {
+		b.Benchmarks = append(b.Benchmarks, Entry{Name: name, NsPerOp: median(xs), Runs: len(xs)})
+	}
+	sort.Slice(b.Benchmarks, func(i, j int) bool { return b.Benchmarks[i].Name < b.Benchmarks[j].Name })
+	out, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func checkBaseline(path string, results map[string][]float64, threshold float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		return false
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+		return false
+	}
+
+	ok := true
+	seen := map[string]bool{}
+	fmt.Printf("%-60s %14s %14s %7s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, e := range base.Benchmarks {
+		seen[e.Name] = true
+		xs, found := results[e.Name]
+		if !found {
+			fmt.Printf("%-60s %14.0f %14s %7s  MISSING\n", e.Name, e.NsPerOp, "-", "-")
+			ok = false
+			continue
+		}
+		cur := median(xs)
+		ratio := cur / e.NsPerOp
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = fmt.Sprintf("REGRESSION (> %.2fx)", threshold)
+			ok = false
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %6.2fx  %s\n", e.Name, e.NsPerOp, cur, ratio, verdict)
+	}
+	for name, xs := range results {
+		if !seen[name] {
+			fmt.Printf("%-60s %14s %14.0f %7s  new (not gated)\n", name, "-", median(xs), "-")
+		}
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchgate: FAILED — benchmark regression or missing benchmark")
+	} else {
+		fmt.Println("benchgate: OK")
+	}
+	return ok
+}

@@ -10,9 +10,11 @@
 //	turbohom -dataset lubm -scale 2 -id Q9 -time
 //
 // Flags select the transformation (-transform direct|typeaware), disable
-// the optimization suite (-noopt), set the worker count (-workers), print
-// only the solution count (-count), and repeat the query with the paper's
-// timing protocol (-time).
+// the optimization suite (-noopt), set the worker count (-workers, default
+// 0 = all CPUs; rows stream through the ordered parallel region pipeline in
+// the same order as a sequential run, -stream-buffer sizes its reorder
+// window), print only the solution count (-count), and repeat the query
+// with the paper's timing protocol (-time).
 //
 // -update file.nt streams additional triples into the store WHILE the query
 // executes, demonstrating the mutable store's snapshot isolation: the
@@ -52,7 +54,8 @@ func main() {
 		queryID   = flag.String("id", "", "benchmark query ID (e.g. Q2) from the generated dataset")
 		transf    = flag.String("transform", "typeaware", "graph transformation: typeaware or direct")
 		noopt     = flag.Bool("noopt", false, "disable the TurboHOM++ optimization suite")
-		workers   = flag.Int("workers", 1, "parallel workers over starting vertices")
+		workers   = flag.Int("workers", 0, "parallel workers over candidate regions (0 = all CPUs, 1 = sequential)")
+		streamBuf = flag.Int("stream-buffer", 0, "reorder-window size of parallel streaming, in region batches (0 = 2x workers)")
 		countOnly = flag.Bool("count", false, "print only the solution count")
 		updateF   = flag.String("update", "", "N-Triples file to insert concurrently while the query runs")
 		compact   = flag.Bool("compact", false, "compact the delta overlay after -update finishes")
@@ -68,16 +71,16 @@ func main() {
 	defer stop()
 
 	if err := run(ctx, *dataFile, *dataset, *scale, *queryStr, *queryFile, *queryID,
-		*transf, *noopt, *workers, *countOnly, *timeIt, *maxRows, *updateF, *compact); err != nil {
+		*transf, *noopt, *workers, *streamBuf, *countOnly, *timeIt, *maxRows, *updateF, *compact); err != nil {
 		fmt.Fprintln(os.Stderr, "turbohom:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, queryFile, queryID,
-	transf string, noopt bool, workers int, countOnly, timeIt bool, maxRows int, updateFile string, compact bool) (retErr error) {
+	transf string, noopt bool, workers, streamBuf int, countOnly, timeIt bool, maxRows int, updateFile string, compact bool) (retErr error) {
 
-	opts := &turbohom.Options{Workers: workers, DisableOptimizations: noopt}
+	opts := &turbohom.Options{Workers: workers, StreamBuffer: streamBuf, DisableOptimizations: noopt}
 	switch transf {
 	case "typeaware":
 		opts.Transformation = turbohom.TypeAware
@@ -217,29 +220,8 @@ func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, que
 		return nil
 	}
 
-	// An uncapped drain on a parallel store wants throughput, not first-row
-	// latency: materialize with parallel matching instead of streaming.
-	if workers > 1 && maxRows <= 0 {
-		res, err := prepared.Exec(ctx)
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				fmt.Println("(interrupted)")
-				return nil
-			}
-			return err
-		}
-		fmt.Println(strings.Join(res.Vars, "\t"))
-		for _, row := range res.Rows {
-			cells := make([]string, len(row))
-			for j, t := range row {
-				cells[j] = string(t)
-			}
-			fmt.Println(strings.Join(cells, "\t"))
-		}
-		fmt.Printf("(%d rows)\n", res.Len())
-		return nil
-	}
-
+	// Streaming is parallel in row order, so the cursor serves capped and
+	// uncapped drains alike — no separate materializing path needed.
 	rows := prepared.Select(ctx)
 	defer rows.Close()
 	fmt.Println(strings.Join(rows.Vars(), "\t"))

@@ -14,8 +14,11 @@
 //     TurboHOM++ matching engine with its full optimization suite (+INT,
 //     -NLF, -DEG, +REUSE; paper §4.3), the NEC query reduction (§2.2),
 //     and parallel execution (§5.2). Matching runs on all CPUs by default
-//     (Options.Workers = 0 means runtime.GOMAXPROCS); parallel results
-//     keep the sequential enumeration order.
+//     (Options.Workers = 0 means runtime.GOMAXPROCS) on every path,
+//     including streaming cursors: the ordered region pipeline searches
+//     candidate regions concurrently and reorders rows back into the
+//     sequential enumeration order, so results are byte-identical for
+//     every worker count.
 //
 //   - Insert, Delete, and Compact mutate the store while it serves
 //     queries. Updates land in a delta overlay merged on the fly with the
@@ -90,7 +93,10 @@
 // cursor without materializing the result set (DISTINCT keeps a seen-set
 // but emits incrementally). ORDER BY is the one buffering shape — every
 // solution must exist before the first row can be sorted out — but it keeps
-// the same cursor surface. Store.Query and Store.Count remain as one-shot
+// the same cursor surface. Streaming is parallel by default: workers search
+// candidate regions concurrently, at most Options.StreamBuffer batches
+// ahead of the consumer (backpressure), and a reorder stage delivers rows
+// in the sequential order. Store.Query and Store.Count remain as one-shot
 // convenience wrappers over the prepared path.
 //
 // # NEC query reduction

@@ -28,32 +28,48 @@ func (m Match) Clone() Match {
 // Visitor receives each solution; returning false stops the search.
 type Visitor func(Match) bool
 
-// Stream enumerates all matches of q in g sequentially, invoking visit for
-// each. It returns the number of solutions visited. Workers is ignored
-// (streaming is inherently ordered); use Collect or Count for parallelism.
-// Cancelling ctx abandons the remaining candidate regions and returns
-// ctx.Err(); a visitor returning false stops cleanly with a nil error.
+// Stream enumerates all matches of q in g, invoking visit for each in the
+// deterministic sequential region order. It returns the number of solutions
+// visited. With opts.Workers > 1 the candidate regions are explored and
+// searched by the ordered parallel region pipeline, whose reorder stage
+// delivers rows in exactly the order a sequential run would produce
+// (opts.StreamBuffer bounds the reorder window); the visitor always runs on
+// the calling goroutine. Cancelling ctx abandons the candidate regions not
+// yet emitted and returns ctx.Err(); a visitor returning false stops
+// cleanly with a nil error, and in the parallel case abandons the regions
+// beyond the reorder window just like MaxSolutions does.
 func Stream(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts, visit Visitor) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
-	opts.Workers = 1
 	m := newMatcher(ctx, g, q, sem, opts)
+	if opts.Workers > 1 {
+		return m.runPipeline(visit)
+	}
 	return m.run(visit)
 }
 
-// Collect enumerates all matches and returns them as deep copies. With
-// opts.Workers > 1 the starting vertices are processed in parallel.
-// Cancelling ctx abandons the remaining work and returns ctx.Err().
+// Collect enumerates all matches and returns them as deep copies, always in
+// the sequential enumeration order. With opts.Workers > 1 the candidate
+// regions are processed by the same ordered pipeline that backs Stream, so
+// a parallel Collect — including one capped by MaxSolutions — returns
+// exactly the rows and order of a sequential one. Cancelling ctx abandons
+// the remaining work and returns ctx.Err() along with the rows emitted
+// before the cancellation took effect.
 func Collect(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts) ([]Match, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	m := newMatcher(ctx, g, q, sem, opts)
-	if opts.Workers > 1 {
-		return m.runParallelCollect()
-	}
 	var out []Match
+	if opts.Workers > 1 {
+		// Pipeline rows are already deep copies owned by the emitter.
+		_, err := m.runPipeline(func(mt Match) bool {
+			out = append(out, mt)
+			return true
+		})
+		return out, err
+	}
 	_, err := m.run(func(mt Match) bool {
 		out = append(out, mt.Clone())
 		return true
@@ -62,17 +78,19 @@ func Collect(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, op
 }
 
 // Count returns the number of matches without materializing them. With
-// opts.Workers > 1 the starting vertices are processed in parallel. Counting
-// runs with no visitor, which lets the NEC reduction total equivalence-class
-// expansions combinatorially instead of enumerating them. Cancelling ctx
-// abandons the remaining work and returns ctx.Err().
+// opts.Workers > 1 the candidate regions are counted by the parallel
+// pipeline with per-batch totals summed in region order, so a MaxSolutions
+// cap clamps identically to a sequential count. Counting runs with no
+// visitor, which lets the NEC reduction total equivalence-class expansions
+// combinatorially instead of enumerating them. Cancelling ctx abandons the
+// remaining work and returns ctx.Err().
 func Count(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err
 	}
 	m := newMatcher(ctx, g, q, sem, opts)
 	if opts.Workers > 1 {
-		return m.runParallelCount()
+		return m.runPipeline(nil)
 	}
 	return m.run(nil)
 }

@@ -42,12 +42,20 @@ type Opts struct {
 	// differential-test the expansion.
 	NoNEC bool
 	// Workers sets the number of goroutines processing starting vertices
-	// (paper §5.2). Values < 2 mean sequential execution. Only Collect and
-	// Count honor it: Stream is contractually sequential (its visitor sees
-	// solutions in deterministic region order and may stop the search), so
-	// Stream ignores Workers entirely rather than silently racing. A full
-	// parallel Collect returns the same solution order as a sequential one.
+	// (paper §5.2). Values < 2 mean sequential execution. Stream, Collect
+	// and Count all honor it through the ordered region pipeline: workers
+	// claim candidate-region batches, search them into buffers, and a
+	// reorder stage replays the buffers in sequential region order, so row
+	// order, early termination (a visitor returning false, MaxSolutions)
+	// and cancellation behave exactly as in a sequential run.
 	Workers int
+	// StreamBuffer bounds the reorder window of the parallel pipeline, in
+	// candidate-region batches: workers may run at most this many batches
+	// ahead of the emitting goroutine before they block (backpressure), so
+	// an early-terminated run abandons everything beyond the window. 0
+	// means 2×Workers. Larger windows smooth out skewed regions at the cost
+	// of buffering more undelivered solutions.
+	StreamBuffer int
 	// MaxSolutions stops the search after this many solutions; 0 means
 	// unlimited.
 	MaxSolutions int
@@ -56,9 +64,13 @@ type Opts struct {
 	StartVertexCandidates int
 	// Profile, when non-nil, accumulates effort counters (candidate regions
 	// explored, search-tree nodes visited) into the pointed-to result during
-	// the run. Only sequential execution (Workers < 2) updates it; parallel
-	// runs leave it untouched. Solutions is not filled in — it is the run's
-	// return value.
+	// the run. Parallel runs merge per-worker counters into it before
+	// returning: a run that completes (or stops by visitor/limit at the
+	// very end) reports the same Regions/SearchNodes totals as a sequential
+	// run, while an early-terminated parallel run may report somewhat more —
+	// workers race ahead of the emitter within the reorder window. The
+	// pointed-to result must not be read until the call returns. Solutions
+	// is not filled in — it is the run's return value.
 	Profile *ProfileResult
 }
 

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the ordered parallel region pipeline (paper §5.2
+// lifted from materialized fan-out to streaming): W workers claim contiguous
+// batches of candidate regions from a shared cursor, explore and search each
+// batch into a private solution buffer, and the caller's goroutine — the
+// emitter — replays the buffers in exact sequential batch order. Because the
+// visitor only ever runs on the emitter, every sequential contract survives
+// parallelism unchanged: rows arrive in the sequential enumeration order,
+// returning false stops the run, and MaxSolutions cuts the stream at the
+// same row it would cut a sequential run.
+//
+// Backpressure comes from a token semaphore sized to the reorder window: a
+// worker may not claim a batch until the emitter has finished replaying the
+// batch `window` positions earlier. A consumer that stops early (visitor
+// false, MaxSolutions, a cancelled cursor) therefore leaves all batches
+// beyond the window unclaimed and unexplored, just like the sequential run
+// abandons its remaining candidate regions.
+//
+// Delivery uses a ring of one-slot channels indexed by batch mod window.
+// The token accounting makes slot reuse safe: batch i can only be claimed
+// after batch i-window was fully replayed, so its slot has been drained by
+// the time batch i's result is sent, and the send never blocks.
+
+// maxPipelineChunk caps the candidate-region batch size. Batches amortize
+// scheduling (one channel handoff per batch, not per region); the cap keeps
+// first-row latency and the early-termination overshoot bounded.
+const maxPipelineChunk = 64
+
+// batchResult is one batch's contribution, delivered to the emitter.
+type batchResult struct {
+	sols  []Match // solutions in sequential order, deep copies (nil when counting)
+	count int     // solutions found in the batch
+	err   error   // context error that cut the batch short
+}
+
+// pipeState is the shared coordination state of one pipeline run.
+type pipeState struct {
+	cands      []uint32
+	start      int
+	chunk      int
+	numBatches int
+	collect    bool // buffer solutions (vs count-only)
+	limit      int  // MaxSolutions, also the per-batch work bound
+	sharedPlan *searchPlan
+	skipBefore int // candidates below this index are known explore failures
+
+	cursor atomic.Int64  // next unclaimed batch
+	stop   atomic.Bool   // emitter finished; abandon unclaimed work
+	done   chan struct{} // closed with stop, releases workers blocked on tokens
+	tokens chan struct{} // reorder-window semaphore
+	ring   []chan batchResult
+
+	profMu sync.Mutex
+	prof   *ProfileResult
+}
+
+// runPipeline executes the match with opts.Workers parallel workers while
+// delivering solutions to visit in exactly the sequential enumeration order.
+// With a nil visitor it is a parallel count: per-batch totals are summed in
+// batch order, so MaxSolutions clamps as deterministically as it does
+// sequentially.
+func (m *matcher) runPipeline(visit Visitor) (int, error) {
+	start, cands := m.startCandidates()
+	if len(cands) == 0 {
+		return 0, nil
+	}
+	// Point-shaped queries have no per-region work to distribute; the
+	// sequential fast path is optimal and already ordered. The pipeline's
+	// visitor contract hands out owned rows (worker-side deep copies), so
+	// the delegation must clone what the sequential run lends it —
+	// Collect appends pipeline rows without copying.
+	if len(m.q.Vertices) == 1 && len(m.q.Edges) == 0 {
+		if visit == nil {
+			return m.run(nil)
+		}
+		return m.run(func(mt Match) bool { return visit(mt.Clone()) })
+	}
+	m.buildQueryTree(start)
+
+	pr := m.opts.Profile
+	if pr != nil {
+		pr.StartVertex = start
+		pr.StartCandidates = len(cands)
+		if m.red != nil {
+			pr.NECClasses = len(m.red.classes)
+			pr.NECMergedVertices = m.red.mergedVertices()
+		}
+	}
+
+	// Dynamic distribution (paper §5.2): small contiguous chunks claimed
+	// from a shared cursor, so skewed regions do not starve workers while
+	// the chunk order keeps reassembly trivial.
+	workers := m.opts.Workers
+	chunk := len(cands)/(workers*8) + 1
+	if chunk > maxPipelineChunk {
+		chunk = maxPipelineChunk
+	}
+	numBatches := (len(cands) + chunk - 1) / chunk
+	if workers > numBatches {
+		workers = numBatches
+	}
+	// StreamBuffer = 1 is honored: one batch in flight serializes the
+	// handoff (worker throughput degrades to lockstep) but minimizes how
+	// far an early-closed run can overshoot.
+	window := m.opts.StreamBuffer
+	if window <= 0 {
+		window = 2 * workers
+	}
+	if window < 1 {
+		window = 1
+	}
+
+	// +REUSE pins every region to the matching order of the first region
+	// that survives exploration — the first in SEQUENTIAL order, because the
+	// emitted row order depends on the plan. The pre-pass stops at that
+	// region and hands the failures before it to the workers as known
+	// skips, so total exploration work stays within one region of the
+	// sequential run.
+	var sharedPlan *searchPlan
+	skipBefore := 0
+	if m.opts.ReuseOrder {
+		rg := newRegion(len(m.q.Vertices))
+		for i, vs := range cands {
+			if err := m.ctx.Err(); err != nil {
+				return 0, err
+			}
+			rg.reset(vs)
+			if m.explore(rg, start, vs) {
+				sharedPlan = m.buildPlan(rg)
+				skipBefore = i
+				break
+			}
+			skipBefore = i + 1
+		}
+	}
+
+	ps := &pipeState{
+		cands:      cands,
+		start:      start,
+		chunk:      chunk,
+		numBatches: numBatches,
+		collect:    visit != nil,
+		limit:      m.opts.MaxSolutions,
+		sharedPlan: sharedPlan,
+		skipBefore: skipBefore,
+		done:       make(chan struct{}),
+		tokens:     make(chan struct{}, window),
+		ring:       make([]chan batchResult, window),
+		prof:       pr,
+	}
+	for i := range ps.ring {
+		ps.ring[i] = make(chan batchResult, 1)
+	}
+	for i := 0; i < window; i++ {
+		ps.tokens <- struct{}{}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.pipelineWorker(ps)
+		}()
+	}
+	workersDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(workersDone)
+	}()
+
+	const maxInt = int(^uint(0) >> 1)
+	limit := m.opts.MaxSolutions
+	emitted := 0
+	var err error
+emit:
+	for bi := 0; bi < numBatches; bi++ {
+		var res batchResult
+		select {
+		case res = <-ps.ring[bi%window]:
+		case <-workersDone:
+			// All workers exited before delivering this batch — the context
+			// was cancelled before it was claimed. The non-blocking re-check
+			// covers the race where the delivery and the last exit landed
+			// together.
+			select {
+			case res = <-ps.ring[bi%window]:
+			default:
+				err = m.ctx.Err()
+				break emit
+			}
+		}
+		if visit == nil {
+			// bulkCount saturates per batch; keep the sum saturating too.
+			if res.count > maxInt-emitted {
+				emitted = maxInt
+			} else {
+				emitted += res.count
+			}
+		} else {
+			for _, mt := range res.sols {
+				emitted++
+				if !visit(mt) {
+					break emit
+				}
+				if limit > 0 && emitted >= limit {
+					break emit
+				}
+			}
+		}
+		if res.err != nil {
+			err = res.err
+			break emit
+		}
+		if limit > 0 && emitted >= limit {
+			break emit
+		}
+		// The batch is fully replayed: open the window one batch further.
+		ps.tokens <- struct{}{}
+	}
+	ps.stop.Store(true)
+	close(ps.done)
+	// Wait for the workers so profile merging is complete and no goroutine
+	// outlives the call (Close/cancel rely on this for prompt teardown).
+	<-workersDone
+
+	if limit > 0 && emitted > limit {
+		emitted = limit
+	}
+	return emitted, err
+}
+
+// pipelineWorker claims batches until the work or the window runs out. Each
+// batch replays the sequential per-region loop of matcher.run against a
+// worker-private region and search state; solutions are deep-copied into the
+// batch buffer because the emitter replays them after this worker has moved
+// on to other regions.
+func (m *matcher) pipelineWorker(ps *pipeState) {
+	var localProf *ProfileResult
+	if ps.prof != nil {
+		localProf = new(ProfileResult)
+		defer func() {
+			ps.profMu.Lock()
+			ps.prof.merge(localProf)
+			ps.profMu.Unlock()
+		}()
+	}
+	var buf []Match
+	var visit Visitor
+	if ps.collect {
+		visit = func(mt Match) bool {
+			if ps.stop.Load() {
+				return false
+			}
+			buf = append(buf, mt.Clone())
+			return true
+		}
+	}
+	st := newSearchState(m, visit, ps.limit, nil)
+	st.profile = localProf
+	st.stop = &ps.stop
+	rg := newRegion(len(m.q.Vertices))
+	plan := ps.sharedPlan
+	window := len(ps.ring)
+	for {
+		if ps.stop.Load() || m.ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-ps.tokens:
+		case <-ps.done:
+			return
+		}
+		bi := int(ps.cursor.Add(1)) - 1
+		if bi >= ps.numBatches {
+			return
+		}
+		lo := bi * ps.chunk
+		hi := lo + ps.chunk
+		if hi > len(ps.cands) {
+			hi = len(ps.cands)
+		}
+		buf = nil
+		countBefore := st.count
+		// Cancellation is checked once per claimed batch (above) and
+		// amortized inside the search loop, as in the materialized fan-out:
+		// a per-candidate ctx.Err() would put the context mutex on every
+		// worker's hot path.
+		for gi := lo; gi < hi; gi++ {
+			if st.stopped {
+				break
+			}
+			if gi < ps.skipBefore {
+				continue // known explore failure (the +REUSE pre-pass)
+			}
+			vs := ps.cands[gi]
+			rg.reset(vs)
+			if !m.explore(rg, ps.start, vs) {
+				continue
+			}
+			if localProf != nil {
+				localProf.Regions++
+				for _, total := range rg.totals {
+					localProf.ExploredCandidates += total
+				}
+			}
+			if plan == nil || !m.opts.ReuseOrder {
+				plan = m.buildPlan(rg)
+			}
+			st.rg, st.plan = rg, plan
+			st.search(0)
+		}
+		ps.ring[bi%window] <- batchResult{sols: buf, count: st.count - countBefore, err: st.err}
+		if st.stopped {
+			// Either a context error or the global stop was just delivered
+			// with the batch, or this worker's cumulative count reached
+			// MaxSolutions — and since its batches are claimed in increasing
+			// order, every batch it could still claim lies beyond the
+			// emitter's cut-off.
+			return
+		}
+	}
+}

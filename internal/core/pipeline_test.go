@@ -1,0 +1,304 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// starInstance builds hubs with a labeled fan-out and a star query whose
+// leaves form one NEC class, exercising worker-side combination expansion.
+func starInstance(hubs, fanout, leaves int) (*graph.Graph, *QueryGraph) {
+	fHub, fLeaf := uint32(0), uint32(1)
+	b := graph.NewBuilder()
+	next := uint32(0)
+	for h := 0; h < hubs; h++ {
+		hv := next
+		next++
+		b.AddVertexLabel(hv, fHub)
+		for f := 0; f < fanout; f++ {
+			lv := next
+			next++
+			b.AddVertexLabel(lv, fLeaf)
+			b.AddEdge(hv, 7, lv)
+		}
+	}
+	g := b.Build()
+	q := NewQueryGraph()
+	hub := q.AddVertex([]uint32{fHub}, NoID)
+	for i := 0; i < leaves; i++ {
+		leaf := q.AddVertex([]uint32{fLeaf}, NoID)
+		q.AddEdge(hub, leaf, 7)
+	}
+	return g, q
+}
+
+// matchKey flattens one match for comparison.
+func matchKey(mt Match) string {
+	return fmt.Sprintf("%v|%v", mt.Vertices, mt.EdgeLabels)
+}
+
+// streamKeys drains Stream into per-row keys.
+func streamKeys(t *testing.T, g graph.View, q *QueryGraph, sem Semantics, opts Opts) []string {
+	t.Helper()
+	var keys []string
+	n, err := Stream(context.Background(), g, q, sem, opts, func(mt Match) bool {
+		keys = append(keys, matchKey(mt))
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Stream(workers=%d): %v", opts.Workers, err)
+	}
+	if n != len(keys) {
+		t.Fatalf("Stream(workers=%d) returned %d, visited %d", opts.Workers, n, len(keys))
+	}
+	return keys
+}
+
+// pipelineInstances is the shared corpus of (graph, query) shapes: wide
+// bipartite (many regions), the Fig. 1 instance (joins, non-tree edges),
+// the skewed Fig. 2 star (empty result), and NEC-class stars.
+func pipelineInstances() []struct {
+	name string
+	g    *graph.Graph
+	q    *QueryGraph
+} {
+	big, bq := bipartiteInstance(48)
+	f1g, f1q := fig1Data(), fig1Query()
+	f2g, f2q, _, _, _ := fig2Instance()
+	sg, sq := starInstance(40, 5, 3)
+	// Point-shaped query (one vertex, no edges): takes the pipeline's
+	// sequential fast path, which must still hand Collect owned rows.
+	pg, _ := starInstance(12, 4, 1)
+	pq := NewQueryGraph()
+	pq.AddVertex([]uint32{1}, NoID) // the leaf label
+	return []struct {
+		name string
+		g    *graph.Graph
+		q    *QueryGraph
+	}{
+		{"bipartite", big, bq},
+		{"fig1", f1g, f1q},
+		{"fig2-empty", f2g, f2q},
+		{"nec-star", sg, sq},
+		{"point", pg, pq},
+	}
+}
+
+// TestPipelineOrderDifferential is the tentpole's acceptance test at the
+// core layer: for every instance, semantics, and optimization mix, Stream
+// with Workers ∈ {2, 3, 8} (and a deliberately tiny reorder window) yields
+// exactly the sequential row sequence.
+func TestPipelineOrderDifferential(t *testing.T) {
+	optVariants := []struct {
+		name string
+		opts Opts
+	}{
+		{"baseline", Baseline()},
+		{"optimized", Optimized()},
+		{"nec-off", Opts{NoNEC: true}},
+		{"int-only", Opts{Intersect: true}},
+	}
+	for _, inst := range pipelineInstances() {
+		for _, sem := range []Semantics{Homomorphism, Isomorphism} {
+			for _, v := range optVariants {
+				t.Run(fmt.Sprintf("%s/%v/%s", inst.name, sem, v.name), func(t *testing.T) {
+					seq := v.opts
+					seq.Workers = 1
+					want := streamKeys(t, inst.g, inst.q, sem, seq)
+					for _, workers := range []int{2, 3, 8} {
+						for _, window := range []int{0, 1, 2} {
+							par := v.opts
+							par.Workers = workers
+							par.StreamBuffer = window
+							got := streamKeys(t, inst.g, inst.q, sem, par)
+							if len(got) != len(want) {
+								t.Fatalf("workers=%d window=%d: %d rows, want %d", workers, window, len(got), len(want))
+							}
+							for i := range got {
+								if got[i] != want[i] {
+									t.Fatalf("workers=%d window=%d row %d:\n got %s\nwant %s", workers, window, i, got[i], want[i])
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPipelineCollectCountDifferential checks the Collect and Count rewires:
+// parallel Collect returns the sequential rows in order (including under a
+// MaxSolutions cap — a deterministic prefix) and parallel Count the same
+// total.
+func TestPipelineCollectCountDifferential(t *testing.T) {
+	for _, inst := range pipelineInstances() {
+		for _, sem := range []Semantics{Homomorphism, Isomorphism} {
+			for _, limit := range []int{0, 7} {
+				opts := Optimized()
+				opts.Workers = 1
+				opts.MaxSolutions = limit
+				want, err := Collect(context.Background(), inst.g, inst.q, sem, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantN, err := Count(context.Background(), inst.g, inst.q, sem, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{2, 8} {
+					opts.Workers = workers
+					got, err := Collect(context.Background(), inst.g, inst.q, sem, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s/%v limit=%d workers=%d: Collect %d rows, want %d",
+							inst.name, sem, limit, workers, len(got), len(want))
+					}
+					for i := range got {
+						if matchKey(got[i]) != matchKey(want[i]) {
+							t.Fatalf("%s/%v limit=%d workers=%d row %d differs", inst.name, sem, limit, workers, i)
+						}
+					}
+					gotN, err := Count(context.Background(), inst.g, inst.q, sem, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if gotN != wantN {
+						t.Fatalf("%s/%v limit=%d workers=%d: Count = %d, want %d",
+							inst.name, sem, limit, workers, gotN, wantN)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineVisitorStop: a visitor returning false stops a parallel
+// stream cleanly after the same prefix a sequential stream would deliver.
+func TestPipelineVisitorStop(t *testing.T) {
+	g, q := bipartiteInstance(32)
+	full := streamKeys(t, g, q, Homomorphism, Opts{Workers: 1, Intersect: true})
+	const stopAt = 9
+	opts := Opts{Workers: 4, Intersect: true}
+	var got []string
+	n, err := Stream(context.Background(), g, q, Homomorphism, opts, func(mt Match) bool {
+		got = append(got, matchKey(mt))
+		return len(got) < stopAt
+	})
+	if err != nil {
+		t.Fatalf("visitor stop is not an error, got %v", err)
+	}
+	if n != stopAt || len(got) != stopAt {
+		t.Fatalf("visited %d (returned %d), want %d", len(got), n, stopAt)
+	}
+	for i := range got {
+		if got[i] != full[i] {
+			t.Fatalf("row %d: %s, want sequential prefix %s", i, got[i], full[i])
+		}
+	}
+}
+
+// TestPipelineCancellation: cancelling mid-stream surfaces ctx.Err() and the
+// rows delivered before it form a prefix of the sequential sequence.
+func TestPipelineCancellation(t *testing.T) {
+	g, q := bipartiteInstance(64)
+	full := streamKeys(t, g, q, Homomorphism, Opts{Workers: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var got []string
+	_, err := Stream(ctx, g, q, Homomorphism, Opts{Workers: 4}, func(mt Match) bool {
+		got = append(got, matchKey(mt))
+		if len(got) == 3 {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) >= len(full) {
+		t.Fatalf("cancellation did not cut the stream (saw all %d rows)", len(got))
+	}
+	for i := range got {
+		if got[i] != full[i] {
+			t.Fatalf("row %d: %s, want sequential prefix %s", i, got[i], full[i])
+		}
+	}
+
+	// Already-cancelled context: prompt error from the pipeline too.
+	ctx, cancel = context.WithCancel(context.Background())
+	cancel()
+	if _, err := Stream(ctx, g, q, Homomorphism, Opts{Workers: 4}, func(Match) bool { return true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPipelineProfileMergesToSequentialTotals: a fully drained parallel run
+// merges per-worker counters into exactly the sequential totals, for both
+// the enumerating and the NEC bulk-count paths.
+func TestPipelineProfileMergesToSequentialTotals(t *testing.T) {
+	for _, inst := range pipelineInstances() {
+		for _, visitMode := range []string{"count", "stream"} {
+			var seq, par ProfileResult
+			opts := Optimized()
+			opts.Workers = 1
+			opts.Profile = &seq
+			run := func(o Opts) (int, error) {
+				if visitMode == "count" {
+					return Count(context.Background(), inst.g, inst.q, Homomorphism, o)
+				}
+				return Stream(context.Background(), inst.g, inst.q, Homomorphism, o, func(Match) bool { return true })
+			}
+			wantN, err := run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.Workers = 4
+			opts.Profile = &par
+			gotN, err := run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotN != wantN {
+				t.Fatalf("%s/%s: parallel %d, want %d", inst.name, visitMode, gotN, wantN)
+			}
+			if par != seq {
+				t.Fatalf("%s/%s: parallel profile %+v != sequential %+v", inst.name, visitMode, par, seq)
+			}
+		}
+	}
+}
+
+// TestPipelineBackpressure: with a tiny reorder window, an early stop leaves
+// most regions unexplored — the backpressure contract that makes Close
+// cheap on parallel cursors.
+func TestPipelineBackpressure(t *testing.T) {
+	g, q := bipartiteInstance(256)
+	var full ProfileResult
+	opts := Opts{Workers: 1, Profile: &full}
+	if _, err := Stream(context.Background(), g, q, Homomorphism, opts, func(Match) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+
+	var part ProfileResult
+	opts = Opts{Workers: 4, StreamBuffer: 2, Profile: &part}
+	seen := 0
+	if _, err := Stream(context.Background(), g, q, Homomorphism, opts, func(Match) bool {
+		seen++
+		return seen < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if part.Regions == 0 {
+		t.Fatalf("no effort recorded: %+v", part)
+	}
+	if part.Regions*4 >= full.Regions {
+		t.Fatalf("early stop explored %d of %d regions despite a 2-batch window", part.Regions, full.Regions)
+	}
+}

@@ -43,6 +43,17 @@ type ProfileResult struct {
 	NECExpansionsSkipped int
 }
 
+// merge folds a pipeline worker's privately accumulated counters into the
+// run-wide result. Only the additive effort counters move; identity fields
+// (StartVertex, StartCandidates, NECClasses, NECMergedVertices) are written
+// once by the coordinator.
+func (pr *ProfileResult) merge(src *ProfileResult) {
+	pr.Regions += src.Regions
+	pr.ExploredCandidates += src.ExploredCandidates
+	pr.SearchNodes += src.SearchNodes
+	pr.NECExpansionsSkipped += src.NECExpansionsSkipped
+}
+
 // Profile runs the match sequentially and returns its effort counters along
 // with the solution count. It is a diagnostic tool: the run pays for
 // counting but is otherwise identical to Count. It shares the counting

@@ -1,10 +1,5 @@
 package core
 
-import (
-	"sync"
-	"sync/atomic"
-)
-
 // run executes the full TurboHOM++ pipeline sequentially: choose a start
 // vertex, build the query tree, then per starting data vertex explore the
 // candidate region, determine (or reuse) the matching order, and search.
@@ -83,145 +78,4 @@ func (m *matcher) run(visit Visitor) (int, error) {
 		n = m.opts.MaxSolutions
 	}
 	return n, st.err
-}
-
-// runParallelCount distributes starting vertices across workers (paper
-// §5.2: dynamic small-chunk distribution) and counts solutions.
-func (m *matcher) runParallelCount() (int, error) {
-	total, _, err := m.runParallel(false)
-	if err != nil {
-		return 0, err
-	}
-	n := int(total)
-	if m.opts.MaxSolutions > 0 && n > m.opts.MaxSolutions {
-		n = m.opts.MaxSolutions
-	}
-	return n, nil
-}
-
-// runParallelCollect distributes starting vertices across workers and
-// returns the merged solutions.
-func (m *matcher) runParallelCollect() ([]Match, error) {
-	_, sols, err := m.runParallel(true)
-	if err != nil {
-		return nil, err
-	}
-	if m.opts.MaxSolutions > 0 && len(sols) > m.opts.MaxSolutions {
-		sols = sols[:m.opts.MaxSolutions]
-	}
-	return sols, nil
-}
-
-func (m *matcher) runParallel(collect bool) (int64, []Match, error) {
-	start, cands := m.startCandidates()
-	if len(cands) == 0 {
-		return 0, nil, nil
-	}
-	// Point-shaped queries have no per-region work to distribute; the
-	// sequential fast path is optimal.
-	if len(m.q.Vertices) == 1 && len(m.q.Edges) == 0 {
-		var sols []Match
-		visit := Visitor(nil)
-		if collect {
-			visit = func(mt Match) bool {
-				sols = append(sols, mt.Clone())
-				return true
-			}
-		}
-		n, err := m.run(visit)
-		return int64(n), sols, err
-	}
-	m.buildQueryTree(start)
-
-	workers := m.opts.Workers
-	if workers > len(cands) {
-		workers = len(cands)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	// Dynamic distribution: small chunks claimed from a shared cursor so
-	// skewed candidate regions do not starve workers.
-	chunk := len(cands)/(workers*8) + 1
-	if chunk > 256 {
-		chunk = 256
-	}
-	numChunks := (len(cands) + chunk - 1) / chunk
-
-	var cursor, total atomic.Int64
-	// Solutions are gathered per chunk and merged in chunk order, so a full
-	// parallel Collect returns exactly the sequential enumeration order
-	// regardless of how workers raced over the chunks. (Under MaxSolutions
-	// early termination the surviving subset is unspecified, as before.)
-	var perChunk [][]Match
-	if collect {
-		perChunk = make([][]Match, numChunks)
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var cur *[]Match
-			var visit Visitor
-			if collect {
-				visit = func(mt Match) bool {
-					*cur = append(*cur, mt.Clone())
-					return true
-				}
-			}
-			st := newSearchState(m, visit, m.opts.MaxSolutions, &total)
-			rg := newRegion(len(m.q.Vertices))
-			var plan *searchPlan
-			for {
-				if st.stopped || m.ctx.Err() != nil {
-					return
-				}
-				ci := int(cursor.Add(1)) - 1
-				if ci >= numChunks {
-					return
-				}
-				lo := ci * chunk
-				hi := lo + chunk
-				if hi > len(cands) {
-					hi = len(cands)
-				}
-				var sols []Match
-				cur = &sols
-				// Cancellation is checked once per claimed chunk (above) and
-				// amortized inside the search loop; a per-candidate ctx.Err()
-				// here would put the context mutex on every worker's hot path.
-				for _, vs := range cands[lo:hi] {
-					if st.stopped {
-						break
-					}
-					rg.reset(vs)
-					if !m.explore(rg, start, vs) {
-						continue
-					}
-					if plan == nil || !m.opts.ReuseOrder {
-						plan = m.buildPlan(rg)
-					}
-					st.rg, st.plan = rg, plan
-					st.search(0)
-				}
-				if collect {
-					perChunk[ci] = sols
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	if err := m.ctx.Err(); err != nil {
-		return total.Load(), nil, err
-	}
-	if !collect {
-		return total.Load(), nil, nil
-	}
-	var merged []Match
-	for _, sols := range perChunk {
-		merged = append(merged, sols...)
-	}
-	return total.Load(), merged, nil
 }

@@ -32,6 +32,12 @@ type searchState struct {
 
 	shared *atomic.Int64 // cross-worker solution count (nil if sequential)
 
+	// stop, when non-nil, is the pipeline's global abandon flag: the emitter
+	// sets it when the consumer stops early, and the periodic check below
+	// folds it into the same cadence as the context check so a worker deep
+	// inside one enormous region notices promptly.
+	stop *atomic.Bool
+
 	// NEC expansion state (nil without a reduction). classCands[ci] is the
 	// snapshot of class ci's admissible candidate set, taken when the search
 	// passes the representative's position; fullMap/fullEdges are the
@@ -188,13 +194,20 @@ func (s *searchState) search(dc int) {
 			return
 		}
 		// Periodic cancellation check: cheap enough for the hot loop, and
-		// frequent enough that deadlines and Close() take effect promptly
-		// even inside one enormous candidate region.
+		// frequent enough that deadlines, Close() and the pipeline's stop
+		// flag take effect promptly even inside one enormous candidate
+		// region.
 		s.steps++
-		if s.steps&2047 == 0 && s.ctx.Err() != nil {
-			s.err = s.ctx.Err()
-			s.stopped = true
-			return
+		if s.steps&2047 == 0 {
+			if err := s.ctx.Err(); err != nil {
+				s.err = err
+				s.stopped = true
+				return
+			}
+			if s.stop != nil && s.stop.Load() {
+				s.stopped = true
+				return
+			}
 		}
 		if s.profile != nil {
 			s.profile.SearchNodes++
@@ -225,10 +238,16 @@ func (s *searchState) searchNEC(dc, u, ci int, cands []uint32, constJoins []int)
 	buf := s.candBuf[dc][:0]
 	for _, v := range cands {
 		s.steps++
-		if s.steps&2047 == 0 && s.ctx.Err() != nil {
-			s.err = s.ctx.Err()
-			s.stopped = true
-			return
+		if s.steps&2047 == 0 {
+			if err := s.ctx.Err(); err != nil {
+				s.err = err
+				s.stopped = true
+				return
+			}
+			if s.stop != nil && s.stop.Load() {
+				s.stopped = true
+				return
+			}
 		}
 		if s.profile != nil {
 			s.profile.SearchNodes++

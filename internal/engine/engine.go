@@ -39,23 +39,17 @@ type Engine struct {
 }
 
 // New builds an engine over transformed data with the given matcher options.
-// Workers == 0 defaults to runtime.GOMAXPROCS(0), so the materializing paths
-// (Exec, Count) run parallel matching out of the box; pass Workers = 1 for
-// strictly sequential execution. The streaming cursor (Select) always runs
-// its first component sequentially regardless — core.Stream ignores Workers
-// by contract — and a full parallel Collect returns the sequential solution
-// order, so the default costs no determinism. The one shape where parallel
-// early termination does surrender determinism is a MaxSolutions cap (the
-// surviving subset depends on worker timing), so a capped engine keeps the
-// sequential default; set Workers explicitly to trade determinism for
-// throughput there.
+// Workers == 0 defaults to runtime.GOMAXPROCS(0), so every execution path is
+// parallel out of the box: the materializing paths (Exec, Count) fan
+// candidate regions over the workers, and the streaming cursor (Select)
+// runs the ordered region pipeline, whose reorder stage preserves the
+// sequential row order, early termination, and MaxSolutions determinism.
+// Nothing about the default costs determinism — results with Workers = N
+// are byte-identical to Workers = 1, capped or not. Pass Workers = 1 for
+// strictly sequential execution (ablations, single-core boxes).
 func New(data *transform.Data, opts core.Opts) *Engine {
 	if opts.Workers == 0 {
-		if opts.MaxSolutions > 0 {
-			opts.Workers = 1
-		} else {
-			opts.Workers = runtime.GOMAXPROCS(0)
-		}
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{mode: data.Mode, sem: core.Homomorphism, opts: opts}
 	e.cur.Store(data)

@@ -32,18 +32,25 @@ type Rows struct {
 }
 
 // Select starts executing the prepared query and returns a cursor over its
-// rows. Execution runs in a background goroutine in lockstep with the
-// consumer: the matcher only advances while the consumer pulls, so closing
-// the cursor after k rows does on the order of k rows' search work.
-// Cancelling ctx (or its deadline expiring) aborts the query; Err then
-// returns the context error.
+// rows. Execution advances only as the consumer pulls: on a sequential
+// engine the matcher runs in lockstep with Next, and on a parallel engine
+// (Workers > 1) the ordered region pipeline searches candidate regions
+// concurrently but no further than the reorder window ahead of the
+// consumer, so closing the cursor after k rows still does on the order of
+// k rows' search work (plus the window). Row order is identical for every
+// worker count. Cancelling ctx (or its deadline expiring) aborts the
+// query; Err then returns the context error.
 func (pq *PreparedQuery) Select(ctx context.Context) *Rows {
 	return pq.SelectProfiled(ctx, nil)
 }
 
 // SelectProfiled is Select with matcher effort counters: prof, when
-// non-nil, accumulates the counters of the streamed matcher run (sequential
-// execution only). Read prof only after the cursor is exhausted or closed.
+// non-nil, accumulates the counters of the streamed matcher run. On a
+// parallel engine (Workers > 1) the pipeline merges per-worker counters: a
+// fully drained cursor reports the same totals as a sequential run, while a
+// cursor closed early may report somewhat more effort than a sequential run
+// would have spent — workers race ahead within the reorder window. Read
+// prof only after the cursor is exhausted or closed.
 //
 // The dataset snapshot is pinned synchronously, before SelectProfiled
 // returns: a cursor opened before a store update enumerates exactly the

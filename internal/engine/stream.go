@@ -21,10 +21,12 @@ type RowVisitor func(row []rdf.Term) bool
 // set (DISTINCT keeps a seen-set but still emits incrementally). ORDER BY is
 // the one buffering shape: every solution must exist before the first row
 // can be emitted. prof, when non-nil, accumulates matcher effort counters
-// (sequential execution only). streamFirst forces the first component of
-// each group through the sequential streaming matcher even when Workers > 1
-// — cursor consumers want first-row latency and early termination, while
-// materializing consumers (Exec, Count) prefer parallel throughput.
+// (merged from the pipeline's workers when Workers > 1). streamFirst routes
+// the first component of each group through the streaming matcher — with
+// Workers > 1 that is the ordered parallel region pipeline, which keeps the
+// sequential row order while searching regions concurrently — for first-row
+// latency and early termination; materializing consumers (Exec, Count)
+// collect it instead and join from the materialized sets.
 func (pq *PreparedQuery) stream(ctx context.Context, d *transform.Data, prof *core.ProfileResult, streamFirst bool, emit RowVisitor) error {
 	plans, err := pq.plansFor(d)
 	if err != nil {
@@ -128,11 +130,13 @@ func rowKey(row []rdf.Term) string {
 
 // streamGroup evaluates one flat group against its prebuilt plan, pushing
 // unprojected solution rows to emit. The first query-graph component
-// streams straight from the matcher's visitor; the remaining components are
-// materialized once and cross-joined per streamed solution. When
-// streamFirst is false and Workers > 1, the first component is materialized
-// in parallel instead (parallel matching is unordered, so a consumer that
-// drains everything anyway gains throughput and loses nothing).
+// streams straight from the matcher's visitor — in parallel but in
+// sequential row order when Workers > 1, via the ordered region pipeline —
+// and the remaining components are materialized once and cross-joined per
+// streamed solution. When streamFirst is false and Workers > 1, the first
+// component is materialized in parallel instead (a consumer that drains
+// everything anyway skips the streaming machinery; the order is the same
+// either way).
 func (e *Engine) streamGroup(ctx context.Context, p *plan, g *flatGroup, vi *varIndex, prof *core.ProfileResult, streamFirst bool, emit RowVisitor) error {
 	if p.empty {
 		return nil

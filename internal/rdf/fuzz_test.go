@@ -1,0 +1,95 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNTriples is the native fuzz target for the N-Triples statement
+// parser (run in CI as a smoke step; `go test -fuzz=FuzzNTriples` explores
+// further). Beyond not panicking, it checks the parser/writer round-trip
+// invariant behind term canonicalization: any statement that parses must
+// re-serialize to a statement that parses back to the identical triple —
+// the property the store relies on so that equal terms intern as one
+// vertex however they were spelled in the input.
+func FuzzNTriples(f *testing.F) {
+	seeds := []string{
+		`<http://a> <http://b> <http://c> .`,
+		`<http://a> <http://b> "lit" .`,
+		`<http://a> <http://b> "typed"^^<http://dt> .`,
+		`<http://a> <http://b> "tagged"@en-US .`,
+		`_:b0 <http://b> _:b1.`,
+		`_:b.0 <http://b> "dot label" .`,
+		`<http://s> <http://p> "café" .`,
+		`<http://s> <http://p> "tab\tnl\nquote\"back\\" .`,
+		`<http://s> <http://p> "astral\U0001F600" .`,
+		`# comment`,
+		``,
+		`<http://a> <http://b> "unterminated`,
+		`<http://a> "litpred" <http://c> .`,
+		`"litsubj" <http://b> <http://c> .`,
+		`<http://a> <http://b> <http://c> extra .`,
+		`<http://a> <http://b> <http://c>`,
+		" ",
+		strings.Repeat("<http://x>", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tr, err := ParseTripleLine(line)
+		if err != nil {
+			if pe, ok := err.(*ParseError); ok && pe.Error() == "" {
+				t.Fatalf("empty parse error for %q", line)
+			}
+			return
+		}
+		var b strings.Builder
+		w := NewWriter(&b)
+		if err := w.Write(tr); err != nil {
+			t.Fatalf("write of parsed triple failed: %v (input %q)", err, line)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		out := strings.TrimSuffix(b.String(), "\n")
+		tr2, err := ParseTripleLine(out)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n input %q\nserial %q", err, line, out)
+		}
+		if tr2 != tr {
+			t.Fatalf("round-trip changed the triple:\n input %q\n first %+v\nsecond %+v", line, tr, tr2)
+		}
+	})
+}
+
+// FuzzNTriplesDocument feeds whole documents (multiple lines, comments,
+// blank lines) through the streaming Reader: ReadAll must never panic, and
+// any document it accepts must survive WriteAll -> ReadAll unchanged.
+func FuzzNTriplesDocument(f *testing.F) {
+	f.Add("<http://a> <http://b> <http://c> .\n# c\n\n_:x <http://p> \"v\"@en .\n")
+	f.Add("<http://a> <http://b> \"a\\nb\" .\r\n<http://a> <http://b> <http://c> .")
+	f.Add("junk\n<http://a> <http://b> <http://c> .")
+	f.Fuzz(func(t *testing.T, doc string) {
+		triples, err := ReadAll(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := WriteAll(&b, triples); err != nil {
+			t.Fatalf("WriteAll: %v", err)
+		}
+		again, err := ReadAll(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("re-read of serialized document failed: %v\ndoc %q\nserial %q", err, doc, b.String())
+		}
+		if len(again) != len(triples) {
+			t.Fatalf("round-trip changed triple count: %d vs %d", len(triples), len(again))
+		}
+		for i := range again {
+			if again[i] != triples[i] {
+				t.Fatalf("round-trip changed triple %d: %+v vs %+v", i, triples[i], again[i])
+			}
+		}
+	})
+}

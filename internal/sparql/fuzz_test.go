@@ -1,0 +1,59 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// FuzzSPARQL is the native fuzz target for the SPARQL front end (run in CI
+// as a smoke step). The seed corpus covers every workload query of the four
+// benchmark generators — the same vocabulary the randomized differential
+// fuzz in internal/bench draws from — plus the query shapes that have
+// historically found parser corner cases (stars with repeated predicates,
+// predicate variables, UNION/OPTIONAL nesting, solution modifiers, and
+// malformed fragments). The invariants: Parse never panics, a parse error
+// is never empty, and a successfully parsed query exposes a usable
+// projection and variable set.
+func FuzzSPARQL(f *testing.F) {
+	for _, qs := range [][]datagen.Query{
+		datagen.LUBMQueries(),
+		datagen.BSBMQueries(),
+		datagen.YAGOQueries(),
+		datagen.BTCQueries(),
+	} {
+		for _, q := range qs {
+			f.Add(q.Text)
+		}
+	}
+	for _, s := range []string{
+		`SELECT * WHERE { ?s ?p ?o . }`,
+		`PREFIX ub: <http://x#> SELECT ?a ?b WHERE { ?h ub:knows ?a . ?h ub:knows ?b . }`,
+		`SELECT ?x WHERE { { ?x <p> <a> . } UNION { ?x <p> <b> . } OPTIONAL { ?x <q> ?y . } }`,
+		`SELECT DISTINCT ?x WHERE { ?x <p> ?y . FILTER(?y > 3 && regex(?x, "a")) } ORDER BY DESC(?y) LIMIT 5 OFFSET 2`,
+		`SELECT ?x WHERE { ?x <p> "lit"@en . ?x <q> "3"^^<http://int> . }`,
+		`SELECT`, `SELECT ?x WHERE {`, `SELECT ?x WHERE { ?x <p ?y . }`,
+		`PREFIX : SELECT ?x WHERE { ?x :p ?y . }`,
+		"SELECT ?x WHERE { ?x <p> ?y . } \x00",
+		`select ?x where { ?x <p> ?y }`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatalf("empty parse error for %q", src)
+			}
+			return
+		}
+		if q == nil {
+			t.Fatalf("nil query with nil error for %q", src)
+		}
+		// The accessors the engine calls during Prepare must hold up on
+		// anything the parser accepts.
+		_ = q.ProjectedVars()
+		vars := map[string]bool{}
+		q.Where.Vars(vars)
+	})
+}

@@ -242,8 +242,23 @@ func Parse(src string) (*Query, error) {
 	return q, nil
 }
 
-func (p *parser) cur() token  { return p.toks[p.i] }
-func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+// cur and next clamp at the trailing tEOF token: error paths that consume a
+// token and then report on the current one must not run off the stream when
+// the input is truncated (e.g. a bare "PREFIX").
+func (p *parser) cur() token {
+	if p.i >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) next() token {
+	t := p.cur()
+	if p.i < len(p.toks) {
+		p.i++
+	}
+	return t
+}
 
 func (p *parser) errf(format string, args ...any) error {
 	return &ParseError{p.cur().pos, fmt.Sprintf(format, args...)}

@@ -62,7 +62,11 @@ type Data struct {
 	// applied update batch and every compaction. Plans and cursors pin one
 	// epoch's Data and never observe a later one mid-flight.
 	Epoch uint64
-	// Triples is the dataset's net (distinct) triple count at this epoch.
+	// Triples is the dataset's net triple count at this epoch. Snapshots
+	// published by a Mutable maintain it as the distinct count (updates
+	// dedup on the way in); one-shot Build snapshots report the input
+	// length verbatim and trust the caller not to pass duplicates — the
+	// public Store constructor always goes through NewMutable.
 	Triples int
 
 	verts  *rdf.Dictionary // term <-> vertex ID

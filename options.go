@@ -60,13 +60,23 @@ type Options struct {
 	// Transformation selects the graph transformation.
 	Transformation Transformation
 
-	// Workers sets the number of goroutines that process starting vertices
+	// Workers sets the number of goroutines that process candidate regions
 	// in parallel (paper §5.2). Zero means automatic (runtime.GOMAXPROCS),
-	// so materialized execution is parallel out of the box; 1 forces
-	// sequential execution. Streaming cursors (Select) always stream their
-	// first pattern component sequentially so that row order stays
-	// deterministic and early termination keeps working.
+	// so every execution path is parallel out of the box; 1 forces
+	// sequential execution. Streaming cursors (Select/All) run the ordered
+	// region pipeline: workers search regions concurrently while a reorder
+	// stage emits rows in the exact sequential order, so row order stays
+	// deterministic — byte-identical across worker counts — and closing a
+	// cursor early still abandons the unexplored regions.
 	Workers int
+
+	// StreamBuffer bounds the reorder window of parallel streaming, in
+	// candidate-region batches: workers may search at most this many
+	// batches ahead of the row consumer before blocking (backpressure).
+	// Zero means 2×Workers. Larger windows absorb skew between regions at
+	// the cost of buffering more not-yet-delivered solutions; smaller
+	// windows tighten how much work an early-closed cursor can overshoot.
+	StreamBuffer int
 
 	// NEC toggles the neighborhood-equivalence-class query reduction.
 	// The zero value (NECOn) enables it; set NECOff to search every query
@@ -130,6 +140,7 @@ func (o *Options) coreOpts() core.Opts {
 	}
 	if o != nil {
 		opts.Workers = o.Workers
+		opts.StreamBuffer = o.StreamBuffer
 		opts.MaxSolutions = o.Limit
 		if o.NEC == NECOff {
 			opts.NoNEC = true

@@ -140,10 +140,14 @@ func (p *Prepared) Vars() []string { return p.pq.Vars() }
 // Select starts executing the prepared query and returns a streaming
 // cursor. Rows flow from the matcher as the consumer pulls them; closing
 // the cursor (or cancelling ctx) after k rows abandons the remaining search
-// instead of completing it. ORDER BY queries buffer and sort all solutions
-// before the first row is returned but keep the same cursor surface;
-// everything else — including DISTINCT, which deduplicates incrementally —
-// streams.
+// instead of completing it. On a store with Workers > 1 (the default)
+// matching runs on the ordered parallel region pipeline: workers search
+// candidate regions concurrently, no further than the reorder window ahead
+// of the consumer, and rows are emitted in the exact sequential order — the
+// row sequence is byte-identical for every worker count. ORDER BY queries
+// buffer and sort all solutions before the first row is returned but keep
+// the same cursor surface; everything else — including DISTINCT, which
+// deduplicates incrementally — streams.
 func (p *Prepared) Select(ctx context.Context) *Rows {
 	return &Rows{r: p.pq.Select(ctx)}
 }
