@@ -12,9 +12,11 @@
 // Flags select the transformation (-transform direct|typeaware), disable
 // the optimization suite (-noopt), set the worker count (-workers, default
 // 0 = all CPUs; rows stream through the ordered parallel region pipeline in
-// the same order as a sequential run, -stream-buffer sizes its reorder
-// window), print only the solution count (-count), and repeat the query
-// with the paper's timing protocol (-time).
+// the same order as a sequential run, -stream-buffer bounds how many
+// not-yet-printed rows the workers may buffer — per-row backpressure, so a
+// pathological region cannot balloon memory), print only the solution
+// count (-count), and repeat the query with the paper's timing protocol
+// (-time).
 //
 // -update file.nt streams additional triples into the store WHILE the query
 // executes, demonstrating the mutable store's snapshot isolation: the
@@ -55,7 +57,7 @@ func main() {
 		transf    = flag.String("transform", "typeaware", "graph transformation: typeaware or direct")
 		noopt     = flag.Bool("noopt", false, "disable the TurboHOM++ optimization suite")
 		workers   = flag.Int("workers", 0, "parallel workers over candidate regions (0 = all CPUs, 1 = sequential)")
-		streamBuf = flag.Int("stream-buffer", 0, "reorder-window size of parallel streaming, in region batches (0 = 2x workers)")
+		streamBuf = flag.Int("stream-buffer", 0, "max rows parallel streaming buffers ahead of the consumer (0 = 64x workers)")
 		countOnly = flag.Bool("count", false, "print only the solution count")
 		updateF   = flag.String("update", "", "N-Triples file to insert concurrently while the query runs")
 		compact   = flag.Bool("compact", false, "compact the delta overlay after -update finishes")

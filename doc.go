@@ -91,13 +91,18 @@
 // Basic graph patterns, FILTER, OPTIONAL, UNION, LIMIT/OFFSET and DISTINCT
 // all stream: each row flows from the matcher's visitor callback to the
 // cursor without materializing the result set (DISTINCT keeps a seen-set
-// but emits incrementally). ORDER BY is the one buffering shape — every
-// solution must exist before the first row can be sorted out — but it keeps
-// the same cursor surface. Streaming is parallel by default: workers search
-// candidate regions concurrently, at most Options.StreamBuffer batches
-// ahead of the consumer (backpressure), and a reorder stage delivers rows
-// in the sequential order. Store.Query and Store.Count remain as one-shot
-// convenience wrappers over the prepared path.
+// but emits incrementally). Streaming is parallel by default and bounded
+// per row: workers search candidate regions through resumable cursors,
+// buffering at most Options.StreamBuffer not-yet-delivered rows
+// (backpressure that suspends a worker mid-region, so even one region with
+// an enormous result set streams its first rows promptly in bounded
+// memory), and a reorder stage delivers rows in the sequential order.
+// ORDER BY must see every solution before the first row leaves, but no
+// longer buffers-then-sorts monolithically: ORDER BY with LIMIT k retains
+// only the best k+offset rows in a bounded heap (O(k) result memory), and
+// unbounded ORDER BY sorts bounded runs as rows arrive and merges them on
+// emission. Store.Query and Store.Count remain as one-shot convenience
+// wrappers over the prepared path.
 //
 // # NEC query reduction
 //

@@ -1,0 +1,642 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/graph"
+)
+
+// This file makes the subgraph search resumable: regionCursor re-expresses
+// searchState.search's recursion as an explicit stack of loop frames, so the
+// enumeration of one candidate region can be suspended after any emitted row
+// and resumed later — by the same goroutine or, state in hand, by another
+// scheduler entirely. Cursor wraps it into a whole-run enumeration (regions
+// in sequential order) with the same resumability.
+//
+// The machine is a faithful transliteration of the recursion in search.go,
+// which remains the sequential production path and the reference oracle for
+// the differential suite: for any pause/resume schedule, the cursor must
+// deliver byte-identical rows, in the identical order, with identical
+// profile counters. Each frame kind mirrors one loop of the recursion:
+//
+//	cfSearch — the per-candidate loop of search(dc) at one matching-order
+//	           position (including the +INT and IsJoinable paths);
+//	cfWild   — the per-label loop of bindWild for one wildcard edge;
+//	cfExpand — the per-candidate loop of expandClass/assign for one member
+//	           of one NEC equivalence class during combination expansion.
+//
+// NEC representative positions (searchNEC) push no frame at all: their
+// candidate filtering happens at push time and the search descends exactly
+// once, so there is nothing to iterate when the subtree returns — just like
+// the recursion.
+//
+// Suspend/resume invariants. All search state lives in the searchState
+// arrays (mapping, edgeBind, varBind, used, classCands, fullMap/fullEdges,
+// the per-depth scratch buffers) plus the frame stack; nothing lives on the
+// goroutine stack between resume calls. Each frame records the bindings it
+// owns (bound/setVar/expSet) and undoes them when control re-enters it after
+// the subtree beneath finished — so a cursor can be dropped mid-region
+// without unwinding, and resuming continues exactly where the last emit
+// happened. One deliberate divergence from the recursion, invisible in every
+// observable (rows, order, counters): the (u, v) vertex binding is placed
+// before the position's wildcard labels are enumerated rather than beneath
+// them, which keeps the binding's undo in the cfSearch frame; nothing inside
+// the wildcard loop reads mapping[u] or used[v].
+type regionCursor struct {
+	st    *searchState
+	stack []cframe
+
+	// NEC expansion accounting: the recursion computes
+	// NECExpansionsSkipped from the solution count before/after one
+	// reduced solution's expansion. The cursor's expansion interleaves
+	// with suspensions, so the base is recorded when the first cfExpand
+	// frame is pushed and folded in when the expansion's frames have all
+	// popped (or the run stops mid-expansion).
+	expActive   bool
+	expBase     int
+	expStackLen int
+}
+
+type cframeKind uint8
+
+const (
+	cfSearch cframeKind = iota
+	cfWild
+	cfExpand
+)
+
+// cframe is one suspended loop of the search recursion.
+type cframe struct {
+	kind cframeKind
+
+	// cfSearch, cfWild: matching-order position and its query vertex.
+	dc int
+	u  int
+
+	// list is the frame's iteration space: candidate vertices (cfSearch),
+	// edge labels (cfWild), or the class candidate snapshot (cfExpand).
+	// i indexes the next element to try.
+	list []uint32
+	i    int
+
+	// cfSearch: the data vertex currently bound to u (undone on re-entry),
+	// and the membership-test edges (nil when +INT already intersected).
+	v          uint32
+	bound      bool
+	constJoins []int
+
+	// cfWild: the wildcard edge (edge = query edge index, wi = position in
+	// plan.wild[dc]), the vertex being placed, the predicate-variable
+	// binding observed on entry (NoID = unbound), and whether this frame
+	// bound the variable for the current label.
+	edge      int
+	wi        int
+	wv        uint32
+	prevBound uint32
+	setVar    bool
+
+	// cfExpand: class and member being assigned, plus the currently
+	// assigned data vertex (isomorphism only; undone on re-entry).
+	ci, mi int
+	expCur uint32
+	expSet bool
+}
+
+// start (re)initializes the cursor for the region and plan currently set on
+// st (st.rg, st.plan). The caller owns st's lifecycle; one searchState can
+// serve many consecutive regions through the same cursor, exactly like the
+// sequential loop in run().
+func (rc *regionCursor) start(st *searchState) {
+	rc.st = st
+	rc.stack = rc.stack[:0]
+	rc.expActive = false
+	rc.descend(0)
+}
+
+// resume advances the search until maxRows more solutions have been emitted
+// (counted the way the run counts them, so an NEC bulk count may overshoot),
+// the region is exhausted, or the search stops (visitor false, limit,
+// cancellation). It reports whether the region is finished; false means the
+// cursor is suspended and resume can be called again. maxRows <= 0 runs to
+// exhaustion.
+func (rc *regionCursor) resume(maxRows int) bool {
+	st := rc.st
+	base := st.count
+	for len(rc.stack) > 0 {
+		if st.stopped {
+			rc.finishExpansion()
+			rc.stack = rc.stack[:0]
+			return true
+		}
+		rc.step()
+		if maxRows > 0 && st.count-base >= maxRows && len(rc.stack) > 0 {
+			if st.stopped {
+				continue // deliver the stop verdict, not a suspension
+			}
+			return false
+		}
+	}
+	rc.finishExpansion()
+	return true
+}
+
+// step executes one iteration of the top frame's loop. Frames are addressed
+// by index, never by retained pointer, because pushes may grow the stack's
+// backing array.
+func (rc *regionCursor) step() {
+	st := rc.st
+	top := len(rc.stack) - 1
+	f := &rc.stack[top]
+	switch f.kind {
+	case cfSearch:
+		if f.bound {
+			if st.used != nil {
+				st.used[f.v] = false
+			}
+			f.bound = false
+		}
+		for f.i < len(f.list) {
+			v := f.list[f.i]
+			f.i++
+			st.steps++
+			if st.steps&2047 == 0 {
+				if err := st.ctx.Err(); err != nil {
+					st.err = err
+					st.stopped = true
+					return
+				}
+				if st.stop != nil && st.stop.Load() {
+					st.stopped = true
+					return
+				}
+			}
+			if st.profile != nil {
+				st.profile.SearchNodes++
+			}
+			if st.used != nil && st.used[v] {
+				continue
+			}
+			if f.constJoins != nil && !st.checkConstJoins(f.u, v, f.constJoins) {
+				continue
+			}
+			if !st.checkSelfLoops(v, st.plan.selfConst[f.dc]) {
+				continue
+			}
+			// Bind u -> v and descend. The binding is undone when control
+			// re-enters this frame.
+			st.mapping[f.u] = v
+			if st.used != nil {
+				st.used[v] = true
+			}
+			f.v, f.bound = v, true
+			dc, u := f.dc, f.u
+			if len(st.plan.wild[dc]) == 0 {
+				rc.descend(dc + 1)
+			} else {
+				rc.pushWild(dc, u, v, 0)
+			}
+			return
+		}
+		rc.stack = rc.stack[:top]
+
+	case cfWild:
+		e := &st.m.q.Edges[f.edge]
+		if f.setVar {
+			st.varBind[e.PredVar] = NoID
+			f.setVar = false
+		}
+		for f.i < len(f.list) {
+			lbl := f.list[f.i]
+			f.i++
+			if f.prevBound != NoID && lbl != f.prevBound {
+				continue
+			}
+			st.edgeBind[f.edge] = lbl
+			if e.PredVar >= 0 && f.prevBound == NoID {
+				st.varBind[e.PredVar] = lbl
+				f.setVar = true
+			}
+			dc, u, v, wi := f.dc, f.u, f.wv, f.wi
+			rc.pushWild(dc, u, v, wi+1)
+			return
+		}
+		st.edgeBind[f.edge] = NoID
+		rc.stack = rc.stack[:top]
+
+	case cfExpand:
+		if f.expSet {
+			st.used[f.expCur] = false
+			f.expSet = false
+		}
+		members := st.m.red.classes[f.ci].members
+		for f.i < len(f.list) {
+			v := f.list[f.i]
+			f.i++
+			if st.used != nil {
+				if st.used[v] {
+					continue
+				}
+				st.used[v] = true
+				f.expCur, f.expSet = v, true
+			}
+			st.fullMap[members[f.mi]] = v
+			ci, mi := f.ci, f.mi
+			rc.pushExpand(ci, mi+1)
+			return
+		}
+		rc.stack = rc.stack[:top]
+		rc.maybeFinishExpansion()
+	}
+}
+
+// descend enters matching-order position dc, or emits a solution when the
+// order is complete — search(dc)'s entry.
+func (rc *regionCursor) descend(dc int) {
+	st := rc.st
+	if dc == len(st.plan.order) {
+		rc.emit()
+		return
+	}
+	rc.pushSearch(dc)
+}
+
+// pushSearch prepares position dc exactly as search(dc) does: candidate
+// lookup, the +INT intersection, and the deferred-NEC snapshot (which
+// descends without a frame).
+func (rc *regionCursor) pushSearch(dc int) {
+	st := rc.st
+	plan := st.plan
+	u := plan.order[dc]
+
+	var cands []uint32
+	if dc == 0 {
+		st.rootBuf[0] = st.rg.root
+		cands = st.rootBuf[:]
+	} else {
+		cands = st.rg.cand[rkey(u, st.mapping[st.m.parent[u]])]
+	}
+
+	constJoins := plan.constJoins[dc]
+	if st.m.opts.Intersect && len(constJoins) > 0 {
+		cands = st.intersectJoins(dc, u, cands, constJoins)
+		constJoins = nil
+	}
+
+	if st.m.red != nil {
+		if ci := st.m.red.classOf[u]; ci >= 0 {
+			rc.pushNEC(dc, u, ci, cands, constJoins)
+			return
+		}
+	}
+
+	rc.stack = append(rc.stack, cframe{kind: cfSearch, dc: dc, u: u, list: cands, constJoins: constJoins})
+}
+
+// pushNEC mirrors searchNEC: filter the class candidates, snapshot the
+// survivors, and descend once — no frame, because there is nothing to
+// iterate at this position when the subtree returns.
+func (rc *regionCursor) pushNEC(dc, u, ci int, cands []uint32, constJoins []int) {
+	st := rc.st
+	buf := st.candBuf[dc][:0]
+	for _, v := range cands {
+		st.steps++
+		if st.steps&2047 == 0 {
+			if err := st.ctx.Err(); err != nil {
+				st.err = err
+				st.stopped = true
+				return
+			}
+			if st.stop != nil && st.stop.Load() {
+				st.stopped = true
+				return
+			}
+		}
+		if st.profile != nil {
+			st.profile.SearchNodes++
+		}
+		if st.used != nil && st.used[v] {
+			continue
+		}
+		if constJoins != nil && !st.checkConstJoins(u, v, constJoins) {
+			continue
+		}
+		buf = append(buf, v)
+	}
+	st.candBuf[dc] = buf
+	k := st.m.red.classSize[u]
+	if len(buf) == 0 || (st.used != nil && len(buf) < k) {
+		return
+	}
+	st.classCands[ci] = buf
+	rc.descend(dc + 1)
+}
+
+// pushWild enters wildcard edge wi of position dc for the candidate binding
+// u -> v, or descends past the position when every wildcard edge is bound —
+// bindWild's body.
+func (rc *regionCursor) pushWild(dc, u int, v uint32, wi int) {
+	st := rc.st
+	edges := st.plan.wild[dc]
+	if wi == len(edges) {
+		rc.descend(dc + 1)
+		return
+	}
+	m := st.m
+	ei := edges[wi]
+	e := &m.q.Edges[ei]
+	vf, vt := v, v
+	if e.From != u {
+		vf = st.mapping[e.From]
+	}
+	if e.To != u {
+		vt = st.mapping[e.To]
+	}
+	st.lblBuf = m.g.EdgeLabelsBetween(st.lblBuf[:0], vf, vt)
+	if len(st.lblBuf) == 0 {
+		return // dead end; edgeBind[ei] keeps its prior value, as in bindWild
+	}
+	bound := NoID
+	if e.PredVar >= 0 {
+		bound = st.varBind[e.PredVar]
+	}
+	// The frame outlives this call (and any suspension), so it owns a copy
+	// of the label list — the recursion copies for the same reason.
+	labels := append([]uint32(nil), st.lblBuf...)
+	rc.stack = append(rc.stack, cframe{
+		kind: cfWild, dc: dc, u: u, wv: v,
+		edge: ei, wi: wi, list: labels, prevBound: bound,
+	})
+}
+
+// pushExpand assigns member mi of NEC class ci (and onward), emitting the
+// fully-expanded match when every class is assigned — expandClass/assign.
+func (rc *regionCursor) pushExpand(ci, mi int) {
+	st := rc.st
+	red := st.m.red
+	for ci < len(red.classes) && mi == len(red.classes[ci].members) {
+		ci, mi = ci+1, 0
+	}
+	if ci == len(red.classes) {
+		st.emitMatch(st.fullMap, st.fullEdges)
+		return
+	}
+	rc.stack = append(rc.stack, cframe{kind: cfExpand, ci: ci, mi: mi, list: st.classCands[ci]})
+}
+
+// emit delivers the current reduced solution: directly, or through NEC
+// combination expansion — searchState.emit's body, with expandClass turned
+// into cfExpand frames so a huge expansion suspends like any other subtree.
+func (rc *regionCursor) emit() {
+	st := rc.st
+	if st.m.red == nil {
+		st.emitMatch(st.mapping, st.edgeBind)
+		return
+	}
+	red := st.m.red
+
+	if st.visit == nil && st.used == nil {
+		// Count-only homomorphism: pure product, no enumeration (emitNEC's
+		// fast path verbatim).
+		total := 1
+		for ci, cls := range red.classes {
+			n := len(st.classCands[ci])
+			for range cls.members {
+				if n != 0 && total > int(^uint(0)>>1)/n {
+					total = int(^uint(0) >> 1)
+					break
+				}
+				total *= n
+			}
+		}
+		if st.profile != nil {
+			st.profile.NECExpansionsSkipped += total - 1
+		}
+		st.bulkCount(total)
+		return
+	}
+
+	for ov := range red.orig.Vertices {
+		rv := red.vertexMap[ov]
+		if red.classSize[rv] == 1 {
+			st.fullMap[ov] = st.mapping[rv]
+		}
+	}
+	for oe, re := range red.edgeMap {
+		if re >= 0 {
+			st.fullEdges[oe] = st.edgeBind[re]
+		}
+	}
+	rc.expActive = true
+	rc.expBase = st.count
+	rc.expStackLen = len(rc.stack)
+	rc.pushExpand(0, 0)
+	rc.maybeFinishExpansion() // the expansion may complete without frames
+}
+
+// maybeFinishExpansion folds the expansion-skipped counter in once the
+// expansion's frames have all popped.
+func (rc *regionCursor) maybeFinishExpansion() {
+	if rc.expActive && len(rc.stack) == rc.expStackLen {
+		rc.finishExpansion()
+	}
+}
+
+func (rc *regionCursor) finishExpansion() {
+	if !rc.expActive {
+		return
+	}
+	rc.expActive = false
+	st := rc.st
+	if st.profile != nil && st.count > rc.expBase {
+		st.profile.NECExpansionsSkipped += st.count - rc.expBase - 1
+	}
+}
+
+// Cursor is a resumable whole-run enumeration: the same regions, in the same
+// order, with the same counters as the sequential run(), but pausable after
+// any emitted row. It is the shippable unit of work the pipeline schedules
+// (one cursor per region, suspended on backpressure, its remaining range
+// stealable) and the natural seam for distributed sharding: a suspended
+// cursor plus its candidate range describes exactly the work left to do.
+//
+// A Cursor is single-goroutine; it holds no locks and spawns nothing.
+type Cursor struct {
+	m     *matcher
+	st    *searchState
+	rg    *region
+	rc    regionCursor
+	cands []uint32
+	start int
+	next  int // next start-candidate index
+	in    bool
+	plan  *searchPlan // +REUSE shared plan (nil until first surviving region)
+	point bool
+	done  bool
+}
+
+// NewCursor validates the query and prepares a resumable enumeration of all
+// matches of q in g. Rows are delivered to visit (which may stop the run by
+// returning false) during Resume calls, in exactly the sequential
+// enumeration order; opts.Profile, MaxSolutions and the ctx-cancellation
+// contract behave as in Stream. opts.Workers is ignored — a cursor is the
+// sequential search made suspendable; parallelism schedules many cursors.
+func NewCursor(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts, visit Visitor) (*Cursor, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	m := newMatcher(ctx, g, q, sem, opts)
+	c := &Cursor{m: m}
+	c.start, c.cands = m.startCandidates()
+	pr := opts.Profile
+	if pr != nil {
+		pr.StartVertex = c.start
+		pr.StartCandidates = len(c.cands)
+		if m.red != nil {
+			pr.NECClasses = len(m.red.classes)
+			pr.NECMergedVertices = m.red.mergedVertices()
+		}
+	}
+	if len(c.cands) == 0 {
+		c.done = true
+		return c, nil
+	}
+	c.point = len(m.q.Vertices) == 1 && len(m.q.Edges) == 0
+	if !c.point {
+		m.buildQueryTree(c.start)
+		c.rg = newRegion(len(m.q.Vertices))
+	}
+	c.st = newSearchState(m, visit, opts.MaxSolutions, nil)
+	c.st.profile = pr
+	return c, nil
+}
+
+// Resume advances the enumeration until maxRows more rows have been emitted
+// (maxRows <= 0 means: until exhaustion), then suspends. It returns the
+// number of rows emitted by this call and whether the enumeration is
+// complete. After done is reported true (or an error is returned), further
+// calls return (0, true, err) idempotently.
+func (c *Cursor) Resume(maxRows int) (int, bool, error) {
+	if c.done {
+		return 0, true, c.err()
+	}
+	st := c.st
+	before := c.clampedCount()
+	budget := func() int {
+		if maxRows <= 0 {
+			return 0
+		}
+		used := c.clampedCount() - before
+		if used >= maxRows {
+			return -1 // no budget left
+		}
+		return maxRows - used
+	}
+
+	if c.point {
+		c.resumePoint(maxRows, before)
+		return c.clampedCount() - before, c.done, c.err()
+	}
+
+	for {
+		if st.stopped {
+			c.done = true
+			break
+		}
+		if c.in {
+			b := budget()
+			if b < 0 {
+				return c.clampedCount() - before, false, nil
+			}
+			if !c.rc.resume(b) {
+				return c.clampedCount() - before, false, nil
+			}
+			c.in = false
+			continue
+		}
+		if c.next >= len(c.cands) {
+			c.done = true
+			break
+		}
+		if err := c.m.ctx.Err(); err != nil {
+			st.err = err
+			c.done = true
+			break
+		}
+		vs := c.cands[c.next]
+		c.next++
+		c.rg.reset(vs)
+		if !c.m.explore(c.rg, c.start, vs) {
+			continue
+		}
+		if st.profile != nil {
+			st.profile.Regions++
+			for _, total := range c.rg.totals {
+				st.profile.ExploredCandidates += total
+			}
+		}
+		if c.plan == nil || !c.m.opts.ReuseOrder {
+			c.plan = c.m.buildPlan(c.rg)
+		}
+		st.rg, st.plan = c.rg, c.plan
+		c.rc.start(st)
+		c.in = true
+	}
+	return c.clampedCount() - before, true, c.err()
+}
+
+// resumePoint is the point-shaped-query fast path of run(), resumable.
+func (c *Cursor) resumePoint(maxRows, before int) {
+	st := c.st
+	pr := st.profile
+	for c.next < len(c.cands) {
+		if st.stopped {
+			c.done = true
+			return
+		}
+		if maxRows > 0 && c.clampedCount()-before >= maxRows {
+			return
+		}
+		if c.next&1023 == 0 {
+			if err := c.m.ctx.Err(); err != nil {
+				st.err = err
+				c.done = true
+				return
+			}
+		}
+		v := c.cands[c.next]
+		c.next++
+		if pr != nil {
+			pr.Regions++
+			pr.SearchNodes++
+		}
+		st.mapping[0] = v
+		st.emit()
+	}
+	c.done = true
+}
+
+// clampedCount is the run's solution count with the MaxSolutions overshoot
+// clamp run() applies (an NEC bulk count can exceed the cap by one batch).
+func (c *Cursor) clampedCount() int {
+	n := c.st.count
+	if limit := c.m.opts.MaxSolutions; limit > 0 && n > limit {
+		n = limit
+	}
+	return n
+}
+
+// Count reports the total number of solutions emitted so far (clamped to
+// MaxSolutions, like the run-level APIs).
+func (c *Cursor) Count() int {
+	if c.st == nil {
+		return 0
+	}
+	return c.clampedCount()
+}
+
+func (c *Cursor) err() error {
+	if c.st == nil {
+		return nil
+	}
+	return c.st.err
+}

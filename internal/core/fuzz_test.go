@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// FuzzResumePoints drives the resumable cursor under fuzzer-chosen
+// pause/resume schedules over randomized graph/query instances and requires
+// byte-identical results to the uninterrupted recursive enumeration — the
+// suspend/resume invariants of the explicit-stack search under adversarial
+// schedules (suspend inside wildcard chains, NEC expansions, between
+// regions, after every row). The corpus seeds cover both semantics and the
+// NEC reduction; the fuzzer mutates the instance seed and the schedule
+// bytes freely.
+func FuzzResumePoints(f *testing.F) {
+	f.Add(int64(1), false, false, []byte{1})
+	f.Add(int64(2), true, false, []byte{7, 1, 3})
+	f.Add(int64(3), false, true, []byte{2, 2, 9, 1})
+	f.Add(int64(42), true, true, []byte{1, 13})
+	f.Add(int64(99), false, false, []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, iso, noNEC bool, sched []byte) {
+		r := rand.New(rand.NewSource(seed))
+		dataV := 4 + r.Intn(8)
+		g := randomData(r, dataV, 3, 3, dataV*2+r.Intn(10))
+		var q *QueryGraph
+		if seed%2 == 0 {
+			// Star-heavy shapes exercise the NEC expansion frames.
+			q = randomStarQuery(r, 2+r.Intn(3), 3, 3, dataV)
+		} else {
+			q = randomQuery(r, 2+r.Intn(3), 3, 3, dataV)
+		}
+		sem := Homomorphism
+		if iso {
+			sem = Isomorphism
+		}
+		opts := Optimized()
+		opts.NoNEC = noNEC
+		opts.Workers = 1
+
+		var want []string
+		if _, err := Stream(context.Background(), g, q, sem, opts, func(mt Match) bool {
+			want = append(want, matchKey(mt))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		var got []string
+		c, err := NewCursor(context.Background(), g, q, sem, opts, func(mt Match) bool {
+			got = append(got, matchKey(mt))
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i := 0; ; i++ {
+			quota := 0
+			if len(sched) > 0 {
+				quota = int(sched[i%len(sched)])%16 + 1
+			}
+			n, done, err := c.Resume(quota)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += n
+			if done {
+				break
+			}
+			if quota > 0 && n == 0 {
+				t.Fatalf("suspended cursor made no progress (quota %d after %d rows)", quota, total)
+			}
+		}
+		if len(got) != len(want) || total != len(want) {
+			t.Fatalf("cursor %d rows (reported %d), recursive %d", len(got), total, len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("row %d diverged:\ncursor    %s\nrecursive %s", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -30,14 +30,15 @@ type Visitor func(Match) bool
 
 // Stream enumerates all matches of q in g, invoking visit for each in the
 // deterministic sequential region order. It returns the number of solutions
-// visited. With opts.Workers > 1 the candidate regions are explored and
-// searched by the ordered parallel region pipeline, whose reorder stage
-// delivers rows in exactly the order a sequential run would produce
-// (opts.StreamBuffer bounds the reorder window); the visitor always runs on
-// the calling goroutine. Cancelling ctx abandons the candidate regions not
-// yet emitted and returns ctx.Err(); a visitor returning false stops
-// cleanly with a nil error, and in the parallel case abandons the regions
-// beyond the reorder window just like MaxSolutions does.
+// visited. With opts.Workers > 1 the candidate regions are searched by the
+// ordered parallel region pipeline through resumable cursors, whose reorder
+// stage delivers rows in exactly the order a sequential run would produce
+// (opts.StreamBuffer bounds the not-yet-delivered rows in flight — per-row
+// backpressure that suspends workers mid-region); the visitor always runs
+// on the calling goroutine. Cancelling ctx abandons the candidate regions
+// not yet emitted and returns ctx.Err(); a visitor returning false stops
+// cleanly with a nil error, and in the parallel case abandons the work
+// beyond the row window just like MaxSolutions does.
 func Stream(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts, visit Visitor) (int, error) {
 	if err := q.Validate(); err != nil {
 		return 0, err

@@ -49,12 +49,16 @@ type Opts struct {
 	// order, early termination (a visitor returning false, MaxSolutions)
 	// and cancellation behave exactly as in a sequential run.
 	Workers int
-	// StreamBuffer bounds the reorder window of the parallel pipeline, in
-	// candidate-region batches: workers may run at most this many batches
-	// ahead of the emitting goroutine before they block (backpressure), so
-	// an early-terminated run abandons everything beyond the window. 0
-	// means 2×Workers. Larger windows smooth out skewed regions at the cost
-	// of buffering more undelivered solutions.
+	// StreamBuffer bounds the parallel pipeline's buffering in ROWS: the
+	// number of not-yet-delivered solutions workers may hold ahead of the
+	// emitting goroutine before they block with their region search
+	// suspended (per-row backpressure). The bound is independent of region
+	// size — a single region yielding a million rows still buffers only
+	// O(StreamBuffer) of them — and may be exceeded by a small constant
+	// factor (one in-production segment per in-flight batch). 0 means
+	// 64×Workers. Smaller values tighten memory and the work an
+	// early-terminated run can overshoot; larger values smooth the
+	// worker/emitter handoff.
 	StreamBuffer int
 	// MaxSolutions stops the search after this many solutions; 0 means
 	// unlimited.

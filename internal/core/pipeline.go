@@ -6,64 +6,124 @@ import (
 )
 
 // This file implements the ordered parallel region pipeline (paper §5.2
-// lifted from materialized fan-out to streaming): W workers claim contiguous
-// batches of candidate regions from a shared cursor, explore and search each
-// batch into a private solution buffer, and the caller's goroutine — the
-// emitter — replays the buffers in exact sequential batch order. Because the
-// visitor only ever runs on the emitter, every sequential contract survives
-// parallelism unchanged: rows arrive in the sequential enumeration order,
+// lifted from materialized fan-out to streaming) on top of the resumable
+// search cursor: W workers claim contiguous batches of candidate regions
+// from a shared cursor and search them through regionCursor, delivering
+// solutions in bounded row *segments* instead of whole-batch buffers. The
+// calling goroutine — the emitter — replays the segments in exact
+// sequential order, so every sequential contract survives parallelism
+// unchanged: rows arrive in the sequential enumeration order, a visitor
 // returning false stops the run, and MaxSolutions cuts the stream at the
 // same row it would cut a sequential run.
 //
-// Backpressure comes from a token semaphore sized to the reorder window: a
-// worker may not claim a batch until the emitter has finished replaying the
-// batch `window` positions earlier. A consumer that stops early (visitor
-// false, MaxSolutions, a cancelled cursor) therefore leaves all batches
-// beyond the window unclaimed and unexplored, just like the sequential run
-// abandons its remaining candidate regions.
+// Backpressure is per row. A segment holds at most quota rows (derived from
+// Opts.StreamBuffer, which counts rows in flight); a worker that fills a
+// segment hands it to the batch's delivery channel and, when the channel is
+// full, blocks with its region search *suspended in the cursor* — a
+// pathological region that yields a hundred thousand rows therefore never
+// buffers more than ~2 segments of them, and the first rows reach the
+// consumer after O(quota) search work, not after the region is exhausted.
+// A second, coarser bound remains from PR 4: a token semaphore keeps at
+// most `window` batches in flight ahead of the emitter, so an
+// early-terminated run abandons everything beyond the window.
 //
-// Delivery uses a ring of one-slot channels indexed by batch mod window.
-// The token accounting makes slot reuse safe: batch i can only be claimed
-// after batch i-window was fully replayed, so its slot has been drained by
-// the time batch i's result is sent, and the send never blocks.
+// Adaptive batch splitting (work stealing on suspended cursors): a worker
+// that runs out of unclaimed batches steals the remaining candidate range
+// of a still-running batch — typically one pinned down by a pathological
+// region, its owner blocked on backpressure with a suspended cursor. The
+// stolen range becomes a new sub-span spliced into the batch's delivery
+// chain right after the victim's span, so the emitter still replays rows in
+// sequential region order:
+//
+//	batch [lo,hi): owner at region r   ──steal──▶  owner keeps [lo, r]
+//	                                               thief takes (r, hi)
+//	delivery chain: owner-span ──▶ thief-span ──▶ (further splits…)
+//
+// Each span is a channel of segments closed when the span's range is
+// exhausted; span.next is written under the batch lock before the close, so
+// the emitter can follow the chain race-free after observing the close.
 
 // maxPipelineChunk caps the candidate-region batch size. Batches amortize
-// scheduling (one channel handoff per batch, not per region); the cap keeps
-// first-row latency and the early-termination overshoot bounded.
+// scheduling; splitting (above) now handles skew, so the cap matters less
+// than in PR 4, but it still bounds how much work one token pins.
 const maxPipelineChunk = 64
 
-// batchResult is one batch's contribution, delivered to the emitter.
-type batchResult struct {
+// segment is one bounded slice of a batch's solution stream.
+type segment struct {
 	sols  []Match // solutions in sequential order, deep copies (nil when counting)
-	count int     // solutions found in the batch
-	err   error   // context error that cut the batch short
+	count int     // solutions found (the NEC bulk count may exceed len(sols)==0 rows)
+	err   error   // context error that cut the span short
+}
+
+// span is one contiguous sub-range of a batch's regions: a stream of
+// segments plus the link to the next sub-range in sequential order.
+type span struct {
+	segs chan segment
+	next *span // successor in region order; written before segs is closed
+}
+
+func newSpan() *span { return &span{segs: make(chan segment, 1)} }
+
+// spanWork is the mutable claim on a span's candidate range, the unit the
+// stealing protocol operates on. Lock order: pipeState.stealMu strictly
+// before spanWork.mu; neither is ever acquired while holding the other in
+// reverse.
+type spanWork struct {
+	mu   sync.Mutex
+	sub  *span
+	next int // next region index the owner will start
+	hi   int // exclusive end of the range (shrunk by steals)
 }
 
 // pipeState is the shared coordination state of one pipeline run.
 type pipeState struct {
+	m          *matcher
 	cands      []uint32
 	start      int
 	chunk      int
 	numBatches int
-	collect    bool // buffer solutions (vs count-only)
-	limit      int  // MaxSolutions, also the per-batch work bound
+	collect    bool
+	limit      int
+	quota      int // max rows per segment
 	sharedPlan *searchPlan
-	skipBefore int // candidates below this index are known explore failures
+	skipBefore int
 
 	cursor atomic.Int64  // next unclaimed batch
 	stop   atomic.Bool   // emitter finished; abandon unclaimed work
-	done   chan struct{} // closed with stop, releases workers blocked on tokens
-	tokens chan struct{} // reorder-window semaphore
-	ring   []chan batchResult
+	done   chan struct{} // closed with stop, releases blocked workers
+	tokens chan struct{} // batch-window semaphore
+	ring   []chan *span  // first span of batch bi arrives at ring[bi%window]
+
+	stealMu   sync.Mutex
+	stealable map[*spanWork]struct{}
 
 	profMu sync.Mutex
 	prof   *ProfileResult
 }
 
+// pipelineSteals counts successful steals across all runs — a test hook for
+// asserting the splitting path actually engages on skewed instances.
+var pipelineSteals atomic.Int64
+
+// pipelineQuota derives the per-segment row cap from the StreamBuffer row
+// budget: the window may hold one delivered segment per in-flight batch plus
+// one in production, so quota ≈ StreamBuffer/window keeps rows in flight
+// within a small constant factor of StreamBuffer.
+func pipelineQuota(streamBuffer, window, workers int) int {
+	if streamBuffer <= 0 {
+		streamBuffer = 64 * workers
+	}
+	q := streamBuffer / window
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
 // runPipeline executes the match with opts.Workers parallel workers while
 // delivering solutions to visit in exactly the sequential enumeration order.
-// With a nil visitor it is a parallel count: per-batch totals are summed in
-// batch order, so MaxSolutions clamps as deterministically as it does
+// With a nil visitor it is a parallel count: per-segment totals are summed
+// in region order, so MaxSolutions clamps as deterministically as it does
 // sequentially.
 func (m *matcher) runPipeline(visit Visitor) (int, error) {
 	start, cands := m.startCandidates()
@@ -94,8 +154,8 @@ func (m *matcher) runPipeline(visit Visitor) (int, error) {
 	}
 
 	// Dynamic distribution (paper §5.2): small contiguous chunks claimed
-	// from a shared cursor, so skewed regions do not starve workers while
-	// the chunk order keeps reassembly trivial.
+	// from a shared cursor; stealing re-splits whatever skew the static
+	// chunking misjudged.
 	workers := m.opts.Workers
 	chunk := len(cands)/(workers*8) + 1
 	if chunk > maxPipelineChunk {
@@ -105,16 +165,11 @@ func (m *matcher) runPipeline(visit Visitor) (int, error) {
 	if workers > numBatches {
 		workers = numBatches
 	}
-	// StreamBuffer = 1 is honored: one batch in flight serializes the
-	// handoff (worker throughput degrades to lockstep) but minimizes how
-	// far an early-closed run can overshoot.
-	window := m.opts.StreamBuffer
-	if window <= 0 {
-		window = 2 * workers
+	window := 2 * workers
+	if window > numBatches {
+		window = numBatches
 	}
-	if window < 1 {
-		window = 1
-	}
+	quota := pipelineQuota(m.opts.StreamBuffer, window, workers)
 
 	// +REUSE pins every region to the matching order of the first region
 	// that survives exploration — the first in SEQUENTIAL order, because the
@@ -141,21 +196,24 @@ func (m *matcher) runPipeline(visit Visitor) (int, error) {
 	}
 
 	ps := &pipeState{
+		m:          m,
 		cands:      cands,
 		start:      start,
 		chunk:      chunk,
 		numBatches: numBatches,
 		collect:    visit != nil,
 		limit:      m.opts.MaxSolutions,
+		quota:      quota,
 		sharedPlan: sharedPlan,
 		skipBefore: skipBefore,
 		done:       make(chan struct{}),
 		tokens:     make(chan struct{}, window),
-		ring:       make([]chan batchResult, window),
+		ring:       make([]chan *span, window),
+		stealable:  make(map[*spanWork]struct{}),
 		prof:       pr,
 	}
 	for i := range ps.ring {
-		ps.ring[i] = make(chan batchResult, 1)
+		ps.ring[i] = make(chan *span, 1)
 	}
 	for i := 0; i < window; i++ {
 		ps.tokens <- struct{}{}
@@ -166,7 +224,7 @@ func (m *matcher) runPipeline(visit Visitor) (int, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m.pipelineWorker(ps)
+			ps.worker()
 		}()
 	}
 	workersDone := make(chan struct{})
@@ -181,47 +239,53 @@ func (m *matcher) runPipeline(visit Visitor) (int, error) {
 	var err error
 emit:
 	for bi := 0; bi < numBatches; bi++ {
-		var res batchResult
+		var sp *span
 		select {
-		case res = <-ps.ring[bi%window]:
+		case sp = <-ps.ring[bi%window]:
 		case <-workersDone:
-			// All workers exited before delivering this batch — the context
+			// All workers exited before announcing this batch — the context
 			// was cancelled before it was claimed. The non-blocking re-check
-			// covers the race where the delivery and the last exit landed
+			// covers the race where the announcement and the last exit landed
 			// together.
 			select {
-			case res = <-ps.ring[bi%window]:
+			case sp = <-ps.ring[bi%window]:
 			default:
 				err = m.ctx.Err()
 				break emit
 			}
 		}
-		if visit == nil {
-			// bulkCount saturates per batch; keep the sum saturating too.
-			if res.count > maxInt-emitted {
-				emitted = maxInt
-			} else {
-				emitted += res.count
-			}
-		} else {
-			for _, mt := range res.sols {
-				emitted++
-				if !visit(mt) {
+		for sp != nil {
+			for seg := range sp.segs {
+				if visit == nil {
+					// bulkCount saturates per segment; keep the sum saturating.
+					if seg.count > maxInt-emitted {
+						emitted = maxInt
+					} else {
+						emitted += seg.count
+					}
+				} else {
+					for _, mt := range seg.sols {
+						emitted++
+						if !visit(mt) {
+							break emit
+						}
+						if limit > 0 && emitted >= limit {
+							break emit
+						}
+					}
+				}
+				if seg.err != nil {
+					err = seg.err
 					break emit
 				}
 				if limit > 0 && emitted >= limit {
 					break emit
 				}
 			}
+			// segs closed: the span's range is exhausted and next is final.
+			sp = sp.next
 		}
-		if res.err != nil {
-			err = res.err
-			break emit
-		}
-		if limit > 0 && emitted >= limit {
-			break emit
-		}
-		// The batch is fully replayed: open the window one batch further.
+		// The batch chain is fully replayed: open the window one batch on.
 		ps.tokens <- struct{}{}
 	}
 	ps.stop.Store(true)
@@ -236,38 +300,35 @@ emit:
 	return emitted, err
 }
 
-// pipelineWorker claims batches until the work or the window runs out. Each
-// batch replays the sequential per-region loop of matcher.run against a
-// worker-private region and search state; solutions are deep-copied into the
-// batch buffer because the emitter replays them after this worker has moved
-// on to other regions.
-func (m *matcher) pipelineWorker(ps *pipeState) {
-	var localProf *ProfileResult
+// worker claims fresh batches while any remain (bounded by the window
+// semaphore), then turns thief: it steals the remaining range of running
+// spans until nothing is left to split.
+func (ps *pipeState) worker() {
+	m := ps.m
+	w := &pipeWorker{ps: ps}
 	if ps.prof != nil {
-		localProf = new(ProfileResult)
+		w.localProf = new(ProfileResult)
 		defer func() {
 			ps.profMu.Lock()
-			ps.prof.merge(localProf)
+			ps.prof.merge(w.localProf)
 			ps.profMu.Unlock()
 		}()
 	}
-	var buf []Match
-	var visit Visitor
 	if ps.collect {
-		visit = func(mt Match) bool {
+		w.st = newSearchState(m, func(mt Match) bool {
 			if ps.stop.Load() {
 				return false
 			}
-			buf = append(buf, mt.Clone())
+			w.buf = append(w.buf, mt.Clone())
 			return true
-		}
+		}, 0, nil)
+	} else {
+		w.st = newSearchState(m, nil, 0, nil)
 	}
-	st := newSearchState(m, visit, ps.limit, nil)
-	st.profile = localProf
-	st.stop = &ps.stop
-	rg := newRegion(len(m.q.Vertices))
-	plan := ps.sharedPlan
-	window := len(ps.ring)
+	w.st.profile = w.localProf
+	w.st.stop = &ps.stop
+	w.rg = newRegion(len(m.q.Vertices))
+
 	for {
 		if ps.stop.Load() || m.ctx.Err() != nil {
 			return
@@ -276,54 +337,266 @@ func (m *matcher) pipelineWorker(ps *pipeState) {
 		case <-ps.tokens:
 		case <-ps.done:
 			return
-		}
-		bi := int(ps.cursor.Add(1)) - 1
-		if bi >= ps.numBatches {
-			return
-		}
-		lo := bi * ps.chunk
-		hi := lo + ps.chunk
-		if hi > len(ps.cands) {
-			hi = len(ps.cands)
-		}
-		buf = nil
-		countBefore := st.count
-		// Cancellation is checked once per claimed batch (above) and
-		// amortized inside the search loop, as in the materialized fan-out:
-		// a per-candidate ctx.Err() would put the context mutex on every
-		// worker's hot path.
-		for gi := lo; gi < hi; gi++ {
-			if st.stopped {
-				break
-			}
-			if gi < ps.skipBefore {
-				continue // known explore failure (the +REUSE pre-pass)
-			}
-			vs := ps.cands[gi]
-			rg.reset(vs)
-			if !m.explore(rg, ps.start, vs) {
+		default:
+			// The window is full: instead of idling for a token, help a
+			// loaded batch along by stealing part of its remaining range.
+			if sw := ps.steal(); sw != nil {
+				w.runSpan(sw)
+				if w.st.stopped {
+					return
+				}
 				continue
 			}
-			if localProf != nil {
-				localProf.Regions++
-				for _, total := range rg.totals {
-					localProf.ExploredCandidates += total
-				}
+			select {
+			case <-ps.tokens:
+			case <-ps.done:
+				return
 			}
-			if plan == nil || !m.opts.ReuseOrder {
-				plan = m.buildPlan(rg)
-			}
-			st.rg, st.plan = rg, plan
-			st.search(0)
 		}
-		ps.ring[bi%window] <- batchResult{sols: buf, count: st.count - countBefore, err: st.err}
-		if st.stopped {
-			// Either a context error or the global stop was just delivered
-			// with the batch, or this worker's cumulative count reached
-			// MaxSolutions — and since its batches are claimed in increasing
-			// order, every batch it could still claim lies beyond the
-			// emitter's cut-off.
+		bi, sw := ps.claim()
+		if sw == nil {
+			break // batches exhausted: fall through to stealing
+		}
+		// The slot is guaranteed empty: batch bi is claimable only after
+		// batch bi-window was fully replayed, which drained the slot.
+		ps.ring[bi%len(ps.ring)] <- sw.sub
+		w.runSpan(sw)
+		if w.st.stopped {
 			return
 		}
+	}
+	for {
+		sw := ps.steal()
+		if sw == nil {
+			// Sound exit: claims register under stealMu atomically with the
+			// cursor advance, so once the cursor is exhausted and no
+			// registered span has a splittable range left, none ever will.
+			return
+		}
+		w.runSpan(sw)
+		if w.st.stopped {
+			return
+		}
+	}
+}
+
+// claim atomically takes the next batch AND registers its span for
+// stealing. The atomicity (same lock as steal) guarantees a thief that
+// observes the cursor exhausted also observes every claimed span — without
+// it, a thief could slip between a claim and its registration and exit with
+// work still splittable.
+func (ps *pipeState) claim() (int, *spanWork) {
+	ps.stealMu.Lock()
+	defer ps.stealMu.Unlock()
+	bi := int(ps.cursor.Add(1)) - 1
+	if bi >= ps.numBatches {
+		return bi, nil
+	}
+	lo := bi * ps.chunk
+	hi := lo + ps.chunk
+	if hi > len(ps.cands) {
+		hi = len(ps.cands)
+	}
+	sw := &spanWork{sub: newSpan(), next: lo, hi: hi}
+	ps.stealable[sw] = struct{}{}
+	return bi, sw
+}
+
+func (ps *pipeState) unregister(sw *spanWork) {
+	ps.stealMu.Lock()
+	delete(ps.stealable, sw)
+	ps.stealMu.Unlock()
+}
+
+// steal takes the tail half of the largest remaining registered range and
+// splices a fresh span for it into the victim's delivery chain. It returns
+// nil when no range has stealable work left.
+func (ps *pipeState) steal() *spanWork {
+	ps.stealMu.Lock()
+	defer ps.stealMu.Unlock()
+	var victim *spanWork
+	best := 0
+	for sw := range ps.stealable {
+		sw.mu.Lock()
+		avail := sw.hi - sw.next
+		sw.mu.Unlock()
+		if avail <= 0 {
+			delete(ps.stealable, sw) // spent; drop lazily
+			continue
+		}
+		if avail > best {
+			best, victim = avail, sw
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	victim.mu.Lock()
+	avail := victim.hi - victim.next
+	if avail <= 0 { // raced with the owner finishing
+		victim.mu.Unlock()
+		delete(ps.stealable, victim)
+		return nil
+	}
+	take := (avail + 1) / 2
+	lo := victim.hi - take
+	nsw := &spanWork{sub: newSpan(), next: lo, hi: victim.hi}
+	victim.hi = lo
+	nsw.sub.next = victim.sub.next
+	victim.sub.next = nsw.sub
+	victim.mu.Unlock()
+	ps.stealable[nsw] = struct{}{}
+	pipelineSteals.Add(1)
+	return nsw
+}
+
+// pipeWorker is one worker's private execution state: a reusable search
+// state and region, the resumable cursor, and the segment row buffer its
+// visitor fills.
+type pipeWorker struct {
+	ps        *pipeState
+	st        *searchState
+	rg        *region
+	rc        regionCursor
+	buf       []Match
+	localProf *ProfileResult
+}
+
+// runSpan searches sw's candidate range region by region, delivering
+// segments of at most quota rows into sw.sub and suspending the region
+// cursor on backpressure. The span's channel is always closed on return —
+// after next is final — so the emitter can follow the chain.
+func (w *pipeWorker) runSpan(sw *spanWork) {
+	ps := w.ps
+	m := ps.m
+	st := w.st
+	countBase := st.count
+	plan := ps.sharedPlan
+	// Span-local MaxSolutions cutoff: once THIS span alone has produced
+	// limit solutions, its remaining regions can never be emitted — the
+	// emitter, replaying in order, reaches the cap at or before this span's
+	// end — so the span closes early. The bound must be span-local, not
+	// worker-cumulative as it was pre-stealing: a thief may pick up a range
+	// that precedes work it already counted, and a cumulative cutoff there
+	// would leave a gap before already-delivered rows.
+	spanQuota := func() int {
+		if ps.limit <= 0 {
+			return 0 // unlimited
+		}
+		if q := ps.limit - (st.count - countBase); q > 0 {
+			return q
+		}
+		return -1 // span produced MaxSolutions; the emitter cuts within it
+	}
+	for {
+		if spanQuota() < 0 {
+			break
+		}
+		sw.mu.Lock()
+		gi := sw.next
+		if gi >= sw.hi || st.stopped {
+			sw.mu.Unlock()
+			break
+		}
+		sw.next = gi + 1
+		sw.mu.Unlock()
+
+		if gi < ps.skipBefore {
+			continue // known explore failure (the +REUSE pre-pass)
+		}
+		vs := ps.cands[gi]
+		w.rg.reset(vs)
+		if !m.explore(w.rg, ps.start, vs) {
+			continue
+		}
+		if w.localProf != nil {
+			w.localProf.Regions++
+			for _, total := range w.rg.totals {
+				w.localProf.ExploredCandidates += total
+			}
+		}
+		if plan == nil || !m.opts.ReuseOrder {
+			plan = m.buildPlan(w.rg)
+		}
+		st.rg, st.plan = w.rg, plan
+		w.rc.start(st)
+		for {
+			// Collect mode resumes row by row for eager delivery; count
+			// mode runs straight to the span's remaining solution quota
+			// (the cursor suspends even mid-region, so one enormous region
+			// cannot blow past the cap by more than an NEC bulk batch).
+			quota := 1
+			if !ps.collect {
+				quota = spanQuota()
+				if quota < 0 {
+					break
+				}
+			}
+			done := w.rc.resume(quota)
+			if ps.collect && len(w.buf) > 0 {
+				// Eager per-row delivery: hand over whatever has accumulated
+				// the moment the slot is free, so the emitter never waits for
+				// a full segment; block only when the segment cap is hit —
+				// that block is the per-row backpressure, and it leaves this
+				// region suspended in the cursor, its span stealable.
+				if !w.flush(sw, false) && len(w.buf) >= ps.quota {
+					if !w.flush(sw, true) {
+						st.stopped = true
+					}
+				}
+			}
+			if done || st.stopped {
+				break
+			}
+			if ps.limit > 0 && st.count-countBase >= ps.limit {
+				break // span quota filled mid-region; abandon the rest
+			}
+		}
+		if st.stopped {
+			break
+		}
+	}
+	// Final segment: leftover rows, the span's count contribution (counting
+	// mode), and any context error that cut the search short.
+	seg := segment{sols: w.buf, err: st.err}
+	if !ps.collect {
+		seg.count = st.count - countBase
+	}
+	w.buf = nil
+	if len(seg.sols) > 0 || seg.count != 0 || seg.err != nil {
+		select {
+		case sw.sub.segs <- seg:
+		case <-ps.done:
+		}
+	}
+	// Publish the final next/hi before closing so thieves observe the spent
+	// range, then close: the emitter reads sub.next only after the close.
+	sw.mu.Lock()
+	sw.next = sw.hi
+	sw.mu.Unlock()
+	ps.unregister(sw)
+	close(sw.sub.segs)
+}
+
+// flush tries to deliver the accumulated rows as one segment. Non-blocking
+// unless block is set; reports whether the rows were handed off (false with
+// block set means the run is shutting down).
+func (w *pipeWorker) flush(sw *spanWork, block bool) bool {
+	seg := segment{sols: w.buf}
+	if block {
+		select {
+		case sw.sub.segs <- seg:
+			w.buf = nil
+			return true
+		case <-w.ps.done:
+			return false
+		}
+	}
+	select {
+	case sw.sub.segs <- seg:
+		w.buf = nil
+		return true
+	default:
+		return false
 	}
 }

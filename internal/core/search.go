@@ -8,6 +8,13 @@ import (
 	"repro/internal/intset"
 )
 
+// This file holds the recursive SubgraphSearch — the sequential production
+// path (run()) and the reference implementation the resumable cursor in
+// cursor.go is differential-tested against. The two must enumerate
+// identically: any change to the loops below needs a mirrored change in the
+// cursor's frame machine, and vice versa (TestCursorDifferential and
+// FuzzResumePoints enforce this).
+
 // searchState is the per-worker mutable state of SubgraphSearch.
 type searchState struct {
 	m     *matcher

@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// This file holds the two streaming ORDER BY consumers that replaced the
+// buffer-everything-then-sort special case, both fed row by row from the
+// matcher's resumable pipeline:
+//
+//   - topK keeps the k smallest rows (k = LIMIT + OFFSET) in a bounded
+//     max-heap, so `ORDER BY … LIMIT k` allocates O(k) result memory no
+//     matter how many solutions stream past;
+//   - runSorter builds bounded sorted runs as rows arrive and k-way merges
+//     them at the end, for unbounded ORDER BY (and ORDER BY + DISTINCT,
+//     whose deduplication happens downstream in sorted order).
+//
+// Both reproduce sparql.SortSolutions exactly, including its stability:
+// rows are tagged with their arrival sequence and ties broken by it, which
+// is precisely what a stable sort of the fully-buffered stream would do.
+// The differential tests in order_stream_test.go and the datagen workload
+// suite pin that equivalence.
+
+// seqRow is a row tagged with its arrival position for stable ordering.
+type seqRow struct {
+	row []rdf.Term
+	seq int
+}
+
+// rowCmp orders seqRows by the ORDER BY comparator, ties by arrival.
+type rowCmp func(a, b []rdf.Term) int
+
+func (c rowCmp) lessSeq(a, b seqRow) bool {
+	if d := c(a.row, b.row); d != 0 {
+		return d < 0
+	}
+	return a.seq < b.seq
+}
+
+// topK retains the k smallest rows of a stream under cmp, ties broken by
+// arrival order — the streaming equivalent of a stable sort followed by
+// rows[:k]. It is a max-heap: the root is the worst retained row, evicted
+// whenever a better one arrives.
+type topK struct {
+	cmp  rowCmp
+	k    int
+	n    int // arrival counter
+	heap []seqRow
+}
+
+func newTopK(k int, cmp rowCmp) *topK { return &topK{cmp: cmp, k: k} }
+
+// push offers one row. Rows are retained by reference; the engine's
+// streaming paths hand over freshly built rows, so no copy is needed.
+func (t *topK) push(row []rdf.Term) {
+	sr := seqRow{row: row, seq: t.n}
+	t.n++
+	if t.k <= 0 {
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, sr)
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	// Full: replace the root (the worst row kept) if the newcomer is
+	// better. An equal-key newcomer has a larger seq, so it is NOT better —
+	// exactly the stable-sort outcome of keeping earliest arrivals.
+	if t.cmp.lessSeq(sr, t.heap[0]) {
+		t.heap[0] = sr
+		t.siftDown(0)
+	}
+}
+
+// sorted returns the retained rows in ascending order. The heap is consumed.
+func (t *topK) sorted() [][]rdf.Term {
+	sort.Slice(t.heap, func(i, j int) bool { return t.cmp.lessSeq(t.heap[i], t.heap[j]) })
+	out := make([][]rdf.Term, len(t.heap))
+	for i, sr := range t.heap {
+		out[i] = sr.row
+	}
+	return out
+}
+
+func (t *topK) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.cmp.lessSeq(t.heap[p], t.heap[i]) { // parent not strictly better: done
+			break
+		}
+		t.heap[p], t.heap[i] = t.heap[i], t.heap[p]
+		i = p
+	}
+}
+
+func (t *topK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && t.cmp.lessSeq(t.heap[worst], t.heap[l]) {
+			worst = l
+		}
+		if r < n && t.cmp.lessSeq(t.heap[worst], t.heap[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.heap[i], t.heap[worst] = t.heap[worst], t.heap[i]
+		i = worst
+	}
+}
+
+// sortRunSize bounds one sorted run of the unbounded ORDER BY path: runs are
+// sorted incrementally as the stream arrives (bounding each sort's working
+// set) and merged lazily at the end, emitting from the first row of the
+// merge instead of after one monolithic sort.
+const sortRunSize = 4096
+
+// runSorter accumulates the stream into per-arrival-order runs, sorts each
+// run as it fills, and merges the sorted runs on emit. Ties across runs
+// resolve to the earlier run — runs partition the stream in arrival order,
+// so the merged sequence equals a stable sort of the whole stream.
+type runSorter struct {
+	cmp  rowCmp
+	cur  [][]rdf.Term
+	runs [][][]rdf.Term
+}
+
+func newRunSorter(cmp rowCmp) *runSorter { return &runSorter{cmp: cmp} }
+
+func (rs *runSorter) push(row []rdf.Term) {
+	rs.cur = append(rs.cur, row)
+	if len(rs.cur) >= sortRunSize {
+		rs.seal()
+	}
+}
+
+// seal sorts the in-progress run (stably: within a run, arrival order is
+// slice order) and appends it to the merge set.
+func (rs *runSorter) seal() {
+	if len(rs.cur) == 0 {
+		return
+	}
+	cur := rs.cur
+	sort.SliceStable(cur, func(i, j int) bool { return rs.cmp(cur[i], cur[j]) < 0 })
+	rs.runs = append(rs.runs, cur)
+	rs.cur = nil
+}
+
+// mergeEmit drains the sorted runs through emit in global order, stopping
+// early when emit returns false.
+func (rs *runSorter) mergeEmit(emit func(row []rdf.Term) bool) {
+	rs.seal()
+	switch len(rs.runs) {
+	case 0:
+		return
+	case 1:
+		for _, row := range rs.runs[0] {
+			if !emit(row) {
+				return
+			}
+		}
+		return
+	}
+	// K-way merge over run heads: a min-heap of (row, run index), ties by
+	// run index (earlier run = earlier arrival).
+	type head struct {
+		run int
+		pos int
+	}
+	less := func(a, b head) bool {
+		if d := rs.cmp(rs.runs[a.run][a.pos], rs.runs[b.run][b.pos]); d != 0 {
+			return d < 0
+		}
+		return a.run < b.run
+	}
+	heap := make([]head, 0, len(rs.runs))
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			best := i
+			if l < len(heap) && less(heap[l], heap[best]) {
+				best = l
+			}
+			if r < len(heap) && less(heap[r], heap[best]) {
+				best = r
+			}
+			if best == i {
+				return
+			}
+			heap[i], heap[best] = heap[best], heap[i]
+			i = best
+		}
+	}
+	for run := range rs.runs {
+		heap = append(heap, head{run: run})
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	for len(heap) > 0 {
+		h := heap[0]
+		if !emit(rs.runs[h.run][h.pos]) {
+			return
+		}
+		if h.pos+1 < len(rs.runs[h.run]) {
+			heap[0].pos = h.pos + 1
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		down(0)
+	}
+}

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// refSort is the reference the streaming order paths must reproduce: a
+// stable sort of the fully-buffered stream by column 0.
+func refSort(rows [][]rdf.Term) [][]rdf.Term {
+	out := append([][]rdf.Term(nil), rows...)
+	sparql.SortSolutions(out, []sparql.OrderKey{{Var: "k"}}, func(string) int { return 0 })
+	return out
+}
+
+// randomRows builds rows with deliberately clustered keys so ties exercise
+// the stability contract, over mixed term kinds so the comparator's
+// type-rank contract is in play.
+func randomRows(r *rand.Rand, n int) [][]rdf.Term {
+	rows := make([][]rdf.Term, n)
+	for i := range rows {
+		var key rdf.Term
+		switch r.Intn(4) {
+		case 0:
+			key = rdf.NewIntLiteral(int64(r.Intn(12)))
+		case 1:
+			key = rdf.NewLiteral(fmt.Sprintf("%d", r.Intn(12))) // numeric-looking string
+		case 2:
+			key = rdf.NewIRI(fmt.Sprintf("http://x/%d", r.Intn(6)))
+		default:
+			key = rdf.NewLiteral(string(rune('a' + r.Intn(6))))
+		}
+		// Second column tags arrival order so stability violations are
+		// visible even between fully identical keys.
+		rows[i] = []rdf.Term{key, rdf.NewIntLiteral(int64(i))}
+	}
+	return rows
+}
+
+func keyCmp() rowCmp {
+	return rowCmp(sparql.RowComparator([]sparql.OrderKey{{Var: "k"}}, func(v string) int {
+		if v == "k" {
+			return 0
+		}
+		return -1
+	}))
+}
+
+// TestTopKMatchesStableSort: for every k, pushing a stream into topK and
+// reading it back equals stable-sort-then-truncate.
+func TestTopKMatchesStableSort(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cmp := keyCmp()
+	for trial := 0; trial < 25; trial++ {
+		rows := randomRows(r, 1+r.Intn(200))
+		want := refSort(rows)
+		for _, k := range []int{0, 1, 2, 7, len(rows) / 2, len(rows), len(rows) + 3} {
+			h := newTopK(k, cmp)
+			for _, row := range rows {
+				h.push(row)
+			}
+			got := h.sorted()
+			wantK := want
+			if k < len(wantK) {
+				wantK = wantK[:k]
+			}
+			if len(got) != len(wantK) {
+				t.Fatalf("trial %d k=%d: %d rows, want %d", trial, k, len(got), len(wantK))
+			}
+			for i := range got {
+				if got[i][0] != wantK[i][0] || got[i][1] != wantK[i][1] {
+					t.Fatalf("trial %d k=%d row %d: %v, want %v (stability?)", trial, k, i, got[i], wantK[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunSorterMatchesStableSort drives the run-merge path across run
+// boundaries (several runs plus a partial tail) and checks the merged
+// stream equals a stable sort, including early emit stop.
+func TestRunSorterMatchesStableSort(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	cmp := keyCmp()
+	for _, n := range []int{0, 1, 50, sortRunSize, sortRunSize + 1, 3*sortRunSize + 77} {
+		rows := randomRows(r, n)
+		want := refSort(rows)
+		rs := newRunSorter(cmp)
+		for _, row := range rows {
+			rs.push(row)
+		}
+		var got [][]rdf.Term
+		rs.mergeEmit(func(row []rdf.Term) bool {
+			got = append(got, row)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: merged %d rows, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+				t.Fatalf("n=%d row %d: %v, want %v", n, i, got[i], want[i])
+			}
+		}
+		if n > 10 {
+			// Early stop: the merge must respect a false return mid-stream.
+			count := 0
+			rs2 := newRunSorter(cmp)
+			for _, row := range rows {
+				rs2.push(row)
+			}
+			rs2.mergeEmit(func([]rdf.Term) bool { count++; return count < 5 })
+			if count != 5 {
+				t.Fatalf("n=%d: early stop emitted %d rows, want 5", n, count)
+			}
+		}
+	}
+}
+
+// TestOrderByLimitDifferential: every ORDER BY + LIMIT/OFFSET combination
+// through the engine equals the unlimited ordered result truncated — the
+// top-k heap path vs the run-merge path vs plain slicing.
+func TestOrderByLimitDifferential(t *testing.T) {
+	aware, _ := newEngines(t)
+	base := prefix + `SELECT ?x ?p WHERE { ?x :price ?p . } ORDER BY DESC(?p) ?x`
+	full, err := aware.Query(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) < 2 {
+		t.Fatalf("fixture too small: %d rows", len(full.Rows))
+	}
+	for _, limit := range []int{0, 1, 2, len(full.Rows), len(full.Rows) + 5} {
+		for _, offset := range []int{0, 1, 3} {
+			q := fmt.Sprintf("%s LIMIT %d OFFSET %d", base, limit, offset)
+			res, err := aware.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := full.Rows
+			if offset < len(want) {
+				want = want[offset:]
+			} else {
+				want = nil
+			}
+			if limit < len(want) {
+				want = want[:limit]
+			}
+			if len(res.Rows) != len(want) {
+				t.Fatalf("limit=%d offset=%d: %d rows, want %d", limit, offset, len(res.Rows), len(want))
+			}
+			for i := range want {
+				for j := range want[i] {
+					if res.Rows[i][j] != want[i][j] {
+						t.Fatalf("limit=%d offset=%d row %d: %v, want %v", limit, offset, i, res.Rows[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOrderByDistinctLimit exercises the run-merge path (DISTINCT disables
+// the top-k bound) with a LIMIT applied after deduplication.
+func TestOrderByDistinctLimit(t *testing.T) {
+	aware, _ := newEngines(t)
+	full, err := aware.Query(prefix + `SELECT DISTINCT ?t WHERE { ?x a ?t . } ORDER BY ?t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) < 2 {
+		t.Fatalf("fixture too small: %d distinct types", len(full.Rows))
+	}
+	lim, err := aware.Query(prefix + `SELECT DISTINCT ?t WHERE { ?x a ?t . } ORDER BY ?t LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lim.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(lim.Rows))
+	}
+	for i := range lim.Rows {
+		if lim.Rows[i][0] != full.Rows[i][0] {
+			t.Fatalf("row %d: %v, want %v", i, lim.Rows[i], full.Rows[i])
+		}
+	}
+}
+
+// TestOrderByUnresolvableKeyStreams: keys that bind no column leave the
+// stream order untouched (and take the non-buffering path).
+func TestOrderByUnresolvableKeyStreams(t *testing.T) {
+	aware, _ := newEngines(t)
+	plain, err := aware.Query(prefix + `SELECT ?x WHERE { ?x a :Product . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := aware.Query(prefix + `SELECT ?x WHERE { ?x a :Product . } ORDER BY ?nosuch`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Rows) != len(ordered.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain.Rows), len(ordered.Rows))
+	}
+	for i := range plain.Rows {
+		if plain.Rows[i][0] != ordered.Rows[i][0] {
+			t.Fatalf("row %d reordered by unresolvable key", i)
+		}
+	}
+}

@@ -35,11 +35,15 @@ type Rows struct {
 // rows. Execution advances only as the consumer pulls: on a sequential
 // engine the matcher runs in lockstep with Next, and on a parallel engine
 // (Workers > 1) the ordered region pipeline searches candidate regions
-// concurrently but no further than the reorder window ahead of the
-// consumer, so closing the cursor after k rows still does on the order of
-// k rows' search work (plus the window). Row order is identical for every
-// worker count. Cancelling ctx (or its deadline expiring) aborts the
-// query; Err then returns the context error.
+// through resumable cursors, buffering no more than StreamBuffer rows
+// ahead of the consumer — even a single region with a huge result set
+// streams its first rows after a bounded amount of search — so closing
+// the cursor after k rows still does on the order of k rows' search work
+// (plus the row window). Row order is identical for every worker count.
+// ORDER BY with LIMIT holds only the best LIMIT+OFFSET rows (a bounded
+// heap); unbounded ORDER BY holds sorted runs and merges them. Cancelling
+// ctx (or its deadline expiring) aborts the query; Err then returns the
+// context error.
 func (pq *PreparedQuery) Select(ctx context.Context) *Rows {
 	return pq.SelectProfiled(ctx, nil)
 }
@@ -49,7 +53,7 @@ func (pq *PreparedQuery) Select(ctx context.Context) *Rows {
 // parallel engine (Workers > 1) the pipeline merges per-worker counters: a
 // fully drained cursor reports the same totals as a sequential run, while a
 // cursor closed early may report somewhat more effort than a sequential run
-// would have spent — workers race ahead within the reorder window. Read
+// would have spent — workers race ahead within the row window. Read
 // prof only after the cursor is exhausted or closed.
 //
 // The dataset snapshot is pinned synchronously, before SelectProfiled

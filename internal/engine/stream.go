@@ -18,15 +18,19 @@ type RowVisitor func(row []rdf.Term) bool
 // deduplication, OFFSET skipping, and LIMIT truncation — to emit in pipeline
 // order. Plain pattern/FILTER/OPTIONAL/UNION queries stream: each row flows
 // from the matcher's visitor callback to emit without accumulating a result
-// set (DISTINCT keeps a seen-set but still emits incrementally). ORDER BY is
-// the one buffering shape: every solution must exist before the first row
-// can be emitted. prof, when non-nil, accumulates matcher effort counters
-// (merged from the pipeline's workers when Workers > 1). streamFirst routes
-// the first component of each group through the streaming matcher — with
-// Workers > 1 that is the ordered parallel region pipeline, which keeps the
-// sequential row order while searching regions concurrently — for first-row
-// latency and early termination; materializing consumers (Exec, Count)
-// collect it instead and join from the materialized sets.
+// set (DISTINCT keeps a seen-set but still emits incrementally). ORDER BY no
+// longer special-cases "buffer everything then sort": `ORDER BY … LIMIT k`
+// feeds a bounded top-k heap from the stream (O(k) result memory), and
+// unbounded ORDER BY sorts bounded runs as rows arrive and merges them on
+// emission; both must still see the full stream before the first row leaves,
+// as the last solution could sort first. prof, when non-nil, accumulates
+// matcher effort counters (merged from the pipeline's workers when
+// Workers > 1). streamFirst routes the first component of each group through
+// the streaming matcher — with Workers > 1 that is the ordered parallel
+// region pipeline, which keeps the sequential row order while searching
+// regions concurrently — for first-row latency and early termination;
+// materializing consumers (Exec, Count) collect it instead and join from the
+// materialized sets.
 func (pq *PreparedQuery) stream(ctx context.Context, d *transform.Data, prof *core.ProfileResult, streamFirst bool, emit RowVisitor) error {
 	plans, err := pq.plansFor(d)
 	if err != nil {
@@ -37,26 +41,12 @@ func (pq *PreparedQuery) stream(ctx context.Context, d *transform.Data, prof *co
 		pj.seen = map[string]bool{}
 	}
 
-	if len(pq.q.OrderBy) > 0 {
-		// Buffering path. ORDER BY runs on the unprojected solutions so
-		// keys may reference non-projected variables.
-		var all [][]rdf.Term
-		for i, g := range pq.groups {
-			err := pq.e.streamGroup(ctx, plans[i], g, pq.vi, prof, streamFirst, func(row []rdf.Term) bool {
-				all = append(all, row)
-				return true
-			})
-			if err != nil {
-				return err
-			}
-		}
-		sparql.SortSolutions(all, pq.q.OrderBy, pq.vi.slot)
-		for _, row := range all {
-			if !pj.push(row) {
-				break
-			}
-		}
-		return nil
+	if cmp := sparql.RowComparator(pq.q.OrderBy, pq.vi.slot); cmp != nil {
+		// Ordering runs on the unprojected solutions so keys may reference
+		// non-projected variables. (A nil comparator — no key resolves to a
+		// column — leaves the stream order untouched, so such queries take
+		// the plain streaming path below.)
+		return pq.streamOrdered(ctx, plans, prof, streamFirst, rowCmp(cmp), pj)
 	}
 
 	for i, g := range pq.groups {
@@ -75,6 +65,46 @@ func (pq *PreparedQuery) stream(ctx context.Context, d *transform.Data, prof *co
 			break
 		}
 	}
+	return nil
+}
+
+// streamOrdered drains the groups' solution stream into an order-aware
+// consumer and replays it sorted through the projector.
+//
+// With a LIMIT and no DISTINCT, only the best LIMIT+OFFSET rows can ever be
+// emitted, so a bounded top-k heap suffices: memory is O(k) regardless of
+// the solution count. DISTINCT disables the bound (rows that deduplicate
+// away downstream must not consume heap slots), and an unbounded ORDER BY
+// has no k — both fall back to sorted runs merged on emission, which holds
+// every row but sorts incrementally and streams the merge.
+func (pq *PreparedQuery) streamOrdered(ctx context.Context, plans []*plan, prof *core.ProfileResult, streamFirst bool, cmp rowCmp, pj *projector) error {
+	var push func(row []rdf.Term)
+	var finish func()
+	if pq.q.Limit >= 0 && !pq.q.Distinct {
+		h := newTopK(pq.q.Limit+pq.q.Offset, cmp)
+		push = h.push
+		finish = func() {
+			for _, row := range h.sorted() {
+				if !pj.push(row) {
+					return
+				}
+			}
+		}
+	} else {
+		rs := newRunSorter(cmp)
+		push = rs.push
+		finish = func() { rs.mergeEmit(pj.push) }
+	}
+	for i, g := range pq.groups {
+		err := pq.e.streamGroup(ctx, plans[i], g, pq.vi, prof, streamFirst, func(row []rdf.Term) bool {
+			push(row)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	finish()
 	return nil
 }
 

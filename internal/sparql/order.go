@@ -6,29 +6,46 @@ import (
 	"repro/internal/rdf"
 )
 
-// CompareTerms orders two terms for ORDER BY, following the SPARQL ordering
-// sketch: unbound before bound, numeric literals by value, everything else
-// by canonical text.
+// CompareTerms is the total order behind ORDER BY, shared by every engine in
+// the repository so their ordered results agree row for row.
+//
+// The SPARQL specification fixes only fragments of the solution ordering
+// (unbound lowest, numeric literals by value) and leaves the rest to the
+// implementation; mixed-key result sets — one sort variable binding numeric
+// literals in some rows and IRIs or plain strings in others — therefore need
+// a pinned, documented contract. Ours ranks by term kind first and compares
+// within a kind:
+//
+//  1. unbound (the empty term) — lowest, so OPTIONAL gaps lead;
+//  2. blank nodes, by label text;
+//  3. IRIs, by IRI text;
+//  4. numeric literals, by numeric value — any literal whose lexical form
+//     parses as a number counts, regardless of datatype, so "9" < "10"
+//     even as plain strings; ties (1 vs 1.0 vs "01") break by canonical
+//     encoding so the order stays total and deterministic;
+//  5. all other literals, by canonical N-Triples encoding.
+//
+// Kinds never interleave: every IRI sorts before every literal, and every
+// numeric literal before every non-numeric one, no matter the values. The
+// contract is pinned by TestCompareTermsMixedContract.
 func CompareTerms(a, b rdf.Term) int {
-	switch {
-	case a == "" && b == "":
-		return 0
-	case a == "":
-		return -1
-	case b == "":
+	ra, av := termKey(a)
+	rb, bv := termKey(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
 		return 1
 	}
-	av, aok := a.NumericValue()
-	bv, bok := b.NumericValue()
-	if aok && bok {
+	if ra == rankNumeric {
 		switch {
 		case av < bv:
 			return -1
 		case av > bv:
 			return 1
-		default:
-			return 0
 		}
+		// Equal values with different encodings: fall through to the
+		// lexical tie-break below for a total order.
 	}
 	switch {
 	case a < b:
@@ -40,10 +57,42 @@ func CompareTerms(a, b rdf.Term) int {
 	}
 }
 
-// SortSolutions orders rows by the given keys. slot maps a variable name to
-// its column index (negative = absent; the key is ignored). The sort is
-// stable so row order beyond the keys is preserved.
-func SortSolutions(rows [][]rdf.Term, keys []OrderKey, slot func(string) int) {
+const (
+	rankUnbound = iota
+	rankBlank
+	rankIRI
+	rankNumeric
+	rankLiteral
+)
+
+// termKey classifies a term once per comparison side: its rank and, for
+// numeric literals, the parsed value — one ParseFloat per term, shared
+// between the rank decision and the value comparison (this comparator sits
+// inside the streaming sort paths' O(n log n) hot loop).
+func termKey(t rdf.Term) (rank int, num float64) {
+	switch t.Kind() {
+	case rdf.Blank:
+		return rankBlank, 0
+	case rdf.IRI:
+		return rankIRI, 0
+	case rdf.Literal:
+		if v, ok := t.NumericValue(); ok {
+			return rankNumeric, v
+		}
+		return rankLiteral, 0
+	default:
+		if t == "" {
+			return rankUnbound, 0
+		}
+		return rankLiteral, 0 // unrecognizable encodings sort with literals
+	}
+}
+
+// RowComparator compiles ORDER BY keys into a row comparison function. slot
+// maps a variable name to its column index (negative = absent; such keys
+// are ignored). It returns nil when no key resolves to a column — the
+// caller can then skip sorting entirely, because the order is untouched.
+func RowComparator(keys []OrderKey, slot func(string) int) func(a, b []rdf.Term) int {
 	cols := make([]int, 0, len(keys))
 	descs := make([]bool, 0, len(keys))
 	for _, k := range keys {
@@ -53,19 +102,31 @@ func SortSolutions(rows [][]rdf.Term, keys []OrderKey, slot func(string) int) {
 		}
 	}
 	if len(cols) == 0 {
-		return
+		return nil
 	}
-	sort.SliceStable(rows, func(i, j int) bool {
+	return func(a, b []rdf.Term) int {
 		for x, ci := range cols {
-			c := CompareTerms(rows[i][ci], rows[j][ci])
+			c := CompareTerms(a[ci], b[ci])
 			if c == 0 {
 				continue
 			}
 			if descs[x] {
-				return c > 0
+				return -c
 			}
-			return c < 0
+			return c
 		}
-		return false
-	})
+		return 0
+	}
+}
+
+// SortSolutions orders rows by the given keys. The sort is stable so row
+// order beyond the keys is preserved. It is the materialized counterpart of
+// the engine's streaming top-k and run-merge paths, and the reference their
+// differential tests compare against.
+func SortSolutions(rows [][]rdf.Term, keys []OrderKey, slot func(string) int) {
+	cmp := RowComparator(keys, slot)
+	if cmp == nil {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return cmp(rows[i], rows[j]) < 0 })
 }

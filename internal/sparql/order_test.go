@@ -29,6 +29,71 @@ func TestCompareTerms(t *testing.T) {
 	}
 }
 
+// TestCompareTermsMixedContract pins the documented total order for keys
+// that bind different term kinds across rows: unbound < blank < IRI <
+// numeric literal (by value, any datatype) < other literal. This is the
+// numeric-vs-lexical contract of CompareTerms — previously untested and
+// undocumented behavior.
+func TestCompareTermsMixedContract(t *testing.T) {
+	// Each entry sorts strictly before all later entries (ties noted).
+	ladder := []rdf.Term{
+		"",
+		rdf.NewBlank("a"),
+		rdf.NewBlank("b"),
+		rdf.NewIRI("http://a"),
+		rdf.NewIRI("http://z9"), // IRIs stay lexical even when digit-laden
+		rdf.NewFloatLiteral(-2.5),
+		rdf.NewLiteral("9"),  // plain string that parses numerically: value 9
+		rdf.NewLiteral("10"), // 9 < 10 numerically, though "10" < "9" lexically
+		rdf.NewIntLiteral(11),
+		rdf.NewLiteral("apple"), // non-numeric literals after every numeric
+		rdf.NewLangLiteral("apple", "en"),
+		rdf.NewLiteral("banana"),
+	}
+	for i := range ladder {
+		for j := range ladder {
+			got := CompareTerms(ladder[i], ladder[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("CompareTerms(%q, %q) = %d, want %d", ladder[i], ladder[j], got, want)
+			}
+		}
+	}
+
+	// Equal numeric values with different encodings: deterministic non-zero
+	// ordering (total order), consistent antisymmetry.
+	one, oneInt := rdf.NewLiteral("1"), rdf.NewIntLiteral(1)
+	if c := CompareTerms(one, oneInt); c == 0 || c != -CompareTerms(oneInt, one) {
+		t.Errorf("numeric tie not totally ordered: %d", c)
+	}
+	// And an exact encoding match is equal.
+	if CompareTerms(oneInt, rdf.NewIntLiteral(1)) != 0 {
+		t.Error("identical terms must compare equal")
+	}
+}
+
+// TestRowComparatorNilWhenUnresolvable: keys that resolve to no column
+// yield a nil comparator, the signal to skip sorting.
+func TestRowComparatorNilWhenUnresolvable(t *testing.T) {
+	if RowComparator([]OrderKey{{Var: "zz"}}, func(string) int { return -1 }) != nil {
+		t.Fatal("comparator for unresolvable keys should be nil")
+	}
+	cmp := RowComparator([]OrderKey{{Var: "x", Desc: true}}, func(string) int { return 0 })
+	if cmp == nil {
+		t.Fatal("resolvable key returned nil comparator")
+	}
+	a := []rdf.Term{rdf.NewIntLiteral(1)}
+	b := []rdf.Term{rdf.NewIntLiteral(2)}
+	if cmp(a, b) != 1 || cmp(b, a) != -1 || cmp(a, a) != 0 {
+		t.Fatal("DESC comparator inverted incorrectly")
+	}
+}
+
 func TestSortSolutionsMultiKey(t *testing.T) {
 	rows := [][]rdf.Term{
 		{rdf.NewLiteral("b"), rdf.NewIntLiteral(1)},

@@ -70,12 +70,18 @@ type Options struct {
 	// cursor early still abandons the unexplored regions.
 	Workers int
 
-	// StreamBuffer bounds the reorder window of parallel streaming, in
-	// candidate-region batches: workers may search at most this many
-	// batches ahead of the row consumer before blocking (backpressure).
-	// Zero means 2×Workers. Larger windows absorb skew between regions at
-	// the cost of buffering more not-yet-delivered solutions; smaller
-	// windows tighten how much work an early-closed cursor can overshoot.
+	// StreamBuffer bounds parallel streaming's buffering in ROWS: the
+	// number of not-yet-delivered solutions workers may hold ahead of the
+	// row consumer before they block with their region search suspended
+	// (per-row backpressure). The bound is independent of region size —
+	// one region yielding a million rows still buffers only
+	// O(StreamBuffer) of them, so the first rows of a pathological region
+	// reach the consumer after a bounded amount of search, not after the
+	// region is exhausted. It may be exceeded by a small constant factor
+	// (one in-production segment per in-flight batch). Zero means
+	// 64×Workers. Smaller values tighten memory and how much work an
+	// early-closed cursor can overshoot; larger values smooth the
+	// worker/consumer handoff.
 	StreamBuffer int
 
 	// NEC toggles the neighborhood-equivalence-class query reduction.

@@ -142,12 +142,16 @@ func (p *Prepared) Vars() []string { return p.pq.Vars() }
 // the cursor (or cancelling ctx) after k rows abandons the remaining search
 // instead of completing it. On a store with Workers > 1 (the default)
 // matching runs on the ordered parallel region pipeline: workers search
-// candidate regions concurrently, no further than the reorder window ahead
-// of the consumer, and rows are emitted in the exact sequential order — the
-// row sequence is byte-identical for every worker count. ORDER BY queries
-// buffer and sort all solutions before the first row is returned but keep
-// the same cursor surface; everything else — including DISTINCT, which
-// deduplicates incrementally — streams.
+// candidate regions through resumable cursors, buffering no more than
+// Options.StreamBuffer rows ahead of the consumer (so even a single region
+// with an enormous result set streams its first rows promptly, in bounded
+// memory), and rows are emitted in the exact sequential order — the row
+// sequence is byte-identical for every worker count. ORDER BY must see
+// every solution before the first row leaves, but no longer materializes
+// the result set to sort it: ORDER BY with LIMIT k keeps only the best
+// k+offset rows in a bounded heap (O(k) result memory), and unbounded
+// ORDER BY sorts bounded runs and merges them on emission. Everything
+// else — including DISTINCT, which deduplicates incrementally — streams.
 func (p *Prepared) Select(ctx context.Context) *Rows {
 	return &Rows{r: p.pq.Select(ctx)}
 }
