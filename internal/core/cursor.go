@@ -35,9 +35,11 @@ import (
 // the per-depth scratch buffers) plus the frame stack; nothing lives on the
 // goroutine stack between resume calls. Each frame records the bindings it
 // owns (bound/setVar/expSet) and undoes them when control re-enters it after
-// the subtree beneath finished — so a cursor can be dropped mid-region
-// without unwinding, and resuming continues exactly where the last emit
-// happened. One deliberate divergence from the recursion, invisible in every
+// the subtree beneath finished — so resuming continues exactly where the
+// last emit happened. A suspended cursor holds live bindings in those
+// arrays: abandoning a region mid-search is only safe through abort(), which
+// unwinds the stack undoing every frame's effects, unless the searchState is
+// discarded with the cursor. One deliberate divergence from the recursion, invisible in every
 // observable (rows, order, counters): the (u, v) vertex binding is placed
 // before the position's wildcard labels are enumerated rather than beneath
 // them, which keeps the binding's undo in the cfSearch frame; nothing inside
@@ -124,8 +126,7 @@ func (rc *regionCursor) resume(maxRows int) bool {
 	base := st.count
 	for len(rc.stack) > 0 {
 		if st.stopped {
-			rc.finishExpansion()
-			rc.stack = rc.stack[:0]
+			rc.abort()
 			return true
 		}
 		rc.step()
@@ -140,13 +141,12 @@ func (rc *regionCursor) resume(maxRows int) bool {
 	return true
 }
 
-// step executes one iteration of the top frame's loop. Frames are addressed
-// by index, never by retained pointer, because pushes may grow the stack's
-// backing array.
-func (rc *regionCursor) step() {
-	st := rc.st
-	top := len(rc.stack) - 1
-	f := &rc.stack[top]
+// undo reverts the bindings this frame currently holds — the cfSearch
+// vertex binding, the cfWild predicate-variable and edge-label bindings,
+// the cfExpand member assignment. It is the single undo site, shared by
+// step()'s re-entry and abort()'s unwind, so the two cannot drift: a new
+// binding added to one frame kind is undone on both paths or neither.
+func (f *cframe) undo(st *searchState) {
 	switch f.kind {
 	case cfSearch:
 		if f.bound {
@@ -155,6 +155,46 @@ func (rc *regionCursor) step() {
 			}
 			f.bound = false
 		}
+	case cfWild:
+		if f.setVar {
+			st.varBind[st.m.q.Edges[f.edge].PredVar] = NoID
+			f.setVar = false
+		}
+		st.edgeBind[f.edge] = NoID
+	case cfExpand:
+		if f.expSet {
+			st.used[f.expCur] = false
+			f.expSet = false
+		}
+	}
+}
+
+// abort abandons a suspended region mid-search, unwinding the frame stack
+// and undoing every binding the frames still hold, exactly as each frame's
+// own re-entry would. After abort the searchState is clean for the next
+// region: required whenever the state outlives the abandoned region, as in
+// the pipeline's span-quota cutoffs, where a worker that dropped a
+// suspended cursor without unwinding would silently prune later spans
+// against stale used[]/varBind[] entries.
+func (rc *regionCursor) abort() {
+	st := rc.st
+	for i := len(rc.stack) - 1; i >= 0; i-- {
+		rc.stack[i].undo(st)
+	}
+	rc.stack = rc.stack[:0]
+	rc.finishExpansion()
+}
+
+// step executes one iteration of the top frame's loop. Frames are addressed
+// by index, never by retained pointer, because pushes may grow the stack's
+// backing array.
+func (rc *regionCursor) step() {
+	st := rc.st
+	top := len(rc.stack) - 1
+	f := &rc.stack[top]
+	f.undo(st)
+	switch f.kind {
+	case cfSearch:
 		for f.i < len(f.list) {
 			v := f.list[f.i]
 			f.i++
@@ -201,10 +241,6 @@ func (rc *regionCursor) step() {
 
 	case cfWild:
 		e := &st.m.q.Edges[f.edge]
-		if f.setVar {
-			st.varBind[e.PredVar] = NoID
-			f.setVar = false
-		}
 		for f.i < len(f.list) {
 			lbl := f.list[f.i]
 			f.i++
@@ -220,14 +256,9 @@ func (rc *regionCursor) step() {
 			rc.pushWild(dc, u, v, wi+1)
 			return
 		}
-		st.edgeBind[f.edge] = NoID
 		rc.stack = rc.stack[:top]
 
 	case cfExpand:
-		if f.expSet {
-			st.used[f.expCur] = false
-			f.expSet = false
-		}
 		members := st.m.red.classes[f.ci].members
 		for f.i < len(f.list) {
 			v := f.list[f.i]

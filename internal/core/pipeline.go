@@ -520,6 +520,7 @@ func (w *pipeWorker) runSpan(sw *spanWork) {
 		}
 		st.rg, st.plan = w.rg, plan
 		w.rc.start(st)
+		regionDone := false
 		for {
 			// Collect mode resumes row by row for eager delivery; count
 			// mode runs straight to the span's remaining solution quota
@@ -546,11 +547,20 @@ func (w *pipeWorker) runSpan(sw *spanWork) {
 				}
 			}
 			if done || st.stopped {
+				regionDone = done
 				break
 			}
 			if ps.limit > 0 && st.count-countBase >= ps.limit {
 				break // span quota filled mid-region; abandon the rest
 			}
+		}
+		if !regionDone {
+			// The region is abandoned with the cursor suspended (span quota
+			// filled mid-region, or the run shutting down): unwind it so the
+			// worker's reused searchState carries no stale used[]/varBind[]
+			// bindings into later claimed or stolen spans — which may precede
+			// the limit cut in region order and still have rows to deliver.
+			w.rc.abort()
 		}
 		if st.stopped {
 			break

@@ -275,6 +275,165 @@ func TestPipelineProfileMergesToSequentialTotals(t *testing.T) {
 	}
 }
 
+// TestRunSpanAbandonedCursorNoPollution: when the span-local MaxSolutions
+// cutoff abandons a region mid-enumeration, the suspended cursor's frames
+// still hold used[] flags and predicate-variable bindings in the worker's
+// searchState. runSpan must unwind them (regionCursor.abort) before the
+// state serves another span — a worker that later steals a range preceding
+// the limit cut would otherwise silently drop that range's rows. The test
+// drives runSpan directly: a heavy region that trips the cutoff, then a
+// light region through the same worker whose every row reuses a data vertex
+// (or edge label) the abandoned search had bound.
+func TestRunSpanAbandonedCursorNoPollution(t *testing.T) {
+	fHub, fLeaf := uint32(0), uint32(1)
+	// Hub 0 sees all six shared leaves; hub 1 only leaves 2 and 3 — the very
+	// vertices an abandoned hub-0 search holds bound (candidates enumerate in
+	// adjacency order, so leaf 2 is bound from the first row on).
+	isoInstance := func() (*graph.Graph, *QueryGraph) {
+		b := graph.NewBuilder()
+		b.AddVertexLabel(0, fHub)
+		b.AddVertexLabel(1, fHub)
+		for l := uint32(2); l < 8; l++ {
+			b.AddVertexLabel(l, fLeaf)
+			b.AddEdge(0, 7, l)
+		}
+		b.AddEdge(1, 7, 2)
+		b.AddEdge(1, 7, 3)
+		q := NewQueryGraph()
+		hub := q.AddVertex([]uint32{fHub}, NoID)
+		for i := 0; i < 2; i++ {
+			leaf := q.AddVertex([]uint32{fLeaf}, NoID)
+			q.AddEdge(hub, leaf, 7)
+		}
+		return b.Build(), q
+	}
+	// The query's two edges share predicate variable 0; hub 0's edges are
+	// labeled 7, hub 1's 8 — a stale varBind from the abandoned heavy region
+	// rejects every light-region label.
+	predVarInstance := func() (*graph.Graph, *QueryGraph) {
+		b := graph.NewBuilder()
+		b.AddVertexLabel(0, fHub)
+		b.AddVertexLabel(1, fHub)
+		for l := uint32(2); l < 8; l++ {
+			b.AddVertexLabel(l, fLeaf)
+			b.AddEdge(0, 7, l)
+		}
+		for l := uint32(8); l < 10; l++ {
+			b.AddVertexLabel(l, fLeaf)
+			b.AddEdge(1, 8, l)
+		}
+		q := NewQueryGraph()
+		hub := q.AddVertex([]uint32{fHub}, NoID)
+		for i := 0; i < 2; i++ {
+			leaf := q.AddVertex([]uint32{fLeaf}, NoID)
+			q.AddVarEdge(hub, leaf, 0)
+		}
+		return b.Build(), q
+	}
+
+	cases := []struct {
+		name      string
+		sem       Semantics
+		noNEC     bool
+		inst      func() (*graph.Graph, *QueryGraph)
+		lightRows int // rows of hub 1's region
+	}{
+		{"iso-used", Isomorphism, true, isoInstance, 2},         // cfSearch bindings
+		{"iso-nec-expand", Isomorphism, false, isoInstance, 2},  // cfExpand assignments
+		{"hom-predvar", Homomorphism, true, predVarInstance, 4}, // cfWild variable bindings
+	}
+	for _, tc := range cases {
+		for _, limit := range []int{1, 3, 5} {
+			t.Run(fmt.Sprintf("%s/limit=%d", tc.name, limit), func(t *testing.T) {
+				g, q := tc.inst()
+				opts := Optimized()
+				opts.NoNEC = tc.noNEC
+				opts.Workers = 1
+				seq := streamKeys(t, g, q, tc.sem, opts)
+				if len(seq)-tc.lightRows <= limit {
+					t.Fatalf("heavy region too small (%d total rows) to trip the span cutoff at %d", len(seq), limit)
+				}
+
+				m := newMatcher(context.Background(), g, q, tc.sem, opts)
+				start, cands := m.startCandidates()
+				if len(cands) != 2 {
+					t.Fatalf("start vertex %d with %d candidates, want the 2 hubs", start, len(cands))
+				}
+				m.buildQueryTree(start)
+				ps := &pipeState{
+					m: m, cands: cands, start: start,
+					collect: true, limit: limit, quota: 64,
+					done:      make(chan struct{}),
+					stealable: make(map[*spanWork]struct{}),
+				}
+				w := &pipeWorker{ps: ps}
+				w.st = newSearchState(m, func(mt Match) bool {
+					w.buf = append(w.buf, mt.Clone())
+					return true
+				}, 0, nil)
+				w.st.stop = &ps.stop
+				w.rg = newRegion(len(m.q.Vertices))
+
+				runOne := func(lo, hi int) []string {
+					sw := &spanWork{sub: newSpan(), next: lo, hi: hi}
+					out := make(chan []string, 1)
+					go func() {
+						var keys []string
+						for seg := range sw.sub.segs {
+							for _, mt := range seg.sols {
+								keys = append(keys, matchKey(mt))
+							}
+						}
+						out <- keys
+					}()
+					w.runSpan(sw)
+					return <-out
+				}
+
+				// The heavy region exceeds the span limit: runSpan abandons it
+				// mid-enumeration after exactly limit rows.
+				heavy := runOne(0, 1)
+				if len(heavy) != limit {
+					t.Fatalf("heavy span delivered %d rows, want the span limit %d", len(heavy), limit)
+				}
+				for i := range heavy {
+					if heavy[i] != seq[i] {
+						t.Fatalf("heavy row %d: %s, want %s", i, heavy[i], seq[i])
+					}
+				}
+				// The abandoned cursor must leave no bindings behind.
+				for v, u := range w.st.used {
+					if u {
+						t.Errorf("used[%d] still set after abandoning the heavy region", v)
+					}
+				}
+				for i, bnd := range w.st.varBind {
+					if bnd != NoID {
+						t.Errorf("varBind[%d] = %d still bound after abandoning the heavy region", i, bnd)
+					}
+				}
+				// The light region through the same worker state stands in for
+				// a stolen earlier range the emitter still replays: its rows
+				// (up to the fresh span's own limit) must match the sequential
+				// tail exactly.
+				want := seq[len(seq)-tc.lightRows:]
+				if limit < len(want) {
+					want = want[:limit]
+				}
+				light := runOne(1, 2)
+				if len(light) != len(want) {
+					t.Fatalf("light span delivered %d rows, want %d — stale bindings dropped rows", len(light), len(want))
+				}
+				for i := range light {
+					if light[i] != want[i] {
+						t.Fatalf("light row %d: %s, want %s", i, light[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestPipelineBackpressure: with a tiny reorder window, an early stop leaves
 // most regions unexplored — the backpressure contract that makes Close
 // cheap on parallel cursors.
