@@ -176,7 +176,7 @@ func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, que
 				fmt.Fprintln(os.Stderr, "turbohom: update load:", err)
 				return
 			}
-			n, err := prepared.Count(context.Background())
+			n, err := prepared.Count(ctx)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "turbohom: post-load count:", err)
 				return

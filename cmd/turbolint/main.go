@@ -1,0 +1,73 @@
+// Command turbolint runs the repository's project-specific go/analysis
+// suite — the analyzers under internal/lint that enforce the engine's
+// concurrency and determinism invariants (snapshot pinning, row cloning,
+// map-iteration order, cancellation cadence, paired binding undos).
+//
+// Run it over the module the way CI does:
+//
+//	go run ./cmd/turbolint ./...
+//
+// The binary is dual-mode. Invoked by a human (package patterns as
+// arguments) it re-executes itself through `go vet -vettool=<self>`,
+// which handles loading, caching and dependency analysis; invoked by the
+// go command (a *.cfg unit file, -V=full, or -flags) it speaks the
+// unitchecker protocol directly. Flags are forwarded verbatim, so both
+// analyzer flags and vet flags work from the command line:
+//
+//	go run ./cmd/turbolint -json ./...                # machine-readable
+//	go run ./cmd/turbolint -maporder.pkgs=... ./...   # re-scope a checker
+//
+// Exit status follows go vet: non-zero when any diagnostic is reported
+// (including in -json mode, where diagnostics go to stdout as JSON).
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	if vetMode(os.Args[1:]) {
+		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "turbolint: cannot locate own executable: %v\n", err)
+		os.Exit(2)
+	}
+	args := append([]string{"vet", "-vettool=" + self}, os.Args[1:]...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdin = os.Stdin
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "turbolint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// vetMode reports whether the go command is driving this process as a
+// vet tool: a unit config file argument, the -V version handshake, the
+// -flags introspection call, or the unitchecker help subcommand.
+func vetMode(args []string) bool {
+	for _, a := range args {
+		switch {
+		case strings.HasSuffix(a, ".cfg"),
+			strings.HasPrefix(a, "-V"),
+			a == "-flags",
+			a == "help":
+			return true
+		}
+	}
+	return false
+}

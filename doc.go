@@ -125,4 +125,11 @@
 // internal/engine), two baseline RDF engines used by the paper's
 // experiments (internal/baseline/...), benchmark dataset generators
 // (internal/datagen), and the experiment harness (internal/bench).
+//
+// The concurrency and determinism contracts above — snapshot pinning,
+// borrowed visitor rows, byte-identical row order, prompt cancellation,
+// paired binding undos — are enforced mechanically by the repository's
+// own go/analysis suite: `go run ./cmd/turbolint ./...` must stay clean
+// (CI requires it). DESIGN.md ("Enforced invariants") maps each analyzer
+// to its invariant and the historical bug it pins down.
 package turbohom

@@ -1,3 +1,12 @@
 module repro
 
 go 1.24
+
+require golang.org/x/tools v0.29.0
+
+// Offline build: golang.org/x/tools is satisfied by the vendored subset in
+// third_party (copied from the Go toolchain's cmd/vendor tree); see
+// third_party/golang.org/x/tools/README.md.
+replace golang.org/x/tools => ./third_party/golang.org/x/tools
+
+tool repro/cmd/turbolint

@@ -397,9 +397,9 @@ func TestCappedParallelCountBounded(t *testing.T) {
 // involved: halving of the victim's range, chain splicing in region order,
 // recursive re-splits, and refusal to steal from a spent range.
 func TestStealSplice(t *testing.T) {
-	ps := &pipeState{stealable: make(map[*spanWork]struct{})}
+	ps := &pipeState{}
 	owner := &spanWork{sub: newSpan(), next: 5, hi: 25}
-	ps.stealable[owner] = struct{}{}
+	ps.stealable = append(ps.stealable, owner)
 
 	s1 := ps.steal()
 	if s1 == nil || s1.next != 15 || s1.hi != 25 || owner.hi != 15 {

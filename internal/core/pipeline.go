@@ -94,8 +94,13 @@ type pipeState struct {
 	tokens chan struct{} // batch-window semaphore
 	ring   []chan *span  // first span of batch bi arrives at ring[bi%window]
 
-	stealMu   sync.Mutex
-	stealable map[*spanWork]struct{}
+	stealMu sync.Mutex
+	// stealable holds the registered spans in claim order — a slice, not a
+	// set, so the victim scan below visits spans in a deterministic order
+	// (turbolint:maporder guards this path; steal choice shapes only load
+	// balance, never row order, but determinism keeps runs reproducible).
+	// Spent entries are dropped lazily during scans and on unregister.
+	stealable []*spanWork
 
 	profMu sync.Mutex
 	prof   *ProfileResult
@@ -209,7 +214,6 @@ func (m *matcher) runPipeline(visit Visitor) (int, error) {
 		done:       make(chan struct{}),
 		tokens:     make(chan struct{}, window),
 		ring:       make([]chan *span, window),
-		stealable:  make(map[*spanWork]struct{}),
 		prof:       pr,
 	}
 	for i := range ps.ring {
@@ -398,14 +402,24 @@ func (ps *pipeState) claim() (int, *spanWork) {
 		hi = len(ps.cands)
 	}
 	sw := &spanWork{sub: newSpan(), next: lo, hi: hi}
-	ps.stealable[sw] = struct{}{}
+	ps.stealable = append(ps.stealable, sw)
 	return bi, sw
 }
 
 func (ps *pipeState) unregister(sw *spanWork) {
 	ps.stealMu.Lock()
-	delete(ps.stealable, sw)
+	ps.removeLocked(sw)
 	ps.stealMu.Unlock()
+}
+
+// removeLocked drops sw from the registry; stealMu must be held.
+func (ps *pipeState) removeLocked(sw *spanWork) {
+	for i, s := range ps.stealable {
+		if s == sw {
+			ps.stealable = append(ps.stealable[:i], ps.stealable[i+1:]...)
+			return
+		}
+	}
 }
 
 // steal takes the tail half of the largest remaining registered range and
@@ -416,18 +430,20 @@ func (ps *pipeState) steal() *spanWork {
 	defer ps.stealMu.Unlock()
 	var victim *spanWork
 	best := 0
-	for sw := range ps.stealable {
+	live := ps.stealable[:0]
+	for _, sw := range ps.stealable {
 		sw.mu.Lock()
 		avail := sw.hi - sw.next
 		sw.mu.Unlock()
 		if avail <= 0 {
-			delete(ps.stealable, sw) // spent; drop lazily
-			continue
+			continue // spent; drop lazily
 		}
+		live = append(live, sw)
 		if avail > best {
 			best, victim = avail, sw
 		}
 	}
+	ps.stealable = live
 	if victim == nil {
 		return nil
 	}
@@ -435,7 +451,7 @@ func (ps *pipeState) steal() *spanWork {
 	avail := victim.hi - victim.next
 	if avail <= 0 { // raced with the owner finishing
 		victim.mu.Unlock()
-		delete(ps.stealable, victim)
+		ps.removeLocked(victim)
 		return nil
 	}
 	take := (avail + 1) / 2
@@ -445,7 +461,7 @@ func (ps *pipeState) steal() *spanWork {
 	nsw.sub.next = victim.sub.next
 	victim.sub.next = nsw.sub
 	victim.mu.Unlock()
-	ps.stealable[nsw] = struct{}{}
+	ps.stealable = append(ps.stealable, nsw)
 	pipelineSteals.Add(1)
 	return nsw
 }

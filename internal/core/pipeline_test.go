@@ -363,8 +363,7 @@ func TestRunSpanAbandonedCursorNoPollution(t *testing.T) {
 				ps := &pipeState{
 					m: m, cands: cands, start: start,
 					collect: true, limit: limit, quota: 64,
-					done:      make(chan struct{}),
-					stealable: make(map[*spanWork]struct{}),
+					done: make(chan struct{}),
 				}
 				w := &pipeWorker{ps: ps}
 				w.st = newSearchState(m, func(mt Match) bool {

@@ -167,8 +167,17 @@ func (e *Engine) buildPlan(d *transform.Data, g *flatGroup, outer sparql.Binding
 		edges = append(edges, pendingEdge{sv.idx, ov.idx, el, ""})
 	}
 
-	// Type expansions: resolve subjects to vars or pinned vertices.
-	for tv, subjects := range typeVarPatterns {
+	// Type expansions: resolve subjects to vars or pinned vertices. The
+	// expansion order nests the per-row ?t enumeration, so it shapes the
+	// emitted row order when a group has several type variables — iterate
+	// the map's keys sorted, never raw.
+	typeVars := make([]string, 0, len(typeVarPatterns))
+	for tv := range typeVarPatterns {
+		typeVars = append(typeVars, tv)
+	}
+	sortStrings(typeVars)
+	for _, tv := range typeVars {
+		subjects := typeVarPatterns[tv]
 		exp := typeExpansion{typeVar: tv}
 		for _, s := range subjects {
 			if s.IsVar() {
@@ -267,10 +276,14 @@ func pushdownFilter(d *transform.Data, p *plan, f sparql.Expr) bool {
 	if len(set) != 1 {
 		return false
 	}
-	var name string
+	// Single key by the len check above; collect-and-sort keeps the
+	// extraction structurally order-independent (turbolint:maporder).
+	names := make([]string, 0, 1)
 	for v := range set {
-		name = v
+		names = append(names, v)
 	}
+	sortStrings(names)
+	name := names[0]
 	// Variables consumed by type expansions or predicate slots cannot be
 	// pushed to a vertex.
 	for _, exp := range p.typeExps {

@@ -1,0 +1,15 @@
+package ctxcadence_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxcadence"
+	"repro/internal/lint/linttest"
+)
+
+// TestCtxCadence runs under the default -ctxcadence.pkgs scope: the
+// testdata package named repro/internal/core gets the loop-checkpoint
+// rule; package b only the everywhere context-threading rule.
+func TestCtxCadence(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), ctxcadence.Analyzer, "repro/internal/core", "b")
+}

@@ -1,0 +1,22 @@
+// Package b is outside the matcher scope: its loops are not held to the
+// checkpoint rule, but the context-threading rule applies everywhere.
+package b
+
+import "context"
+
+type walker struct{ n int }
+
+func (w *walker) search(dc int) { w.n++ }
+
+// freeLoop calls something named search, but package b is not on the
+// enumeration path: no checkpoint required.
+func freeLoop(w *walker, xs []int) {
+	for range xs {
+		w.search(0)
+	}
+}
+
+// stillNoDetach: rule 2 is not scoped.
+func stillNoDetach(ctx context.Context, f func(context.Context)) {
+	f(context.Background()) // want `context.Background inside a function that receives a ctx`
+}

@@ -1,0 +1,89 @@
+// Package core (testdata) exercises the cancellation-cadence rules in
+// the analyzer's default scope: enumeration loops need a checkpoint, and
+// ctx-taking functions must not detach callees.
+package core
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type state struct {
+	ctx     context.Context
+	stopped bool
+	count   int
+}
+
+// search and emit are enumeration drivers: a loop around them can run for
+// an unbounded number of solutions.
+func (s *state) search(dc int) { s.count++ }
+func (s *state) emit()         { s.count++ }
+
+// pushWild is a bounded per-frame helper, deliberately outside the driver
+// set.
+func (s *state) pushWild(v uint32) { s.count += int(v) }
+
+// uncheckedLoop drives the search with no way for Close or a deadline to
+// interrupt it.
+func (s *state) uncheckedLoop(cands []uint32) {
+	for range cands { // want `enumeration loop drives the search but has no cancellation checkpoint`
+		s.search(0)
+	}
+}
+
+// stoppedFlagLoop checks the searchState's stop flag each iteration.
+func (s *state) stoppedFlagLoop(cands []uint32) {
+	for range cands {
+		if s.stopped {
+			return
+		}
+		s.search(0)
+	}
+}
+
+// cadenceLoop is the matcher's real shape: a strided ctx.Err() check.
+func (s *state) cadenceLoop(cands []uint32) {
+	for i := range cands {
+		if i&2047 == 0 && s.ctx.Err() != nil {
+			return
+		}
+		s.emit()
+	}
+}
+
+type pipe struct{ stop atomic.Bool }
+
+// stopLoadLoop polls the pipeline's abandon flag.
+func (p *pipe) stopLoadLoop(s *state, cands []uint32) {
+	for range cands {
+		if p.stop.Load() {
+			return
+		}
+		s.search(0)
+	}
+}
+
+// boundedPush only pushes frames; it is not an enumeration loop.
+func (s *state) boundedPush(frames []uint32) {
+	for _, f := range frames {
+		s.pushWild(f)
+	}
+}
+
+// detach severs the caller's cancellation from everything work does.
+func detach(ctx context.Context, work func(context.Context)) {
+	work(context.Background()) // want `context.Background inside a function that receives a ctx`
+}
+
+// detachTODO is the same bug spelled TODO.
+func detachTODO(ctx context.Context, work func(context.Context)) {
+	work(context.TODO()) // want `context.TODO inside a function that receives a ctx`
+}
+
+// nilGuard is the idiomatic rebind: allowed.
+func nilGuard(ctx context.Context, work func(context.Context)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	work(ctx)
+}

@@ -1,0 +1,26 @@
+// Package lint assembles the turbolint analyzer suite: project-specific
+// go/analysis checkers that mechanically enforce the engine's concurrency
+// and determinism invariants (see each analyzer's package documentation
+// and the "Enforced invariants" section of DESIGN.md).
+package lint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/ctxcadence"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/rowclone"
+	"repro/internal/lint/snapshotpin"
+	"repro/internal/lint/undopaired"
+)
+
+// Analyzers returns the full turbolint suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxcadence.Analyzer,
+		maporder.Analyzer,
+		rowclone.Analyzer,
+		snapshotpin.Analyzer,
+		undopaired.Analyzer,
+	}
+}

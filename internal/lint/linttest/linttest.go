@@ -1,0 +1,274 @@
+// Package linttest runs an analyzer over GOPATH-style testdata packages
+// and checks its diagnostics against // want annotations — a small,
+// offline stand-in for golang.org/x/tools/go/analysis/analysistest (the
+// vendored x/tools subset ships the analysis framework and the
+// unitchecker driver, not the test harness).
+//
+// Layout and annotation syntax follow analysistest: a package named
+// "repro/internal/core" lives in testdata/src/repro/internal/core/*.go,
+// and a comment of the form
+//
+//	s.used[v] = true // want `binding established`
+//
+// asserts that the analyzer reports a diagnostic on that line whose
+// message matches the quoted regular expression (several patterns assert
+// several diagnostics). Diagnostics without a matching annotation, and
+// annotations without a matching diagnostic, both fail the test.
+//
+// Packages are type-checked with the source importer, so testdata may
+// import the standard library (context, sort, sync/atomic, ...) but not
+// other modules. Facts are not supported — the turbolint analyzers are
+// package-local by design.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory (go test always runs with the package directory as cwd).
+func TestData() string {
+	p, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run applies a to each named package under dir/src and compares the
+// diagnostics with the packages' // want annotations. Package names with
+// slashes map to nested directories, so scoped analyzers can be tested
+// under their real import paths.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	for _, name := range pkgNames {
+		runPackage(t, dir, a, name)
+	}
+}
+
+func runPackage(t *testing.T, dir string, a *analysis.Analyzer, pkgName string) {
+	t.Helper()
+	srcDir := filepath.Join(dir, "src", filepath.FromSlash(pkgName))
+
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, srcDir)
+	if err != nil {
+		t.Fatalf("package %s: %v", pkgName, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("package %s: no Go files in %s", pkgName, srcDir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(pkgName, fset, files, info)
+	if len(typeErrs) > 0 {
+		for _, e := range typeErrs {
+			t.Errorf("package %s: type error: %v", pkgName, e)
+		}
+		t.Fatalf("package %s: type-check failed", pkgName)
+	}
+
+	diags := execute(t, a, fset, files, pkg, info)
+	check(t, fset, files, pkgName, diags)
+}
+
+// execute runs a (and, transitively, its Requires) over one package and
+// returns the root analyzer's diagnostics.
+func execute(t *testing.T, root *analysis.Analyzer, fset *token.FileSet,
+	files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+	t.Helper()
+	results := map[*analysis.Analyzer]interface{}{}
+	var diags []analysis.Diagnostic
+
+	var run func(a *analysis.Analyzer)
+	run = func(a *analysis.Analyzer) {
+		if _, done := results[a]; done {
+			return
+		}
+		for _, req := range a.Requires {
+			run(req)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if a == root {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s failed: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	run(root)
+	return diags
+}
+
+// expectation is one // want pattern awaiting a diagnostic.
+type expectation struct {
+	re      *regexp.Regexp
+	text    string
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// check diffs the diagnostics against the files' // want annotations.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, pkgName string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[lineKey][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, err := parseWant(c.Text)
+				if err != nil {
+					pos := fset.Position(c.Pos())
+					t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+				}
+				if patterns == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := lineKey{filepath.Base(pos.Filename), pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re, text: p})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := lineKey{filepath.Base(pos.Filename), pos.Line}
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: %s:%d: unexpected diagnostic: %s", pkgName, key.file, key.line, d.Message)
+		}
+	}
+
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", pkgName, k.file, k.line, exp.text)
+			}
+		}
+	}
+}
+
+// parseWant extracts the regexp patterns of a // want comment, nil when
+// the comment is not a want annotation.
+func parseWant(comment string) ([]string, error) {
+	text := comment
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want")
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, nil
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil, fmt.Errorf("want comment with no pattern")
+	}
+	var patterns []string
+	for rest != "" {
+		quoted, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("want pattern must be a quoted or backquoted Go string: %q", rest)
+		}
+		p, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s: %v", quoted, err)
+		}
+		patterns = append(patterns, p)
+		rest = strings.TrimSpace(rest[len(quoted):])
+	}
+	return patterns, nil
+}
+
+// parseDir parses every non-test .go file of one directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,183 @@
+// Package lintutil holds the small shared helpers of the turbolint
+// analyzers: package scoping, test-file filtering, and common AST/type
+// queries. The analyzers are project-specific by design — they encode the
+// engine's concurrency and determinism invariants — so the helpers lean on
+// names and shapes from this repository (searchState, regionCursor,
+// transform.Data) rather than trying to be generic.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// InScope reports whether the package under analysis matches the
+// comma-separated path list in pkgs. An empty list means every package.
+// Each entry matches the package path exactly or as a path suffix
+// ("internal/core" matches "repro/internal/core"), which lets analyzer
+// testdata packages stand in for the real ones.
+func InScope(pass *analysis.Pass, pkgs string) bool {
+	if pkgs == "" {
+		return true
+	}
+	path := pass.Pkg.Path()
+	for _, p := range strings.Split(pkgs, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file at pos lives in a _test.go file.
+// The analyzers skip test files: tests deliberately violate the invariants
+// (regression tests reproduce the historical bugs) and test-local visitors
+// materialize borrowed rows on purpose under controlled lifetimes.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	f := pass.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// NonTestFiles yields the syntax trees of the package's non-test files.
+func NonTestFiles(pass *analysis.Pass) []*ast.File {
+	var out []*ast.File
+	for _, f := range pass.Files {
+		if !IsTestFile(pass, f.Pos()) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// NamedName returns the name of the (possibly pointer-wrapped, possibly
+// aliased) named type of t, or "".
+func NamedName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = t.Underlying()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	// Underlying strips the name; walk the original instead.
+	return namedName(t)
+}
+
+func namedName(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Pointer:
+		return namedName(t.Elem())
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return t.Obj().Name()
+	}
+	return ""
+}
+
+// TypeName returns the name of t's named type after stripping pointers,
+// or "" when t is unnamed.
+func TypeName(t types.Type) string { return namedName(t) }
+
+// CalleeName returns the bare name of the function or method a call
+// invokes ("Data" for e.Data(), "sort" never — this is the Sel/Ident name
+// only), or "".
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// ReceiverExpr returns the receiver expression of a method-style call
+// (x in x.M()), or nil for plain calls.
+func ReceiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// EnclosingFuncs maps every node in the file to its innermost enclosing
+// function node (FuncDecl or FuncLit) by position. Use FuncFor on the
+// returned index.
+type EnclosingFuncs struct {
+	fset  *token.FileSet
+	funcs []funcSpan
+}
+
+type funcSpan struct {
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	pos  token.Pos
+	end  token.Pos
+}
+
+// IndexFuncs builds the enclosing-function index for f.
+func IndexFuncs(fset *token.FileSet, f *ast.File) *EnclosingFuncs {
+	e := &EnclosingFuncs{fset: fset}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			e.funcs = append(e.funcs, funcSpan{node: n, pos: n.Pos(), end: n.End()})
+		}
+		return true
+	})
+	return e
+}
+
+// FuncFor returns the innermost function whose span contains pos, or nil.
+func (e *EnclosingFuncs) FuncFor(pos token.Pos) ast.Node {
+	var best ast.Node
+	var bestSize token.Pos = 1 << 60
+	for _, fs := range e.funcs {
+		if fs.pos <= pos && pos < fs.end {
+			if size := fs.end - fs.pos; size < bestSize {
+				best, bestSize = fs.node, size
+			}
+		}
+	}
+	return best
+}
+
+// FuncBody returns the body of a FuncDecl or FuncLit node.
+func FuncBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return nil
+}
+
+// FuncParams returns the parameter field list of a FuncDecl or FuncLit.
+func FuncParams(n ast.Node) *ast.FieldList {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n.Type.Params
+	case *ast.FuncLit:
+		return n.Type.Params
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package maporder protects the engine's byte-identical-order guarantee:
+// the row sequence a query produces is identical for every worker count,
+// which means nothing on the ordered-emission path — core emit, pipeline
+// replay, engine stream/order — may depend on Go's randomized map
+// iteration order.
+//
+// Within the configured packages (-maporder.pkgs, default the core and
+// engine packages) every `range` over a map is a finding, with two
+// idiomatic exemptions:
+//
+//   - map-to-map transfer: a body that only writes into the elements of
+//     other maps (b[k] = v) is order-independent;
+//   - collect-then-sort: a body that appends the ranged keys/values to a
+//     slice which a later statement in the same function passes to a
+//     sorting call (sort.Slice, slices.Sort, a local sortStrings, ...)
+//     establishes its own deterministic order.
+//
+// Everything else must iterate a sorted key slice instead. The exemptions
+// are deliberately narrow: a false positive becomes a testdata case and,
+// if legitimate, a new exemption — never an inline suppression.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid range-over-map on the ordered-emission path unless the iteration is order-independent or sorted afterwards",
+	Run:  run,
+}
+
+var pkgs string
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs", "repro/internal/core,repro/internal/engine",
+		"comma-separated packages on the ordered-emission path (suffix match)")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(pass, pkgs) {
+		return nil, nil
+	}
+	for _, file := range lintutil.NonTestFiles(pass) {
+		funcs := lintutil.IndexFuncs(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if mapToMapTransfer(pass, rng) || collectThenSort(pass, funcs, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "range over map on the ordered-emission path: iteration order is nondeterministic and breaks the byte-identical row order guarantee; iterate sorted keys (or collect and sort) instead")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// mapToMapTransfer reports whether the range body consists solely of
+// assignments whose every target is an element of some map — a pure
+// key-by-key transfer, which no iteration order can perturb.
+func mapToMapTransfer(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rng.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for _, lhs := range as.Lhs {
+			idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			xt := pass.TypesInfo.TypeOf(idx.X)
+			if xt == nil {
+				return false
+			}
+			if _, isMap := xt.Underlying().(*types.Map); !isMap {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// collectThenSort reports whether the range body appends into slices that
+// a later statement of the same function sorts. The sort is recognized
+// syntactically: a call whose callee name contains "sort"
+// (sort.Slice, slices.SortFunc, sortStrings, ...) taking the collected
+// slice — matched by expression text — as an argument, positioned after
+// the range statement.
+func collectThenSort(pass *analysis.Pass, funcs *lintutil.EnclosingFuncs, rng *ast.RangeStmt) bool {
+	targets := map[string]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			targets[exprText(as.Lhs[i])] = true
+		}
+		return true
+	})
+	if len(targets) == 0 {
+		return false
+	}
+	fn := funcs.FuncFor(rng.Pos())
+	body := lintutil.FuncBody(fn)
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted || call.Pos() < rng.End() {
+			return true
+		}
+		name := lintutil.CalleeName(call)
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if x := exprText(sel.X); x != "" {
+				name = x + "." + name // sort.Slice, slices.SortFunc, ...
+			}
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if targets[exprText(arg)] {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// exprText renders simple expressions (identifiers, selectors, index
+// expressions over them) to a comparable string; anything more complex
+// yields "" and never matches.
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprText(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.IndexExpr:
+		x, i := exprText(e.X), exprText(e.Index)
+		if x != "" && i != "" {
+			return x + "[" + i + "]"
+		}
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return ""
+}

@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/maporder"
+)
+
+// TestMapOrder runs under the analyzer's default -maporder.pkgs scope:
+// the testdata package named repro/internal/core is on the ordered
+// emission path; package b is not and must stay silent.
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), maporder.Analyzer, "repro/internal/core", "b")
+}

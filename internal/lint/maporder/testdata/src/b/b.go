@@ -1,0 +1,9 @@
+// Package b is outside the ordered-emission path: map iteration order is
+// free here, so nothing is reported.
+package b
+
+func anyOrder(m map[string]int, sink func(string, int)) {
+	for k, v := range m {
+		sink(k, v)
+	}
+}

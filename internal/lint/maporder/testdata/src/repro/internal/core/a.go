@@ -1,0 +1,75 @@
+// Package core (testdata) exercises the ordered-emission-path rule under
+// the analyzer's default scope: range-over-map is a finding unless the
+// iteration is order-independent or sorted afterwards.
+package core
+
+import "sort"
+
+// emitRaw feeds rows straight out of map iteration order: the emitted
+// sequence differs between runs and between worker counts.
+func emitRaw(m map[string]int, emit func(string, int)) {
+	for k, v := range m { // want `range over map on the ordered-emission path`
+		emit(k, v)
+	}
+}
+
+// collectNoSort materializes the keys but never orders them, so the
+// nondeterminism just moves into the returned slice.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map on the ordered-emission path`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSorted is the idiom the analyzer demands: collect, then sort.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectSortSlice is the sort.Slice shape that once false-positived
+// (the matcher's neighborhood-label filter builds nlf[u] this way).
+func collectSortSlice(m map[uint32][]uint32, u int) [][]uint32 {
+	nlf := make([][]uint32, u+1)
+	for _, vs := range m {
+		nlf[u] = append(nlf[u], vs...)
+	}
+	sort.Slice(nlf[u], func(i, j int) bool { return nlf[u][i] < nlf[u][j] })
+	return nlf
+}
+
+// sortLocal recognizes project-local sorting helpers by name.
+func sortLocal(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// transfer writes key-by-key into another map: no order dependence.
+func transfer(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// sortOther sorts a different slice than the one collected; the collected
+// one still leaks map order.
+func sortOther(m map[string]int, other []string) []string {
+	var keys []string
+	for k := range m { // want `range over map on the ordered-emission path`
+		keys = append(keys, k)
+	}
+	sort.Strings(other)
+	return keys
+}

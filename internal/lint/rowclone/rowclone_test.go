@@ -1,0 +1,12 @@
+package rowclone_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/rowclone"
+)
+
+func TestRowClone(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), rowclone.Analyzer, "a")
+}

@@ -1,0 +1,161 @@
+// Package snapshotpin enforces the engine's snapshot isolation contract:
+// an execution path pins the atomic dataset snapshot exactly once and
+// computes entirely against the pinned value.
+//
+// The engine publishes the current dataset as an atomic.Pointer[Data]
+// behind a Data() accessor. Every exported execution entry point
+// (Prepare, Exec, Count, Select, All, Stats, ...) must load that pointer
+// once, bind it to a local, and thread the pinned *Data through every
+// callee. Loading it a second time — directly or through a helper — can
+// observe a newer snapshot published by a concurrent writer, silently
+// mixing two datasets inside one execution (the bug class the PR 3
+// snapshot-isolation work eliminated).
+//
+// Three rules, checked per function (declarations and literals
+// separately, since a goroutine body is its own execution path):
+//
+//  1. at most one snapshot load per function — the second and later
+//     calls to a Data() accessor are reported;
+//  2. no raw atomic load: x.Load() on an atomic.Pointer[Data] is only
+//     allowed inside the accessor itself (a method named Data returning
+//     *Data);
+//  3. a function that already receives a pinned *Data parameter must not
+//     load the snapshot again — it must use the parameter.
+//
+// A "snapshot load" is a call to a niladic method named Data whose single
+// result is a *Data of some package (the engine's accessor shape).
+package snapshotpin
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotpin",
+	Doc:  "check that each engine execution path loads the atomic dataset snapshot at most once and uses pinned *Data parameters instead of re-loading",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range lintutil.NonTestFiles(pass) {
+		funcs := lintutil.IndexFuncs(pass.Fset, file)
+		// loads[fn] collects the snapshot-load call sites of each function.
+		loads := map[ast.Node][]*ast.CallExpr{}
+
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcs.FuncFor(call.Pos())
+			switch {
+			case isSnapshotAccessorCall(pass, call):
+				loads[fn] = append(loads[fn], call)
+			case isRawSnapshotLoad(pass, call):
+				if !insideAccessor(pass, fn) {
+					pass.Reportf(call.Pos(), "raw Load of the atomic snapshot pointer outside the Data accessor; call the accessor so pinning stays auditable")
+				}
+			}
+			return true
+		})
+
+		for fn, calls := range loads {
+			if fn == nil {
+				continue
+			}
+			if hasPinnedDataParam(pass, fn) {
+				for _, c := range calls {
+					pass.Reportf(c.Pos(), "function receives a pinned *Data parameter but loads the snapshot again; use the parameter so the execution stays on one snapshot")
+				}
+				continue
+			}
+			for _, c := range calls[1:] {
+				pass.Reportf(c.Pos(), "second snapshot load in one function; pin the snapshot once (d := e.Data()) and thread it through")
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isSnapshotAccessorCall matches e.Data() — a niladic method named Data
+// whose single result is *Data.
+func isSnapshotAccessorCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Data" || len(call.Args) != 0 {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Type() == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return resultIsDataPtr(sig.Results().At(0).Type())
+}
+
+// isRawSnapshotLoad matches x.Load() where x is an atomic.Pointer whose
+// type argument is a named type Data.
+func isRawSnapshotLoad(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" || len(call.Args) != 0 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Pointer" || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	args := named.TypeArgs()
+	return args != nil && args.Len() == 1 && lintutil.TypeName(args.At(0)) == "Data"
+}
+
+// insideAccessor reports whether fn is the snapshot accessor itself: a
+// method named Data returning *Data, or the symmetric SetData publisher.
+func insideAccessor(pass *analysis.Pass, fn ast.Node) bool {
+	decl, ok := fn.(*ast.FuncDecl)
+	if !ok || decl.Recv == nil {
+		return false
+	}
+	return decl.Name.Name == "Data" || decl.Name.Name == "SetData"
+}
+
+// hasPinnedDataParam reports whether fn declares a parameter of type
+// *Data — i.e. it already operates on a pinned snapshot.
+func hasPinnedDataParam(pass *analysis.Pass, fn ast.Node) bool {
+	params := lintutil.FuncParams(fn)
+	if params == nil {
+		return false
+	}
+	for _, field := range params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t != nil && resultIsDataPtr(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func resultIsDataPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return lintutil.TypeName(p.Elem()) == "Data"
+}

@@ -1,0 +1,12 @@
+package snapshotpin_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/snapshotpin"
+)
+
+func TestSnapshotPin(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), snapshotpin.Analyzer, "a")
+}

@@ -1,0 +1,52 @@
+// Package a reproduces the PR 3 snapshot-isolation bug class: execution
+// paths that load the atomic dataset snapshot more than once can observe
+// two different datasets inside one query.
+package a
+
+import "sync/atomic"
+
+type Data struct{ x int }
+
+type Engine struct{ cur atomic.Pointer[Data] }
+
+// Data is the accessor: the one place a raw Load is allowed.
+func (e *Engine) Data() *Data     { return e.cur.Load() }
+func (e *Engine) SetData(d *Data) { e.cur.Store(d) }
+
+// good pins once and computes against the pinned value.
+func good(e *Engine) int {
+	d := e.Data()
+	return d.x + d.x
+}
+
+// doubleLoad is the bug: a writer publishing between the two loads makes
+// a and b different snapshots.
+func doubleLoad(e *Engine) int {
+	a := e.Data()
+	b := e.Data() // want `second snapshot load`
+	return a.x + b.x
+}
+
+// rawLoad bypasses the accessor.
+func rawLoad(e *Engine) int {
+	return e.cur.Load().x // want `raw Load of the atomic snapshot pointer`
+}
+
+// helperReload receives a pinned snapshot but loads a fresh one anyway.
+func helperReload(e *Engine, d *Data) int {
+	return d.x + e.Data().x // want `pinned \*Data parameter but loads the snapshot again`
+}
+
+// pinnedUser threads the pinned snapshot correctly.
+func pinnedUser(d *Data) int { return d.x }
+
+// goroutineBody is its own execution path: one load outside, one load
+// inside the literal, no function loads twice.
+func goroutineBody(e *Engine, done chan int) {
+	d := e.Data()
+	go func() {
+		d2 := e.Data()
+		done <- d2.x
+	}()
+	done <- d.x
+}

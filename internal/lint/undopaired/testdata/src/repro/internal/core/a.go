@@ -1,0 +1,159 @@
+// Package core (testdata) reproduces the PR 5 stale-binding bug class:
+// binding writes into the shared searchState without a reachable undo,
+// incomplete undo methods, and suspended cursors dropped without abort.
+package core
+
+const NoID = ^uint32(0)
+
+type searchState struct {
+	used     []bool
+	varBind  []uint32
+	edgeBind []uint32
+	stopped  bool
+}
+
+type cframe struct {
+	v      uint32
+	edge   int
+	bound  bool
+	setVar bool
+}
+
+func descend() {}
+
+// bindPaired writes the bindings and reverts them around the recursion.
+func (s *searchState) bindPaired(v uint32, lbl uint32) {
+	s.used[v] = true
+	s.varBind[0] = lbl
+	descend()
+	s.varBind[0] = NoID
+	s.used[v] = false
+}
+
+// bindLeak is the bug: the used[] entry survives the return and prunes
+// every later region against a vertex nobody holds.
+func (s *searchState) bindLeak(v uint32) {
+	s.used[v] = true // want `used\[\] binding established with no reachable undo`
+	descend()
+}
+
+// bindEdgeLeak leaks the edge-binding family the same way.
+func (s *searchState) bindEdgeLeak(lbl uint32) {
+	s.edgeBind[0] = lbl // want `edgeBind\[\] binding established with no reachable undo`
+	descend()
+}
+
+// rcur transfers ownership of its binding to a frame: the frame's undo
+// reverts it on whichever path unwinds.
+type rcur struct {
+	st    *searchState
+	stack []cframe
+}
+
+func (rc *rcur) push(v uint32) {
+	rc.st.used[v] = true
+	rc.stack = append(rc.stack, cframe{v: v, bound: true})
+}
+
+// bindDelegated funnels the revert through the frame's undo method.
+func (rc *rcur) bindDelegated(v uint32, f *cframe) {
+	rc.st.used[v] = true
+	descend()
+	f.undo(rc.st)
+}
+
+// undo on cframe reverts every binding family — the single unwind site.
+func (f *cframe) undo(st *searchState) {
+	if f.bound {
+		st.used[f.v] = false
+		f.bound = false
+	}
+	if f.setVar {
+		st.varBind[0] = NoID
+		f.setVar = false
+	}
+	st.edgeBind[f.edge] = NoID
+}
+
+type wframe struct {
+	v      uint32
+	bound  bool
+	setVar bool
+}
+
+// undo on wframe forgets the edgeBind family: resume and abort drift.
+func (f *wframe) undo(st *searchState) { // want `undo reverts some binding families but not edgeBind\[\]`
+	if f.bound {
+		st.used[f.v] = false
+		f.bound = false
+	}
+	if f.setVar {
+		st.varBind[0] = NoID
+		f.setVar = false
+	}
+}
+
+// newState initializes edgeBind to the sentinel: inverse-only writes are
+// not bindings.
+func newState(labels []uint32) *searchState {
+	s := &searchState{edgeBind: make([]uint32, len(labels))}
+	for i := range labels {
+		s.edgeBind[i] = NoID
+	}
+	return s
+}
+
+type edge struct{ Label uint32 }
+
+// pinLabel writes a constant label from a field: initialization, not a
+// binding.
+func pinLabel(s *searchState, e edge) {
+	s.edgeBind[0] = e.Label
+}
+
+type regionCursor struct{ st *searchState }
+
+func (rc *regionCursor) start(st *searchState) {}
+func (rc *regionCursor) resume(n int) bool     { return true }
+func (rc *regionCursor) abort()                {}
+
+// runSpanLeaky is the PR 5 bug: when the quota runs out the suspended
+// cursor is dropped, leaving its used[]/varBind[] entries behind.
+func runSpanLeaky(rc *regionCursor, st *searchState, quota int) {
+	rc.start(st)
+	for !st.stopped {
+		if done := rc.resume(quota); done { // want `region cursor is started and resumed here but never aborted`
+			break
+		}
+		if quota == 0 {
+			break
+		}
+	}
+}
+
+// runSpanAborted unwinds the suspended cursor before dropping it.
+func runSpanAborted(rc *regionCursor, st *searchState, quota int) {
+	rc.start(st)
+	done := false
+	for !st.stopped {
+		if done = rc.resume(quota); done {
+			break
+		}
+		if quota == 0 {
+			break
+		}
+	}
+	if !done {
+		rc.abort()
+	}
+}
+
+// suspendSafely keeps ownership of the suspended cursor: the false branch
+// returns with the cursor still resumable.
+func suspendSafely(rc *regionCursor, st *searchState, n int) bool {
+	rc.start(st)
+	if !rc.resume(n) {
+		return false
+	}
+	return true
+}

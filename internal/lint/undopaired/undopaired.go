@@ -1,0 +1,329 @@
+// Package undopaired guards the cursor frame machine's binding
+// discipline. The searchState arrays used[], varBind[] and edgeBind[]
+// carry live bindings across suspensions; every write that establishes a
+// binding must have a reachable inverse on both the resume path and the
+// abort path, or the next region is pruned against stale state. PR 5
+// shipped exactly this bug: a worker that dropped a suspended cursor
+// without unwinding left used[]/varBind[] entries behind, silently
+// dropping rows from later spans.
+//
+// The analysis is a paired-call-site approximation with three rules,
+// scoped to the matcher packages (-undopaired.pkgs):
+//
+//  1. Paired writes: a function that establishes a binding
+//     (used[i] = true, varBind[i] = lbl, edgeBind[i] = lbl) must, in the
+//     same function, either (a) write the inverse for that family
+//     (= false / = NoID), (b) transfer ownership to a cursor frame by
+//     setting its bookkeeping flag (bound/setVar/expSet = true), or
+//     (c) delegate by calling an undo method. Initialization writes with
+//     constant or field RHS (edgeBind[i] = e.Label in newSearchState)
+//     establish no binding and are ignored.
+//
+//  2. Complete undo: a method named undo that reverts any family must
+//     revert all three — the frame machine funnels every unwind through
+//     one site precisely so the families cannot drift apart.
+//
+//  3. No abandoned cursors: a function that both starts and resumes a
+//     region cursor must either call abort (the unwind) or suspend
+//     safely — every resume call in the `if !rc.resume(n) { ...; return }`
+//     shape, which leaves the cursor owned and resumable rather than
+//     dropped.
+package undopaired
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "undopaired",
+	Doc:  "check that cursor/search binding writes (used/varBind/edgeBind) have matching undos, that undo reverts every family, and that suspended cursors are aborted rather than dropped",
+	Run:  run,
+}
+
+var pkgs string
+
+func init() {
+	Analyzer.Flags.StringVar(&pkgs, "pkgs", "repro/internal/core",
+		"comma-separated packages holding the cursor frame machine (suffix match)")
+}
+
+// families maps each binding array to the frame bookkeeping flags that
+// can take over its undo obligation.
+var families = map[string][]string{
+	"used":     {"bound", "expSet"},
+	"varBind":  {"setVar"},
+	"edgeBind": {},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.InScope(pass, pkgs) {
+		return nil, nil
+	}
+	for _, file := range lintutil.NonTestFiles(pass) {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBindings(pass, fd)
+			if fd.Name.Name == "undo" {
+				checkUndoComplete(pass, fd)
+			}
+			checkAbandonment(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// bindingWrite classifies one assignment into a binding family.
+type bindingWrite struct {
+	family string
+	bind   bool // true = establishes, false = reverts
+	pos    token.Pos
+}
+
+// classify returns the binding writes of one assignment statement.
+func classify(pass *analysis.Pass, as *ast.AssignStmt) []bindingWrite {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var out []bindingWrite
+	for i, lhs := range as.Lhs {
+		idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		fam := selectorName(idx.X)
+		if _, known := families[fam]; !known {
+			continue
+		}
+		rhs := ast.Unparen(as.Rhs[i])
+		switch fam {
+		case "used":
+			if id, ok := rhs.(*ast.Ident); ok {
+				switch id.Name {
+				case "true":
+					out = append(out, bindingWrite{fam, true, as.Pos()})
+				case "false":
+					out = append(out, bindingWrite{fam, false, as.Pos()})
+				}
+			}
+		default: // varBind, edgeBind
+			switch rhs := rhs.(type) {
+			case *ast.Ident:
+				if isConstant(pass, rhs) {
+					// NoID (or another sentinel constant): the revert.
+					out = append(out, bindingWrite{fam, false, as.Pos()})
+				} else {
+					out = append(out, bindingWrite{fam, true, as.Pos()})
+				}
+			case *ast.SelectorExpr:
+				if rhs.Sel.Name == "NoID" {
+					out = append(out, bindingWrite{fam, false, as.Pos()})
+				}
+				// Other field RHS (edgeBind[i] = e.Label) is constant-label
+				// initialization, not a binding: no write recorded.
+			}
+		}
+	}
+	return out
+}
+
+// selectorName returns the final name of an ident/selector chain
+// ("used" for s.used), or "".
+func selectorName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func isConstant(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	_, ok := obj.(*types.Const)
+	return ok
+}
+
+// checkBindings enforces rule 1 on one function.
+func checkBindings(pass *analysis.Pass, fd *ast.FuncDecl) {
+	binds := map[string][]token.Pos{}
+	inverse := map[string]bool{}
+	transfer := map[string]bool{}
+	delegates := false
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, w := range classify(pass, n) {
+				if w.bind {
+					binds[w.family] = append(binds[w.family], w.pos)
+				} else {
+					inverse[w.family] = true
+				}
+			}
+			// Ownership transfer: frame flag set to true.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident); !ok || id.Name != "true" {
+						continue
+					}
+					for fam, flags := range families {
+						for _, fl := range flags {
+							if sel.Sel.Name == fl {
+								transfer[fam] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if lintutil.CalleeName(n) == "undo" {
+				delegates = true
+			}
+		case *ast.CompositeLit:
+			// cframe{..., bound: true} style transfer.
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v, ok := ast.Unparen(kv.Value).(*ast.Ident); !ok || v.Name != "true" {
+					continue
+				}
+				for fam, flags := range families {
+					for _, fl := range flags {
+						if key.Name == fl {
+							transfer[fam] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if delegates {
+		return // the undo method owns the revert; rule 2 checks it
+	}
+	for fam, sites := range binds {
+		if inverse[fam] || transfer[fam] {
+			continue
+		}
+		for _, pos := range sites {
+			pass.Reportf(pos, "%s[] binding established with no reachable undo in this function: no inverse write, no frame ownership flag, no undo delegation — a suspended or aborted search would keep the stale binding", fam)
+		}
+	}
+}
+
+// checkUndoComplete enforces rule 2: an undo method that reverts any
+// binding family must revert all of them.
+func checkUndoComplete(pass *analysis.Pass, fd *ast.FuncDecl) {
+	reverted := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, w := range classify(pass, as) {
+				if !w.bind {
+					reverted[w.family] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(reverted) == 0 {
+		return // not the frame unwind (some unrelated undo)
+	}
+	for fam := range families {
+		if !reverted[fam] {
+			pass.Reportf(fd.Pos(), "undo reverts some binding families but not %s[]; the single undo site must cover every family so resume and abort cannot drift", fam)
+		}
+	}
+}
+
+// checkAbandonment enforces rule 3 on one function.
+func checkAbandonment(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var starts, aborts bool
+	var resumes []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv := lintutil.ReceiverExpr(call)
+		if recv == nil || !isCursorType(pass.TypesInfo.TypeOf(recv)) {
+			return true
+		}
+		switch lintutil.CalleeName(call) {
+		case "start":
+			starts = true
+		case "resume":
+			resumes = append(resumes, call)
+		case "abort":
+			aborts = true
+		}
+		return true
+	})
+	if !starts || len(resumes) == 0 || aborts {
+		return
+	}
+	for _, call := range resumes {
+		if !safeSuspend(fd.Body, call) {
+			pass.Reportf(call.Pos(), "region cursor is started and resumed here but never aborted; a suspended cursor dropped without abort leaves stale used[]/varBind[] bindings in the shared searchState (use abort, or suspend with `if !rc.resume(n) { ...; return }`)")
+		}
+	}
+}
+
+// isCursorType reports whether t names a cursor type (regionCursor,
+// Cursor), possibly behind a pointer.
+func isCursorType(t types.Type) bool {
+	name := lintutil.TypeName(t)
+	return name != "" && strings.Contains(strings.ToLower(name), "cursor")
+}
+
+// safeSuspend reports whether the resume call sits in the safe-suspend
+// shape: `if !x.resume(n) { ...; return }` — the false branch returns
+// with the cursor still owned, so no binding is abandoned.
+func safeSuspend(body *ast.BlockStmt, resume *ast.CallExpr) bool {
+	safe := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || safe {
+			return !safe
+		}
+		un, ok := ast.Unparen(ifs.Cond).(*ast.UnaryExpr)
+		if !ok || un.Op != token.NOT {
+			return true
+		}
+		if call, ok := ast.Unparen(un.X).(*ast.CallExpr); !ok || call != resume {
+			return true
+		}
+		if n := len(ifs.Body.List); n > 0 {
+			if _, ok := ifs.Body.List[n-1].(*ast.ReturnStmt); ok {
+				safe = true
+				return false
+			}
+		}
+		return true
+	})
+	return safe
+}

@@ -1,0 +1,14 @@
+package undopaired_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/undopaired"
+)
+
+// TestUndoPaired runs under the default -undopaired.pkgs scope against a
+// testdata package named repro/internal/core.
+func TestUndoPaired(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), undopaired.Analyzer, "repro/internal/core")
+}

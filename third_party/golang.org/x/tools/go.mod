@@ -1,0 +1,8 @@
+// Local vendored subset of golang.org/x/tools (go/analysis, unitchecker,
+// passes/inspect, ast/inspector and their internal dependencies), copied
+// verbatim from the Go toolchain's cmd/vendor tree (go1.24.0). The build
+// environment has no module proxy access; the repo's go.mod replaces
+// golang.org/x/tools with this directory.
+module golang.org/x/tools
+
+go 1.24
