@@ -18,6 +18,12 @@
 // count (-count), and repeat the query with the paper's timing protocol
 // (-time).
 //
+// -explain skips row output and prints how the matcher ran the query: the
+// matching order per pattern component, the cost model's estimated rows at
+// each position, and the filter counters (search nodes, candidate regions,
+// signature checked/killed). -costorder switches the order ranking from the
+// paper's candidate-population heuristic to the statistics cost model.
+//
 // -update file.nt streams additional triples into the store WHILE the query
 // executes, demonstrating the mutable store's snapshot isolation: the
 // query's cursor pins the snapshot current when it starts and is undisturbed
@@ -59,6 +65,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel workers over candidate regions (0 = all CPUs, 1 = sequential)")
 		streamBuf = flag.Int("stream-buffer", 0, "max rows parallel streaming buffers ahead of the consumer (0 = 64x workers)")
 		countOnly = flag.Bool("count", false, "print only the solution count")
+		explain   = flag.Bool("explain", false, "print the matching order, cost estimates, and filter counters instead of rows")
+		costOrder = flag.Bool("costorder", false, "rank matching orders by graph statistics instead of the candidate-population heuristic")
 		updateF   = flag.String("update", "", "N-Triples file to insert concurrently while the query runs")
 		compact   = flag.Bool("compact", false, "compact the delta overlay after -update finishes")
 		timeIt    = flag.Bool("time", false, "apply the paper's timing protocol and report elapsed ms")
@@ -73,16 +81,16 @@ func main() {
 	defer stop()
 
 	if err := run(ctx, *dataFile, *dataset, *scale, *queryStr, *queryFile, *queryID,
-		*transf, *noopt, *workers, *streamBuf, *countOnly, *timeIt, *maxRows, *updateF, *compact); err != nil {
+		*transf, *noopt, *costOrder, *workers, *streamBuf, *countOnly, *explain, *timeIt, *maxRows, *updateF, *compact); err != nil {
 		fmt.Fprintln(os.Stderr, "turbohom:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, queryFile, queryID,
-	transf string, noopt bool, workers, streamBuf int, countOnly, timeIt bool, maxRows int, updateFile string, compact bool) (retErr error) {
+	transf string, noopt, costOrder bool, workers, streamBuf int, countOnly, explain, timeIt bool, maxRows int, updateFile string, compact bool) (retErr error) {
 
-	opts := &turbohom.Options{Workers: workers, StreamBuffer: streamBuf, DisableOptimizations: noopt}
+	opts := &turbohom.Options{Workers: workers, StreamBuffer: streamBuf, DisableOptimizations: noopt, CostOrder: costOrder}
 	switch transf {
 	case "typeaware":
 		opts.Transformation = turbohom.TypeAware
@@ -210,6 +218,15 @@ func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, que
 			return measureErr
 		}
 		fmt.Printf("%d solutions in %s ms (5 runs, best/worst dropped)\n", n, bench.Fmt(d))
+		return nil
+	}
+
+	if explain {
+		report, err := prepared.Explain(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
 		return nil
 	}
 

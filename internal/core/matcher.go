@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/intset"
@@ -135,6 +136,23 @@ type matcher struct {
 	degIn   []int
 	qOutDeg []int // true query out/in degree per vertex (iso filter)
 	qInDeg  []int
+
+	// sigMask holds, per query vertex, the required neighborhood-signature
+	// bits: the OR of graph.SignatureBit over every fully concrete
+	// (direction, edge label, neighbor label) requirement. A data vertex
+	// whose signature is missing any required bit cannot match.
+	sigMask []uint64
+
+	// Signature-filter profile counters. They live on the matcher as atomics
+	// (not on per-worker profiles) because passFilters runs on every worker
+	// against the shared matcher; they are folded into opts.Profile once at
+	// the end of a run, and only counted when profiling is on.
+	sigChecked atomic.Int64
+	sigKilled  atomic.Int64
+
+	// onPlan, when non-nil, observes each freshly built matching order with
+	// its region — the Explain capture hook. Sequential runs only.
+	onPlan func(*region, *searchPlan)
 }
 
 func newMatcher(ctx context.Context, g graph.View, q *QueryGraph, sem Semantics, opts Opts) *matcher {
@@ -168,6 +186,7 @@ func (m *matcher) buildFilters() {
 	}
 	n := len(src.Vertices)
 	nlf := make([][]nlfReq, n)
+	sig := make([]uint64, n)
 	degOut := make([]int, n)
 	degIn := make([]int, n)
 	qOutDeg := make([]int, n)
@@ -220,6 +239,13 @@ func (m *matcher) buildFilters() {
 			}
 			return a.vl < b.vl
 		})
+		// Signature mask: only fully concrete requirements map to bits —
+		// exactly the triples the data-side signatures are built from.
+		for _, r := range nlf[u] {
+			if r.el != NoID && r.vl != NoID {
+				sig[u] |= graph.SignatureBit(r.dir, r.el, r.vl)
+			}
+		}
 
 		// Degree thresholds.
 		outTypes := map[reqKey]bool{}
@@ -248,10 +274,12 @@ func (m *matcher) buildFilters() {
 
 	if m.red == nil {
 		m.nlf, m.degOut, m.degIn, m.qOutDeg, m.qInDeg = nlf, degOut, degIn, qOutDeg, qInDeg
+		m.sigMask = sig
 		return
 	}
 	rn := len(m.q.Vertices)
 	m.nlf = make([][]nlfReq, rn)
+	m.sigMask = make([]uint64, rn)
 	m.degOut = make([]int, rn)
 	m.degIn = make([]int, rn)
 	m.qOutDeg = make([]int, rn)
@@ -259,6 +287,7 @@ func (m *matcher) buildFilters() {
 	for rv := 0; rv < rn; rv++ {
 		ov := m.red.repOrig[rv]
 		m.nlf[rv] = nlf[ov]
+		m.sigMask[rv] = sig[ov]
 		m.degOut[rv] = degOut[ov]
 		m.degIn[rv] = degIn[ov]
 		m.qOutDeg[rv] = qOutDeg[ov]
@@ -273,6 +302,19 @@ func (m *matcher) passFilters(u int, v uint32) bool {
 	qv := &m.q.Vertices[u]
 	if qv.ID != NoID && qv.ID != v {
 		return false
+	}
+	if !m.opts.NoSignature {
+		if mask := m.sigMask[u]; mask != 0 {
+			if m.opts.Profile != nil {
+				m.sigChecked.Add(1)
+			}
+			if m.g.Signature(v)&mask != mask {
+				if m.opts.Profile != nil {
+					m.sigKilled.Add(1)
+				}
+				return false
+			}
+		}
 	}
 	if !m.g.HasAllLabels(v, qv.Labels) {
 		return false
@@ -311,25 +353,30 @@ func (m *matcher) nlfFilter(u int, v uint32) bool {
 	return true
 }
 
-// freqEstimate approximates the number of start candidates for u — the
-// rough rank used by ChooseStartQueryVertex before top-k refinement.
+// freqEstimate bounds the number of start candidates for u from above — the
+// rough rank used by ChooseStartQueryVertex before top-k refinement, read
+// straight from the precomputed graph statistics. The minimum runs over the
+// exact per-label vertex counts AND the distinct subject/object counts of
+// every incident constant edge, so a labeled vertex with a rare predicate
+// now ranks by the predicate, which the label-only estimate used to miss.
+// The result must stay an upper bound on the refined candidate list:
+// startCandidates skips refining a vertex whose estimate already exceeds
+// the best list.
 func (m *matcher) freqEstimate(u int) int {
 	qv := &m.q.Vertices[u]
 	if qv.ID != NoID {
 		return 1
 	}
-	if len(qv.Labels) > 0 {
-		est := int(^uint(0) >> 1)
-		for _, l := range qv.Labels {
-			if n := len(m.g.VerticesWithLabel(l)); n < est {
-				est = n
-			}
+	st := m.g.Stats()
+	est := st.Vertices
+	for _, l := range qv.Labels {
+		if n := st.LabelCount(l); n < est {
+			est = n
 		}
-		return est
 	}
-	// No label, no ID: use the predicate index over incident constant
-	// edges (paper §4.2, ChooseStartQueryVertex).
-	est := m.g.NumVertices()
+	// Predicate index over incident constant edges (paper §4.2,
+	// ChooseStartQueryVertex): a candidate for u must appear as subject
+	// (resp. object) of every constant outgoing (resp. incoming) edge.
 	for _, ei := range m.adjEdges[u] {
 		e := m.q.Edges[ei]
 		if e.Wildcard() {
@@ -337,9 +384,9 @@ func (m *matcher) freqEstimate(u int) int {
 		}
 		var n int
 		if e.From == u {
-			n = len(m.g.SubjectsOf(e.Label))
+			n = st.SubjectCount(e.Label)
 		} else {
-			n = len(m.g.ObjectsOf(e.Label))
+			n = st.ObjectCount(e.Label)
 		}
 		if n < est {
 			est = n

@@ -35,6 +35,21 @@ type Opts struct {
 	// ReuseOrder computes the matching order for the first candidate
 	// region only and reuses it for all others (+REUSE).
 	ReuseOrder bool
+	// CostOrder ranks the root-to-leaf query paths by cardinality estimates
+	// derived from the graph's precomputed statistics (average fanouts with
+	// join-selectivity clamps) instead of the paper's candidate-population
+	// heuristic when determining each region's matching order. The result
+	// SET is unchanged — only the enumeration order of solutions can differ,
+	// because the matching order is part of the sequential enumeration
+	// contract. Falls back to the paper heuristic when the graph carries no
+	// statistics.
+	CostOrder bool
+	// NoSignature disables the compact neighborhood-signature filter: the
+	// 64-bit Bloom signature over incident (direction, edge label, neighbor
+	// label) triples checked before any adjacency walk. The signature is a
+	// necessary condition implied by the NLF filter, so disabling it never
+	// changes results; it exists as an ablation toggle.
+	NoSignature bool
 	// NoNEC disables the NEC query reduction (merging equivalent query
 	// vertices and enumerating their solutions by combination, paper §2.2).
 	// The reduction is on by default because it only ever shrinks the

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file implements the ordered parallel region pipeline (paper §5.2
@@ -66,13 +68,27 @@ func newSpan() *span { return &span{segs: make(chan segment, 1)} }
 
 // spanWork is the mutable claim on a span's candidate range, the unit the
 // stealing protocol operates on. Lock order: pipeState.stealMu strictly
-// before spanWork.mu; neither is ever acquired while holding the other in
-// reverse.
+// before spanWork.mu; neither is ever acquired while holding the other
+// reversed.
 type spanWork struct {
 	mu   sync.Mutex
 	sub  *span
 	next int // next region index the owner will start
 	hi   int // exclusive end of the range (shrunk by steals)
+
+	// rotate is the continuation span created by the first region-internal
+	// split of the owner's current region: the owner's in-region rows keep
+	// flowing into sub, the thief spans for the stolen sub-ranges sit
+	// between sub and rotate, and when the region ends the owner closes sub
+	// and carries on in rotate — so the emitter replays
+	// owner-region-rows → stolen-tail-rows → later-regions, the sequential
+	// order. Guarded by mu.
+	rotate *span
+
+	// seedRC, on a thief's synthetic spanWork (empty candidate range), is
+	// the stolen sub-region cursor to run before the range. Set once at
+	// creation, consumed by runSpan.
+	seedRC *regionCursor
 }
 
 // pipeState is the shared coordination state of one pipeline run.
@@ -101,6 +117,23 @@ type pipeState struct {
 	// balance, never row order, but determinism keeps runs reproducible).
 	// Spent entries are dropped lazily during scans and on unregister.
 	stealable []*spanWork
+	// offers holds region splits published by region owners (offerSplit) and
+	// not yet adopted by an idle worker: synthetic empty-range spanWorks
+	// whose seed cursor is the stolen sub-region. Guarded by stealMu.
+	offers []*spanWork
+
+	// idle is the number of workers currently hungry — polling for a range
+	// or region to steal. Region owners consult it between cursor resumes:
+	// a split is carved only when someone is waiting to run it (demand-
+	// driven, so an unloaded pipeline never pays for splitting).
+	idle atomic.Int64
+	// working is the number of spanWorks handed out (claim, steal,
+	// stealRegion) whose runSpan has not finished. While it is nonzero an
+	// idle thief must keep polling: a running span may still publish offers.
+	// Increments happen under stealMu, atomically with the hand-out, so a
+	// thief that sees no offers, no stealable range, and working == 0 can
+	// soundly exit.
+	working atomic.Int64
 
 	profMu sync.Mutex
 	prof   *ProfileResult
@@ -109,6 +142,21 @@ type pipeState struct {
 // pipelineSteals counts successful steals across all runs — a test hook for
 // asserting the splitting path actually engages on skewed instances.
 var pipelineSteals atomic.Int64
+
+// regionSplits counts successful region-internal cursor splits across all
+// runs — the test hook for the in-region work-stealing path.
+var regionSplits atomic.Int64
+
+// regionStealPoll is how long an idle thief waits before re-checking the
+// offer queue. Region owners publish offers at suspension points
+// (backpressure blocks, counting chunk boundaries), so a short poll keeps
+// thief latency well under the cost of one stolen subtree.
+const regionStealPoll = 50 * time.Microsecond
+
+// regionResumeChunk is the count-mode resume quota between suspensions:
+// large enough to amortize the suspend, small enough that idle workers get
+// a split offer every few microseconds of counting.
+const regionResumeChunk = 1024
 
 // pipelineQuota derives the per-segment row cap from the StreamBuffer row
 // budget: the window may hold one delivered segment per in-flight batch plus
@@ -133,6 +181,7 @@ func pipelineQuota(streamBuffer, window, workers int) int {
 func (m *matcher) runPipeline(visit Visitor) (int, error) {
 	start, cands := m.startCandidates()
 	if len(cands) == 0 {
+		m.foldSigCounters()
 		return 0, nil
 	}
 	// Point-shaped queries have no per-region work to distribute; the
@@ -141,12 +190,19 @@ func (m *matcher) runPipeline(visit Visitor) (int, error) {
 	// the delegation must clone what the sequential run lends it —
 	// Collect appends pipeline rows without copying.
 	if len(m.q.Vertices) == 1 && len(m.q.Edges) == 0 {
+		// run repeats startCandidates and folds the signature counters
+		// itself; drop this call's counts so they are not folded twice.
+		m.sigChecked.Store(0)
+		m.sigKilled.Store(0)
 		if visit == nil {
 			return m.run(nil)
 		}
 		return m.run(func(mt Match) bool { return visit(mt.Clone()) })
 	}
 	m.buildQueryTree(start)
+	if m.opts.Profile != nil {
+		defer m.foldSigCounters()
+	}
 
 	pr := m.opts.Profile
 	if pr != nil {
@@ -166,10 +222,11 @@ func (m *matcher) runPipeline(visit Visitor) (int, error) {
 	if chunk > maxPipelineChunk {
 		chunk = maxPipelineChunk
 	}
+	// Workers may exceed the batch count: the surplus cannot claim a batch,
+	// but region splitting still gives them work — a one-batch, one-region
+	// instance (a single huge candidate region) parallelizes by carving the
+	// suspended cursor, not by distributing regions.
 	numBatches := (len(cands) + chunk - 1) / chunk
-	if workers > numBatches {
-		workers = numBatches
-	}
 	window := 2 * workers
 	if window > numBatches {
 		window = numBatches
@@ -191,7 +248,15 @@ func (m *matcher) runPipeline(visit Visitor) (int, error) {
 				return 0, err
 			}
 			rg.reset(vs)
+			ckBase, klBase := m.sigChecked.Load(), m.sigKilled.Load()
 			if m.explore(rg, start, vs) {
+				// The surviving region is explored again by the worker that
+				// claims it; drop this exploration's signature counts so the
+				// run total matches a sequential run exactly. (The failed
+				// explorations before it stay counted: workers skip those
+				// regions, while a sequential run pays for them once — here.)
+				m.sigChecked.Add(ckBase - m.sigChecked.Load())
+				m.sigKilled.Add(klBase - m.sigKilled.Load())
 				sharedPlan = m.buildPlan(rg)
 				skipBefore = i
 				break
@@ -333,28 +398,61 @@ func (ps *pipeState) worker() {
 	w.st.stop = &ps.stop
 	w.rg = newRegion(len(m.q.Vertices))
 
+	// hungry advertises this worker in ps.idle while it has nothing to run,
+	// which is what makes region owners start publishing split offers.
+	hungry := false
+	setHungry := func(h bool) {
+		if h != hungry {
+			hungry = h
+			if h {
+				ps.idle.Add(1)
+			} else {
+				ps.idle.Add(-1)
+			}
+		}
+	}
+	defer func() { setHungry(false) }()
+
 	for {
 		if ps.stop.Load() || m.ctx.Err() != nil {
 			return
 		}
 		select {
 		case <-ps.tokens:
+			setHungry(false)
 		case <-ps.done:
 			return
 		default:
 			// The window is full: instead of idling for a token, help a
-			// loaded batch along by stealing part of its remaining range.
+			// loaded batch along by stealing part of its remaining range, or
+			// — when every range is spent — adopting a split of a region
+			// search still grinding inside the window.
 			if sw := ps.steal(); sw != nil {
+				setHungry(false)
 				w.runSpan(sw)
 				if w.st.stopped {
 					return
 				}
 				continue
 			}
+			if sw, _ := ps.stealRegion(); sw != nil {
+				setHungry(false)
+				w.runSpan(sw)
+				if w.st.stopped {
+					return
+				}
+				continue
+			}
+			setHungry(true)
 			select {
 			case <-ps.tokens:
+				setHungry(false)
 			case <-ps.done:
 				return
+			case <-time.After(regionStealPoll):
+				// A running region may publish an offer at its next
+				// suspension; re-check instead of parking on the token.
+				continue
 			}
 		}
 		bi, sw := ps.claim()
@@ -370,13 +468,32 @@ func (ps *pipeState) worker() {
 		}
 	}
 	for {
-		sw := ps.steal()
-		if sw == nil {
-			// Sound exit: claims register under stealMu atomically with the
-			// cursor advance, so once the cursor is exhausted and no
-			// registered span has a splittable range left, none ever will.
+		if ps.stop.Load() || m.ctx.Err() != nil {
 			return
 		}
+		sw := ps.steal()
+		if sw == nil {
+			var active bool
+			if sw, active = ps.stealRegion(); sw == nil {
+				if !active {
+					// Sound exit: spanWorks are handed out (and ps.working
+					// incremented) under stealMu, atomically with the claim,
+					// steal, or offer pop, so a thief that observes the batch
+					// cursor exhausted, no stealable range, no pending offer,
+					// and working == 0 has seen a state no future action can
+					// invalidate.
+					return
+				}
+				setHungry(true)
+				select {
+				case <-ps.done:
+					return
+				case <-time.After(regionStealPoll):
+				}
+				continue
+			}
+		}
+		setHungry(false)
 		w.runSpan(sw)
 		if w.st.stopped {
 			return
@@ -403,6 +520,7 @@ func (ps *pipeState) claim() (int, *spanWork) {
 	}
 	sw := &spanWork{sub: newSpan(), next: lo, hi: hi}
 	ps.stealable = append(ps.stealable, sw)
+	ps.working.Add(1)
 	return bi, sw
 }
 
@@ -458,12 +576,88 @@ func (ps *pipeState) steal() *spanWork {
 	lo := victim.hi - take
 	nsw := &spanWork{sub: newSpan(), next: lo, hi: victim.hi}
 	victim.hi = lo
-	nsw.sub.next = victim.sub.next
-	victim.sub.next = nsw.sub
+	// The stolen range follows every region of the victim's kept range — in
+	// particular the victim's CURRENT region and any sub-ranges already
+	// carved out of it by region thieves, which sit between sub and rotate.
+	anchor := victim.sub
+	if victim.rotate != nil {
+		anchor = victim.rotate
+	}
+	nsw.sub.next = anchor.next
+	anchor.next = nsw.sub
 	victim.mu.Unlock()
 	ps.stealable = append(ps.stealable, nsw)
+	ps.working.Add(1)
 	pipelineSteals.Add(1)
 	return nsw
+}
+
+// stealRegion adopts a published region split: a synthetic empty-range
+// spanWork whose seed cursor enumerates the tail half of some owner's
+// in-flight region, its span already spliced into that owner's delivery
+// chain. active reports whether any span is still running — while true, an
+// idle thief must keep polling, because a running span may publish offers.
+func (ps *pipeState) stealRegion() (sw *spanWork, active bool) {
+	ps.stealMu.Lock()
+	defer ps.stealMu.Unlock()
+	if len(ps.offers) > 0 {
+		sw = ps.offers[0]
+		ps.offers = ps.offers[1:]
+		ps.working.Add(1)
+		return sw, true
+	}
+	return nil, ps.working.Load() > 0
+}
+
+// offerSplit carves the tail half of the bottom-most pending candidate loop
+// out of the worker's CURRENT region search and publishes it for an idle
+// worker: the stolen sub-region's rows follow every row the owner still
+// produces in this region, so its span is spliced right after sw.sub —
+// before the continuation span the owner rotates to when the region ends.
+// Only the region's owner calls this, between two resumes, so the cursor
+// needs no lock; demand (ps.idle) is checked by the caller and re-checked
+// here against the offers already outstanding, so a burst of suspensions
+// does not fragment the region beyond what the hungry workers can adopt.
+// Reports whether a split was published (the owner must then rotate spans
+// at region end and stop reusing the region object).
+func (w *pipeWorker) offerSplit(sw *spanWork, rc *regionCursor) bool {
+	ps := w.ps
+	ps.stealMu.Lock()
+	saturated := int64(len(ps.offers)) >= ps.idle.Load()
+	ps.stealMu.Unlock()
+	if saturated {
+		return false
+	}
+	// The thief installs its own visitor and profile sink when it adopts the
+	// seed; the stop flag is shared run-wide.
+	nrc := rc.splitOff(nil, nil, &ps.stop)
+	if nrc == nil {
+		return false
+	}
+	t := newSpan()
+	sw.mu.Lock()
+	if sw.rotate == nil {
+		// First split of this region: create the continuation span this
+		// worker will rotate to when the region ends. Chain becomes
+		// sub → t → rotate → (old successors).
+		cont := newSpan()
+		cont.next = sw.sub.next
+		sw.rotate = cont
+		t.next = cont
+	} else {
+		// A later split steals the tail of the now-truncated iteration
+		// space, which precedes every earlier-stolen tail in sequential
+		// order: splice directly after sub.
+		t.next = sw.sub.next
+	}
+	sw.sub.next = t
+	sw.mu.Unlock()
+	nsw := &spanWork{sub: t, seedRC: nrc}
+	ps.stealMu.Lock()
+	ps.offers = append(ps.offers, nsw)
+	ps.stealMu.Unlock()
+	regionSplits.Add(1)
+	return true
 }
 
 // pipeWorker is one worker's private execution state: a reusable search
@@ -473,12 +667,24 @@ type pipeWorker struct {
 	ps        *pipeState
 	st        *searchState
 	rg        *region
+	rgShared  bool // w.rg's candidate lists are shared with a region thief
 	rc        regionCursor
 	buf       []Match
 	localProf *ProfileResult
 }
 
-// runSpan searches sw's candidate range region by region, delivering
+// ensureRegion replaces w.rg when its current contents are shared with a
+// region thief (the thief's cloned searchState keeps reading the region's
+// candidate map), so the worker's next reset cannot race the thief's search.
+func (w *pipeWorker) ensureRegion() {
+	if w.rgShared {
+		w.rg = newRegion(len(w.ps.m.q.Vertices))
+		w.rgShared = false
+	}
+}
+
+// runSpan searches sw's candidate range region by region — preceded by the
+// stolen sub-region seed when sw came from a region split — delivering
 // segments of at most quota rows into sw.sub and suspending the region
 // cursor on backpressure. The span's channel is always closed on return —
 // after next is final — so the emitter can follow the chain.
@@ -487,7 +693,19 @@ func (w *pipeWorker) runSpan(sw *spanWork) {
 	m := ps.m
 	st := w.st
 	countBase := st.count
+	var seedSt *searchState
 	plan := ps.sharedPlan
+	defer ps.working.Add(-1)
+	// spanRows is the solutions THIS span has produced: the stolen seed
+	// sub-region (counted on its cloned state) plus the range's own regions
+	// (counted on the worker state).
+	spanRows := func() int {
+		n := st.count - countBase
+		if seedSt != nil {
+			n += seedSt.count
+		}
+		return n
+	}
 	// Span-local MaxSolutions cutoff: once THIS span alone has produced
 	// limit solutions, its remaining regions can never be emitted — the
 	// emitter, replaying in order, reaches the cap at or before this span's
@@ -499,12 +717,36 @@ func (w *pipeWorker) runSpan(sw *spanWork) {
 		if ps.limit <= 0 {
 			return 0 // unlimited
 		}
-		if q := ps.limit - (st.count - countBase); q > 0 {
+		if q := ps.limit - spanRows(); q > 0 {
 			return q
 		}
 		return -1 // span produced MaxSolutions; the emitter cuts within it
 	}
-	for {
+	if sw.seedRC != nil {
+		// Adopt the stolen sub-region: the cursor arrives with a cloned
+		// searchState carrying the victim's live ancestor bindings; this
+		// worker plugs in its own visitor and profile sink before resuming.
+		rc := sw.seedRC
+		seedSt = rc.st
+		seedSt.profile = w.localProf
+		if ps.collect {
+			seedSt.visit = func(mt Match) bool {
+				if ps.stop.Load() {
+					return false
+				}
+				w.buf = append(w.buf, mt.Clone())
+				return true
+			}
+		}
+		w.runRegion(sw, rc, spanQuota)
+		if seedSt.err != nil && st.err == nil {
+			st.err = seedSt.err
+		}
+		if seedSt.stopped {
+			st.stopped = true
+		}
+	}
+	for !st.stopped {
 		if spanQuota() < 0 {
 			break
 		}
@@ -521,6 +763,7 @@ func (w *pipeWorker) runSpan(sw *spanWork) {
 			continue // known explore failure (the +REUSE pre-pass)
 		}
 		vs := ps.cands[gi]
+		w.ensureRegion()
 		w.rg.reset(vs)
 		if !m.explore(w.rg, ps.start, vs) {
 			continue
@@ -536,57 +779,16 @@ func (w *pipeWorker) runSpan(sw *spanWork) {
 		}
 		st.rg, st.plan = w.rg, plan
 		w.rc.start(st)
-		regionDone := false
-		for {
-			// Collect mode resumes row by row for eager delivery; count
-			// mode runs straight to the span's remaining solution quota
-			// (the cursor suspends even mid-region, so one enormous region
-			// cannot blow past the cap by more than an NEC bulk batch).
-			quota := 1
-			if !ps.collect {
-				quota = spanQuota()
-				if quota < 0 {
-					break
-				}
-			}
-			done := w.rc.resume(quota)
-			if ps.collect && len(w.buf) > 0 {
-				// Eager per-row delivery: hand over whatever has accumulated
-				// the moment the slot is free, so the emitter never waits for
-				// a full segment; block only when the segment cap is hit —
-				// that block is the per-row backpressure, and it leaves this
-				// region suspended in the cursor, its span stealable.
-				if !w.flush(sw, false) && len(w.buf) >= ps.quota {
-					if !w.flush(sw, true) {
-						st.stopped = true
-					}
-				}
-			}
-			if done || st.stopped {
-				regionDone = done
-				break
-			}
-			if ps.limit > 0 && st.count-countBase >= ps.limit {
-				break // span quota filled mid-region; abandon the rest
-			}
-		}
-		if !regionDone {
-			// The region is abandoned with the cursor suspended (span quota
-			// filled mid-region, or the run shutting down): unwind it so the
-			// worker's reused searchState carries no stale used[]/varBind[]
-			// bindings into later claimed or stolen spans — which may precede
-			// the limit cut in region order and still have rows to deliver.
-			w.rc.abort()
-		}
-		if st.stopped {
-			break
-		}
+		w.runRegion(sw, &w.rc, spanQuota)
 	}
 	// Final segment: leftover rows, the span's count contribution (counting
-	// mode), and any context error that cut the search short.
+	// mode), and any context error that cut the search short. When a split
+	// rotated the span mid-range, the count lands in the continuation span —
+	// the emitter's count sum is order-insensitive, so the clamp still cuts
+	// at the same total.
 	seg := segment{sols: w.buf, err: st.err}
 	if !ps.collect {
-		seg.count = st.count - countBase
+		seg.count = spanRows()
 	}
 	w.buf = nil
 	if len(seg.sols) > 0 || seg.count != 0 || seg.err != nil {
@@ -599,9 +801,109 @@ func (w *pipeWorker) runSpan(sw *spanWork) {
 	// range, then close: the emitter reads sub.next only after the close.
 	sw.mu.Lock()
 	sw.next = sw.hi
+	rot := sw.rotate
+	sw.rotate = nil
 	sw.mu.Unlock()
 	ps.unregister(sw)
 	close(sw.sub.segs)
+	if rot != nil {
+		// The span ended with a rotation still pending (the run shut down or
+		// the span quota filled before the split region finished): close the
+		// continuation too, so the emitter can keep walking the chain.
+		close(rot.segs)
+	}
+}
+
+// runRegion drives one region search — the worker's own cursor or a stolen
+// seed sub-region — to completion, suspending on backpressure and offering
+// splits of the remaining iteration space whenever workers are idle. On a
+// mid-region abandonment (span quota filled, shutdown) the cursor is
+// unwound. When a split was published, the owner seals this region's rows
+// and rotates sw.sub to the prepared continuation span, so later regions
+// land after the stolen subtrees in the delivery chain.
+func (w *pipeWorker) runRegion(sw *spanWork, rc *regionCursor, spanQuota func() int) {
+	ps := w.ps
+	st := rc.st
+	regionDone := false
+	split := false
+	for {
+		// Collect mode resumes row by row for eager delivery; count mode
+		// runs in bounded chunks so the cursor suspends often enough for
+		// idle workers to get a split offer (and so one enormous region
+		// cannot blow past a MaxSolutions cap by more than an NEC bulk
+		// batch).
+		quota := 1
+		if !ps.collect {
+			quota = spanQuota()
+			if quota < 0 {
+				break
+			}
+			if quota == 0 || quota > regionResumeChunk {
+				quota = regionResumeChunk
+			}
+		}
+		done := rc.resume(quota)
+		if !done && !st.stopped {
+			if !ps.collect {
+				// Count mode has no channel operations between chunks, so on
+				// a single P this loop would monopolize the scheduler:
+				// out-of-work workers never run, never go hungry, and the
+				// region finishes unsplit. One yield per chunk lets them
+				// advertise demand (and lets waiting thieves adopt published
+				// offers); its cost is noise against 1024 rows of search.
+				// Collect mode yields naturally through the flush below.
+				runtime.Gosched()
+			}
+			// Demand-driven splitting, before the flush below so a hungry
+			// worker is already enumerating the stolen tail while this one
+			// blocks on backpressure.
+			if ps.idle.Load() > 0 && w.offerSplit(sw, rc) {
+				split = true
+			}
+		}
+		if ps.collect && len(w.buf) > 0 {
+			// Eager per-row delivery: hand over whatever has accumulated
+			// the moment the slot is free, so the emitter never waits for
+			// a full segment; block only when the segment cap is hit —
+			// that block is the per-row backpressure.
+			if !w.flush(sw, false) && len(w.buf) >= ps.quota {
+				if !w.flush(sw, true) {
+					st.stopped = true
+				}
+			}
+		}
+		if done || st.stopped {
+			regionDone = done
+			break
+		}
+		if spanQuota() < 0 {
+			break // span quota filled mid-region; abandon the rest
+		}
+	}
+	if !regionDone {
+		// The region is abandoned with the cursor suspended: unwind it so
+		// the searchState carries no stale used[]/varBind[] bindings into
+		// later claimed or stolen spans — which may precede the limit cut in
+		// region order and still have rows to deliver.
+		rc.abort()
+	}
+	if split {
+		// At least one thief now shares this region object (via its cloned
+		// searchState) — the worker must not reset it for the next region.
+		w.rgShared = true
+		// Seal this region's rows into the current span and rotate to the
+		// continuation: the stolen subtrees' spans sit between the two,
+		// preserving sequential order.
+		if len(w.buf) > 0 && !w.flush(sw, true) {
+			st.stopped = true
+		}
+		old := sw.sub
+		sw.mu.Lock()
+		sw.sub = sw.rotate
+		sw.rotate = nil
+		sw.mu.Unlock()
+		close(old.segs)
+	}
 }
 
 // flush tries to deliver the accumulated rows as one segment. Non-blocking

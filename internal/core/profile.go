@@ -41,6 +41,14 @@ type ProfileResult struct {
 	// into f full solutions adds f-1 (the search paths the reduction
 	// avoided exploring).
 	NECExpansionsSkipped int
+
+	// SignatureChecked counts candidate vertices tested against the compact
+	// neighborhood-signature index (vertices whose query vertex required at
+	// least one concrete (direction, edge label, neighbor label) triple).
+	SignatureChecked int
+	// SignatureKilled counts how many of those the 64-bit signature rejected
+	// before any label, degree, or adjacency-group work.
+	SignatureKilled int
 }
 
 // merge folds a pipeline worker's privately accumulated counters into the
@@ -52,6 +60,18 @@ func (pr *ProfileResult) merge(src *ProfileResult) {
 	pr.ExploredCandidates += src.ExploredCandidates
 	pr.SearchNodes += src.SearchNodes
 	pr.NECExpansionsSkipped += src.NECExpansionsSkipped
+	pr.SignatureChecked += src.SignatureChecked
+	pr.SignatureKilled += src.SignatureKilled
+}
+
+// foldSigCounters adds the matcher's signature-filter atomics into the
+// run's profile. Every execution path (run, runPipeline, Cursor) calls it
+// exactly once, when the run completes.
+func (m *matcher) foldSigCounters() {
+	if pr := m.opts.Profile; pr != nil {
+		pr.SignatureChecked += int(m.sigChecked.Load())
+		pr.SignatureKilled += int(m.sigKilled.Load())
+	}
 }
 
 // Profile runs the match sequentially and returns its effort counters along

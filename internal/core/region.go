@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
 
 // regionKey identifies a (query vertex, parent data vertex) pair inside one
 // candidate region.
@@ -105,7 +109,8 @@ type searchPlan struct {
 }
 
 // buildPlan implements DetermineMatchingOrder: rank the root-to-leaf query
-// paths by candidate population in this region (ascending) and merge them
+// paths — by the statistics-driven cost model under Opts.CostOrder, by
+// candidate population in this region (ascending) otherwise — and merge them
 // into one matching order, then precompute the join-edge schedule.
 func (m *matcher) buildPlan(rg *region) *searchPlan {
 	var paths [][]int
@@ -122,17 +127,32 @@ func (m *matcher) buildPlan(rg *region) *searchPlan {
 	}
 	walk(m.start, nil)
 
-	est := make([]int, len(paths))
-	for i, p := range paths {
-		for _, u := range p[1:] {
-			est[i] += rg.totals[u]
-		}
-	}
 	idx := make([]int, len(paths))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return est[idx[a]] < est[idx[b]] })
+	if st := m.g.Stats(); m.opts.CostOrder && st != nil {
+		// Exchange-argument ranking: running path i before path j costs
+		// roughly k_i + c_i·k_j (the later path repeats once per solution
+		// prefix of the earlier), so i belongs first iff
+		// k_i·(c_j−1) > k_j·(c_i−1). With every c clamped to ≥1 this is a
+		// consistent ordering (equivalent to descending k/(c−1), where
+		// shrinking paths sort first); ties keep the BFS path order, like
+		// the paper's stable sort.
+		k, c := m.pathCosts(paths, rg, st)
+		sort.SliceStable(idx, func(a, b int) bool {
+			i, j := idx[a], idx[b]
+			return k[i]*(c[j]-1) > k[j]*(c[i]-1)
+		})
+	} else {
+		est := make([]int, len(paths))
+		for i, p := range paths {
+			for _, u := range p[1:] {
+				est[i] += rg.totals[u]
+			}
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return est[idx[a]] < est[idx[b]] })
+	}
 
 	n := len(m.q.Vertices)
 	plan := &searchPlan{pos: make([]int, n)}
@@ -174,4 +194,104 @@ func (m *matcher) buildPlan(rg *region) *searchPlan {
 		}
 	}
 	return plan
+}
+
+// joinAvgFanout estimates how many candidates for u one bound data vertex at
+// the other endpoint of constant non-tree edge e admits: the average
+// out-fanout E/S of the edge label when the bound side is the subject, the
+// average in-fanout E/O when it is the object.
+func joinAvgFanout(st *graph.Stats, e *QueryEdge, u int) float64 {
+	if e.From != u { // bound --el--> u
+		return float64(st.EdgeCount(e.Label)) / float64(max(st.SubjectCount(e.Label), 1))
+	}
+	return float64(st.EdgeCount(e.Label)) / float64(max(st.ObjectCount(e.Label), 1))
+}
+
+// pathCosts evaluates the cost model on each root-to-leaf path: walking down
+// a path, the running cardinality multiplies by the per-step average fanout
+// (this region's candidate totals, child over parent) and is clamped by any
+// constant non-tree join whose other endpoint is already bound on the same
+// path — the join admits at most cardAt(other)·avg-fanout bindings, however
+// large the tree fanout is. The per-path cost k is the sum of the step
+// cardinalities (the nodes the search visits, with joins applied before the
+// visit as +INT does); c is the final cardinality the path hands to the
+// paths merged after it.
+func (m *matcher) pathCosts(paths [][]int, rg *region, st *graph.Stats) (k, c []float64) {
+	k = make([]float64, len(paths))
+	c = make([]float64, len(paths))
+	n := len(m.q.Vertices)
+	onPath := make([]int, n) // step index within the current path, -1 outside
+	cardAt := make([]float64, n)
+	for i := range onPath {
+		onPath[i] = -1
+	}
+	for pi, p := range paths {
+		for step, u := range p {
+			onPath[u] = step
+		}
+		cardAt[p[0]] = 1
+		card, cost := 1.0, 0.0
+		for step := 1; step < len(p); step++ {
+			u := p[step]
+			parentTotal := float64(rg.totals[p[step-1]])
+			if step == 1 || parentTotal < 1 {
+				// The start vertex has exactly one candidate per region (the
+				// region root), which rg.totals does not record.
+				parentTotal = 1
+			}
+			card *= float64(rg.totals[u]) / parentTotal
+			for _, ei := range m.adjEdges[u] {
+				e := &m.q.Edges[ei]
+				if e.Wildcard() || ei == m.parentEdge[u] || e.From == e.To {
+					continue
+				}
+				w := e.From + e.To - u
+				if ws := onPath[w]; ws < 0 || ws >= step {
+					continue // other endpoint not bound earlier on this path
+				}
+				if bound := cardAt[w] * joinAvgFanout(st, e, u); bound < card {
+					card = bound
+				}
+			}
+			cost += card
+			cardAt[u] = card
+		}
+		k[pi], c[pi] = cost, card
+		if c[pi] < 1 {
+			c[pi] = 1
+		}
+		for _, u := range p {
+			onPath[u] = -1
+		}
+	}
+	return k, c
+}
+
+// orderCosts evaluates the cost model along a finished matching order: the
+// estimated number of search nodes visited at each position, cumulative over
+// the whole prefix (not per-path). Used by Explain.
+func (m *matcher) orderCosts(rg *region, plan *searchPlan, st *graph.Stats) []float64 {
+	costs := make([]float64, len(plan.order))
+	cardAt := make([]float64, len(plan.order)) // by position
+	for dc, u := range plan.order {
+		if dc == 0 {
+			costs[0], cardAt[0] = 1, 1
+			continue
+		}
+		p := m.parent[u]
+		parentTotal := float64(rg.totals[p])
+		if p == m.start || parentTotal < 1 {
+			parentTotal = 1
+		}
+		card := cardAt[plan.pos[p]] * float64(rg.totals[u]) / parentTotal
+		for _, ei := range plan.constJoins[dc] {
+			e := &m.q.Edges[ei]
+			w := e.From + e.To - u
+			if bound := cardAt[plan.pos[w]] * joinAvgFanout(st, e, u); bound < card {
+				card = bound
+			}
+		}
+		costs[dc], cardAt[dc] = card, card
+	}
+	return costs
 }

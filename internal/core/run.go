@@ -7,8 +7,14 @@ package core
 // the search loop, see searchState), so cancellation abandons the regions
 // not yet explored.
 func (m *matcher) run(visit Visitor) (int, error) {
-	start, cands := m.startCandidates()
 	pr := m.opts.Profile
+	if pr != nil {
+		// The signature-filter counters accumulate on the matcher (shared
+		// atomics) through every passFilters call, including the start-vertex
+		// refinement below; fold them exactly once on the way out.
+		defer m.foldSigCounters()
+	}
+	start, cands := m.startCandidates()
 	if pr != nil {
 		pr.StartVertex = start
 		pr.StartCandidates = len(cands)
@@ -65,6 +71,9 @@ func (m *matcher) run(visit Visitor) (int, error) {
 		}
 		if plan == nil || !m.opts.ReuseOrder {
 			plan = m.buildPlan(rg)
+			if m.onPlan != nil {
+				m.onPlan(rg, plan)
+			}
 		}
 		st.rg, st.plan = rg, plan
 		st.search(0)

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/transform"
+)
+
+func TestExplain(t *testing.T) {
+	data := transform.Build(uniTriples(), transform.TypeAware)
+	for _, costOrder := range []bool{false, true} {
+		opts := core.Optimized()
+		opts.CostOrder = costOrder
+		e := New(data, opts)
+		pq, err := e.Prepare(`SELECT ?x ?d WHERE {
+			?x <http://example.org/memberOf> ?d .
+			?d <http://example.org/subOrganizationOf> ?u .
+		}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := pq.Explain(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ex.Groups) != 1 || len(ex.Groups[0].Components) != 1 {
+			t.Fatalf("explain shape: %+v", ex)
+		}
+		ce := ex.Groups[0].Components[0]
+		if len(ce.Order) != 3 {
+			t.Fatalf("order %v, want 3 vertices", ce.Order)
+		}
+		seen := map[string]bool{}
+		for _, name := range ce.Order {
+			seen[name] = true
+		}
+		for _, want := range []string{"?x", "?d", "?u"} {
+			if !seen[want] {
+				t.Errorf("order %v missing %s", ce.Order, want)
+			}
+		}
+		if ce.Core.CostOrdered != costOrder {
+			t.Errorf("CostOrdered = %v, want %v", ce.Core.CostOrdered, costOrder)
+		}
+		if len(ce.Core.EstRows) != len(ce.Order) {
+			t.Errorf("%d cost estimates for %d positions", len(ce.Core.EstRows), len(ce.Order))
+		}
+		if ce.Core.Profile.SearchNodes == 0 || ce.Core.Solutions == 0 {
+			t.Errorf("profile not populated: %+v", ce.Core.Profile)
+		}
+		// The execution the explanation profiles must agree with Count.
+		n, err := pq.Count(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != ce.Core.Solutions {
+			t.Errorf("explain found %d solutions, Count %d", ce.Core.Solutions, n)
+		}
+		s := ex.String()
+		for _, frag := range []string{"component 1", "signature checked", "search nodes"} {
+			if !strings.Contains(s, frag) {
+				t.Errorf("String() missing %q:\n%s", frag, s)
+			}
+		}
+	}
+
+	// A constant subject renders as its term; an unknown term marks the
+	// group statically empty.
+	e := New(data, core.Optimized())
+	pq, err := e.Prepare(`SELECT ?d WHERE { <http://example.org/alice> <http://example.org/memberOf> ?d . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := pq.Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ex.String(); !strings.Contains(s, "<http://example.org/alice>") {
+		t.Errorf("constant vertex not rendered as its term:\n%s", s)
+	}
+	pq, err = e.Prepare(`SELECT ?d WHERE { <http://example.org/nobody> <http://example.org/memberOf> ?d . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err = pq.Explain(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Groups) != 1 || !ex.Groups[0].Empty {
+		t.Fatalf("unknown-term group not marked empty: %+v", ex)
+	}
+}

@@ -104,6 +104,10 @@ func (b *Builder) Build() *Graph {
 		}
 	}
 	g.numEdgeLabels = maxEL + 1
+	edgeLabelEdges := make([]int, g.numEdgeLabels)
+	for _, e := range b.edges {
+		edgeLabelEdges[e.el]++
+	}
 
 	// --- Neighbor-type grouped adjacency, both directions. ---
 	g.out = buildAdjacency(b.numVertices, b.edges, g, Out)
@@ -112,6 +116,10 @@ func (b *Builder) Build() *Graph {
 	// --- Predicate index. ---
 	g.predSubOff, g.predSub = buildPredicateIndex(g.numEdgeLabels, b.edges, true)
 	g.predObjOff, g.predObj = buildPredicateIndex(g.numEdgeLabels, b.edges, false)
+
+	// --- Statistics and neighborhood signatures, from the frozen arrays. ---
+	g.finishStats(edgeLabelEdges)
+	g.computeSignatures()
 
 	return g
 }

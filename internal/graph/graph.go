@@ -118,6 +118,9 @@ type Graph struct {
 	predSub    []uint32
 	predObjOff []int
 	predObj    []uint32
+
+	stats *Stats   // precomputed cardinality statistics
+	sig   []uint64 // per-vertex neighborhood signatures
 }
 
 // NumVertices reports the number of vertices.

@@ -292,6 +292,9 @@ type Overlay struct {
 	inv     map[uint32][]uint32    // labels whose inverse list changed
 	predSub map[uint32][]uint32    // edge labels whose subject list changed
 	predObj map[uint32][]uint32    // edge labels whose object list changed
+
+	stats *Stats            // base stats plus per-delta corrections
+	sigs  map[uint32]uint64 // dirty vertices' recomputed signatures
 }
 
 // Snapshot freezes the delta into an immutable Overlay. The overlay observes
@@ -456,7 +459,76 @@ func (d *Delta) Snapshot() *Overlay {
 		o.predSub[el] = mergeSets(base.SubjectsOf(el), pd.subAdd, pd.subDel)
 		o.predObj[el] = mergeSets(base.ObjectsOf(el), pd.objAdd, pd.objDel)
 	}
+
+	// Recompute dirty vertices' signatures from their merged adjacency —
+	// exact, so a deleted edge's bit never lingers on the overlay — and
+	// derive the snapshot's statistics as base stats plus corrections.
+	o.sigs = make(map[uint32]uint64, len(o.verts))
+	for v, vv := range o.verts {
+		o.sigs[v] = vv.signature()
+	}
+	o.stats = d.correctedStats(o)
 	return o
+}
+
+// correctedStats derives the overlay's statistics from the base stats plus
+// per-delta corrections: dirty inverse-label and predicate lists are already
+// materialized (their lengths are the exact counts), edge counts adjust by
+// the add/del sets, and degree histogram entries move only for dirty
+// vertices.
+func (d *Delta) correctedStats(o *Overlay) *Stats {
+	base := d.base.Stats()
+	st := &Stats{
+		Vertices:          o.numVertices,
+		Edges:             o.numEdges,
+		LabelVertices:     growCopy(base.LabelVertices, o.numLabels),
+		EdgeLabelEdges:    growCopy(base.EdgeLabelEdges, o.numEdgeLabels),
+		EdgeLabelSubjects: growCopy(base.EdgeLabelSubjects, o.numEdgeLabels),
+		EdgeLabelObjects:  growCopy(base.EdgeLabelObjects, o.numEdgeLabels),
+		OutDegreeHist:     base.OutDegreeHist,
+		InDegreeHist:      base.InDegreeHist,
+	}
+	for l, vs := range o.inv {
+		st.LabelVertices[l] = len(vs)
+	}
+	for el, vs := range o.predSub {
+		st.EdgeLabelSubjects[el] = len(vs)
+	}
+	for el, vs := range o.predObj {
+		st.EdgeLabelObjects[el] = len(vs)
+	}
+	for k := range d.addEdge {
+		st.EdgeLabelEdges[k.el]++
+	}
+	for k := range d.delEdge {
+		st.EdgeLabelEdges[k.el]--
+	}
+	// Vertices past the base start at degree zero; dirty vertices then move
+	// from their base bucket to their merged bucket.
+	bn := d.base.NumVertices()
+	if nv := o.numVertices - bn; nv > 0 {
+		st.OutDegreeHist[0] += nv
+		st.InDegreeHist[0] += nv
+	}
+	for v, vv := range o.verts {
+		if int(v) < bn {
+			st.OutDegreeHist[DegreeBucket(d.base.Degree(v, Out))]--
+			st.InDegreeHist[DegreeBucket(d.base.Degree(v, In))]--
+		} else {
+			st.OutDegreeHist[0]--
+			st.InDegreeHist[0]--
+		}
+		st.OutDegreeHist[DegreeBucket(vv.outDeg)]++
+		st.InDegreeHist[DegreeBucket(vv.inDeg)]++
+	}
+	return st
+}
+
+// growCopy returns a length-n copy of src (zero-filled past its end).
+func growCopy(src []int, n int) []int {
+	out := make([]int, n)
+	copy(out, src)
+	return out
 }
 
 // hasEdgeLabel reports whether any group of g carries edge label el.

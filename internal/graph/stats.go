@@ -1,0 +1,180 @@
+// Graph statistics and the compact neighborhood signature index.
+//
+// Stats carries the per-label cardinalities the cost-based matching order
+// consumes: vertex counts per vertex label, edge counts and distinct
+// subject/object counts per edge label, and log2 degree histograms. A
+// Builder computes them for free while freezing the CSR arrays; an Overlay
+// derives them from the base stats plus per-delta corrections, so snapshots
+// stay O(delta).
+//
+// The signature index is the compact-neighborhood-index idea: each vertex
+// carries a 64-bit Bloom signature over its incident (direction, edge label,
+// neighbor label) triples — exactly the grouped-adjacency keys. A query
+// vertex's required triples hash to a mask; a candidate whose signature is
+// missing a required bit cannot match and is rejected without an adjacency
+// walk. False positives are safe (later filters re-check), false negatives
+// are impossible because every present group key sets its bit.
+package graph
+
+import "math/bits"
+
+// DegreeBuckets is the number of log2 buckets in a degree histogram:
+// bucket i holds vertices whose degree d satisfies bits.Len(d) == i, i.e.
+// bucket 0 is degree 0, bucket 1 is degree 1, bucket 2 is degrees 2-3, ...
+const DegreeBuckets = 33
+
+// Stats holds precomputed cardinality statistics of one graph snapshot.
+// All slices are indexed by label ID and sized to the snapshot's label
+// spaces; the accessor methods bounds-check so callers can probe labels
+// outside the space.
+type Stats struct {
+	Vertices int // total vertices
+	Edges    int // total distinct (s, el, o) edges
+
+	LabelVertices     []int // per vertex label: vertices carrying it
+	EdgeLabelEdges    []int // per edge label: distinct edges
+	EdgeLabelSubjects []int // per edge label: distinct subjects
+	EdgeLabelObjects  []int // per edge label: distinct objects
+
+	OutDegreeHist [DegreeBuckets]int // log2 histogram of out-degrees
+	InDegreeHist  [DegreeBuckets]int // log2 histogram of in-degrees
+}
+
+// DegreeBucket returns the histogram bucket of degree d.
+func DegreeBucket(d int) int {
+	b := bits.Len(uint(d))
+	if b >= DegreeBuckets {
+		b = DegreeBuckets - 1
+	}
+	return b
+}
+
+// LabelCount returns the number of vertices carrying vertex label l.
+func (s *Stats) LabelCount(l uint32) int {
+	if int(l) >= len(s.LabelVertices) {
+		return 0
+	}
+	return s.LabelVertices[l]
+}
+
+// EdgeCount returns the number of distinct edges labeled el.
+func (s *Stats) EdgeCount(el uint32) int {
+	if int(el) >= len(s.EdgeLabelEdges) {
+		return 0
+	}
+	return s.EdgeLabelEdges[el]
+}
+
+// SubjectCount returns the number of distinct subjects of edges labeled el.
+func (s *Stats) SubjectCount(el uint32) int {
+	if int(el) >= len(s.EdgeLabelSubjects) {
+		return 0
+	}
+	return s.EdgeLabelSubjects[el]
+}
+
+// ObjectCount returns the number of distinct objects of edges labeled el.
+func (s *Stats) ObjectCount(el uint32) int {
+	if int(el) >= len(s.EdgeLabelObjects) {
+		return 0
+	}
+	return s.EdgeLabelObjects[el]
+}
+
+// SignatureBit returns the signature bit of one incident
+// (direction, edge label, neighbor label) triple — a single set bit in a
+// 64-bit word. The matcher hashes a query vertex's required triples with
+// the same function, so data-side and query-side bits agree by
+// construction.
+func SignatureBit(d Dir, el, vl uint32) uint64 {
+	x := uint64(el)<<33 ^ uint64(vl)<<1 ^ uint64(d)
+	// splitmix64 finalizer: cheap, well-mixed, stable across platforms.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return 1 << (x & 63)
+}
+
+// finishStats fills g.stats from the frozen CSR arrays. The per-edge-label
+// edge counts must already be in place (Build counts them while walking the
+// deduplicated edge list).
+func (g *Graph) finishStats(edgeLabelEdges []int) {
+	st := &Stats{
+		Vertices:       g.numVertices,
+		Edges:          g.numEdges,
+		EdgeLabelEdges: edgeLabelEdges,
+	}
+	st.LabelVertices = make([]int, g.numLabels)
+	for l := 0; l < g.numLabels; l++ {
+		st.LabelVertices[l] = g.invOff[l+1] - g.invOff[l]
+	}
+	st.EdgeLabelSubjects = make([]int, g.numEdgeLabels)
+	st.EdgeLabelObjects = make([]int, g.numEdgeLabels)
+	for el := 0; el < g.numEdgeLabels; el++ {
+		st.EdgeLabelSubjects[el] = g.predSubOff[el+1] - g.predSubOff[el]
+		st.EdgeLabelObjects[el] = g.predObjOff[el+1] - g.predObjOff[el]
+	}
+	for v := 0; v < g.numVertices; v++ {
+		st.OutDegreeHist[DegreeBucket(int(g.outDeg[v]))]++
+		st.InDegreeHist[DegreeBucket(int(g.inDeg[v]))]++
+	}
+	g.stats = st
+}
+
+// computeSignatures fills g.sig from the grouped adjacency: one pass over
+// each direction's group keys, OR-ing the bit of every present
+// (dir, edge label, neighbor label) group.
+func (g *Graph) computeSignatures() {
+	g.sig = make([]uint64, g.numVertices)
+	for _, d := range [2]Dir{Out, In} {
+		a := g.dir(d)
+		for v := 0; v < g.numVertices; v++ {
+			s := g.sig[v]
+			for _, key := range a.groupKeys[a.vtxGroupOff[v]:a.vtxGroupOff[v+1]] {
+				s |= SignatureBit(d, key.EdgeLabel, key.VertexLabel)
+			}
+			g.sig[v] = s
+		}
+	}
+}
+
+// signatureOf recomputes the signature of one dirty overlay vertex from its
+// materialized merged adjacency.
+func (vv *vertexView) signature() uint64 {
+	var s uint64
+	for _, key := range vv.out.keys {
+		s |= SignatureBit(Out, key.EdgeLabel, key.VertexLabel)
+	}
+	for _, key := range vv.in.keys {
+		s |= SignatureBit(In, key.EdgeLabel, key.VertexLabel)
+	}
+	return s
+}
+
+// Stats returns the precomputed statistics of the graph. The result is
+// immutable and shared; callers must not mutate it.
+func (g *Graph) Stats() *Stats { return g.stats }
+
+// Signature returns the 64-bit neighborhood signature of v.
+func (g *Graph) Signature(v uint32) uint64 {
+	if int(v) >= len(g.sig) {
+		return 0
+	}
+	return g.sig[v]
+}
+
+// Stats returns the corrected statistics of the overlay snapshot.
+func (o *Overlay) Stats() *Stats { return o.stats }
+
+// Signature returns the 64-bit neighborhood signature of v under the
+// overlay: recomputed for dirty vertices, the base signature otherwise. A
+// vertex beyond the base without materialized adjacency has no edges, so
+// its signature is empty.
+func (o *Overlay) Signature(v uint32) uint64 {
+	if s, ok := o.sigs[v]; ok {
+		return s
+	}
+	return o.base.Signature(v)
+}

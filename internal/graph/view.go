@@ -54,6 +54,14 @@ type View interface {
 	SubjectsOf(el uint32) []uint32
 	// ObjectsOf returns the sorted distinct objects of edges labeled el.
 	ObjectsOf(el uint32) []uint32
+
+	// Stats returns the snapshot's precomputed cardinality statistics.
+	// The result is immutable, shared, and never nil.
+	Stats() *Stats
+	// Signature returns the 64-bit neighborhood signature of v: the OR of
+	// SignatureBit over every (direction, edge label, neighbor label)
+	// triple incident to v.
+	Signature(v uint32) uint64
 }
 
 var (

@@ -149,7 +149,8 @@ func IndexFuncs(fset *token.FileSet, f *ast.File) *EnclosingFuncs {
 // FuncFor returns the innermost function whose span contains pos, or nil.
 func (e *EnclosingFuncs) FuncFor(pos token.Pos) ast.Node {
 	var best ast.Node
-	var bestSize token.Pos = 1 << 60
+	// token.Pos is int-sized; 1<<60 would overflow it on 32-bit builds.
+	bestSize := token.Pos(^uint(0) >> 1)
 	for _, fs := range e.funcs {
 		if fs.pos <= pos && pos < fs.end {
 			if size := fs.end - fs.pos; size < bestSize {

@@ -94,6 +94,16 @@ type Options struct {
 	// matching orders. Useful for reproducing the paper's ablations.
 	DisableOptimizations bool
 
+	// CostOrder ranks each region's matching order with the graph's
+	// precomputed cardinality statistics (label counts, predicate
+	// fan-outs) instead of the paper's candidate-population heuristic.
+	// The answer SET is identical either way; only the enumeration order
+	// of rows — and the amount of search needed to produce them — can
+	// change. Off by default so row orders stay stable across releases;
+	// turn it on for skewed data where the heuristic misjudges path
+	// costs. It composes with every optimization suite above.
+	CostOrder bool
+
 	// Matcher, when non-nil, overrides the optimization toggles entirely
 	// with an explicit core configuration (+INT, -NLF, -DEG, +REUSE
 	// individually; see core.Opts). Workers above is still applied.
@@ -148,6 +158,7 @@ func (o *Options) coreOpts() core.Opts {
 		opts.Workers = o.Workers
 		opts.StreamBuffer = o.StreamBuffer
 		opts.MaxSolutions = o.Limit
+		opts.CostOrder = o.CostOrder
 		if o.NEC == NECOff {
 			opts.NoNEC = true
 		}

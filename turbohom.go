@@ -187,6 +187,21 @@ func (p *Prepared) Count(ctx context.Context) (int, error) {
 	return p.pq.Count(ctx)
 }
 
+// Explain executes the prepared query sequentially and returns a
+// human-readable report of how the matcher ran it: the chosen matching
+// order per pattern component (statistics cost model or the paper's
+// population heuristic, per Options.CostOrder), the estimated row counts
+// at each order position, and the filter effort counters — search nodes,
+// candidate regions, and the neighborhood signature's checked/killed
+// rates. It pays for a full execution of every component.
+func (p *Prepared) Explain(ctx context.Context) (string, error) {
+	ex, err := p.pq.Explain(ctx)
+	if err != nil {
+		return "", err
+	}
+	return ex.String(), nil
+}
+
 // Rows is a streaming result cursor in the style of database/sql: call Next
 // until it returns false, read the current row with Row or Scan, then check
 // Err. Always Close a cursor you do not drain — Close releases the
