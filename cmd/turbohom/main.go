@@ -30,6 +30,12 @@
 // by the concurrent inserts; a count taken after loading reflects them. Use
 // -compact to fold the accumulated delta back into the base afterwards.
 //
+// -save dir persists the loaded store as a binary snapshot directory, and
+// -load dir opens one: cold start reads the frozen arrays directly — no
+// N-Triples parsing, no transformation — and replays the write-ahead log, so
+// mutations against a loaded store (-update, -compact) are durable across
+// restarts. -syncwal fsyncs the log on every batch.
+//
 // Queries are prepared once and results stream through a cursor: rows print
 // as the matcher finds them, and both Ctrl-C and the -max-rows cap abandon
 // the remaining search instead of completing it.
@@ -68,7 +74,10 @@ func main() {
 		explain   = flag.Bool("explain", false, "print the matching order, cost estimates, and filter counters instead of rows")
 		costOrder = flag.Bool("costorder", false, "rank matching orders by graph statistics instead of the candidate-population heuristic")
 		updateF   = flag.String("update", "", "N-Triples file to insert concurrently while the query runs")
-		compact   = flag.Bool("compact", false, "compact the delta overlay after -update finishes")
+		compact   = flag.Bool("compact", false, "compact the delta overlay (after -update finishes, if given; durable stores also fold the WAL into the snapshot)")
+		saveDir   = flag.String("save", "", "persist the loaded store as a snapshot directory")
+		loadDir   = flag.String("load", "", "open a durable store from a snapshot directory (instead of -data; -dataset then only names the -id workload)")
+		syncWAL   = flag.Bool("syncwal", false, "fsync the write-ahead log on every insert/delete batch")
 		timeIt    = flag.Bool("time", false, "apply the paper's timing protocol and report elapsed ms")
 		maxRows   = flag.Int("max-rows", 20, "stop after printing this many rows (0 = unlimited)")
 	)
@@ -81,16 +90,18 @@ func main() {
 	defer stop()
 
 	if err := run(ctx, *dataFile, *dataset, *scale, *queryStr, *queryFile, *queryID,
-		*transf, *noopt, *costOrder, *workers, *streamBuf, *countOnly, *explain, *timeIt, *maxRows, *updateF, *compact); err != nil {
+		*transf, *noopt, *costOrder, *workers, *streamBuf, *countOnly, *explain, *timeIt, *maxRows, *updateF, *compact,
+		*saveDir, *loadDir, *syncWAL); err != nil {
 		fmt.Fprintln(os.Stderr, "turbohom:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, queryFile, queryID,
-	transf string, noopt, costOrder bool, workers, streamBuf int, countOnly, explain, timeIt bool, maxRows int, updateFile string, compact bool) (retErr error) {
+	transf string, noopt, costOrder bool, workers, streamBuf int, countOnly, explain, timeIt bool, maxRows int, updateFile string, compact bool,
+	saveDir, loadDir string, syncWAL bool) (retErr error) {
 
-	opts := &turbohom.Options{Workers: workers, StreamBuffer: streamBuf, DisableOptimizations: noopt, CostOrder: costOrder}
+	opts := &turbohom.Options{Workers: workers, StreamBuffer: streamBuf, DisableOptimizations: noopt, CostOrder: costOrder, SyncWAL: syncWAL}
 	switch transf {
 	case "typeaware":
 		opts.Transformation = turbohom.TypeAware
@@ -105,6 +116,16 @@ func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, que
 		err   error
 	)
 	switch {
+	case loadDir != "":
+		// -dataset stays legal alongside -load: it names the benchmark
+		// workload for -id without generating any triples.
+		if dataFile != "" {
+			return fmt.Errorf("-load replaces -data")
+		}
+		store, err = turbohom.OpenDir(loadDir, opts)
+		if err != nil {
+			return err
+		}
 	case dataFile != "":
 		store, err = turbohom.OpenFile(dataFile, opts)
 		if err != nil {
@@ -117,11 +138,22 @@ func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, que
 		}
 		store = turbohom.New(ds.Triples, opts)
 	default:
-		return fmt.Errorf("one of -data or -dataset is required")
+		return fmt.Errorf("one of -data, -dataset, or -load is required")
+	}
+	defer store.Close()
+
+	if saveDir != "" {
+		if err := store.Save(saveDir); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot saved to %s\n", saveDir)
+		if queryStr == "" && queryFile == "" && queryID == "" {
+			return nil
+		}
 	}
 
 	// Benchmark query IDs resolve against the named workload, whether the
-	// triples came from the generator or from a file.
+	// triples came from the generator, a file, or a loaded snapshot.
 	var queries []datagen.Query
 	if queryID != "" {
 		if dataset == "" {
@@ -193,9 +225,26 @@ func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, que
 			fmt.Printf("after -update: %d triples -> %d vertices, %d edges; query now has %d solutions\n",
 				st.Triples, st.Vertices, st.Edges, n)
 			if compact {
-				store.Compact()
+				if err := store.Compact(); err != nil {
+					fmt.Fprintln(os.Stderr, "turbohom: compact:", err)
+					return
+				}
 				fmt.Println("delta compacted into base")
 			}
+		}()
+	} else if compact {
+		// Standalone -compact (no -update): fold whatever the store holds
+		// — on a durable store this also rewrites the snapshot and resets
+		// the write-ahead log.
+		defer func() {
+			if retErr != nil {
+				return
+			}
+			if err := store.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "turbohom: compact:", err)
+				return
+			}
+			fmt.Println("delta compacted into base")
 		}()
 	}
 
@@ -281,9 +330,11 @@ func streamInserts(ctx context.Context, store *turbohom.Store, file string) erro
 	const batchSize = 512
 	batch := make([]turbohom.Triple, 0, batchSize)
 	inserted := 0
-	flush := func() {
-		inserted += store.Insert(batch)
+	flush := func() error {
+		n, err := store.Insert(batch)
+		inserted += n
 		batch = batch[:0]
+		return err
 	}
 	for {
 		if ctx.Err() != nil {
@@ -298,10 +349,14 @@ func streamInserts(ctx context.Context, store *turbohom.Store, file string) erro
 		}
 		batch = append(batch, t)
 		if len(batch) == batchSize {
-			flush()
+			if err := flush(); err != nil {
+				return err
+			}
 		}
 	}
-	flush()
+	if err := flush(); err != nil {
+		return err
+	}
 	fmt.Printf("inserted %d new triples from %s (concurrently with the query)\n", inserted, file)
 	return nil
 }

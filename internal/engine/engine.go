@@ -64,7 +64,21 @@ func (e *Engine) Data() *transform.Data { return e.cur.Load() }
 // same append-only dictionaries — so that prepared queries' pinned term IDs
 // stay meaningful. Executions already running keep their pinned snapshot;
 // executions starting afterwards observe the new one.
-func (e *Engine) SetData(d *transform.Data) { e.cur.Store(d) }
+//
+// The lineage contract is enforced where it is checkable: the mode must
+// match and the epoch must not go backwards. Epochs keep increasing across
+// restarts (a store restored from a persisted snapshot resumes at the
+// snapshot's epoch), so this also catches accidentally publishing a stale
+// pre-restart snapshot into a recovered engine.
+func (e *Engine) SetData(d *transform.Data) {
+	if d.Mode != e.mode {
+		panic(fmt.Sprintf("engine: SetData with %s-transformed snapshot into a %s engine", d.Mode, e.mode))
+	}
+	if cur := e.cur.Load(); cur != nil && d.Epoch < cur.Epoch {
+		panic(fmt.Sprintf("engine: SetData would move the snapshot epoch backwards (%d -> %d)", cur.Epoch, d.Epoch))
+	}
+	e.cur.Store(d)
+}
 
 // SetSemantics overrides the matching semantics (the default is the RDF
 // e-graph homomorphism; Isomorphism gives classic subgraph isomorphism).

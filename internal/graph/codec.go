@@ -1,0 +1,250 @@
+// Binary snapshot codec for the frozen CSR arrays.
+//
+// The encoder writes every array the accessors index into; the decoder
+// treats the bytes as untrusted and re-validates the structural invariants
+// the accessors rely on — CSR offset arrays must be monotone and end at
+// their flat array's length, adjacency group ends must be nondecreasing,
+// and every stored vertex ID must be in range. These checks are
+// load-bearing: Labels, Adj, and friends slice with offset pairs and would
+// panic on a negative-length slice if a corrupt snapshot were installed
+// unchecked. Statistics and neighborhood signatures are cheap to recompute
+// from the validated arrays, so they are derived on decode rather than
+// stored (only the per-edge-label edge counts, which need the pre-expansion
+// edge list, travel in the snapshot).
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// CorruptSnapshotError reports a malformed or internally inconsistent graph
+// snapshot. Decoding untrusted bytes returns it instead of panicking.
+type CorruptSnapshotError struct {
+	Off int    // byte offset within the snapshot section, where known
+	Msg string // what invariant was violated
+}
+
+func (e *CorruptSnapshotError) Error() string {
+	return fmt.Sprintf("graph: corrupt snapshot: %s (offset %d)", e.Msg, e.Off)
+}
+
+// AppendSnapshot appends the graph's binary snapshot section to dst. The
+// encoding is deterministic: the same graph always produces the same bytes.
+func (g *Graph) AppendSnapshot(dst []byte) []byte {
+	dst = wire.AppendInts(dst, []int{g.numVertices, g.numEdges, g.numLabels, g.numEdgeLabels})
+
+	dst = wire.AppendInts(dst, g.labelOff)
+	dst = wire.AppendU32s(dst, g.labels)
+	dst = wire.AppendInts(dst, g.invOff)
+	dst = wire.AppendU32s(dst, g.inv)
+
+	dst = appendAdjacency(dst, &g.out)
+	dst = appendAdjacency(dst, &g.in)
+
+	dst = appendDegrees(dst, g.outDeg)
+	dst = appendDegrees(dst, g.inDeg)
+
+	dst = wire.AppendInts(dst, g.predSubOff)
+	dst = wire.AppendU32s(dst, g.predSub)
+	dst = wire.AppendInts(dst, g.predObjOff)
+	dst = wire.AppendU32s(dst, g.predObj)
+
+	dst = wire.AppendInts(dst, g.stats.EdgeLabelEdges)
+	return dst
+}
+
+func appendAdjacency(dst []byte, a *adjacency) []byte {
+	dst = wire.AppendInts(dst, a.vtxGroupOff)
+	keys := make([]uint32, 0, len(a.groupKeys)*2)
+	for _, k := range a.groupKeys {
+		keys = append(keys, k.EdgeLabel, k.VertexLabel)
+	}
+	dst = wire.AppendU32s(dst, keys)
+	dst = wire.AppendInts(dst, a.groupEnd)
+	return wire.AppendU32s(dst, a.adj)
+}
+
+func appendDegrees(dst []byte, deg []int32) []byte {
+	vs := make([]uint32, len(deg))
+	for i, d := range deg {
+		vs[i] = uint32(d)
+	}
+	return wire.AppendU32s(dst, vs)
+}
+
+// DecodeSnapshot rebuilds a Graph from a section written by AppendSnapshot.
+// The input is untrusted: any truncation, trailing garbage, or violated
+// structural invariant returns a *CorruptSnapshotError — never a panic.
+func DecodeSnapshot(data []byte) (*Graph, error) {
+	r := wire.NewReader(data)
+	g := &Graph{}
+	dims := r.Ints("dims")
+	var err error
+	fail := func(msg string) (*Graph, error) {
+		return nil, &CorruptSnapshotError{Off: r.Off(), Msg: msg}
+	}
+
+	// Dims travel as a 4-element offset-style array purely for the reader's
+	// overflow checks; semantic bounds are validated against the arrays below.
+	if dims == nil {
+		dims = []int{0, 0, 0, 0}
+	}
+	if len(dims) != 4 {
+		return fail(fmt.Sprintf("expected 4 dimensions, got %d", len(dims)))
+	}
+	g.numVertices, g.numEdges, g.numLabels, g.numEdgeLabels = dims[0], dims[1], dims[2], dims[3]
+
+	g.labelOff = r.Ints("labelOff")
+	g.labels = r.U32s("labels")
+	g.invOff = r.Ints("invOff")
+	g.inv = r.U32s("inv")
+
+	if g.out, err = decodeAdjacency(r, "out"); err != nil {
+		return nil, err
+	}
+	if g.in, err = decodeAdjacency(r, "in"); err != nil {
+		return nil, err
+	}
+
+	g.outDeg = decodeDegrees(r, "outDeg")
+	g.inDeg = decodeDegrees(r, "inDeg")
+
+	g.predSubOff = r.Ints("predSubOff")
+	g.predSub = r.U32s("predSub")
+	g.predObjOff = r.Ints("predObjOff")
+	g.predObj = r.U32s("predObj")
+
+	edgeLabelEdges := r.Ints("edgeLabelEdges")
+
+	if off, msg, failed := r.Failed(); failed {
+		return nil, &CorruptSnapshotError{Off: off, Msg: msg}
+	}
+	if r.Remaining() != 0 {
+		return fail(fmt.Sprintf("%d trailing bytes after graph snapshot", r.Remaining()))
+	}
+
+	// Structural validation: everything the accessors slice or index with.
+	if err := checkCSR(g.labelOff, g.numVertices, len(g.labels), "labelOff"); err != nil {
+		return nil, err
+	}
+	if err := checkIDs(g.labels, uint32(g.numLabels), "vertex label"); err != nil {
+		return nil, err
+	}
+	if err := checkCSR(g.invOff, g.numLabels, len(g.inv), "invOff"); err != nil {
+		return nil, err
+	}
+	if err := checkIDs(g.inv, uint32(g.numVertices), "inverse-list vertex"); err != nil {
+		return nil, err
+	}
+	if err := checkAdjacency(&g.out, g.numVertices, "out"); err != nil {
+		return nil, err
+	}
+	if err := checkAdjacency(&g.in, g.numVertices, "in"); err != nil {
+		return nil, err
+	}
+	if len(g.outDeg) != g.numVertices || len(g.inDeg) != g.numVertices {
+		return fail("degree array length mismatch")
+	}
+	if err := checkCSR(g.predSubOff, g.numEdgeLabels, len(g.predSub), "predSubOff"); err != nil {
+		return nil, err
+	}
+	if err := checkIDs(g.predSub, uint32(g.numVertices), "predicate subject"); err != nil {
+		return nil, err
+	}
+	if err := checkCSR(g.predObjOff, g.numEdgeLabels, len(g.predObj), "predObjOff"); err != nil {
+		return nil, err
+	}
+	if err := checkIDs(g.predObj, uint32(g.numVertices), "predicate object"); err != nil {
+		return nil, err
+	}
+	if len(edgeLabelEdges) != g.numEdgeLabels {
+		return fail("edgeLabelEdges length mismatch")
+	}
+	// Vertex IDs are uint32; a larger claimed space could not be indexed.
+	if uint64(g.numVertices) > uint64(NoLabel) {
+		return fail("vertex count exceeds the uint32 ID space")
+	}
+
+	// Derived data: cheap single passes over now-validated arrays.
+	g.finishStats(edgeLabelEdges)
+	g.computeSignatures()
+	return g, nil
+}
+
+func decodeAdjacency(r *wire.Reader, name string) (adjacency, error) {
+	var a adjacency
+	a.vtxGroupOff = r.Ints(name + ".vtxGroupOff")
+	flat := r.U32s(name + ".groupKeys")
+	if len(flat)%2 != 0 {
+		return a, &CorruptSnapshotError{Off: r.Off(), Msg: name + ": odd group-key array"}
+	}
+	a.groupKeys = make([]NeighborType, len(flat)/2)
+	for i := range a.groupKeys {
+		a.groupKeys[i] = NeighborType{EdgeLabel: flat[2*i], VertexLabel: flat[2*i+1]}
+	}
+	a.groupEnd = r.Ints(name + ".groupEnd")
+	a.adj = r.U32s(name + ".adj")
+	return a, nil
+}
+
+func decodeDegrees(r *wire.Reader, name string) []int32 {
+	vs := r.U32s(name)
+	deg := make([]int32, len(vs))
+	for i, v := range vs {
+		deg[i] = int32(v)
+	}
+	return deg
+}
+
+// checkCSR validates an offset array over n entries indexing a flat array:
+// length n+1, starts at 0, monotone nondecreasing, ends at flatLen. These
+// are exactly the conditions under which off[i]:off[i+1] slicing cannot
+// panic.
+func checkCSR(off []int, n, flatLen int, name string) error {
+	if n < 0 || len(off) != n+1 {
+		return &CorruptSnapshotError{Msg: fmt.Sprintf("%s: length %d, want %d", name, len(off), n+1)}
+	}
+	if off[0] != 0 {
+		return &CorruptSnapshotError{Msg: fmt.Sprintf("%s: does not start at 0", name)}
+	}
+	for i := 1; i < len(off); i++ {
+		if off[i] < off[i-1] {
+			return &CorruptSnapshotError{Msg: fmt.Sprintf("%s: offsets decrease at %d", name, i)}
+		}
+	}
+	if off[n] != flatLen {
+		return &CorruptSnapshotError{Msg: fmt.Sprintf("%s: ends at %d, flat array has %d", name, off[n], flatLen)}
+	}
+	return nil
+}
+
+func checkIDs(vals []uint32, limit uint32, name string) error {
+	for i, v := range vals {
+		if v >= limit {
+			return &CorruptSnapshotError{Msg: fmt.Sprintf("%s ID %d at index %d out of range (limit %d)", name, v, i, limit)}
+		}
+	}
+	return nil
+}
+
+func checkAdjacency(a *adjacency, numVertices int, name string) error {
+	if err := checkCSR(a.vtxGroupOff, numVertices, len(a.groupKeys), name+".vtxGroupOff"); err != nil {
+		return err
+	}
+	if len(a.groupEnd) != len(a.groupKeys) {
+		return &CorruptSnapshotError{Msg: fmt.Sprintf("%s: %d group ends for %d keys", name, len(a.groupEnd), len(a.groupKeys))}
+	}
+	prev := 0
+	for i, e := range a.groupEnd {
+		if e < prev {
+			return &CorruptSnapshotError{Msg: fmt.Sprintf("%s: group ends decrease at %d", name, i)}
+		}
+		prev = e
+	}
+	if prev != len(a.adj) {
+		return &CorruptSnapshotError{Msg: fmt.Sprintf("%s: groups end at %d, adjacency has %d", name, prev, len(a.adj))}
+	}
+	return checkIDs(a.adj, uint32(numVertices), name+" neighbor")
+}

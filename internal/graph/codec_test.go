@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// buildCodecGraph assembles a graph with multi-label vertices, unlabeled
+// vertices, multi-edges, and an isolated vertex — every shape the codec
+// must carry.
+func buildCodecGraph() *Graph {
+	b := NewBuilder()
+	b.AddVertexLabel(0, 0)
+	b.AddVertexLabel(0, 1)
+	b.AddVertexLabel(1, 0)
+	b.AddVertexLabel(3, 2)
+	b.AddEdge(0, 0, 1)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 0, 2)
+	b.AddEdge(2, 0, 0)
+	b.AddEdge(2, 1, 3)
+	b.AddEdge(3, 0, 3) // self loop
+	b.EnsureVertex(5)  // isolated, no labels
+	return b.Build()
+}
+
+func assertGraphsEqual(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() ||
+		got.NumLabels() != want.NumLabels() || got.NumEdgeLabels() != want.NumEdgeLabels() {
+		t.Fatalf("dims = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+			got.NumVertices(), got.NumEdges(), got.NumLabels(), got.NumEdgeLabels(),
+			want.NumVertices(), want.NumEdges(), want.NumLabels(), want.NumEdgeLabels())
+	}
+	for v := uint32(0); int(v) < want.NumVertices(); v++ {
+		if !reflect.DeepEqual(got.Labels(v), want.Labels(v)) {
+			t.Errorf("Labels(%d) = %v, want %v", v, got.Labels(v), want.Labels(v))
+		}
+		if got.Signature(v) != want.Signature(v) {
+			t.Errorf("Signature(%d) differs", v)
+		}
+		for _, d := range [2]Dir{Out, In} {
+			if got.Degree(v, d) != want.Degree(v, d) {
+				t.Errorf("Degree(%d, %s) = %d, want %d", v, d, got.Degree(v, d), want.Degree(v, d))
+			}
+			keys := want.NeighborTypes(v, d)
+			if !reflect.DeepEqual(got.NeighborTypes(v, d), keys) {
+				t.Errorf("NeighborTypes(%d, %s) differ", v, d)
+			}
+			for _, k := range keys {
+				if !reflect.DeepEqual(got.Adj(v, d, k.EdgeLabel, k.VertexLabel), want.Adj(v, d, k.EdgeLabel, k.VertexLabel)) {
+					t.Errorf("Adj(%d, %s, %v) differs", v, d, k)
+				}
+			}
+		}
+	}
+	for l := uint32(0); int(l) < want.NumLabels(); l++ {
+		if !reflect.DeepEqual(got.VerticesWithLabel(l), want.VerticesWithLabel(l)) {
+			t.Errorf("VerticesWithLabel(%d) differs", l)
+		}
+	}
+	for el := uint32(0); int(el) < want.NumEdgeLabels(); el++ {
+		if !reflect.DeepEqual(got.SubjectsOf(el), want.SubjectsOf(el)) {
+			t.Errorf("SubjectsOf(%d) differs", el)
+		}
+		if !reflect.DeepEqual(got.ObjectsOf(el), want.ObjectsOf(el)) {
+			t.Errorf("ObjectsOf(%d) differs", el)
+		}
+	}
+	if !reflect.DeepEqual(got.Stats(), want.Stats()) {
+		t.Errorf("Stats differ: %+v vs %+v", got.Stats(), want.Stats())
+	}
+}
+
+func TestGraphSnapshotRoundTrip(t *testing.T) {
+	want := buildCodecGraph()
+	blob := want.AppendSnapshot(nil)
+	got, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	assertGraphsEqual(t, got, want)
+
+	if blob2 := want.AppendSnapshot(nil); string(blob2) != string(blob) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestGraphSnapshotEmpty(t *testing.T) {
+	want := NewBuilder().Build()
+	got, err := DecodeSnapshot(want.AppendSnapshot(nil))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	assertGraphsEqual(t, got, want)
+}
+
+// Truncation at every byte must produce a typed error, never a panic.
+func TestGraphSnapshotTruncation(t *testing.T) {
+	blob := buildCodecGraph().AppendSnapshot(nil)
+	for cut := 0; cut < len(blob); cut++ {
+		g, err := DecodeSnapshot(blob[:cut])
+		if err == nil {
+			t.Fatalf("cut %d: decoded without error", cut)
+		}
+		if _, ok := err.(*CorruptSnapshotError); !ok {
+			t.Fatalf("cut %d: error type %T", cut, err)
+		}
+		if g != nil {
+			t.Fatalf("cut %d: non-nil graph with error", cut)
+		}
+	}
+}
+
+// Deterministic random byte corruption: decode must either fail cleanly or
+// succeed; using the accessors on a successful decode must not panic (the
+// structural validation guarantees slice safety even when values changed).
+func TestGraphSnapshotBitFlips(t *testing.T) {
+	blob := buildCodecGraph().AppendSnapshot(nil)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), blob...)
+		mut[rng.Intn(len(mut))] ^= 1 << rng.Intn(8)
+		g, err := DecodeSnapshot(mut)
+		if err != nil {
+			continue
+		}
+		for v := uint32(0); int(v) < g.NumVertices(); v++ {
+			g.Labels(v)
+			for _, d := range [2]Dir{Out, In} {
+				for _, k := range g.NeighborTypes(v, d) {
+					g.Adj(v, d, k.EdgeLabel, k.VertexLabel)
+				}
+			}
+		}
+	}
+}

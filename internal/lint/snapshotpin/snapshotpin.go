@@ -24,6 +24,20 @@
 //
 // A "snapshot load" is a call to a niladic method named Data whose single
 // result is a *Data of some package (the engine's accessor shape).
+//
+// The storage layer's Segment handles obey the same one-pin contract:
+// Snapshot() on a Segment returns the decoded *SegmentData, and an
+// execution path pins it once (OpenDir opens the file, snapshots, and
+// threads the result down). Three mirrored rules:
+//
+//  4. at most one Segment Snapshot() pin per function — a niladic method
+//     named Snapshot returning (*SegmentData, error);
+//  5. a function with a pinned *SegmentData parameter must not call
+//     Snapshot() again;
+//  6. a function holding any pinned snapshot parameter (*Data or
+//     *SegmentData) must not call OpenFileSegment — re-opening the
+//     segment file mid-execution reads storage that may have been
+//     rewritten by a concurrent Compact.
 package snapshotpin
 
 import (
@@ -37,15 +51,18 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "snapshotpin",
-	Doc:  "check that each engine execution path loads the atomic dataset snapshot at most once and uses pinned *Data parameters instead of re-loading",
+	Doc:  "check that each execution path pins the dataset snapshot (engine Data or storage Segment) at most once and uses pinned parameters instead of re-loading",
 	Run:  run,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	for _, file := range lintutil.NonTestFiles(pass) {
 		funcs := lintutil.IndexFuncs(pass.Fset, file)
-		// loads[fn] collects the snapshot-load call sites of each function.
+		// loads[fn] collects the snapshot-load call sites of each function;
+		// segLoads and segOpens do the same for Segment pins and file opens.
 		loads := map[ast.Node][]*ast.CallExpr{}
+		segLoads := map[ast.Node][]*ast.CallExpr{}
+		segOpens := map[ast.Node][]*ast.CallExpr{}
 
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -56,6 +73,10 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			switch {
 			case isSnapshotAccessorCall(pass, call):
 				loads[fn] = append(loads[fn], call)
+			case isSegmentSnapshotCall(pass, call):
+				segLoads[fn] = append(segLoads[fn], call)
+			case isSegmentOpenCall(pass, call):
+				segOpens[fn] = append(segOpens[fn], call)
 			case isRawSnapshotLoad(pass, call):
 				if !insideAccessor(pass, fn) {
 					pass.Reportf(call.Pos(), "raw Load of the atomic snapshot pointer outside the Data accessor; call the accessor so pinning stays auditable")
@@ -68,7 +89,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if fn == nil {
 				continue
 			}
-			if hasPinnedDataParam(pass, fn) {
+			if hasPinnedParam(pass, fn, "Data") {
 				for _, c := range calls {
 					pass.Reportf(c.Pos(), "function receives a pinned *Data parameter but loads the snapshot again; use the parameter so the execution stays on one snapshot")
 				}
@@ -76,6 +97,32 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			}
 			for _, c := range calls[1:] {
 				pass.Reportf(c.Pos(), "second snapshot load in one function; pin the snapshot once (d := e.Data()) and thread it through")
+			}
+		}
+
+		for fn, calls := range segLoads {
+			if fn == nil {
+				continue
+			}
+			if hasPinnedParam(pass, fn, "SegmentData") {
+				for _, c := range calls {
+					pass.Reportf(c.Pos(), "function receives a pinned *SegmentData parameter but pins the segment snapshot again; use the parameter so the execution stays on one snapshot")
+				}
+				continue
+			}
+			for _, c := range calls[1:] {
+				pass.Reportf(c.Pos(), "second segment snapshot pin in one function; pin once (sd, err := seg.Snapshot()) and thread it through")
+			}
+		}
+
+		for fn, calls := range segOpens {
+			if fn == nil {
+				continue
+			}
+			if hasPinnedParam(pass, fn, "Data") || hasPinnedParam(pass, fn, "SegmentData") {
+				for _, c := range calls {
+					pass.Reportf(c.Pos(), "execution path holding a pinned snapshot re-opens the segment file; open once at the entry point and thread the pinned data through")
+				}
 			}
 		}
 	}
@@ -97,7 +144,45 @@ func isSnapshotAccessorCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
 		return false
 	}
-	return resultIsDataPtr(sig.Results().At(0).Type())
+	return isPtrToNamed(sig.Results().At(0).Type(), "Data")
+}
+
+// isSegmentSnapshotCall matches seg.Snapshot() — a niladic method named
+// Snapshot whose results are (*SegmentData, error), the Segment handle's
+// pin operation.
+func isSegmentSnapshotCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Snapshot" || len(call.Args) != 0 {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Type() == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 2 {
+		return false
+	}
+	return isPtrToNamed(sig.Results().At(0).Type(), "SegmentData")
+}
+
+// isSegmentOpenCall matches a call to OpenFileSegment, by name: the only
+// way to acquire a file-backed Segment handle.
+func isSegmentOpenCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	if id.Name != "OpenFileSegment" {
+		return false
+	}
+	_, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	return ok
 }
 
 // isRawSnapshotLoad matches x.Load() where x is an atomic.Pointer whose
@@ -136,26 +221,27 @@ func insideAccessor(pass *analysis.Pass, fn ast.Node) bool {
 	return decl.Name.Name == "Data" || decl.Name.Name == "SetData"
 }
 
-// hasPinnedDataParam reports whether fn declares a parameter of type
-// *Data — i.e. it already operates on a pinned snapshot.
-func hasPinnedDataParam(pass *analysis.Pass, fn ast.Node) bool {
+// hasPinnedParam reports whether fn declares a parameter of type *<name>
+// (e.g. *Data, *SegmentData) — i.e. it already operates on a pinned
+// snapshot of that kind.
+func hasPinnedParam(pass *analysis.Pass, fn ast.Node, name string) bool {
 	params := lintutil.FuncParams(fn)
 	if params == nil {
 		return false
 	}
 	for _, field := range params.List {
 		t := pass.TypesInfo.TypeOf(field.Type)
-		if t != nil && resultIsDataPtr(t) {
+		if t != nil && isPtrToNamed(t, name) {
 			return true
 		}
 	}
 	return false
 }
 
-func resultIsDataPtr(t types.Type) bool {
+func isPtrToNamed(t types.Type, name string) bool {
 	p, ok := t.(*types.Pointer)
 	if !ok {
 		return false
 	}
-	return lintutil.TypeName(p.Elem()) == "Data"
+	return lintutil.TypeName(p.Elem()) == name
 }

@@ -50,3 +50,60 @@ func goroutineBody(e *Engine, done chan int) {
 	}()
 	done <- d.x
 }
+
+// The storage-layer shapes: a file-backed Segment handle whose Snapshot
+// method is the pin operation, mirroring the engine's Data accessor.
+
+type SegmentData struct{ n int }
+
+type FileSegment struct{ data *SegmentData }
+
+func OpenFileSegment(path string) (*FileSegment, error) {
+	return &FileSegment{data: &SegmentData{}}, nil
+}
+
+func (s *FileSegment) Snapshot() (*SegmentData, error) { return s.data, nil }
+
+// openOnce is the legitimate cold-start shape: open, pin once, use.
+func openOnce(path string) (int, error) {
+	seg, err := OpenFileSegment(path)
+	if err != nil {
+		return 0, err
+	}
+	sd, err := seg.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	return sd.n, nil
+}
+
+// doublePin pins the segment snapshot twice in one execution path.
+func doublePin(seg *FileSegment) int {
+	a, _ := seg.Snapshot()
+	b, _ := seg.Snapshot() // want `second segment snapshot pin`
+	return a.n + b.n
+}
+
+// segHelperReload receives a pinned *SegmentData but pins again.
+func segHelperReload(seg *FileSegment, sd *SegmentData) int {
+	d, _ := seg.Snapshot() // want `pinned \*SegmentData parameter but pins the segment snapshot again`
+	return sd.n + d.n
+}
+
+// segPinnedUser threads the pinned segment snapshot correctly.
+func segPinnedUser(sd *SegmentData) int { return sd.n }
+
+// reopenUnderSegmentPin re-opens the segment file while holding a pinned
+// *SegmentData — storage may have been rewritten by a concurrent Compact.
+func reopenUnderSegmentPin(path string, sd *SegmentData) int {
+	seg, err := OpenFileSegment(path) // want `re-opens the segment file`
+	_, _ = seg, err
+	return sd.n
+}
+
+// reopenUnderDataPin does the same while pinned to an engine snapshot.
+func reopenUnderDataPin(path string, d *Data) int {
+	seg, err := OpenFileSegment(path) // want `re-opens the segment file`
+	_, _ = seg, err
+	return d.x
+}

@@ -1,0 +1,281 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// DecodeError reports malformed bytes on an rdf decode path (dictionary
+// snapshot sections, term keys). Load paths return it instead of panicking,
+// so a corrupt or untrusted snapshot surfaces as an error the caller can
+// handle.
+type DecodeError struct {
+	Off int    // byte offset of the first problem within the decoded blob
+	Msg string // what was wrong
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("rdf: decode: %s (offset %d)", e.Msg, e.Off)
+}
+
+// KeySize is the fixed width of an encoded term key.
+const KeySize = 16
+
+// Key is the fixed-width binary encoding of a Term:
+//
+//	[0]     kind tag: 0 invalid, 1 blank node, 2 IRI, 3 literal
+//	[1]     subtag: for literals, the datatype class — 0 plain,
+//	        1 xsd:integer, 2 xsd:double, 3 xsd:string, 4 xsd:date,
+//	        0xFD language-tagged, 0xFE any other datatype; 0 otherwise
+//	[2]     form: 0 inline, 1 hashed
+//	[3:16]  payload: the term's content zero-padded (inline) or the first
+//	        13 bytes of a 128-bit hash of the full term string (hashed)
+//
+// Every field is written big-endian-style most-significant-first, so
+// bytes.Compare on keys is a canonical platform-independent order: terms
+// group by kind, then by datatype class, and short (inline) content sorts
+// in lexical order. Inline keys round-trip back to the Term via KeyTerm;
+// hashed keys identify the term (collision odds ~2^-104) but need a
+// dictionary to recover it.
+type Key [KeySize]byte
+
+// Kind tags ([0]) and literal subtags ([1]) of a Key.
+const (
+	keyInvalid = 0
+	keyBlank   = 1
+	keyIRI     = 2
+	keyLiteral = 3
+
+	subPlain   = 0
+	subInteger = 1
+	subDouble  = 2
+	subString  = 3
+	subDate    = 4
+	subLang    = 0xFD
+	subOther   = 0xFE
+
+	formInline = 0
+	formHashed = 1
+
+	keyPayload = KeySize - 3 // 13 bytes of content or hash
+)
+
+// datatypeSubtag maps well-known XSD datatype IRIs to their key subtag.
+func datatypeSubtag(dt string) (uint8, bool) {
+	switch dt {
+	case XSDInteger:
+		return subInteger, true
+	case XSDDouble:
+		return subDouble, true
+	case XSDString:
+		return subString, true
+	case XSDDate:
+		return subDate, true
+	}
+	return subOther, false
+}
+
+func subtagDatatype(sub uint8) string {
+	switch sub {
+	case subInteger:
+		return XSDInteger
+	case subDouble:
+		return XSDDouble
+	case subString:
+		return XSDString
+	case subDate:
+		return XSDDate
+	}
+	return ""
+}
+
+// EncodeKey builds the fixed-width key for t. It never fails: content that
+// does not fit the inline payload (or contains NUL, which zero-padding
+// could not distinguish from padding) is stored in hashed form.
+func EncodeKey(t Term) Key {
+	var k Key
+	s := string(t)
+	var content string // inline candidate; NUL count it may legally contain
+	nuls := 0
+	switch t.Kind() {
+	case Blank:
+		k[0] = keyBlank
+		content = s[2:]
+	case IRI:
+		k[0] = keyIRI
+		content = s[1 : len(s)-1]
+	case Literal:
+		k[0] = keyLiteral
+		end := strings.LastIndexByte(s, '"')
+		body, suffix := s[1:end], s[end+1:]
+		switch {
+		case strings.HasPrefix(suffix, "^^<"):
+			sub, known := datatypeSubtag(suffix[3 : len(suffix)-1])
+			k[1] = sub
+			if !known {
+				// The subtag cannot name the datatype, so the key can
+				// never round-trip; hash the full term unconditionally.
+				return hashKey(k, s)
+			}
+			content = body
+		case strings.HasPrefix(suffix, "@"):
+			k[1] = subLang
+			// body NUL-separated from the language tag; the separator is
+			// unambiguous because inline content may not contain NUL.
+			content = body + "\x00" + suffix[1:]
+			nuls = 1
+		default:
+			k[1] = subPlain
+			content = body
+		}
+	default:
+		k[0] = keyInvalid
+		content = s
+	}
+	if len(content) > keyPayload || strings.Count(content, "\x00") != nuls ||
+		strings.HasSuffix(content, "\x00") {
+		return hashKey(k, s)
+	}
+	k[2] = formInline
+	copy(k[3:], content)
+	return k
+}
+
+func hashKey(k Key, s string) Key {
+	k[2] = formHashed
+	h1, h2 := hash128(s)
+	for i := 0; i < 8; i++ {
+		k[3+i] = byte(h1 >> (56 - 8*i))
+	}
+	for i := 0; i < keyPayload-8; i++ {
+		k[11+i] = byte(h2 >> (56 - 8*i))
+	}
+	return k
+}
+
+// hash128 is two independently-seeded FNV-1a 64-bit hashes computed in one
+// pass. Pure integer arithmetic on explicit constants: the result is
+// identical on every platform and word size, which the snapshot format
+// depends on for its canonical sort order.
+func hash128(s string) (h1, h2 uint64) {
+	const prime = 1099511628211
+	h1 = 14695981039346656037
+	h2 = 14695981039346656037 ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(s); i++ {
+		c := uint64(s[i])
+		h1 = (h1 ^ c) * prime
+		h2 = (h2 ^ c) * prime
+	}
+	return h1, h2
+}
+
+// KeyTerm reconstructs the Term an inline key encodes. ok is false for
+// hashed keys and malformed tag bytes — those need a dictionary lookup.
+func KeyTerm(k Key) (Term, bool) {
+	if k[2] != formInline {
+		return "", false
+	}
+	payload := k[3:]
+	n := len(payload)
+	for n > 0 && payload[n-1] == 0 {
+		n--
+	}
+	content := string(payload[:n])
+	switch k[0] {
+	case keyBlank:
+		if k[1] != 0 {
+			return "", false
+		}
+		return Term("_:" + content), true
+	case keyIRI:
+		if k[1] != 0 {
+			return "", false
+		}
+		return Term("<" + content + ">"), true
+	case keyLiteral:
+		switch k[1] {
+		case subPlain:
+			return Term(`"` + content + `"`), true
+		case subInteger, subDouble, subString, subDate:
+			return Term(`"` + content + `"^^<` + subtagDatatype(k[1]) + ">"), true
+		case subLang:
+			body, lang, ok := strings.Cut(content, "\x00")
+			if !ok {
+				return "", false
+			}
+			return Term(`"` + body + `"@` + lang), true
+		}
+		return "", false
+	case keyInvalid:
+		if k[1] != 0 {
+			return "", false
+		}
+		return Term(content), true
+	}
+	return "", false
+}
+
+// Compare orders keys by their canonical byte order.
+func (k Key) Compare(o Key) int { return bytes.Compare(k[:], o[:]) }
+
+// AppendSnapshot appends the dictionary's binary snapshot section: a u64
+// term count followed by each term as uvarint-length-prefixed bytes, in ID
+// order. Decoding the section with DecodeDictionary reproduces the exact
+// ID assignment.
+func (d *Dictionary) AppendSnapshot(dst []byte) []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	dst = wire.AppendU64(dst, uint64(len(d.terms)))
+	for _, t := range d.terms {
+		dst = wire.AppendString(dst, string(t))
+	}
+	return dst
+}
+
+// DecodeDictionary rebuilds a dictionary from a snapshot section written by
+// AppendSnapshot. The input is untrusted: truncation, trailing garbage,
+// duplicate terms, and counts at or beyond the NoID cap all return a
+// *DecodeError — this path never panics. All term strings share one backing
+// allocation, so a large dictionary loads with O(1) string headers of GC
+// overhead rather than one allocation per term.
+func DecodeDictionary(data []byte) (*Dictionary, error) {
+	backing := string(data)
+	r := wire.NewReader(data)
+	count := r.U64()
+	if count >= uint64(NoID) {
+		return nil, &DecodeError{Off: 0, Msg: fmt.Sprintf("dictionary count %d at or beyond the 2^32-1 ID cap", count)}
+	}
+	// Each term costs at least its 1-byte length prefix, so a count that
+	// exceeds the remaining bytes is corrupt; checking before allocating
+	// keeps a poisoned count from reserving gigabytes.
+	if count > uint64(r.Remaining()) {
+		return nil, &DecodeError{Off: r.Off(), Msg: "dictionary count exceeds input"}
+	}
+	n := int(count)
+	d := &Dictionary{
+		ids:   make(map[Term]uint32, n),
+		terms: make([]Term, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		b := r.Bytes("dictionary term")
+		if _, _, failed := r.Failed(); failed {
+			break
+		}
+		t := Term(backing[r.Off()-len(b) : r.Off()])
+		if _, dup := d.ids[t]; dup {
+			return nil, &DecodeError{Off: r.Off(), Msg: fmt.Sprintf("duplicate dictionary term %s", t)}
+		}
+		d.ids[t] = uint32(i)
+		d.terms = append(d.terms, t)
+	}
+	if off, msg, failed := r.Failed(); failed {
+		return nil, &DecodeError{Off: off, Msg: msg}
+	}
+	if r.Remaining() != 0 {
+		return nil, &DecodeError{Off: r.Off(), Msg: fmt.Sprintf("%d trailing bytes after dictionary", r.Remaining())}
+	}
+	return d, nil
+}

@@ -1,0 +1,167 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestKeyInlineRoundTrip(t *testing.T) {
+	terms := []Term{
+		NewIRI("ex:a"),
+		NewIRI(""),
+		NewBlank("b0"),
+		NewBlank(""),
+		NewLiteral("hi"),
+		NewLiteral(""),
+		NewIntLiteral(42),
+		NewIntLiteral(-7),
+		NewFloatLiteral(2.5),
+		NewTypedLiteral("x", XSDString),
+		NewTypedLiteral("2024-01-02", XSDDate),
+		NewLangLiteral("hey", "en"),
+		NewLangLiteral("", "de-AT"),
+		Term("garbage"), // Invalid kind still gets a stable key
+	}
+	for _, tm := range terms {
+		k := EncodeKey(tm)
+		got, ok := KeyTerm(k)
+		if !ok {
+			t.Errorf("%s: expected inline key, got hashed/invalid", tm)
+			continue
+		}
+		if got != tm {
+			t.Errorf("%s: round-tripped to %s", tm, got)
+		}
+	}
+}
+
+func TestKeyHashedForms(t *testing.T) {
+	hashed := []Term{
+		NewIRI("http://example.org/a-very-long-iri-that-cannot-inline"),
+		NewLiteral(strings.Repeat("x", 14)),
+		NewTypedLiteral("1", "http://example.org/custom"), // unknown datatype
+		NewLiteral("nul\x00byte"),                         // NUL would alias zero padding
+		NewLangLiteral("nul\x00", "en"),
+	}
+	seen := map[Key]Term{}
+	for _, tm := range hashed {
+		k := EncodeKey(tm)
+		if _, ok := KeyTerm(k); ok {
+			t.Errorf("%s: expected hashed key", tm)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("hash collision between %s and %s", prev, tm)
+		}
+		seen[k] = tm
+		if k2 := EncodeKey(tm); k2 != k {
+			t.Errorf("%s: key not deterministic", tm)
+		}
+	}
+}
+
+// 13 bytes of content is the inline maximum; 14 must hash.
+func TestKeyInlineBoundary(t *testing.T) {
+	if _, ok := KeyTerm(EncodeKey(NewLiteral(strings.Repeat("y", 13)))); !ok {
+		t.Error("13-byte content should inline")
+	}
+	if _, ok := KeyTerm(EncodeKey(NewLiteral(strings.Repeat("y", 14)))); ok {
+		t.Error("14-byte content should hash")
+	}
+}
+
+// Inline keys of the same kind sort in lexical content order, and kinds
+// group: blanks < IRIs < literals.
+func TestKeyCanonicalOrder(t *testing.T) {
+	ordered := []Term{
+		NewBlank("a"),
+		NewIRI("a"),
+		NewIRI("ab"),
+		NewIRI("b"),
+		NewLiteral("a"),
+		NewIntLiteral(5),
+	}
+	keys := make([]Key, len(ordered))
+	for i, tm := range ordered {
+		keys[i] = EncodeKey(tm)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 }) {
+		t.Errorf("keys not in canonical order: %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			t.Errorf("distinct terms %s and %s share a key", ordered[i-1], ordered[i])
+		}
+	}
+}
+
+func TestDictionarySnapshotRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	terms := []Term{NewIRI("ex:s"), NewLiteral("lit"), NewBlank("b"), NewLangLiteral("x", "en")}
+	for _, tm := range terms {
+		d.Intern(tm)
+	}
+	got, err := DecodeDictionary(d.AppendSnapshot(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), d.Len())
+	}
+	for i, tm := range terms {
+		id, ok := got.Lookup(tm)
+		if !ok || id != uint32(i) {
+			t.Errorf("%s: lookup = (%d, %v), want (%d, true)", tm, id, ok, i)
+		}
+		if got.Term(uint32(i)) != tm {
+			t.Errorf("Term(%d) = %s, want %s", i, got.Term(uint32(i)), tm)
+		}
+	}
+	// The decoded dictionary stays appendable.
+	if id := got.Intern(NewIRI("ex:new")); id != uint32(len(terms)) {
+		t.Errorf("post-decode Intern = %d, want %d", id, len(terms))
+	}
+}
+
+func TestDecodeDictionaryEmpty(t *testing.T) {
+	d, err := DecodeDictionary(NewDictionary().AppendSnapshot(nil))
+	if err != nil || d.Len() != 0 {
+		t.Fatalf("empty round-trip: %v, len %d", err, d.Len())
+	}
+}
+
+// Every malformed variant must return *DecodeError — never panic.
+func TestDecodeDictionaryCorrupt(t *testing.T) {
+	d := NewDictionary()
+	d.Intern(NewIRI("ex:a"))
+	d.Intern(NewIRI("ex:b"))
+	blob := d.AppendSnapshot(nil)
+
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodeDictionary(blob[:cut]); err == nil {
+			t.Errorf("cut %d: no error", cut)
+		} else if _, ok := err.(*DecodeError); !ok {
+			t.Errorf("cut %d: error type %T", cut, err)
+		}
+	}
+
+	if _, err := DecodeDictionary(append(append([]byte(nil), blob...), 0xFF)); err == nil {
+		t.Error("trailing garbage: no error")
+	}
+
+	dup := NewDictionary()
+	dup.Intern(NewIRI("ex:a"))
+	dupBlob := dup.AppendSnapshot(nil)
+	dupBlob = append(dupBlob, dupBlob[8:]...) // repeat the term record
+	dupBlob[7] = 2                            // count = 2
+	if _, err := DecodeDictionary(dupBlob); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate term: err = %v", err)
+	}
+
+	// A count at the NoID cap must be a typed error, not the Intern panic.
+	capped := make([]byte, 8)
+	capped[4], capped[5], capped[6], capped[7] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := DecodeDictionary(capped); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Errorf("capped count: err = %v", err)
+	}
+}

@@ -531,7 +531,10 @@ func TestDictionaryCap(t *testing.T) {
 	if got := nextID(0); got != 0 {
 		t.Fatalf("nextID(0) = %d", got)
 	}
-	if got := nextID(int(NoID) - 1); got != NoID-1 {
+	// int cannot hold NoID on 32-bit platforms; -1 and -2 have the same
+	// uint32 images (uint32(-1) == NoID), so they exercise the same guard
+	// on any word size.
+	if got := nextID(-2); got != NoID-1 {
 		t.Fatalf("nextID(NoID-1) = %d", got)
 	}
 	defer func() {
@@ -543,7 +546,7 @@ func TestDictionaryCap(t *testing.T) {
 			t.Fatalf("panic message = %v", r)
 		}
 	}()
-	nextID(int(NoID))
+	nextID(-1)
 }
 
 // TestDictionaryConcurrentReaders checks the mutation-lock contract: Intern

@@ -1,0 +1,283 @@
+// Write-ahead log for mutation durability between snapshots.
+//
+// File layout:
+//
+//	magic+version "THWAL001" (8 bytes)
+//	records, each: u32 payload length | u32 CRC32-IEEE of payload | payload
+//	payload: u64 sequence (1,2,3,... since the last reset) | u8 kind (1 =
+//	  apply batch) | u64 insert count | triples | u64 delete count | triples
+//	  (each triple is three uvarint-length-prefixed term strings)
+//
+// Recovery follows the classic torn-tail rule: records are scanned in
+// order, and the first incomplete frame — too few bytes for a header, a
+// length that overruns the file, or a checksum mismatch on the final
+// frame — marks the end of the log; everything after it is discarded as a
+// crash remnant and the file is truncated there. A checksum mismatch
+// *before* the final frame, a bad record kind, or a sequence gap cannot
+// come from a torn write and is reported as *CorruptWALError instead.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"repro/internal/rdf"
+	"repro/internal/wire"
+)
+
+// walMagic is the log's magic + format version.
+const walMagic = "THWAL001"
+
+// WALHeaderLen is the byte length of the log header; the first record
+// starts here.
+const WALHeaderLen = len(walMagic)
+
+const kindApply = 1
+
+// Batch is one durably logged mutation: the insert and delete triple
+// batches of a single Store.Insert/Delete call.
+type Batch struct {
+	Ins, Del []rdf.Triple
+}
+
+// CorruptWALError reports structural damage to the log that cannot be
+// explained by a torn final write: a bad magic, a mid-log checksum
+// mismatch, a sequence gap, or an unparseable checksummed record.
+type CorruptWALError struct {
+	Off int64  // byte offset of the damaged record
+	Msg string // what was wrong
+}
+
+func (e *CorruptWALError) Error() string {
+	return fmt.Sprintf("storage: corrupt WAL: %s (offset %d)", e.Msg, e.Off)
+}
+
+// WAL is an open write-ahead log positioned for appending.
+type WAL struct {
+	f        *os.File
+	path     string
+	seq      uint64
+	syncEach bool
+}
+
+// OpenWAL opens (or creates) the log at path and replays it: the returned
+// batches are every fully-written record in order, ready to re-apply on
+// top of the last snapshot. A torn tail from a crash is truncated away;
+// structural corruption returns a *CorruptWALError. When syncEach is set,
+// every Append fsyncs before returning.
+func OpenWAL(path string, syncEach bool) (*WAL, []Batch, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &WAL{f: f, path: path, syncEach: syncEach}
+	// Shorter than a header means the log died during its very first
+	// write, before any record could exist: start fresh.
+	if len(raw) < WALHeaderLen {
+		if err := w.writeHeader(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return w, nil, nil
+	}
+	if string(raw[:WALHeaderLen]) != walMagic {
+		f.Close()
+		return nil, nil, &CorruptWALError{Off: 0, Msg: fmt.Sprintf("bad magic %q (want %q; version skew?)", raw[:WALHeaderLen], walMagic)}
+	}
+	batches, end, seq, err := scanWAL(raw)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if end < len(raw) {
+		if err := f.Truncate(int64(end)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(end), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.seq = seq
+	return w, batches, nil
+}
+
+func (w *WAL) writeHeader() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.WriteAt([]byte(walMagic), 0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(int64(WALHeaderLen), 0); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Append durably records b. The record hits the OS before Append returns;
+// it hits the platter too when the log was opened with syncEach.
+func (w *WAL) Append(b Batch) error {
+	payload := encodeBatch(nil, w.seq+1, b)
+	if uint64(len(payload)) > math.MaxUint32 {
+		return fmt.Errorf("storage: WAL batch of %d bytes exceeds the record size limit", len(payload))
+	}
+	rec := wire.AppendU32(nil, uint32(len(payload)))
+	rec = wire.AppendU32(rec, crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	if w.syncEach {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.seq++
+	return nil
+}
+
+// Reset discards every record, leaving an empty log. Called after the
+// snapshot that folds the logged batches has been durably written — in
+// that order, so a crash between the two replays the batches onto the new
+// snapshot, which is a no-op under set semantics.
+func (w *WAL) Reset() error {
+	w.seq = 0
+	return w.writeHeader()
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+func encodeBatch(dst []byte, seq uint64, b Batch) []byte {
+	dst = wire.AppendU64(dst, seq)
+	dst = wire.AppendU8(dst, kindApply)
+	for _, side := range [2][]rdf.Triple{b.Ins, b.Del} {
+		dst = wire.AppendU64(dst, uint64(len(side)))
+		for _, t := range side {
+			dst = wire.AppendString(dst, string(t.S))
+			dst = wire.AppendString(dst, string(t.P))
+			dst = wire.AppendString(dst, string(t.O))
+		}
+	}
+	return dst
+}
+
+func decodeBatch(payload []byte) (b Batch, seq uint64, err error) {
+	r := wire.NewReader(payload)
+	seq = r.U64()
+	if kind := r.U8(); kind != kindApply {
+		if _, _, failed := r.Failed(); !failed {
+			return b, 0, fmt.Errorf("unknown record kind %d", kind)
+		}
+	}
+	for side := 0; side < 2; side++ {
+		count := r.U64()
+		// Three 1-byte length prefixes is the minimum triple encoding.
+		if count > uint64(r.Remaining()/3) {
+			return b, 0, fmt.Errorf("triple count %d exceeds the record", count)
+		}
+		triples := make([]rdf.Triple, 0, int(count))
+		for i := uint64(0); i < count; i++ {
+			t := rdf.Triple{
+				S: rdf.Term(r.Bytes("subject")),
+				P: rdf.Term(r.Bytes("predicate")),
+				O: rdf.Term(r.Bytes("object")),
+			}
+			triples = append(triples, t)
+		}
+		if side == 0 {
+			b.Ins = triples
+		} else {
+			b.Del = triples
+		}
+	}
+	if _, msg, failed := r.Failed(); failed {
+		return b, 0, fmt.Errorf("%s", msg)
+	}
+	if r.Remaining() != 0 {
+		return b, 0, fmt.Errorf("%d trailing bytes in record", r.Remaining())
+	}
+	return b, seq, nil
+}
+
+// scanWAL walks the records of raw (whose magic has been validated),
+// returning the decoded batches, the end offset of the last valid record,
+// and its sequence number.
+func scanWAL(raw []byte) (batches []Batch, end int, seq uint64, err error) {
+	off := WALHeaderLen
+	for {
+		if len(raw)-off < 8 {
+			return batches, off, seq, nil // clean EOF or torn frame header
+		}
+		ln := int(binary.BigEndian.Uint32(raw[off:]))
+		sum := binary.BigEndian.Uint32(raw[off+4:])
+		if ln > len(raw)-off-8 {
+			return batches, off, seq, nil // torn: length overruns the file
+		}
+		payload := raw[off+8 : off+8+ln]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if off+8+ln == len(raw) {
+				return batches, off, seq, nil // torn final frame
+			}
+			return nil, 0, 0, &CorruptWALError{Off: int64(off), Msg: "checksum mismatch before the final record"}
+		}
+		b, s, derr := decodeBatch(payload)
+		if derr != nil {
+			return nil, 0, 0, &CorruptWALError{Off: int64(off), Msg: derr.Error()}
+		}
+		if s != seq+1 {
+			return nil, 0, 0, &CorruptWALError{Off: int64(off), Msg: fmt.Sprintf("sequence %d after %d", s, seq)}
+		}
+		seq = s
+		batches = append(batches, b)
+		off += 8 + ln
+	}
+}
+
+// RecordEnds returns the byte offsets at which each fully-valid record of
+// raw ends, starting from WALHeaderLen. Cutting the file at any returned
+// offset (or at WALHeaderLen) yields a log that recovers exactly the
+// records before the cut; cutting anywhere else drops the partial record.
+// Tests use this to enumerate crash points without re-deriving the record
+// framing.
+func RecordEnds(raw []byte) []int {
+	var ends []int
+	if len(raw) < WALHeaderLen || string(raw[:WALHeaderLen]) != walMagic {
+		return ends
+	}
+	off := WALHeaderLen
+	for {
+		if len(raw)-off < 8 {
+			return ends
+		}
+		ln := int(binary.BigEndian.Uint32(raw[off:]))
+		if ln > len(raw)-off-8 {
+			return ends
+		}
+		if crc32.ChecksumIEEE(raw[off+8:off+8+ln]) != binary.BigEndian.Uint32(raw[off+4:]) {
+			return ends
+		}
+		off += 8 + ln
+		ends = append(ends, off)
+	}
+}

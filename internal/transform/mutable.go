@@ -38,6 +38,13 @@ type Mutable struct {
 	preds   *rdf.Dictionary
 	triples map[rdf.Triple]struct{}
 
+	// pending defers the per-triple bookkeeping of a validated cold start
+	// (NewMutableFromSegment): while non-nil it holds the snapshot's triple
+	// list, and m.triples, the hierarchy, and vertRef are unbuilt. Queries
+	// never need them — only mutations do — so materialize() folds pending
+	// in on the first Apply/Compact instead of taxing every open.
+	pending []rdf.Triple
+
 	h        *hierarchy // TypeAware only
 	base     *graph.Graph
 	baseOff  []int    // Lsimple CSR of the base
@@ -85,7 +92,52 @@ func NewMutable(triples []rdf.Triple, mode Mode) *Mutable {
 func (m *Mutable) Current() *Data { return m.cur }
 
 // Len reports the net (distinct) triple count.
-func (m *Mutable) Len() int { return len(m.triples) }
+func (m *Mutable) Len() int { return m.tripleCount() }
+
+func (m *Mutable) tripleCount() int {
+	if m.pending != nil {
+		return len(m.pending)
+	}
+	return len(m.triples)
+}
+
+// materialize builds the bookkeeping a validated cold start deferred: the
+// triple set index and, under the type-aware transformation, the subClassOf
+// hierarchy and vertex reference counts. Term lookups cannot miss — the
+// snapshot decoder validated every term against its position's dictionary.
+func (m *Mutable) materialize() {
+	if m.pending == nil {
+		return
+	}
+	list := m.pending
+	m.pending = nil
+	m.triples = make(map[rdf.Triple]struct{}, len(list))
+	for _, t := range list {
+		m.triples[t] = struct{}{}
+	}
+	if m.mode != TypeAware {
+		return
+	}
+	for _, t := range list {
+		switch t.P.IRIValue() {
+		case rdf.RDFType:
+			m.h.classTerm[t.O] = true
+			v, _ := m.verts.Lookup(t.S)
+			m.vertRef[v]++
+		case rdf.RDFSSubClass:
+			m.h.classTerm[t.S] = true
+			m.h.classTerm[t.O] = true
+			sub, _ := m.labels.Lookup(t.S)
+			sup, _ := m.labels.Lookup(t.O)
+			m.h.superOf[sub] = append(m.h.superOf[sub], sup)
+		default:
+			s, _ := m.verts.Lookup(t.S)
+			o, _ := m.verts.Lookup(t.O)
+			m.vertRef[s]++
+			m.vertRef[o]++
+		}
+	}
+}
 
 // Mode reports the transformation in effect.
 func (m *Mutable) Mode() Mode { return m.mode }
@@ -95,6 +147,7 @@ func (m *Mutable) Mode() Mode { return m.mode }
 // changed the dataset (inserts not already present plus deletes that were).
 // When nothing changes, the current snapshot is returned unchanged.
 func (m *Mutable) Apply(ins, del []rdf.Triple) (*Data, int) {
+	m.materialize()
 	applied := 0
 	rebuild := false
 	for _, t := range ins {
@@ -139,6 +192,7 @@ func (m *Mutable) Apply(ins, del []rdf.Triple) (*Data, int) {
 // re-assembled into a fresh CSR graph (reusing the dictionaries, so all
 // interned IDs survive) and a new snapshot over the plain base is published.
 func (m *Mutable) Compact() *Data {
+	m.materialize()
 	m.rebuild()
 	m.cur = m.snapshot()
 	return m.cur
@@ -179,7 +233,7 @@ func (m *Mutable) snapshot() *Data {
 	d := &Data{
 		Mode:      m.mode,
 		Epoch:     m.epoch,
-		Triples:   len(m.triples),
+		Triples:   m.tripleCount(),
 		verts:     m.verts,
 		labels:    m.labels,
 		preds:     m.preds,

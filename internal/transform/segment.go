@@ -1,0 +1,212 @@
+// Bridge between the mutable transformed store and the storage layer's
+// Segment snapshots: FrozenSegment exports a compacted Mutable as an
+// immutable SegmentData (what WriteSegmentFile persists), and
+// NewMutableFromSegment rebuilds a fully mutable store from one — the
+// cold-start path that skips parsing and transformation entirely, because
+// the CSR graph, dictionaries, and Lsimple index come back verbatim from
+// the snapshot. Only the in-memory bookkeeping the snapshot doesn't carry
+// (the triple set index, the subClassOf hierarchy, the vertex reference
+// counts) is rebuilt, in one cheap pass over the triple list.
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/storage"
+)
+
+// FrozenSegment exports the store's current state as an immutable snapshot.
+// The Mutable must be compacted (empty delta, no Lsimple overrides): the
+// snapshot format stores the frozen base arrays, so callers Compact first.
+// Triples are emitted in canonical term-key order, making the snapshot
+// bytes deterministic for a given dataset regardless of insertion history.
+func (m *Mutable) FrozenSegment() (*storage.SegmentData, error) {
+	if !m.delta.Empty() || len(m.simpleOv) > 0 {
+		return nil, fmt.Errorf("transform: FrozenSegment on an uncompacted store (delta size %d)", m.delta.Size())
+	}
+	return &storage.SegmentData{
+		Mode:      uint8(m.mode),
+		Epoch:     m.epoch,
+		Graph:     m.base,
+		Verts:     m.verts,
+		Labels:    m.labels,
+		Preds:     m.preds,
+		SimpleOff: m.baseOff,
+		Simple:    m.baseSet,
+		Triples:   m.Triples(),
+	}, nil
+}
+
+// Triples returns the store's net triple set in canonical term-key order —
+// the same deterministic order FrozenSegment persists, so two stores holding
+// the same triples report identical lists regardless of insertion history.
+func (m *Mutable) Triples() []rdf.Triple {
+	if m.pending != nil {
+		// A cold-started store's snapshot list is already in canonical
+		// order; serve a copy without materializing the indexes.
+		return append([]rdf.Triple(nil), m.pending...)
+	}
+	list := make([]rdf.Triple, 0, len(m.triples))
+	for t := range m.triples {
+		list = append(list, t)
+	}
+	keys := make([]tripleKey, len(list))
+	for i, t := range list {
+		keys[i] = tripleKey{rdf.EncodeKey(t.S), rdf.EncodeKey(t.P), rdf.EncodeKey(t.O)}
+	}
+	sort.Sort(&keyedTriples{list: list, keys: keys})
+	return list
+}
+
+// tripleKey is the canonical sort key of one triple.
+type tripleKey struct {
+	s, p, o rdf.Key
+}
+
+// keyedTriples sorts a triple list by the canonical term-key order of
+// (S, P, O), falling back to the term strings on (astronomically unlikely)
+// hash-key collisions so the order is total and deterministic.
+type keyedTriples struct {
+	list []rdf.Triple
+	keys []tripleKey
+}
+
+func (k *keyedTriples) Len() int { return len(k.list) }
+func (k *keyedTriples) Swap(i, j int) {
+	k.list[i], k.list[j] = k.list[j], k.list[i]
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+}
+func (k *keyedTriples) Less(i, j int) bool {
+	a, b := &k.keys[i], &k.keys[j]
+	if c := a.s.Compare(b.s); c != 0 {
+		return c < 0
+	}
+	if c := a.p.Compare(b.p); c != 0 {
+		return c < 0
+	}
+	if c := a.o.Compare(b.o); c != 0 {
+		return c < 0
+	}
+	ta, tb := k.list[i], k.list[j]
+	if ta.S != tb.S {
+		return ta.S < tb.S
+	}
+	if ta.P != tb.P {
+		return ta.P < tb.P
+	}
+	return ta.O < tb.O
+}
+
+func segCorrupt(format string, args ...any) error {
+	return &graph.CorruptSnapshotError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// NewMutableFromSegment rebuilds a mutable store from a decoded snapshot.
+// The graph, dictionaries, and Lsimple arrays are installed directly — no
+// re-parse, no re-transform. The triple list is walked once to rebuild the
+// triple set index and, under the type-aware transformation, the
+// subClassOf hierarchy and vertex reference counts; a triple whose terms
+// are missing from the dictionaries means the snapshot is internally
+// inconsistent and returns a *graph.CorruptSnapshotError.
+func NewMutableFromSegment(sd *storage.SegmentData) (*Mutable, error) {
+	mode := Mode(sd.Mode)
+	if mode != Direct && mode != TypeAware {
+		return nil, segCorrupt("unknown transformation mode %d", sd.Mode)
+	}
+	if mode == TypeAware && sd.Labels == nil {
+		return nil, segCorrupt("type-aware snapshot without a labels dictionary")
+	}
+	m := &Mutable{
+		mode:    mode,
+		verts:   sd.Verts,
+		labels:  sd.Labels,
+		preds:   sd.Preds,
+		base:    sd.Graph,
+		baseOff: sd.SimpleOff,
+		baseSet: sd.Simple,
+		epoch:   sd.Epoch,
+	}
+	if mode == TypeAware {
+		m.h = newHierarchy()
+		m.vertRef = make(map[uint32]int, sd.Graph.NumVertices())
+	}
+	if sd.Validated {
+		// The decoder already proved every term lives in its position's
+		// dictionary, so the per-triple bookkeeping can be built lazily on
+		// the first mutation (materialize) — cold start then costs only
+		// the decode, not a second full pass.
+		m.pending = sd.Triples
+		m.delta = graph.NewDelta(m.base)
+		m.simpleOv = map[uint32][]uint32{}
+		m.cur = m.snapshot()
+		return m, nil
+	}
+	m.triples = make(map[rdf.Triple]struct{}, len(sd.Triples))
+	// One pass, kept lean because it dominates cold start on large stores:
+	// a single set insert per triple (dup = size unchanged) and exactly one
+	// dictionary lookup per term position.
+	for _, t := range sd.Triples {
+		before := len(m.triples)
+		m.triples[t] = struct{}{}
+		if len(m.triples) == before {
+			return nil, segCorrupt("duplicate triple %v in snapshot", t)
+		}
+		if mode == Direct {
+			if err := requireTerms(sd, t, t.S, t.O); err != nil {
+				return nil, err
+			}
+			if _, ok := sd.Preds.Lookup(t.P); !ok {
+				return nil, segCorrupt("predicate %s missing from the preds dictionary", t.P)
+			}
+			continue
+		}
+		switch t.P.IRIValue() {
+		case rdf.RDFType:
+			if _, ok := sd.Labels.Lookup(t.O); !ok {
+				return nil, segCorrupt("type %s missing from the labels dictionary", t.O)
+			}
+			v, ok := sd.Verts.Lookup(t.S)
+			if !ok {
+				return nil, segCorrupt("typed subject %s missing from the verts dictionary", t.S)
+			}
+			m.h.classTerm[t.O] = true
+			m.vertRef[v]++
+		case rdf.RDFSSubClass:
+			sub, ok1 := sd.Labels.Lookup(t.S)
+			sup, ok2 := sd.Labels.Lookup(t.O)
+			if !ok1 || !ok2 {
+				return nil, segCorrupt("subClassOf terms of %v missing from the labels dictionary", t)
+			}
+			m.h.classTerm[t.S] = true
+			m.h.classTerm[t.O] = true
+			m.h.superOf[sub] = append(m.h.superOf[sub], sup)
+		default:
+			s, ok1 := sd.Verts.Lookup(t.S)
+			o, ok2 := sd.Verts.Lookup(t.O)
+			if !ok1 || !ok2 {
+				return nil, segCorrupt("terms of triple %v missing from the verts dictionary", t)
+			}
+			if _, ok := sd.Preds.Lookup(t.P); !ok {
+				return nil, segCorrupt("predicate %s missing from the preds dictionary", t.P)
+			}
+			m.vertRef[s]++
+			m.vertRef[o]++
+		}
+	}
+	m.delta = graph.NewDelta(m.base)
+	m.simpleOv = map[uint32][]uint32{}
+	m.cur = m.snapshot()
+	return m, nil
+}
+
+func requireTerms(sd *storage.SegmentData, t rdf.Triple, terms ...rdf.Term) error {
+	for _, term := range terms {
+		if _, ok := sd.Verts.Lookup(term); !ok {
+			return segCorrupt("term %s of triple %v missing from the verts dictionary", term, t)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package transform
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/storage"
+)
+
+// segTriples is a small dataset exercising every structural feature: type
+// triples, a subClassOf hierarchy, plain edges, literals, and a class term
+// that is itself a vertex.
+func segTriples() []rdf.Triple {
+	return []rdf.Triple{
+		{S: iri("a"), P: iri("knows"), O: iri("b")},
+		{S: iri("b"), P: iri("knows"), O: iri("c")},
+		{S: iri("a"), P: iri("name"), O: rdf.NewLiteral("Alice")},
+		{S: iri("a"), P: rdf.TypeTerm, O: iri("Student")},
+		{S: iri("b"), P: rdf.TypeTerm, O: iri("Professor")},
+		{S: iri("Student"), P: rdf.SubClassTerm, O: iri("Person")},
+		{S: iri("Professor"), P: rdf.SubClassTerm, O: iri("Person")},
+		{S: iri("c"), P: iri("likes"), O: iri("Student")}, // class term as object vertex
+	}
+}
+
+// assertDataEquivalent compares two snapshots as a query engine would see
+// them: per-term vertex resolution, labels, simple types, degrees, and
+// adjacency — robust to different internal representations.
+func assertDataEquivalent(t *testing.T, got, want *Data, terms []rdf.Term) {
+	t.Helper()
+	if got.Mode != want.Mode || got.Triples != want.Triples {
+		t.Fatalf("mode/triples = %v/%d, want %v/%d", got.Mode, got.Triples, want.Mode, want.Triples)
+	}
+	for _, term := range terms {
+		gv, gok := got.VertexOf(term)
+		wv, wok := want.VertexOf(term)
+		if gok != wok {
+			t.Errorf("%s: VertexOf ok = %v, want %v", term, gok, wok)
+			continue
+		}
+		if !gok {
+			continue
+		}
+		if gv != wv {
+			t.Errorf("%s: vertex %d, want %d", term, gv, wv)
+			continue
+		}
+		if !reflect.DeepEqual(asSet(got.ClosureTypes(gv)), asSet(want.ClosureTypes(wv))) {
+			t.Errorf("%s: closure types differ", term)
+		}
+		if !reflect.DeepEqual(asSet(got.SimpleTypes(gv)), asSet(want.SimpleTypes(wv))) {
+			t.Errorf("%s: simple types %v, want %v", term, got.SimpleTypes(gv), want.SimpleTypes(wv))
+		}
+		for _, d := range []struct {
+			name string
+			deg  func(*Data, uint32) int
+		}{
+			{"out", func(dd *Data, v uint32) int { return dd.G.Degree(v, graph.Out) }},
+			{"in", func(dd *Data, v uint32) int { return dd.G.Degree(v, graph.In) }},
+		} {
+			if d.deg(got, gv) != d.deg(want, wv) {
+				t.Errorf("%s: %s degree %d, want %d", term, d.name, d.deg(got, gv), d.deg(want, wv))
+			}
+		}
+	}
+}
+
+func asSet(s []uint32) map[uint32]bool {
+	out := map[uint32]bool{}
+	for _, v := range s {
+		out[v] = true
+	}
+	return out
+}
+
+func allTerms(ts []rdf.Triple) []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	for _, t := range ts {
+		for _, term := range []rdf.Term{t.S, t.P, t.O} {
+			if !seen[term] {
+				seen[term] = true
+				out = append(out, term)
+			}
+		}
+	}
+	return out
+}
+
+// Freeze -> encode -> decode -> load must be query-equivalent to the
+// original store, and the restored store must accept further mutations
+// with the same effect as mutating the original.
+func TestSegmentFreezeLoadDifferential(t *testing.T) {
+	for _, mode := range []Mode{Direct, TypeAware} {
+		t.Run(mode.String(), func(t *testing.T) {
+			orig := NewMutable(segTriples(), mode)
+			sd, err := orig.FrozenSegment()
+			if err != nil {
+				t.Fatalf("freeze: %v", err)
+			}
+			decoded, err := storage.DecodeSegment(storage.EncodeSegment(sd))
+			if err != nil {
+				t.Fatalf("container round-trip: %v", err)
+			}
+			restored, err := NewMutableFromSegment(decoded)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			terms := allTerms(segTriples())
+			assertDataEquivalent(t, restored.Current(), orig.Current(), terms)
+			if restored.Current().Epoch <= orig.Current().Epoch {
+				t.Errorf("restored epoch %d did not advance past %d", restored.Current().Epoch, orig.Current().Epoch)
+			}
+
+			// Same mutation on both sides stays equivalent — including a
+			// schema change, which exercises the restored hierarchy.
+			ins := []rdf.Triple{
+				{S: iri("c"), P: rdf.TypeTerm, O: iri("Student")},
+				{S: iri("Person"), P: rdf.SubClassTerm, O: iri("Agent")},
+			}
+			del := []rdf.Triple{{S: iri("a"), P: iri("knows"), O: iri("b")}}
+			orig.Apply(ins, del)
+			restored.Apply(ins, del)
+			terms = append(terms, iri("Agent"))
+			assertDataEquivalent(t, restored.Current(), orig.Current(), terms)
+
+			// And after compacting both.
+			orig.Compact()
+			restored.Compact()
+			assertDataEquivalent(t, restored.Current(), orig.Current(), terms)
+		})
+	}
+}
+
+// The frozen triple list is sorted by canonical term keys, so two stores
+// holding the same triple set — via different insertion histories — freeze
+// to byte-identical snapshot payload sections apart from dictionary IDs.
+func TestFrozenSegmentDeterministicOrder(t *testing.T) {
+	ts := segTriples()
+	perm := append([]rdf.Triple(nil), ts...)
+	sort.Slice(perm, func(i, j int) bool { return fmt.Sprint(perm[i]) > fmt.Sprint(perm[j]) })
+
+	a, err := NewMutable(ts, TypeAware).FrozenSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMutable(perm, TypeAware).FrozenSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Triples, b.Triples) {
+		t.Errorf("triple order depends on insertion history:\n%v\nvs\n%v", a.Triples, b.Triples)
+	}
+}
+
+func TestFrozenSegmentRequiresCompaction(t *testing.T) {
+	m := NewMutable(segTriples(), TypeAware)
+	m.Apply([]rdf.Triple{{S: iri("z"), P: iri("knows"), O: iri("a")}}, nil)
+	if _, err := m.FrozenSegment(); err == nil {
+		t.Fatal("FrozenSegment accepted an uncompacted store")
+	}
+	m.Compact()
+	if _, err := m.FrozenSegment(); err != nil {
+		t.Fatalf("FrozenSegment after Compact: %v", err)
+	}
+}
+
+// A snapshot whose triples reference terms absent from the dictionaries is
+// internally inconsistent and must be rejected with a typed error.
+func TestNewMutableFromSegmentInconsistent(t *testing.T) {
+	m := NewMutable(segTriples(), TypeAware)
+	sd, err := m.FrozenSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *sd
+	bad.Triples = append(append([]rdf.Triple(nil), sd.Triples...),
+		rdf.Triple{S: iri("ghost"), P: iri("knows"), O: iri("a")})
+	if _, err := NewMutableFromSegment(&bad); err == nil {
+		t.Fatal("accepted a triple with an undictionaried subject")
+	}
+}

@@ -1,0 +1,224 @@
+// Package wire implements the low-level binary encoding shared by the
+// storage layer's on-disk formats: the dictionary and graph snapshot
+// sections and the write-ahead log records.
+//
+// All multi-byte integers are big-endian, so encoded keys and arrays have a
+// canonical byte order that is identical on every platform (including
+// 32-bit builds, where decoded lengths are checked against the platform int
+// range instead of silently truncated). Appenders grow a caller-owned
+// buffer; the Reader is the untrusted-input counterpart: it never panics,
+// never allocates proportionally to a claimed length before checking that
+// the bytes actually exist, and records the first failure (offset and
+// message) for the caller to wrap into its layer's typed error.
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// AppendU8 appends one byte.
+func AppendU8(dst []byte, v uint8) []byte { return append(dst, v) }
+
+// AppendU32 appends v big-endian.
+func AppendU32(dst []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, v)
+}
+
+// AppendU64 appends v big-endian.
+func AppendU64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendBytes appends a uvarint length prefix followed by b.
+func AppendBytes(dst, b []byte) []byte {
+	dst = AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends s like AppendBytes.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendU32s appends a u64 count followed by the elements big-endian.
+func AppendU32s(dst []byte, vs []uint32) []byte {
+	dst = AppendU64(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = binary.BigEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+// AppendInts appends a u64 count followed by the elements as u64. Values
+// must be non-negative (they are offsets and sizes); negative values are a
+// programming error on the trusted encode side and panic.
+func AppendInts(dst []byte, vs []int) []byte {
+	dst = AppendU64(dst, uint64(len(vs)))
+	for _, v := range vs {
+		if v < 0 {
+			panic("wire: negative value in offset array")
+		}
+		dst = AppendU64(dst, uint64(v))
+	}
+	return dst
+}
+
+// Reader decodes a byte buffer written by the appenders above. It is safe
+// on arbitrary untrusted input: out-of-bounds and overflowing reads mark
+// the reader failed (recording the first failure's offset and message) and
+// return zero values; no method panics or allocates more than the
+// remaining input can justify.
+type Reader struct {
+	data    []byte
+	off     int
+	failOff int
+	failMsg string
+}
+
+// NewReader wraps data for decoding.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Off reports the current decode offset.
+func (r *Reader) Off() int { return r.off }
+
+// Remaining reports how many bytes are left.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Failed reports whether any read failed, with the first failure's offset
+// and message.
+func (r *Reader) Failed() (off int, msg string, failed bool) {
+	return r.failOff, r.failMsg, r.failMsg != ""
+}
+
+func (r *Reader) fail(msg string) {
+	if r.failMsg == "" {
+		r.failMsg = msg
+		r.failOff = r.off
+	}
+}
+
+// take returns n raw bytes, or nil after marking the reader failed. A
+// reader that already failed yields nothing more, so one Failed() check
+// after a decode sequence covers every read in it.
+func (r *Reader) take(n int, what string) []byte {
+	if r.failMsg != "" {
+		return nil
+	}
+	if n < 0 || n > len(r.data)-r.off {
+		r.fail("truncated " + what)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1, "byte")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4, "uint32")
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8, "uint64")
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("malformed uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Len reads a uvarint and validates it as a byte length against the
+// remaining input, returning it as an int (32-bit safe).
+func (r *Reader) Len(what string) int {
+	v := r.Uvarint()
+	if v > uint64(r.Remaining()) {
+		r.fail(what + " length exceeds input")
+		return 0
+	}
+	return int(v) // bounded by Remaining, so it fits an int on every GOARCH
+}
+
+// Bytes reads a uvarint length prefix and returns that many bytes as a
+// subslice of the input (no copy).
+func (r *Reader) Bytes(what string) []byte {
+	n := r.Len(what)
+	return r.take(n, what)
+}
+
+// Count reads a u64 element count and validates count*elemSize against the
+// remaining input, so a corrupted count cannot trigger a huge allocation.
+func (r *Reader) Count(elemSize int, what string) int {
+	v := r.U64()
+	if v > uint64(r.Remaining()/elemSize) {
+		r.fail(what + " count exceeds input")
+		return 0
+	}
+	return int(v)
+}
+
+// U32s reads a counted big-endian uint32 array.
+func (r *Reader) U32s(what string) []uint32 {
+	n := r.Count(4, what)
+	b := r.take(n*4, what)
+	if b == nil {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// Ints reads a counted u64 array into ints, failing on values that do not
+// fit the platform's int (a real concern on 32-bit builds, where a
+// poisoned 64-bit offset must become a decode error, not a silent
+// truncation).
+func (r *Reader) Ints(what string) []int {
+	n := r.Count(8, what)
+	b := r.take(n*8, what)
+	if b == nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		v := binary.BigEndian.Uint64(b[i*8:])
+		if v > uint64(math.MaxInt) {
+			r.fail(what + " value overflows int")
+			return nil
+		}
+		out[i] = int(v)
+	}
+	return out
+}

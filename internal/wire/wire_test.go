@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendU8(b, 7)
+	b = AppendU32(b, 0xDEADBEEF)
+	b = AppendU64(b, 1<<40+3)
+	b = AppendUvarint(b, 300)
+	b = AppendBytes(b, []byte("hello"))
+	b = AppendString(b, "world")
+	b = AppendU32s(b, []uint32{1, 0, math.MaxUint32})
+	b = AppendInts(b, []int{0, 5, 1 << 20})
+
+	r := NewReader(b)
+	if got := r.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<40+3 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := string(r.Bytes("b")); got != "hello" {
+		t.Errorf("Bytes = %q", got)
+	}
+	if got := string(r.Bytes("s")); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	u := r.U32s("u32s")
+	if len(u) != 3 || u[0] != 1 || u[1] != 0 || u[2] != math.MaxUint32 {
+		t.Errorf("U32s = %v", u)
+	}
+	is := r.Ints("ints")
+	if len(is) != 3 || is[0] != 0 || is[1] != 5 || is[2] != 1<<20 {
+		t.Errorf("Ints = %v", is)
+	}
+	if _, _, failed := r.Failed(); failed {
+		t.Fatalf("unexpected failure: %v", r.failMsg)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	full := AppendU32s(AppendU64(nil, 42), []uint32{1, 2, 3})
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		r.U32s("arr")
+		if _, _, failed := r.Failed(); !failed {
+			t.Errorf("cut %d: no failure reported", cut)
+		}
+	}
+}
+
+// A claimed count far beyond the input must fail before allocating.
+func TestReaderHugeCount(t *testing.T) {
+	b := AppendU64(nil, math.MaxUint64/2)
+	r := NewReader(b)
+	if got := r.U32s("arr"); got != nil {
+		t.Errorf("U32s on huge count = %v", got)
+	}
+	if _, msg, failed := r.Failed(); !failed || msg == "" {
+		t.Error("huge count not reported")
+	}
+}
+
+// A 64-bit offset that cannot fit the platform int must fail cleanly —
+// this is the 32-bit-safety contract the GOARCH=386 CI step exercises.
+func TestReaderIntOverflow(t *testing.T) {
+	if math.MaxInt == math.MaxInt64 {
+		t.Skip("int is 64-bit on this platform; overflow not reachable")
+	}
+	b := AppendU64(nil, 1)
+	b = AppendU64(b, uint64(math.MaxInt64))
+	r := NewReader(b)
+	if got := r.Ints("off"); got != nil {
+		t.Errorf("Ints = %v", got)
+	}
+	if _, _, failed := r.Failed(); !failed {
+		t.Error("overflow not reported")
+	}
+}
+
+func TestReaderMalformedUvarint(t *testing.T) {
+	// 10 continuation bytes: overlong varint.
+	b := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}
+	r := NewReader(b)
+	r.Uvarint()
+	if _, _, failed := r.Failed(); !failed {
+		t.Error("overlong uvarint not reported")
+	}
+}

@@ -109,6 +109,15 @@ type Options struct {
 	// individually; see core.Opts). Workers above is still applied.
 	Matcher *MatcherOpts
 
+	// SyncWAL makes a durable store (OpenDir) fsync the write-ahead log on
+	// every Insert/Delete before the mutation is acknowledged, so no
+	// acknowledged write is lost even to an OS crash or power failure. Off
+	// by default: the log is written (and protected against torn tails by
+	// per-record checksums) but buffered by the OS, which survives process
+	// crashes — the common case — at a fraction of the latency. Ignored by
+	// in-memory stores.
+	SyncWAL bool
+
 	// Limit caps how many solutions the matcher enumerates per basic graph
 	// pattern (the paper's MaxSolutions early-termination knob): once the
 	// cap is reached the search abandons its remaining candidate regions.
@@ -165,6 +174,8 @@ func (o *Options) coreOpts() core.Opts {
 	}
 	return opts
 }
+
+func (o *Options) syncWAL() bool { return o != nil && o.SyncWAL }
 
 func (o *Options) mode() transform.Mode {
 	if o != nil && o.Transformation == Direct {

@@ -2,16 +2,22 @@ package turbohom
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/rdf"
+	"repro/internal/storage"
 	"repro/internal/transform"
 )
+
+// ErrClosed is returned by mutations on a store after Close.
+var ErrClosed = errors.New("turbohom: store is closed")
 
 // Store is an in-memory RDF store queryable with SPARQL. Build one with
 // New, Open, or OpenFile; mutate it with Insert, Delete, and Compact.
@@ -33,10 +39,18 @@ import (
 // or a natural maintenance window arrives. Under the type-aware
 // transformation, rdfs:subClassOf changes rewrite the label closure and
 // trigger an implicit compaction.
+// A store built with New, Open, or OpenFile lives purely in memory; one
+// opened with OpenDir is durable — every Insert and Delete batch is recorded
+// in a write-ahead log before it is applied, and Compact rewrites the
+// on-disk snapshot and truncates the log. Queries are oblivious to the
+// difference.
 type Store struct {
-	mu  sync.Mutex // serializes writers
-	mut *transform.Mutable
-	eng *engine.Engine
+	mu     sync.Mutex // serializes writers
+	mut    *transform.Mutable
+	eng    *engine.Engine
+	wal    *storage.WAL // nil for in-memory stores
+	dir    string       // storage directory of a durable store
+	closed bool
 }
 
 // New builds a store from triples already in memory. opts may be nil for
@@ -57,28 +71,49 @@ func New(triples []Triple, opts *Options) *Store {
 // Insert returns keep their snapshot, executions started afterwards see
 // every inserted triple. Literal terms are canonicalized exactly as New and
 // the N-Triples reader do.
-func (s *Store) Insert(triples []Triple) int {
+//
+// On a durable store the batch is appended to the write-ahead log (and, with
+// Options.SyncWAL, fsynced) before it is applied; a logging error leaves the
+// store unchanged. In-memory stores never return an error unless closed.
+func (s *Store) Insert(triples []Triple) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.wal != nil {
+		if err := s.wal.Append(storage.Batch{Ins: triples}); err != nil {
+			return 0, err
+		}
+	}
 	data, n := s.mut.Apply(triples, nil)
 	if n > 0 {
 		s.eng.SetData(data)
 	}
-	return n
+	return n, nil
 }
 
 // Delete removes triples from the store and returns how many were actually
 // present. Like Insert it is atomic with respect to queries: in-flight
 // executions keep observing the deleted triples through their pinned
-// snapshot; new executions do not.
-func (s *Store) Delete(triples []Triple) int {
+// snapshot; new executions do not. Durable stores log the batch before
+// applying it, exactly as Insert does.
+func (s *Store) Delete(triples []Triple) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.wal != nil {
+		if err := s.wal.Append(storage.Batch{Del: triples}); err != nil {
+			return 0, err
+		}
+	}
 	data, n := s.mut.Apply(nil, triples)
 	if n > 0 {
 		s.eng.SetData(data)
 	}
-	return n
+	return n, nil
 }
 
 // Compact folds the accumulated delta back into the compacted base
@@ -86,10 +121,54 @@ func (s *Store) Delete(triples []Triple) int {
 // after a long run of updates. Results are unaffected: compaction publishes
 // a new snapshot with identical content, and in-flight executions keep
 // their pre-compaction snapshot.
-func (s *Store) Compact() {
+//
+// On a durable store Compact also rewrites the on-disk snapshot from the
+// freshly compacted state and then truncates the write-ahead log. The
+// snapshot lands (atomically, via rename) before the log is reset, so a
+// crash between the two steps merely replays already-applied batches —
+// a no-op under set semantics.
+func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	s.eng.SetData(s.mut.Compact())
+	if s.wal == nil {
+		return nil
+	}
+	sd, err := s.mut.FrozenSegment()
+	if err != nil {
+		return err
+	}
+	if err := storage.WriteSegmentFile(filepath.Join(s.dir, snapshotFile), sd); err != nil {
+		return err
+	}
+	return s.wal.Reset()
+}
+
+// Close releases a durable store's write-ahead log. Mutations after Close
+// return ErrClosed; queries keep working against the last published
+// snapshot. Close is idempotent, and a no-op on in-memory stores.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}
+
+// Triples returns the net set of triples currently stored, in a canonical
+// deterministic order independent of insertion history.
+func (s *Store) Triples() []Triple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mut.Triples()
 }
 
 // Open reads N-Triples from r and builds a store.

@@ -1,0 +1,392 @@
+package turbohom
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+func subTriple(s, o string) Triple {
+	e := func(x string) Term { return NewIRI("http://ex.org/" + x) }
+	return Triple{S: e(s), P: NewIRI("http://www.w3.org/2000/01/rdf-schema#subClassOf"), O: e(o)}
+}
+
+func mustInsert(t *testing.T, s *Store, ts []Triple) {
+	t.Helper()
+	if _, err := s.Insert(ts); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+}
+
+func mustDelete(t *testing.T, s *Store, ts []Triple) {
+	t.Helper()
+	if _, err := s.Delete(ts); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+}
+
+func tripleSet(ts []Triple) map[Triple]bool {
+	out := map[Triple]bool{}
+	for _, tr := range ts {
+		out[tr] = true
+	}
+	return out
+}
+
+func assertSameTriples(t *testing.T, got []Triple, want map[Triple]bool, ctxt string) {
+	t.Helper()
+	gs := tripleSet(got)
+	if len(gs) != len(want) {
+		t.Fatalf("%s: %d triples, want %d\ngot  %v\nwant %v", ctxt, len(gs), len(want), got, want)
+	}
+	for tr := range want {
+		if !gs[tr] {
+			t.Fatalf("%s: missing triple %v", ctxt, tr)
+		}
+	}
+}
+
+// TestDurableRoundTrip: a store opened with OpenDir survives Close/reopen
+// with its exact triple set and query results — via WAL replay before the
+// first Compact, via the snapshot afterwards, and via both for writes that
+// follow a compaction.
+func TestDurableRoundTrip(t *testing.T) {
+	for _, transf := range []Transformation{TypeAware, Direct} {
+		t.Run(transf.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			opts := &Options{Transformation: transf, Workers: 1}
+			s, err := OpenDir(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustInsert(t, s, []Triple{
+				updTriple("a", "knows", "b"),
+				updTriple("b", "knows", "c"),
+				typeTriple("a", "Person"),
+				{S: NewIRI("http://ex.org/a"), P: NewIRI("http://ex.org/name"), O: NewLiteral("Alice")},
+			})
+			mustDelete(t, s, []Triple{updTriple("b", "knows", "c")})
+			want := tripleSet(s.Triples())
+			if len(want) != 3 {
+				t.Fatalf("net triples = %d, want 3", len(want))
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Insert([]Triple{updTriple("x", "y", "z")}); err != ErrClosed {
+				t.Fatalf("Insert after Close = %v, want ErrClosed", err)
+			}
+
+			// Reopen: pure WAL replay (no snapshot written yet).
+			s, err = OpenDir(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameTriples(t, s.Triples(), want, "after WAL-only reopen")
+			if n, err := s.Count(`SELECT ?x ?y WHERE { ?x <http://ex.org/knows> ?y . }`); err != nil || n != 1 {
+				t.Fatalf("knows count = %d, %v", n, err)
+			}
+
+			// Compact writes the snapshot and truncates the log.
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			wal, err := os.ReadFile(filepath.Join(dir, "wal.thl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ends := storage.RecordEnds(wal); len(ends) != 0 {
+				t.Fatalf("WAL still holds %d records after Compact", len(ends))
+			}
+			mustInsert(t, s, []Triple{updTriple("c", "knows", "a")})
+			want[updTriple("c", "knows", "a")] = true
+			s.Close()
+
+			// Reopen: snapshot + one replayed batch.
+			s, err = OpenDir(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			assertSameTriples(t, s.Triples(), want, "after snapshot+WAL reopen")
+			if n, err := s.Count(`SELECT ?x ?y WHERE { ?x <http://ex.org/knows> ?y . }`); err != nil || n != 2 {
+				t.Fatalf("knows count = %d, %v", n, err)
+			}
+		})
+	}
+}
+
+// TestSaveOpenDir: Save exports an in-memory store as a snapshot directory
+// that OpenDir loads with identical contents, and opening it under the other
+// transformation is rejected rather than silently re-transformed.
+func TestSaveOpenDir(t *testing.T) {
+	mem := New([]Triple{
+		updTriple("a", "knows", "b"),
+		typeTriple("a", "Person"),
+		subTriple("Person", "Agent"),
+	}, nil)
+	dir := t.TempDir()
+	if err := mem.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	assertSameTriples(t, loaded.Triples(), tripleSet(mem.Triples()), "Save/OpenDir")
+	if n, err := loaded.Count(`SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Agent> . }`); err != nil || n != 1 {
+		t.Fatalf("Agent count = %d, %v", n, err)
+	}
+
+	if _, err := OpenDir(dir, &Options{Transformation: Direct}); err == nil {
+		t.Fatal("OpenDir accepted a type-aware snapshot as a direct store")
+	}
+}
+
+// persistOp is one mutation of the recovery schedule: an insert or delete
+// batch, or a compaction point.
+type persistOp struct {
+	ins, del []Triple
+	compact  bool
+}
+
+// buildSchedule derives a deterministic mutation schedule exercising plain
+// edges, literals, rdf:type, and rdfs:subClassOf (schema rebuilds), with a
+// compaction in the middle when withCompact is set.
+func buildSchedule(seed int64, withCompact bool) []persistOp {
+	var universe []Triple
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			universe = append(universe, updTriple(fmt.Sprintf("n%d", i), "p", fmt.Sprintf("n%d", j)))
+		}
+		universe = append(universe, typeTriple(fmt.Sprintf("n%d", i), fmt.Sprintf("C%d", i%2)))
+		universe = append(universe, Triple{
+			S: NewIRI(fmt.Sprintf("http://ex.org/n%d", i)),
+			P: NewIRI("http://ex.org/name"),
+			O: NewLiteral(fmt.Sprintf("node %d", i)),
+		})
+	}
+	universe = append(universe, subTriple("C0", "Base"), subTriple("C1", "Base"))
+
+	rng := rand.New(rand.NewSource(seed))
+	var ops []persistOp
+	for step := 0; step < 12; step++ {
+		if withCompact && step == 6 {
+			ops = append(ops, persistOp{compact: true})
+		}
+		var op persistOp
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			tr := universe[rng.Intn(len(universe))]
+			if rng.Intn(3) == 0 {
+				op.del = append(op.del, tr)
+			} else {
+				op.ins = append(op.ins, tr)
+			}
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+func applyOps(set map[Triple]bool, ops []persistOp) map[Triple]bool {
+	out := map[Triple]bool{}
+	for tr := range set {
+		out[tr] = true
+	}
+	for _, op := range ops {
+		for _, tr := range op.ins {
+			out[tr] = true
+		}
+		for _, tr := range op.del {
+			delete(out, tr)
+		}
+	}
+	return out
+}
+
+func setToList(set map[Triple]bool) []Triple {
+	var out []Triple
+	for tr := range set {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+	return out
+}
+
+// TestCrashRecoveryDifferential is the persistence differential: after a
+// deterministic random Insert/Delete schedule against a durable store, the
+// on-disk state is truncated at every WAL record boundary and at points
+// mid-record — every prefix a crash could leave behind — and reopened. The
+// recovered store must hold exactly the net triples of the applied prefix
+// (already-applied batches replayed onto the snapshot are no-ops, a torn
+// tail is dropped), and its query results must match a store built fresh
+// from those triples, under both transformations and both matching
+// semantics.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	queries := []string{
+		`SELECT ?x ?y WHERE { ?x <http://ex.org/p> ?y . }`,
+		`SELECT ?x ?y WHERE { ?x <http://ex.org/p> ?y . ?y <http://ex.org/p> ?x . }`,
+		`SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex.org/Base> . }`,
+		`SELECT ?x ?n WHERE { ?x <http://ex.org/p> ?y . ?x <http://ex.org/name> ?n . }`,
+	}
+	for _, transf := range []Transformation{TypeAware, Direct} {
+		for _, withCompact := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/compact=%v", transf, withCompact), func(t *testing.T) {
+				opts := &Options{Transformation: transf, Workers: 1}
+				dir := t.TempDir()
+				s, err := OpenDir(dir, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Run the schedule, tracking the net set at the last Compact
+				// (the snapshot's contents) and the WAL ops after it.
+				ops := buildSchedule(29, withCompact)
+				snapSet := map[Triple]bool{}
+				var walOps []persistOp
+				for _, op := range ops {
+					if op.compact {
+						if err := s.Compact(); err != nil {
+							t.Fatal(err)
+						}
+						snapSet = applyOps(snapSet, walOps)
+						walOps = nil
+						continue
+					}
+					if len(op.ins) > 0 {
+						mustInsert(t, s, op.ins)
+					}
+					if len(op.del) > 0 {
+						mustDelete(t, s, op.del)
+					}
+					walOps = append(walOps, op)
+				}
+				assertSameTriples(t, s.Triples(), applyOps(snapSet, walOps), "live store vs model")
+				s.Close()
+
+				wal, err := os.ReadFile(filepath.Join(dir, "wal.thl"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap, snapErr := os.ReadFile(filepath.Join(dir, "snapshot.thb"))
+				if withCompact != (snapErr == nil) {
+					t.Fatalf("snapshot presence = %v, want %v", snapErr == nil, withCompact)
+				}
+				ends := storage.RecordEnds(wal)
+				// One WAL record per non-empty Insert/Delete side of each op.
+				wantRecords := 0
+				for _, op := range walOps {
+					if len(op.ins) > 0 {
+						wantRecords++
+					}
+					if len(op.del) > 0 {
+						wantRecords++
+					}
+				}
+				if len(ends) != wantRecords {
+					t.Fatalf("WAL holds %d records, schedule produced %d", len(ends), wantRecords)
+				}
+
+				// recordsApplied maps a record count to its expected net set:
+				// prefix k covers the first k non-empty sides in op order.
+				prefixSets := make([]map[Triple]bool, 0, wantRecords+1)
+				cur := snapSet
+				prefixSets = append(prefixSets, cur)
+				for _, op := range walOps {
+					if len(op.ins) > 0 {
+						cur = applyOps(cur, []persistOp{{ins: op.ins}})
+						prefixSets = append(prefixSets, cur)
+					}
+					if len(op.del) > 0 {
+						cur = applyOps(cur, []persistOp{{del: op.del}})
+						prefixSets = append(prefixSets, cur)
+					}
+				}
+
+				// Every record boundary, plus mid-record and mid-header cuts.
+				cuts := map[int]bool{0: true, 3: true, 8: true, len(wal): true}
+				for _, e := range ends {
+					cuts[e] = true
+					cuts[e-1] = true
+					if e+5 < len(wal) {
+						cuts[e+5] = true
+					}
+				}
+				for cut := range cuts {
+					k := 0
+					for _, e := range ends {
+						if e <= cut {
+							k++
+						}
+					}
+					want := prefixSets[k]
+
+					crashDir := t.TempDir()
+					if snapErr == nil {
+						if err := os.WriteFile(filepath.Join(crashDir, "snapshot.thb"), snap, 0o644); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := os.WriteFile(filepath.Join(crashDir, "wal.thl"), wal[:cut], 0o644); err != nil {
+						t.Fatal(err)
+					}
+					rec, err := OpenDir(crashDir, opts)
+					if err != nil {
+						t.Fatalf("cut %d: reopen: %v", cut, err)
+					}
+					assertSameTriples(t, rec.Triples(), want, fmt.Sprintf("cut %d (%d records)", cut, k))
+
+					fresh := New(setToList(want), opts)
+					for _, sem := range []core.Semantics{core.Homomorphism, core.Isomorphism} {
+						rec.eng.SetSemantics(sem)
+						fresh.eng.SetSemantics(sem)
+						for _, q := range queries {
+							rr, err := rec.Query(q)
+							if err != nil {
+								t.Fatalf("cut %d: recovered %q: %v", cut, q, err)
+							}
+							fr, err := fresh.Query(q)
+							if err != nil {
+								t.Fatalf("cut %d: fresh %q: %v", cut, q, err)
+							}
+							rk, fk := sortedRows(rr), sortedRows(fr)
+							if strings.Join(rk, " ") != strings.Join(fk, " ") {
+								t.Fatalf("cut %d sem %v %q:\nrecovered %v\nfresh     %v", cut, sem, q, rk, fk)
+							}
+						}
+					}
+
+					// The recovered log must accept new writes and carry them
+					// through another reopen.
+					extra := updTriple("post", "p", "crash")
+					mustInsert(t, rec, []Triple{extra})
+					rec.Close()
+					again, err := OpenDir(crashDir, opts)
+					if err != nil {
+						t.Fatalf("cut %d: second reopen: %v", cut, err)
+					}
+					wantAgain := applyOps(want, []persistOp{{ins: []Triple{extra}}})
+					assertSameTriples(t, again.Triples(), wantAgain, fmt.Sprintf("cut %d after post-crash insert", cut))
+					again.Close()
+				}
+			})
+		}
+	}
+}

@@ -43,14 +43,14 @@ func TestInsertDeleteVisible(t *testing.T) {
 	if n, _ := s.Count(q); n != 1 {
 		t.Fatalf("seed count = %d", n)
 	}
-	if got := s.Insert([]Triple{updTriple("b", "knows", "c"), updTriple("a", "knows", "b")}); got != 1 {
-		t.Fatalf("Insert applied %d, want 1 (duplicate ignored)", got)
+	if got, err := s.Insert([]Triple{updTriple("b", "knows", "c"), updTriple("a", "knows", "b")}); err != nil || got != 1 {
+		t.Fatalf("Insert applied %d, %v, want 1 (duplicate ignored)", got, err)
 	}
 	if n, _ := s.Count(q); n != 2 {
 		t.Fatalf("post-insert count = %d", n)
 	}
-	if got := s.Delete([]Triple{updTriple("a", "knows", "b"), updTriple("nope", "knows", "x")}); got != 1 {
-		t.Fatalf("Delete applied %d, want 1 (absent ignored)", got)
+	if got, err := s.Delete([]Triple{updTriple("a", "knows", "b"), updTriple("nope", "knows", "x")}); err != nil || got != 1 {
+		t.Fatalf("Delete applied %d, %v, want 1 (absent ignored)", got, err)
 	}
 	if n, _ := s.Count(q); n != 1 {
 		t.Fatalf("post-delete count = %d", n)
