@@ -34,9 +34,15 @@
 //	-speedup 'mem:BenchmarkOrderBy/full:BenchmarkOrderBy/topk>=4.0'
 //
 // asserts the full sort allocates ≥4x the bytes per op of the top-k path —
-// a pure ratio, valid on any machine. With @minCPUs the assertion is
-// skipped (reported only) on machines with fewer CPUs — a
-// parallel-vs-sequential speedup cannot materialize on a 1-core runner.
+// a pure ratio, valid on any machine. The comparison also comes in a
+// ceiling form, '<=', gating tail behavior instead of a win:
+//
+//	-speedup 'BenchmarkServeLoad/Q9/clients8/p99:BenchmarkServeLoad/Q9/clients8/p50<=20'
+//
+// fails if the first benchmark's metric exceeds the given multiple of the
+// second's — here, a p99 more than 20x its own run's p50. With @minCPUs
+// the assertion is skipped (reported only) on machines with fewer CPUs —
+// a parallel-vs-sequential speedup cannot materialize on a 1-core runner.
 // Repeatable.
 //
 // The baseline file is committed at the repository root, one file per perf
@@ -146,11 +152,14 @@ func main() {
 	}
 }
 
-// speedupSpec is one parsed -speedup assertion.
+// speedupSpec is one parsed -speedup assertion. With ceiling=false the
+// ratio slow/fast must be at least bound (a required win); with
+// ceiling=true it must be at most bound (a tail-latency or overhead cap).
 type speedupSpec struct {
 	metric     string
 	slow, fast string
-	min        float64
+	bound      float64
+	ceiling    bool
 	minCPUs    int
 }
 
@@ -169,9 +178,14 @@ func (f *speedupFlags) Set(s string) error {
 		minCPUs = n
 		spec = spec[:at]
 	}
-	names, minStr, found := strings.Cut(spec, ">=")
+	ceiling := false
+	names, boundStr, found := strings.Cut(spec, ">=")
 	if !found {
-		return fmt.Errorf("bad -speedup %q, want '[metric:]slow:fast>=N[@minCPUs]'", s)
+		names, boundStr, found = strings.Cut(spec, "<=")
+		ceiling = true
+	}
+	if !found {
+		return fmt.Errorf("bad -speedup %q, want '[metric:]a:b>=N[@minCPUs]' or '[metric:]a:b<=N[@minCPUs]'", s)
 	}
 	parts := strings.Split(names, ":")
 	metric := "ns/op"
@@ -195,11 +209,11 @@ func (f *speedupFlags) Set(s string) error {
 	if slow == "" || fast == "" || metric == "" {
 		return fmt.Errorf("bad benchmark pair in %q", s)
 	}
-	min, err := strconv.ParseFloat(minStr, 64)
+	bound, err := strconv.ParseFloat(boundStr, 64)
 	if err != nil {
 		return fmt.Errorf("bad ratio in %q", s)
 	}
-	*f = append(*f, speedupSpec{metric: metric, slow: slow, fast: fast, min: min, minCPUs: minCPUs})
+	*f = append(*f, speedupSpec{metric: metric, slow: slow, fast: fast, bound: bound, ceiling: ceiling, minCPUs: minCPUs})
 	return nil
 }
 
@@ -211,17 +225,23 @@ func (sp speedupSpec) check(results map[string]metrics) bool {
 		return false
 	}
 	ratio := median(slow) / median(fast)
+	op := ">="
+	violated := ratio < sp.bound
+	if sp.ceiling {
+		op = "<="
+		violated = ratio > sp.bound
+	}
 	if sp.minCPUs > 0 && runtime.NumCPU() < sp.minCPUs {
-		fmt.Printf("speedup[%s] %s / %s = %.2fx (want >= %.2fx; not enforced, %d CPUs < %d)\n",
-			sp.metric, sp.slow, sp.fast, ratio, sp.min, runtime.NumCPU(), sp.minCPUs)
+		fmt.Printf("speedup[%s] %s / %s = %.2fx (want %s %.2fx; not enforced, %d CPUs < %d)\n",
+			sp.metric, sp.slow, sp.fast, ratio, op, sp.bound, runtime.NumCPU(), sp.minCPUs)
 		return true
 	}
-	if ratio < sp.min {
-		fmt.Fprintf(os.Stderr, "benchgate: FAILED — speedup[%s] %s / %s = %.2fx, want >= %.2fx\n",
-			sp.metric, sp.slow, sp.fast, ratio, sp.min)
+	if violated {
+		fmt.Fprintf(os.Stderr, "benchgate: FAILED — speedup[%s] %s / %s = %.2fx, want %s %.2fx\n",
+			sp.metric, sp.slow, sp.fast, ratio, op, sp.bound)
 		return false
 	}
-	fmt.Printf("speedup[%s] %s / %s = %.2fx (>= %.2fx)  ok\n", sp.metric, sp.slow, sp.fast, ratio, sp.min)
+	fmt.Printf("speedup[%s] %s / %s = %.2fx (%s %.2fx)  ok\n", sp.metric, sp.slow, sp.fast, ratio, op, sp.bound)
 	return true
 }
 

@@ -1,0 +1,224 @@
+// Command serveload is the load generator for `turbohom serve`: it drives N
+// concurrent SPARQL 1.1 Protocol clients against a running endpoint, each
+// fully draining and decoding its streamed responses, and reports latency
+// percentiles and row throughput as Go benchmark lines — the format
+// cmd/benchgate consumes, so CI can gate tail latency and scaling with
+// machine-independent ratio assertions.
+//
+//	turbohom serve -dataset lubm -scale 8 -addr :3030 &
+//	serveload -url http://localhost:3030 -dataset lubm -id Q9 -clients 8 -requests 64
+//
+// emits
+//
+//	BenchmarkServeLoad/Q9/clients8/p50 1 1234567 ns/op
+//	BenchmarkServeLoad/Q9/clients8/p90 1 2234567 ns/op
+//	BenchmarkServeLoad/Q9/clients8/p99 1 3234567 ns/op
+//	BenchmarkServeLoad/Q9/clients8/throughput 64 1534567 ns/op 48211.0 rows/s
+//
+// -inproc additionally builds the same dataset in this process and drains
+// the same query straight from a Rows cursor (no HTTP), emitting
+// .../inproc/... lines — the denominator for "how much does the wire cost"
+// ratio gates.
+//
+// -slow-rows N runs the slow-client probe after the load phase: one
+// streaming request read at one row per -slow-every, polling the server's
+// /healthz between rows, then a deliberate mid-stream disconnect. It fails
+// (exit 1) if the server's heap grew more than -heap-growth beyond the
+// pre-stream baseline — the backpressure contract: a stalled client must
+// suspend its cursor, not buffer the result — or if the server never
+// counted the aborted query in queries_cancelled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	turbohom "repro"
+	"repro/internal/datagen"
+	"repro/internal/server/loadtest"
+)
+
+func main() {
+	var (
+		baseURL    = flag.String("url", "http://127.0.0.1:3030", "base URL of the turbohom serve endpoint")
+		queryStr   = flag.String("query", "", "SPARQL query text")
+		queryFile  = flag.String("query-file", "", "file containing the SPARQL query")
+		dataset    = flag.String("dataset", "", "benchmark workload naming -id: lubm, bsbm, yago, btc")
+		queryID    = flag.String("id", "", "benchmark query ID (e.g. Q9) from -dataset")
+		scale      = flag.Int("scale", 1, "dataset scale for -inproc")
+		clients    = flag.Int("clients", 1, "concurrent clients")
+		requests   = flag.Int("requests", 16, "total requests across all clients")
+		accept     = flag.String("accept", "json", "result format to request: json or xml")
+		name       = flag.String("name", "", "benchmark name prefix (default ServeLoad/<id>)")
+		inproc     = flag.Bool("inproc", false, "also drain the query in-process (needs -dataset/-scale) and emit .../inproc lines")
+		slowRows   = flag.Int("slow-rows", 0, "after the load phase, read this many rows at -slow-every pace then disconnect (0 = skip)")
+		slowEvery  = flag.Duration("slow-every", time.Second, "pace of the slow-client probe")
+		heapGrowth = flag.Uint64("heap-growth", 96<<20, "max server heap_alloc growth tolerated during the slow probe (bytes)")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	)
+	flag.Parse()
+
+	if err := run(*baseURL, *queryStr, *queryFile, *dataset, *queryID, *scale,
+		*clients, *requests, *accept, *name, *inproc, *slowRows, *slowEvery, *heapGrowth, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baseURL, queryStr, queryFile, dataset, queryID string, scale,
+	clients, requests int, accept, name string, inproc bool,
+	slowRows int, slowEvery time.Duration, heapGrowth uint64, timeout time.Duration) error {
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	query, label, err := resolveQuery(queryStr, queryFile, dataset, queryID)
+	if err != nil {
+		return err
+	}
+	var acceptCT string
+	switch accept {
+	case "json", "":
+		acceptCT = "application/sparql-results+json"
+	case "xml":
+		acceptCT = "application/sparql-results+xml"
+	default:
+		return fmt.Errorf("unknown -accept %q (json or xml)", accept)
+	}
+	if name == "" {
+		name = "ServeLoad/" + label
+	}
+
+	// Load phase: concurrent clients, full drains.
+	rep, err := loadtest.Run(ctx, loadtest.Config{
+		BaseURL:  baseURL,
+		Query:    query,
+		Clients:  clients,
+		Requests: requests,
+		Accept:   acceptCT,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# %s: %d requests over %d clients, %d rows in %s\n",
+		name, rep.Requests, rep.Clients, rep.Rows, rep.Elapsed.Round(time.Millisecond))
+	fmt.Print(rep.BenchLines(fmt.Sprintf("%s/clients%d", name, clients)))
+
+	// In-process baseline: same query, same store contents, no HTTP.
+	if inproc {
+		inrep, err := runInproc(ctx, dataset, scale, query, requests)
+		if err != nil {
+			return fmt.Errorf("inproc baseline: %w", err)
+		}
+		fmt.Print(inrep.BenchLines(name + "/inproc"))
+	}
+
+	// Slow-client probe: bounded server memory while a client reads at a
+	// crawl, and a counted cursor abort on disconnect.
+	if slowRows > 0 {
+		sd, err := loadtest.SlowDrain(ctx, baseURL, query, slowRows, slowEvery)
+		if err != nil {
+			return fmt.Errorf("slow drain: %w", err)
+		}
+		growth := uint64(0)
+		if sd.MaxHeap > sd.BaseHeap {
+			growth = sd.MaxHeap - sd.BaseHeap
+		}
+		fmt.Fprintf(os.Stderr, "# slow drain: %d rows at %s pace, heap %d -> max %d (growth %d, bound %d), stream live: %v, server cancel: %v\n",
+			sd.RowsRead, slowEvery, sd.BaseHeap, sd.MaxHeap, growth, heapGrowth, sd.StreamLive, sd.ServerCancel)
+		if growth > heapGrowth {
+			return fmt.Errorf("server heap grew %d bytes during slow drain, bound %d — is the stream buffering?", growth, heapGrowth)
+		}
+		if !sd.StreamLive {
+			return fmt.Errorf("probe inconclusive: the stream finished before the disconnect — use a larger result set (the response must exceed socket buffering)")
+		}
+		if !sd.ServerCancel {
+			return fmt.Errorf("server never counted the disconnected query in queries_cancelled")
+		}
+	}
+	return nil
+}
+
+// resolveQuery yields the query text and a short label for bench names.
+func resolveQuery(queryStr, queryFile, dataset, queryID string) (query, label string, err error) {
+	switch {
+	case queryStr != "":
+		return queryStr, "custom", nil
+	case queryFile != "":
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return "", "", err
+		}
+		return string(b), "custom", nil
+	case queryID != "":
+		var qs []datagen.Query
+		switch strings.ToLower(dataset) {
+		case "lubm":
+			qs = datagen.LUBMQueries()
+		case "bsbm":
+			qs = datagen.BSBMQueries()
+		case "yago":
+			qs = datagen.YAGOQueries()
+		case "btc":
+			qs = datagen.BTCQueries()
+		default:
+			return "", "", fmt.Errorf("-id needs -dataset (lubm, bsbm, yago, btc)")
+		}
+		for _, q := range qs {
+			if strings.EqualFold(q.ID, queryID) {
+				return q.Text, q.ID, nil
+			}
+		}
+		return "", "", fmt.Errorf("query %s not part of dataset %s", queryID, dataset)
+	}
+	return "", "", fmt.Errorf("one of -query, -query-file, or -dataset/-id is required")
+}
+
+// runInproc drains the query straight from a cursor, once per request, on
+// a locally built copy of the dataset — the no-HTTP latency floor.
+func runInproc(ctx context.Context, dataset string, scale int, query string, requests int) (*loadtest.Report, error) {
+	var triples []turbohom.Triple
+	switch strings.ToLower(dataset) {
+	case "lubm":
+		triples = datagen.LUBMDataset(scale).Triples
+	case "bsbm":
+		triples = datagen.BSBMDataset(scale * 100).Triples
+	case "yago":
+		triples = datagen.YAGODataset(scale * 1000).Triples
+	case "btc":
+		triples = datagen.BTCDataset(scale * 1000).Triples
+	default:
+		return nil, fmt.Errorf("-inproc needs -dataset (lubm, bsbm, yago, btc)")
+	}
+	store := turbohom.New(triples, nil)
+	defer store.Close()
+	p, err := store.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		lat  []time.Duration
+		rows int64
+	)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		t0 := time.Now()
+		rs := p.Select(ctx)
+		for rs.Next() {
+			rows++
+		}
+		if err := rs.Close(); err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	return loadtest.Summarize(1, requests, 0, lat, rows, time.Since(start)), nil
+}

@@ -59,6 +59,22 @@ import (
 )
 
 func main() {
+	// Ctrl-C / SIGTERM cancel the in-flight query — the cursor's context
+	// propagates into the matcher, which abandons its remaining candidate
+	// regions — and, under `serve`, start the graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// `turbohom serve` starts the SPARQL 1.1 Protocol endpoint; everything
+	// else is the one-shot query CLI.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serveMain(ctx, os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "turbohom serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var (
 		dataFile  = flag.String("data", "", "N-Triples file to load")
 		dataset   = flag.String("dataset", "", "generate a benchmark dataset: lubm, bsbm, yago, btc")
@@ -83,12 +99,6 @@ func main() {
 	)
 	flag.Parse()
 
-	// Ctrl-C / SIGTERM cancel the in-flight query: the cursor's context
-	// propagates into the matcher, which abandons its remaining candidate
-	// regions.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	if err := run(ctx, *dataFile, *dataset, *scale, *queryStr, *queryFile, *queryID,
 		*transf, *noopt, *costOrder, *workers, *streamBuf, *countOnly, *explain, *timeIt, *maxRows, *updateF, *compact,
 		*saveDir, *loadDir, *syncWAL); err != nil {
@@ -111,36 +121,19 @@ func run(ctx context.Context, dataFile, dataset string, scale int, queryStr, que
 		return fmt.Errorf("unknown transformation %q", transf)
 	}
 
-	var (
-		store *turbohom.Store
-		err   error
-	)
-	switch {
-	case loadDir != "":
-		// -dataset stays legal alongside -load: it names the benchmark
-		// workload for -id without generating any triples.
-		if dataFile != "" {
-			return fmt.Errorf("-load replaces -data")
-		}
-		store, err = turbohom.OpenDir(loadDir, opts)
-		if err != nil {
-			return err
-		}
-	case dataFile != "":
-		store, err = turbohom.OpenFile(dataFile, opts)
-		if err != nil {
-			return err
-		}
-	case dataset != "":
-		ds, err := generated(dataset, scale)
-		if err != nil {
-			return err
-		}
-		store = turbohom.New(ds.Triples, opts)
-	default:
-		return fmt.Errorf("one of -data, -dataset, or -load is required")
+	store, err := openStore(dataFile, dataset, scale, loadDir, opts)
+	if err != nil {
+		return err
 	}
-	defer store.Close()
+	// Close on every exit path, and do not swallow its error: on a durable
+	// store (-load) Close flushes and releases the write-ahead log, and
+	// under -syncwal a failure there means an acknowledged write may not be
+	// on disk — exiting 0 would hide that.
+	defer func() {
+		if cerr := store.Close(); cerr != nil && retErr == nil {
+			retErr = fmt.Errorf("closing store: %w", cerr)
+		}
+	}()
 
 	if saveDir != "" {
 		if err := store.Save(saveDir); err != nil {
@@ -359,6 +352,30 @@ func streamInserts(ctx context.Context, store *turbohom.Store, file string) erro
 	}
 	fmt.Printf("inserted %d new triples from %s (concurrently with the query)\n", inserted, file)
 	return nil
+}
+
+// openStore resolves the three data sources shared by the query CLI and
+// `serve`: a durable snapshot directory (-load), an N-Triples file (-data),
+// or a generated benchmark dataset (-dataset/-scale).
+func openStore(dataFile, dataset string, scale int, loadDir string, opts *turbohom.Options) (*turbohom.Store, error) {
+	switch {
+	case loadDir != "":
+		// -dataset stays legal alongside -load: it names the benchmark
+		// workload for -id without generating any triples.
+		if dataFile != "" {
+			return nil, fmt.Errorf("-load replaces -data")
+		}
+		return turbohom.OpenDir(loadDir, opts)
+	case dataFile != "":
+		return turbohom.OpenFile(dataFile, opts)
+	case dataset != "":
+		ds, err := generated(dataset, scale)
+		if err != nil {
+			return nil, err
+		}
+		return turbohom.New(ds.Triples, opts), nil
+	}
+	return nil, fmt.Errorf("one of -data, -dataset, or -load is required")
 }
 
 func generated(name string, scale int) (*datagen.Dataset, error) {

@@ -104,6 +104,29 @@
 // emission. Store.Query and Store.Count remain as one-shot convenience
 // wrappers over the prepared path.
 //
+// # Serving over HTTP
+//
+// The engine serves real traffic through `turbohom serve`, a W3C SPARQL
+// 1.1 Protocol endpoint (internal/server):
+//
+//	turbohom serve -dataset lubm -scale 8 -addr :3030
+//	curl 'http://localhost:3030/sparql?query=SELECT...' \
+//	     -H 'Accept: application/sparql-results+json'
+//
+// SELECT and ASK are answered over GET or POST with content-negotiated
+// JSON or XML results; responses stream row by row straight from a Rows
+// cursor, so the contracts above carry to the wire: a result of any size
+// is served in bounded per-connection memory (the client's TCP window is
+// the backpressure signal that suspends the query's workers), a client
+// that disconnects mid-response aborts the remaining search, and every
+// response observes one snapshot. SPARQL updates (INSERT DATA / DELETE
+// DATA) map onto Store.Update — WAL-durable when the store was opened
+// with -load. Per-query wall budgets, row caps (announced in the
+// X-Turbohom-Truncated trailer), a prepared-query LRU, graceful drain on
+// shutdown, and /healthz counters are built in; see DESIGN.md
+// ("Serving") and cmd/serveload for the CI load harness that gates p50,
+// p99 and rows/s.
+//
 // # NEC query reduction
 //
 // Star-shaped patterns that repeat a predicate over interchangeable
@@ -122,8 +145,9 @@
 // The internal packages hold the substrates: the matching engine
 // (internal/core), graph storage (internal/graph), transformations
 // (internal/transform), the SPARQL front end (internal/sparql,
-// internal/engine), two baseline RDF engines used by the paper's
-// experiments (internal/baseline/...), benchmark dataset generators
+// internal/engine), the HTTP protocol endpoint (internal/server), two
+// baseline RDF engines used by the paper's experiments
+// (internal/baseline/...), benchmark dataset generators
 // (internal/datagen), and the experiment harness (internal/bench).
 //
 // The concurrency and determinism contracts above — snapshot pinning,

@@ -172,6 +172,12 @@ func (e *Engine) PrepareParsed(q *sparql.Query) (*PreparedQuery, error) {
 // modify it.
 func (pq *PreparedQuery) Vars() []string { return pq.vars }
 
+// Ask reports whether the query is an ASK form: answered with a boolean
+// (does at least one solution exist?) instead of a row set. The parser pins
+// an ASK query's Limit to 1, so draining its cursor does no more work than
+// finding the first solution.
+func (pq *PreparedQuery) Ask() bool { return pq.q.Ask }
+
 // Exec runs the prepared query and materializes every row. Unlike Select
 // it lets Workers > 1 parallelize the matching: a consumer draining
 // everything wants throughput, not first-row latency.

@@ -20,13 +20,27 @@
 //     `if ctx == nil { ctx = context.Background() }`, recognized as a
 //     plain assignment into an existing context variable.
 //
+//  3. A serving-layer loop that pumps a cursor — any for/range statement
+//     whose condition, post statement, or body calls a no-argument Next()
+//     method returning bool — must also contain a checkpoint. HTTP
+//     handlers sit between a cursor and a client socket; net/http cancels
+//     the request context when the client disconnects, but a Write to a
+//     dead connection can keep succeeding into kernel buffers for a
+//     while, so a row-emission loop that never consults ctx.Err() keeps
+//     the matcher burning on a result nobody will read. The bool-result
+//     shape excludes container/list-style iterators (whose Next returns
+//     the next element, not a bool).
+//
 // Rule 1 is scoped to the matcher packages via -ctxcadence.pkgs
-// (default repro/internal/core); rule 2 applies everywhere.
+// (default repro/internal/core); rule 2 applies everywhere; rule 3 is
+// scoped to the serving packages via -ctxcadence.httppkgs (default
+// repro/internal/server).
 package ctxcadence
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 
 	"golang.org/x/tools/go/analysis"
 
@@ -39,11 +53,13 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-var pkgs string
+var pkgs, httppkgs string
 
 func init() {
 	Analyzer.Flags.StringVar(&pkgs, "pkgs", "repro/internal/core",
 		"comma-separated packages whose enumeration loops need cancellation checkpoints (suffix match)")
+	Analyzer.Flags.StringVar(&httppkgs, "httppkgs", "repro/internal/server",
+		"comma-separated serving packages whose cursor-pumping loops need cancellation checkpoints (suffix match)")
 }
 
 // driverFuncs are the same-package calls that advance the enumeration:
@@ -65,9 +81,13 @@ var driverFuncs = map[string]bool{
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	inScope := lintutil.InScope(pass, pkgs)
+	inServe := lintutil.InScope(pass, httppkgs)
 	for _, file := range lintutil.NonTestFiles(pass) {
 		if inScope {
 			checkLoops(pass, file)
+		}
+		if inServe {
+			checkCursorLoops(pass, file)
 		}
 		checkBackground(pass, file)
 	}
@@ -163,6 +183,54 @@ func hasCheckpoint(pass *analysis.Pass, body *ast.BlockStmt) bool {
 			if n.Name == "stopped" {
 				found = true
 			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkCursorLoops flags serving-layer loops that pump a cursor (any
+// no-arg Next() method returning bool, anywhere in the for statement —
+// `for rows.Next()` and `for next := first; next; next = rows.Next()`
+// alike) without a cancellation checkpoint in the body.
+func checkCursorLoops(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		if !callsCursorNext(pass, n) {
+			return true
+		}
+		if !hasCheckpoint(pass, body) {
+			pass.Reportf(n.Pos(), "cursor-pumping loop has no cancellation checkpoint; check ctx.Err() on the emission cadence so a disconnected client aborts the search")
+		}
+		return true
+	})
+}
+
+// callsCursorNext reports whether the for/range statement calls a
+// cursor-style Next: a no-argument method returning exactly one bool.
+func callsCursorNext(pass *analysis.Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 || lintutil.CalleeName(call) != "Next" {
+			return true
+		}
+		if lintutil.ReceiverExpr(call) == nil {
+			return true
+		}
+		if t, ok := pass.TypesInfo.TypeOf(call).(*types.Basic); ok && t.Kind() == types.Bool {
+			found = true
 		}
 		return !found
 	})

@@ -7,9 +7,11 @@ import (
 	"repro/internal/lint/linttest"
 )
 
-// TestCtxCadence runs under the default -ctxcadence.pkgs scope: the
-// testdata package named repro/internal/core gets the loop-checkpoint
-// rule; package b only the everywhere context-threading rule.
+// TestCtxCadence runs under the default flag scopes: the testdata package
+// named repro/internal/core gets the enumeration-loop rule, the one named
+// repro/internal/server the cursor-pumping rule, and package b only the
+// everywhere context-threading rule.
 func TestCtxCadence(t *testing.T) {
-	linttest.Run(t, linttest.TestData(), ctxcadence.Analyzer, "repro/internal/core", "b")
+	linttest.Run(t, linttest.TestData(), ctxcadence.Analyzer,
+		"repro/internal/core", "repro/internal/server", "b")
 }

@@ -1,0 +1,79 @@
+// Package server (testdata) exercises the serving-layer cursor rule: a
+// loop pumping a bool-returning Next() needs a cancellation checkpoint.
+// The Rows stub stands in for the engine cursor so the fixture does not
+// drag net/http or the real engine into the linttest importer.
+package server
+
+import "context"
+
+type Rows struct{ n int }
+
+func (r *Rows) Next() bool  { r.n--; return r.n > 0 }
+func (r *Rows) Row() []int  { return nil }
+func (r *Rows) Close() bool { return true }
+
+type request struct{ ctx context.Context }
+
+func (r *request) Context() context.Context { return r.ctx }
+
+func write([]int) {}
+
+// pumpUnchecked streams rows with no way to notice a dead client.
+func pumpUnchecked(rows *Rows) {
+	for rows.Next() { // want `cursor-pumping loop has no cancellation checkpoint`
+		write(rows.Row())
+	}
+}
+
+// pumpPostStmt hides the Next in the post statement, the handler's real
+// shape when the first row is pulled before the loop.
+func pumpPostStmt(rows *Rows, first bool) {
+	for next := first; next; next = rows.Next() { // want `cursor-pumping loop has no cancellation checkpoint`
+		write(rows.Row())
+	}
+}
+
+// pumpChecked consults the request context each iteration.
+func pumpChecked(req *request, rows *Rows) {
+	for rows.Next() {
+		if req.Context().Err() != nil {
+			break
+		}
+		write(rows.Row())
+	}
+}
+
+// pumpCadence checks on a stride, like the handler's flush cadence.
+func pumpCadence(ctx context.Context, rows *Rows) {
+	i := 0
+	for next := true; next; next = rows.Next() {
+		if i%32 == 0 && ctx.Err() != nil {
+			break
+		}
+		i++
+		write(rows.Row())
+	}
+}
+
+// listElem mimics container/list: Next returns an element, not a bool,
+// so walking a list is not cursor pumping.
+type listElem struct{ next *listElem }
+
+func (e *listElem) Next() *listElem { return e.next }
+
+func walkList(front *listElem) int {
+	n := 0
+	for e := front; e != nil; e = e.Next() {
+		n++
+	}
+	return n
+}
+
+// drainBounded ranges over a slice; no cursor involved.
+func drainBounded(vals []int) int {
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	turbohom "repro"
+)
+
+// preparedCache is the server's prepared-query LRU. A cache hit skips
+// parsing and planning entirely; it stays correct across store updates
+// because a Prepared recompiles itself lazily against whatever snapshot it
+// executes on. A nil *preparedCache is a valid, always-missing cache
+// (PreparedCache < 0 disables caching).
+type preparedCache struct {
+	mu    sync.Mutex
+	max   int
+	m     map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	p   *turbohom.Prepared
+}
+
+func newPreparedCache(max int) *preparedCache {
+	if max <= 0 {
+		return nil
+	}
+	return &preparedCache{
+		max:   max,
+		m:     make(map[string]*list.Element, max),
+		order: list.New(),
+	}
+}
+
+func (c *preparedCache) get(query string) (*turbohom.Prepared, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[query]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).p, true
+}
+
+func (c *preparedCache) put(query string, p *turbohom.Prepared) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[query]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).p = p
+		return
+	}
+	c.m[query] = c.order.PushFront(&cacheEntry{key: query, p: p})
+	for len(c.m) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *preparedCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

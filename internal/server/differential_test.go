@@ -1,0 +1,176 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	turbohom "repro"
+	"repro/internal/datagen"
+	"repro/internal/server"
+	"repro/internal/server/loadtest"
+)
+
+// TestDifferentialWorkloads drains every benchmark query of every datagen
+// workload twice over HTTP — once per result format — and once in process,
+// and demands the three row sets be identical term for term. Term is a
+// canonical N-Triples string, so == is byte equality: any serialization or
+// decoding drift in either wire format shows up here.
+func TestDifferentialWorkloads(t *testing.T) {
+	for _, ds := range []*datagen.Dataset{
+		datagen.LUBMDataset(1),
+		datagen.BSBMDataset(40),
+		datagen.YAGODataset(250),
+		datagen.BTCDataset(250),
+	} {
+		t.Run(ds.Name, func(t *testing.T) {
+			store := turbohom.New(ds.Triples, &turbohom.Options{Workers: 4})
+			defer store.Close()
+			ts := httptest.NewServer(server.New(store, turbohom.ServerOptions{QueryTimeout: -1}))
+			defer ts.Close()
+
+			for _, q := range ds.Queries {
+				p, err := store.Prepare(q.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", q.ID, err)
+				}
+				var want [][]turbohom.Term
+				rows := p.Select(context.Background())
+				for rows.Next() {
+					want = append(want, append([]turbohom.Term(nil), rows.Row()...))
+				}
+				if err := rows.Close(); err != nil {
+					t.Fatalf("%s: %v", q.ID, err)
+				}
+				for _, accept := range []string{"application/sparql-results+json", "application/sparql-results+xml"} {
+					doc, err := loadtest.DoQuery(context.Background(), http.DefaultClient, ts.URL, q.Text, accept)
+					if err != nil {
+						t.Fatalf("%s via %s: %v", q.ID, accept, err)
+					}
+					assertRowsEqual(t, q.ID+" "+accept, doc, p.Vars(), want)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotIsolationOverHTTP pins the wire-level snapshot contract: a
+// response whose cursor opened before an update streams the pre-update
+// rows, while the next request sees the change — even though the update
+// committed while the first response was still being read.
+func TestSnapshotIsolationOverHTTP(t *testing.T) {
+	const n = 120
+	store := turbohom.New(fanTriples(n), &turbohom.Options{Workers: 2, StreamBuffer: 8})
+	defer store.Close()
+	ts := httptest.NewServer(server.New(store, turbohom.ServerOptions{QueryTimeout: -1}))
+	defer ts.Close()
+
+	countRows := func(body string) int { return strings.Count(body, `{"a":`) }
+
+	// Open the stream and read the head, so the handler has demonstrably
+	// called Select (pinning its snapshot) before the update below.
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(fanQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := make([]byte, 32)
+	if _, err := io.ReadFull(resp.Body, head); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent update: one new child on each fan. A post-update snapshot
+	// yields (n+1)*(n+1) rows; the pinned one must still yield n*n.
+	ins, del, err := loadtest.DoUpdate(context.Background(), http.DefaultClient, ts.URL,
+		`INSERT DATA { <http://x/hub> <http://x/p> <http://x/pnew> . <http://x/hub> <http://x/q> <http://x/qnew> }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins != 2 || del != 0 {
+		t.Fatalf("update counts (%d, %d), want (2, 0)", ins, del)
+	}
+
+	rest, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countRows(string(head) + string(rest)); got != n*n {
+		t.Fatalf("in-flight stream delivered %d rows, want the pre-update %d", got, n*n)
+	}
+
+	// A fresh request sees the committed update.
+	resp2, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(fanQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countRows(string(body2)); got != (n+1)*(n+1) {
+		t.Fatalf("fresh stream delivered %d rows, want the post-update %d", got, (n+1)*(n+1))
+	}
+}
+
+// TestDifferentialUnderChurn hammers the endpoint with interleaved queries
+// and updates and checks every response is internally consistent: a fan
+// query's row count must be a perfect square k*k with k in the range the
+// churn can produce — a torn snapshot would surface as a non-square count.
+func TestDifferentialUnderChurn(t *testing.T) {
+	const n = 40
+	store := turbohom.New(fanTriples(n), &turbohom.Options{Workers: 2})
+	defer store.Close()
+	ts := httptest.NewServer(server.New(store, turbohom.ServerOptions{QueryTimeout: -1}))
+	defer ts.Close()
+
+	const churn = 12
+	errc := make(chan error, 2*churn)
+	go func() {
+		for i := 0; i < churn; i++ {
+			u := fmt.Sprintf(`INSERT DATA { <http://x/hub> <http://x/p> <http://x/pc%02d> . <http://x/hub> <http://x/q> <http://x/qc%02d> }`, i, i)
+			if _, _, err := loadtest.DoUpdate(context.Background(), http.DefaultClient, ts.URL, u); err != nil {
+				errc <- err
+				return
+			}
+			if i%3 == 2 {
+				d := fmt.Sprintf(`DELETE DATA { <http://x/hub> <http://x/p> <http://x/pc%02d> }`, i-2)
+				if _, _, err := loadtest.DoUpdate(context.Background(), http.DefaultClient, ts.URL, d); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}
+		errc <- nil
+	}()
+
+	for i := 0; i < churn; i++ {
+		doc, err := loadtest.DoQuery(context.Background(), http.DefaultClient, ts.URL, fanQuery, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := len(doc.Rows)
+		// p-fan size ∈ [n, n+churn], q-fan ∈ [n, n+churn]; a consistent
+		// snapshot sees both fans from the same store version.
+		ok := false
+		for a := n - churn; a <= n+churn && !ok; a++ {
+			for b := n - churn; b <= n+churn; b++ {
+				if a*b == rows {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			t.Fatalf("query %d: %d rows is not a plausible fan product — torn snapshot?", i, rows)
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"io"
+	"mime"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// The two result formats of the SPARQL 1.1 Protocol this server speaks.
+const (
+	ctJSON = "application/sparql-results+json"
+	ctXML  = "application/sparql-results+xml"
+)
+
+// xmlResultsNS is the W3C namespace of the SPARQL Query Results XML Format.
+const xmlResultsNS = "http://www.w3.org/2005/sparql-results#"
+
+// acceptable maps one Accept media range to the result format it selects.
+// serverPref breaks q-value ties: JSON is the server's preferred format.
+func acceptable(mediaRange string) (ct string, serverPref int, ok bool) {
+	switch mediaRange {
+	case ctJSON, "application/json":
+		return ctJSON, 0, true
+	case ctXML, "application/xml", "text/xml":
+		return ctXML, 1, true
+	case "application/*", "*/*":
+		return ctJSON, 0, true
+	}
+	return "", 0, false
+}
+
+// negotiate resolves an Accept header to a result content type. An absent or
+// empty header means the client takes anything (JSON, the server default);
+// otherwise the supported range with the highest q-value wins, ties broken
+// toward JSON, and no acceptable range with q > 0 means 406.
+func negotiate(accept string) (ct string, ok bool) {
+	if strings.TrimSpace(accept) == "" {
+		return ctJSON, true
+	}
+	bestQ := -1.0
+	bestPref := 0
+	best := ""
+	for _, part := range strings.Split(accept, ",") {
+		mt, params, err := mime.ParseMediaType(part)
+		if err != nil {
+			continue // a malformed range never matches; others may
+		}
+		candidate, pref, supported := acceptable(mt)
+		if !supported {
+			continue
+		}
+		q := 1.0
+		if qs, present := params["q"]; present {
+			v, err := strconv.ParseFloat(qs, 64)
+			if err != nil || v < 0 {
+				continue
+			}
+			q = v
+		}
+		if q == 0 {
+			continue // explicitly refused
+		}
+		if q > bestQ || (q == bestQ && pref < bestPref) {
+			bestQ, bestPref, best = q, pref, candidate
+		}
+	}
+	return best, best != ""
+}
+
+// resultWriter serializes one SPARQL results document, streaming: writeHead
+// once, then writeRow per solution, then finish — or writeBoolean alone for
+// an ASK. Implementations put one solution per output line so a paced reader
+// (and a human) can consume the stream row by row.
+type resultWriter interface {
+	writeHead(vars []string) error
+	writeRow(row []rdf.Term) error
+	writeBoolean(b bool) error
+	finish() error
+}
+
+func newResultWriter(ct string, w io.Writer) resultWriter {
+	if ct == ctXML {
+		return &xmlWriter{w: w}
+	}
+	return &jsonWriter{w: w}
+}
+
+// jsonWriter streams the SPARQL 1.1 Query Results JSON Format. Key order is
+// fixed by construction, so the byte stream is deterministic.
+type jsonWriter struct {
+	w    io.Writer
+	vars []string
+	rows int
+	buf  bytes.Buffer
+}
+
+// jstr appends the JSON encoding of s (a json.Marshal of a string never
+// fails).
+func jstr(b *bytes.Buffer, s string) {
+	enc, _ := json.Marshal(s)
+	b.Write(enc)
+}
+
+func (j *jsonWriter) writeHead(vars []string) error {
+	j.vars = vars
+	b := &j.buf
+	b.Reset()
+	b.WriteString(`{"head":{"vars":[`)
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		jstr(b, v)
+	}
+	b.WriteString("]},\"results\":{\"bindings\":[")
+	_, err := j.w.Write(b.Bytes())
+	return err
+}
+
+func (j *jsonWriter) writeRow(row []rdf.Term) error {
+	b := &j.buf
+	b.Reset()
+	if j.rows > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString("\n{")
+	wrote := false
+	for i, t := range row {
+		if t == "" {
+			continue // unbound OPTIONAL position: the binding is omitted
+		}
+		if wrote {
+			b.WriteByte(',')
+		}
+		wrote = true
+		jstr(b, j.vars[i])
+		b.WriteByte(':')
+		writeJSONTerm(b, t)
+	}
+	b.WriteByte('}')
+	j.rows++
+	_, err := j.w.Write(b.Bytes())
+	return err
+}
+
+func writeJSONTerm(b *bytes.Buffer, t rdf.Term) {
+	switch t.Kind() {
+	case rdf.IRI:
+		b.WriteString(`{"type":"uri","value":`)
+		jstr(b, t.IRIValue())
+	case rdf.Blank:
+		b.WriteString(`{"type":"bnode","value":`)
+		jstr(b, string(t[2:]))
+	default:
+		b.WriteString(`{"type":"literal","value":`)
+		jstr(b, t.LexicalValue())
+		if lang := t.Lang(); lang != "" {
+			b.WriteString(`,"xml:lang":`)
+			jstr(b, lang)
+		} else if dt := t.DatatypeIRI(); dt != "" {
+			b.WriteString(`,"datatype":`)
+			jstr(b, dt)
+		}
+	}
+	b.WriteByte('}')
+}
+
+func (j *jsonWriter) writeBoolean(v bool) error {
+	_, err := io.WriteString(j.w, `{"head":{},"boolean":`+strconv.FormatBool(v)+"}\n")
+	return err
+}
+
+func (j *jsonWriter) finish() error {
+	_, err := io.WriteString(j.w, "\n]}}\n")
+	return err
+}
+
+// xmlWriter streams the SPARQL Query Results XML Format.
+type xmlWriter struct {
+	w    io.Writer
+	vars []string
+	buf  bytes.Buffer
+}
+
+// xstr appends s with XML special characters escaped (quotes included, so
+// the same helper serves attribute values and character data).
+func xstr(b *bytes.Buffer, s string) {
+	xml.EscapeText(b, []byte(s)) //nolint:errcheck // bytes.Buffer cannot fail
+}
+
+func (x *xmlWriter) writeHead(vars []string) error {
+	x.vars = vars
+	b := &x.buf
+	b.Reset()
+	b.WriteString(xml.Header)
+	b.WriteString(`<sparql xmlns="` + xmlResultsNS + "\">\n<head>")
+	for _, v := range vars {
+		b.WriteString(`<variable name="`)
+		xstr(b, v)
+		b.WriteString(`"/>`)
+	}
+	b.WriteString("</head>\n<results>")
+	_, err := x.w.Write(b.Bytes())
+	return err
+}
+
+func (x *xmlWriter) writeRow(row []rdf.Term) error {
+	b := &x.buf
+	b.Reset()
+	b.WriteString("\n<result>")
+	for i, t := range row {
+		if t == "" {
+			continue
+		}
+		b.WriteString(`<binding name="`)
+		xstr(b, x.vars[i])
+		b.WriteString(`">`)
+		writeXMLTerm(b, t)
+		b.WriteString("</binding>")
+	}
+	b.WriteString("</result>")
+	_, err := x.w.Write(b.Bytes())
+	return err
+}
+
+func writeXMLTerm(b *bytes.Buffer, t rdf.Term) {
+	switch t.Kind() {
+	case rdf.IRI:
+		b.WriteString("<uri>")
+		xstr(b, t.IRIValue())
+		b.WriteString("</uri>")
+	case rdf.Blank:
+		b.WriteString("<bnode>")
+		xstr(b, string(t[2:]))
+		b.WriteString("</bnode>")
+	default:
+		if lang := t.Lang(); lang != "" {
+			b.WriteString(`<literal xml:lang="`)
+			xstr(b, lang)
+			b.WriteString(`">`)
+		} else if dt := t.DatatypeIRI(); dt != "" {
+			b.WriteString(`<literal datatype="`)
+			xstr(b, dt)
+			b.WriteString(`">`)
+		} else {
+			b.WriteString("<literal>")
+		}
+		xstr(b, t.LexicalValue())
+		b.WriteString("</literal>")
+	}
+}
+
+func (x *xmlWriter) writeBoolean(v bool) error {
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	b.WriteString(`<sparql xmlns="` + xmlResultsNS + "\">\n<head></head>\n<boolean>")
+	b.WriteString(strconv.FormatBool(v))
+	b.WriteString("</boolean>\n</sparql>\n")
+	_, err := x.w.Write(b.Bytes())
+	return err
+}
+
+func (x *xmlWriter) finish() error {
+	_, err := io.WriteString(x.w, "\n</results>\n</sparql>\n")
+	return err
+}

@@ -1,0 +1,202 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	turbohom "repro"
+	"repro/internal/rdf"
+	"repro/internal/server"
+)
+
+// fanTriples builds a hub vertex with n children on each of two predicates.
+// The fan query joins both fans through the shared hub, so n children yield
+// n*n rows from 2n+ triples — a cheap way to make a response that dwarfs any
+// socket buffer. The two predicates differ so NEC merging cannot collapse
+// the query vertices.
+func fanTriples(n int) []turbohom.Triple {
+	hub := rdf.NewIRI("http://x/hub")
+	p := rdf.NewIRI("http://x/p")
+	q := rdf.NewIRI("http://x/q")
+	ts := make([]turbohom.Triple, 0, 2*n)
+	for i := 0; i < n; i++ {
+		ts = append(ts,
+			turbohom.Triple{S: hub, P: p, O: rdf.NewIRI(fmt.Sprintf("http://x/p%04d", i))},
+			turbohom.Triple{S: hub, P: q, O: rdf.NewIRI(fmt.Sprintf("http://x/q%04d", i))},
+		)
+	}
+	return ts
+}
+
+const fanQuery = `SELECT ?a ?b WHERE { <http://x/hub> <http://x/p> ?a . <http://x/hub> <http://x/q> ?b . }`
+
+// totalAlloc reports cumulative bytes allocated by the process.
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// blockingWriter is a ResponseWriter that accepts limit bytes and then
+// blocks — the in-process analogue of a client whose TCP window is full.
+// Unblocking happens only through request-context cancellation, exactly as
+// net/http unblocks a stuck Write when the connection dies.
+type blockingWriter struct {
+	ctx     context.Context
+	header  http.Header
+	limit   int
+	written int
+	blocked chan struct{} // closed the first time Write stalls
+}
+
+func newBlockingWriter(ctx context.Context, limit int) *blockingWriter {
+	return &blockingWriter{ctx: ctx, header: make(http.Header), limit: limit, blocked: make(chan struct{})}
+}
+
+func (w *blockingWriter) Header() http.Header { return w.header }
+func (w *blockingWriter) WriteHeader(int)     {}
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		select {
+		case <-w.blocked:
+		default:
+			close(w.blocked)
+		}
+		<-w.ctx.Done()
+		return 0, w.ctx.Err()
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestServeSlowClientBoundedAlloc drives the handler against a writer that
+// jams after 4KB. The stream must suspend — bounded further allocation while
+// jammed — and a disconnect must abort the cursor, counted in the metrics
+// with only a sliver of the full search done.
+func TestServeSlowClientBoundedAlloc(t *testing.T) {
+	const n = 450 // 202,500 rows ≈ tens of MB serialized
+	store := turbohom.New(fanTriples(n), &turbohom.Options{Workers: 2, StreamBuffer: 8})
+	defer store.Close()
+	srv := server.New(store, turbohom.ServerOptions{QueryTimeout: -1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest(http.MethodGet, "/sparql?query="+url.QueryEscape(fanQuery), nil).WithContext(ctx)
+	w := newBlockingWriter(ctx, 4<<10)
+
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(w, req)
+		close(done)
+	}()
+
+	select {
+	case <-w.blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler never filled the 4KB window")
+	}
+
+	// Jammed: whatever the pipeline still drains into the StreamBuffer is
+	// bounded, so allocation while we sit here must be too. The full result
+	// would serialize to tens of MB; demand well under one.
+	base := totalAlloc()
+	time.Sleep(300 * time.Millisecond)
+	if grew := totalAlloc() - base; grew > 512<<10 {
+		t.Errorf("allocated %d bytes while the client was jammed; stream is buffering, not suspending", grew)
+	}
+
+	cancel() // the client disconnects
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after disconnect")
+	}
+
+	m := srv.Metrics()
+	if m.QueriesCancelled != 1 {
+		t.Fatalf("queries_cancelled = %d, want 1 (metrics %+v)", m.QueriesCancelled, m)
+	}
+	// The abort must also have stopped the search itself: the cursor's
+	// profile, folded into the metrics at Close, shows how many candidate
+	// vertices were explored. A handful of flushed rows needs a tiny slice
+	// of the n*n search.
+	full := int64(n) * int64(n)
+	if m.SearchNodes == 0 {
+		t.Fatal("no search profile folded into metrics")
+	}
+	if m.SearchNodes > full/10 {
+		t.Errorf("search explored %d nodes after early disconnect; full search is ~%d", m.SearchNodes, full)
+	}
+}
+
+// TestDisconnectOverTCP is the same contract end to end: a real connection,
+// closed mid-body, must cancel the request context and abort the cursor.
+func TestDisconnectOverTCP(t *testing.T) {
+	store := turbohom.New(fanTriples(200), &turbohom.Options{Workers: 2, StreamBuffer: 8})
+	defer store.Close()
+	srv := server.New(store, turbohom.ServerOptions{QueryTimeout: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(fanQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a little of the body, then slam the connection shut.
+	if _, err := io.ReadFull(resp.Body, make([]byte, 2<<10)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := srv.Metrics(); m.QueriesCancelled == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never counted the disconnect: %+v", srv.Metrics())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamDeliversAllRows sanity-checks the other side of the coin: a
+// patient client gets every one of the n*n rows through the same machinery.
+func TestStreamDeliversAllRows(t *testing.T) {
+	const n = 60
+	store := turbohom.New(fanTriples(n), &turbohom.Options{Workers: 2, StreamBuffer: 8})
+	defer store.Close()
+	srv := server.New(store, turbohom.ServerOptions{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(fanQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per line: count the binding lines instead of decoding 3,600
+	// rows' worth of JSON.
+	got := strings.Count(string(body), `{"a":`)
+	if got != n*n {
+		t.Fatalf("streamed %d rows, want %d", got, n*n)
+	}
+	if tr := resp.Trailer.Get(server.TrailerError); tr != "" {
+		t.Fatalf("unexpected error trailer %q", tr)
+	}
+	if m := srv.Metrics(); m.RowsStreamed != int64(n*n) || m.QueriesOK != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}

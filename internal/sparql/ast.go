@@ -1,9 +1,10 @@
 // Package sparql implements the SPARQL subset used by the paper's
-// evaluation: SELECT queries over basic graph patterns with FILTER,
+// evaluation: SELECT and ASK queries over basic graph patterns with FILTER,
 // OPTIONAL, and UNION (paper §5.1), PREFIX declarations, typed and
 // language-tagged literals, variable predicates, DISTINCT, LIMIT and
-// OFFSET. The package provides the lexer, recursive-descent parser, AST,
-// and the FILTER expression evaluator.
+// OFFSET, plus the ground SPARQL 1.1 Update forms INSERT DATA and
+// DELETE DATA (ParseUpdate). The package provides the lexer,
+// recursive-descent parser, AST, and the FILTER expression evaluator.
 package sparql
 
 import (
@@ -86,7 +87,7 @@ type OrderKey struct {
 	Desc bool
 }
 
-// Query is a parsed SPARQL SELECT query.
+// Query is a parsed SPARQL SELECT or ASK query.
 type Query struct {
 	Prefixes map[string]string
 	Vars     []string // projection; nil means SELECT *
@@ -95,6 +96,11 @@ type Query struct {
 	OrderBy  []OrderKey
 	Limit    int // -1 when absent
 	Offset   int // 0 when absent
+	// Ask marks an ASK query: the caller wants only whether a solution
+	// exists. The parser leaves Vars nil (SELECT * projection) and pins
+	// Limit to 1, so any engine executing the query does one row's worth of
+	// work and the first delivered row answers true.
+	Ask bool
 }
 
 // ProjectedVars returns the projection, expanding SELECT * to all variables
@@ -132,6 +138,9 @@ func (q *Query) ProjectedVars() []string {
 }
 
 func (q *Query) String() string {
+	if q.Ask {
+		return "ASK { ... }"
+	}
 	var b strings.Builder
 	b.WriteString("SELECT")
 	if q.Distinct {

@@ -228,7 +228,7 @@ type parser struct {
 	prefixes map[string]string
 }
 
-// Parse parses a SPARQL SELECT query.
+// Parse parses a SPARQL SELECT or ASK query.
 func Parse(src string) (*Query, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -290,32 +290,62 @@ func (p *parser) expectPunct(s string) error {
 	return nil
 }
 
-func (p *parser) parseQuery() (*Query, error) {
-	q := &Query{Limit: -1}
+// parsePrologue consumes the PREFIX declarations (the SPARQL prologue) into
+// p.prefixes. Both queries and update requests open with one, and an update
+// sequence may interleave further prologues between operations.
+func (p *parser) parsePrologue() error {
 	for p.keyword("PREFIX") {
 		p.i++
 		t := p.next()
 		if t.kind != tPName && t.kind != tKeyword {
-			return nil, p.errf("expected prefix name")
+			return p.errf("expected prefix name")
 		}
 		name := strings.TrimSuffix(t.text, ":")
 		// "PREFIX foo:" lexes as a pName "foo:" (empty local); "PREFIX :"
 		// lexes as ":". Accept both, plus a bare keyword followed by ':'.
 		if t.kind == tKeyword {
 			if err := p.expectPunct(":"); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		iriTok := p.next()
 		if iriTok.kind != tIRI {
-			return nil, p.errf("expected IRI after PREFIX")
+			return p.errf("expected IRI after PREFIX")
 		}
 		p.prefixes[name] = strings.Trim(iriTok.text, "<>")
 	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Limit: -1}
+	if err := p.parsePrologue(); err != nil {
+		return nil, err
+	}
 	q.Prefixes = p.prefixes
 
+	// ASK asks only whether any solution exists: no projection, no solution
+	// modifiers, and Limit pinned to 1 so execution stops at the first row.
+	if p.keyword("ASK") {
+		p.i++
+		q.Ask = true
+		q.Limit = 1
+		if p.keyword("WHERE") {
+			p.i++
+		}
+		g, err := p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = g
+		if p.cur().kind != tEOF {
+			return nil, p.errf("unexpected token %q after ASK pattern", p.cur().text)
+		}
+		return q, nil
+	}
+
 	if !p.keyword("SELECT") {
-		return nil, p.errf("expected SELECT")
+		return nil, p.errf("expected SELECT or ASK")
 	}
 	p.i++
 	if p.keyword("DISTINCT") {

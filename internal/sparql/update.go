@@ -1,0 +1,126 @@
+package sparql
+
+import "repro/internal/rdf"
+
+// Update is a parsed SPARQL 1.1 Update request: a ';'-separated sequence of
+// ground-data operations. Only the ground forms INSERT DATA and DELETE DATA
+// are supported — they map one-to-one onto a store's Insert/Delete batch
+// API, need no pattern matching, and are what the SPARQL 1.1 Protocol's
+// update operation carries in the common case. Pattern-based
+// INSERT/DELETE WHERE is out of scope.
+type Update struct {
+	Ops []UpdateOp
+}
+
+// UpdateOp is one INSERT DATA or DELETE DATA operation.
+type UpdateOp struct {
+	// Insert distinguishes INSERT DATA (true) from DELETE DATA (false).
+	Insert bool
+	// Triples is the ground data block, in document order.
+	Triples []rdf.Triple
+}
+
+// Counts reports the total number of triples across insert and delete
+// operations, for logging and limits.
+func (u *Update) Counts() (ins, del int) {
+	for _, op := range u.Ops {
+		if op.Insert {
+			ins += len(op.Triples)
+		} else {
+			del += len(op.Triples)
+		}
+	}
+	return ins, del
+}
+
+// ParseUpdate parses a SPARQL 1.1 Update request consisting of INSERT DATA
+// and DELETE DATA operations separated by ';', each with an optional PREFIX
+// prologue:
+//
+//	PREFIX ex: <http://example.org/>
+//	INSERT DATA { ex:s ex:p "o" . ex:s ex:p ex:o2 } ;
+//	DELETE DATA { ex:old ex:p ex:gone }
+//
+// Data blocks must be ground: variables are rejected everywhere, predicates
+// must be IRIs, and DELETE DATA additionally rejects blank nodes (per the
+// SPARQL 1.1 Update grammar — a blank node in DELETE DATA could never
+// denote a specific triple to remove).
+func ParseUpdate(src string) (*Update, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}}
+	u := &Update{}
+	for {
+		if err := p.parsePrologue(); err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tEOF {
+			if len(u.Ops) == 0 {
+				return nil, p.errf("expected INSERT DATA or DELETE DATA")
+			}
+			return u, nil
+		}
+		var insert bool
+		switch {
+		case p.keyword("INSERT"):
+			insert = true
+		case p.keyword("DELETE"):
+		default:
+			return nil, p.errf("expected INSERT DATA or DELETE DATA, found %q", p.cur().text)
+		}
+		p.i++
+		if !p.keyword("DATA") {
+			return nil, p.errf("only the ground forms INSERT DATA / DELETE DATA are supported")
+		}
+		p.i++
+		triples, err := p.parseGroundData(insert)
+		if err != nil {
+			return nil, err
+		}
+		u.Ops = append(u.Ops, UpdateOp{Insert: insert, Triples: triples})
+		if p.punct(";") {
+			p.i++
+		}
+	}
+}
+
+// parseGroundData parses a '{ ... }' data block of ground triples, reusing
+// the triple-pattern grammar (';' and ',' abbreviations, 'a' for rdf:type)
+// and then validating groundness.
+func (p *parser) parseGroundData(insert bool) ([]rdf.Triple, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []rdf.Triple
+	for {
+		switch {
+		case p.punct("}"):
+			p.i++
+			return out, nil
+		case p.cur().kind == tEOF:
+			return nil, p.errf("unterminated data block")
+		case p.punct("."):
+			p.i++
+		default:
+			pos := p.cur().pos
+			var g GroupPattern
+			if err := p.parseTriplesSameSubject(&g); err != nil {
+				return nil, err
+			}
+			for _, tp := range g.Triples {
+				if tp.S.IsVar() || tp.P.IsVar() || tp.O.IsVar() {
+					return nil, &ParseError{pos, "variables are not allowed in a ground data block"}
+				}
+				if tp.P.Term.Kind() != rdf.IRI {
+					return nil, &ParseError{pos, "predicate must be an IRI"}
+				}
+				if !insert && (tp.S.Term.Kind() == rdf.Blank || tp.O.Term.Kind() == rdf.Blank) {
+					return nil, &ParseError{pos, "blank nodes are not allowed in DELETE DATA"}
+				}
+				out = append(out, rdf.Triple{S: tp.S.Term, P: tp.P.Term, O: tp.O.Term})
+			}
+		}
+	}
+}

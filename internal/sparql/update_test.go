@@ -1,0 +1,135 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestParseAsk(t *testing.T) {
+	q, err := Parse(`PREFIX ex: <http://x/> ASK { ?s ex:p ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Ask {
+		t.Fatal("Ask flag not set")
+	}
+	if q.Limit != 1 {
+		t.Fatalf("ASK Limit = %d, want 1 (existence check)", q.Limit)
+	}
+	if q.Vars != nil {
+		t.Fatalf("ASK projection = %v, want nil (SELECT *)", q.Vars)
+	}
+	if len(q.Where.Triples) != 1 {
+		t.Fatalf("triples = %v", q.Where.Triples)
+	}
+
+	// WHERE keyword is optional, as in SELECT.
+	if q, err = Parse(`ASK WHERE { ?s ?p ?o . }`); err != nil || !q.Ask {
+		t.Fatalf("ASK WHERE: q=%v err=%v", q, err)
+	}
+
+	// ASK takes no solution modifiers.
+	if _, err = Parse(`ASK { ?s ?p ?o . } LIMIT 5`); err == nil {
+		t.Fatal("ASK with LIMIT parsed")
+	}
+	// A SELECT query must not come back marked Ask.
+	if q, err = Parse(`SELECT ?s WHERE { ?s ?p ?o . }`); err != nil || q.Ask {
+		t.Fatalf("SELECT: Ask=%v err=%v", q.Ask, err)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	u, err := ParseUpdate(`
+		PREFIX ex: <http://x/>
+		INSERT DATA { ex:a ex:p "v" ; ex:q ex:b , ex:c . _:bn a ex:T } ;
+		PREFIX ey: <http://y/>
+		DELETE DATA { ey:a ey:p "w"@en . }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(u.Ops))
+	}
+	ins, del := u.Counts()
+	if ins != 4 || del != 1 {
+		t.Fatalf("counts = (%d, %d), want (4, 1)", ins, del)
+	}
+	if !u.Ops[0].Insert || u.Ops[1].Insert {
+		t.Fatalf("verbs = %v, %v", u.Ops[0].Insert, u.Ops[1].Insert)
+	}
+	want := []rdf.Triple{
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://x/p"), O: rdf.NewLiteral("v")},
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://x/q"), O: rdf.NewIRI("http://x/b")},
+		{S: rdf.NewIRI("http://x/a"), P: rdf.NewIRI("http://x/q"), O: rdf.NewIRI("http://x/c")},
+		{S: rdf.NewBlank("bn"), P: rdf.TypeTerm, O: rdf.NewIRI("http://x/T")},
+	}
+	for i, tr := range want {
+		if u.Ops[0].Triples[i] != tr {
+			t.Errorf("insert[%d] = %v, want %v", i, u.Ops[0].Triples[i], tr)
+		}
+	}
+	if got := u.Ops[1].Triples[0]; got != (rdf.Triple{S: rdf.NewIRI("http://y/a"), P: rdf.NewIRI("http://y/p"), O: rdf.NewLangLiteral("w", "en")}) {
+		t.Errorf("delete[0] = %v", got)
+	}
+}
+
+func TestParseUpdateRejects(t *testing.T) {
+	for _, tc := range []struct {
+		src, wantErr string
+	}{
+		{`INSERT DATA { ?s <http://p> <http://o> }`, "variables"},
+		{`DELETE DATA { _:b <http://p> <http://o> }`, "blank nodes"},
+		{`INSERT DATA { <http://s> "lit" <http://o> }`, ""},
+		{`INSERT DATA { <http://s> _:b <http://o> }`, "predicate must be an IRI"},
+		{`INSERT { <http://s> <http://p> <http://o> }`, "ground forms"},
+		{`DELETE WHERE { ?s ?p ?o }`, "ground forms"},
+		{`SELECT ?s WHERE { ?s ?p ?o }`, "expected INSERT DATA or DELETE DATA"},
+		{``, "expected INSERT DATA or DELETE DATA"},
+		{`INSERT DATA { <http://s> <http://p> <http://o>`, "unterminated"},
+	} {
+		_, err := ParseUpdate(tc.src)
+		if err == nil {
+			t.Errorf("ParseUpdate(%q) succeeded, want error", tc.src)
+			continue
+		}
+		if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseUpdate(%q) error %q, want substring %q", tc.src, err, tc.wantErr)
+		}
+	}
+}
+
+// FuzzSPARQLUpdate mirrors FuzzSPARQL for the update grammar: ParseUpdate
+// must never panic, never return an empty error, and every accepted request
+// must contain only ground triples.
+func FuzzSPARQLUpdate(f *testing.F) {
+	for _, s := range []string{
+		`INSERT DATA { <http://s> <http://p> "o" }`,
+		`PREFIX ex: <http://x/> DELETE DATA { ex:a ex:p ex:b . } ; INSERT DATA { ex:a a ex:T }`,
+		`INSERT DATA { _:b <http://p> "x"^^<http://t> ; <http://q> "y"@en }`,
+		`INSERT DATA {`, `DELETE DATA`, `INSERT`, `;`, `PREFIX`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := ParseUpdate(src)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatalf("empty parse error for %q", src)
+			}
+			return
+		}
+		if u == nil || len(u.Ops) == 0 {
+			t.Fatalf("accepted update with no operations: %q", src)
+		}
+		for _, op := range u.Ops {
+			for _, tr := range op.Triples {
+				if tr.S == "" || tr.P == "" || tr.O == "" {
+					t.Fatalf("accepted empty term in %q", src)
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package turbohom
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/transform"
 )
@@ -176,6 +178,80 @@ func (o *Options) coreOpts() core.Opts {
 }
 
 func (o *Options) syncWAL() bool { return o != nil && o.SyncWAL }
+
+// ServerOptions configure the SPARQL 1.1 Protocol endpoint (`turbohom
+// serve`, internal/server). They are the serving-side limits: everything
+// about how the engine executes a query lives in Options; everything about
+// how much of the server one HTTP client may hold lives here. The zero
+// value serves with a 30-second query budget, unlimited rows, a 128-entry
+// prepared-query cache, and a 10-second shutdown drain.
+type ServerOptions struct {
+	// QueryTimeout bounds one request's execution wall time. The request
+	// context is cancelled when it expires, which aborts the query's cursor
+	// mid-stream (the matcher abandons its remaining candidate regions).
+	// Zero means the default of 30 seconds; negative means no limit.
+	QueryTimeout time.Duration
+
+	// MaxRows truncates a SELECT response after this many rows. The
+	// truncation is well-formed output — the results document simply ends —
+	// and is announced in the X-Turbohom-Truncated HTTP trailer, which a
+	// streaming response can still set after the body. 0 means unlimited.
+	MaxRows int
+
+	// PreparedCache is the size of the server's prepared-query LRU: repeated
+	// query strings skip parsing and planning entirely (prepared queries
+	// recompile themselves lazily per store snapshot, so caching stays
+	// correct across updates). 0 means the default of 128; negative
+	// disables caching.
+	PreparedCache int
+
+	// DrainTimeout bounds graceful shutdown: in-flight requests — including
+	// streaming cursors mid-drain — get this long to finish before their
+	// contexts are cancelled and connections closed. Zero means the default
+	// of 10 seconds.
+	DrainTimeout time.Duration
+
+	// ReadOnly rejects SPARQL UPDATE requests with 403 Forbidden while
+	// leaving queries untouched.
+	ReadOnly bool
+}
+
+// Defaults for the zero ServerOptions value.
+const (
+	defaultQueryTimeout  = 30 * time.Second
+	defaultPreparedCache = 128
+	defaultDrainTimeout  = 10 * time.Second
+)
+
+// EffectiveQueryTimeout resolves the zero value to the default budget.
+func (o ServerOptions) EffectiveQueryTimeout() time.Duration {
+	switch {
+	case o.QueryTimeout < 0:
+		return 0
+	case o.QueryTimeout == 0:
+		return defaultQueryTimeout
+	}
+	return o.QueryTimeout
+}
+
+// EffectivePreparedCache resolves the zero value to the default size.
+func (o ServerOptions) EffectivePreparedCache() int {
+	switch {
+	case o.PreparedCache < 0:
+		return 0
+	case o.PreparedCache == 0:
+		return defaultPreparedCache
+	}
+	return o.PreparedCache
+}
+
+// EffectiveDrainTimeout resolves the zero value to the default budget.
+func (o ServerOptions) EffectiveDrainTimeout() time.Duration {
+	if o.DrainTimeout <= 0 {
+		return defaultDrainTimeout
+	}
+	return o.DrainTimeout
+}
 
 func (o *Options) mode() transform.Mode {
 	if o != nil && o.Transformation == Direct {

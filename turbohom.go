@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/rdf"
+	"repro/internal/sparql"
 	"repro/internal/storage"
 	"repro/internal/transform"
 )
@@ -116,6 +117,36 @@ func (s *Store) Delete(triples []Triple) (int, error) {
 	return n, nil
 }
 
+// Update executes a SPARQL 1.1 Update request — a ';'-separated sequence of
+// INSERT DATA and DELETE DATA operations (the ground forms; pattern-based
+// updates are not supported) — and reports how many triples were actually
+// added and removed. Each operation is applied as one atomic Insert or
+// Delete batch, in document order: on a durable store every operation is
+// WAL-logged before it applies, and an error mid-sequence leaves the
+// already-applied operations in place (the error reports nothing beyond the
+// standard Insert/Delete contract). Queries running concurrently keep their
+// pinned snapshots.
+func (s *Store) Update(src string) (inserted, deleted int, err error) {
+	u, err := sparql.ParseUpdate(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, op := range u.Ops {
+		var n int
+		if op.Insert {
+			n, err = s.Insert(op.Triples)
+			inserted += n
+		} else {
+			n, err = s.Delete(op.Triples)
+			deleted += n
+		}
+		if err != nil {
+			return inserted, deleted, err
+		}
+	}
+	return inserted, deleted, nil
+}
+
 // Compact folds the accumulated delta back into the compacted base
 // representation (the CSR layout of paper §4.2), restoring full query speed
 // after a long run of updates. Results are unaffected: compaction publishes
@@ -216,6 +247,12 @@ func (s *Store) Prepare(query string) (*Prepared, error) {
 // modify it.
 func (p *Prepared) Vars() []string { return p.pq.Vars() }
 
+// Ask reports whether the prepared query is an ASK form. An ASK query is
+// answered by whether its cursor yields at least one row — Vars is empty and
+// the parser pins LIMIT 1, so draining the cursor stops at the first
+// solution.
+func (p *Prepared) Ask() bool { return p.pq.Ask() }
+
 // Select starts executing the prepared query and returns a streaming
 // cursor. Rows flow from the matcher as the consumer pulls them; closing
 // the cursor (or cancelling ctx) after k rows abandons the remaining search
@@ -233,6 +270,17 @@ func (p *Prepared) Vars() []string { return p.pq.Vars() }
 // else — including DISTINCT, which deduplicates incrementally — streams.
 func (p *Prepared) Select(ctx context.Context) *Rows {
 	return &Rows{r: p.pq.Select(ctx)}
+}
+
+// SelectProfiled is Select with matcher effort counters: prof, when
+// non-nil, accumulates the counters of the streamed run (regions visited,
+// search nodes expanded, candidates explored). Read prof only after the
+// cursor is exhausted or closed. A cursor cut short — Close, a context
+// cancellation, a disconnected network client — reports the effort actually
+// spent, which is how callers (and tests) prove that abandoning a cursor
+// really abandoned the remaining search.
+func (p *Prepared) SelectProfiled(ctx context.Context, prof *ProfileResult) *Rows {
+	return &Rows{r: p.pq.SelectProfiled(ctx, prof)}
 }
 
 // All executes the prepared query and returns a range-over-func iterator of
