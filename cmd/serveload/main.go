@@ -20,6 +20,11 @@
 // .../inproc/... lines — the denominator for "how much does the wire cost"
 // ratio gates.
 //
+// -min-hitrate F gates the server's result cache over the load phase: the
+// cache_hits / cache_misses deltas observed through /healthz must reach the
+// given fraction, or serveload exits 1 — the hot-repeat contract that a
+// repeated query is answered by replay, not re-execution.
+//
 // -slow-rows N runs the slow-client probe after the load phase: one
 // streaming request read at one row per -slow-every, polling the server's
 // /healthz between rows, then a deliberate mid-stream disconnect. It fails
@@ -33,6 +38,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -55,6 +61,7 @@ func main() {
 		accept     = flag.String("accept", "json", "result format to request: json or xml")
 		name       = flag.String("name", "", "benchmark name prefix (default ServeLoad/<id>)")
 		inproc     = flag.Bool("inproc", false, "also drain the query in-process (needs -dataset/-scale) and emit .../inproc lines")
+		minHitrate = flag.Float64("min-hitrate", 0, "fail unless the load phase's result-cache hit rate (from /healthz cache_hits / cache_misses deltas) reaches this fraction (0 = skip)")
 		slowRows   = flag.Int("slow-rows", 0, "after the load phase, read this many rows at -slow-every pace then disconnect (0 = skip)")
 		slowEvery  = flag.Duration("slow-every", time.Second, "pace of the slow-client probe")
 		heapGrowth = flag.Uint64("heap-growth", 96<<20, "max server heap_alloc growth tolerated during the slow probe (bytes)")
@@ -63,14 +70,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*baseURL, *queryStr, *queryFile, *dataset, *queryID, *scale,
-		*clients, *requests, *accept, *name, *inproc, *slowRows, *slowEvery, *heapGrowth, *timeout); err != nil {
+		*clients, *requests, *accept, *name, *inproc, *minHitrate, *slowRows, *slowEvery, *heapGrowth, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "serveload:", err)
 		os.Exit(1)
 	}
 }
 
 func run(baseURL, queryStr, queryFile, dataset, queryID string, scale,
-	clients, requests int, accept, name string, inproc bool,
+	clients, requests int, accept, name string, inproc bool, minHitrate float64,
 	slowRows int, slowEvery time.Duration, heapGrowth uint64, timeout time.Duration) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
@@ -93,6 +100,17 @@ func run(baseURL, queryStr, queryFile, dataset, queryID string, scale,
 		name = "ServeLoad/" + label
 	}
 
+	// Snapshot the cache counters so the hit-rate gate measures this load
+	// phase only, not whatever warmed the server before it.
+	var hitsBefore, missesBefore int64
+	if minHitrate > 0 {
+		h, err := loadtest.GetHealth(ctx, http.DefaultClient, baseURL)
+		if err != nil {
+			return fmt.Errorf("pre-load healthz: %w", err)
+		}
+		hitsBefore, missesBefore = h.Metrics["cache_hits"], h.Metrics["cache_misses"]
+	}
+
 	// Load phase: concurrent clients, full drains.
 	rep, err := loadtest.Run(ctx, loadtest.Config{
 		BaseURL:  baseURL,
@@ -107,6 +125,26 @@ func run(baseURL, queryStr, queryFile, dataset, queryID string, scale,
 	fmt.Fprintf(os.Stderr, "# %s: %d requests over %d clients, %d rows in %s\n",
 		name, rep.Requests, rep.Clients, rep.Rows, rep.Elapsed.Round(time.Millisecond))
 	fmt.Print(rep.BenchLines(fmt.Sprintf("%s/clients%d", name, clients)))
+
+	// Hot-repeat contract: every request after the cold leader must have
+	// been answered from the result cache.
+	if minHitrate > 0 {
+		h, err := loadtest.GetHealth(ctx, http.DefaultClient, baseURL)
+		if err != nil {
+			return fmt.Errorf("post-load healthz: %w", err)
+		}
+		hits := h.Metrics["cache_hits"] - hitsBefore
+		misses := h.Metrics["cache_misses"] - missesBefore
+		if hits+misses == 0 {
+			return fmt.Errorf("no cacheable requests reached the server (cache disabled, or an ASK form?) — cannot gate the hit rate")
+		}
+		rate := float64(hits) / float64(hits+misses)
+		fmt.Fprintf(os.Stderr, "# %s: result cache %d hits / %d misses (rate %.3f, bound %.3f)\n",
+			name, hits, misses, rate, minHitrate)
+		if rate < minHitrate {
+			return fmt.Errorf("result-cache hit rate %.3f below the %.3f bound (%d hits, %d misses)", rate, minHitrate, hits, misses)
+		}
+	}
 
 	// In-process baseline: same query, same store contents, no HTTP.
 	if inproc {

@@ -25,25 +25,37 @@ import (
 // remaining search. With -load the store is durable and SPARQL updates
 // (INSERT DATA / DELETE DATA) are logged to the WAL before applying;
 // -readonly rejects them instead.
+//
+// Repeated SELECTs are answered from a snapshot-versioned result cache
+// (64 MiB by default; size it with -cache-bytes, disable it with
+// -cache-off): a hit replays the byte-identical response without running
+// the matcher, the X-Turbohom-Cache header says which happened, and
+// committed updates invalidate exactly the entries whose query footprint
+// overlaps what the update touched — everything else is carried forward.
+//
+//	turbohom serve -dataset lubm -scale 8 -cache-bytes $((128<<20))
+//	curl -sD- 'http://localhost:3030/sparql?query=...' | grep X-Turbohom-Cache
 func serveMain(ctx context.Context, args []string) (retErr error) {
 	fs := flag.NewFlagSet("turbohom serve", flag.ExitOnError)
 	var (
-		addr      = fs.String("addr", ":3030", "listen address")
-		dataFile  = fs.String("data", "", "N-Triples file to load")
-		dataset   = fs.String("dataset", "", "generate a benchmark dataset: lubm, bsbm, yago, btc")
-		scale     = fs.Int("scale", 1, "dataset scale factor")
-		loadDir   = fs.String("load", "", "open a durable store from a snapshot directory")
-		syncWAL   = fs.Bool("syncwal", false, "fsync the write-ahead log on every update")
-		transf    = fs.String("transform", "typeaware", "graph transformation: typeaware or direct")
-		noopt     = fs.Bool("noopt", false, "disable the TurboHOM++ optimization suite")
-		workers   = fs.Int("workers", 0, "parallel workers per query (0 = all CPUs)")
-		streamBuf = fs.Int("stream-buffer", 0, "max rows a query buffers ahead of its client (0 = 64x workers)")
-		costOrder = fs.Bool("costorder", false, "rank matching orders by graph statistics")
-		timeout   = fs.Duration("timeout", 0, "per-query wall budget (0 = 30s, negative = unlimited)")
-		maxRows   = fs.Int("max-rows", 0, "truncate SELECT responses after this many rows, announced in the X-Turbohom-Truncated trailer (0 = unlimited)")
-		cacheSize = fs.Int("prepared-cache", 0, "prepared-query LRU entries (0 = 128, negative disables)")
-		drain     = fs.Duration("drain", 0, "graceful-shutdown budget for in-flight requests (0 = 10s)")
-		readOnly  = fs.Bool("readonly", false, "reject SPARQL updates with 403")
+		addr       = fs.String("addr", ":3030", "listen address")
+		dataFile   = fs.String("data", "", "N-Triples file to load")
+		dataset    = fs.String("dataset", "", "generate a benchmark dataset: lubm, bsbm, yago, btc")
+		scale      = fs.Int("scale", 1, "dataset scale factor")
+		loadDir    = fs.String("load", "", "open a durable store from a snapshot directory")
+		syncWAL    = fs.Bool("syncwal", false, "fsync the write-ahead log on every update")
+		transf     = fs.String("transform", "typeaware", "graph transformation: typeaware or direct")
+		noopt      = fs.Bool("noopt", false, "disable the TurboHOM++ optimization suite")
+		workers    = fs.Int("workers", 0, "parallel workers per query (0 = all CPUs)")
+		streamBuf  = fs.Int("stream-buffer", 0, "max rows a query buffers ahead of its client (0 = 64x workers)")
+		costOrder  = fs.Bool("costorder", false, "rank matching orders by graph statistics")
+		timeout    = fs.Duration("timeout", 0, "per-query wall budget (0 = 30s, negative = unlimited)")
+		maxRows    = fs.Int("max-rows", 0, "truncate SELECT responses after this many rows, announced in the X-Turbohom-Truncated trailer (0 = unlimited)")
+		cacheSize  = fs.Int("prepared-cache", 0, "prepared-query LRU entries (0 = 128, negative disables)")
+		drain      = fs.Duration("drain", 0, "graceful-shutdown budget for in-flight requests (0 = 10s)")
+		readOnly   = fs.Bool("readonly", false, "reject SPARQL updates with 403")
+		cacheBytes = fs.Int64("cache-bytes", 0, "result-cache byte budget (0 = 64 MiB)")
+		cacheOff   = fs.Bool("cache-off", false, "disable the result cache")
 	)
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 
@@ -73,12 +85,17 @@ func serveMain(ctx context.Context, args []string) (retErr error) {
 		}
 	}()
 
+	resultCache := *cacheBytes
+	if *cacheOff {
+		resultCache = -1
+	}
 	srv := server.New(store, turbohom.ServerOptions{
-		QueryTimeout:  *timeout,
-		MaxRows:       *maxRows,
-		PreparedCache: *cacheSize,
-		DrainTimeout:  *drain,
-		ReadOnly:      *readOnly,
+		QueryTimeout:     *timeout,
+		MaxRows:          *maxRows,
+		PreparedCache:    *cacheSize,
+		DrainTimeout:     *drain,
+		ReadOnly:         *readOnly,
+		ResultCacheBytes: resultCache,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -1,0 +1,181 @@
+// Package cache implements the snapshot-versioned result cache: materialized
+// row sets keyed by (canonical query text, options fingerprint), tagged with
+// the snapshot epoch they were computed against, held under a strict byte
+// budget with LRU eviction, and invalidated by footprint intersection with
+// the store's committed write batches.
+//
+// The footprint machinery is the cache's consistency argument (in the spirit
+// of the partition-pruning synopsis of arXiv:1510.07749, applied to cache
+// entries instead of shards). A query footprint over-approximates the
+// dictionary IDs — vertex labels and edge labels/predicates — the search can
+// read; a delta footprint records the IDs a committed batch touched. Both
+// sides speak IDs because the store's dictionaries are append-only: an ID
+// never changes meaning, so a footprint computed at epoch E stays valid at
+// every later epoch. When the two are disjoint, the batch cannot have
+// changed the query's result set, and a cached entry from the pre-batch
+// epoch is re-tagged to the post-batch epoch (carry-forward) instead of
+// evicted.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Footprint is a set of vertex-label IDs and edge-label (predicate) IDs,
+// each dimension independently widenable to "all". The zero value (and
+// NewFootprint) is the empty footprint, which intersects nothing — the
+// footprint of a no-op batch, and of a query reading no graph data.
+type Footprint struct {
+	allLabels bool
+	allPreds  bool
+	labels    map[uint32]struct{}
+	preds     map[uint32]struct{}
+}
+
+// NewFootprint returns an empty footprint.
+func NewFootprint() *Footprint { return &Footprint{} }
+
+// AddLabel records one vertex-label ID.
+func (f *Footprint) AddLabel(l uint32) {
+	if f.allLabels {
+		return
+	}
+	if f.labels == nil {
+		f.labels = make(map[uint32]struct{})
+	}
+	f.labels[l] = struct{}{}
+}
+
+// AddPred records one edge-label (predicate) ID.
+func (f *Footprint) AddPred(p uint32) {
+	if f.allPreds {
+		return
+	}
+	if f.preds == nil {
+		f.preds = make(map[uint32]struct{})
+	}
+	f.preds[p] = struct{}{}
+}
+
+// WidenLabels widens the label dimension to every label, present and future.
+func (f *Footprint) WidenLabels() {
+	f.allLabels = true
+	f.labels = nil
+}
+
+// WidenPreds widens the predicate dimension to every predicate, present and
+// future.
+func (f *Footprint) WidenPreds() {
+	f.allPreds = true
+	f.preds = nil
+}
+
+// WidenAll makes the footprint universal: it intersects every non-empty
+// footprint. The universal footprint is the conservative answer whenever the
+// reads (or writes) cannot be enumerated — a plan proven empty by an
+// unknown term (a later insert interning that term can flip it non-empty),
+// or a schema change rebuilding the label closure.
+func (f *Footprint) WidenAll() {
+	f.WidenLabels()
+	f.WidenPreds()
+}
+
+// Empty reports whether the footprint covers nothing.
+func (f *Footprint) Empty() bool {
+	return f == nil || (!f.allLabels && !f.allPreds && len(f.labels) == 0 && len(f.preds) == 0)
+}
+
+// Universal reports whether both dimensions are widened.
+func (f *Footprint) Universal() bool { return f != nil && f.allLabels && f.allPreds }
+
+// Merge widens f to cover g as well.
+func (f *Footprint) Merge(g *Footprint) {
+	if g == nil {
+		return
+	}
+	if g.allLabels {
+		f.WidenLabels()
+	} else {
+		for l := range g.labels {
+			f.AddLabel(l)
+		}
+	}
+	if g.allPreds {
+		f.WidenPreds()
+	} else {
+		for p := range g.preds {
+			f.AddPred(p)
+		}
+	}
+}
+
+// Intersects reports whether the two footprints share any label or any
+// predicate. An "all" dimension intersects every non-empty counterpart
+// dimension (two "all" dimensions intersect each other); the empty footprint
+// intersects nothing.
+func (f *Footprint) Intersects(g *Footprint) bool {
+	if f == nil || g == nil {
+		return false
+	}
+	return dimIntersects(f.allLabels, f.labels, g.allLabels, g.labels) ||
+		dimIntersects(f.allPreds, f.preds, g.allPreds, g.preds)
+}
+
+func dimIntersects(fAll bool, fSet map[uint32]struct{}, gAll bool, gSet map[uint32]struct{}) bool {
+	switch {
+	case fAll:
+		return gAll || len(gSet) > 0
+	case gAll:
+		return len(fSet) > 0
+	}
+	small, big := fSet, gSet
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for x := range small {
+		if _, ok := big[x]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the footprint deterministically, for tests and debugging.
+func (f *Footprint) String() string {
+	if f.Empty() {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	writeDim := func(name string, all bool, set map[uint32]struct{}) {
+		if !all && len(set) == 0 {
+			return
+		}
+		if b.Len() > 1 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(name)
+		if all {
+			b.WriteString(":*")
+			return
+		}
+		ids := make([]uint32, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		b.WriteByte(':')
+		for i, id := range ids {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", id)
+		}
+	}
+	writeDim("labels", f.allLabels, f.labels)
+	writeDim("preds", f.allPreds, f.preds)
+	b.WriteByte('}')
+	return b.String()
+}

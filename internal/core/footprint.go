@@ -1,0 +1,30 @@
+package core
+
+import "repro/internal/cache"
+
+// AddFootprint widens fp to cover everything matching q can read from the
+// data graph: the label sets constraining its vertices and the edge labels
+// of its constant-predicate edges. A wildcard (variable-predicate) edge
+// reads the whole adjacency of its endpoints, so it widens the predicate
+// dimension entirely — any committed edge change could alter its matches.
+//
+// Vertex ID pins and pushed-down predicates add nothing: a pin resolves
+// through the append-only vertex dictionary (the ID never changes meaning)
+// and a pushed filter reads only the candidate's term, which is immutable
+// once interned. What CAN change for a pinned or filtered vertex — its
+// labels and its adjacency — is covered by the label/predicate dimensions
+// above.
+func (q *QueryGraph) AddFootprint(fp *cache.Footprint) {
+	for i := range q.Vertices {
+		for _, l := range q.Vertices[i].Labels {
+			fp.AddLabel(l)
+		}
+	}
+	for _, e := range q.Edges {
+		if e.Wildcard() {
+			fp.WidenPreds()
+			continue
+		}
+		fp.AddPred(e.Label)
+	}
+}

@@ -16,10 +16,14 @@ package engine
 import (
 	"context"
 	"fmt"
+	"maps"
 	"runtime"
+	"slices"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -106,28 +110,45 @@ type Result struct {
 // append-only, so recompilation only ever changes what the snapshot can
 // change: candidate statistics, label views, and empty-by-unknown-term
 // decisions.
+//
+// Compilations are kept in a bounded per-epoch cache: acquiring plans for a
+// snapshot pins that snapshot's entry for the execution's lifetime, and
+// releasing the last pin of a superseded epoch drops the entry — so the
+// cache holds the current epoch's compilation plus exactly the superseded
+// ones still referenced by in-flight cursors, never an unbounded history of
+// past epochs.
 type PreparedQuery struct {
 	e      *Engine
 	q      *sparql.Query
 	vars   []string
 	vi     *varIndex
 	groups []*flatGroup
-	cached atomic.Pointer[compiledPlans]
+
+	keyOnce sync.Once
+	key     string
+
+	mu    sync.Mutex
+	plans map[uint64]*planEntry
 }
 
-// compiledPlans is one snapshot's compilation of a prepared query.
-type compiledPlans struct {
+// planEntry is one snapshot's compilation of a prepared query, reference-
+// counted by the executions pinning it.
+type planEntry struct {
 	data  *transform.Data
 	plans []*plan
+	fp    *cache.Footprint
+	pins  int
 }
 
-// plansFor returns the plans compiled against snapshot d, reusing the cache
-// when the snapshot matches. Concurrent recompilation is benign: every
-// compilation against d is equivalent, and the cache keeps whichever landed
-// last.
-func (pq *PreparedQuery) plansFor(d *transform.Data) ([]*plan, error) {
-	if c := pq.cached.Load(); c != nil && c.data == d {
-		return c.plans, nil
+// acquirePlans returns the plans compiled against snapshot d, pinned for
+// one execution. Every acquire must be paired with exactly one releasePlans
+// once the execution (and any cursor over it) is done.
+func (pq *PreparedQuery) acquirePlans(d *transform.Data) (*planEntry, error) {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	if pe, ok := pq.plans[d.Epoch]; ok && pe.data == d {
+		pe.pins++
+		return pe, nil
 	}
 	plans := make([]*plan, 0, len(pq.groups))
 	for _, g := range pq.groups {
@@ -137,8 +158,68 @@ func (pq *PreparedQuery) plansFor(d *transform.Data) ([]*plan, error) {
 		}
 		plans = append(plans, p)
 	}
-	pq.cached.Store(&compiledPlans{data: d, plans: plans})
-	return plans, nil
+	pe := &planEntry{data: d, plans: plans, fp: pq.e.plansFootprint(plans), pins: 1}
+	pq.plans[d.Epoch] = pe
+	pq.sweepLocked()
+	return pe, nil
+}
+
+// releasePlans drops one pin. The last pin of an entry whose snapshot has
+// been superseded removes it from the cache; the current snapshot's entry is
+// kept for the next execution.
+func (pq *PreparedQuery) releasePlans(pe *planEntry) {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	pe.pins--
+	if pe.pins == 0 && pe.data != pq.e.Data() {
+		if cur, ok := pq.plans[pe.data.Epoch]; ok && cur == pe {
+			delete(pq.plans, pe.data.Epoch)
+		}
+	}
+}
+
+// sweepLocked drops unpinned entries of superseded epochs. Deletion order
+// over the map is irrelevant: every unpinned stale entry goes.
+func (pq *PreparedQuery) sweepLocked() {
+	cur := pq.e.Data()
+	maps.DeleteFunc(pq.plans, func(_ uint64, pe *planEntry) bool {
+		return pe.pins == 0 && pe.data != cur
+	})
+}
+
+// cachedPlanEpochs lists the epochs with live compiled plans (test hook).
+func (pq *PreparedQuery) cachedPlanEpochs() []uint64 {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	epochs := make([]uint64, 0, len(pq.plans))
+	for epoch := range pq.plans {
+		epochs = append(epochs, epoch)
+	}
+	slices.Sort(epochs)
+	return epochs
+}
+
+// CacheKey identifies the query's result set across textual variations: the
+// canonical rendering of the parsed query plus the engine's options
+// fingerprint. Two query strings with the same key produce byte-identical
+// result sets on the same snapshot; two queries with different semantics
+// never share a key. It is the result cache's lookup key.
+func (pq *PreparedQuery) CacheKey() string {
+	pq.keyOnce.Do(func() {
+		pq.key = sparql.Canonical(pq.q) + "\x00" + pq.e.fingerprint()
+	})
+	return pq.key
+}
+
+// fingerprint encodes every engine option that can change a query's result
+// rows or their order. Workers and StreamBuffer are deliberately absent: row
+// streams are byte-identical across worker counts by the pipeline's ordering
+// contract.
+func (e *Engine) fingerprint() string {
+	o := e.opts
+	return fmt.Sprintf("mode=%d;sem=%d;int=%t;nlf=%t;deg=%t;reuse=%t;cost=%t;sig=%t;nec=%t;max=%d;topk=%d",
+		e.mode, e.sem, o.Intersect, o.NoNLF, o.NoDegree, o.ReuseOrder,
+		o.CostOrder, o.NoSignature, o.NoNEC, o.MaxSolutions, o.StartVertexCandidates)
 }
 
 // Prepare parses src and compiles its execution plan.
@@ -159,12 +240,15 @@ func (e *Engine) PrepareParsed(q *sparql.Query) (*PreparedQuery, error) {
 		vars:   q.ProjectedVars(),
 		vi:     buildVarIndex(q),
 		groups: e.expandGroups(q.Where),
+		plans:  make(map[uint64]*planEntry),
 	}
 	// Compile eagerly against the current snapshot so preparation reports
-	// errors up front; later snapshots recompile lazily through plansFor.
-	if _, err := pq.plansFor(e.Data()); err != nil {
+	// errors up front; later snapshots recompile lazily through acquirePlans.
+	pe, err := pq.acquirePlans(e.Data())
+	if err != nil {
 		return nil, err
 	}
+	pq.releasePlans(pe)
 	return pq, nil
 }
 
@@ -199,15 +283,16 @@ func (pq *PreparedQuery) Exec(ctx context.Context) (*Result, error) {
 func (pq *PreparedQuery) Count(ctx context.Context) (int, error) {
 	q := pq.q
 	d := pq.e.Data()
+	pe, err := pq.acquirePlans(d)
+	if err != nil {
+		return 0, err
+	}
+	defer pq.releasePlans(pe)
 	if !q.Distinct && q.Limit < 0 && q.Offset == 0 {
-		plans, err := pq.plansFor(d)
-		if err != nil {
-			return 0, err
-		}
 		total := 0
 		fast := true
 		for i, g := range pq.groups {
-			n, ok, err := pq.e.tryFastCount(ctx, plans[i], g)
+			n, ok, err := pq.e.tryFastCount(ctx, pe.plans[i], g)
 			if err != nil {
 				return 0, err
 			}
@@ -222,7 +307,7 @@ func (pq *PreparedQuery) Count(ctx context.Context) (int, error) {
 		}
 	}
 	n := 0
-	err := pq.stream(ctx, d, nil, false, func([]rdf.Term) bool {
+	err = pq.streamWith(ctx, pe, nil, false, func([]rdf.Term) bool {
 		n++
 		return true
 	})

@@ -40,12 +40,13 @@ type Explain struct {
 // counters. It pays for a full (uncapped) execution of every component.
 func (pq *PreparedQuery) Explain(ctx context.Context) (*Explain, error) {
 	d := pq.e.Data()
-	plans, err := pq.plansFor(d)
+	pe, err := pq.acquirePlans(d)
 	if err != nil {
 		return nil, err
 	}
+	defer pq.releasePlans(pe)
 	ex := &Explain{}
-	for _, p := range plans {
+	for _, p := range pe.plans {
 		ge := GroupExplain{Empty: p.empty}
 		if !p.empty {
 			for _, c := range p.comps {

@@ -1,0 +1,55 @@
+package engine
+
+import "repro/internal/cache"
+
+// plansFootprint derives the read footprint of a prepared query's compiled
+// plans: an over-approximation of the label and predicate IDs the query can
+// read from the snapshot. A committed batch whose delta footprint is
+// disjoint cannot change the query's result set, which is what lets the
+// result cache carry entries across such batches. IDs are epoch-stable —
+// the dictionaries are append-only — so a footprint computed against one
+// snapshot remains meaningful against every later one.
+func (e *Engine) plansFootprint(plans []*plan) *cache.Footprint {
+	fp := cache.NewFootprint()
+	for _, p := range plans {
+		e.addPlanFootprint(p, fp)
+		if fp.Universal() {
+			break
+		}
+	}
+	return fp
+}
+
+func (e *Engine) addPlanFootprint(p *plan, fp *cache.Footprint) {
+	if p.empty {
+		// Empty-by-unknown-term: a later batch could intern the missing term
+		// and make the plan non-empty, but the missing ID cannot be named
+		// yet. Widen fully so such an entry never outlives an update.
+		fp.WidenAll()
+		return
+	}
+	for _, c := range p.comps {
+		c.qg.AddFootprint(fp)
+	}
+	if len(p.typeExps) > 0 {
+		// Type-variable expansions enumerate direct rdf:type sets, which the
+		// delta footprint reports on the label dimension.
+		fp.WidenLabels()
+	}
+	for _, flats := range p.optFlats {
+		for _, g := range flats {
+			// Compile the OPTIONAL without outer bindings: unpinned variables
+			// match a superset of what any outer row pins them to, so the
+			// footprint only widens.
+			op, err := e.buildPlan(p.data, g, nil)
+			if err != nil {
+				fp.WidenAll()
+				return
+			}
+			e.addPlanFootprint(op, fp)
+			if fp.Universal() {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/transform"
+)
+
+// FuzzCacheKey fuzzes the result cache's key derivation: the canonical query
+// text and the engine options fingerprint (run in CI as a smoke step). The
+// invariants:
+//
+//   - Canonical is a fixpoint of parsing: the canonical text reparses, and
+//     canonicalizes to itself.
+//   - Keying is sound: the original text and its canonical text prepare to
+//     the same CacheKey and produce byte-identical result streams — so a hit
+//     under the key can be served for either spelling.
+//   - Keying separates engines whose options change result sets: the same
+//     query prepared under a different matching configuration gets a
+//     different key.
+func FuzzCacheKey(f *testing.F) {
+	for _, qs := range [][]datagen.Query{
+		datagen.LUBMQueries(),
+		datagen.BSBMQueries(),
+		datagen.YAGOQueries(),
+		datagen.BTCQueries(),
+	} {
+		for _, q := range qs {
+			f.Add(q.Text)
+		}
+	}
+	for _, s := range []string{
+		`SELECT DISTINCT ?x ?p WHERE { ?x ?p ?y . OPTIONAL { ?y <http://u/q> ?z . } { ?x a <http://u/C0> . } UNION { ?x <http://u/p> 3.5 . } } ORDER BY DESC(?x) LIMIT 4 OFFSET 1`,
+		`ASK { ?x <http://u/p> "v\n"@en . FILTER(regex(str(?x), "a|b", "i") && bound(?x) || !(-?y < 2)) }`,
+		`PREFIX u: <http://u/> SELECT ?x, ?y WHERE { ?x u:p ?y ; a u:C0 . ?x u:q ?y , u:e0 . }`,
+	} {
+		f.Add(s)
+	}
+
+	triples := planCacheTriples()
+	triples = append(triples,
+		rdf.Triple{S: rdf.NewIRI("http://u/a"), P: rdf.TypeTerm, O: rdf.NewIRI("http://u/C0")},
+		rdf.Triple{S: rdf.NewIRI("http://u/C0"), P: rdf.SubClassTerm, O: rdf.NewIRI("http://u/C1")},
+	)
+	eng := New(transform.Build(triples, transform.TypeAware), core.Optimized())
+	// Same data, different matching configuration: keys must not collide
+	// across engines that can answer the same text differently.
+	iso := New(transform.Build(triples, transform.TypeAware), core.Opts{Workers: 2})
+	iso.SetSemantics(core.Isomorphism)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return // oversized inputs only slow the mutator down
+		}
+		q, err := sparql.Parse(src)
+		if err != nil {
+			return
+		}
+		c1 := sparql.Canonical(q)
+		q2, err := sparql.Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not reparse: %v", c1, src, err)
+		}
+		if c2 := sparql.Canonical(q2); c2 != c1 {
+			t.Fatalf("canonical not a fixpoint for %q:\n c1 %q\n c2 %q", src, c1, c2)
+		}
+
+		pq1, err1 := eng.PrepareParsed(q)
+		pq2, err2 := eng.PrepareParsed(q2)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("prepare diverged for %q: original %v, canonical %v", src, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if pq1.CacheKey() != pq2.CacheKey() {
+			t.Fatalf("cache keys differ across spellings of %q:\n %q\n %q", src, pq1.CacheKey(), pq2.CacheKey())
+		}
+		if pqIso, err := iso.PrepareParsed(q); err == nil && pqIso.CacheKey() == pq1.CacheKey() {
+			t.Fatalf("cache key %q collides across engine configurations", pq1.CacheKey())
+		}
+
+		r1, err1 := pq1.Exec(t.Context())
+		r2, err2 := pq2.Exec(t.Context())
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("exec diverged for %q: original %v, canonical %v", src, err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if k1, k2 := orderedKey(r1), orderedKey(r2); k1 != k2 {
+			t.Fatalf("results diverged between %q and its canonical %q:\n %q\n %q", src, c1, k1, k2)
+		}
+	})
+}
+
+// orderedKey flattens a result set preserving row order (unlike resultKey,
+// which builds a multiset key): the two spellings share plans, so their
+// streams must agree byte for byte.
+func orderedKey(res *Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for _, t := range row {
+			b.WriteString(string(t))
+			b.WriteByte('\x1f')
+		}
+		b.WriteByte('\x1e')
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/transform"
+)
+
+func planCacheTriples() []rdf.Triple {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://u/" + s) }
+	var ts []rdf.Triple
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			ts = append(ts, rdf.Triple{S: iri(string(rune('a' + i))), P: iri("p"), O: iri(string(rune('a' + j)))})
+		}
+	}
+	return ts
+}
+
+// TestPlanCacheDropsSupersededEpochs pins the prepared-plan cache's bound:
+// it holds the current epoch's compilation plus exactly the superseded
+// epochs still pinned by open cursors — an old epoch's plans are dropped the
+// moment its last cursor closes, and a burst of updates with no cursors
+// leaves a single entry.
+func TestPlanCacheDropsSupersededEpochs(t *testing.T) {
+	mut := transform.NewMutable(planCacheTriples(), transform.TypeAware)
+	e := New(mut.Current(), core.Optimized())
+	pq, err := e.Prepare(`SELECT ?x ?y WHERE { ?x <http://u/p> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := e.Data().Epoch
+	if got := pq.cachedPlanEpochs(); !reflect.DeepEqual(got, []uint64{e0}) {
+		t.Fatalf("after prepare: cached epochs %v, want [%d]", got, e0)
+	}
+
+	// A cursor opened at the current snapshot pins that epoch's plans.
+	rows := pq.Select(t.Context())
+
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://u/" + s) }
+	d, n := mut.Apply([]rdf.Triple{{S: iri("z"), P: iri("p"), O: iri("a")}}, nil)
+	if n != 1 {
+		t.Fatalf("apply: %d changes", n)
+	}
+	e.SetData(d)
+	e1 := d.Epoch
+
+	// Executing at the new snapshot compiles its plans; the pinned old epoch
+	// must survive alongside.
+	if _, err := pq.Exec(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	if got := pq.cachedPlanEpochs(); !reflect.DeepEqual(got, []uint64{e0, e1}) {
+		t.Fatalf("with open cursor: cached epochs %v, want [%d %d]", got, e0, e1)
+	}
+
+	// The cursor still enumerates its pinned snapshot (16 rows, not 17).
+	got := 0
+	for rows.Next() {
+		got++
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 16 {
+		t.Fatalf("pinned cursor saw %d rows, want 16", got)
+	}
+
+	// Closing the last cursor over the superseded epoch drops its plans.
+	if got := pq.cachedPlanEpochs(); !reflect.DeepEqual(got, []uint64{e1}) {
+		t.Fatalf("after close: cached epochs %v, want [%d]", got, e1)
+	}
+
+	// A burst of cursor-less updates leaves only the newest compilation.
+	for i := 0; i < 3; i++ {
+		d, _ := mut.Apply([]rdf.Triple{{S: iri("z"), P: iri("p"), O: iri(string(rune('b' + i)))}}, nil)
+		e.SetData(d)
+		if _, err := pq.Exec(t.Context()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pq.cachedPlanEpochs(); !reflect.DeepEqual(got, []uint64{e.Data().Epoch}) {
+		t.Fatalf("after burst: cached epochs %v, want [%d]", got, e.Data().Epoch)
+	}
+}
+
+// TestRowsEpochAndFootprint covers the cursor's cache-facing accessors: the
+// epoch is the pinned snapshot's, and the footprint covers the query's
+// predicate reads.
+func TestRowsEpochAndFootprint(t *testing.T) {
+	mut := transform.NewMutable(planCacheTriples(), transform.TypeAware)
+	e := New(mut.Current(), core.Optimized())
+	pq, err := e.Prepare(`SELECT ?x ?y WHERE { ?x <http://u/p> ?y . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := pq.Select(t.Context())
+	defer rows.Close()
+	if rows.Epoch() != e.Data().Epoch {
+		t.Fatalf("cursor epoch %d, want %d", rows.Epoch(), e.Data().Epoch)
+	}
+	fp := rows.Footprint()
+	if fp == nil || fp.Empty() {
+		t.Fatalf("cursor footprint %v, want non-empty", fp)
+	}
+	delta := mut.LastFootprint()
+	if !delta.Empty() {
+		t.Fatalf("no updates yet, delta footprint %v", delta)
+	}
+}

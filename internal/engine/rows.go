@@ -7,6 +7,7 @@ import (
 	"iter"
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/rdf"
 )
@@ -22,6 +23,8 @@ type Rows struct {
 	vars   []string
 	ch     chan []rdf.Term
 	cancel context.CancelFunc
+	epoch  uint64
+	fp     *cache.Footprint
 
 	cur    []rdf.Term
 	err    error // written by the producer before it closes ch
@@ -30,6 +33,16 @@ type Rows struct {
 
 	closeOnce sync.Once
 }
+
+// Epoch returns the epoch of the dataset snapshot this cursor enumerates —
+// pinned synchronously when the cursor was opened.
+func (r *Rows) Epoch() uint64 { return r.epoch }
+
+// Footprint returns an over-approximation of the label and predicate IDs the
+// query reads from the pinned snapshot: a committed batch whose delta
+// footprint is disjoint cannot change this cursor's result set. The value is
+// shared and must not be mutated; it is nil when plan compilation failed.
+func (r *Rows) Footprint() *cache.Footprint { return r.fp }
 
 // Select starts executing the prepared query and returns a cursor over its
 // rows. Execution advances only as the consumer pulls: on a sequential
@@ -70,10 +83,24 @@ func (pq *PreparedQuery) SelectProfiled(ctx context.Context, prof *core.ProfileR
 		vars:   pq.vars,
 		ch:     make(chan []rdf.Term),
 		cancel: cancel,
+		epoch:  d.Epoch,
 	}
+	// Acquire (and thereby pin) the snapshot's compiled plans synchronously
+	// too: the pin lives until the producer goroutine exits, so a prepared
+	// query's plan cache drops a superseded epoch only once every cursor
+	// over it has closed.
+	pe, err := pq.acquirePlans(d)
+	if err != nil {
+		cancel()
+		r.err = err
+		r.done = true
+		close(r.ch)
+		return r
+	}
+	r.fp = pe.fp
 	go func() {
 		truncated := false // emit aborted by cancellation (vs clean completion)
-		err := pq.stream(cctx, d, prof, true, func(row []rdf.Term) bool {
+		err := pq.streamWith(cctx, pe, prof, true, func(row []rdf.Term) bool {
 			select {
 			case r.ch <- row:
 				return true
@@ -91,6 +118,10 @@ func (pq *PreparedQuery) SelectProfiled(ctx context.Context, prof *core.ProfileR
 			// deadline expired is a success, not a failure.
 			err = ctx.Err()
 		}
+		// Unpin before closing the channel: a consumer returning from Close
+		// (which waits for the close) may immediately assert that superseded
+		// plan epochs are gone.
+		pq.releasePlans(pe)
 		r.err = err
 		close(r.ch)
 	}()

@@ -32,10 +32,18 @@ type RowVisitor func(row []rdf.Term) bool
 // materializing consumers (Exec, Count) collect it instead and join from the
 // materialized sets.
 func (pq *PreparedQuery) stream(ctx context.Context, d *transform.Data, prof *core.ProfileResult, streamFirst bool, emit RowVisitor) error {
-	plans, err := pq.plansFor(d)
+	pe, err := pq.acquirePlans(d)
 	if err != nil {
 		return err
 	}
+	defer pq.releasePlans(pe)
+	return pq.streamWith(ctx, pe, prof, streamFirst, emit)
+}
+
+// streamWith is stream against an already-acquired plan entry; the caller
+// owns the pin.
+func (pq *PreparedQuery) streamWith(ctx context.Context, pe *planEntry, prof *core.ProfileResult, streamFirst bool, emit RowVisitor) error {
+	plans := pe.plans
 	pj := &projector{pq: pq, emit: emit, offset: pq.q.Offset, limit: pq.q.Limit}
 	if pq.q.Distinct {
 		pj.seen = map[string]bool{}

@@ -1,0 +1,383 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	turbohom "repro"
+	"repro/internal/datagen"
+	"repro/internal/server"
+	"repro/internal/server/loadtest"
+)
+
+const (
+	ctJSON = "application/sparql-results+json"
+	ctXML  = "application/sparql-results+xml"
+)
+
+// fetchBody GETs a query and returns the raw response bytes plus the
+// X-Turbohom-Cache disposition header.
+func fetchBody(t *testing.T, base, query, accept string) (string, string) {
+	t.Helper()
+	resp := get(t, base+"/sparql?query="+url.QueryEscape(query), accept)
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (body %q)", resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get(server.HeaderCache)
+}
+
+// cacheStats pulls the result_cache block out of /healthz.
+func cacheStats(t *testing.T, base string) (stats struct {
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	Budget        int64 `json:"budget"`
+	Evictions     int64 `json:"evictions"`
+	CarryForwards int64 `json:"carry_forwards"`
+	Invalidated   int64 `json:"invalidated"`
+}) {
+	t.Helper()
+	resp := get(t, base+"/healthz", "")
+	defer resp.Body.Close()
+	var h struct {
+		ResultCache json.RawMessage `json:"result_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(h.ResultCache, &stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestResultCacheHitReplaysIdenticalBytes pins the replay contract: a cache
+// hit streams a byte-identical response to a live run, in whichever wire
+// format the client negotiates — the entry stores terms, not bytes, so one
+// warmed entry serves both JSON and XML. The disposition header tells the
+// client which path answered.
+func TestResultCacheHitReplaysIdenticalBytes(t *testing.T) {
+	store := turbohom.New(testTriples(), &turbohom.Options{Workers: 2})
+	defer store.Close()
+	srvOn := server.New(store, turbohom.ServerOptions{})
+	tsOn := httptest.NewServer(srvOn)
+	defer tsOn.Close()
+	tsOff := httptest.NewServer(server.New(store, turbohom.ServerOptions{ResultCacheBytes: -1}))
+	defer tsOff.Close()
+
+	offJSON, disp := fetchBody(t, tsOff.URL, testQuery, ctJSON)
+	if disp != "bypass" {
+		t.Fatalf("cache-off disposition %q, want bypass", disp)
+	}
+	offXML, _ := fetchBody(t, tsOff.URL, testQuery, ctXML)
+
+	live, disp := fetchBody(t, tsOn.URL, testQuery, ctJSON)
+	if disp != "miss" {
+		t.Fatalf("first request disposition %q, want miss", disp)
+	}
+	replayed, disp := fetchBody(t, tsOn.URL, testQuery, ctJSON)
+	if disp != "hit" {
+		t.Fatalf("second request disposition %q, want hit", disp)
+	}
+	// Same entry, different negotiated format: still a hit.
+	replayedXML, disp := fetchBody(t, tsOn.URL, testQuery, ctXML)
+	if disp != "hit" {
+		t.Fatalf("XML request disposition %q, want hit", disp)
+	}
+
+	if live != offJSON {
+		t.Fatalf("live cache-on body differs from cache-off:\n on  %q\n off %q", live, offJSON)
+	}
+	if replayed != offJSON {
+		t.Fatalf("replayed body differs from live:\n hit  %q\n live %q", replayed, offJSON)
+	}
+	if replayedXML != offXML {
+		t.Fatalf("replayed XML body differs from live:\n hit  %q\n live %q", replayedXML, offXML)
+	}
+
+	if m := srvOn.Metrics(); m.CacheHits != 2 || m.CacheMisses != 1 {
+		t.Fatalf("metrics hits=%d misses=%d, want 2/1", m.CacheHits, m.CacheMisses)
+	}
+	if st := cacheStats(t, tsOn.URL); st.Entries != 1 || st.Bytes <= 0 || st.Budget <= 0 {
+		t.Fatalf("cache stats %+v, want one accounted entry", st)
+	}
+	if st := cacheStats(t, tsOff.URL); st.Budget != 0 {
+		t.Fatalf("cache-off stats %+v, want zero budget", st)
+	}
+}
+
+// TestResultCacheCarryForwardAndInvalidation is the invalidation contract
+// end to end over HTTP: a committed update whose delta footprint is
+// disjoint from a cached query's footprint carries the entry forward to the
+// new epoch (the next request is still a hit, with zero matcher work),
+// while an update that touches a predicate the query reads invalidates
+// exactly the overlapping entries — the untouched one keeps hitting.
+func TestResultCacheCarryForwardAndInvalidation(t *testing.T) {
+	srv, ts, _ := newTestServer(t, turbohom.ServerOptions{})
+	const qOpt = `SELECT ?s ?e WHERE { ?s <http://x/opt> ?e . }`
+
+	// Warm both entries, prove both replay.
+	pBody, disp := fetchBody(t, ts.URL, testQuery, ctJSON)
+	if disp != "miss" {
+		t.Fatalf("warming testQuery: disposition %q", disp)
+	}
+	optBody, disp := fetchBody(t, ts.URL, qOpt, ctJSON)
+	if disp != "miss" {
+		t.Fatalf("warming qOpt: disposition %q", disp)
+	}
+	if _, disp = fetchBody(t, ts.URL, testQuery, ctJSON); disp != "hit" {
+		t.Fatalf("repeat testQuery: disposition %q", disp)
+	}
+	if _, disp = fetchBody(t, ts.URL, qOpt, ctJSON); disp != "hit" {
+		t.Fatalf("repeat qOpt: disposition %q", disp)
+	}
+
+	// A committed batch on a predicate neither query reads: both entries
+	// must survive to the new epoch and keep replaying the same bytes.
+	if _, _, err := loadtest.DoUpdate(context.Background(), http.DefaultClient, ts.URL,
+		`INSERT DATA { <http://x/zz> <http://x/other> "unrelated" }`); err != nil {
+		t.Fatal(err)
+	}
+	got, disp := fetchBody(t, ts.URL, testQuery, ctJSON)
+	if disp != "hit" || got != pBody {
+		t.Fatalf("after disjoint update: testQuery disposition %q (body match %t), want a carried-forward hit", disp, got == pBody)
+	}
+	got, disp = fetchBody(t, ts.URL, qOpt, ctJSON)
+	if disp != "hit" || got != optBody {
+		t.Fatalf("after disjoint update: qOpt disposition %q (body match %t), want a carried-forward hit", disp, got == optBody)
+	}
+	if st := cacheStats(t, ts.URL); st.CarryForwards < 2 {
+		t.Fatalf("cache stats %+v, want >= 2 carry-forwards", st)
+	}
+
+	// A batch on <http://x/opt> intersects qOpt's footprint and only it:
+	// qOpt re-executes and sees the new row, testQuery keeps hitting.
+	if _, _, err := loadtest.DoUpdate(context.Background(), http.DefaultClient, ts.URL,
+		`INSERT DATA { <http://x/s2> <http://x/opt> "extra2" }`); err != nil {
+		t.Fatal(err)
+	}
+	got, disp = fetchBody(t, ts.URL, qOpt, ctJSON)
+	if disp != "miss" {
+		t.Fatalf("after intersecting update: qOpt disposition %q, want miss", disp)
+	}
+	if got == optBody {
+		t.Fatal("after intersecting update: qOpt replayed the stale pre-update body")
+	}
+	doc, err := loadtest.Decode(ctJSON, strings.NewReader(got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) != 2 {
+		t.Fatalf("qOpt after insert: %d rows, want 2", len(doc.Rows))
+	}
+	if got, disp := fetchBody(t, ts.URL, testQuery, ctJSON); disp != "hit" || got != pBody {
+		t.Fatalf("after intersecting update: testQuery disposition %q (body match %t), want an untouched hit", disp, got == pBody)
+	}
+
+	if st := cacheStats(t, ts.URL); st.Invalidated < 1 {
+		t.Fatalf("cache stats %+v, want >= 1 invalidated", st)
+	}
+	if m := srv.Metrics(); m.CacheHits != 5 || m.CacheMisses != 3 {
+		t.Fatalf("metrics hits=%d misses=%d, want 5/3", m.CacheHits, m.CacheMisses)
+	}
+}
+
+// TestResultCacheBypass: ASK responses never touch the cache (the answer is
+// one boolean from at most one row of search), and a disabled cache marks
+// every SELECT bypass.
+func TestResultCacheBypass(t *testing.T) {
+	srv, ts, _ := newTestServer(t, turbohom.ServerOptions{})
+	const ask = `ASK { ?s <http://x/p> ?o . }`
+	for i := 0; i < 2; i++ {
+		body, disp := fetchBody(t, ts.URL, ask, ctJSON)
+		if disp != "bypass" {
+			t.Fatalf("ASK request %d: disposition %q, want bypass", i, disp)
+		}
+		doc, err := loadtest.Decode(ctJSON, strings.NewReader(body))
+		if err != nil || doc.Boolean == nil || !*doc.Boolean {
+			t.Fatalf("ASK request %d: boolean %v err %v", i, doc.Boolean, err)
+		}
+	}
+	if m := srv.Metrics(); m.CacheHits != 0 || m.CacheMisses != 0 {
+		t.Fatalf("ASK moved cache counters: hits=%d misses=%d", m.CacheHits, m.CacheMisses)
+	}
+
+	_, tsOff, _ := newTestServer(t, turbohom.ServerOptions{ResultCacheBytes: -1})
+	for i := 0; i < 2; i++ {
+		if _, disp := fetchBody(t, tsOff.URL, testQuery, ctJSON); disp != "bypass" {
+			t.Fatalf("cache-off request %d: disposition %q, want bypass", i, disp)
+		}
+	}
+}
+
+// TestResultCacheSingleflight: concurrent identical queries against a cold
+// cache produce exactly one matcher execution — one leader runs, followers
+// replay its entry — and every response is byte-identical.
+func TestResultCacheSingleflight(t *testing.T) {
+	store := turbohom.New(fanTriples(64), &turbohom.Options{Workers: 2})
+	defer store.Close()
+	srv := server.New(store, turbohom.ServerOptions{QueryTimeout: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const clients = 8
+	bodies := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/sparql?query=" + url.QueryEscape(fanQuery))
+			if err != nil {
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil {
+				bodies[i] = string(body)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < clients; i++ {
+		if bodies[i] == "" || bodies[i] != bodies[0] {
+			t.Fatalf("client %d: body diverged (empty %t)", i, bodies[i] == "")
+		}
+	}
+	// Followers either waited on the leader's flight or arrived after
+	// admission: at most one live execution, so misses stays at 1 unless a
+	// follower's wait raced admission and ran solo — which the flight
+	// protocol is there to prevent.
+	if m := srv.Metrics(); m.CacheMisses != 1 || m.CacheHits != clients-1 {
+		t.Fatalf("metrics hits=%d misses=%d, want %d/1", m.CacheHits, m.CacheMisses, clients-1)
+	}
+}
+
+// TestDifferentialCacheOnOff drains every benchmark query of every datagen
+// workload three times per wire format — live against a cache-off server,
+// then cold and hot against a cache-on server sharing the same store — and
+// demands all three responses be byte-identical. Any divergence in the
+// replay writer (head, escaping, flush framing, trailers) shows up here.
+func TestDifferentialCacheOnOff(t *testing.T) {
+	for _, ds := range []*datagen.Dataset{
+		datagen.LUBMDataset(1),
+		datagen.BSBMDataset(40),
+		datagen.YAGODataset(250),
+		datagen.BTCDataset(250),
+	} {
+		t.Run(ds.Name, func(t *testing.T) {
+			store := turbohom.New(ds.Triples, &turbohom.Options{Workers: 4})
+			defer store.Close()
+			tsOn := httptest.NewServer(server.New(store, turbohom.ServerOptions{QueryTimeout: -1}))
+			defer tsOn.Close()
+			tsOff := httptest.NewServer(server.New(store, turbohom.ServerOptions{QueryTimeout: -1, ResultCacheBytes: -1}))
+			defer tsOff.Close()
+
+			for _, q := range ds.Queries {
+				for _, accept := range []string{ctJSON, ctXML} {
+					want, disp := fetchBody(t, tsOff.URL, q.Text, accept)
+					if disp != "bypass" {
+						t.Fatalf("%s via %s: cache-off disposition %q", q.ID, accept, disp)
+					}
+					cold, _ := fetchBody(t, tsOn.URL, q.Text, accept)
+					hot, _ := fetchBody(t, tsOn.URL, q.Text, accept)
+					if cold != want {
+						t.Fatalf("%s via %s: cache-on live body diverges from cache-off", q.ID, accept)
+					}
+					if hot != want {
+						t.Fatalf("%s via %s: replayed body diverges from cache-off", q.ID, accept)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResultCacheChurnDifferential races Store.Update churn against queries
+// on a cache-on and a cache-off server over the same store (run under -race
+// in CI). Every response — live, replayed, or carried forward — must be a
+// consistent snapshot: the fan query's row count is a perfect product a*b
+// with both fan sizes in the churn's reach, and the two servers must agree
+// whenever the store is quiescent.
+func TestResultCacheChurnDifferential(t *testing.T) {
+	const n = 40
+	store := turbohom.New(fanTriples(n), &turbohom.Options{Workers: 2})
+	defer store.Close()
+	tsOn := httptest.NewServer(server.New(store, turbohom.ServerOptions{QueryTimeout: -1}))
+	defer tsOn.Close()
+	tsOff := httptest.NewServer(server.New(store, turbohom.ServerOptions{QueryTimeout: -1, ResultCacheBytes: -1}))
+	defer tsOff.Close()
+
+	const churn = 12
+	errc := make(chan error, 1)
+	go func() {
+		for i := 0; i < churn; i++ {
+			u := fmt.Sprintf(`INSERT DATA { <http://x/hub> <http://x/p> <http://x/pc%02d> . <http://x/hub> <http://x/q> <http://x/qc%02d> }`, i, i)
+			if _, _, err := store.Update(u); err != nil {
+				errc <- err
+				return
+			}
+			if i%3 == 2 {
+				d := fmt.Sprintf(`DELETE DATA { <http://x/hub> <http://x/q> <http://x/qc%02d> }`, i-2)
+				if _, _, err := store.Update(d); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}
+		errc <- nil
+	}()
+
+	plausible := func(rows int) bool {
+		for a := n; a <= n+churn; a++ {
+			for b := n - churn; b <= n+churn; b++ {
+				if a*b == rows {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for i := 0; i < 2*churn; i++ {
+		base := tsOn.URL
+		if i%2 == 1 {
+			base = tsOff.URL
+		}
+		body, _ := fetchBody(t, base, fanQuery, ctJSON)
+		doc, err := loadtest.Decode(ctJSON, strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if !plausible(len(doc.Rows)) {
+			t.Fatalf("query %d: %d rows is not a plausible fan product — torn or stale snapshot?", i, len(doc.Rows))
+		}
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiescent store: cache-on (whether it hits or re-executes) and
+	// cache-off must agree byte for byte.
+	want, _ := fetchBody(t, tsOff.URL, fanQuery, ctJSON)
+	got1, _ := fetchBody(t, tsOn.URL, fanQuery, ctJSON)
+	got2, disp := fetchBody(t, tsOn.URL, fanQuery, ctJSON)
+	if disp != "hit" {
+		t.Fatalf("post-churn repeat: disposition %q, want hit", disp)
+	}
+	if got1 != want || got2 != want {
+		t.Fatal("post-churn: cache-on responses diverge from cache-off")
+	}
+}

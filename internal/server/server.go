@@ -27,6 +27,7 @@ import (
 	"time"
 
 	turbohom "repro"
+	"repro/internal/cache"
 	"repro/internal/sparql"
 )
 
@@ -41,6 +42,13 @@ const (
 	// line was already out (timeout, execution failure). Absent on success.
 	TrailerError = "X-Turbohom-Error"
 )
+
+// HeaderCache reports how the result cache served a query response: "hit"
+// (replayed from a cached entry, no matcher work), "miss" (executed live,
+// possibly admitted for the next request), or "bypass" (cache disabled, or
+// an ASK form). It is a response header, not a trailer: the disposition is
+// known before the first body byte.
+const HeaderCache = "X-Turbohom-Cache"
 
 // Response headers of a successful update.
 const (
@@ -72,6 +80,8 @@ type Metrics struct {
 	TriplesDeleted   atomic.Int64
 	PreparedHits     atomic.Int64 // prepared-query cache hits
 	PreparedMisses   atomic.Int64
+	CacheHits        atomic.Int64 // result-cache hits (replayed responses)
+	CacheMisses      atomic.Int64 // result-cache misses (live runs on the cacheable path)
 	Regions          atomic.Int64 // matcher candidate regions visited, summed over queries
 	SearchNodes      atomic.Int64 // matcher search nodes expanded, summed over queries
 }
@@ -90,6 +100,8 @@ type MetricsSnapshot struct {
 	TriplesDeleted   int64 `json:"triples_deleted"`
 	PreparedHits     int64 `json:"prepared_hits"`
 	PreparedMisses   int64 `json:"prepared_misses"`
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
 	Regions          int64 `json:"regions"`
 	SearchNodes      int64 `json:"search_nodes"`
 }
@@ -108,6 +120,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		TriplesDeleted:   m.TriplesDeleted.Load(),
 		PreparedHits:     m.PreparedHits.Load(),
 		PreparedMisses:   m.PreparedMisses.Load(),
+		CacheHits:        m.CacheHits.Load(),
+		CacheMisses:      m.CacheMisses.Load(),
 		Regions:          m.Regions.Load(),
 		SearchNodes:      m.SearchNodes.Load(),
 	}
@@ -122,20 +136,29 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 // Create with New; serve with any http.Server, or Serve/ListenAndServe for
 // the graceful-drain lifecycle.
 type Server struct {
-	store *turbohom.Store
-	opts  turbohom.ServerOptions
-	cache *preparedCache
-	mux   *http.ServeMux
-	m     Metrics
+	store   *turbohom.Store
+	opts    turbohom.ServerOptions
+	cache   *preparedCache
+	results *cache.Cache // snapshot-versioned result cache; nil = disabled
+	mux     *http.ServeMux
+	m       Metrics
 }
 
 // New builds a Server over store. opts zero value: 30s query timeout,
-// unlimited rows, 128-entry prepared LRU, 10s drain, updates allowed.
+// unlimited rows, 128-entry prepared LRU, a 64 MiB result cache, 10s drain,
+// updates allowed.
 func New(store *turbohom.Store, opts turbohom.ServerOptions) *Server {
 	s := &Server{
-		store: store,
-		opts:  opts,
-		cache: newPreparedCache(opts.EffectivePreparedCache()),
+		store:   store,
+		opts:    opts,
+		cache:   newPreparedCache(opts.EffectivePreparedCache()),
+		results: cache.New(opts.EffectiveResultCacheBytes()),
+	}
+	if s.results != nil {
+		// Every committed batch feeds the cache's invalidation ring; the
+		// callback runs under the store's writer lock, so epochs arrive in
+		// order.
+		store.OnCommit(s.results.Advance)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sparql", s.handleSPARQL)
@@ -300,6 +323,15 @@ func (s *Server) prepare(query string) (*turbohom.Prepared, error) {
 }
 
 // handleQuery executes a SELECT or ASK and streams the result document.
+//
+// SELECT responses route through the result cache when it is enabled: a hit
+// replays the materialized rows through the same streaming writer — same
+// bytes, same flush cadence, same trailer semantics — without touching the
+// matcher; a miss runs live and, when it was the flight's leader (or a
+// follower whose leader produced nothing), offers the collected rows back to
+// the cache. Only clean, complete, within-budget result sets are admitted:
+// an error, a cancellation, a MaxRows truncation, or a result set over the
+// cache's per-entry caps streams normally but caches nothing.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, query string) {
 	ct, acceptOK := negotiate(r.Header.Get("Accept"))
 	if !acceptOK {
@@ -321,6 +353,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, query strin
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
+	}
+
+	// Consult the result cache. ASK bypasses it: the answer is one boolean
+	// computed from at most one row of search — caching would save nothing.
+	disposition := "bypass"
+	var (
+		key    string
+		fl     *cache.Flight
+		leader bool
+	)
+	if s.results != nil && !p.Ask() {
+		key = p.CacheKey()
+		var e *cache.Entry
+		e, fl, leader = s.results.GetOrStart(key, s.store.Epoch())
+		if e == nil && fl != nil && !leader {
+			// Follower: wait for the in-flight leader instead of running the
+			// same search concurrently. A nil entry (failed or inadmissible
+			// leader, or our context died) drops us to a solo live run.
+			e = fl.Wait(ctx)
+			fl = nil
+		}
+		if e != nil {
+			s.m.CacheHits.Add(1)
+			s.replayCached(w, ctx, ct, e)
+			return
+		}
+		disposition = "miss"
+		s.m.CacheMisses.Add(1)
+	}
+	w.Header().Set(HeaderCache, disposition)
+
+	// A leader must resolve its flight exactly once, whatever path exits
+	// this handler; admit stays nil unless the run completed clean.
+	var admit *cache.Entry
+	if leader {
+		defer func() { s.results.Finish(key, fl, admit) }()
 	}
 
 	// The cursor is profiled so the server can account matcher effort —
@@ -356,6 +424,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, query strin
 		return
 	}
 
+	// On the cacheable path, tee the streamed rows into a prospective cache
+	// entry. Cursor rows are caller-owned (the projector allocates a fresh
+	// slice per row), so retaining them needs no copy. Blowing either
+	// admission cap abandons collection but not the response.
+	collecting := disposition == "miss"
+	var (
+		collected [][]turbohom.Term
+		colBytes  int64
+	)
+	maxBytes, maxRows := s.results.Limits()
+
 	w.Header().Set("Content-Type", ct)
 	w.Header().Set("Trailer", TrailerTruncated+", "+TrailerError)
 	flusher, _ := w.(http.Flusher)
@@ -382,6 +461,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, query strin
 			s.m.QueriesCancelled.Add(1)
 			return
 		}
+		if collecting {
+			row := rows.Row()
+			colBytes += cache.RowBytes(row)
+			if colBytes > maxBytes || len(collected) >= maxRows {
+				collecting, collected = false, nil
+			} else {
+				collected = append(collected, row)
+			}
+		}
 		n++
 		if flusher != nil && (n == 1 || n%flushEvery == 0) {
 			flusher.Flush()
@@ -399,6 +487,72 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, query strin
 	case err != nil:
 		s.m.QueriesCancelled.Add(1)
 		w.Header().Set(TrailerError, err.Error())
+	case cancelled:
+		s.m.QueriesCancelled.Add(1)
+		w.Header().Set(TrailerError, ctx.Err().Error())
+	case truncated:
+		s.m.QueriesOK.Add(1)
+		s.m.Truncated.Add(1)
+		w.Header().Set(TrailerTruncated, strconv.Itoa(n))
+	default:
+		s.m.QueriesOK.Add(1)
+		if collecting {
+			// Clean and complete: the collected rows are exactly the result
+			// set at the cursor's pinned snapshot.
+			e := cache.NewEntry(p.Vars(), collected, rows.Footprint(), rows.Epoch())
+			if leader {
+				admit = e
+			} else {
+				s.results.Put(key, e)
+			}
+		}
+	}
+	if err := wr.finish(); err != nil {
+		return
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// replayCached streams a cached entry through the same writer machinery as a
+// live run: identical bytes, flush cadence, MaxRows cap, and trailer
+// semantics — the only observable difference is the X-Turbohom-Cache header
+// (and the latency).
+func (s *Server) replayCached(w http.ResponseWriter, ctx context.Context, ct string, e *cache.Entry) {
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set(HeaderCache, "hit")
+	w.Header().Set("Trailer", TrailerTruncated+", "+TrailerError)
+	flusher, _ := w.(http.Flusher)
+	wr := newResultWriter(ct, w)
+	if err := wr.writeHead(e.Vars); err != nil {
+		s.m.QueriesCancelled.Add(1)
+		return
+	}
+	n := 0
+	truncated := false
+	cancelled := false
+	for _, row := range e.Rows {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		if err := wr.writeRow(row); err != nil {
+			s.m.RowsStreamed.Add(int64(n))
+			s.m.QueriesCancelled.Add(1)
+			return
+		}
+		n++
+		if flusher != nil && (n == 1 || n%flushEvery == 0) {
+			flusher.Flush()
+		}
+		if s.opts.MaxRows > 0 && n >= s.opts.MaxRows {
+			truncated = true
+			break
+		}
+	}
+	s.m.RowsStreamed.Add(int64(n))
+	switch {
 	case cancelled:
 		s.m.QueriesCancelled.Add(1)
 		w.Header().Set(TrailerError, ctx.Err().Error())
@@ -470,6 +624,7 @@ type healthResponse struct {
 	HeapSys        uint64          `json:"heap_sys"`
 	NumGoroutine   int             `json:"num_goroutine"`
 	PreparedCached int             `json:"prepared_cached"`
+	ResultCache    cache.Stats     `json:"result_cache"`
 	Metrics        MetricsSnapshot `json:"metrics"`
 }
 
@@ -488,6 +643,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		HeapSys:        ms.HeapSys,
 		NumGoroutine:   runtime.NumGoroutine(),
 		PreparedCached: s.cache.len(),
+		ResultCache:    s.results.Stats(),
 		Metrics:        s.m.snapshot(),
 	})
 }

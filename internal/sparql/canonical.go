@@ -1,0 +1,170 @@
+package sparql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Canonical renders a parsed query back to SPARQL text in a normal form:
+// prefixes expanded, one spacing, full parenthesization, `?` variable
+// sigils, explicit `.` triple terminators. Two query strings that parse to
+// the same AST canonicalize identically — whitespace, comments, PREFIX
+// spellings, `$`/`?` sigils, and `;`/`,` triple abbreviations all wash out —
+// so the canonical text is a sound cache key for result sets.
+//
+// Canonical is a fixpoint of parsing: Parse(Canonical(q)) succeeds for every
+// parser-produced q and canonicalizes to the same string (FuzzCacheKey
+// checks both properties).
+func Canonical(q *Query) string {
+	var b strings.Builder
+	if q.Ask {
+		// The parser pins an ASK query's Limit to 1 and forbids solution
+		// modifiers, so the group is the whole rendering.
+		b.WriteString("ASK ")
+		canonGroup(&b, q.Where)
+		return b.String()
+	}
+	b.WriteString("SELECT")
+	if q.Distinct {
+		b.WriteString(" DISTINCT")
+	}
+	if q.Vars == nil {
+		b.WriteString(" *")
+	} else {
+		for _, v := range q.Vars {
+			b.WriteString(" ?")
+			b.WriteString(v)
+		}
+	}
+	b.WriteString(" WHERE ")
+	canonGroup(&b, q.Where)
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			if k.Desc {
+				b.WriteString(" DESC(?")
+				b.WriteString(k.Var)
+				b.WriteString(")")
+			} else {
+				b.WriteString(" ?")
+				b.WriteString(k.Var)
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(q.Limit))
+	}
+	if q.Offset > 0 {
+		b.WriteString(" OFFSET ")
+		b.WriteString(strconv.Itoa(q.Offset))
+	}
+	return b.String()
+}
+
+// canonGroup renders a group pattern with its parts in slice order: triples,
+// filters, optionals, unions. Reparsing appends each part to the same slice
+// in rendering order, so the normal form is stable even when the original
+// query interleaved them.
+func canonGroup(b *strings.Builder, g *GroupPattern) {
+	b.WriteString("{")
+	for _, tp := range g.Triples {
+		b.WriteString(" ")
+		b.WriteString(tp.S.String())
+		b.WriteString(" ")
+		b.WriteString(tp.P.String())
+		b.WriteString(" ")
+		b.WriteString(tp.O.String())
+		b.WriteString(" .")
+	}
+	for _, f := range g.Filters {
+		b.WriteString(" FILTER (")
+		canonExpr(b, f)
+		b.WriteString(")")
+	}
+	for _, o := range g.Optionals {
+		b.WriteString(" OPTIONAL ")
+		canonGroup(b, o)
+	}
+	for _, u := range g.Unions {
+		for i, alt := range u {
+			if i > 0 {
+				b.WriteString(" UNION ")
+			} else {
+				b.WriteString(" ")
+			}
+			canonGroup(b, alt)
+		}
+	}
+	b.WriteString(" }")
+}
+
+// canonExpr renders a FILTER expression fully parenthesized. Constants carry
+// their term text when they came from a literal (reparsing rebuilds the
+// identical term); bare numeric constants — the parser's tNumber path drops
+// the source text — render through FormatFloat, whose output reparses to the
+// same float64 and re-renders to the same string.
+func canonExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *VarExpr:
+		b.WriteString("?")
+		b.WriteString(x.Name)
+	case *ConstExpr:
+		canonConst(b, x.Val)
+	case *BinaryExpr:
+		b.WriteString("(")
+		canonExpr(b, x.Left)
+		b.WriteString(" ")
+		b.WriteString(x.Op)
+		b.WriteString(" ")
+		canonExpr(b, x.Right)
+		b.WriteString(")")
+	case *NotExpr:
+		b.WriteString("!")
+		canonExpr(b, x.X)
+	case *NegExpr:
+		b.WriteString("-")
+		canonExpr(b, x.X)
+	case *CallExpr:
+		b.WriteString(x.Fn)
+		b.WriteString("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			canonExpr(b, a)
+		}
+		b.WriteString(")")
+	default:
+		// Unreachable for parser-produced ASTs; String keeps hand-built
+		// expressions at least debuggable.
+		b.WriteString(e.String())
+	}
+}
+
+func canonConst(b *strings.Builder, v Value) {
+	if v.Term != "" {
+		b.WriteString(string(v.Term))
+		return
+	}
+	switch v.Kind {
+	case VBool:
+		if v.Bool {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case VNum:
+		b.WriteString(strconv.FormatFloat(v.Num, 'f', -1, 64))
+	case VStr:
+		// Hand-built StringConst: quote through the term escaper by round-
+		// tripping the body, so reparsing yields a term-backed constant with
+		// the same rendering.
+		b.WriteString(`"`)
+		r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\r", `\r`, "\t", `\t`)
+		b.WriteString(r.Replace(v.Str))
+		b.WriteString(`"`)
+	default:
+		b.WriteString(`""`)
+	}
+}

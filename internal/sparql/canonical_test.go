@@ -1,0 +1,90 @@
+package sparql
+
+import "testing"
+
+// TestCanonicalNormalizes pins the normal form: spellings that parse to the
+// same AST share one canonical text, and semantically distinct queries keep
+// distinct ones.
+func TestCanonicalNormalizes(t *testing.T) {
+	canon := func(src string) string {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		return Canonical(q)
+	}
+
+	equiv := [][]string{
+		{
+			`SELECT ?x WHERE { ?x <http://u/p> ?y . }`,
+			"select   $x\nwhere {\t?x <http://u/p> ?y }",
+			`PREFIX u: <http://u/> SELECT ?x WHERE { ?x u:p ?y . }`,
+			`SELECT ?x { ?x <http://u/p> ?y . }  # trailing comment`,
+		},
+		{
+			`SELECT ?a ?b WHERE { ?s <http://u/p> ?a . ?s <http://u/q> ?b . }`,
+			`SELECT ?a, ?b WHERE { ?s <http://u/p> ?a ; <http://u/q> ?b . }`,
+		},
+		{
+			`SELECT ?x WHERE { ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://u/C> . }`,
+			`SELECT ?x WHERE { ?x a <http://u/C> . }`,
+		},
+		{
+			`SELECT ?x WHERE { ?x <http://u/p> ?y . FILTER(?y > 3) } ORDER BY DESC(?y) LIMIT 5 OFFSET 2`,
+			`SELECT ?x WHERE { FILTER ( ?y > 3.0 ) ?x <http://u/p> ?y . } OFFSET 2 ORDER BY DESC(?y) LIMIT 5`,
+		},
+		{
+			`ASK { ?x <http://u/p> "lit"@en . }`,
+			`ASK   {?x <http://u/p> 'lit'@en}`,
+		},
+	}
+	for _, group := range equiv {
+		want := canon(group[0])
+		for _, src := range group[1:] {
+			if got := canon(src); got != want {
+				t.Errorf("canonical(%q) = %q, want %q (from %q)", src, got, want, group[0])
+			}
+		}
+	}
+
+	distinct := []string{
+		`SELECT ?x WHERE { ?x <http://u/p> ?y . }`,
+		`SELECT ?y WHERE { ?x <http://u/p> ?y . }`,
+		`SELECT DISTINCT ?x WHERE { ?x <http://u/p> ?y . }`,
+		`SELECT ?x WHERE { ?x <http://u/q> ?y . }`,
+		`SELECT ?x WHERE { ?x <http://u/p> ?y . } LIMIT 3`,
+		`ASK { ?x <http://u/p> ?y . }`,
+	}
+	seen := map[string]string{}
+	for _, src := range distinct {
+		c := canon(src)
+		if prev, ok := seen[c]; ok {
+			t.Errorf("distinct queries share canonical %q: %q and %q", c, prev, src)
+		}
+		seen[c] = src
+	}
+}
+
+// TestCanonicalFixpoint spot-checks Parse∘Canonical stability on the shapes
+// the fuzz target seeds with (FuzzCacheKey runs the open-ended version).
+func TestCanonicalFixpoint(t *testing.T) {
+	for _, src := range []string{
+		`SELECT DISTINCT ?x ?p WHERE { ?x ?p ?y . OPTIONAL { ?y <http://u/q> ?z . FILTER(bound(?z) && regex(?x, "a", "i")) } { ?x <http://u/r> <http://u/o> . } UNION { ?x <http://u/s> "v"^^<http://w3/int> . } } ORDER BY ?x DESC(?p) LIMIT 10 OFFSET 1`,
+		`SELECT ?x WHERE { ?x <http://u/p> ?y . FILTER(!(?y = 2) || -?y < 1 - 2 * 3 / 4) }`,
+		`SELECT ?x WHERE { ?x <http://u/p> "a \"quoted\" \\ body\n" . }`,
+		`ASK { ?x <http://u/p> ?y . FILTER(str(?x) != "" && lang(?y) = "en" && datatype(?y) = "d" && true && !false) }`,
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		c1 := Canonical(q)
+		q2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not reparse: %v", c1, src, err)
+		}
+		if c2 := Canonical(q2); c2 != c1 {
+			t.Fatalf("canonical not a fixpoint:\n src %q\n c1  %q\n c2  %q", src, c1, c2)
+		}
+	}
+}

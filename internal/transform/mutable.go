@@ -3,6 +3,7 @@ package transform
 import (
 	"maps"
 
+	"repro/internal/cache"
 	"repro/internal/graph"
 	"repro/internal/intset"
 	"repro/internal/rdf"
@@ -55,6 +56,14 @@ type Mutable struct {
 
 	epoch uint64
 	cur   *Data
+
+	// lastFP is the delta footprint of the most recent Apply or Compact: the
+	// label and predicate IDs the committed batch touched (the dual of a
+	// query footprint — see internal/cache). A schema rebuild widens it to
+	// universal; a compaction leaves it empty (content unchanged). Read it
+	// right after the mutation, under the same serialization that guards all
+	// Mutable methods.
+	lastFP *cache.Footprint
 }
 
 // NewMutable builds a mutable dataset from the initial triples. Duplicate
@@ -148,6 +157,7 @@ func (m *Mutable) Mode() Mode { return m.mode }
 // When nothing changes, the current snapshot is returned unchanged.
 func (m *Mutable) Apply(ins, del []rdf.Triple) (*Data, int) {
 	m.materialize()
+	m.lastFP = cache.NewFootprint()
 	applied := 0
 	rebuild := false
 	for _, t := range ins {
@@ -182,10 +192,39 @@ func (m *Mutable) Apply(ins, del []rdf.Triple) (*Data, int) {
 		return m.cur, 0
 	}
 	if rebuild {
+		// The subClassOf hierarchy changed: the rebuild rewrote the label
+		// closure of arbitrarily many vertices, which no per-triple footprint
+		// can enumerate.
+		m.lastFP.WidenAll()
 		m.rebuild()
 	}
 	m.cur = m.snapshot()
 	return m.cur, applied
+}
+
+// LastFootprint returns the delta footprint of the most recent Apply or
+// Compact: an over-approximation of the label and predicate IDs the batch
+// touched. It is never nil. Like every Mutable method it must be called
+// under the owner's writer serialization, before the next mutation.
+func (m *Mutable) LastFootprint() *cache.Footprint {
+	if m.lastFP == nil {
+		return cache.NewFootprint()
+	}
+	return m.lastFP
+}
+
+// noteLabel records a label touched by the current batch.
+func (m *Mutable) noteLabel(l uint32) {
+	if m.lastFP != nil {
+		m.lastFP.AddLabel(l)
+	}
+}
+
+// notePred records a predicate touched by the current batch.
+func (m *Mutable) notePred(p uint32) {
+	if m.lastFP != nil {
+		m.lastFP.AddPred(p)
+	}
 }
 
 // Compact folds the delta back into the base: the net triple set is
@@ -193,6 +232,9 @@ func (m *Mutable) Apply(ins, del []rdf.Triple) (*Data, int) {
 // interned IDs survive) and a new snapshot over the plain base is published.
 func (m *Mutable) Compact() *Data {
 	m.materialize()
+	// Compaction changes representation, not content: its delta footprint is
+	// empty, so cached results carry forward across it untouched.
+	m.lastFP = cache.NewFootprint()
 	m.rebuild()
 	m.cur = m.snapshot()
 	return m.cur
@@ -266,6 +308,7 @@ func (m *Mutable) refVertex(term rdf.Term) uint32 {
 			for _, sup := range m.h.superOf[l] {
 				for _, x := range m.h.expand(sup) {
 					m.delta.AddLabel(v, x)
+					m.noteLabel(x)
 				}
 			}
 		}
@@ -287,6 +330,7 @@ func (m *Mutable) unrefVertex(v uint32) {
 	delete(m.vertRef, v)
 	for _, l := range m.delta.EffectiveLabels(v) {
 		m.delta.DeleteLabel(v, l)
+		m.noteLabel(l)
 	}
 }
 
@@ -306,6 +350,10 @@ func (m *Mutable) directTypes(v uint32) []uint32 {
 func (m *Mutable) insertOne(t rdf.Triple) {
 	if m.mode == TypeAware && t.P.IRIValue() == rdf.RDFType {
 		l := m.labels.Intern(t.O)
+		// Record the class label explicitly: even when the closure labels are
+		// all present already, the vertex's direct-type set changed, which
+		// `?s rdf:type ?t` expansions read.
+		m.noteLabel(l)
 		m.h.classTerm[t.O] = true
 		v := m.refVertex(t.S)
 		cur := m.directTypes(v)
@@ -317,6 +365,7 @@ func (m *Mutable) insertOne(t rdf.Triple) {
 		}
 		for _, x := range m.h.expand(l) {
 			m.delta.AddLabel(v, x)
+			m.noteLabel(x)
 		}
 		return
 	}
@@ -324,6 +373,7 @@ func (m *Mutable) insertOne(t rdf.Triple) {
 	o := m.refVertex(t.O)
 	p := m.preds.Intern(t.P)
 	m.delta.AddEdge(s, p, o)
+	m.notePred(p)
 }
 
 // deleteOne applies one effective (previously present) triple removal to the
@@ -332,6 +382,10 @@ func (m *Mutable) insertOne(t rdf.Triple) {
 func (m *Mutable) deleteOne(t rdf.Triple) {
 	if m.mode == TypeAware && t.P.IRIValue() == rdf.RDFType {
 		l, _ := m.labels.Lookup(t.O)
+		// Record the class label explicitly: removing a direct type whose
+		// closure labels survive through another type changes SimpleTypes
+		// without any DeleteLabel below.
+		m.noteLabel(l)
 		v, _ := m.verts.Lookup(t.S)
 		cur := m.directTypes(v)
 		next := make([]uint32, 0, len(cur))
@@ -361,6 +415,7 @@ func (m *Mutable) deleteOne(t rdf.Triple) {
 		for _, have := range m.delta.EffectiveLabels(v) {
 			if !want[have] {
 				m.delta.DeleteLabel(v, have)
+				m.noteLabel(have)
 			}
 		}
 		m.unrefVertex(v)
@@ -370,6 +425,7 @@ func (m *Mutable) deleteOne(t rdf.Triple) {
 	o, _ := m.verts.Lookup(t.O)
 	p, _ := m.preds.Lookup(t.P)
 	m.delta.DeleteEdge(s, p, o)
+	m.notePred(p)
 	m.unrefVertex(s)
 	m.unrefVertex(o)
 }

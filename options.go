@@ -214,13 +214,24 @@ type ServerOptions struct {
 	// ReadOnly rejects SPARQL UPDATE requests with 403 Forbidden while
 	// leaving queries untouched.
 	ReadOnly bool
+
+	// ResultCacheBytes is the byte budget of the server's result cache:
+	// materialized result sets keyed on (canonical query text, engine
+	// options, snapshot epoch) and replayed for repeated queries without
+	// re-executing the matcher. Committed updates invalidate exactly the
+	// entries whose query footprint overlaps the batch's delta footprint;
+	// entries provably untouched by an update are carried forward to the
+	// new epoch. A cache hit is announced in the X-Turbohom-Cache response
+	// header. 0 means the default of 64 MiB; negative disables the cache.
+	ResultCacheBytes int64
 }
 
 // Defaults for the zero ServerOptions value.
 const (
-	defaultQueryTimeout  = 30 * time.Second
-	defaultPreparedCache = 128
-	defaultDrainTimeout  = 10 * time.Second
+	defaultQueryTimeout     = 30 * time.Second
+	defaultPreparedCache    = 128
+	defaultDrainTimeout     = 10 * time.Second
+	defaultResultCacheBytes = int64(64) << 20
 )
 
 // EffectiveQueryTimeout resolves the zero value to the default budget.
@@ -243,6 +254,18 @@ func (o ServerOptions) EffectivePreparedCache() int {
 		return defaultPreparedCache
 	}
 	return o.PreparedCache
+}
+
+// EffectiveResultCacheBytes resolves the zero value to the default budget;
+// a negative setting resolves to 0 (caching disabled).
+func (o ServerOptions) EffectiveResultCacheBytes() int64 {
+	switch {
+	case o.ResultCacheBytes < 0:
+		return 0
+	case o.ResultCacheBytes == 0:
+		return defaultResultCacheBytes
+	}
+	return o.ResultCacheBytes
 }
 
 // EffectiveDrainTimeout resolves the zero value to the default budget.

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/rdf"
 	"repro/internal/sparql"
@@ -52,6 +53,9 @@ type Store struct {
 	wal    *storage.WAL // nil for in-memory stores
 	dir    string       // storage directory of a durable store
 	closed bool
+	// commit holds the OnCommit observers, invoked under mu so batches are
+	// delivered in epoch order.
+	commit []func(epoch uint64, delta *cache.Footprint)
 }
 
 // New builds a store from triples already in memory. opts may be nil for
@@ -90,6 +94,7 @@ func (s *Store) Insert(triples []Triple) (int, error) {
 	data, n := s.mut.Apply(triples, nil)
 	if n > 0 {
 		s.eng.SetData(data)
+		s.notifyCommitLocked(data.Epoch)
 	}
 	return n, nil
 }
@@ -113,6 +118,7 @@ func (s *Store) Delete(triples []Triple) (int, error) {
 	data, n := s.mut.Apply(nil, triples)
 	if n > 0 {
 		s.eng.SetData(data)
+		s.notifyCommitLocked(data.Epoch)
 	}
 	return n, nil
 }
@@ -164,7 +170,9 @@ func (s *Store) Compact() error {
 	if s.closed {
 		return ErrClosed
 	}
-	s.eng.SetData(s.mut.Compact())
+	d := s.mut.Compact()
+	s.eng.SetData(d)
+	s.notifyCommitLocked(d.Epoch)
 	if s.wal == nil {
 		return nil
 	}
@@ -192,6 +200,39 @@ func (s *Store) Close() error {
 		return s.wal.Close()
 	}
 	return nil
+}
+
+// Epoch returns the monotonically increasing version of the store's current
+// snapshot: every committed Insert/Delete batch (and every Compact)
+// publishes a new epoch. An execution pins the epoch current at its start.
+func (s *Store) Epoch() uint64 {
+	return s.eng.Data().Epoch
+}
+
+// OnCommit registers f to observe every committed batch: f receives the new
+// snapshot epoch and the batch's delta footprint — an over-approximation of
+// the label/predicate IDs it touched (empty for representation-only changes
+// like Compact). Callbacks run under the store's writer lock, so they are
+// delivered serially in epoch order and must be fast and non-blocking.
+// OnCommit returns the epoch current at registration; batches at later
+// epochs are guaranteed to be delivered.
+func (s *Store) OnCommit(f func(epoch uint64, delta *cache.Footprint)) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commit = append(s.commit, f)
+	return s.eng.Data().Epoch
+}
+
+// notifyCommitLocked delivers a committed batch to the OnCommit observers.
+// Caller holds s.mu.
+func (s *Store) notifyCommitLocked(epoch uint64) {
+	if len(s.commit) == 0 {
+		return
+	}
+	delta := s.mut.LastFootprint()
+	for _, f := range s.commit {
+		f(epoch, delta)
+	}
 }
 
 // Triples returns the net set of triples currently stored, in a canonical
@@ -246,6 +287,13 @@ func (s *Store) Prepare(query string) (*Prepared, error) {
 // Vars returns the projection, in SELECT order. The slice is shared; do not
 // modify it.
 func (p *Prepared) Vars() []string { return p.pq.Vars() }
+
+// CacheKey identifies the query's result set across textual variations: the
+// canonical rendering of the parsed query plus the engine's options
+// fingerprint. Two prepared queries with equal keys produce byte-identical
+// result streams against the same snapshot — the key the server's result
+// cache stores entries under.
+func (p *Prepared) CacheKey() string { return p.pq.CacheKey() }
 
 // Ask reports whether the prepared query is an ASK form. An ASK query is
 // answered by whether its cursor yields at least one row — Vars is empty and
@@ -341,6 +389,16 @@ type Rows struct {
 // Vars returns the projection, in SELECT order. The slice is shared; do not
 // modify it.
 func (r *Rows) Vars() []string { return r.r.Vars() }
+
+// Epoch returns the store epoch of the snapshot this cursor enumerates,
+// pinned when the cursor was opened.
+func (r *Rows) Epoch() uint64 { return r.r.Epoch() }
+
+// Footprint returns an over-approximation of the label/predicate IDs the
+// query reads: a committed batch whose delta footprint is disjoint cannot
+// change this cursor's result set. The value is shared and must not be
+// mutated.
+func (r *Rows) Footprint() *cache.Footprint { return r.r.Footprint() }
 
 // Next advances to the next row, blocking until one is available. It
 // returns false when the rows are exhausted, the cursor is closed, the
